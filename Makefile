@@ -1,0 +1,31 @@
+# Convenience targets; everything also works via plain pytest / python -m.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples experiments report fuzz clean
+
+install:
+	$(PYTHON) -m pip install -e ".[test]"
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done
+	@echo "all examples OK"
+
+# Regenerate every paper artifact into one report.
+report:
+	$(PYTHON) -m repro.cli experiment all > artifacts_report.md
+	@echo "wrote artifacts_report.md"
+
+# Re-run property tests with fresh random examples (non-derandomized).
+fuzz:
+	HYPOTHESIS_PROFILE=explore $(PYTHON) -m pytest tests/ -k "hypoexp or roundtrip or random_models or fuzz or properties"
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks artifacts_report.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,75 @@
+"""D5 — fluid vs explicit CTMC: accuracy and the cost crossover.
+
+The reason GPEPA exists: the CTMC state count explodes exponentially in
+the population while the fluid ODE system stays constant-size.  This
+bench measures both paths on the same client/server system and checks
+the fluid mean stays close to the exact transient mean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpepa import fluid_trajectory, parse_gpepa
+from repro.pepa import ctmc_of, derive, parse_model
+
+TIMES = np.linspace(0.0, 4.0, 9)
+RC, RS = 2.0, 4.0
+
+
+def pepa_source(n: int) -> str:
+    return f"""
+    C = (req, {RC}).C1; C1 = (done, 3.0).C;
+    S = (req, {RS}).S;
+    C[{n}] <req> S[2]
+    """
+
+
+def gpepa_source(n: int) -> str:
+    return f"""
+    C = (req, {RC}).C1; C1 = (done, 3.0).C;
+    S = (req, {RS}).S;
+    Cs{{C[{n}]}} <req> Ss{{S[2]}}
+    """
+
+
+def exact_client_mean(n: int) -> np.ndarray:
+    space = derive(parse_model(pepa_source(n)))
+    chain = ctmc_of(space)
+    dist = chain.transient(TIMES)
+    mean = np.zeros(TIMES.size)
+    for leaf in space.leaves:
+        if not leaf.name.startswith("C"):
+            continue
+        member = np.array(
+            [
+                1.0 if space.local_label(leaf.index, s[leaf.index]) == "C" else 0.0
+                for s in space.states
+            ]
+        )
+        mean += dist @ member
+    return mean
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_exact_ctmc_transient(benchmark, n):
+    mean = benchmark(exact_client_mean, n)
+    assert 0 < mean[-1] < n
+    size = derive(parse_model(pepa_source(n))).size
+    print(f"\nexact CTMC, n={n}: {size} states")
+
+
+@pytest.mark.parametrize("n", [4, 8, 1000])
+def test_fluid_ode(benchmark, n):
+    model = parse_gpepa(gpepa_source(n))
+    traj = benchmark(fluid_trajectory, model, TIMES)
+    assert model.n_states == 3  # constant regardless of n
+    np.testing.assert_allclose(traj.group_series("Cs"), float(n), atol=1e-6 * n)
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_fluid_accuracy_against_exact(n):
+    exact = exact_client_mean(n)
+    fluid = fluid_trajectory(parse_gpepa(gpepa_source(n)), TIMES).of("Cs", "C")
+    err = np.max(np.abs(exact - fluid)) / n
+    print(f"\nfluid vs exact, n={n}: max relative error {err:.4f}")
+    assert err < 0.08

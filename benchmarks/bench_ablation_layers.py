@@ -1,0 +1,37 @@
+"""D4 — layer-granularity ablation: per-command layers (cacheable) vs a
+single collapsed %post layer, and the cache's effect on rebuilds."""
+
+import pytest
+
+from repro.core import Builder, get_recipe_source, parse_recipe
+
+RECIPE = parse_recipe(get_recipe_source("pepa"))
+
+
+@pytest.mark.parametrize("mode", ["per-command", "single"])
+def test_cold_build(benchmark, mode):
+    def build():
+        return Builder(layer_mode=mode).build(RECIPE, name="pepa", tag="x")
+
+    image, report = benchmark(build)
+    assert image.packages["pepa-eclipse-plugin"] == "0.0.19"
+    assert report.cache_hits == 0
+
+
+def test_warm_rebuild_per_command(benchmark):
+    builder = Builder(layer_mode="per-command")
+    builder.build(RECIPE, name="pepa", tag="x")  # warm the cache
+
+    image, report = benchmark(builder.build, RECIPE, "pepa", "x")
+    assert report.cache_hits == len(RECIPE.post)
+    assert report.layers_built == 0
+    assert image.packages["pepa-eclipse-plugin"] == "0.0.19"
+
+
+def test_modes_equivalent_filesystems():
+    per, _ = Builder(layer_mode="per-command").build(RECIPE, name="p", tag="1")
+    single, _ = Builder(layer_mode="single").build(RECIPE, name="p", tag="1")
+    assert {p: f.content for p, f in per.merged_files().items()} == {
+        p: f.content for p, f in single.merged_files().items()
+    }
+    print(f"\nper-command: {len(per.layers)} layers; single: {len(single.layers)} layers")

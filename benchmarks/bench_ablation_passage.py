@@ -1,0 +1,46 @@
+"""D2 — passage-time method ablation: uniformization vs dense expm vs the
+closed-form hypoexponential, on the Fig. 3 machine model."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import MAPPING_A
+from repro.allocation.machines import DONE_STATE, MACHINE_LEAF, build_machine_model
+from repro.numerics.hypoexp import hypoexp_cdf
+from repro.pepa import ctmc_of, derive
+from repro.pepa.passage import passage_time_cdf
+
+TIMES = np.linspace(0.0, 240.0, 49)
+
+
+@pytest.fixture(scope="module")
+def chain(workload):
+    return ctmc_of(derive(build_machine_model(MAPPING_A, "M1", workload)))
+
+
+@pytest.fixture(scope="module")
+def reference(chain):
+    return passage_time_cdf(chain, (MACHINE_LEAF, DONE_STATE), TIMES).cdf
+
+
+@pytest.mark.parametrize("method", ["uniformization", "expm"])
+def test_passage_method(benchmark, chain, reference, method):
+    result = benchmark(
+        passage_time_cdf, chain, (MACHINE_LEAF, DONE_STATE), TIMES, None, method
+    )
+    np.testing.assert_allclose(result.cdf, reference, atol=1e-7)
+
+
+def test_hypoexp_closed_form(benchmark, workload):
+    """The no-throttling limit has a closed form; it is both the fastest
+    method and the analytic anchor for the other two."""
+    apps = MAPPING_A.applications_on("M1")
+    rates = [workload.execution_rate(a, "M1") for a in apps]
+    cdf = benchmark(hypoexp_cdf, rates, TIMES)
+    assert cdf[-1] > 0.9
+    # With availability throttling the real machine is strictly slower
+    # than the closed-form ideal at every time point.
+    from repro.allocation import finishing_time_cdf
+
+    real = finishing_time_cdf(MAPPING_A, "M1", workload, times=TIMES)
+    assert (real.cdf <= cdf + 1e-9).all()

@@ -1,0 +1,38 @@
+"""D1 — steady-state solver ablation: direct LU vs GMRES vs power method.
+
+All three must produce the same distribution; the bench records their
+relative cost on a mid-size PEPA state space (PC LAN scaled up).
+"""
+
+import numpy as np
+import pytest
+
+from repro.pepa import ctmc_of, derive, parse_model
+
+SOURCE = """
+lam = 0.4;
+mu  = 5.0;
+PC      = (think, lam).PCready;
+PCready = (send, infty).PC;
+Medium  = (send, mu).Medium;
+PC[9] <send> Medium
+"""
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return ctmc_of(derive(parse_model(SOURCE)))
+
+
+@pytest.fixture(scope="module")
+def reference(chain):
+    return chain.steady_state(method="direct").pi
+
+
+@pytest.mark.parametrize("method", ["direct", "gmres", "power"])
+def test_solver_method(benchmark, chain, reference, method):
+    result = benchmark(chain.steady_state, method)
+    np.testing.assert_allclose(result.pi, reference, atol=1e-6)
+    assert result.residual < 1e-6
+    print(f"\n{method}: {chain.n_states} states, residual {result.residual:.2e}, "
+          f"iterations {result.iterations}")

@@ -1,0 +1,35 @@
+"""D3 — state-space representation: derivation cost as populations scale.
+
+Measures the explicit engine's derivation throughput on growing
+aggregations (the regime where interned local-derivative tuples matter)
+and documents the exponential wall GPEPA's fluid semantics avoids.
+"""
+
+import pytest
+
+from repro.pepa import derive, parse_model
+
+
+def source(n: int) -> str:
+    return f"""
+    lam = 0.4;
+    mu  = 5.0;
+    PC      = (think, lam).PCready;
+    PCready = (send, infty).PC;
+    Medium  = (send, mu).Medium;
+    PC[{n}] <send> Medium
+    """
+
+
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_derivation_scaling(benchmark, n):
+    model = parse_model(source(n))
+    space = benchmark(derive, model)
+    assert space.size == 2**n
+    print(f"\nPC LAN n={n}: {space.size} states, {len(space.transitions)} transitions")
+
+
+def test_derivation_transitions_per_second(benchmark):
+    model = parse_model(source(10))
+    space = benchmark(derive, model)
+    assert space.size == 1024

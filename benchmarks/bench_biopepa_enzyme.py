@@ -1,0 +1,46 @@
+"""X2 — Bio-PEPA user-manual enzyme kinetics, native and containerized."""
+
+import numpy as np
+
+from repro.biopepa import (
+    enzyme_kinetics_model,
+    enzyme_with_inhibitor_model,
+    ode_trajectory,
+    ssa_ensemble,
+)
+from repro.core import validate_against_native
+from repro.core.validation import standard_validation_cases
+
+GRID = np.linspace(0.0, 100.0, 51)
+
+
+def test_enzyme_ode(benchmark):
+    traj = benchmark(ode_trajectory, enzyme_kinetics_model(), GRID)
+    # Qualitative manual behaviour: substrate is consumed into product,
+    # enzyme is recycled.
+    assert traj.of("P")[-1] > 90.0
+    assert traj.of("S")[-1] < 10.0
+    np.testing.assert_allclose(traj.of("E") + traj.of("ES"), 20.0, atol=1e-6)
+
+
+def test_enzyme_with_inhibitor_ode(benchmark):
+    traj = benchmark(ode_trajectory, enzyme_with_inhibitor_model(), GRID)
+    plain = ode_trajectory(enzyme_kinetics_model(), GRID)
+    # The inhibitor sequesters enzyme and slows product formation.
+    assert traj.of("P")[-1] < 0.7 * plain.of("P")[-1]
+    print(f"\ninhibition slowdown at t=100: "
+          f"{plain.of('P')[-1] / traj.of('P')[-1]:.2f}x")
+
+
+def test_enzyme_ssa_ensemble(benchmark):
+    grid = np.linspace(0.0, 30.0, 16)
+    ens = benchmark(ssa_ensemble, enzyme_kinetics_model(), grid, 50, 11)
+    ode = ode_trajectory(enzyme_kinetics_model(), grid)
+    np.testing.assert_allclose(ens.mean_of("P"), ode.of("P"), rtol=0.25, atol=3.0)
+
+
+def test_biopepa_container_validation(benchmark, biopepa_image):
+    report = benchmark(
+        validate_against_native, biopepa_image, standard_validation_cases("biopepa")
+    )
+    assert report.passed

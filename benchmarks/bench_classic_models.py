@@ -1,0 +1,32 @@
+"""X3 — the Edinburgh example corpus (Active Badge, ABP, PC LAN 4):
+derive + solve each, and validate the whole corpus in the container."""
+
+import pytest
+
+from repro.core import validate_against_native
+from repro.core.validation import standard_validation_cases
+from repro.pepa import ctmc_of, derive
+from repro.pepa.models import MODEL_NAMES, get_model
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_solve_classic_model(benchmark, name):
+    model = get_model(name)
+
+    def pipeline():
+        space = derive(model)
+        chain = ctmc_of(space)
+        return space, chain.steady_state()
+
+    space, result = benchmark(pipeline)
+    assert abs(result.pi.sum() - 1.0) < 1e-9
+    assert result.residual < 1e-8
+    print(f"\n{name}: {space.size} states, {len(space.transitions)} transitions")
+
+
+def test_pepa_container_validates_corpus(benchmark, pepa_image):
+    report = benchmark(
+        validate_against_native, pepa_image, standard_validation_cases("pepa")
+    )
+    assert report.passed
+    assert report.n_cases == 2 * len(MODEL_NAMES) + 3  # solve+derive each, Figs. 2-4

@@ -1,0 +1,25 @@
+"""F1 — Fig. 1: the simple PEPA model, containerized vs native, identical.
+
+Times one full validation case (native run + container run + compare)
+and asserts the paper's core claim: byte-identical output.
+"""
+
+from repro.core import validate_against_native
+from repro.core.validation import ValidationCase
+from repro.pepa.models import get_source
+
+
+def test_fig1_simple_model_validation(benchmark, pepa_image):
+    src = get_source("simple_validation").encode()
+    cases = [
+        ValidationCase(
+            name="fig1",
+            argv=("pepa", "solve", "/data/simple.pepa"),
+            files={"/data/simple.pepa": src},
+        )
+    ]
+    report = benchmark(validate_against_native, pepa_image, cases)
+    assert report.passed  # container output identical to native
+    native = report.results[0].native.stdout
+    assert "steady-state distribution (4 states)" in native
+    print("\nFig. 1 validation:", report.summary().splitlines()[0])

@@ -1,0 +1,23 @@
+"""F2 — Fig. 2: the activity diagram of machine M3 under Mapping A."""
+
+from repro.allocation import MAPPING_A
+from repro.allocation.machines import build_machine_model
+from repro.pepa import activity_graph, derive, to_dot
+
+
+def test_fig2_m3_activity_diagram(benchmark, workload):
+    def generate():
+        model = build_machine_model(MAPPING_A, "M3", workload, absorbing=False)
+        space = derive(model)
+        graph = activity_graph(space, "Stage0")
+        return graph, to_dot(graph)
+
+    graph, dot = benchmark(generate)
+    # M3 runs a1, a3, a7: Stage0 -> Stage1 -> Stage2 -> Done -> Stage0.
+    assert graph.number_of_nodes() == 4
+    assert graph.number_of_edges() == 4
+    labels = {d["action"] for _u, _v, d in graph.edges(data=True)}
+    assert labels == {"a1", "a3", "a7", "restartmachine"}
+    assert dot == to_dot(graph)  # deterministic rendering
+    print(f"\nFig. 2 activity diagram: {graph.number_of_nodes()} nodes, "
+          f"{graph.number_of_edges()} activities")

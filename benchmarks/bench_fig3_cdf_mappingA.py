@@ -1,0 +1,35 @@
+"""F3 — Fig. 3: finishing-time CDF of M1 under Mapping A.
+
+Also validates the container reproduces the same curve byte-for-byte
+(the reason the figure exists in the paper).
+"""
+
+import numpy as np
+
+from repro.allocation import MAPPING_A, finishing_time_cdf
+from repro.core import validate_against_native
+from repro.core.validation import ValidationCase
+from repro.allocation.machines import machine_model_source
+
+
+def test_fig3_cdf_curve(benchmark, workload):
+    ft = benchmark(finishing_time_cdf, MAPPING_A, "M1", workload)
+    assert ft.cdf[0] == 0.0
+    assert (np.diff(ft.cdf) >= -1e-12).all()
+    assert ft.cdf[-1] > 0.95  # the paper's curves reach ~1 on the plotted span
+    assert ft.mean > sum(
+        workload.execution_time(a, "M1") for a in MAPPING_A.applications_on("M1")
+    )
+    print(f"\nFig. 3: M1/Mapping A mean={ft.mean:.2f}, median={ft.quantile(0.5):.2f}, "
+          f"p90={ft.quantile(0.9):.2f}")
+
+
+def test_fig3_container_reproduces_curve(benchmark, workload, pepa_image):
+    src = machine_model_source(MAPPING_A, "M1", workload, absorbing=True).encode()
+    case = ValidationCase(
+        name="fig3",
+        argv=("pepa", "cdf", "/data/m1a.pepa", "Stage0", "Done", "240", "25"),
+        files={"/data/m1a.pepa": src},
+    )
+    report = benchmark(validate_against_native, pepa_image, [case])
+    assert report.passed

@@ -1,0 +1,32 @@
+"""F4 — Fig. 4: finishing-time CDF of M1 under Mapping B (6 applications)."""
+
+import numpy as np
+
+from repro.allocation import MAPPING_A, MAPPING_B, finishing_time_cdf
+from repro.core import validate_against_native
+from repro.core.validation import ValidationCase
+from repro.allocation.machines import machine_model_source
+
+
+def test_fig4_cdf_curve(benchmark, workload):
+    ft = benchmark(finishing_time_cdf, MAPPING_B, "M1", workload)
+    assert ft.cdf[0] == 0.0
+    assert (np.diff(ft.cdf) >= -1e-12).all()
+    assert ft.cdf[-1] > 0.95
+    # Mapping B puts 6 applications on M1 (vs 5 under A) — the model has
+    # one more stage; both curves exist and differ.
+    fa = finishing_time_cdf(MAPPING_A, "M1", workload)
+    assert ft.n_states == fa.n_states + 2
+    assert ft.mean != fa.mean
+    print(f"\nFig. 4: M1/Mapping B mean={ft.mean:.2f}, median={ft.quantile(0.5):.2f}")
+
+
+def test_fig4_container_reproduces_curve(benchmark, workload, pepa_image):
+    src = machine_model_source(MAPPING_B, "M1", workload, absorbing=True).encode()
+    case = ValidationCase(
+        name="fig4",
+        argv=("pepa", "cdf", "/data/m1b.pepa", "Stage0", "Done", "240", "25"),
+        files={"/data/m1b.pepa": src},
+    )
+    report = benchmark(validate_against_native, pepa_image, [case])
+    assert report.passed

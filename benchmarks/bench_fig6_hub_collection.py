@@ -1,0 +1,25 @@
+"""F6 — Fig. 6: publish the three containers to a hub collection, list,
+and clone each with digest verification."""
+
+from repro.core import Hub
+
+
+def test_fig6_publish_list_pull(benchmark, tmp_path_factory, pepa_image, biopepa_image, gpa_image):
+    images = [pepa_image, biopepa_image, gpa_image]
+    counter = [0]
+
+    def publish_and_clone():
+        root = tmp_path_factory.mktemp(f"hub{counter[0]}")
+        counter[0] += 1
+        hub = Hub(root)
+        for image in images:
+            hub.push("pepa-containers", image)
+        entries = hub.list_collection("pepa-containers")
+        clones = [hub.pull(e.collection, e.name, e.tag) for e in entries]
+        return entries, clones
+
+    entries, clones = benchmark(publish_and_clone)
+    assert [e.name for e in entries] == ["biopepa", "gpanalyser", "pepa"]
+    for entry, clone in zip(entries, clones):
+        assert clone.digest() == entry.digest  # Fig. 6's verified clones
+    print("\nFig. 6 collection:", ", ".join(e.reference for e in entries))

@@ -1,0 +1,36 @@
+"""GPEPA stochastic simulation vs fluid analysis on the Fig. 5 model.
+
+GPAnalyser offers both back-ends; this bench times them on the same
+clientServerScalability instance and checks the simulation ensemble
+mean brackets the fluid solution.
+"""
+
+import numpy as np
+
+from repro.gpepa import (
+    client_server_scalability,
+    fluid_trajectory,
+    gssa_ensemble,
+)
+
+GRID = np.linspace(0.0, 20.0, 21)
+
+
+def test_fluid_path(benchmark):
+    model = client_server_scalability(100, 10)
+    traj = benchmark(fluid_trajectory, model, GRID)
+    assert traj.counts.shape == (GRID.size, model.n_states)
+
+
+def test_simulation_path(benchmark):
+    model = client_server_scalability(100, 10)
+    ens = benchmark(gssa_ensemble, model, GRID, 20, 17)
+    fluid = fluid_trajectory(model, GRID)
+    np.testing.assert_allclose(
+        ens.mean_of("Clients", "Client"),
+        fluid.of("Clients", "Client"),
+        rtol=0.15,
+        atol=6.0,
+    )
+    rel = float(np.sqrt(ens.var_of("Clients", "Client")[-1])) / 100.0
+    print(f"\nsimulation: relative fluctuation {rel:.3f} at steady state")

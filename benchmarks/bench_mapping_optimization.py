@@ -1,0 +1,27 @@
+"""X5 — the paper's future work: model-driven allocation optimization.
+
+Uses the PEPA finishing-time oracle inside a scheduler: the greedy
+list-scheduler must beat both of Table I's hand mappings on modeled
+makespan, which is the "cost-effective decisions" payoff the paper's
+introduction promises from performance modeling.
+"""
+
+from repro.allocation import MAPPING_A, MAPPING_B, evaluate_mapping, greedy_mapping
+
+
+def test_greedy_mapping(benchmark, workload):
+    mapping = benchmark(greedy_mapping, workload)
+    g = evaluate_mapping(mapping, workload, "makespan")
+    a = evaluate_mapping(MAPPING_A, workload, "makespan")
+    b = evaluate_mapping(MAPPING_B, workload, "makespan")
+    assert g.value < min(a.value, b.value)
+    print(
+        f"\nmakespan: mapping A {a.value:.2f}, mapping B {b.value:.2f}, "
+        f"greedy {g.value:.2f} ({min(a.value, b.value) / g.value:.2f}x better)"
+    )
+
+
+def test_evaluate_mapping_cost(benchmark, workload):
+    # The oracle itself: one full-mapping evaluation (5 machine chains).
+    score = benchmark(evaluate_mapping, MAPPING_A, workload, "makespan")
+    assert score.value > 0

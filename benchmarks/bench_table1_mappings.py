@@ -1,0 +1,32 @@
+"""T1 — Table I: build + solve every machine model under both mappings.
+
+Regenerates the Table I rows (per-machine nominal/mean finishing times
+and robustness) and times the full table computation.
+"""
+
+import pytest
+
+from repro.allocation import MAPPING_A, MAPPING_B, MACHINES, robustness_of_mapping
+
+
+@pytest.mark.parametrize("mapping", [MAPPING_A, MAPPING_B], ids=["mappingA", "mappingB"])
+def test_table1_rows(benchmark, workload, mapping):
+    report = benchmark(robustness_of_mapping, mapping, workload, 1.5, 120)
+    # Shape assertions from the study: every machine's mean finishing time
+    # exceeds its nominal time under availability variation, and the
+    # robustness values are honest probabilities.
+    for machine in MACHINES:
+        assert report.mean_times[machine] > report.nominal_times[machine]
+        assert 0.0 < report.per_machine[machine] < 1.0
+    print(f"\nTable I — Mapping {mapping.name} (beta=1.5)")
+    print(f"{'machine':8} {'apps':3} {'nominal':>9} {'mean':>9} {'robust':>8}")
+    for machine in MACHINES:
+        print(
+            f"{machine:8} {len(mapping.applications_on(machine)):3d} "
+            f"{report.nominal_times[machine]:9.2f} {report.mean_times[machine]:9.2f} "
+            f"{report.per_machine[machine]:8.4f}"
+        )
+    print(
+        f"robustness={report.robustness:.4f} fragile={report.most_fragile_machine} "
+        f"makespan={report.expected_makespan:.2f} bottleneck={report.bottleneck_machine}"
+    )

@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_*`` module regenerates one paper artifact (DESIGN.md's
+experiment index) under pytest-benchmark timing, and asserts the *shape*
+properties the paper reports so a regression in correctness fails the
+bench rather than silently timing garbage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def workload():
+    from repro.allocation import synthetic_workload
+
+    return synthetic_workload(seed=2019)
+
+
+@pytest.fixture(scope="session")
+def pepa_image():
+    from repro.core import Builder, get_recipe_source
+
+    return Builder().build(get_recipe_source("pepa"), name="pepa", tag="bench")[0]
+
+
+@pytest.fixture(scope="session")
+def biopepa_image():
+    from repro.core import Builder, get_recipe_source
+
+    return Builder().build(get_recipe_source("biopepa"), name="biopepa", tag="bench")[0]
+
+
+@pytest.fixture(scope="session")
+def gpa_image():
+    from repro.core import Builder, get_recipe_source
+
+    return Builder().build(get_recipe_source("gpanalyser"), name="gpanalyser", tag="bench")[0]
+
+
+@pytest.fixture(scope="session")
+def runtime():
+    from repro.core import ContainerRuntime
+
+    return ContainerRuntime()

@@ -1,0 +1,30 @@
+"""repro — a container-based reproducibility framework for stochastic
+process algebra modeling of parallel computing systems.
+
+A from-scratch reproduction of Sanders, Srivastava & Banicescu (2019):
+
+* :mod:`repro.pepa` — the PEPA language and CTMC analyses;
+* :mod:`repro.biopepa` — Bio-PEPA with ODE/SSA/CTMC back-ends;
+* :mod:`repro.gpepa` — grouped PEPA with fluid (mean-field) semantics;
+* :mod:`repro.allocation` — the robustness-of-resource-allocation study
+  (Table I, Figs. 2–4);
+* :mod:`repro.core` — the container framework: recipes, images,
+  builder, runtime, hub, and the native-vs-container validation harness;
+* :mod:`repro.numerics` — shared sparse CTMC/ODE numerics;
+* :mod:`repro.experiments` — one entry point per paper table/figure;
+* :mod:`repro.cli` — the ``repro`` command-line interface.
+
+Quickstart::
+
+    from repro.core import Builder, ContainerRuntime, get_recipe_source
+    image, _ = Builder().build(get_recipe_source("pepa"), name="pepa")
+    result = ContainerRuntime().run(
+        image, ["pepa", "solve", "/m.pepa"],
+        binds={"/m.pepa": b"P = (go, 1.0).P1; P1 = (back, 2.0).P; P"},
+    )
+    print(result.stdout)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,75 @@
+"""Robustness of static resource allocations (Srivastava & Banicescu).
+
+The paper validates its PEPA container by replicating portions of the
+ISPDC 2018 study "PEPA based performance modeling for robust resource
+allocations amid varying processor availability": 20 parallel
+applications statically mapped onto 5 heterogeneous machines under two
+mappings (the paper's Table I), analyzed with PEPA for
+
+* the activity diagram of machine M3 (paper Fig. 2),
+* the finishing-time CDFs of machine M1 under Mapping A and Mapping B
+  (paper Figs. 3 and 4),
+* a FePIA-style robustness metric over the allocation.
+
+This package provides that substrate: the mapping data, a seeded
+synthetic ETC (expected time to compute) workload (the original rate
+constants are not published in the 2019 paper — see DESIGN.md
+substitution table), the machine/processor PEPA model builder, and the
+finishing-time and robustness analyses.
+"""
+
+from repro.allocation.mapping import (
+    Mapping,
+    MAPPING_A,
+    MAPPING_B,
+    MACHINES,
+    APPLICATIONS,
+)
+from repro.allocation.workload import Workload, synthetic_workload
+from repro.allocation.machines import (
+    build_machine_model,
+    machine_model_source,
+)
+from repro.allocation.cdf import (
+    finishing_time_cdf,
+    finishing_time_mean,
+    makespan_cdf,
+    FinishingTime,
+)
+from repro.allocation.robustness import (
+    robustness_of_mapping,
+    machine_robustness,
+    RobustnessReport,
+)
+from repro.allocation.optimize import (
+    greedy_mapping,
+    local_search,
+    evaluate_mapping,
+    MappingScore,
+)
+from repro.allocation.sensitivity import seed_sweep, SensitivityReport
+
+__all__ = [
+    "Mapping",
+    "MAPPING_A",
+    "MAPPING_B",
+    "MACHINES",
+    "APPLICATIONS",
+    "Workload",
+    "synthetic_workload",
+    "build_machine_model",
+    "machine_model_source",
+    "finishing_time_cdf",
+    "finishing_time_mean",
+    "makespan_cdf",
+    "FinishingTime",
+    "robustness_of_mapping",
+    "machine_robustness",
+    "RobustnessReport",
+    "greedy_mapping",
+    "local_search",
+    "evaluate_mapping",
+    "MappingScore",
+    "seed_sweep",
+    "SensitivityReport",
+]

@@ -1,0 +1,177 @@
+"""PEPA models of machines executing their mapped applications.
+
+Following the modeling style of the robustness study, each machine is a
+cooperation of two sequential components:
+
+* the **machine** component executes its mapped applications in order,
+  one activity per application, at the application's full-availability
+  execution rate, ending in a ``Done`` state;
+* the **processor** component modulates availability: in the ``Avail``
+  state it offers each execution action at full capacity, in the
+  ``Degraded`` state at a throttled capacity, switching between the two
+  at the workload's degrade/recover rates.
+
+They cooperate on every execution action, so the effective rate of an
+application is ``min(application rate, current processor capacity)`` —
+the PEPA bounded-capacity pattern.  The finishing time of the machine is
+the first passage into the ``Done`` state (paper Figs. 3/4); the
+derivation graph of the machine component is the activity diagram of
+Fig. 2.
+
+Two model variants:
+
+* ``absorbing=True`` (default) — ``Done`` has no outgoing activity;
+  use for passage-time/finishing-time analysis.
+* ``absorbing=False`` — ``Done`` restarts the batch at a slow ``restart``
+  rate; use for steady-state measures (utilization, throughput).
+"""
+
+from __future__ import annotations
+
+from repro.allocation.mapping import Mapping
+from repro.allocation.workload import Workload
+from repro.errors import IllFormedModelError
+from repro.pepa.parser import parse_model
+from repro.pepa.syntax import Model
+
+__all__ = [
+    "machine_model_source",
+    "machine_model_source_for_apps",
+    "build_machine_model",
+    "build_machine_model_for_apps",
+    "DONE_STATE",
+    "MACHINE_LEAF",
+]
+
+#: Local-state label of the finished machine (passage-time target).
+DONE_STATE = "Done"
+
+#: Leaf name of the machine component inside the built model.
+MACHINE_LEAF = "Stage0"
+
+#: Leaf name of the availability/processor component.
+PROCESSOR_LEAF = "Avail"
+
+
+def _fmt(x: float) -> str:
+    """Format a rate constant with enough digits to round-trip exactly."""
+    return repr(float(x))
+
+
+def machine_model_source(
+    mapping: Mapping,
+    machine: str,
+    workload: Workload,
+    absorbing: bool = True,
+    restart_rate: float = 0.001,
+) -> str:
+    """Generate the PEPA source text for one machine under a mapping.
+
+    The generated model defines, for machine ``M`` running apps
+    ``x, y, z``::
+
+        exec_x = <rate>; ...
+        Stage0 = (x, exec_x).Stage1;
+        Stage1 = (y, exec_y).Stage2;
+        Stage2 = (z, exec_z).Done;
+        Done   = ...                       (absorbing or restart loop)
+        Avail    = (x, cap_full)... + (degrade, d).Degraded;
+        Degraded = (x, cap_slow)... + (recover, c).Avail;
+        Stage0 <x, y, z> Avail
+    """
+    apps = mapping.applications_on(machine)
+    if not apps:
+        raise IllFormedModelError(
+            f"machine {machine} has no applications under mapping {mapping.name}"
+        )
+    return machine_model_source_for_apps(
+        apps,
+        machine,
+        workload,
+        absorbing=absorbing,
+        restart_rate=restart_rate,
+        banner=f"// Machine {machine} under Mapping {mapping.name} "
+        f"(seed {workload.seed}): executes {', '.join(apps)}.",
+    )
+
+
+def machine_model_source_for_apps(
+    apps: tuple[str, ...],
+    machine: str,
+    workload: Workload,
+    absorbing: bool = True,
+    restart_rate: float = 0.001,
+    banner: str | None = None,
+) -> str:
+    """As :func:`machine_model_source`, but for an explicit application
+    list — used by the mapping-optimization search, which evaluates
+    partial placements that are not (yet) complete mappings."""
+    apps = tuple(apps)
+    if not apps:
+        raise IllFormedModelError(f"machine {machine} has no applications to run")
+    lines: list[str] = [
+        banner
+        or f"// Machine {machine} (seed {workload.seed}): executes {', '.join(apps)}.",
+    ]
+    for app in apps:
+        lines.append(f"exec_{app} = {_fmt(workload.execution_rate(app, machine))};")
+    lines.append(f"cap_full = {_fmt(workload.full_capacity)};")
+    lines.append(f"cap_slow = {_fmt(workload.degraded_capacity)};")
+    lines.append(f"d_rate = {_fmt(workload.degrade_rate)};")
+    lines.append(f"c_rate = {_fmt(workload.recover_rate)};")
+    if not absorbing:
+        lines.append(f"restart = {_fmt(restart_rate)};")
+    # Machine stages.
+    for k, app in enumerate(apps):
+        nxt = DONE_STATE if k == len(apps) - 1 else f"Stage{k + 1}"
+        lines.append(f"Stage{k} = ({app}, exec_{app}).{nxt};")
+    if absorbing:
+        # A syntactically valid body that the processor never enables:
+        # 'finished' is in the cooperation set but only the machine side
+        # performs it, so Done is a deadlock (absorbing) state by
+        # construction — exactly what passage-time analysis needs.
+        lines.append(f"{DONE_STATE} = (finished, cap_full).{DONE_STATE};")
+    else:
+        lines.append(f"{DONE_STATE} = (restartmachine, restart).Stage0;")
+    # Processor availability component.
+    full_choices = [f"({app}, cap_full).{PROCESSOR_LEAF}" for app in apps]
+    slow_choices = [f"({app}, cap_slow).Degraded" for app in apps]
+    lines.append(
+        f"{PROCESSOR_LEAF} = "
+        + " + ".join(full_choices + [f"(degrade, d_rate).Degraded"])
+        + ";"
+    )
+    lines.append(
+        "Degraded = "
+        + " + ".join(slow_choices + [f"(recover, c_rate).{PROCESSOR_LEAF}"])
+        + ";"
+    )
+    coop = ", ".join(list(apps) + (["finished"] if absorbing else []))
+    lines.append(f"Stage0 <{coop}> {PROCESSOR_LEAF}")
+    return "\n".join(lines) + "\n"
+
+
+def build_machine_model(
+    mapping: Mapping,
+    machine: str,
+    workload: Workload,
+    absorbing: bool = True,
+    restart_rate: float = 0.001,
+) -> Model:
+    """Parse the generated machine model (see :func:`machine_model_source`)."""
+    source = machine_model_source(mapping, machine, workload, absorbing, restart_rate)
+    return parse_model(source, source_name=f"{machine}-mapping{mapping.name}")
+
+
+def build_machine_model_for_apps(
+    apps: tuple[str, ...],
+    machine: str,
+    workload: Workload,
+    absorbing: bool = True,
+    restart_rate: float = 0.001,
+) -> Model:
+    """Parse a machine model for an explicit application list."""
+    source = machine_model_source_for_apps(
+        apps, machine, workload, absorbing, restart_rate
+    )
+    return parse_model(source, source_name=f"{machine}-{len(apps)}apps")

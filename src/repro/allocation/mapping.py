@@ -1,0 +1,96 @@
+"""Table I of the paper: Mappings A and B of applications to machines.
+
+The study maps 20 parallel applications ``a1 .. a20`` onto 5
+heterogeneous machines ``M1 .. M5``.  The two static mappings are
+transcribed verbatim from the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Mapping", "MAPPING_A", "MAPPING_B", "MACHINES", "APPLICATIONS"]
+
+#: Machine names, in Table I order.
+MACHINES: tuple[str, ...] = ("M1", "M2", "M3", "M4", "M5")
+
+#: Application names ``a1 .. a20``.
+APPLICATIONS: tuple[str, ...] = tuple(f"a{i}" for i in range(1, 21))
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A static allocation of applications to machines.
+
+    ``assignments`` maps each machine name to the tuple of application
+    names it executes, in execution order.
+    """
+
+    name: str
+    assignments: dict[str, tuple[str, ...]]
+
+    def __post_init__(self):
+        # Validate: every application appears exactly once, machines known.
+        seen: list[str] = []
+        for machine, apps in self.assignments.items():
+            if machine not in MACHINES:
+                raise ValueError(f"unknown machine {machine!r} in mapping {self.name}")
+            for app in apps:
+                if app not in APPLICATIONS:
+                    raise ValueError(f"unknown application {app!r} in mapping {self.name}")
+                seen.append(app)
+        missing = set(APPLICATIONS) - set(seen)
+        if missing:
+            raise ValueError(
+                f"mapping {self.name} does not place application(s) {sorted(missing)}"
+            )
+        if len(seen) != len(set(seen)):
+            dupes = sorted({a for a in seen if seen.count(a) > 1})
+            raise ValueError(f"mapping {self.name} places {dupes} more than once")
+
+    def applications_on(self, machine: str) -> tuple[str, ...]:
+        """Applications mapped to ``machine``, in execution order."""
+        try:
+            return self.assignments[machine]
+        except KeyError:
+            raise KeyError(
+                f"mapping {self.name} has no machine {machine!r}; "
+                f"machines: {sorted(self.assignments)}"
+            ) from None
+
+    def machine_of(self, application: str) -> str:
+        """The machine an application is mapped to."""
+        for machine, apps in self.assignments.items():
+            if application in apps:
+                return machine
+        raise KeyError(f"application {application!r} not placed by mapping {self.name}")
+
+    @property
+    def load_counts(self) -> dict[str, int]:
+        """Number of applications per machine (the table's row lengths)."""
+        return {m: len(a) for m, a in self.assignments.items()}
+
+
+#: Mapping A from Table I.
+MAPPING_A = Mapping(
+    name="A",
+    assignments={
+        "M1": ("a5", "a9", "a12", "a17", "a20"),
+        "M2": ("a6", "a16"),
+        "M3": ("a1", "a3", "a7"),
+        "M4": ("a2", "a4", "a10", "a13", "a15", "a19"),
+        "M5": ("a8", "a11", "a14", "a18"),
+    },
+)
+
+#: Mapping B from Table I.
+MAPPING_B = Mapping(
+    name="B",
+    assignments={
+        "M1": ("a3", "a4", "a5", "a17", "a18", "a20"),
+        "M2": ("a2", "a11", "a14", "a19"),
+        "M3": ("a1", "a7", "a13"),
+        "M4": ("a9", "a12", "a15"),
+        "M5": ("a6", "a8", "a10", "a16"),
+    },
+)

@@ -1,0 +1,168 @@
+"""Mapping search: using the PEPA models to *choose* allocations.
+
+The paper's future work is to "model resource allocations in parallel
+computing systems and obtain an analysis of the robustness of the
+resource allocations".  This module closes that loop: treat the PEPA
+finishing-time analysis as the objective oracle and search the mapping
+space.
+
+* :func:`greedy_mapping` — list-schedule by expected finishing time:
+  place each application (longest nominal work first) on the machine
+  whose *modeled mean finishing time* grows least;
+* :func:`local_search` — hill-climb single-application moves and
+  pairwise swaps from a starting mapping, under either objective;
+* objectives: ``makespan`` (max over machines of mean finishing time)
+  or ``robustness`` (negated FePIA minimum, see
+  :mod:`repro.allocation.robustness`).
+
+The search stays deliberately simple — the point is that the exact
+CTMC analysis is cheap enough (a dozen states per machine) to sit in an
+optimization inner loop, which is the practical payoff of performance
+modeling the paper's introduction argues for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.allocation.mapping import APPLICATIONS, MACHINES, Mapping
+from repro.allocation.robustness import machine_robustness
+from repro.allocation.workload import Workload
+
+__all__ = ["greedy_mapping", "local_search", "evaluate_mapping", "MappingScore"]
+
+
+@dataclass(frozen=True)
+class MappingScore:
+    """Evaluation of one mapping under one workload."""
+
+    mapping: Mapping
+    objective: str
+    value: float
+    per_machine: dict[str, float]
+
+
+def _machine_mean(apps: tuple[str, ...], machine: str, workload: Workload) -> float:
+    """Mean finishing time of a machine running ``apps`` (0 when idle)."""
+    if not apps:
+        return 0.0
+    from repro.allocation.machines import DONE_STATE, MACHINE_LEAF, build_machine_model_for_apps
+    from repro.pepa.ctmc import ctmc_of
+    from repro.pepa.passage import passage_time_mean
+    from repro.pepa.statespace import derive
+
+    model = build_machine_model_for_apps(tuple(apps), machine, workload, absorbing=True)
+    chain = ctmc_of(derive(model))
+    return passage_time_mean(chain, (MACHINE_LEAF, DONE_STATE))
+
+
+def evaluate_mapping(
+    mapping: Mapping, workload: Workload, objective: str = "makespan", beta: float = 1.5
+) -> MappingScore:
+    """Score a mapping: lower is better for both objectives.
+
+    * ``makespan`` — max over machines of the modeled mean finishing time;
+    * ``robustness`` — negative of the FePIA minimum
+      ``min_M P(finish_M <= beta * nominal_M)`` (so minimizing improves
+      robustness).
+    """
+    if objective == "makespan":
+        per = {
+            m: _machine_mean(mapping.applications_on(m), m, workload)
+            for m in MACHINES
+        }
+        return MappingScore(mapping, objective, max(per.values()), per)
+    if objective == "robustness":
+        per = {}
+        for m in MACHINES:
+            if mapping.applications_on(m):
+                per[m] = machine_robustness(mapping, m, workload, beta=beta, grid_points=80)
+            else:
+                per[m] = 1.0
+        return MappingScore(mapping, objective, -min(per.values()), per)
+    raise ValueError(f"unknown objective {objective!r}; use 'makespan' or 'robustness'")
+
+
+def greedy_mapping(workload: Workload, name: str = "greedy") -> Mapping:
+    """List-schedule the 20 applications by modeled finishing time.
+
+    Applications are placed in decreasing order of their best-case
+    execution time; each goes to the machine whose mean finishing time
+    (with availability variation) increases least.
+    """
+    order = sorted(
+        APPLICATIONS,
+        key=lambda a: min(workload.execution_time(a, m) for m in MACHINES),
+        reverse=True,
+    )
+    loads: dict[str, list[str]] = {m: [] for m in MACHINES}
+    current: dict[str, float] = {m: 0.0 for m in MACHINES}
+    for app in order:
+        best_machine = None
+        best_cost = float("inf")
+        for m in MACHINES:
+            candidate = tuple(loads[m] + [app])
+            cost = _machine_mean(candidate, m, workload)
+            if cost < best_cost:
+                best_cost = cost
+                best_machine = m
+        loads[best_machine].append(app)
+        current[best_machine] = best_cost
+    return Mapping(name=name, assignments={m: tuple(a) for m, a in loads.items()})
+
+
+def _neighbors(mapping: Mapping):
+    """Single-move and pairwise-swap neighbours of a mapping."""
+    assignments = {m: list(a) for m, a in mapping.assignments.items()}
+    # Moves: take one app off a machine, append to another.
+    for src in MACHINES:
+        for app in assignments[src]:
+            for dst in MACHINES:
+                if dst == src:
+                    continue
+                new = {m: list(a) for m, a in assignments.items()}
+                new[src].remove(app)
+                new[dst].append(app)
+                yield Mapping(
+                    name=mapping.name,
+                    assignments={m: tuple(a) for m, a in new.items()},
+                )
+    # Swaps: exchange one app between two machines.
+    machine_list = list(MACHINES)
+    for i, ma in enumerate(machine_list):
+        for mb in machine_list[i + 1 :]:
+            for app_a in assignments[ma]:
+                for app_b in assignments[mb]:
+                    new = {m: list(a) for m, a in assignments.items()}
+                    new[ma][new[ma].index(app_a)] = app_b
+                    new[mb][new[mb].index(app_b)] = app_a
+                    yield Mapping(
+                        name=mapping.name,
+                        assignments={m: tuple(a) for m, a in new.items()},
+                    )
+
+
+def local_search(
+    start: Mapping,
+    workload: Workload,
+    objective: str = "makespan",
+    beta: float = 1.5,
+    max_rounds: int = 20,
+) -> MappingScore:
+    """First-improvement hill climbing over moves and swaps.
+
+    Returns the best score found; terminates at a local optimum or
+    after ``max_rounds`` improving rounds.
+    """
+    best = evaluate_mapping(start, workload, objective, beta)
+    for _ in range(max_rounds):
+        improved = False
+        for neighbour in _neighbors(best.mapping):
+            score = evaluate_mapping(neighbour, workload, objective, beta)
+            if score.value < best.value - 1e-9:
+                best = score
+                improved = True
+                break
+        if not improved:
+            break
+    return best

@@ -1,0 +1,125 @@
+"""FePIA-style robustness of a resource allocation.
+
+The robustness metric of the underlying study follows the FePIA
+procedure (features–perturbations–impact–analysis): a mapping is robust
+if each machine's finishing time stays within an acceptable factor of
+its nominal (full-availability, no-variation) value despite processor
+availability perturbations.
+
+We quantify, per machine::
+
+    nominal(M)    = sum of full-availability execution times of its apps
+    r_beta(M)     = P(finishing time <= beta * nominal(M))
+
+and aggregate over the mapping with the minimum (a chain is only as
+robust as its most fragile machine) and with the mean makespan view
+(the machine that finishes last dominates the allocation's makespan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.allocation.cdf import finishing_time_cdf
+from repro.allocation.mapping import MACHINES, Mapping
+from repro.allocation.workload import Workload
+
+__all__ = ["RobustnessReport", "machine_robustness", "robustness_of_mapping"]
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Robustness analysis of one mapping under one workload.
+
+    Attributes
+    ----------
+    mapping_name:
+        Which mapping (``"A"`` or ``"B"`` for the Table I pair).
+    beta:
+        The tolerated slowdown factor over the nominal finishing time.
+    per_machine:
+        ``machine -> P(finish <= beta * nominal)``.
+    nominal_times / mean_times:
+        Per machine: the nominal (unperturbed) finishing time and the
+        exact mean finishing time under availability variation.
+    robustness:
+        ``min`` over machines of ``per_machine`` — the FePIA aggregate.
+    expected_makespan:
+        ``max`` over machines of the mean finishing time.
+    """
+
+    mapping_name: str
+    beta: float
+    per_machine: dict[str, float]
+    nominal_times: dict[str, float]
+    mean_times: dict[str, float]
+
+    @property
+    def robustness(self) -> float:
+        return min(self.per_machine.values())
+
+    @property
+    def most_fragile_machine(self) -> str:
+        return min(self.per_machine, key=self.per_machine.get)
+
+    @property
+    def expected_makespan(self) -> float:
+        return max(self.mean_times.values())
+
+    @property
+    def bottleneck_machine(self) -> str:
+        return max(self.mean_times, key=self.mean_times.get)
+
+
+def _nominal_time(mapping: Mapping, machine: str, workload: Workload) -> float:
+    return sum(
+        workload.execution_time(app, machine)
+        for app in mapping.applications_on(machine)
+    )
+
+
+def machine_robustness(
+    mapping: Mapping,
+    machine: str,
+    workload: Workload,
+    beta: float = 1.5,
+    grid_points: int = 400,
+) -> float:
+    """``P(finishing time of machine <= beta * nominal time)``."""
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    nominal = _nominal_time(mapping, machine, workload)
+    deadline = beta * nominal
+    # Evaluate the CDF on a grid whose last point is exactly the deadline.
+    times = np.linspace(0.0, deadline, grid_points)
+    ft = finishing_time_cdf(mapping, machine, workload, times=times)
+    return float(ft.cdf[-1])
+
+
+def robustness_of_mapping(
+    mapping: Mapping,
+    workload: Workload,
+    beta: float = 1.5,
+    grid_points: int = 400,
+) -> RobustnessReport:
+    """Full FePIA robustness report for a mapping (all five machines)."""
+    per_machine: dict[str, float] = {}
+    nominal: dict[str, float] = {}
+    means: dict[str, float] = {}
+    for machine in MACHINES:
+        nominal[machine] = _nominal_time(mapping, machine, workload)
+        per_machine[machine] = machine_robustness(
+            mapping, machine, workload, beta, grid_points
+        )
+        from repro.allocation.cdf import finishing_time_mean
+
+        means[machine] = finishing_time_mean(mapping, machine, workload)
+    return RobustnessReport(
+        mapping_name=mapping.name,
+        beta=beta,
+        per_machine=per_machine,
+        nominal_times=nominal,
+        mean_times=means,
+    )

@@ -1,0 +1,58 @@
+"""Bio-PEPA — the biochemical-network extension of PEPA.
+
+Implements the Bio-PEPA formalism of Ciocchetta & Hillston: species
+components declare their *role* in each reaction (reactant ``<<``,
+product ``>>``, activator ``(+)``, inhibitor ``(-)``, generic modifier
+``(.)``) with stoichiometry, and each reaction carries a kinetic law
+(mass action ``fMA``, Michaelis–Menten ``fMM``, or an explicit rate
+expression).  Three analysis back-ends mirror the Bio-PEPA Eclipse
+plug-in:
+
+* deterministic ODEs (:mod:`repro.biopepa.odes`),
+* Gillespie stochastic simulation (:mod:`repro.biopepa.ssa`),
+* an explicit population CTMC for small systems
+  (:mod:`repro.biopepa.ctmc`),
+
+plus an SBML-style structured export (:mod:`repro.biopepa.sbml`) per
+the automatic-mapping work the paper cites.
+"""
+
+from repro.biopepa.model import BioModel, Reaction, Species, SpeciesRole, Role
+from repro.biopepa.parser import parse_biopepa
+from repro.biopepa.kinetics import MassAction, MichaelisMenten, Expression, KineticLaw
+from repro.biopepa.odes import ode_trajectory
+from repro.biopepa.ssa import ssa_trajectory, ssa_ensemble
+from repro.biopepa.ctmc import population_ctmc, PopulationCTMC
+from repro.biopepa.levels import levels_ctmc, LevelsCTMC
+from repro.biopepa.sbml import to_sbml
+from repro.biopepa.examples import (
+    enzyme_kinetics_source,
+    enzyme_with_inhibitor_source,
+    enzyme_kinetics_model,
+    enzyme_with_inhibitor_model,
+)
+
+__all__ = [
+    "BioModel",
+    "Reaction",
+    "Species",
+    "SpeciesRole",
+    "Role",
+    "parse_biopepa",
+    "MassAction",
+    "MichaelisMenten",
+    "Expression",
+    "KineticLaw",
+    "ode_trajectory",
+    "ssa_trajectory",
+    "ssa_ensemble",
+    "population_ctmc",
+    "PopulationCTMC",
+    "levels_ctmc",
+    "LevelsCTMC",
+    "to_sbml",
+    "enzyme_kinetics_source",
+    "enzyme_with_inhibitor_source",
+    "enzyme_kinetics_model",
+    "enzyme_with_inhibitor_model",
+]

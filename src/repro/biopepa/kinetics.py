@@ -1,0 +1,206 @@
+"""Kinetic laws for Bio-PEPA reactions.
+
+A kinetic law maps the current species amounts (and the model's
+parameters) to a reaction rate.  The three forms the Bio-PEPA user
+manual exercises:
+
+* :class:`MassAction` — ``fMA(k)``: ``k * prod(reactant^stoich)`` over
+  the reaction's reactants and activators;
+* :class:`MichaelisMenten` — ``fMM(vM, kM)``: the classical enzymatic
+  law ``vM * E * S / (kM + S)`` for a reaction with one enzyme
+  (activator or enzyme-reactant) and one substrate;
+* :class:`Expression` — an explicit arithmetic expression over species
+  names and parameters (used for inhibition laws such as
+  ``k2 * E * S / (kM * (1 + I / kI) + S)``).
+
+Laws are evaluated vectorized-friendly: amounts arrive as a dict of
+floats, and evaluation is pure so the ODE right-hand side can call it
+inside the integrator hot loop.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import KineticLawError
+
+__all__ = ["KineticLaw", "MassAction", "MichaelisMenten", "Expression"]
+
+
+class KineticLaw:
+    """Base class: a reaction-rate function."""
+
+    def rate(
+        self,
+        amounts: Mapping[str, float],
+        reaction,  # repro.biopepa.model.Reaction (circular-import avoidance)
+        parameters: Mapping[str, float],
+    ) -> float:
+        raise NotImplementedError
+
+    def referenced_names(self) -> set[str]:
+        """Parameter/species names the law references (for validation)."""
+        return set()
+
+
+@dataclass(frozen=True)
+class MassAction(KineticLaw):
+    """``fMA(k)`` — mass-action kinetics with rate constant ``k``.
+
+    ``k`` may be a literal or a parameter name.
+    """
+
+    constant: float | str
+
+    def _k(self, parameters: Mapping[str, float]) -> float:
+        if isinstance(self.constant, str):
+            try:
+                return parameters[self.constant]
+            except KeyError:
+                raise KineticLawError(
+                    f"fMA references undefined parameter {self.constant!r}"
+                ) from None
+        return float(self.constant)
+
+    def rate(self, amounts, reaction, parameters) -> float:
+        k = self._k(parameters)
+        total = k
+        for part in reaction.participants:
+            if part.role in ("reactant", "activator"):
+                x = amounts[part.species]
+                s = part.stoichiometry
+                total *= x if s == 1 else x**s
+        return total
+
+    def referenced_names(self) -> set[str]:
+        return {self.constant} if isinstance(self.constant, str) else set()
+
+
+@dataclass(frozen=True)
+class MichaelisMenten(KineticLaw):
+    """``fMM(vM, kM)`` — Michaelis–Menten enzymatic kinetics.
+
+    Requires the reaction to have exactly one activator/enzyme species
+    ``E`` and one reactant substrate ``S``; the rate is
+    ``vM * E * S / (kM + S)``.
+    """
+
+    vmax: float | str
+    km: float | str
+
+    def _param(self, value: float | str, parameters: Mapping[str, float]) -> float:
+        if isinstance(value, str):
+            try:
+                return parameters[value]
+            except KeyError:
+                raise KineticLawError(
+                    f"fMM references undefined parameter {value!r}"
+                ) from None
+        return float(value)
+
+    def rate(self, amounts, reaction, parameters) -> float:
+        vmax = self._param(self.vmax, parameters)
+        km = self._param(self.km, parameters)
+        substrates = [p for p in reaction.participants if p.role == "reactant"]
+        enzymes = [p for p in reaction.participants if p.role == "activator"]
+        if len(substrates) != 1 or len(enzymes) != 1:
+            raise KineticLawError(
+                f"fMM on reaction {reaction.name!r} needs exactly one reactant and "
+                f"one activator (enzyme); found {len(substrates)} and {len(enzymes)}"
+            )
+        s = amounts[substrates[0].species]
+        e = amounts[enzymes[0].species]
+        denom = km + s
+        return 0.0 if denom == 0.0 else vmax * e * s / denom
+
+    def referenced_names(self) -> set[str]:
+        names = set()
+        if isinstance(self.vmax, str):
+            names.add(self.vmax)
+        if isinstance(self.km, str):
+            names.add(self.km)
+        return names
+
+
+_ALLOWED_FUNCS = {"exp": math.exp, "log": math.log, "sqrt": math.sqrt, "pow": pow}
+
+_ALLOWED_NODES = (
+    ast.Expression,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Num,
+    ast.Constant,
+    ast.Name,
+    ast.Load,
+    ast.Call,
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.Pow,
+    ast.USub,
+    ast.UAdd,
+)
+
+
+@dataclass(frozen=True)
+class Expression(KineticLaw):
+    """An explicit rate expression over species and parameter names.
+
+    The expression is parsed once (Python expression grammar restricted
+    to arithmetic and ``exp/log/sqrt/pow``) and compiled for evaluation.
+    """
+
+    source: str
+
+    def __post_init__(self):
+        tree = self._parse()
+        object.__setattr__(self, "_code", compile(tree, "<kinetic-law>", "eval"))
+
+    def _parse(self) -> ast.Expression:
+        try:
+            tree = ast.parse(self.source, mode="eval")
+        except SyntaxError as exc:
+            raise KineticLawError(f"malformed kinetic expression {self.source!r}: {exc}")
+        for node in ast.walk(tree):
+            if not isinstance(node, _ALLOWED_NODES):
+                raise KineticLawError(
+                    f"kinetic expression {self.source!r} uses disallowed syntax "
+                    f"({type(node).__name__})"
+                )
+            if isinstance(node, ast.Call):
+                if not isinstance(node.func, ast.Name) or node.func.id not in _ALLOWED_FUNCS:
+                    raise KineticLawError(
+                        f"kinetic expression {self.source!r} calls a disallowed function"
+                    )
+        return tree
+
+    def rate(self, amounts, reaction, parameters) -> float:
+        env = dict(parameters)
+        env.update(amounts)
+        env.update(_ALLOWED_FUNCS)
+        try:
+            return float(eval(self._code, {"__builtins__": {}}, env))
+        except NameError as exc:
+            raise KineticLawError(
+                f"kinetic expression {self.source!r} references an undefined name: {exc}"
+            ) from exc
+        except ZeroDivisionError:
+            return 0.0
+        except (OverflowError, ValueError) as exc:
+            # e.g. exp() overflow or log() of a negative amount — surface
+            # as a model error rather than a raw math exception.
+            raise KineticLawError(
+                f"kinetic expression {self.source!r} failed to evaluate: {exc}"
+            ) from exc
+
+    def referenced_names(self) -> set[str]:
+        tree = ast.parse(self.source, mode="eval")
+        return {
+            node.id
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Name) and node.id not in _ALLOWED_FUNCS
+        }

@@ -1,0 +1,178 @@
+"""Bio-PEPA's CTMC-with-levels semantics.
+
+The Bio-PEPA plug-in's discrete analysis does not track molecule counts
+directly: each species is discretized into *levels* of concentration
+step ``h``, with a maximum amount bounding the level count.  A reaction
+moves participants by their stoichiometry *in levels*, and fires with
+rate ``law(concentrations) / h`` (one level step consumes ``h`` units of
+concentration, so dividing by ``h`` preserves the continuous flux).
+
+With ``h = 1`` and caps that never bind, the levels chain coincides
+exactly with the molecule-count CTMC of :mod:`repro.biopepa.ctmc`
+(property-tested); smaller ``h`` refines the lattice toward the ODE
+limit.  Caps are enforced by *blocking*: a reaction that would push any
+species above its maximum level (or below zero) is disabled in that
+state — the boundary behaviour of the plug-in.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.biopepa.model import BioModel
+from repro.errors import BioPepaError, StateSpaceLimitError
+from repro.numerics.steady import SteadyStateResult, steady_state
+from repro.numerics.transient import transient_distribution
+
+__all__ = ["levels_ctmc", "LevelsCTMC"]
+
+
+@dataclass(frozen=True)
+class LevelsCTMC:
+    """A CTMC over species-level vectors.
+
+    Attributes
+    ----------
+    states:
+        ``states[k]`` is the level vector of state ``k`` (species order
+        as in the model); concentrations are ``states * step``.
+    step:
+        The concentration step ``h``.
+    max_levels:
+        Per-species level cap, aligned with the species order.
+    """
+
+    model: BioModel
+    states: np.ndarray
+    generator: sp.csr_matrix
+    step: float
+    max_levels: np.ndarray
+
+    @property
+    def n_states(self) -> int:
+        return self.states.shape[0]
+
+    def concentrations(self, state_index: int) -> np.ndarray:
+        """Continuous concentrations of one state."""
+        return self.states[state_index] * self.step
+
+    def state_index(self, levels: Sequence[int]) -> int:
+        key = np.asarray(levels, dtype=np.int64)
+        matches = np.nonzero((self.states == key).all(axis=1))[0]
+        if matches.size == 0:
+            raise KeyError(f"level vector {key.tolist()} is not reachable")
+        return int(matches[0])
+
+    def steady_state(self, method: str = "direct") -> SteadyStateResult:
+        return steady_state(self.generator, method=method)
+
+    def transient(self, times: Sequence[float], pi0: np.ndarray | None = None) -> np.ndarray:
+        if pi0 is None:
+            pi0 = np.zeros(self.n_states)
+            pi0[0] = 1.0
+        return transient_distribution(self.generator, pi0, times)
+
+    def expected_concentration(self, distribution: np.ndarray, species: str) -> float:
+        """Expected concentration of ``species`` under a distribution."""
+        j = self.model.species_index(species)
+        return float(distribution @ self.states[:, j]) * self.step
+
+
+def levels_ctmc(
+    model: BioModel,
+    step: float = 1.0,
+    max_amounts: Mapping[str, float] | None = None,
+    max_states: int = 200_000,
+) -> LevelsCTMC:
+    """Enumerate the reachable levels CTMC of a Bio-PEPA model.
+
+    Parameters
+    ----------
+    step:
+        Concentration per level (``h``); must divide the initial
+        amounts to machine precision so the initial state is on the
+        lattice.
+    max_amounts:
+        Per-species maximum concentration.  Defaults to each species'
+        maximum *conceivable* amount: its initial amount plus the total
+        producible mass (sum of every other species' initial amount) —
+        a safe over-approximation that keeps closed systems exact.
+    max_states:
+        Reachability cap.
+    """
+    if step <= 0:
+        raise BioPepaError(f"level step must be positive, got {step}")
+    x0 = model.initial_state()
+    levels0 = x0 / step
+    if not np.allclose(levels0, np.round(levels0), atol=1e-9):
+        raise BioPepaError(
+            f"initial amounts are not multiples of the level step {step}"
+        )
+    levels0 = np.round(levels0).astype(np.int64)
+    total_mass = float(x0.sum())
+    caps = np.empty(len(model.species), dtype=np.int64)
+    for i, s in enumerate(model.species):
+        if max_amounts is not None and s.name in max_amounts:
+            cap_amount = float(max_amounts[s.name])
+        else:
+            cap_amount = total_mass if total_mass > 0 else s.initial
+        # Inclusive bound: the highest level whose concentration does not
+        # exceed the cap (floor, with tolerance for representation noise).
+        caps[i] = int(np.floor(cap_amount / step + 1e-9))
+        if caps[i] < levels0[i]:
+            raise BioPepaError(
+                f"species {s.name!r} starts above its maximum level"
+            )
+
+    # Per-reaction level-change vectors.
+    N = model.stoichiometry_matrix().astype(np.int64)
+
+    init = tuple(int(v) for v in levels0)
+    index: dict[tuple[int, ...], int] = {init: 0}
+    states: list[tuple[int, ...]] = [init]
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    queue: deque[int] = deque([0])
+    while queue:
+        src = queue.popleft()
+        lv = np.asarray(states[src], dtype=np.int64)
+        conc = lv.astype(np.float64) * step
+        props = model.reaction_rates(conc) / step
+        for r, a in enumerate(props):
+            if a <= 0.0:
+                continue
+            nxt = lv + N[:, r]
+            # Blocking boundaries: stay within [0, cap] on every species.
+            if (nxt < 0).any() or (nxt > caps).any():
+                continue
+            key = tuple(int(v) for v in nxt)
+            dst = index.get(key)
+            if dst is None:
+                dst = len(states)
+                if dst >= max_states:
+                    raise StateSpaceLimitError(
+                        f"levels CTMC exceeds {max_states} states"
+                    )
+                index[key] = dst
+                states.append(key)
+                queue.append(dst)
+            rows.append(src)
+            cols.append(dst)
+            vals.append(float(a))
+    n = len(states)
+    R = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    exit_rates = np.asarray(R.sum(axis=1)).ravel()
+    Q = (R - sp.diags(exit_rates, format="csr")).tocsr()
+    return LevelsCTMC(
+        model=model,
+        states=np.asarray(states, dtype=np.int64),
+        generator=Q,
+        step=step,
+        max_levels=caps,
+    )

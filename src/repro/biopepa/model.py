@@ -1,0 +1,163 @@
+"""Bio-PEPA model structure.
+
+A :class:`BioModel` is the analyzed form of a Bio-PEPA source file:
+parameters, species with initial amounts, and reactions assembled from
+the per-species role declarations (``<<`` reactant, ``>>`` product,
+``(+)`` activator, ``(-)`` inhibitor, ``(.)`` modifier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Mapping
+
+import numpy as np
+
+from repro.biopepa.kinetics import KineticLaw
+from repro.errors import BioPepaError, KineticLawError, StoichiometryError
+
+__all__ = ["Role", "SpeciesRole", "Species", "Reaction", "BioModel"]
+
+#: A species' role in a reaction.
+Role = Literal["reactant", "product", "activator", "inhibitor", "modifier"]
+
+_ROLES: tuple[str, ...] = ("reactant", "product", "activator", "inhibitor", "modifier")
+
+
+@dataclass(frozen=True)
+class SpeciesRole:
+    """One participation: ``species`` plays ``role`` with ``stoichiometry``."""
+
+    species: str
+    role: Role
+    stoichiometry: int = 1
+
+    def __post_init__(self):
+        if self.role not in _ROLES:
+            raise BioPepaError(f"unknown species role {self.role!r}")
+        if self.stoichiometry < 1:
+            raise StoichiometryError(
+                f"stoichiometry must be >= 1, got {self.stoichiometry} "
+                f"for {self.species}"
+            )
+
+
+@dataclass(frozen=True)
+class Species:
+    """A species with its initial amount (molecule count / level)."""
+
+    name: str
+    initial: float
+
+    def __post_init__(self):
+        if self.initial < 0:
+            raise BioPepaError(f"species {self.name!r} has negative initial amount")
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """A reaction: participants with roles plus a kinetic law."""
+
+    name: str
+    participants: tuple[SpeciesRole, ...]
+    law: KineticLaw
+
+    def __post_init__(self):
+        names = [p.species for p in self.participants]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise StoichiometryError(
+                f"reaction {self.name!r} lists species {dupes} in multiple roles; "
+                "combine them into a single participation"
+            )
+
+    def stoichiometry_change(self, species: str) -> int:
+        """Net change of ``species`` when the reaction fires once."""
+        delta = 0
+        for p in self.participants:
+            if p.species != species:
+                continue
+            if p.role == "reactant":
+                delta -= p.stoichiometry
+            elif p.role == "product":
+                delta += p.stoichiometry
+        return delta
+
+
+@dataclass(frozen=True)
+class BioModel:
+    """A complete Bio-PEPA model.
+
+    Attributes
+    ----------
+    species:
+        All species, in declaration order (this order defines the state
+        vector layout used by every analysis back-end).
+    reactions:
+        All reactions, in declaration order.
+    parameters:
+        Named rate constants available to kinetic laws.
+    """
+
+    species: tuple[Species, ...]
+    reactions: tuple[Reaction, ...]
+    parameters: dict[str, float] = field(default_factory=dict)
+    source_name: str = "<biopepa>"
+
+    def __post_init__(self):
+        names = [s.name for s in self.species]
+        if len(names) != len(set(names)):
+            raise BioPepaError("duplicate species definitions")
+        known = set(names)
+        for rx in self.reactions:
+            for p in rx.participants:
+                if p.species not in known:
+                    raise BioPepaError(
+                        f"reaction {rx.name!r} references undefined species "
+                        f"{p.species!r}"
+                    )
+            # Kinetic laws may reference parameters or species only.
+            for ref in rx.law.referenced_names():
+                if ref not in known and ref not in self.parameters:
+                    raise KineticLawError(
+                        f"kinetic law of {rx.name!r} references undefined name {ref!r}"
+                    )
+
+    # -- state-vector plumbing -------------------------------------------------
+
+    @property
+    def species_names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.species)
+
+    def species_index(self, name: str) -> int:
+        try:
+            return self.species_names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"unknown species {name!r}; have {self.species_names}"
+            ) from None
+
+    def initial_state(self) -> np.ndarray:
+        """Initial amounts as a dense vector in species order."""
+        return np.array([s.initial for s in self.species], dtype=np.float64)
+
+    def stoichiometry_matrix(self) -> np.ndarray:
+        """Net-change matrix ``N`` with ``N[i, r]`` the change of species
+        ``i`` when reaction ``r`` fires."""
+        N = np.zeros((len(self.species), len(self.reactions)), dtype=np.float64)
+        for r, rx in enumerate(self.reactions):
+            for i, name in enumerate(self.species_names):
+                N[i, r] = rx.stoichiometry_change(name)
+        return N
+
+    def reaction_rates(self, amounts: np.ndarray) -> np.ndarray:
+        """Evaluate every kinetic law at the given amounts vector."""
+        env: Mapping[str, float] = dict(zip(self.species_names, amounts.tolist()))
+        return np.array(
+            [rx.law.rate(env, rx, self.parameters) for rx in self.reactions],
+            dtype=np.float64,
+        )
+
+    def conserved_total(self, names: tuple[str, ...]) -> float:
+        """Sum of initial amounts of a conserved moiety (e.g. E + ES)."""
+        return float(sum(self.species[self.species_index(n)].initial for n in names))

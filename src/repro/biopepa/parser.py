@@ -1,0 +1,277 @@
+"""Parser for the Bio-PEPA concrete syntax (the subset the user-manual
+examples exercise).
+
+Grammar::
+
+    model        ::= { statement } system
+    statement    ::= parameter | kinetic_law | species_def
+    parameter    ::= IDENT '=' NUMBER ';'
+    kinetic_law  ::= 'kineticLawOf' IDENT ':' law ';'
+    law          ::= 'fMA' '(' arg ')'
+                   | 'fMM' '(' arg ',' arg ')'
+                   | raw expression text up to ';'
+    species_def  ::= IDENT '=' participation { '+' participation } ';'
+    participation::= '(' IDENT ',' NUMBER ')' role [ IDENT ]
+    role         ::= '<<' | '>>' | '(+)' | '(-)' | '(.)'
+    system       ::= IDENT '[' NUMBER ']' { '<*>' IDENT '[' NUMBER ']' }
+
+Comments: ``//`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.biopepa.kinetics import Expression, KineticLaw, MassAction, MichaelisMenten
+from repro.biopepa.model import BioModel, Reaction, Species, SpeciesRole
+from repro.errors import BioPepaError
+
+__all__ = ["parse_biopepa"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<role>\(\+\)|\(-\)|\(\.\))
+  | (?P<op><\*>|<<|>>)
+  | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<punct>[=;:(),\[\]+\-*/])
+    """,
+    re.VERBOSE,
+)
+
+_ROLE_MAP = {"<<": "reactant", ">>": "product", "(+)": "activator",
+             "(-)": "inhibitor", "(.)": "modifier"}
+
+
+class _Tok:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int):
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self):
+        return f"{self.kind}({self.text!r})"
+
+
+def _tokenize(source: str) -> list[_Tok]:
+    tokens: list[_Tok] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            line = source.count("\n", 0, pos) + 1
+            raise BioPepaError(
+                f"line {line}: unexpected character {source[pos]!r} in Bio-PEPA source"
+            )
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        text = m.group()
+        if kind == "role" or kind == "op" or kind == "punct":
+            tokens.append(_Tok(text, text, m.start()))
+        else:
+            tokens.append(_Tok(kind.upper(), text, m.start()))
+    tokens.append(_Tok("EOF", "", pos))
+    return tokens
+
+
+class _BioParser:
+    def __init__(self, source: str, source_name: str):
+        self.source = source
+        self.source_name = source_name
+        self.tokens = _tokenize(source)
+        self.pos = 0
+        self.parameters: dict[str, float] = {}
+        self.laws: dict[str, KineticLaw] = {}
+        # reaction -> list of SpeciesRole, accumulated from species defs
+        self.participations: dict[str, list[SpeciesRole]] = {}
+        self.species_order: list[str] = []
+        self.initials: dict[str, float] = {}
+
+    @property
+    def cur(self) -> _Tok:
+        return self.tokens[self.pos]
+
+    def peek(self, k: int = 1) -> _Tok:
+        return self.tokens[min(self.pos + k, len(self.tokens) - 1)]
+
+    def advance(self) -> _Tok:
+        tok = self.cur
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> _Tok:
+        if self.cur.kind != kind:
+            raise self.error(f"expected {kind!r}, found {self.cur.text!r}")
+        return self.advance()
+
+    def error(self, message: str) -> BioPepaError:
+        line = self.source.count("\n", 0, self.cur.pos) + 1
+        return BioPepaError(f"{self.source_name}:{line}: {message}")
+
+    # -- statements -----------------------------------------------------------
+
+    def parse(self) -> BioModel:
+        while True:
+            tok = self.cur
+            if tok.kind == "IDENT" and tok.text == "kineticLawOf":
+                self._kinetic_law()
+            elif tok.kind == "IDENT" and self.peek().kind == "=":
+                # parameter (= NUMBER ;) or species definition
+                if self.peek(2).kind == "NUMBER" and self.peek(3).kind == ";":
+                    self._parameter()
+                else:
+                    self._species_def()
+            else:
+                break
+        model_species = self._system()
+        if self.cur.kind == ";":
+            self.advance()
+        if self.cur.kind != "EOF":
+            raise self.error(f"unexpected trailing input {self.cur.text!r}")
+        reactions = []
+        for name, parts in self.participations.items():
+            law = self.laws.get(name)
+            if law is None:
+                raise BioPepaError(
+                    f"reaction {name!r} has no kineticLawOf declaration"
+                )
+            reactions.append(Reaction(name=name, participants=tuple(parts), law=law))
+        unused_laws = set(self.laws) - set(self.participations)
+        if unused_laws:
+            raise BioPepaError(
+                f"kineticLawOf declared for unknown reaction(s): {sorted(unused_laws)}"
+            )
+        return BioModel(
+            species=model_species,
+            reactions=tuple(reactions),
+            parameters=self.parameters,
+            source_name=self.source_name,
+        )
+
+    def _parameter(self) -> None:
+        name = self.advance().text
+        self.expect("=")
+        value = float(self.expect("NUMBER").text)
+        self.expect(";")
+        if name in self.parameters:
+            raise self.error(f"duplicate parameter {name!r}")
+        self.parameters[name] = value
+
+    def _kinetic_law(self) -> None:
+        self.advance()  # kineticLawOf
+        rname = self.expect("IDENT").text
+        self.expect(":")
+        if rname in self.laws:
+            raise self.error(f"duplicate kineticLawOf for {rname!r}")
+        if self.cur.kind == "IDENT" and self.cur.text in ("fMA", "fMM"):
+            func = self.advance().text
+            self.expect("(")
+            args = [self._law_arg()]
+            while self.cur.kind == ",":
+                self.advance()
+                args.append(self._law_arg())
+            self.expect(")")
+            self.expect(";")
+            if func == "fMA":
+                if len(args) != 1:
+                    raise self.error("fMA takes exactly one argument")
+                self.laws[rname] = MassAction(args[0])
+            else:
+                if len(args) != 2:
+                    raise self.error("fMM takes exactly two arguments (vM, kM)")
+                self.laws[rname] = MichaelisMenten(args[0], args[1])
+        else:
+            # Raw expression: capture source text until the closing ';'.
+            start = self.cur.pos
+            depth = 0
+            while not (self.cur.kind == ";" and depth == 0):
+                if self.cur.kind == "EOF":
+                    raise self.error(f"unterminated kinetic law for {rname!r}")
+                if self.cur.kind == "(":
+                    depth += 1
+                elif self.cur.kind == ")":
+                    depth -= 1
+                self.advance()
+            end = self.cur.pos
+            self.advance()  # ';'
+            self.laws[rname] = Expression(self.source[start:end].strip())
+
+    def _law_arg(self) -> float | str:
+        if self.cur.kind == "NUMBER":
+            return float(self.advance().text)
+        if self.cur.kind == "IDENT":
+            return self.advance().text
+        raise self.error("kinetic-law argument must be a number or a name")
+
+    def _species_def(self) -> None:
+        name = self.advance().text
+        self.expect("=")
+        self._participation(name)
+        while self.cur.kind == "+":
+            self.advance()
+            self._participation(name)
+        self.expect(";")
+        if name in self.species_order:
+            raise self.error(f"duplicate species definition {name!r}")
+        self.species_order.append(name)
+
+    def _participation(self, species: str) -> None:
+        self.expect("(")
+        rname = self.expect("IDENT").text
+        self.expect(",")
+        stoich_text = self.expect("NUMBER").text
+        stoich = float(stoich_text)
+        if not stoich.is_integer() or stoich < 1:
+            raise self.error(f"stoichiometry must be a positive integer, got {stoich_text}")
+        self.expect(")")
+        if self.cur.kind not in _ROLE_MAP:
+            raise self.error(
+                f"expected a role operator (<< >> (+) (-) (.)), found {self.cur.text!r}"
+            )
+        role = _ROLE_MAP[self.advance().text]
+        # Optional trailing species name (standard Bio-PEPA style).
+        if self.cur.kind == "IDENT":
+            trailing = self.advance().text
+            if trailing != species:
+                raise self.error(
+                    f"participation of {species!r} ends with mismatched name {trailing!r}"
+                )
+        self.participations.setdefault(rname, []).append(
+            SpeciesRole(species=species, role=role, stoichiometry=int(stoich))
+        )
+
+    def _system(self) -> tuple[Species, ...]:
+        entries: list[Species] = []
+        while True:
+            name = self.expect("IDENT").text
+            self.expect("[")
+            amount = float(self.expect("NUMBER").text)
+            self.expect("]")
+            entries.append(Species(name=name, initial=amount))
+            if self.cur.kind == "<*>":
+                self.advance()
+                continue
+            break
+        listed = {s.name for s in entries}
+        defined = set(self.species_order)
+        if listed != defined:
+            missing = sorted(defined - listed)
+            extra = sorted(listed - defined)
+            problems = []
+            if missing:
+                problems.append(f"species missing from the system: {missing}")
+            if extra:
+                problems.append(f"system lists undefined species: {extra}")
+            raise BioPepaError("; ".join(problems))
+        return tuple(entries)
+
+
+def parse_biopepa(source: str, source_name: str = "<biopepa>") -> BioModel:
+    """Parse Bio-PEPA source text into a :class:`BioModel`."""
+    return _BioParser(source, source_name).parse()

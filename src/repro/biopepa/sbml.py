@@ -1,0 +1,109 @@
+"""SBML-style export of Bio-PEPA models.
+
+The paper cites the automatic mapping from Bio-PEPA to the Systems
+Biology Markup Language (Ellavarason 2008).  This module emits an
+SBML Level-2-flavoured XML document: one compartment, the species list
+with initial amounts, parameters, and each reaction with its reactants,
+products, modifiers and a ``<kineticLaw>`` carrying a textual formula.
+
+Output is deterministic (declaration order, fixed attribute order) so
+that native and containerized exports can be compared byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.biopepa.kinetics import Expression, MassAction, MichaelisMenten
+from repro.biopepa.model import BioModel, Reaction
+
+__all__ = ["to_sbml", "law_formula"]
+
+
+def law_formula(reaction: Reaction) -> str:
+    """Render a reaction's kinetic law as a formula string."""
+    law = reaction.law
+    if isinstance(law, MassAction):
+        k = law.constant if isinstance(law.constant, str) else repr(float(law.constant))
+        factors = [str(k)]
+        for p in reaction.participants:
+            if p.role in ("reactant", "activator"):
+                factors.append(
+                    p.species if p.stoichiometry == 1 else f"{p.species}^{p.stoichiometry}"
+                )
+        return " * ".join(factors)
+    if isinstance(law, MichaelisMenten):
+        vmax = law.vmax if isinstance(law.vmax, str) else repr(float(law.vmax))
+        km = law.km if isinstance(law.km, str) else repr(float(law.km))
+        substrate = next(p.species for p in reaction.participants if p.role == "reactant")
+        enzyme = next(p.species for p in reaction.participants if p.role == "activator")
+        return f"{vmax} * {enzyme} * {substrate} / ({km} + {substrate})"
+    if isinstance(law, Expression):
+        return law.source
+    raise TypeError(f"cannot render kinetic law {law!r}")
+
+
+def to_sbml(model: BioModel, model_id: str | None = None) -> str:
+    """Serialize a Bio-PEPA model as SBML-style XML text."""
+    mid = model_id or model.source_name.replace("<", "").replace(">", "") or "biopepa"
+    lines: list[str] = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<sbml xmlns="http://www.sbml.org/sbml/level2/version4" level="2" version="4">',
+        f"  <model id={quoteattr(mid)}>",
+        "    <listOfCompartments>",
+        '      <compartment id="main" size="1"/>',
+        "    </listOfCompartments>",
+        "    <listOfSpecies>",
+    ]
+    for s in model.species:
+        lines.append(
+            f"      <species id={quoteattr(s.name)} compartment=\"main\" "
+            f"initialAmount=\"{s.initial:g}\"/>"
+        )
+    lines.append("    </listOfSpecies>")
+    if model.parameters:
+        lines.append("    <listOfParameters>")
+        for name in model.parameters:  # declaration order preserved by dict
+            lines.append(
+                f"      <parameter id={quoteattr(name)} "
+                f"value=\"{model.parameters[name]:g}\"/>"
+            )
+        lines.append("    </listOfParameters>")
+    lines.append("    <listOfReactions>")
+    for rx in model.reactions:
+        lines.append(f"      <reaction id={quoteattr(rx.name)} reversible=\"false\">")
+        reactants = [p for p in rx.participants if p.role == "reactant"]
+        products = [p for p in rx.participants if p.role == "product"]
+        modifiers = [p for p in rx.participants if p.role in ("activator", "inhibitor", "modifier")]
+        if reactants:
+            lines.append("        <listOfReactants>")
+            for p in reactants:
+                lines.append(
+                    f"          <speciesReference species={quoteattr(p.species)} "
+                    f"stoichiometry=\"{p.stoichiometry}\"/>"
+                )
+            lines.append("        </listOfReactants>")
+        if products:
+            lines.append("        <listOfProducts>")
+            for p in products:
+                lines.append(
+                    f"          <speciesReference species={quoteattr(p.species)} "
+                    f"stoichiometry=\"{p.stoichiometry}\"/>"
+                )
+            lines.append("        </listOfProducts>")
+        if modifiers:
+            lines.append("        <listOfModifiers>")
+            for p in modifiers:
+                lines.append(
+                    f"          <modifierSpeciesReference species={quoteattr(p.species)} "
+                    f"role=\"{p.role}\"/>"
+                )
+            lines.append("        </listOfModifiers>")
+        lines.append("        <kineticLaw>")
+        lines.append(f"          <formula>{escape(law_formula(rx))}</formula>")
+        lines.append("        </kineticLaw>")
+        lines.append("      </reaction>")
+    lines.append("    </listOfReactions>")
+    lines.append("  </model>")
+    lines.append("</sbml>")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,152 @@
+"""Gillespie stochastic simulation (SSA) of Bio-PEPA models.
+
+The discrete-stochastic interpretation: species are integer molecule
+counts; each reaction fires with propensity given by its kinetic law at
+the current counts.  The direct method is implemented with a
+pre-computed stoichiometry matrix and vectorized propensity evaluation;
+ensembles reuse one RNG stream for reproducibility.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.biopepa.model import BioModel
+from repro.errors import BioPepaError
+
+__all__ = ["ssa_trajectory", "ssa_ensemble", "SsaTrajectory", "SsaEnsemble"]
+
+
+@dataclass(frozen=True)
+class SsaTrajectory:
+    """One SSA realization sampled on a fixed grid.
+
+    ``counts[k, i]`` is the molecule count of species ``i`` at
+    ``times[k]`` (piecewise-constant interpolation of the jump process).
+    """
+
+    model: BioModel
+    times: np.ndarray
+    counts: np.ndarray
+    n_events: int
+
+    def of(self, species: str) -> np.ndarray:
+        return self.counts[:, self.model.species_index(species)]
+
+
+@dataclass(frozen=True)
+class SsaEnsemble:
+    """Mean/variance over many SSA realizations on a shared grid."""
+
+    model: BioModel
+    times: np.ndarray
+    mean: np.ndarray
+    var: np.ndarray
+    n_runs: int
+
+    def mean_of(self, species: str) -> np.ndarray:
+        return self.mean[:, self.model.species_index(species)]
+
+    def var_of(self, species: str) -> np.ndarray:
+        return self.var[:, self.model.species_index(species)]
+
+
+def _check_integer_initial(model: BioModel) -> np.ndarray:
+    x0 = model.initial_state()
+    if not np.allclose(x0, np.round(x0)):
+        raise BioPepaError(
+            "SSA requires integer initial amounts; use the ODE semantics for "
+            "continuous concentrations"
+        )
+    return np.round(x0).astype(np.float64)
+
+
+def ssa_trajectory(
+    model: BioModel,
+    times: Sequence[float],
+    seed: int | np.random.Generator = 0,
+    max_events: int = 5_000_000,
+) -> SsaTrajectory:
+    """Simulate one realization of the jump process on a time grid.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing sample grid starting at the initial time.
+    seed:
+        Integer seed or an existing :class:`numpy.random.Generator`
+        (ensembles pass a shared generator).
+    max_events:
+        Guard against runaway models (propensities that never die out).
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    grid = np.asarray(times, dtype=np.float64)
+    if grid.ndim != 1 or grid.size < 1:
+        raise BioPepaError("SSA needs a non-empty time grid")
+    if (np.diff(grid) <= 0).any():
+        raise BioPepaError("SSA time grid must be strictly increasing")
+    N = model.stoichiometry_matrix()
+    x = _check_integer_initial(model)
+    out = np.empty((grid.size, x.size))
+    t = float(grid[0])
+    out[0] = x
+    cursor = 1
+    events = 0
+    while cursor < grid.size:
+        props = model.reaction_rates(x)
+        if (props < 0).any():
+            bad = model.reactions[int(np.argmin(props))].name
+            raise BioPepaError(f"negative propensity for reaction {bad!r}")
+        total = float(props.sum())
+        if total == 0.0:
+            # No reaction can fire: the state is frozen for all time.
+            out[cursor:] = x
+            break
+        t += rng.exponential(1.0 / total)
+        # Fill every grid point passed before this event fires.
+        while cursor < grid.size and grid[cursor] <= t:
+            out[cursor] = x
+            cursor += 1
+        if cursor >= grid.size:
+            break
+        r = int(rng.choice(props.size, p=props / total))
+        x = x + N[:, r]
+        if (x < 0).any():
+            rx = model.reactions[r].name
+            raise BioPepaError(
+                f"reaction {rx!r} fired with insufficient reactants — its kinetic "
+                "law does not vanish at zero amounts"
+            )
+        events += 1
+        if events > max_events:
+            raise BioPepaError(f"SSA exceeded {max_events} events before the horizon")
+    return SsaTrajectory(model=model, times=grid, counts=out, n_events=events)
+
+
+def ssa_ensemble(
+    model: BioModel,
+    times: Sequence[float],
+    n_runs: int = 100,
+    seed: int = 0,
+) -> SsaEnsemble:
+    """Mean and variance over ``n_runs`` independent realizations.
+
+    Uses Welford-style streaming moments so memory stays at two grids
+    regardless of ensemble size.
+    """
+    if n_runs < 1:
+        raise BioPepaError("ensemble needs at least one run")
+    rng = np.random.default_rng(seed)
+    grid = np.asarray(times, dtype=np.float64)
+    mean = np.zeros((grid.size, len(model.species)))
+    m2 = np.zeros_like(mean)
+    for k in range(1, n_runs + 1):
+        traj = ssa_trajectory(model, grid, seed=rng)
+        delta = traj.counts - mean
+        mean += delta / k
+        m2 += delta * (traj.counts - mean)
+    var = m2 / n_runs if n_runs > 1 else np.zeros_like(m2)
+    return SsaEnsemble(model=model, times=grid, mean=mean, var=var, n_runs=n_runs)

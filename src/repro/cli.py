@@ -1,0 +1,359 @@
+"""Command-line interface for the repro framework.
+
+Subcommands mirror the workflow of the paper::
+
+    repro pepa solve model.pepa          # run a tool natively
+    repro biopepa ode model.biopepa 50 26
+    repro gpa fluid model.gpepa 30 31
+
+    repro build --builtin pepa -o pepa.img.json     # recipe -> image
+    repro build my.def --name mytool -o my.img.json
+    repro run pepa.img.json pepa solve model.pepa   # run inside a container
+    repro test pepa.img.json                        # %test section
+    repro validate pepa.img.json --tool pepa        # native vs container
+
+    repro hub --root ./hub push COLLECTION pepa.img.json
+    repro hub --root ./hub list COLLECTION
+    repro hub --root ./hub pull COLLECTION NAME TAG -o out.img.json
+
+    repro experiment fig3                           # regenerate a paper artifact
+
+Exit codes: 0 success, 1 library error, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_arg_parser"]
+
+
+def _read_host_files(paths: list[str]) -> dict[str, bytes]:
+    """Read host files into a bind map keyed by the path the tool sees."""
+    binds: dict[str, bytes] = {}
+    for p in paths:
+        binds[p] = pathlib.Path(p).read_bytes()
+    return binds
+
+
+def _tool_command(args: argparse.Namespace) -> int:
+    """Run one of the tools natively, binding any host files it names."""
+    from repro.core.apps import native_run
+
+    argv = [args.tool] + args.args
+    file_args = [a for a in args.args if pathlib.Path(a).is_file()]
+    result = native_run(argv, files=_read_host_files(file_args))
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    return result.exit_code
+
+
+def _build_command(args: argparse.Namespace) -> int:
+    from repro.core import Builder, get_recipe_source, parse_dockerfile, parse_recipe
+
+    if args.builtin:
+        source = get_recipe_source(args.builtin)
+        name = args.name or args.builtin
+    else:
+        if not args.recipe:
+            print("error: provide a recipe file or --builtin NAME", file=sys.stderr)
+            return 2
+        source = pathlib.Path(args.recipe).read_text()
+        name = args.name or pathlib.Path(args.recipe).stem
+    is_dockerfile = args.format == "dockerfile" or (
+        args.format == "auto"
+        and args.recipe
+        and pathlib.Path(args.recipe).name.lower().startswith("dockerfile")
+    )
+    recipe = parse_dockerfile(source) if is_dockerfile else parse_recipe(source)
+    builder = Builder(layer_mode=args.layer_mode)
+    image, report = builder.build(recipe, name=name, tag=args.tag)
+    out = args.output or f"{name}-{args.tag}.img.json"
+    digest = image.save(out)
+    print(f"built {image.reference} -> {out}")
+    print(f"  digest: {digest}")
+    print(f"  layers: {report.layers_built} built, {report.cache_hits} cached")
+    print(f"  packages: " + ", ".join(f"{n}={v}" for n, v in sorted(image.packages.items())))
+    return 0
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    from repro.core import ContainerRuntime, Image
+
+    image = Image.load(args.image)
+    runtime = ContainerRuntime()
+    file_args = [a for a in args.argv if pathlib.Path(a).is_file()]
+    binds = _read_host_files(file_args)
+    if args.argv:
+        result = runtime.run(image, args.argv, binds=binds)
+    else:
+        result = runtime.run_script(image, [], binds=binds)
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    if args.output_dir and result.files_written:
+        # Copy the run's overlay out to the host (the bind-mount-for-output
+        # workflow of real container runtimes).
+        root = pathlib.Path(args.output_dir)
+        for path, content in sorted(result.files_written.items()):
+            target = root / path.lstrip("/")
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(content)
+        print(
+            f"[{len(result.files_written)} file(s) written under {root}]",
+            file=sys.stderr,
+        )
+    return result.exit_code
+
+
+def _test_command(args: argparse.Namespace) -> int:
+    from repro.core import ContainerRuntime, Image
+
+    image = Image.load(args.image)
+    result = ContainerRuntime().run_test(image)
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    return result.exit_code
+
+
+def _validate_command(args: argparse.Namespace) -> int:
+    from repro.core import Image, validate_against_native
+    from repro.core.validation import standard_validation_cases
+
+    image = Image.load(args.image)
+    report = validate_against_native(image, standard_validation_cases(args.tool))
+    print(report.summary())
+    if not report.passed:
+        for failure in report.failures:
+            print(f"--- diff for {failure.case.name} ---")
+            print(failure.diff())
+        return 1
+    return 0
+
+
+def _sbom_command(args: argparse.Namespace) -> int:
+    from repro.core import Image, sbom_json, verify_sbom
+
+    image = Image.load(args.image)
+    if args.verify:
+        import json as json_module
+
+        document = json_module.loads(pathlib.Path(args.verify).read_text())
+        problems = verify_sbom(image, document)
+        if problems:
+            for problem in problems:
+                print(f"MISMATCH: {problem}")
+            return 1
+        print(f"{image.reference}: verified against {args.verify}")
+        return 0
+    text = sbom_json(image)
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote SBOM -> {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _sandbox_command(args: argparse.Namespace) -> int:
+    from repro.core import Image, materialize
+
+    root = materialize(Image.load(args.image), args.directory)
+    print(f"materialized {args.image} -> {root}")
+    return 0
+
+
+def _repack_command(args: argparse.Namespace) -> int:
+    from repro.core import from_sandbox
+
+    image = from_sandbox(args.directory, tag=args.tag)
+    out = args.output or f"{image.name}-{image.tag}.img.json"
+    digest = image.save(out)
+    print(f"repacked {args.directory} -> {out} (digest {digest[:12]}…)")
+    return 0
+
+
+def _diff_command(args: argparse.Namespace) -> int:
+    from repro.core import Image, diff_images
+
+    diff = diff_images(Image.load(args.left), Image.load(args.right))
+    print(diff.render())
+    return 0 if diff.identical else 1
+
+
+def _inspect_command(args: argparse.Namespace) -> int:
+    from repro.core import Image
+
+    image = Image.load(args.image)
+    print(f"{image.reference}")
+    print(f"  digest     : {image.digest()}")
+    print(f"  base       : {image.base}")
+    print(f"  layers     : {len(image.layers)}")
+    print(f"  entrypoints: {', '.join(sorted(image.entrypoints)) or '(none)'}")
+    if image.packages:
+        print("  packages   : " + ", ".join(
+            f"{n}={v}" for n, v in sorted(image.packages.items())
+        ))
+    for key, value in sorted(image.labels.items()):
+        print(f"  label {key}: {value}")
+    if image.help_text:
+        print("  help:")
+        for line in image.help_text.splitlines():
+            print(f"    {line}")
+    return 0
+
+
+def _hub_command(args: argparse.Namespace) -> int:
+    from repro.core import Hub, Image
+
+    hub = Hub(args.root)
+    if args.hub_action == "push":
+        image = Image.load(args.image)
+        entry = hub.push(args.collection, image, overwrite=args.overwrite)
+        print(f"pushed {entry.reference} digest {entry.digest[:12]}…")
+        return 0
+    if args.hub_action == "pull":
+        image = hub.pull(args.collection, args.name, args.tag)
+        out = args.output or f"{args.name}-{args.tag}.img.json"
+        image.save(out)
+        print(f"pulled {args.collection}/{args.name}:{args.tag} -> {out}")
+        return 0
+    if args.hub_action == "list":
+        for entry in hub.list_collection(args.collection):
+            print(f"{entry.reference}  digest {entry.digest[:12]}…  pulls {entry.pulls}")
+        return 0
+    print(f"error: unknown hub action {args.hub_action!r}", file=sys.stderr)
+    return 2
+
+
+def _experiment_command(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+
+    text = run_experiment(args.name)
+    sys.stdout.write(text)
+    return 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Container-based reproducibility framework for stochastic "
+        "process algebra (PEPA / Bio-PEPA / GPEPA).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for tool in ("pepa", "biopepa", "gpa"):
+        p = sub.add_parser(tool, help=f"run the {tool} tool natively")
+        p.add_argument("args", nargs=argparse.REMAINDER)
+        p.set_defaults(func=_tool_command, tool=tool)
+
+    p = sub.add_parser("build", help="build an image from a recipe")
+    p.add_argument("recipe", nargs="?", help="recipe (definition) file")
+    p.add_argument("--builtin", choices=("pepa", "biopepa", "gpanalyser"))
+    p.add_argument("--name", help="image name (defaults to recipe stem)")
+    p.add_argument("--tag", default="latest")
+    p.add_argument("--layer-mode", choices=("per-command", "single"), default="per-command")
+    p.add_argument(
+        "--format",
+        choices=("auto", "singularity", "dockerfile"),
+        default="auto",
+        help="recipe syntax; 'auto' treats files named Dockerfile* as Dockerfiles",
+    )
+    p.add_argument("-o", "--output", help="output image file (.img.json)")
+    p.set_defaults(func=_build_command)
+
+    p = sub.add_parser("diff", help="structurally compare two images")
+    p.add_argument("left")
+    p.add_argument("right")
+    p.set_defaults(func=_diff_command)
+
+    p = sub.add_parser("run", help="run a command inside an image")
+    p.add_argument("image", help="image file (.img.json)")
+    p.add_argument(
+        "--output-dir",
+        help="copy files the run writes inside the container to this host directory",
+    )
+    p.add_argument("argv", nargs=argparse.REMAINDER, help="command; empty = %%runscript")
+    p.set_defaults(func=_run_command)
+
+    p = sub.add_parser("test", help="run an image's %%test section")
+    p.add_argument("image")
+    p.set_defaults(func=_test_command)
+
+    p = sub.add_parser("sbom", help="export or verify an image's bill of materials")
+    p.add_argument("image")
+    p.add_argument("-o", "--output", help="write the SBOM JSON here (default stdout)")
+    p.add_argument("--verify", help="verify the image against this SBOM file instead")
+    p.set_defaults(func=_sbom_command)
+
+    p = sub.add_parser("sandbox", help="materialize an image to a directory tree")
+    p.add_argument("image")
+    p.add_argument("directory")
+    p.set_defaults(func=_sandbox_command)
+
+    p = sub.add_parser("repack", help="rebuild an image from a sandbox directory")
+    p.add_argument("directory")
+    p.add_argument("--tag")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_repack_command)
+
+    p = sub.add_parser("inspect", help="show an image's metadata and provenance")
+    p.add_argument("image")
+    p.set_defaults(func=_inspect_command)
+
+    p = sub.add_parser("validate", help="compare container output against native")
+    p.add_argument("image")
+    p.add_argument("--tool", choices=("pepa", "biopepa", "gpa"), required=True)
+    p.set_defaults(func=_validate_command)
+
+    p = sub.add_parser("hub", help="local registry operations")
+    p.add_argument("--root", required=True, help="hub root directory")
+    hub_sub = p.add_subparsers(dest="hub_action", required=True)
+    hp = hub_sub.add_parser("push")
+    hp.add_argument("collection")
+    hp.add_argument("image")
+    hp.add_argument("--overwrite", action="store_true")
+    hp.set_defaults(func=_hub_command)
+    hp = hub_sub.add_parser("pull")
+    hp.add_argument("collection")
+    hp.add_argument("name")
+    hp.add_argument("tag", nargs="?", default="latest")
+    hp.add_argument("-o", "--output")
+    hp.set_defaults(func=_hub_command)
+    hp = hub_sub.add_parser("list")
+    hp.add_argument("collection")
+    hp.set_defaults(func=_hub_command)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument(
+        "name",
+        choices=(
+            "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "overhead", "biopepa", "classic", "optimize", "sensitivity", "all",
+        ),
+    )
+    p.set_defaults(func=_experiment_command)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

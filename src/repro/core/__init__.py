@@ -1,0 +1,77 @@
+"""The container-based reproducibility framework (the paper's contribution).
+
+A pure-Python reimplementation of the Singularity workflow the paper
+builds on — recipes, images, a build engine with a simulated package
+universe, an isolated runtime, a hub with collections, and the
+native-vs-containerized validation harness:
+
+* :mod:`repro.core.recipe` — Singularity-style definition files
+  (``Bootstrap:``/``From:``/``%help``/``%labels``/``%environment``/
+  ``%post``/``%runscript``/``%test``);
+* :mod:`repro.core.packages` — the simulated package universe with the
+  pinned-dependency archaeology the paper describes (JDK versions,
+  Eclipse versions, the PEPA/Bio-PEPA plug-ins, GPAnalyser);
+* :mod:`repro.core.image` — content-addressed layered images;
+* :mod:`repro.core.builder` — recipe → image, with a layer cache;
+* :mod:`repro.core.runtime` — isolated execution (container env only,
+  overlay filesystem, bind mounts), Singularity's no-privilege model:
+  the runtime never mutates the image or the host;
+* :mod:`repro.core.apps` — the containerized applications (``pepa``,
+  ``biopepa``, ``gpa``) with deterministic text output;
+* :mod:`repro.core.hub` — a directory-backed registry with collections
+  (the Singularity-Hub stand-in of Fig. 6);
+* :mod:`repro.core.validation` — byte-for-byte comparison of
+  containerized vs native runs (the paper's validation methodology).
+"""
+
+from repro.core.recipe import Recipe, parse_recipe
+from repro.core.packages import (
+    PackageUniverse,
+    Package,
+    default_universe,
+)
+from repro.core.image import Image, Layer, FileEntry
+from repro.core.builder import Builder, BuildReport
+from repro.core.runtime import ContainerRuntime, RunResult
+from repro.core.hub import Hub, HubEntry
+from repro.core.validation import (
+    validate_against_native,
+    ValidationReport,
+    ValidationCase,
+)
+from repro.core.recipes import BUILTIN_RECIPES, get_recipe_source
+from repro.core.dockerfile import parse_dockerfile, dockerfile_to_recipe
+from repro.core.diff import diff_images, ImageDiff
+from repro.core.sandbox import materialize, from_sandbox
+from repro.core.sbom import sbom, sbom_json, verify_sbom
+
+__all__ = [
+    "Recipe",
+    "parse_recipe",
+    "PackageUniverse",
+    "Package",
+    "default_universe",
+    "Image",
+    "Layer",
+    "FileEntry",
+    "Builder",
+    "BuildReport",
+    "ContainerRuntime",
+    "RunResult",
+    "Hub",
+    "HubEntry",
+    "validate_against_native",
+    "ValidationReport",
+    "ValidationCase",
+    "BUILTIN_RECIPES",
+    "get_recipe_source",
+    "parse_dockerfile",
+    "dockerfile_to_recipe",
+    "diff_images",
+    "ImageDiff",
+    "materialize",
+    "from_sandbox",
+    "sbom",
+    "sbom_json",
+    "verify_sbom",
+]

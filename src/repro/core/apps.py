@@ -1,0 +1,362 @@
+"""The containerized applications: ``pepa``, ``biopepa``, ``gpa``.
+
+These are the runtime implementations of the tools the paper's
+containers wrap.  Each is a function ``app(context) -> exit_code``
+reading its model file from the container filesystem (usually a bind
+mount) and writing deterministic, fixed-precision text to stdout — the
+property that lets the validation harness compare containerized and
+native runs byte-for-byte.
+
+Subcommands
+-----------
+``pepa``
+    ``solve FILE`` (steady state), ``derive FILE`` (states +
+    transitions), ``cdf FILE LEAF LOCAL T_END N`` (passage-time CDF),
+    ``graph FILE [LEAF]`` (DOT derivation/activity graph),
+    ``throughput FILE ACTION``, ``selftest``.
+``biopepa``
+    ``ode FILE T_END N``, ``ssa FILE T_END N SEED``, ``sbml FILE``,
+    ``selftest``.
+``gpa``
+    ``fluid FILE T_END N``, ``throughput FILE ACTION T_END N``,
+    ``selftest``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.runtime import ExecutionContext
+
+__all__ = ["pepa_app", "biopepa_app", "gpa_app", "default_applications", "native_run"]
+
+
+def _fmt(x: float) -> str:
+    """Fixed-width deterministic float formatting for tool output."""
+    return f"{x:.10g}"
+
+
+def _usage(ctx: ExecutionContext, message: str) -> int:
+    ctx.error(message)
+    return 2
+
+
+# ---------------------------------------------------------------------------
+# pepa
+# ---------------------------------------------------------------------------
+
+
+def pepa_app(ctx: ExecutionContext) -> int:
+    """The containerized PEPA tool (stand-in for the Eclipse plug-in)."""
+    from repro.pepa import (
+        ctmc_of,
+        derive,
+        derivation_graph,
+        activity_graph,
+        parse_model,
+        passage_time_cdf,
+        throughput,
+        to_dot,
+    )
+
+    args = ctx.argv[1:]
+    if not args:
+        return _usage(
+            ctx,
+            "usage: pepa solve|derive|cdf|graph|throughput|check|prism|selftest ...",
+        )
+    sub = args[0]
+
+    if sub == "selftest":
+        from repro.pepa.models import get_model
+
+        space = derive(get_model("simple_validation"))
+        pi = ctmc_of(space).steady_state().pi
+        assert abs(float(pi.sum()) - 1.0) < 1e-9
+        ctx.print(f"PEPA selftest OK ({space.size} states)")
+        return 0
+
+    if len(args) < 2:
+        return _usage(ctx, f"pepa {sub}: missing model file")
+    model = parse_model(ctx.read_text(args[1]), source_name=args[1])
+
+    if sub == "derive":
+        space = derive(model)
+        ctx.print(f"states: {space.size}")
+        for i in range(space.size):
+            ctx.print(f"  {i}: {space.state_label(i)}")
+        ctx.print(f"transitions: {len(space.transitions)}")
+        for tr in space.transitions:
+            ctx.print(f"  {tr.source} --({tr.action}, {_fmt(tr.rate)})--> {tr.target}")
+        return 0
+
+    if sub == "solve":
+        space = derive(model)
+        chain = ctmc_of(space)
+        result = chain.steady_state()
+        ctx.print(f"steady-state distribution ({space.size} states):")
+        for i, p in enumerate(result.pi):
+            ctx.print(f"  {space.state_label(i)}: {_fmt(float(p))}")
+        return 0
+
+    if sub == "throughput":
+        if len(args) < 3:
+            return _usage(ctx, "usage: pepa throughput FILE ACTION")
+        chain = ctmc_of(derive(model))
+        ctx.print(f"throughput({args[2]}) = {_fmt(throughput(chain, args[2]))}")
+        return 0
+
+    if sub == "cdf":
+        if len(args) < 6:
+            return _usage(ctx, "usage: pepa cdf FILE LEAF LOCAL T_END N")
+        leaf, local = args[2], args[3]
+        t_end, n = float(args[4]), int(args[5])
+        chain = ctmc_of(derive(model))
+        times = np.linspace(0.0, t_end, n)
+        result = passage_time_cdf(chain, (leaf, local), times)
+        ctx.print(f"passage-time CDF to ({leaf}, {local}); mean = {_fmt(result.mean)}")
+        for t, p in zip(result.times, result.cdf):
+            ctx.print(f"  {_fmt(float(t))} {_fmt(float(p))}")
+        return 0
+
+    if sub == "graph":
+        space = derive(model)
+        if len(args) >= 3:
+            graph = activity_graph(space, args[2])
+        else:
+            graph = derivation_graph(space)
+        ctx.print(to_dot(graph).rstrip("\n"))
+        return 0
+
+    if sub == "check":
+        from repro.pepa import check_model
+
+        warnings = check_model(model)
+        if warnings:
+            for w in warnings:
+                ctx.print(f"warning: {w}")
+        ctx.print(f"{args[1]}: {len(warnings)} warning(s), no errors")
+        return 0
+
+    if sub == "prism":
+        from repro.pepa.export import to_prism_lab, to_prism_sta, to_prism_tra
+
+        chain = ctmc_of(derive(model))
+        base = args[2] if len(args) >= 3 else "/out/model"
+        ctx.write_text(f"{base}.tra", to_prism_tra(chain))
+        ctx.write_text(f"{base}.sta", to_prism_sta(chain))
+        ctx.write_text(f"{base}.lab", to_prism_lab(chain))
+        ctx.print(f"wrote {base}.tra {base}.sta {base}.lab "
+                  f"({chain.n_states} states)")
+        return 0
+
+    return _usage(ctx, f"pepa: unknown subcommand {sub!r}")
+
+
+# ---------------------------------------------------------------------------
+# biopepa
+# ---------------------------------------------------------------------------
+
+
+def biopepa_app(ctx: ExecutionContext) -> int:
+    """The containerized Bio-PEPA tool (stand-in for the Eclipse plug-in)."""
+    from repro.biopepa import ode_trajectory, parse_biopepa, ssa_trajectory, to_sbml
+
+    args = ctx.argv[1:]
+    if not args:
+        return _usage(ctx, "usage: biopepa ode|ssa|sbml|selftest ...")
+    sub = args[0]
+
+    if sub == "selftest":
+        from repro.biopepa.examples import enzyme_kinetics_model
+
+        model = enzyme_kinetics_model()
+        traj = ode_trajectory(model, np.linspace(0.0, 10.0, 11), method="rk4")
+        assert traj.of("P")[-1] > 0
+        ctx.print(f"Bio-PEPA selftest OK ({len(model.reactions)} reactions)")
+        return 0
+
+    if len(args) < 2:
+        return _usage(ctx, f"biopepa {sub}: missing model file")
+    model = parse_biopepa(ctx.read_text(args[1]), source_name=args[1])
+
+    if sub == "ode":
+        if len(args) < 4:
+            return _usage(ctx, "usage: biopepa ode FILE T_END N")
+        times = np.linspace(0.0, float(args[2]), int(args[3]))
+        # rk4: bit-identical across platforms/runs, the validation path.
+        traj = ode_trajectory(model, times, method="rk4")
+        ctx.print("time " + " ".join(model.species_names))
+        for k, t in enumerate(times):
+            row = " ".join(_fmt(float(v)) for v in traj.amounts[k])
+            ctx.print(f"{_fmt(float(t))} {row}")
+        return 0
+
+    if sub == "ssa":
+        if len(args) < 5:
+            return _usage(ctx, "usage: biopepa ssa FILE T_END N SEED")
+        times = np.linspace(0.0, float(args[2]), int(args[3]))
+        traj = ssa_trajectory(model, times, seed=int(args[4]))
+        ctx.print("time " + " ".join(model.species_names))
+        for k, t in enumerate(times):
+            row = " ".join(_fmt(float(v)) for v in traj.counts[k])
+            ctx.print(f"{_fmt(float(t))} {row}")
+        ctx.print(f"events {traj.n_events}")
+        return 0
+
+    if sub == "sbml":
+        ctx.print(to_sbml(model).rstrip("\n"))
+        return 0
+
+    if sub == "levels":
+        if len(args) < 5:
+            return _usage(ctx, "usage: biopepa levels FILE STEP T_END N")
+        from repro.biopepa.levels import levels_ctmc
+
+        step = float(args[2])
+        chain = levels_ctmc(model, step=step)
+        times = np.linspace(0.0, float(args[3]), int(args[4]))
+        dist = chain.transient(times)
+        ctx.print(f"# levels CTMC: {chain.n_states} states at step {_fmt(step)}")
+        ctx.print("time " + " ".join(model.species_names))
+        for k, t in enumerate(times):
+            row = " ".join(
+                _fmt(chain.expected_concentration(dist[k], s))
+                for s in model.species_names
+            )
+            ctx.print(f"{_fmt(float(t))} {row}")
+        return 0
+
+    return _usage(ctx, f"biopepa: unknown subcommand {sub!r}")
+
+
+# ---------------------------------------------------------------------------
+# gpa
+# ---------------------------------------------------------------------------
+
+
+def gpa_app(ctx: ExecutionContext) -> int:
+    """The containerized GPAnalyser tool."""
+    from repro.gpepa import fluid_trajectory, parse_gpepa
+    from repro.gpepa.rewards import action_throughput_series
+
+    args = ctx.argv[1:]
+    if not args:
+        return _usage(ctx, "usage: gpa fluid|throughput|selftest ...")
+    sub = args[0]
+
+    if sub == "selftest":
+        from repro.gpepa.examples import client_server_scalability
+
+        model = client_server_scalability(20, 2)
+        traj = fluid_trajectory(model, np.linspace(0.0, 5.0, 6), method="rk4")
+        total = traj.group_series("Clients")
+        assert abs(float(total[-1]) - 20.0) < 1e-6
+        ctx.print(f"GPA selftest OK ({model.n_states} fluid states)")
+        return 0
+
+    if len(args) < 2:
+        return _usage(ctx, f"gpa {sub}: missing model file")
+    model = parse_gpepa(ctx.read_text(args[1]), source_name=args[1])
+
+    if sub == "fluid":
+        if len(args) < 4:
+            return _usage(ctx, "usage: gpa fluid FILE T_END N")
+        times = np.linspace(0.0, float(args[2]), int(args[3]))
+        traj = fluid_trajectory(model, times, method="rk4")
+        header = " ".join(f"{g}.{d}" for g, d in model.state_names)
+        ctx.print("time " + header)
+        for k, t in enumerate(times):
+            row = " ".join(_fmt(float(v)) for v in traj.counts[k])
+            ctx.print(f"{_fmt(float(t))} {row}")
+        return 0
+
+    if sub == "throughput":
+        if len(args) < 5:
+            return _usage(ctx, "usage: gpa throughput FILE ACTION T_END N")
+        times = np.linspace(0.0, float(args[3]), int(args[4]))
+        traj = fluid_trajectory(model, times, method="rk4")
+        series = action_throughput_series(traj, args[2])
+        ctx.print(f"time rate({args[2]})")
+        for t, v in zip(times, series):
+            ctx.print(f"{_fmt(float(t))} {_fmt(float(v))}")
+        return 0
+
+    if sub == "moments":
+        if len(args) < 4:
+            return _usage(ctx, "usage: gpa moments FILE T_END N")
+        from repro.gpepa.lna import lna_trajectory
+
+        times = np.linspace(0.0, float(args[2]), int(args[3]))
+        lna = lna_trajectory(model, times)
+        header = " ".join(
+            f"{g}.{d} sd({g}.{d})" for g, d in model.state_names
+        )
+        ctx.print("time " + header)
+        for k, t in enumerate(times):
+            cells = []
+            for i in range(model.n_states):
+                sd = float(np.sqrt(max(lna.covariance[k, i, i], 0.0)))
+                cells.append(f"{_fmt(float(lna.mean[k, i]))} {_fmt(sd)}")
+            ctx.print(f"{_fmt(float(t))} " + " ".join(cells))
+        return 0
+
+    if sub == "simulate":
+        if len(args) < 6:
+            return _usage(ctx, "usage: gpa simulate FILE T_END N RUNS SEED")
+        from repro.gpepa.simulation import gssa_ensemble
+
+        times = np.linspace(0.0, float(args[2]), int(args[3]))
+        ens = gssa_ensemble(model, times, n_runs=int(args[4]), seed=int(args[5]))
+        header = " ".join(f"{g}.{d}" for g, d in model.state_names)
+        ctx.print(f"# ensemble mean over {ens.n_runs} runs")
+        ctx.print("time " + header)
+        for k, t in enumerate(times):
+            row = " ".join(_fmt(float(v)) for v in ens.mean[k])
+            ctx.print(f"{_fmt(float(t))} {row}")
+        return 0
+
+    return _usage(ctx, f"gpa: unknown subcommand {sub!r}")
+
+
+# ---------------------------------------------------------------------------
+# registry and native execution
+# ---------------------------------------------------------------------------
+
+
+def default_applications() -> dict:
+    """Entrypoint registry used by :class:`repro.core.runtime.ContainerRuntime`."""
+    return {"pepa": pepa_app, "biopepa": biopepa_app, "gpa": gpa_app}
+
+
+def native_run(argv: list[str], files: dict[str, bytes] | None = None) -> "RunResult":
+    """Run a tool *natively* (no container): same implementation, host-style
+    context.  This is the reference side of the paper's validation
+    methodology — container output must equal this output exactly.
+    """
+    from repro.core.runtime import RunResult
+
+    if not argv:
+        raise ValueError("empty command line")
+    apps = default_applications()
+    command = argv[0]
+    if command not in apps:
+        raise KeyError(f"no native tool named {command!r}; have {sorted(apps)}")
+    ctx = ExecutionContext(
+        argv=list(argv),
+        environment={"PATH": "/usr/bin:/bin", "HOME": "/home/user"},
+        image_files={},
+        binds=dict(files or {}),
+    )
+    try:
+        exit_code = apps[command](ctx)
+    except Exception as exc:
+        ctx.error(f"{command}: {type(exc).__name__}: {exc}")
+        exit_code = 1
+    return RunResult(
+        argv=tuple(argv),
+        exit_code=int(exit_code or 0),
+        stdout=ctx.stdout,
+        stderr=ctx.stderr,
+        files_written=dict(ctx.overlay),
+    )

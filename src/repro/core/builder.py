@@ -1,0 +1,313 @@
+"""The build engine: recipe → image.
+
+Build model:
+
+* the ``Bootstrap:``/``From:`` header selects a **base image** from the
+  builder's base registry (minimal OS layers for the distributions the
+  paper tested on);
+* each ``%post`` line is interpreted by a small command language and
+  produces one layer (design D4; ``layer_mode="single"`` collapses all
+  of %post into one layer for the ablation):
+
+  ========================  ==================================================
+  command                   effect
+  ========================  ==================================================
+  ``apt-get install R`` /   resolve requirement ``R`` in the package universe
+  ``yum install R`` /       (transitively) and install every resolved package
+  ``install R``
+  ``mkdir -p PATH``         create a directory marker
+  ``echo TEXT > PATH``      write a file
+  ``cp SRC DST``            copy a file already present in the image
+  ``chmod MODE PATH``       change a file's mode bits
+  ========================  ==================================================
+
+* a **layer cache** keyed on ``(parent digest, command)`` makes
+  rebuilds of unchanged recipe prefixes instant — the property that
+  lets recipe authors iterate on the tail of a recipe.
+
+The builder never executes host commands: everything happens in the
+image's overlay dictionaries, so builds are deterministic functions of
+(recipe, universe, base registry).
+"""
+
+from __future__ import annotations
+
+import shlex
+import time
+from dataclasses import dataclass, field
+
+from repro.core.image import FileEntry, Image, Layer
+from repro.core.packages import PackageUniverse, default_universe
+from repro.core.recipe import Recipe, parse_recipe
+from repro.errors import BuildError
+
+__all__ = ["Builder", "BuildReport", "default_base_images"]
+
+
+def default_base_images() -> dict[str, Layer]:
+    """Minimal OS base layers for the platforms the paper tested on."""
+    bases = {
+        "ubuntu:18.04": ("Ubuntu", "18.04", "bionic"),
+        "ubuntu:16.04": ("Ubuntu", "16.04", "xenial"),
+        "centos:7.4": ("CentOS Linux", "7.4", "core"),
+        "centos:7.6": ("CentOS Linux", "7.6", "core"),
+        "debian:9.6": ("Debian GNU/Linux", "9.6", "stretch"),
+        "linuxmint:19.1": ("Linux Mint", "19.1", "tessa"),
+    }
+    layers: dict[str, Layer] = {}
+    for ref, (name, version, codename) in bases.items():
+        os_release = (
+            f'NAME="{name}"\nVERSION_ID="{version}"\nVERSION_CODENAME={codename}\n'
+        )
+        layers[ref] = Layer(
+            command=f"bootstrap {ref}",
+            files={
+                "/etc/os-release": FileEntry(os_release.encode()),
+                "/bin/sh": FileEntry(b"minimal shell", mode=0o755),
+            },
+        )
+    return layers
+
+
+@dataclass
+class BuildReport:
+    """What happened during a build: per-step provenance and cache hits."""
+
+    reference: str
+    steps: list[str] = field(default_factory=list)
+    cache_hits: int = 0
+    layers_built: int = 0
+    elapsed_seconds: float = 0.0
+    installed: dict[str, str] = field(default_factory=dict)
+
+
+class Builder:
+    """Builds images from recipes against a package universe."""
+
+    def __init__(
+        self,
+        universe: PackageUniverse | None = None,
+        base_images: dict[str, Layer] | None = None,
+        layer_mode: str = "per-command",
+    ):
+        if layer_mode not in ("per-command", "single"):
+            raise ValueError(f"layer_mode must be 'per-command' or 'single', got {layer_mode!r}")
+        self.universe = universe if universe is not None else default_universe()
+        self.base_images = base_images if base_images is not None else default_base_images()
+        self.layer_mode = layer_mode
+        # Layer cache: (parent_digest, command) -> (Layer, env, entrypoints, packages)
+        self._cache: dict[tuple[str, str], tuple[Layer, dict, dict, dict]] = {}
+
+    # -- command interpreter ---------------------------------------------------
+
+    def _run_command(
+        self,
+        command: str,
+        current_files: dict[str, FileEntry],
+        env: dict[str, str],
+        entrypoints: dict[str, str],
+        packages: dict[str, str],
+    ) -> dict[str, FileEntry]:
+        """Interpret one %post command; returns the files it writes."""
+        try:
+            argv = shlex.split(command)
+        except ValueError as exc:
+            raise BuildError(f"cannot parse build command {command!r}: {exc}") from exc
+        if not argv:
+            return {}
+        new_files: dict[str, FileEntry] = {}
+        head = argv[0]
+        if head in ("apt-get", "yum", "dnf", "apk"):
+            if len(argv) < 3 or argv[1] not in ("install", "add"):
+                raise BuildError(
+                    f"only '{head} install <pkg>' is supported, got {command!r}"
+                )
+            requirements = [a for a in argv[2:] if not a.startswith("-")]
+            self._install(requirements, env, entrypoints, packages, new_files)
+        elif head == "install":
+            if len(argv) < 2:
+                raise BuildError("install needs at least one requirement")
+            self._install(argv[1:], env, entrypoints, packages, new_files)
+        elif head == "mkdir":
+            paths = [a for a in argv[1:] if not a.startswith("-")]
+            if not paths:
+                raise BuildError(f"mkdir needs a path in {command!r}")
+            for path in paths:
+                new_files[path.rstrip("/") + "/.dir"] = FileEntry(b"", mode=0o755)
+        elif head == "echo":
+            # echo TEXT... > PATH
+            if ">" not in argv:
+                raise BuildError(
+                    f"echo without redirection has no effect in a build: {command!r}"
+                )
+            split = argv.index(">")
+            text = " ".join(argv[1:split])
+            targets = argv[split + 1 :]
+            if len(targets) != 1:
+                raise BuildError(f"echo must redirect to exactly one path: {command!r}")
+            new_files[targets[0]] = FileEntry((text + "\n").encode())
+        elif head == "cp":
+            if len(argv) != 3:
+                raise BuildError(f"cp takes exactly SRC DST: {command!r}")
+            src, dst = argv[1], argv[2]
+            entry = current_files.get(src)
+            if entry is None:
+                raise BuildError(f"cp source {src!r} does not exist in the image")
+            new_files[dst] = entry
+        elif head == "chmod":
+            if len(argv) != 3:
+                raise BuildError(f"chmod takes MODE PATH: {command!r}")
+            try:
+                mode = int(argv[1], 8)
+            except ValueError:
+                raise BuildError(f"bad chmod mode {argv[1]!r}") from None
+            entry = current_files.get(argv[2])
+            if entry is None:
+                raise BuildError(f"chmod target {argv[2]!r} does not exist in the image")
+            new_files[argv[2]] = FileEntry(entry.content, mode=mode)
+        else:
+            raise BuildError(
+                f"unknown build command {head!r} in {command!r}; supported: "
+                "apt-get/yum/install, mkdir, echo >, cp, chmod"
+            )
+        return new_files
+
+    def _install(
+        self,
+        requirements: list[str],
+        env: dict[str, str],
+        entrypoints: dict[str, str],
+        packages: dict[str, str],
+        new_files: dict[str, FileEntry],
+    ) -> None:
+        installed_objs = {
+            name: self.universe.candidates(f"{name}={version}")[-1]
+            for name, version in packages.items()
+        }
+        resolved = self.universe.resolve(requirements, installed=installed_objs)
+        for pkg in resolved:
+            root = pkg.install_root()
+            for rel, content in pkg.files.items():
+                new_files[f"{root}/{rel}"] = FileEntry(content.encode())
+            new_files[f"{root}/.manifest"] = FileEntry(
+                f"{pkg.name} {pkg.version}\n".encode()
+            )
+            env.update(pkg.environment)
+            for ep in pkg.entrypoints:
+                entrypoints[ep] = pkg.key
+            packages[pkg.name] = pkg.version
+
+    # -- build ----------------------------------------------------------------
+
+    def build(
+        self,
+        recipe: Recipe | str,
+        name: str,
+        tag: str = "latest",
+        host_files: dict[str, bytes] | None = None,
+    ) -> tuple[Image, BuildReport]:
+        """Build an image from a recipe.
+
+        Parameters
+        ----------
+        recipe:
+            A parsed :class:`Recipe` or its source text.
+        name / tag:
+            Image reference to assign.
+        host_files:
+            Contents for ``%files`` sources (``host path -> bytes``);
+            required if the recipe has a ``%files`` section.
+
+        Returns
+        -------
+        (image, report)
+        """
+        t0 = time.perf_counter()
+        if isinstance(recipe, str):
+            recipe = parse_recipe(recipe)
+        base_layer = self.base_images.get(recipe.base)
+        if base_layer is None:
+            raise BuildError(
+                f"unknown base image {recipe.base!r}; known: "
+                + ", ".join(sorted(self.base_images))
+            )
+        report = BuildReport(reference=f"{name}:{tag}")
+        layers: list[Layer] = [base_layer]
+        env: dict[str, str] = {}
+        entrypoints: dict[str, str] = {}
+        packages: dict[str, str] = {}
+        current_files = dict(base_layer.files)
+        parent_digest = base_layer.digest()
+
+        # %files first (Singularity copies them before %post).
+        host_files = host_files or {}
+        for src, dst in recipe.files:
+            if src not in host_files:
+                raise BuildError(
+                    f"%files source {src!r} was not provided to the builder"
+                )
+            layer = Layer(
+                command=f"files {src} {dst}",
+                files={dst: FileEntry(host_files[src])},
+            )
+            layers.append(layer)
+            current_files.update(layer.files)
+            parent_digest = layer.digest()
+            report.steps.append(f"files {src} -> {dst}")
+            report.layers_built += 1
+
+        pending: dict[str, FileEntry] = {}
+        for command in recipe.post:
+            cache_key = (parent_digest, command)
+            cached = self._cache.get(cache_key)
+            if cached is not None and self.layer_mode == "per-command":
+                layer, cenv, ceps, cpkgs = cached
+                env.update(cenv)
+                entrypoints.update(ceps)
+                packages.update(cpkgs)
+                layers.append(layer)
+                current_files.update(layer.files)
+                parent_digest = layer.digest()
+                report.steps.append(f"CACHED {command}")
+                report.cache_hits += 1
+                continue
+            env_before = dict(env)
+            eps_before = dict(entrypoints)
+            pkgs_before = dict(packages)
+            files = self._run_command(command, current_files, env, entrypoints, packages)
+            current_files.update(files)
+            report.steps.append(command)
+            if self.layer_mode == "per-command":
+                layer = Layer(command=command, files=files)
+                layers.append(layer)
+                self._cache[(parent_digest, command)] = (
+                    layer,
+                    {k: v for k, v in env.items() if env_before.get(k) != v},
+                    {k: v for k, v in entrypoints.items() if eps_before.get(k) != v},
+                    {k: v for k, v in packages.items() if pkgs_before.get(k) != v},
+                )
+                parent_digest = layer.digest()
+                report.layers_built += 1
+            else:
+                pending.update(files)
+        if self.layer_mode == "single" and (pending or recipe.post):
+            layers.append(Layer(command="%post", files=pending))
+            report.layers_built += 1
+        env.update(recipe.environment)
+
+        image = Image(
+            name=name,
+            tag=tag,
+            base=recipe.base,
+            layers=layers,
+            environment=env,
+            entrypoints=entrypoints,
+            runscript=recipe.runscript,
+            test_script=recipe.test,
+            labels=dict(recipe.labels),
+            help_text=recipe.help_text,
+            packages=packages,
+        )
+        report.installed = dict(packages)
+        report.elapsed_seconds = time.perf_counter() - t0
+        return image, report

@@ -1,0 +1,125 @@
+"""Image diffing for reproducibility audits.
+
+When a rebuilt container stops matching published results, the first
+question is *what changed*.  :func:`diff_images` compares two images
+structurally — packages, environment, entrypoints, labels and the
+merged filesystem — and renders a human-readable report.  Two images
+with equal digests always diff empty (property-tested); two images that
+diff empty on all dimensions here may still have different digests
+(layer boundaries and provenance commands are identity-relevant but not
+behaviour-relevant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.image import Image
+
+__all__ = ["ImageDiff", "diff_images"]
+
+
+@dataclass(frozen=True)
+class _MapDiff:
+    """Added / removed / changed keys between two string maps."""
+
+    added: dict[str, str] = field(default_factory=dict)
+    removed: dict[str, str] = field(default_factory=dict)
+    changed: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+
+def _diff_maps(left: dict[str, str], right: dict[str, str]) -> _MapDiff:
+    added = {k: v for k, v in right.items() if k not in left}
+    removed = {k: v for k, v in left.items() if k not in right}
+    changed = {
+        k: (left[k], right[k])
+        for k in left.keys() & right.keys()
+        if left[k] != right[k]
+    }
+    return _MapDiff(added=added, removed=removed, changed=changed)
+
+
+@dataclass(frozen=True)
+class ImageDiff:
+    """Structural difference between two images."""
+
+    left_reference: str
+    right_reference: str
+    packages: _MapDiff
+    environment: _MapDiff
+    entrypoints: _MapDiff
+    labels: _MapDiff
+    files_added: tuple[str, ...]
+    files_removed: tuple[str, ...]
+    files_changed: tuple[str, ...]
+
+    @property
+    def identical(self) -> bool:
+        """True when every compared dimension matches."""
+        return (
+            self.packages.empty
+            and self.environment.empty
+            and self.entrypoints.empty
+            and self.labels.empty
+            and not self.files_added
+            and not self.files_removed
+            and not self.files_changed
+        )
+
+    def render(self) -> str:
+        """Human-readable report (empty-diff renders a single line)."""
+        lines = [f"diff {self.left_reference} -> {self.right_reference}"]
+        if self.identical:
+            lines.append("  images are behaviourally identical")
+            return "\n".join(lines)
+
+        def emit_map(name: str, d: _MapDiff) -> None:
+            for k, v in sorted(d.added.items()):
+                lines.append(f"  + {name} {k}={v}")
+            for k, v in sorted(d.removed.items()):
+                lines.append(f"  - {name} {k}={v}")
+            for k, (old, new) in sorted(d.changed.items()):
+                lines.append(f"  ~ {name} {k}: {old} -> {new}")
+
+        emit_map("package", self.packages)
+        emit_map("env", self.environment)
+        emit_map("entrypoint", self.entrypoints)
+        emit_map("label", self.labels)
+        for path in self.files_added:
+            lines.append(f"  + file {path}")
+        for path in self.files_removed:
+            lines.append(f"  - file {path}")
+        for path in self.files_changed:
+            lines.append(f"  ~ file {path}")
+        return "\n".join(lines)
+
+
+def diff_images(left: Image, right: Image) -> ImageDiff:
+    """Compare two images structurally (see module docstring)."""
+    lfiles = left.merged_files()
+    rfiles = right.merged_files()
+    added = tuple(sorted(set(rfiles) - set(lfiles)))
+    removed = tuple(sorted(set(lfiles) - set(rfiles)))
+    changed = tuple(
+        sorted(
+            path
+            for path in set(lfiles) & set(rfiles)
+            if lfiles[path].content != rfiles[path].content
+            or lfiles[path].mode != rfiles[path].mode
+        )
+    )
+    return ImageDiff(
+        left_reference=left.reference,
+        right_reference=right.reference,
+        packages=_diff_maps(left.packages, right.packages),
+        environment=_diff_maps(left.environment, right.environment),
+        entrypoints=_diff_maps(left.entrypoints, right.entrypoints),
+        labels=_diff_maps(left.labels, right.labels),
+        files_added=added,
+        files_removed=removed,
+        files_changed=changed,
+    )

@@ -1,0 +1,184 @@
+"""Dockerfile front end for the build engine.
+
+The paper contrasts Docker (cloud de-facto standard) with Singularity
+(HPC-friendly); recipes for the two differ only syntactically for the
+subset our builder models, so Dockerfiles compile to the same
+:class:`~repro.core.recipe.Recipe` the Singularity parser produces:
+
+=============  ============================================
+Dockerfile     Recipe equivalent
+=============  ============================================
+``FROM``       ``Bootstrap: docker`` + ``From:``
+``RUN``        one ``%post`` line
+``ENV``        ``%environment`` entry
+``LABEL``      ``%labels`` entry
+``COPY``       ``%files`` pair
+``CMD``        ``%runscript`` (exec-form JSON or shell form)
+``#`` comment  ignored; ``\\`` line continuations honoured
+=============  ============================================
+
+``singularity build`` famously consumes Docker images; here the
+equivalence is exact: building the translated recipe yields an image
+whose filesystem and entrypoints match the Singularity-built one
+(tested in ``tests/core/test_dockerfile.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+
+from repro.core.recipe import Recipe
+from repro.errors import RecipeError
+
+__all__ = ["parse_dockerfile", "dockerfile_to_recipe"]
+
+_KNOWN = ("FROM", "RUN", "ENV", "LABEL", "COPY", "CMD", "WORKDIR", "USER", "EXPOSE")
+
+
+def _logical_lines(source: str) -> list[str]:
+    """Join backslash continuations and drop comments/blank lines."""
+    lines: list[str] = []
+    pending = ""
+    for raw in source.splitlines():
+        line = raw.rstrip()
+        stripped = line.strip()
+        if not pending and (not stripped or stripped.startswith("#")):
+            continue
+        if stripped.endswith("\\"):
+            pending += stripped[:-1].rstrip() + " "
+            continue
+        lines.append((pending + stripped).strip())
+        pending = ""
+    if pending:
+        raise RecipeError("Dockerfile ends with a dangling line continuation")
+    return lines
+
+
+def _parse_kv_args(args: str, instruction: str) -> dict[str, str]:
+    """Parse ``KEY=VALUE [KEY=VALUE...]`` (ENV/LABEL) with quoting."""
+    out: dict[str, str] = {}
+    try:
+        tokens = shlex.split(args)
+    except ValueError as exc:
+        raise RecipeError(f"cannot parse {instruction} arguments {args!r}: {exc}")
+    # Legacy space form: ENV KEY VALUE
+    if len(tokens) == 2 and "=" not in tokens[0]:
+        return {tokens[0]: tokens[1]}
+    for token in tokens:
+        if "=" not in token:
+            raise RecipeError(
+                f"{instruction} argument {token!r} is not KEY=VALUE"
+            )
+        key, _eq, value = token.partition("=")
+        if not key:
+            raise RecipeError(f"{instruction} has an empty key in {token!r}")
+        out[key] = value
+    return out
+
+
+def parse_dockerfile(source: str) -> Recipe:
+    """Parse a Dockerfile into a build :class:`Recipe`.
+
+    Raises
+    ------
+    RecipeError
+        On unknown instructions, a missing/duplicate ``FROM``, malformed
+        ``ENV``/``LABEL`` pairs, or a bad ``CMD``.
+    """
+    base: str | None = None
+    post: list[str] = []
+    environment: dict[str, str] = {}
+    labels: dict[str, str] = {}
+    files: list[tuple[str, str]] = []
+    runscript: list[str] = []
+    for line in _logical_lines(source):
+        instruction, _space, args = line.partition(" ")
+        upper = instruction.upper()
+        args = args.strip()
+        if upper not in _KNOWN:
+            raise RecipeError(f"unknown Dockerfile instruction {instruction!r}")
+        if upper == "FROM":
+            if base is not None:
+                raise RecipeError("multi-stage Dockerfiles are not supported (second FROM)")
+            if not args:
+                raise RecipeError("FROM needs a base image reference")
+            base = args.split()[0]
+        elif upper == "RUN":
+            if not args:
+                raise RecipeError("RUN needs a command")
+            post.append(args)
+        elif upper == "ENV":
+            environment.update(_parse_kv_args(args, "ENV"))
+        elif upper == "LABEL":
+            labels.update(_parse_kv_args(args, "LABEL"))
+        elif upper == "COPY":
+            parts = args.split()
+            if len(parts) != 2:
+                raise RecipeError(f"COPY takes exactly SRC DEST, got {args!r}")
+            files.append((parts[0], parts[1]))
+        elif upper == "CMD":
+            if runscript:
+                raise RecipeError("multiple CMD instructions")
+            if args.startswith("["):
+                try:
+                    argv = json.loads(args)
+                except json.JSONDecodeError as exc:
+                    raise RecipeError(f"malformed exec-form CMD {args!r}: {exc}")
+                if not isinstance(argv, list) or not all(isinstance(a, str) for a in argv):
+                    raise RecipeError("exec-form CMD must be a JSON array of strings")
+                command = " ".join(argv)
+            else:
+                command = args
+            if not command:
+                raise RecipeError("CMD needs a command")
+            runscript.append(f"{command} $@")
+        else:
+            # WORKDIR/USER/EXPOSE carry no behaviour our runtime models;
+            # record them as labels so provenance is not lost.
+            labels[f"docker.{upper.lower()}"] = args
+    if base is None:
+        raise RecipeError("Dockerfile has no FROM instruction")
+    return Recipe(
+        bootstrap="docker",
+        base=base,
+        labels=labels,
+        environment=environment,
+        post=tuple(post),
+        runscript=tuple(runscript),
+        files=tuple(files),
+        source=source,
+    )
+
+
+def dockerfile_to_recipe(source: str) -> str:
+    """Render a Dockerfile as equivalent Singularity definition-file text
+    (useful to publish both formats from one source of truth)."""
+    recipe = parse_dockerfile(source)
+    lines = [f"Bootstrap: {recipe.bootstrap}", f"From: {recipe.base}", ""]
+    if recipe.labels:
+        lines.append("%labels")
+        for key, value in recipe.labels.items():
+            lines.append(f"    {key} {value}")
+        lines.append("")
+    if recipe.environment:
+        lines.append("%environment")
+        for key, value in recipe.environment.items():
+            lines.append(f"    {key}={value}")
+        lines.append("")
+    if recipe.files:
+        lines.append("%files")
+        for src, dst in recipe.files:
+            lines.append(f"    {src} {dst}")
+        lines.append("")
+    if recipe.post:
+        lines.append("%post")
+        for command in recipe.post:
+            lines.append(f"    {command}")
+        lines.append("")
+    if recipe.runscript:
+        lines.append("%runscript")
+        for command in recipe.runscript:
+            lines.append(f"    {command}")
+        lines.append("")
+    return "\n".join(lines)

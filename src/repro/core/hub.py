@@ -1,0 +1,169 @@
+"""A directory-backed container registry with collections.
+
+The stand-in for Singularity-Hub (paper Fig. 6): images are pushed into
+named *collections*, listed, and pulled back with digest verification
+and pull counting.  Storage is one JSON image document per
+``collection/name:tag`` plus a registry index, all under a root
+directory, so a hub can be archived or shipped alongside a paper.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.core.image import Image
+from repro.errors import HubError, ImageFormatError
+
+__all__ = ["Hub", "HubEntry"]
+
+_INDEX_NAME = "index.json"
+
+
+@dataclass(frozen=True)
+class HubEntry:
+    """One published image in a collection."""
+
+    collection: str
+    name: str
+    tag: str
+    digest: str
+    pulls: int
+
+    @property
+    def reference(self) -> str:
+        return f"{self.collection}/{self.name}:{self.tag}"
+
+
+class Hub:
+    """Local registry rooted at a directory."""
+
+    def __init__(self, root: str | pathlib.Path):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index_path = self.root / _INDEX_NAME
+        if not self._index_path.exists():
+            self._write_index({})
+
+    # -- index plumbing ---------------------------------------------------------
+
+    def _read_index(self) -> dict:
+        try:
+            return json.loads(self._index_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise HubError(f"corrupt hub index: {exc}") from exc
+
+    def _write_index(self, index: dict) -> None:
+        self._index_path.write_text(json.dumps(index, indent=1, sort_keys=True))
+
+    @staticmethod
+    def _key(collection: str, name: str, tag: str) -> str:
+        return f"{collection}/{name}:{tag}"
+
+    def _blob_path(self, collection: str, name: str, tag: str) -> pathlib.Path:
+        return self.root / collection / f"{name}__{tag}.json"
+
+    # -- operations ---------------------------------------------------------------
+
+    def create_collection(self, collection: str) -> None:
+        """Create an empty collection (idempotent)."""
+        if "/" in collection or not collection:
+            raise HubError(f"bad collection name {collection!r}")
+        (self.root / collection).mkdir(parents=True, exist_ok=True)
+
+    def collections(self) -> list[str]:
+        return sorted(
+            p.name for p in self.root.iterdir() if p.is_dir()
+        )
+
+    def push(self, collection: str, image: Image, overwrite: bool = False) -> HubEntry:
+        """Publish an image into a collection.
+
+        Refuses to overwrite an existing tag unless ``overwrite=True``
+        (immutable tags keep published results reproducible).
+        """
+        self.create_collection(collection)
+        index = self._read_index()
+        key = self._key(collection, image.name, image.tag)
+        if key in index and not overwrite:
+            raise HubError(
+                f"{key} already published (digest {index[key]['digest'][:12]}…); "
+                "pass overwrite=True to replace it"
+            )
+        digest = image.save(self._blob_path(collection, image.name, image.tag))
+        index[key] = {
+            "collection": collection,
+            "name": image.name,
+            "tag": image.tag,
+            "digest": digest,
+            "pulls": index.get(key, {}).get("pulls", 0),
+        }
+        self._write_index(index)
+        return HubEntry(
+            collection=collection,
+            name=image.name,
+            tag=image.tag,
+            digest=digest,
+            pulls=index[key]["pulls"],
+        )
+
+    def pull(self, collection: str, name: str, tag: str = "latest") -> Image:
+        """Retrieve an image, verifying its digest against the index.
+
+        Raises
+        ------
+        HubError
+            If the reference is unknown or the stored blob's digest does
+            not match the published digest (tampering/corruption).
+        """
+        index = self._read_index()
+        key = self._key(collection, name, tag)
+        entry = index.get(key)
+        if entry is None:
+            known = ", ".join(sorted(index)) or "none"
+            raise HubError(f"unknown image {key} (published: {known})")
+        try:
+            image = Image.load(self._blob_path(collection, name, tag))
+        except (FileNotFoundError, ImageFormatError) as exc:
+            raise HubError(f"cannot load {key}: {exc}") from exc
+        if image.digest() != entry["digest"]:
+            raise HubError(
+                f"digest mismatch for {key}: published {entry['digest'][:12]}…, "
+                f"stored blob {image.digest()[:12]}…"
+            )
+        entry["pulls"] += 1
+        self._write_index(index)
+        return image
+
+    def list_collection(self, collection: str) -> list[HubEntry]:
+        """All published images in a collection (Fig. 6's listing)."""
+        index = self._read_index()
+        entries = [
+            HubEntry(
+                collection=e["collection"],
+                name=e["name"],
+                tag=e["tag"],
+                digest=e["digest"],
+                pulls=e["pulls"],
+            )
+            for e in index.values()
+            if e["collection"] == collection
+        ]
+        if not entries and collection not in self.collections():
+            raise HubError(f"unknown collection {collection!r}")
+        return sorted(entries, key=lambda e: e.reference)
+
+    def entry(self, collection: str, name: str, tag: str = "latest") -> HubEntry:
+        index = self._read_index()
+        key = self._key(collection, name, tag)
+        if key not in index:
+            raise HubError(f"unknown image {key}")
+        e = index[key]
+        return HubEntry(
+            collection=e["collection"],
+            name=e["name"],
+            tag=e["tag"],
+            digest=e["digest"],
+            pulls=e["pulls"],
+        )

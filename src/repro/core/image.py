@@ -1,0 +1,237 @@
+"""Content-addressed layered container images.
+
+An :class:`Image` is an ordered stack of :class:`Layer` objects plus
+run-time metadata (environment, entrypoints, runscript/test command
+lines, labels).  Every layer and the image itself have a deterministic
+SHA-256 digest over a canonical serialization, which gives the two
+properties the paper's workflow relies on:
+
+* **build caching** — a layer produced by the same command on the same
+  parent digest can be reused (design decision D4);
+* **verifiable pulls** — the hub recomputes digests on pull, so a
+  corrupted or tampered image is detected (the Fig. 6 "verified clone").
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ImageFormatError
+
+__all__ = ["FileEntry", "Layer", "Image"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """A file inside an image layer."""
+
+    content: bytes
+    mode: int = 0o644
+
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        h.update(self.mode.to_bytes(4, "big"))
+        h.update(self.content)
+        return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One immutable filesystem layer.
+
+    Attributes
+    ----------
+    command:
+        The build command that produced the layer (provenance).
+    files:
+        ``absolute path -> FileEntry`` written by this layer.
+    """
+
+    command: str
+    files: dict[str, FileEntry] = field(default_factory=dict)
+
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        h.update(self.command.encode())
+        for path in sorted(self.files):
+            h.update(b"\x00")
+            h.update(path.encode())
+            h.update(self.files[path].digest().encode())
+        return h.hexdigest()
+
+
+@dataclass
+class Image:
+    """A built container image.
+
+    Attributes
+    ----------
+    name / tag:
+        Reference identity (``pepa:1.0``).
+    base:
+        Base image reference the build started from.
+    layers:
+        Filesystem layers, base first.
+    environment:
+        Variables visible inside the container (and *only* these — the
+        runtime does not leak the host environment).
+    entrypoints:
+        Command names available inside the container, with the package
+        that provided each.
+    runscript / test_script:
+        Command lines from the recipe's ``%runscript`` / ``%test``.
+    labels / help_text:
+        Documentation metadata.
+    packages:
+        ``name -> version`` of everything installed.
+    """
+
+    name: str
+    tag: str
+    base: str
+    layers: list[Layer] = field(default_factory=list)
+    environment: dict[str, str] = field(default_factory=dict)
+    entrypoints: dict[str, str] = field(default_factory=dict)
+    runscript: tuple[str, ...] = ()
+    test_script: tuple[str, ...] = ()
+    labels: dict[str, str] = field(default_factory=dict)
+    help_text: str = ""
+    packages: dict[str, str] = field(default_factory=dict)
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def reference(self) -> str:
+        return f"{self.name}:{self.tag}"
+
+    def digest(self) -> str:
+        """Deterministic digest over metadata and all layer digests."""
+        h = hashlib.sha256()
+        meta = {
+            "format": _FORMAT_VERSION,
+            "name": self.name,
+            "tag": self.tag,
+            "base": self.base,
+            "environment": dict(sorted(self.environment.items())),
+            "entrypoints": dict(sorted(self.entrypoints.items())),
+            "runscript": list(self.runscript),
+            "test": list(self.test_script),
+            "labels": dict(sorted(self.labels.items())),
+            "packages": dict(sorted(self.packages.items())),
+            "layers": [layer.digest() for layer in self.layers],
+        }
+        h.update(json.dumps(meta, sort_keys=True).encode())
+        return h.hexdigest()
+
+    # -- filesystem view --------------------------------------------------------
+
+    def merged_files(self) -> dict[str, FileEntry]:
+        """Upper layers shadow lower layers, standard overlay semantics."""
+        merged: dict[str, FileEntry] = {}
+        for layer in self.layers:
+            merged.update(layer.files)
+        return merged
+
+    def read_file(self, path: str) -> bytes:
+        files = self.merged_files()
+        try:
+            return files[path].content
+        except KeyError:
+            raise FileNotFoundError(f"{path} not present in image {self.reference}") from None
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": _FORMAT_VERSION,
+            "name": self.name,
+            "tag": self.tag,
+            "base": self.base,
+            "environment": self.environment,
+            "entrypoints": self.entrypoints,
+            "runscript": list(self.runscript),
+            "test": list(self.test_script),
+            "labels": self.labels,
+            "help": self.help_text,
+            "packages": self.packages,
+            "layers": [
+                {
+                    "command": layer.command,
+                    "files": {
+                        path: {
+                            "mode": fe.mode,
+                            "content": base64.b64encode(fe.content).decode(),
+                        }
+                        for path, fe in sorted(layer.files.items())
+                    },
+                }
+                for layer in self.layers
+            ],
+            "digest": self.digest(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Image":
+        try:
+            if data.get("format") != _FORMAT_VERSION:
+                raise ImageFormatError(
+                    f"unsupported image format version {data.get('format')!r}"
+                )
+            layers = [
+                Layer(
+                    command=ld["command"],
+                    files={
+                        path: FileEntry(
+                            content=base64.b64decode(fd["content"]),
+                            mode=int(fd["mode"]),
+                        )
+                        for path, fd in ld["files"].items()
+                    },
+                )
+                for ld in data["layers"]
+            ]
+            image = cls(
+                name=data["name"],
+                tag=data["tag"],
+                base=data["base"],
+                layers=layers,
+                environment=dict(data["environment"]),
+                entrypoints=dict(data["entrypoints"]),
+                runscript=tuple(data["runscript"]),
+                test_script=tuple(data["test"]),
+                labels=dict(data["labels"]),
+                help_text=data.get("help", ""),
+                packages=dict(data["packages"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ImageFormatError(f"corrupt image document: {exc}") from exc
+        recorded = data.get("digest")
+        if recorded is not None and recorded != image.digest():
+            raise ImageFormatError(
+                f"image digest mismatch: recorded {recorded[:12]}…, "
+                f"recomputed {image.digest()[:12]}…"
+            )
+        return image
+
+    def save(self, path) -> str:
+        """Write the image as a JSON document; returns its digest."""
+        import pathlib
+
+        p = pathlib.Path(path)
+        p.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
+        return self.digest()
+
+    @classmethod
+    def load(cls, path) -> "Image":
+        import pathlib
+
+        try:
+            data = json.loads(pathlib.Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ImageFormatError(f"not an image document: {exc}") from exc
+        return cls.from_dict(data)

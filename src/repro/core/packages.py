@@ -1,0 +1,255 @@
+"""The simulated package universe.
+
+The paper's central pain point is *dependency archaeology*: the PEPA
+Eclipse plug-in, the Bio-PEPA plug-in and GPAnalyser each need very
+specific JDK and Eclipse versions, and the right combination must be
+excavated from dated documentation.  This module models that reality:
+
+* a :class:`Package` has a name, version, dependency constraints,
+  files it installs, environment variables it exports, and the
+  command-line entrypoints it provides;
+* a :class:`PackageUniverse` resolves install requests — including
+  version pins like ``openjdk=8`` — topologically, and *fails* on
+  version conflicts exactly the way a real build breaks when one tool
+  pins JDK 7 and another JDK 11.
+
+:func:`default_universe` encodes the actual dependency graph described
+in the paper (§I and §III): PEPA/Bio-PEPA need Eclipse + JDK 8, Eclipse
+4.7 needs JDK 8, GPAnalyser needs JDK 7 plus a visualization package.
+The tool entrypoints (``pepa``, ``biopepa``, ``gpa``) are bound to the
+Python implementations in :mod:`repro.core.apps` at runtime.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import PackageResolutionError
+
+__all__ = ["Package", "PackageUniverse", "default_universe", "parse_requirement"]
+
+
+@dataclass(frozen=True)
+class Package:
+    """One installable package version.
+
+    Attributes
+    ----------
+    name / version:
+        Identity; versions are compared as dotted-integer tuples.
+    depends:
+        Requirement strings (``"openjdk=8"`` or ``"eclipse"``).
+    files:
+        ``path -> content`` files materialized under the install root.
+    environment:
+        Environment variables exported into images installing this
+        package.
+    entrypoints:
+        Command names this package provides (resolved by the runtime).
+    """
+
+    name: str
+    version: str
+    depends: tuple[str, ...] = ()
+    files: dict[str, str] = field(default_factory=dict)
+    environment: dict[str, str] = field(default_factory=dict)
+    entrypoints: tuple[str, ...] = ()
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}-{self.version}"
+
+    def install_root(self) -> str:
+        return f"/opt/packages/{self.key}"
+
+    def version_tuple(self) -> tuple[int, ...]:
+        return tuple(int(p) for p in re.findall(r"\d+", self.version)) or (0,)
+
+
+_REQ_RE = re.compile(r"^\s*([A-Za-z0-9_.+-]+)\s*(?:(=|>=|<=)\s*([A-Za-z0-9_.]+))?\s*$")
+
+
+def parse_requirement(text: str) -> tuple[str, str | None, str | None]:
+    """Parse ``name``, ``name=ver``, ``name>=ver`` or ``name<=ver``."""
+    m = _REQ_RE.match(text)
+    if not m:
+        raise PackageResolutionError(f"malformed requirement {text!r}")
+    return m.group(1), m.group(2), m.group(3)
+
+
+def _ver_key(version: str) -> tuple[int, ...]:
+    return tuple(int(p) for p in re.findall(r"\d+", version)) or (0,)
+
+
+class PackageUniverse:
+    """A versioned package repository with a topological resolver."""
+
+    def __init__(self, packages: list[Package] | None = None):
+        self._by_name: dict[str, dict[str, Package]] = {}
+        for pkg in packages or []:
+            self.add(pkg)
+
+    def add(self, package: Package) -> None:
+        versions = self._by_name.setdefault(package.name, {})
+        if package.version in versions:
+            raise PackageResolutionError(
+                f"package {package.key} registered twice"
+            )
+        versions[package.version] = package
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def versions_of(self, name: str) -> list[str]:
+        try:
+            return sorted(self._by_name[name], key=_ver_key)
+        except KeyError:
+            raise PackageResolutionError(f"no such package {name!r}") from None
+
+    def candidates(self, requirement: str) -> list[Package]:
+        """All package versions satisfying a requirement, best (newest)
+        last."""
+        name, op, ver = parse_requirement(requirement)
+        if name not in self._by_name:
+            raise PackageResolutionError(
+                f"no such package {name!r} (requirement {requirement!r}); "
+                f"known packages: {', '.join(self.names)}"
+            )
+        pool = list(self._by_name[name].values())
+        if op is None:
+            sel = pool
+        elif op == "=":
+            sel = [p for p in pool if p.version == ver or p.version.startswith(ver + ".")]
+        elif op == ">=":
+            sel = [p for p in pool if p.version_tuple() >= _ver_key(ver)]
+        else:  # <=
+            sel = [p for p in pool if p.version_tuple() <= _ver_key(ver)]
+        if not sel:
+            available = ", ".join(self.versions_of(name))
+            raise PackageResolutionError(
+                f"requirement {requirement!r} unsatisfiable; available versions "
+                f"of {name}: {available}"
+            )
+        return sorted(sel, key=lambda p: p.version_tuple())
+
+    def resolve(
+        self, requirements: list[str], installed: dict[str, Package] | None = None
+    ) -> list[Package]:
+        """Resolve requirements (newest satisfying version wins) plus all
+        transitive dependencies, in install (dependency-first) order.
+
+        Raises
+        ------
+        PackageResolutionError
+            On unknown packages, unsatisfiable pins, or version
+            conflicts with already-installed packages — the "JDK 7 vs
+            JDK 8" class of failure the paper's recipes pin around.
+        """
+        installed = dict(installed or {})
+        order: list[Package] = []
+        in_progress: set[str] = set()
+
+        def visit(requirement: str, chain: tuple[str, ...]) -> None:
+            name, _op, _ver = parse_requirement(requirement)
+            choice = self.candidates(requirement)[-1]
+            existing = installed.get(name)
+            if existing is not None:
+                # An already-installed version must satisfy the new pin.
+                if choice.name == existing.name and existing in self.candidates(requirement):
+                    return
+                raise PackageResolutionError(
+                    f"version conflict on {name!r}: {existing.version} is installed "
+                    f"but {' -> '.join(chain + (requirement,))} requires {requirement!r}"
+                )
+            if name in in_progress:
+                raise PackageResolutionError(
+                    f"dependency cycle involving {name!r}: "
+                    + " -> ".join(chain + (requirement,))
+                )
+            in_progress.add(name)
+            for dep in choice.depends:
+                visit(dep, chain + (requirement,))
+            in_progress.discard(name)
+            installed[name] = choice
+            order.append(choice)
+
+        for req in requirements:
+            visit(req, ())
+        return order
+
+
+def default_universe() -> PackageUniverse:
+    """The package universe of the paper's recipes.
+
+    Dependency facts mirror §I/§III: the PEPA and Bio-PEPA plug-ins need
+    specific Eclipse + JDK versions; GPAnalyser is standalone but pins
+    an older JDK and a visualization library.  Version skew between the
+    tools is intentional — it is what makes un-containerized installs
+    fragile, and what the recipes' pins resolve.
+    """
+    pkgs = [
+        Package(
+            name="openjdk",
+            version="7.0",
+            files={"bin/java": "java-runtime 7.0"},
+            environment={"JAVA_HOME": "/opt/packages/openjdk-7.0"},
+        ),
+        Package(
+            name="openjdk",
+            version="8.0",
+            files={"bin/java": "java-runtime 8.0"},
+            environment={"JAVA_HOME": "/opt/packages/openjdk-8.0"},
+        ),
+        Package(
+            name="openjdk",
+            version="11.0",
+            files={"bin/java": "java-runtime 11.0"},
+            environment={"JAVA_HOME": "/opt/packages/openjdk-11.0"},
+        ),
+        Package(
+            name="eclipse",
+            version="4.7",
+            depends=("openjdk=8",),
+            files={"eclipse/eclipse.ini": "-vm ${JAVA_HOME}/bin/java"},
+        ),
+        Package(
+            name="eclipse",
+            version="4.8",
+            depends=("openjdk>=8",),
+            files={"eclipse/eclipse.ini": "-vm ${JAVA_HOME}/bin/java"},
+        ),
+        Package(
+            name="xvfb",
+            version="1.19",
+            files={"bin/Xvfb": "virtual framebuffer"},
+        ),
+        Package(
+            name="graphviz",
+            version="2.38",
+            files={"bin/dot": "graph renderer"},
+        ),
+        Package(
+            name="pepa-eclipse-plugin",
+            version="0.0.19",
+            depends=("eclipse=4.7", "graphviz"),
+            files={"plugins/uk.ac.ed.inf.pepa.jar": "pepa plugin bundle"},
+            entrypoints=("pepa",),
+        ),
+        Package(
+            name="biopepa-eclipse-plugin",
+            version="0.1.0",
+            depends=("eclipse=4.7", "xvfb"),
+            files={"plugins/uk.ac.ed.inf.biopepa.jar": "bio-pepa plugin bundle"},
+            entrypoints=("biopepa",),
+        ),
+        Package(
+            name="gpanalyser",
+            version="0.9.2",
+            depends=("openjdk=7", "graphviz"),
+            files={"gpa/GPAnalyser.jar": "gpa tool bundle"},
+            entrypoints=("gpa",),
+        ),
+    ]
+    return PackageUniverse(pkgs)

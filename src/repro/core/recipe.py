@@ -1,0 +1,191 @@
+"""Singularity-style build recipes.
+
+A recipe ("definition file") has a header and percent-sections::
+
+    Bootstrap: library
+    From: ubuntu:18.04
+
+    %help
+        Containerized PEPA Eclipse plug-in.
+
+    %labels
+        Maintainer wss2
+        Version 1.0
+
+    %environment
+        JAVA_HOME=/opt/packages/openjdk-8
+
+    %post
+        apt-get install openjdk=8
+        apt-get install pepa-eclipse-plugin
+        mkdir -p /opt/models
+        echo hello > /opt/models/README
+
+    %runscript
+        pepa solve
+
+    %test
+        pepa selftest
+
+Section bodies keep their (dedented) lines; ``%post`` lines are the
+build commands interpreted by :mod:`repro.core.builder`, ``%runscript``
+and ``%test`` are entrypoint command lines for the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RecipeError
+
+__all__ = ["Recipe", "parse_recipe", "SECTIONS"]
+
+#: Recognized section names.
+SECTIONS = ("help", "labels", "environment", "post", "runscript", "test", "files")
+
+_HEADER_KEYS = ("bootstrap", "from")
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """A parsed build recipe.
+
+    Attributes
+    ----------
+    bootstrap:
+        Bootstrap agent (``library``, ``docker`` or ``localimage`` are
+        accepted spellings; all resolve against the builder's base-image
+        registry).
+    base:
+        Base image reference, e.g. ``ubuntu:18.04``.
+    help / labels / environment / post / runscript / test / files:
+        Section contents.  ``labels`` and ``environment`` are parsed
+        into dicts; the rest are line lists (``help`` joined to text).
+    """
+
+    bootstrap: str
+    base: str
+    help_text: str = ""
+    labels: dict[str, str] = field(default_factory=dict)
+    environment: dict[str, str] = field(default_factory=dict)
+    post: tuple[str, ...] = ()
+    runscript: tuple[str, ...] = ()
+    test: tuple[str, ...] = ()
+    files: tuple[tuple[str, str], ...] = ()
+    source: str = ""
+
+    def __post_init__(self):
+        if not self.base:
+            raise RecipeError("recipe has no 'From:' base image")
+        if self.bootstrap not in ("library", "docker", "localimage", "shub"):
+            raise RecipeError(f"unsupported bootstrap agent {self.bootstrap!r}")
+
+
+def _parse_kv(lines: list[str], section: str, sep: str | None = None) -> dict[str, str]:
+    """Parse ``KEY VALUE`` (labels) or ``KEY=VALUE`` (environment) lines."""
+    out: dict[str, str] = {}
+    for line in lines:
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        if stripped.startswith("export "):
+            stripped = stripped[len("export "):]
+        if sep == "=":
+            if "=" not in stripped:
+                raise RecipeError(
+                    f"%{section} line {stripped!r} is not KEY=VALUE"
+                )
+            key, _eq, value = stripped.partition("=")
+        else:
+            parts = stripped.split(None, 1)
+            if len(parts) != 2:
+                raise RecipeError(f"%{section} line {stripped!r} is not 'KEY VALUE'")
+            key, value = parts
+        key = key.strip()
+        if not key:
+            raise RecipeError(f"%{section} line {stripped!r} has an empty key")
+        if key in out:
+            raise RecipeError(f"duplicate %{section} key {key!r}")
+        out[key] = value.strip().strip('"')
+    return out
+
+
+def _parse_files(lines: list[str]) -> tuple[tuple[str, str], ...]:
+    """``%files`` lines: ``source dest`` pairs (host path → image path)."""
+    pairs = []
+    for line in lines:
+        if not line.strip():
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise RecipeError(f"%files line {line.strip()!r} is not 'SRC DEST'")
+        pairs.append((parts[0], parts[1]))
+    return tuple(pairs)
+
+
+def parse_recipe(source: str) -> Recipe:
+    """Parse a Singularity-style definition file.
+
+    Raises
+    ------
+    RecipeError
+        On unknown sections, missing header keys, or malformed
+        key/value lines.
+    """
+    header: dict[str, str] = {}
+    sections: dict[str, list[str]] = {}
+    current: str | None = None
+    for raw_line in source.splitlines():
+        line = raw_line.rstrip()
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            continue
+        if stripped.startswith("%"):
+            name = stripped[1:].strip().lower()
+            if name not in SECTIONS:
+                raise RecipeError(
+                    f"unknown recipe section %{name}; known: "
+                    + ", ".join("%" + s for s in SECTIONS)
+                )
+            if name in sections:
+                raise RecipeError(f"duplicate recipe section %{name}")
+            sections[name] = []
+            current = name
+            continue
+        if current is not None:
+            sections[current].append(stripped)
+            continue
+        if not stripped:
+            continue
+        key, colon, value = stripped.partition(":")
+        if not colon:
+            raise RecipeError(f"malformed header line {stripped!r} (expected 'Key: value')")
+        key = key.strip().lower()
+        if key not in _HEADER_KEYS:
+            raise RecipeError(f"unknown header key {key!r}; expected Bootstrap/From")
+        if key in header:
+            raise RecipeError(f"duplicate header key {key!r}")
+        header[key] = value.strip()
+    if "bootstrap" not in header:
+        raise RecipeError("recipe has no 'Bootstrap:' header")
+    if "from" not in header:
+        raise RecipeError("recipe has no 'From:' base image")
+
+    def body(name: str) -> list[str]:
+        return [l for l in sections.get(name, ())]
+
+    post = tuple(l for l in body("post") if l)
+    runscript = tuple(l for l in body("runscript") if l)
+    test = tuple(l for l in body("test") if l)
+    return Recipe(
+        bootstrap=header["bootstrap"].lower(),
+        base=header["from"],
+        help_text="\n".join(body("help")).strip(),
+        labels=_parse_kv(body("labels"), "labels"),
+        environment=_parse_kv(body("environment"), "environment", sep="="),
+        post=post,
+        runscript=runscript,
+        test=test,
+        files=_parse_files(body("files")),
+        source=source,
+    )

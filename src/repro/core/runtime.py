@@ -1,0 +1,234 @@
+"""The container runtime: isolated execution of image entrypoints.
+
+Mirrors the Singularity execution model the paper relies on:
+
+* **no privilege escalation** — running a container can never mutate
+  the image or the builder state; all writes land in a per-run overlay
+  that is discarded (or returned to the caller) when the run ends;
+* **environment isolation** — the process environment inside the
+  container is exactly the image's ``%environment`` plus explicit
+  overrides; nothing leaks from the host (`os.environ` is never read);
+* **bind mounts** — host data (model files) can be bound read-only into
+  the container filesystem, the way users feed ``.pepa`` files to the
+  containerized tools.
+
+Entrypoints are command names recorded in the image by the packages
+that provide them (``pepa``, ``biopepa``, ``gpa``); the runtime
+dispatches them to the Python implementations registered in
+:mod:`repro.core.apps` — the runtime analogue of the image's binaries.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+
+from repro.core.image import FileEntry, Image
+from repro.errors import RuntimeLaunchError
+
+__all__ = ["ExecutionContext", "RunResult", "ContainerRuntime"]
+
+
+@dataclass
+class ExecutionContext:
+    """What an application sees while it runs.
+
+    File resolution order: run overlay (its own writes), bind mounts,
+    then the image's merged layers.  Writes always go to the overlay.
+    """
+
+    argv: list[str]
+    environment: dict[str, str]
+    image_files: dict[str, FileEntry]
+    binds: dict[str, bytes] = field(default_factory=dict)
+    overlay: dict[str, bytes] = field(default_factory=dict)
+    _stdout: list[str] = field(default_factory=list)
+    _stderr: list[str] = field(default_factory=list)
+
+    # -- filesystem -------------------------------------------------------------
+
+    def read_file(self, path: str) -> bytes:
+        if path in self.overlay:
+            return self.overlay[path]
+        if path in self.binds:
+            return self.binds[path]
+        entry = self.image_files.get(path)
+        if entry is None:
+            raise FileNotFoundError(f"{path}: no such file in container")
+        return entry.content
+
+    def read_text(self, path: str) -> str:
+        return self.read_file(path).decode()
+
+    def write_file(self, path: str, content: bytes) -> None:
+        self.overlay[path] = content
+
+    def write_text(self, path: str, text: str) -> None:
+        self.write_file(path, text.encode())
+
+    def exists(self, path: str) -> bool:
+        return path in self.overlay or path in self.binds or path in self.image_files
+
+    # -- streams ----------------------------------------------------------------
+
+    def print(self, *parts: object) -> None:
+        self._stdout.append(" ".join(str(p) for p in parts))
+
+    def error(self, *parts: object) -> None:
+        self._stderr.append(" ".join(str(p) for p in parts))
+
+    @property
+    def stdout(self) -> str:
+        return "\n".join(self._stdout) + ("\n" if self._stdout else "")
+
+    @property
+    def stderr(self) -> str:
+        return "\n".join(self._stderr) + ("\n" if self._stderr else "")
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one containerized command."""
+
+    argv: tuple[str, ...]
+    exit_code: int
+    stdout: str
+    stderr: str
+    files_written: dict[str, bytes]
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0
+
+    @property
+    def overlay_bytes(self) -> int:
+        """Total bytes the run wrote into its overlay."""
+        return sum(len(content) for content in self.files_written.values())
+
+
+class ContainerRuntime:
+    """Executes image entrypoints with Singularity-style isolation."""
+
+    def __init__(self, applications: dict | None = None):
+        if applications is None:
+            from repro.core.apps import default_applications
+
+            applications = default_applications()
+        self._apps = dict(applications)
+
+    @property
+    def known_commands(self) -> list[str]:
+        return sorted(self._apps)
+
+    def run(
+        self,
+        image: Image,
+        argv: list[str],
+        binds: dict[str, bytes] | None = None,
+        env: dict[str, str] | None = None,
+    ) -> RunResult:
+        """Run ``argv`` inside ``image``.
+
+        Raises
+        ------
+        RuntimeLaunchError
+            If ``argv`` is empty, the command is not installed in the
+            image, or no implementation is registered for it.
+        """
+        if not argv:
+            raise RuntimeLaunchError("empty command line")
+        command = argv[0]
+        if command not in image.entrypoints:
+            installed = ", ".join(sorted(image.entrypoints)) or "none"
+            raise RuntimeLaunchError(
+                f"{command!r} is not installed in image {image.reference} "
+                f"(entrypoints: {installed})"
+            )
+        app = self._apps.get(command)
+        if app is None:
+            raise RuntimeLaunchError(
+                f"no implementation registered for entrypoint {command!r}"
+            )
+        context = ExecutionContext(
+            argv=list(argv),
+            environment=dict(image.environment) | dict(env or {}),
+            image_files=image.merged_files(),
+            binds=dict(binds or {}),
+        )
+        import time
+
+        start = time.perf_counter()
+        try:
+            exit_code = app(context)
+        except Exception as exc:  # the app crashed "inside the container"
+            context.error(f"{command}: {type(exc).__name__}: {exc}")
+            exit_code = 1
+        elapsed = time.perf_counter() - start
+        return RunResult(
+            argv=tuple(argv),
+            exit_code=int(exit_code or 0),
+            stdout=context.stdout,
+            stderr=context.stderr,
+            files_written=dict(context.overlay),
+            elapsed_seconds=elapsed,
+        )
+
+    def _run_script(
+        self,
+        image: Image,
+        script: tuple[str, ...],
+        args: list[str],
+        binds: dict[str, bytes] | None,
+        what: str,
+    ) -> RunResult:
+        if not script:
+            raise RuntimeLaunchError(f"image {image.reference} has no %{what} section")
+        stdout_parts: list[str] = []
+        stderr_parts: list[str] = []
+        files: dict[str, bytes] = {}
+        last_argv: tuple[str, ...] = ()
+        elapsed = 0.0
+        for line in script:
+            argv: list[str] = []
+            for token in shlex.split(line):
+                if token in ("$@", '"$@"'):
+                    argv.extend(args)
+                else:
+                    argv.append(token)
+            result = self.run(image, argv, binds=binds)
+            stdout_parts.append(result.stdout)
+            stderr_parts.append(result.stderr)
+            files.update(result.files_written)
+            last_argv = result.argv
+            elapsed += result.elapsed_seconds
+            if result.exit_code != 0:
+                return RunResult(
+                    argv=last_argv,
+                    exit_code=result.exit_code,
+                    stdout="".join(stdout_parts),
+                    stderr="".join(stderr_parts),
+                    files_written=files,
+                    elapsed_seconds=elapsed,
+                )
+        return RunResult(
+            argv=last_argv,
+            exit_code=0,
+            stdout="".join(stdout_parts),
+            stderr="".join(stderr_parts),
+            files_written=files,
+            elapsed_seconds=elapsed,
+        )
+
+    def run_script(
+        self,
+        image: Image,
+        args: list[str] | None = None,
+        binds: dict[str, bytes] | None = None,
+    ) -> RunResult:
+        """Execute the image's ``%runscript`` (``singularity run``)."""
+        return self._run_script(image, image.runscript, list(args or []), binds, "runscript")
+
+    def run_test(self, image: Image, binds: dict[str, bytes] | None = None) -> RunResult:
+        """Execute the image's ``%test`` section (``singularity test``)."""
+        return self._run_script(image, image.test_script, [], binds, "test")

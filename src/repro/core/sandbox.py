@@ -1,0 +1,119 @@
+"""Sandbox materialization: images as inspectable directory trees.
+
+``singularity build --sandbox`` unpacks a container into a writable
+directory; researchers use it to poke at a container's filesystem with
+ordinary tools.  The equivalents here:
+
+* :func:`materialize` — write an image's merged filesystem to a host
+  directory (modes preserved), plus a ``.repro-image.json`` metadata
+  file carrying everything the filesystem cannot (environment,
+  entrypoints, scripts, packages, provenance digest);
+* :func:`from_sandbox` — repack a sandbox directory into an image (one
+  layer); byte-level round-trip of contents and metadata is tested.
+
+A repacked image never has the same digest as the original — layer
+granularity and per-layer provenance are collapsed by design — but
+:func:`repro.core.diff.diff_images` reports it behaviourally identical,
+which is the property sandbox workflows rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.image import FileEntry, Image, Layer
+from repro.errors import ImageFormatError
+
+__all__ = ["materialize", "from_sandbox", "METADATA_NAME"]
+
+#: Name of the metadata file inside a sandbox directory.
+METADATA_NAME = ".repro-image.json"
+
+
+def materialize(image: Image, root: str | pathlib.Path) -> pathlib.Path:
+    """Write ``image``'s merged filesystem under ``root``.
+
+    ``root`` must not already contain a sandbox (no silent clobbering);
+    parent directories are created as needed.  Returns the root path.
+    """
+    root = pathlib.Path(root)
+    if (root / METADATA_NAME).exists():
+        raise ImageFormatError(
+            f"{root} already contains a sandbox; remove it or pick another path"
+        )
+    root.mkdir(parents=True, exist_ok=True)
+    for path, entry in sorted(image.merged_files().items()):
+        rel = path.lstrip("/")
+        if not rel:
+            continue
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(entry.content)
+        target.chmod(entry.mode)
+    metadata = {
+        "name": image.name,
+        "tag": image.tag,
+        "base": image.base,
+        "environment": image.environment,
+        "entrypoints": image.entrypoints,
+        "runscript": list(image.runscript),
+        "test": list(image.test_script),
+        "labels": image.labels,
+        "help": image.help_text,
+        "packages": image.packages,
+        "source_digest": image.digest(),
+        "modes": {
+            path: entry.mode for path, entry in image.merged_files().items()
+        },
+    }
+    (root / METADATA_NAME).write_text(json.dumps(metadata, indent=1, sort_keys=True))
+    return root
+
+
+def from_sandbox(root: str | pathlib.Path, tag: str | None = None) -> Image:
+    """Repack a sandbox directory into a single-layer image.
+
+    Edits made to the sandbox (added/changed files) are picked up; the
+    metadata file supplies everything else.  ``tag`` overrides the
+    recorded tag (useful for ``:modified`` style labelling).
+
+    Raises
+    ------
+    ImageFormatError
+        If the directory is not a sandbox (missing/corrupt metadata).
+    """
+    root = pathlib.Path(root)
+    meta_path = root / METADATA_NAME
+    if not meta_path.exists():
+        raise ImageFormatError(f"{root} is not a sandbox (no {METADATA_NAME})")
+    try:
+        metadata = json.loads(meta_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ImageFormatError(f"corrupt sandbox metadata: {exc}") from exc
+    try:
+        recorded_modes: dict[str, int] = {
+            k: int(v) for k, v in metadata.get("modes", {}).items()
+        }
+        files: dict[str, FileEntry] = {}
+        for path in sorted(root.rglob("*")):
+            if not path.is_file() or path.name == METADATA_NAME:
+                continue
+            image_path = "/" + path.relative_to(root).as_posix()
+            mode = recorded_modes.get(image_path, path.stat().st_mode & 0o777)
+            files[image_path] = FileEntry(path.read_bytes(), mode=mode)
+        return Image(
+            name=metadata["name"],
+            tag=tag or metadata["tag"],
+            base=metadata["base"],
+            layers=[Layer(command=f"sandbox {root.name}", files=files)],
+            environment=dict(metadata["environment"]),
+            entrypoints=dict(metadata["entrypoints"]),
+            runscript=tuple(metadata["runscript"]),
+            test_script=tuple(metadata["test"]),
+            labels=dict(metadata["labels"]),
+            help_text=metadata.get("help", ""),
+            packages=dict(metadata["packages"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ImageFormatError(f"corrupt sandbox metadata: {exc}") from exc

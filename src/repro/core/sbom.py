@@ -1,0 +1,106 @@
+"""Software bill of materials (SBOM) for container images.
+
+Artifact-evaluation committees increasingly ask not just "does the
+container run" but "what exactly is inside it".  :func:`sbom` renders a
+deterministic, self-verifying inventory of an image:
+
+* identity: reference, digest, base image;
+* every installed package with its version and install root;
+* every file with its SHA-256 content digest and mode;
+* build provenance: the per-layer commands, in order.
+
+The document is plain JSON (sorted keys, no timestamps) so two builds
+of the same recipe produce byte-identical SBOMs — and
+:func:`verify_sbom` checks an image against a previously published
+SBOM, reporting every discrepancy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.core.image import Image
+
+__all__ = ["sbom", "sbom_json", "verify_sbom"]
+
+_SBOM_VERSION = 1
+
+
+def sbom(image: Image) -> dict:
+    """Build the SBOM document for an image."""
+    files = {
+        path: {
+            "sha256": hashlib.sha256(entry.content).hexdigest(),
+            "bytes": len(entry.content),
+            "mode": oct(entry.mode),
+        }
+        for path, entry in sorted(image.merged_files().items())
+    }
+    packages = {
+        name: {
+            "version": version,
+            "install_root": f"/opt/packages/{name}-{version}",
+        }
+        for name, version in sorted(image.packages.items())
+    }
+    return {
+        "sbom_version": _SBOM_VERSION,
+        "image": {
+            "reference": image.reference,
+            "digest": image.digest(),
+            "base": image.base,
+        },
+        "packages": packages,
+        "entrypoints": dict(sorted(image.entrypoints.items())),
+        "environment": dict(sorted(image.environment.items())),
+        "files": files,
+        "provenance": [layer.command for layer in image.layers],
+    }
+
+
+def sbom_json(image: Image) -> str:
+    """The SBOM as canonical JSON text (deterministic byte-for-byte)."""
+    return json.dumps(sbom(image), indent=1, sort_keys=True) + "\n"
+
+
+def verify_sbom(image: Image, document: dict) -> list[str]:
+    """Check an image against a published SBOM.
+
+    Returns a list of human-readable discrepancies (empty = verified).
+    The check is content-based, so it also verifies images rebuilt from
+    the recipe rather than bit-copied.
+    """
+    problems: list[str] = []
+    if document.get("sbom_version") != _SBOM_VERSION:
+        return [f"unsupported SBOM version {document.get('sbom_version')!r}"]
+    current = sbom(image)
+    recorded_digest = document.get("image", {}).get("digest")
+    if recorded_digest and recorded_digest != current["image"]["digest"]:
+        problems.append(
+            f"image digest {current['image']['digest'][:12]}… differs from "
+            f"recorded {recorded_digest[:12]}…"
+        )
+    for name, meta in document.get("packages", {}).items():
+        have = current["packages"].get(name)
+        if have is None:
+            problems.append(f"package {name} missing from image")
+        elif have["version"] != meta.get("version"):
+            problems.append(
+                f"package {name}: version {have['version']} != recorded "
+                f"{meta.get('version')}"
+            )
+    for name in current["packages"]:
+        if name not in document.get("packages", {}):
+            problems.append(f"package {name} present but not recorded")
+    recorded_files = document.get("files", {})
+    for path, meta in recorded_files.items():
+        have = current["files"].get(path)
+        if have is None:
+            problems.append(f"file {path} missing from image")
+        elif have["sha256"] != meta.get("sha256"):
+            problems.append(f"file {path} content differs from record")
+    for path in current["files"]:
+        if path not in recorded_files:
+            problems.append(f"file {path} present but not recorded")
+    return problems

@@ -1,0 +1,268 @@
+"""Native-vs-container validation harness.
+
+The paper's validation methodology: run the same workload with the
+containerized tool and with the native installation, and confirm the
+outputs are identical.  :func:`validate_against_native` automates that
+comparison byte-for-byte over a list of :class:`ValidationCase` runs and
+produces a :class:`ValidationReport` with per-case diffs.
+
+The canonical corpora — the workloads behind the paper's Figs. 1–5 —
+are provided by :func:`standard_validation_cases`.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+
+from repro.core.apps import native_run
+from repro.core.image import Image
+from repro.core.runtime import ContainerRuntime, RunResult
+from repro.errors import ValidationFailure
+
+__all__ = [
+    "ValidationCase",
+    "CaseResult",
+    "ValidationReport",
+    "validate_against_native",
+    "standard_validation_cases",
+]
+
+
+@dataclass(frozen=True)
+class ValidationCase:
+    """One comparison workload: a command line plus its input files."""
+
+    name: str
+    argv: tuple[str, ...]
+    files: dict[str, bytes] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Outcome of one case: both runs and whether they matched."""
+
+    case: ValidationCase
+    native: RunResult
+    containerized: RunResult
+
+    @property
+    def matched(self) -> bool:
+        return (
+            self.native.exit_code == self.containerized.exit_code
+            and self.native.stdout == self.containerized.stdout
+            and self.native.files_written == self.containerized.files_written
+        )
+
+    def diff(self) -> str:
+        """Unified diff of the two stdouts (empty when matched)."""
+        if self.native.stdout == self.containerized.stdout:
+            return ""
+        return "\n".join(
+            difflib.unified_diff(
+                self.native.stdout.splitlines(),
+                self.containerized.stdout.splitlines(),
+                fromfile="native",
+                tofile="container",
+                lineterm="",
+            )
+        )
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All case results for one image."""
+
+    image_reference: str
+    image_digest: str
+    results: tuple[CaseResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(r.matched for r in self.results)
+
+    @property
+    def n_cases(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> list[CaseResult]:
+        return [r for r in self.results if not r.matched]
+
+    def summary(self) -> str:
+        lines = [
+            f"validation of {self.image_reference} "
+            f"(digest {self.image_digest[:12]}…): "
+            f"{self.n_cases - len(self.failures)}/{self.n_cases} cases identical"
+        ]
+        for r in self.results:
+            status = "OK " if r.matched else "FAIL"
+            lines.append(f"  [{status}] {r.case.name}")
+        return "\n".join(lines)
+
+
+def validate_against_native(
+    image: Image,
+    cases: list[ValidationCase],
+    runtime: ContainerRuntime | None = None,
+    strict: bool = False,
+) -> ValidationReport:
+    """Run each case natively and inside ``image``; compare outputs.
+
+    Parameters
+    ----------
+    strict:
+        When true, raise :class:`repro.errors.ValidationFailure` on the
+        first mismatching case instead of recording it.
+    """
+    runtime = runtime or ContainerRuntime()
+    results: list[CaseResult] = []
+    for case in cases:
+        native = native_run(list(case.argv), files=dict(case.files))
+        containerized = runtime.run(image, list(case.argv), binds=dict(case.files))
+        result = CaseResult(case=case, native=native, containerized=containerized)
+        if strict and not result.matched:
+            raise ValidationFailure(
+                f"case {case.name!r} diverged between native and container:\n"
+                + result.diff()
+            )
+        results.append(result)
+    return ValidationReport(
+        image_reference=image.reference,
+        image_digest=image.digest(),
+        results=tuple(results),
+    )
+
+
+def standard_validation_cases(tool: str) -> list[ValidationCase]:
+    """The paper's validation corpus for one tool.
+
+    * ``pepa`` — the Fig. 1 simple model plus the Edinburgh examples
+      (Active Badge, Alternating Bit, PC LAN 4) and the Fig. 2–4
+      robustness-study artifacts;
+    * ``biopepa`` — the user-manual enzyme-kinetics models with and
+      without inhibitor (ODE, SSA and SBML outputs);
+    * ``gpa`` — clientServerScalability (Fig. 5) and clientServerPower.
+    """
+    if tool == "pepa":
+        from repro.allocation import MAPPING_A, MAPPING_B, synthetic_workload
+        from repro.allocation.machines import machine_model_source
+        from repro.pepa.models import MODEL_NAMES, get_source
+
+        cases = []
+        for name in MODEL_NAMES:
+            path = f"/data/{name}.pepa"
+            src = get_source(name).encode()
+            cases.append(
+                ValidationCase(
+                    name=f"solve:{name}", argv=("pepa", "solve", path), files={path: src}
+                )
+            )
+            cases.append(
+                ValidationCase(
+                    name=f"derive:{name}", argv=("pepa", "derive", path), files={path: src}
+                )
+            )
+        workload = synthetic_workload()
+        m3 = machine_model_source(MAPPING_A, "M3", workload, absorbing=False).encode()
+        cases.append(
+            ValidationCase(
+                name="fig2:activity-diagram-M3A",
+                argv=("pepa", "graph", "/data/m3a.pepa", "Stage0"),
+                files={"/data/m3a.pepa": m3},
+            )
+        )
+        for mapping, fig in ((MAPPING_A, "fig3"), (MAPPING_B, "fig4")):
+            src = machine_model_source(mapping, "M1", workload, absorbing=True).encode()
+            path = f"/data/m1{mapping.name.lower()}.pepa"
+            cases.append(
+                ValidationCase(
+                    name=f"{fig}:cdf-M1-mapping{mapping.name}",
+                    argv=("pepa", "cdf", path, "Stage0", "Done", "240", "25"),
+                    files={path: src},
+                )
+            )
+        return cases
+    if tool == "biopepa":
+        from repro.biopepa.examples import (
+            enzyme_kinetics_source,
+            enzyme_with_inhibitor_source,
+        )
+
+        plain = enzyme_kinetics_source().encode()
+        inhib = enzyme_with_inhibitor_source().encode()
+        small = (
+            "kf = 1.0;\nkb = 0.5;\n"
+            "kineticLawOf f : fMA(kf);\nkineticLawOf b : fMA(kb);\n"
+            "A = (f, 1) << A + (b, 1) >> A;\n"
+            "B = (f, 1) >> B + (b, 1) << B;\n"
+            "A[4] <*> B[0]\n"
+        ).encode()
+        return [
+            ValidationCase(
+                name="levels:reversible",
+                argv=("biopepa", "levels", "/data/small.biopepa", "1", "5", "6"),
+                files={"/data/small.biopepa": small},
+            ),
+            ValidationCase(
+                name="enzyme:ode",
+                argv=("biopepa", "ode", "/data/enzyme.biopepa", "50", "26"),
+                files={"/data/enzyme.biopepa": plain},
+            ),
+            ValidationCase(
+                name="enzyme:ssa",
+                argv=("biopepa", "ssa", "/data/enzyme.biopepa", "50", "26", "42"),
+                files={"/data/enzyme.biopepa": plain},
+            ),
+            ValidationCase(
+                name="enzyme:sbml",
+                argv=("biopepa", "sbml", "/data/enzyme.biopepa"),
+                files={"/data/enzyme.biopepa": plain},
+            ),
+            ValidationCase(
+                name="inhibitor:ode",
+                argv=("biopepa", "ode", "/data/inhib.biopepa", "50", "26"),
+                files={"/data/inhib.biopepa": inhib},
+            ),
+            ValidationCase(
+                name="inhibitor:sbml",
+                argv=("biopepa", "sbml", "/data/inhib.biopepa"),
+                files={"/data/inhib.biopepa": inhib},
+            ),
+        ]
+    if tool == "gpa":
+        from repro.gpepa.examples import (
+            client_server_power_source,
+            client_server_scalability_source,
+        )
+
+        scal = client_server_scalability_source(100, 10).encode()
+        power = client_server_power_source(100, 20).encode()
+        return [
+            ValidationCase(
+                name="fig5:clientServerScalability",
+                argv=("gpa", "fluid", "/data/scal.gpepa", "30", "31"),
+                files={"/data/scal.gpepa": scal},
+            ),
+            ValidationCase(
+                name="fig5:request-throughput",
+                argv=("gpa", "throughput", "/data/scal.gpepa", "request", "30", "31"),
+                files={"/data/scal.gpepa": scal},
+            ),
+            ValidationCase(
+                name="clientServerPower",
+                argv=("gpa", "fluid", "/data/power.gpepa", "30", "31"),
+                files={"/data/power.gpepa": power},
+            ),
+            ValidationCase(
+                name="scalability:simulation",
+                argv=("gpa", "simulate", "/data/scal.gpepa", "10", "11", "5", "42"),
+                files={"/data/scal.gpepa": scal},
+            ),
+            ValidationCase(
+                name="scalability:moments",
+                argv=("gpa", "moments", "/data/scal.gpepa", "10", "11"),
+                files={"/data/scal.gpepa": scal},
+            ),
+        ]
+    raise KeyError(f"unknown tool {tool!r}; expected pepa, biopepa or gpa")

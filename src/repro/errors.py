@@ -1,0 +1,146 @@
+"""Exception hierarchy shared by every subpackage of :mod:`repro`.
+
+Keeping all error types in a single module gives downstream users one
+import point (``from repro.errors import PepaSyntaxError``) and lets the
+CLI map any library failure to a non-zero exit code with a uniform
+message format.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+# ---------------------------------------------------------------------------
+# PEPA / process-algebra front end
+# ---------------------------------------------------------------------------
+
+
+class PepaError(ReproError):
+    """Base class for PEPA language and semantics errors."""
+
+
+class PepaSyntaxError(PepaError):
+    """Raised by the lexer or parser on malformed PEPA source.
+
+    Carries ``line`` and ``column`` (1-based) when the location is known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class UnboundConstantError(PepaError):
+    """A process constant is referenced but never defined."""
+
+
+class UnboundRateError(PepaError):
+    """A rate name is referenced but never defined."""
+
+
+class CooperationError(PepaError):
+    """Illegal cooperation, e.g. two passive participants synchronizing."""
+
+
+class StateSpaceLimitError(PepaError):
+    """State-space derivation exceeded the configured maximum state count."""
+
+
+class DeadlockError(PepaError):
+    """The derived transition system contains a deadlocked state where one
+    was not expected (steady-state analysis of an absorbing chain)."""
+
+
+class IllFormedModelError(PepaError):
+    """Static well-formedness violation (self-loop rate 0, empty choice...)."""
+
+
+# ---------------------------------------------------------------------------
+# Bio-PEPA
+# ---------------------------------------------------------------------------
+
+
+class BioPepaError(ReproError):
+    """Base class for Bio-PEPA model errors."""
+
+
+class KineticLawError(BioPepaError):
+    """A kinetic law references unknown species or has invalid parameters."""
+
+
+class StoichiometryError(BioPepaError):
+    """Inconsistent stoichiometry in a reaction definition."""
+
+
+# ---------------------------------------------------------------------------
+# GPEPA / fluid analysis
+# ---------------------------------------------------------------------------
+
+
+class GPepaError(ReproError):
+    """Base class for grouped-PEPA model errors."""
+
+
+class FluidSemanticsError(GPepaError):
+    """The grouped model violates a precondition of the fluid translation."""
+
+
+# ---------------------------------------------------------------------------
+# Numerics
+# ---------------------------------------------------------------------------
+
+
+class NumericsError(ReproError):
+    """Base class for numerical back-end failures."""
+
+
+class SingularGeneratorError(NumericsError):
+    """The CTMC generator does not admit a unique steady-state solution
+    (reducible chain, absorbing states, or numerically singular system)."""
+
+
+class ConvergenceError(NumericsError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+# ---------------------------------------------------------------------------
+# Container framework
+# ---------------------------------------------------------------------------
+
+
+class ContainerError(ReproError):
+    """Base class for container-framework errors."""
+
+
+class RecipeError(ContainerError):
+    """Malformed build recipe (unknown section, missing bootstrap...)."""
+
+
+class BuildError(ContainerError):
+    """A build step failed (unknown command, unresolvable package...)."""
+
+
+class PackageResolutionError(BuildError):
+    """The simulated package universe cannot satisfy a requirement."""
+
+
+class RuntimeLaunchError(ContainerError):
+    """The container runtime could not start the requested entrypoint."""
+
+
+class ImageFormatError(ContainerError):
+    """An image file or manifest is corrupt or has an unsupported version."""
+
+
+class HubError(ContainerError):
+    """Registry-level failure (unknown collection, tag conflict...)."""
+
+
+class ValidationFailure(ContainerError):
+    """Container output diverged from the native reference output."""

@@ -1,0 +1,453 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``fig*``/``table1`` function reproduces one artifact (DESIGN.md's
+experiment index) and returns the rows/series as data plus a rendered
+text block; :func:`run_experiment` dispatches by name for the CLI, and
+the benchmark harness in ``benchmarks/`` times these same entry points.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "run_experiment",
+    "table1",
+    "fig1_validation",
+    "fig2_activity_diagram",
+    "fig3_cdf_mapping_a",
+    "fig4_cdf_mapping_b",
+    "fig5_gpepa_scalability",
+    "fig6_hub_collection",
+    "overhead_experiment",
+    "biopepa_experiment",
+    "classic_models_experiment",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result wrapper: structured data plus rendered text."""
+
+    name: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+
+
+def table1(beta: float = 1.5, seed: int = 2019) -> ExperimentResult:
+    """Table I: the two mappings, with per-machine load, nominal and mean
+    finishing times, and the FePIA robustness values our substrate adds."""
+    from repro.allocation import (
+        MAPPING_A,
+        MAPPING_B,
+        MACHINES,
+        robustness_of_mapping,
+        synthetic_workload,
+    )
+
+    workload = synthetic_workload(seed=seed)
+    lines = [f"Table I — Mappings A and B (synthetic workload seed {seed})"]
+    data: dict = {"mappings": {}}
+    for mapping in (MAPPING_A, MAPPING_B):
+        report = robustness_of_mapping(mapping, workload, beta=beta)
+        lines.append(f"Mapping {mapping.name} (beta = {beta}):")
+        lines.append(
+            f"  {'machine':8} {'apps':34} {'nominal':>9} {'mean':>9} {'P(<=beta*nom)':>14}"
+        )
+        rows = {}
+        for machine in MACHINES:
+            apps = ", ".join(mapping.applications_on(machine))
+            nominal = report.nominal_times[machine]
+            mean = report.mean_times[machine]
+            rob = report.per_machine[machine]
+            lines.append(
+                f"  {machine:8} {apps:34} {nominal:9.2f} {mean:9.2f} {rob:14.4f}"
+            )
+            rows[machine] = {
+                "apps": mapping.applications_on(machine),
+                "nominal": nominal,
+                "mean": mean,
+                "robustness": rob,
+            }
+        lines.append(
+            f"  mapping robustness = {report.robustness:.4f} "
+            f"(most fragile: {report.most_fragile_machine}); "
+            f"expected makespan = {report.expected_makespan:.2f} "
+            f"(bottleneck: {report.bottleneck_machine})"
+        )
+        data["mappings"][mapping.name] = rows
+    return ExperimentResult(name="table1", text="\n".join(lines) + "\n", data=data)
+
+
+# ---------------------------------------------------------------------------
+# Figures
+# ---------------------------------------------------------------------------
+
+
+def _build_image(builtin: str):
+    from repro.core import Builder, get_recipe_source
+
+    builder = Builder()
+    image, _report = builder.build(get_recipe_source(builtin), name=builtin, tag="1.0")
+    return image
+
+
+def fig1_validation() -> ExperimentResult:
+    """Fig. 1: the simple PEPA model runs identically in the container."""
+    from repro.core import validate_against_native
+    from repro.core.validation import ValidationCase
+    from repro.pepa.models import get_source
+
+    image = _build_image("pepa")
+    src = get_source("simple_validation").encode()
+    cases = [
+        ValidationCase(
+            name="fig1:simple-model",
+            argv=("pepa", "solve", "/data/simple.pepa"),
+            files={"/data/simple.pepa": src},
+        )
+    ]
+    report = validate_against_native(image, cases)
+    native_out = report.results[0].native.stdout
+    text = (
+        report.summary()
+        + "\n--- tool output (identical native and containerized) ---\n"
+        + native_out
+    )
+    return ExperimentResult(
+        name="fig1",
+        text=text,
+        data={"passed": report.passed, "stdout": native_out},
+    )
+
+
+def fig2_activity_diagram(seed: int = 2019) -> ExperimentResult:
+    """Fig. 2: the activity diagram of machine M3 under Mapping A."""
+    from repro.allocation import MAPPING_A, synthetic_workload
+    from repro.allocation.machines import build_machine_model
+    from repro.pepa import activity_graph, derive, to_dot
+
+    workload = synthetic_workload(seed=seed)
+    model = build_machine_model(MAPPING_A, "M3", workload, absorbing=False)
+    space = derive(model)
+    graph = activity_graph(space, "Stage0")
+    dot = to_dot(graph)
+    text = (
+        f"Fig. 2 — activity diagram of M3 (Mapping A): "
+        f"{graph.number_of_nodes()} activities over {space.size} global states\n" + dot
+    )
+    return ExperimentResult(
+        name="fig2",
+        text=text,
+        data={"nodes": graph.number_of_nodes(), "edges": graph.number_of_edges(), "dot": dot},
+    )
+
+
+def _cdf_fig(mapping, fig_name: str, seed: int) -> ExperimentResult:
+    from repro.allocation import finishing_time_cdf, synthetic_workload
+
+    workload = synthetic_workload(seed=seed)
+    ft = finishing_time_cdf(mapping, "M1", workload, grid_points=25)
+    apps = ", ".join(mapping.applications_on("M1"))
+    lines = [
+        f"{fig_name} — CDF of finishing time of M1 under Mapping {mapping.name} "
+        f"(apps: {apps}; mean = {ft.mean:.2f})",
+        f"  {'t':>10} {'P(T<=t)':>10}",
+    ]
+    for t, p in zip(ft.times, ft.cdf):
+        lines.append(f"  {t:10.2f} {p:10.6f}")
+    return ExperimentResult(
+        name=fig_name.lower().replace(". ", "").replace(" ", ""),
+        text="\n".join(lines) + "\n",
+        data={"times": ft.times.tolist(), "cdf": ft.cdf.tolist(), "mean": ft.mean},
+    )
+
+
+def fig3_cdf_mapping_a(seed: int = 2019) -> ExperimentResult:
+    """Fig. 3: finishing-time CDF of M1 under Mapping A."""
+    from repro.allocation import MAPPING_A
+
+    return _cdf_fig(MAPPING_A, "Fig. 3", seed)
+
+
+def fig4_cdf_mapping_b(seed: int = 2019) -> ExperimentResult:
+    """Fig. 4: finishing-time CDF of M1 under Mapping B."""
+    from repro.allocation import MAPPING_B
+
+    return _cdf_fig(MAPPING_B, "Fig. 4", seed)
+
+
+def fig5_gpepa_scalability(n_clients: int = 100, n_servers: int = 10) -> ExperimentResult:
+    """Fig. 5: the clientServerScalability fluid analysis in the container."""
+    from repro.core import ContainerRuntime
+    from repro.gpepa.examples import client_server_scalability_source
+
+    image = _build_image("gpanalyser")
+    runtime = ContainerRuntime()
+    src = client_server_scalability_source(n_clients, n_servers).encode()
+    result = runtime.run(
+        image,
+        ["gpa", "fluid", "/data/scal.gpepa", "30", "16"],
+        binds={"/data/scal.gpepa": src},
+    )
+    text = (
+        f"Fig. 5 — clientServerScalability ({n_clients} clients, {n_servers} servers) "
+        f"executed in container {image.reference}:\n" + result.stdout
+    )
+    return ExperimentResult(
+        name="fig5",
+        text=text,
+        data={"exit_code": result.exit_code, "stdout": result.stdout},
+    )
+
+
+def fig6_hub_collection(root: str | None = None) -> ExperimentResult:
+    """Fig. 6: build all three containers, publish them to a hub
+    collection, list the collection and pull each image back."""
+    import tempfile
+
+    from repro.core import Builder, Hub, get_recipe_source
+
+    builder = Builder()
+    images = [
+        builder.build(get_recipe_source(name), name=name, tag="1.0")[0]
+        for name in ("pepa", "biopepa", "gpanalyser")
+    ]
+    ctx = tempfile.TemporaryDirectory() if root is None else None
+    hub_root = ctx.name if ctx is not None else root
+    try:
+        hub = Hub(hub_root)
+        for image in images:
+            hub.push("pepa-containers", image)
+        lines = ["Fig. 6 — hub collection 'pepa-containers':"]
+        entries = hub.list_collection("pepa-containers")
+        for entry in entries:
+            lines.append(f"  {entry.reference}  digest {entry.digest[:16]}…")
+        lines.append("pull verification:")
+        clones = {}
+        for entry in entries:
+            pulled = hub.pull(entry.collection, entry.name, entry.tag)
+            ok = pulled.digest() == entry.digest
+            clones[entry.reference] = ok
+            lines.append(f"  {entry.reference}: cloned, digest verified = {ok}")
+        return ExperimentResult(
+            name="fig6",
+            text="\n".join(lines) + "\n",
+            data={"entries": [e.reference for e in entries], "verified": clones},
+        )
+    finally:
+        if ctx is not None:
+            ctx.cleanup()
+
+
+# ---------------------------------------------------------------------------
+# Supplementary experiments (claims in §III)
+# ---------------------------------------------------------------------------
+
+
+def overhead_experiment(repetitions: int = 5) -> ExperimentResult:
+    """§III claim: containerization overhead is minimal.
+
+    Times the same PEPA solve natively and inside the container;
+    reports the wall-clock ratio (paper: "almost no difference")."""
+    from repro.core import ContainerRuntime
+    from repro.core.apps import native_run
+    from repro.pepa.models import get_source
+
+    image = _build_image("pepa")
+    runtime = ContainerRuntime()
+    src = get_source("alternating_bit").encode()
+    argv = ["pepa", "solve", "/data/abp.pepa"]
+    files = {"/data/abp.pepa": src}
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(repetitions):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_native = best_of(lambda: native_run(argv, files=dict(files)))
+    t_container = best_of(lambda: runtime.run(image, argv, binds=dict(files)))
+    ratio = t_container / t_native if t_native > 0 else float("nan")
+    text = (
+        "Containerization overhead (alternating-bit solve, best of "
+        f"{repetitions}):\n"
+        f"  native    : {t_native * 1e3:8.3f} ms\n"
+        f"  container : {t_container * 1e3:8.3f} ms\n"
+        f"  ratio     : {ratio:8.3f}x\n"
+    )
+    return ExperimentResult(
+        name="overhead",
+        text=text,
+        data={"native_s": t_native, "container_s": t_container, "ratio": ratio},
+    )
+
+
+def biopepa_experiment() -> ExperimentResult:
+    """§III: Bio-PEPA manual enzyme kinetics with/without inhibitor."""
+    from repro.biopepa import (
+        enzyme_kinetics_model,
+        enzyme_with_inhibitor_model,
+        ode_trajectory,
+    )
+    from repro.core import validate_against_native
+    from repro.core.validation import standard_validation_cases
+
+    times = np.linspace(0.0, 100.0, 26)
+    plain = ode_trajectory(enzyme_kinetics_model(), times)
+    inhib = ode_trajectory(enzyme_with_inhibitor_model(), times)
+    image = _build_image("biopepa")
+    report = validate_against_native(image, standard_validation_cases("biopepa"))
+    lines = [
+        "Bio-PEPA enzyme kinetics (product formation over time):",
+        f"  {'t':>7} {'P (plain)':>12} {'P (inhibited)':>14}",
+    ]
+    for k in range(0, times.size, 5):
+        lines.append(
+            f"  {times[k]:7.1f} {plain.of('P')[k]:12.3f} {inhib.of('P')[k]:14.3f}"
+        )
+    lines.append(report.summary())
+    return ExperimentResult(
+        name="biopepa",
+        text="\n".join(lines) + "\n",
+        data={
+            "P_plain_final": float(plain.of("P")[-1]),
+            "P_inhibited_final": float(inhib.of("P")[-1]),
+            "validation_passed": report.passed,
+        },
+    )
+
+
+def classic_models_experiment() -> ExperimentResult:
+    """§III: the Edinburgh example corpus solved natively and containerized."""
+    from repro.core import validate_against_native
+    from repro.core.validation import standard_validation_cases
+    from repro.pepa import ctmc_of, derive
+    from repro.pepa.models import MODEL_NAMES, get_model
+
+    lines = ["Classic PEPA model corpus:"]
+    stats = {}
+    for name in MODEL_NAMES:
+        space = derive(get_model(name))
+        chain = ctmc_of(space)
+        result = chain.steady_state()
+        lines.append(
+            f"  {name:20} states={space.size:5d} transitions={len(space.transitions):6d} "
+            f"residual={result.residual:.2e}"
+        )
+        stats[name] = {"states": space.size, "transitions": len(space.transitions)}
+    image = _build_image("pepa")
+    report = validate_against_native(image, standard_validation_cases("pepa"))
+    lines.append(report.summary())
+    return ExperimentResult(
+        name="classic",
+        text="\n".join(lines) + "\n",
+        data={"models": stats, "validation_passed": report.passed},
+    )
+
+
+def optimization_experiment(seed: int = 2019) -> ExperimentResult:
+    """X5 — the paper's future work: model-driven mapping optimization.
+
+    Scores Table I's two mappings and a greedy model-driven mapping on
+    expected makespan under availability variation."""
+    from repro.allocation import (
+        MAPPING_A,
+        MAPPING_B,
+        MACHINES,
+        evaluate_mapping,
+        greedy_mapping,
+        synthetic_workload,
+    )
+
+    workload = synthetic_workload(seed=seed)
+    rows = {}
+    for mapping in (MAPPING_A, MAPPING_B, greedy_mapping(workload)):
+        score = evaluate_mapping(mapping, workload, "makespan")
+        rows[mapping.name] = score
+    lines = ["Model-driven allocation (expected makespan, lower is better):"]
+    for name, score in rows.items():
+        loads = {m: len(score.mapping.applications_on(m)) for m in MACHINES}
+        lines.append(
+            f"  mapping {name:8}: makespan {score.value:7.2f}  loads {loads}"
+        )
+    best_paper = min(rows["A"].value, rows["B"].value)
+    improvement = best_paper / rows["greedy"].value
+    lines.append(
+        f"  greedy model-driven mapping is {improvement:.2f}x better than the "
+        "best Table I mapping"
+    )
+    return ExperimentResult(
+        name="optimize",
+        text="\n".join(lines) + "\n",
+        data={name: score.value for name, score in rows.items()},
+    )
+
+
+def sensitivity_experiment(n_seeds: int = 8) -> ExperimentResult:
+    """X6 — seed sensitivity of the study's conclusions."""
+    from repro.allocation import seed_sweep
+
+    report = seed_sweep(n_seeds=n_seeds, include_greedy=True)
+    return ExperimentResult(
+        name="sensitivity",
+        text=report.summary() + "\n",
+        data={
+            "greedy_always_wins": report.greedy_always_wins,
+            "improvement_mean": float(report.greedy_improvement.mean()),
+            "improvement_min": float(report.greedy_improvement.min()),
+        },
+    )
+
+
+_EXPERIMENTS = {
+    "table1": table1,
+    "fig1": fig1_validation,
+    "fig2": fig2_activity_diagram,
+    "fig3": fig3_cdf_mapping_a,
+    "fig4": fig4_cdf_mapping_b,
+    "fig5": fig5_gpepa_scalability,
+    "fig6": fig6_hub_collection,
+    "overhead": overhead_experiment,
+    "biopepa": biopepa_experiment,
+    "classic": classic_models_experiment,
+    "optimize": optimization_experiment,
+    "sensitivity": sensitivity_experiment,
+}
+
+
+def run_experiment(name: str) -> str:
+    """Regenerate one paper artifact; returns its rendered text."""
+    if name == "all":
+        return run_all_experiments()
+    try:
+        fn = _EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(_EXPERIMENTS)}, all"
+        ) from None
+    return fn().text
+
+
+def run_all_experiments() -> str:
+    """Regenerate every artifact into one report (the artifact-evaluation
+    document a reviewer would run first)."""
+    sections = ["# repro — regenerated paper artifacts", ""]
+    for name, fn in _EXPERIMENTS.items():
+        result = fn()
+        sections.append(f"## {name}")
+        sections.append("```")
+        sections.append(result.text.rstrip("\n"))
+        sections.append("```")
+        sections.append("")
+    return "\n".join(sections)

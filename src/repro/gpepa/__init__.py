@@ -1,0 +1,71 @@
+"""GPEPA — Grouped PEPA with fluid (mean-field) semantics.
+
+Grouped PEPA (Hayden & Bradley) replaces the CTMC of a massively
+replicated PEPA model with a system of ordinary differential equations
+over component *counts*, enabling the ~10^129-state analyses the paper
+attributes to the GPAnalyser tool.
+
+A grouped model is a set of component groups — each holding counts of
+sequential PEPA components — composed with cooperation over shared
+actions.  The fluid translation yields::
+
+    dx[G, d]/dt = inflows - outflows
+
+where each action's global rate is the minimum of the cooperating
+subtrees' apparent rates (evaluated on the continuous counts), shared
+proportionally among the enabled transitions.
+
+Example::
+
+    from repro.gpepa import parse_gpepa, fluid_trajectory
+    model = parse_gpepa('''
+        rr = 2.0;  rt = 0.27;  rs = 4.0;
+        Client = (request, rr).Client_think;
+        Client_think = (think, rt).Client;
+        Server = (request, rs).Server_log;
+        Server_log = (log, 2.0).Server;
+        Clients{Client[100]} <request> Servers{Server[10]}
+    ''')
+    traj = fluid_trajectory(model, times)
+"""
+
+from repro.gpepa.model import GroupedModel, Group, GroupCooperation, GroupReference
+from repro.gpepa.parser import parse_gpepa
+from repro.gpepa.fluid import fluid_trajectory, fluid_rhs, FluidTrajectory
+from repro.gpepa.rewards import action_throughput_series, reward_series
+from repro.gpepa.simulation import (
+    gssa_trajectory,
+    gssa_ensemble,
+    GssaTrajectory,
+    GssaEnsemble,
+)
+from repro.gpepa.lna import lna_trajectory, LnaTrajectory
+from repro.gpepa.examples import (
+    client_server_scalability_source,
+    client_server_power_source,
+    client_server_scalability,
+    client_server_power,
+)
+
+__all__ = [
+    "GroupedModel",
+    "Group",
+    "GroupCooperation",
+    "GroupReference",
+    "parse_gpepa",
+    "fluid_trajectory",
+    "fluid_rhs",
+    "FluidTrajectory",
+    "action_throughput_series",
+    "reward_series",
+    "gssa_trajectory",
+    "gssa_ensemble",
+    "GssaTrajectory",
+    "GssaEnsemble",
+    "lna_trajectory",
+    "LnaTrajectory",
+    "client_server_scalability_source",
+    "client_server_power_source",
+    "client_server_scalability",
+    "client_server_power",
+]

@@ -1,0 +1,177 @@
+"""Fluid (mean-field) translation of grouped PEPA models.
+
+The Hayden–Bradley fluid semantics: component counts become continuous
+variables, every action's *global* rate is computed on the composition
+tree —
+
+* at a group: the sum over enabled local transitions of
+  ``count(source) * local_rate``,
+* at a cooperation on a shared action: the **minimum** of the two
+  subtrees' rates,
+* at a cooperation on an unshared action: the **sum**,
+
+and each local transition receives a share of the global rate
+proportional to its contribution within its subtree (normalized-min
+sharing).  The resulting ODE system conserves each group's population
+exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpepa.model import GroupCooperation, GroupReference, GroupedModel, LocalRate
+from repro.numerics.ode import integrate_ode, rk4_fixed_step
+
+__all__ = ["fluid_rhs", "fluid_trajectory", "FluidTrajectory", "action_rate"]
+
+
+def _group_flows(
+    model: GroupedModel, label: str, action: str
+) -> list[LocalRate]:
+    return [t for t in model.transitions if t.group == label and t.action == action]
+
+
+class _FluidSystem:
+    """Pre-compiled flow structure: for each action, the tree of flow
+    lists, so the RHS evaluation allocates nothing per step beyond the
+    numpy temporaries."""
+
+    def __init__(self, model: GroupedModel):
+        self.model = model
+        self.actions = sorted(model.actions)
+        # Per action: evaluation plan as a nested structure mirroring the
+        # composition tree; leaves carry (src_indices, tgt_indices, rates).
+        self.plans = {a: self._compile(model.system, a) for a in self.actions}
+
+    def _compile(self, node, action: str):
+        if isinstance(node, GroupReference):
+            flows = _group_flows(self.model, node.label, action)
+            src = np.array([f.source for f in flows], dtype=np.intp)
+            tgt = np.array([f.target for f in flows], dtype=np.intp)
+            rates = np.array([f.rate for f in flows], dtype=np.float64)
+            return ("leaf", src, tgt, rates)
+        assert isinstance(node, GroupCooperation)
+        left = self._compile(node.left, action)
+        right = self._compile(node.right, action)
+        shared = action in node.actions
+        return ("coop", shared, left, right)
+
+def _plan_rate(plan, x: np.ndarray) -> float:
+    """Unthrottled apparent rate of a compiled subtree."""
+    if plan[0] == "leaf":
+        _tag, src, _tgt, rates = plan
+        if src.size == 0:
+            return 0.0
+        return float(np.dot(x[src], rates))
+    _tag, shared, left, right = plan
+    rl = _plan_rate(left, x)
+    rr = _plan_rate(right, x)
+    return min(rl, rr) if shared else rl + rr
+
+
+def _plan_apply(plan, x: np.ndarray, dx: np.ndarray, scale: float) -> None:
+    """Accumulate throttled flows into ``dx``.
+
+    ``scale`` is the ratio of the rate granted from above to this
+    subtree's own apparent rate (1.0 when unthrottled).
+    """
+    if scale == 0.0:
+        return
+    if plan[0] == "leaf":
+        _tag, src, tgt, rates = plan
+        if src.size == 0:
+            return
+        flow = x[src] * rates * scale
+        np.subtract.at(dx, src, flow)
+        np.add.at(dx, tgt, flow)
+        return
+    _tag, shared, left, right = plan
+    if not shared:
+        _plan_apply(left, x, dx, scale)
+        _plan_apply(right, x, dx, scale)
+        return
+    rl = _plan_rate(left, x)
+    rr = _plan_rate(right, x)
+    granted = min(rl, rr) * scale
+    _plan_apply(left, x, dx, 0.0 if rl == 0.0 else granted / rl)
+    _plan_apply(right, x, dx, 0.0 if rr == 0.0 else granted / rr)
+
+
+def action_rate(model: GroupedModel, action: str, x: np.ndarray) -> float:
+    """Global fluid rate of ``action`` at counts ``x`` (the fluid
+    throughput; GPA's reward primitives integrate over this)."""
+    system = _FluidSystem(model)
+    if action not in system.plans:
+        raise KeyError(f"model has no action {action!r}; actions: {system.actions}")
+    return _plan_rate(system.plans[action], np.asarray(x, dtype=np.float64))
+
+
+def fluid_rhs(model: GroupedModel):
+    """Compile the fluid ODE right-hand side ``f(t, x) -> dx/dt``."""
+    system = _FluidSystem(model)
+    plans = list(system.plans.values())
+    n = model.n_states
+
+    def rhs(_t: float, x: np.ndarray) -> np.ndarray:
+        # Negative excursions from integrator round-off are clamped so
+        # apparent rates stay physical.
+        xc = np.clip(x, 0.0, None)
+        dx = np.zeros(n)
+        for plan in plans:
+            _plan_apply(plan, xc, dx, 1.0)
+        return dx
+
+    return rhs
+
+
+@dataclass(frozen=True)
+class FluidTrajectory:
+    """A fluid solution: counts per (group, derivative) over time."""
+
+    model: GroupedModel
+    times: np.ndarray
+    counts: np.ndarray
+
+    def of(self, group: str, derivative: str) -> np.ndarray:
+        """Time series of one population coordinate."""
+        return self.counts[:, self.model.index_of(group, derivative)]
+
+    def group_series(self, group: str) -> np.ndarray:
+        """Total population of a group over time (constant up to solver
+        tolerance — asserted by the conservation tests)."""
+        idx = self.model.group_indices(group)
+        return self.counts[:, idx].sum(axis=1)
+
+    def final(self) -> dict[tuple[str, str], float]:
+        return {
+            key: float(self.counts[-1, i])
+            for i, key in enumerate(self.model.state_names)
+        }
+
+
+def fluid_trajectory(
+    model: GroupedModel,
+    times: Sequence[float],
+    method: str = "LSODA",
+    rtol: float = 1e-8,
+    atol: float = 1e-10,
+) -> FluidTrajectory:
+    """Integrate the fluid ODEs over ``times``.
+
+    ``method="rk4"`` selects the deterministic fixed-step integrator
+    (bit-identical output for container validation).
+    """
+    rhs = fluid_rhs(model)
+    x0 = model.initial_state()
+    if method == "rk4":
+        counts = rk4_fixed_step(rhs, x0, times)
+    else:
+        counts = integrate_ode(rhs, x0, times, method=method, rtol=rtol, atol=atol)
+    counts = np.clip(counts, 0.0, None)
+    return FluidTrajectory(
+        model=model, times=np.asarray(times, dtype=np.float64), counts=counts
+    )

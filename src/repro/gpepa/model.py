@@ -1,0 +1,243 @@
+"""Grouped PEPA model structure.
+
+A grouped model reuses the PEPA sequential layer (rate and process
+definitions, :class:`repro.pepa.semantics.SequentialSemantics`) and adds:
+
+* :class:`Group` — a labelled population of sequential components with
+  initial counts per local derivative;
+* a *group composition tree* of :class:`GroupReference` leaves and
+  :class:`GroupCooperation` nodes with shared action sets.
+
+The fluid state vector is laid out group-by-group, derivative-by-
+derivative, in discovery order; :class:`GroupedModel` owns that layout
+(`state_names`, `index_of`) so every analysis addresses counts the same
+way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FluidSemanticsError
+from repro.pepa.semantics import ActiveRate, SequentialSemantics
+from repro.pepa.syntax import Constant, Model, ProcessTerm, unparse
+
+__all__ = ["Group", "GroupReference", "GroupCooperation", "GroupedModel", "LocalRate"]
+
+
+@dataclass(frozen=True)
+class Group:
+    """A population group: ``label{Comp1[n1] || Comp2[n2]}``.
+
+    ``initial_counts`` maps component constant names to their initial
+    populations.  All component states must belong to the same
+    sequential state machine family (they typically do — different
+    derivatives of one component definition).
+    """
+
+    label: str
+    initial_counts: dict[str, float]
+
+    def __post_init__(self):
+        if not self.initial_counts:
+            raise FluidSemanticsError(f"group {self.label!r} is empty")
+        for name, count in self.initial_counts.items():
+            if count < 0:
+                raise FluidSemanticsError(
+                    f"group {self.label!r} has negative count for {name!r}"
+                )
+
+
+@dataclass(frozen=True)
+class GroupReference:
+    """A leaf of the composition tree naming a group."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class GroupCooperation:
+    """Cooperation of two grouped subtrees on a set of actions."""
+
+    left: "GroupReference | GroupCooperation"
+    right: "GroupReference | GroupCooperation"
+    actions: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "actions", tuple(sorted(set(self.actions))))
+
+
+@dataclass(frozen=True)
+class LocalRate:
+    """One local transition in fluid form: derivative ``source`` performs
+    ``action`` at per-component rate ``rate`` and becomes ``target``
+    (both are state-vector indices)."""
+
+    group: str
+    action: str
+    source: int
+    target: int
+    rate: float
+
+
+class GroupedModel:
+    """An analyzed grouped PEPA model, ready for the fluid translation.
+
+    Parameters
+    ----------
+    definitions:
+        A PEPA :class:`Model` providing the rate and sequential process
+        definitions (its own system equation is ignored).
+    groups:
+        The population groups.
+    system:
+        The group composition tree.
+    """
+
+    def __init__(
+        self,
+        definitions: Model,
+        groups: list[Group],
+        system: GroupReference | GroupCooperation,
+        source_name: str = "<gpepa>",
+    ):
+        self.definitions = definitions
+        self.groups = {g.label: g for g in groups}
+        if len(self.groups) != len(groups):
+            raise FluidSemanticsError("duplicate group labels")
+        self.system = system
+        self.source_name = source_name
+        self._semantics = SequentialSemantics(definitions)
+        self._validate_system()
+        # Discover each group's local derivative set and the state layout.
+        self.state_names: list[tuple[str, str]] = []  # (group, derivative label)
+        self._index: dict[tuple[str, str], int] = {}
+        self._derivatives: dict[str, list[ProcessTerm]] = {}
+        self._transitions: list[LocalRate] = []
+        for group in groups:
+            self._explore_group(group)
+        self._initial = np.zeros(len(self.state_names))
+        for group in groups:
+            for name, count in group.initial_counts.items():
+                self._initial[self.index_of(group.label, name)] = count
+
+    # -- construction helpers -------------------------------------------------
+
+    def _validate_system(self) -> None:
+        seen: set[str] = set()
+
+        def walk(node) -> None:
+            if isinstance(node, GroupReference):
+                if node.label not in self.groups:
+                    raise FluidSemanticsError(
+                        f"composition references undefined group {node.label!r}"
+                    )
+                if node.label in seen:
+                    raise FluidSemanticsError(
+                        f"group {node.label!r} appears twice in the composition"
+                    )
+                seen.add(node.label)
+            elif isinstance(node, GroupCooperation):
+                walk(node.left)
+                walk(node.right)
+            else:
+                raise FluidSemanticsError(f"bad composition node {node!r}")
+
+        walk(self.system)
+        unused = set(self.groups) - seen
+        if unused:
+            raise FluidSemanticsError(f"group(s) never composed: {sorted(unused)}")
+
+    @staticmethod
+    def _label(term: ProcessTerm) -> str:
+        return term.name if isinstance(term, Constant) else unparse(term)
+
+    def _explore_group(self, group: Group) -> None:
+        """Enumerate the group's derivative closure and local transitions."""
+        pending: list[ProcessTerm] = [Constant(n) for n in group.initial_counts]
+        terms: list[ProcessTerm] = []
+        seen: set[ProcessTerm] = set()
+        while pending:
+            term = pending.pop()
+            if term in seen:
+                continue
+            seen.add(term)
+            terms.append(term)
+            for tr in self._semantics.transitions(term):
+                if tr.target not in seen:
+                    pending.append(tr.target)
+        # Stable order: keep initial components first (declaration order),
+        # then discovered derivatives sorted by label for determinism.
+        initial = [Constant(n) for n in group.initial_counts]
+        rest = sorted(
+            (t for t in terms if t not in initial), key=lambda t: self._label(t)
+        )
+        ordered = initial + rest
+        self._derivatives[group.label] = ordered
+        for term in ordered:
+            key = (group.label, self._label(term))
+            if key in self._index:
+                raise FluidSemanticsError(
+                    f"group {group.label!r} has two derivatives labelled {key[1]!r}"
+                )
+            self._index[key] = len(self.state_names)
+            self.state_names.append(key)
+        for term in ordered:
+            src = self._index[(group.label, self._label(term))]
+            for tr in self._semantics.transitions(term):
+                if not isinstance(tr.rate, ActiveRate):
+                    raise FluidSemanticsError(
+                        f"fluid semantics requires active rates; component "
+                        f"{self._label(term)!r} performs {tr.action!r} passively"
+                    )
+                dst = self._index[(group.label, self._label(tr.target))]
+                self._transitions.append(
+                    LocalRate(
+                        group=group.label,
+                        action=tr.action,
+                        source=src,
+                        target=dst,
+                        rate=tr.rate.value,
+                    )
+                )
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """Dimension of the fluid state vector."""
+        return len(self.state_names)
+
+    @property
+    def transitions(self) -> tuple[LocalRate, ...]:
+        return tuple(self._transitions)
+
+    @property
+    def actions(self) -> frozenset[str]:
+        return frozenset(t.action for t in self._transitions)
+
+    def index_of(self, group: str, derivative: str) -> int:
+        """Position of ``(group, derivative)`` in the state vector."""
+        try:
+            return self._index[(group, derivative)]
+        except KeyError:
+            known = [d for g, d in self.state_names if g == group]
+            raise KeyError(
+                f"no derivative {derivative!r} in group {group!r}; known: {known}"
+            ) from None
+
+    def initial_state(self) -> np.ndarray:
+        """Initial counts vector (copy)."""
+        return self._initial.copy()
+
+    def group_total(self, group: str) -> float:
+        """Total population of a group (conserved by the fluid ODEs)."""
+        if group not in self.groups:
+            raise KeyError(f"unknown group {group!r}")
+        return float(sum(self.groups[group].initial_counts.values()))
+
+    def group_indices(self, group: str) -> list[int]:
+        """State-vector indices belonging to a group."""
+        return [i for i, (g, _d) in enumerate(self.state_names) if g == group]

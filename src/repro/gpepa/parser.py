@@ -1,0 +1,122 @@
+"""Parser for grouped PEPA (``.gpepa``) sources.
+
+Reuses the PEPA lexer and the PEPA parser's definition/rate machinery,
+then parses the grouped system equation::
+
+    gsystem ::= gterm { coop_op gterm }            (left-associative)
+    gterm   ::= UNAME '{' population '}' | '(' gsystem ')'
+    population ::= UNAME '[' NUMBER ']' { '||' UNAME '[' NUMBER ']' }
+    coop_op ::= '<' [actions] '>' | '<>' | '||'
+
+Example (the GPAnalyser client/server flavor)::
+
+    rr = 2.0;
+    Client = (request, rr).Client_think;
+    Client_think = (think, 0.27).Client;
+    Server = (request, 4.0).Server_log;
+    Server_log = (log, 2.0).Server;
+    Clients{Client[100]} <request> Servers{Server[10]}
+"""
+
+from __future__ import annotations
+
+from repro.errors import PepaSyntaxError
+from repro.gpepa.model import Group, GroupCooperation, GroupReference, GroupedModel
+from repro.pepa.lexer import tokenize
+from repro.pepa.parser import _Parser
+from repro.pepa.syntax import Constant, Model, ProcessDef, RateDef
+
+__all__ = ["parse_gpepa"]
+
+
+class _GParser(_Parser):
+    def __init__(self, tokens, source_name: str):
+        super().__init__(tokens)
+        self.source_name = source_name
+        self.groups: list[Group] = []
+
+    def gsystem(self):
+        left = self.gterm()
+        while True:
+            actions = self._try_coop_op()
+            if actions is None:
+                return left
+            right = self.gterm()
+            left = GroupCooperation(left, right, tuple(actions))
+
+    def gterm(self):
+        if self.cur.kind == "(":
+            self.advance()
+            inner = self.gsystem()
+            self.expect(")")
+            return inner
+        label_tok = self.expect("UNAME", "a group label")
+        self.expect("{", "'{' opening a group population")
+        counts: dict[str, float] = {}
+        while True:
+            comp = self.expect("UNAME", "a component name").text
+            self.expect("[")
+            num = self.expect("NUMBER", "an initial count")
+            count = float(num.text)
+            if count < 0:
+                raise PepaSyntaxError(
+                    f"negative initial count {num.text}", num.line, num.column
+                )
+            self.expect("]")
+            if comp in counts:
+                raise PepaSyntaxError(
+                    f"component {comp!r} listed twice in group {label_tok.text!r}",
+                    num.line,
+                    num.column,
+                )
+            counts[comp] = count
+            if self.cur.kind == "||":
+                self.advance()
+                continue
+            break
+        self.expect("}", "'}' closing the group population")
+        self.groups.append(Group(label=label_tok.text, initial_counts=counts))
+        return GroupReference(label=label_tok.text)
+
+    def grouped_model(self) -> GroupedModel:
+        rate_defs: list[RateDef] = []
+        proc_defs: list[ProcessDef] = []
+        seen: set[str] = set()
+        while self.cur.kind in ("LNAME", "UNAME") and self.peek().kind == "=":
+            name_tok = self.advance()
+            self.advance()  # '='
+            if name_tok.text in seen:
+                raise PepaSyntaxError(
+                    f"duplicate definition of {name_tok.text!r}",
+                    name_tok.line,
+                    name_tok.column,
+                )
+            seen.add(name_tok.text)
+            if name_tok.kind == "LNAME":
+                rate_defs.append(RateDef(name_tok.text, self.rate_expr()))
+            else:
+                proc_defs.append(ProcessDef(name_tok.text, self.coop()))
+            self.expect(";", "';' after definition")
+        if self.cur.kind == "EOF":
+            raise self.error("grouped model has no system equation")
+        system = self.gsystem()
+        if self.cur.kind == ";":
+            self.advance()
+        self.expect("EOF", "end of model")
+        # The definitions Model needs *a* system equation; use the first
+        # component of the first group (it is never derived from).
+        placeholder = Constant(next(iter(self.groups[0].initial_counts)))
+        definitions = Model(
+            tuple(rate_defs), tuple(proc_defs), placeholder, self.source_name
+        )
+        return GroupedModel(
+            definitions=definitions,
+            groups=self.groups,
+            system=system,
+            source_name=self.source_name,
+        )
+
+
+def parse_gpepa(source: str, source_name: str = "<gpepa>") -> GroupedModel:
+    """Parse grouped-PEPA source text into a :class:`GroupedModel`."""
+    return _GParser(tokenize(source), source_name).grouped_model()

@@ -1,0 +1,45 @@
+"""Discrete-time Markov chain helpers used by uniformization."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConvergenceError
+
+__all__ = ["uniformized_dtmc", "dtmc_stationary"]
+
+
+def uniformized_dtmc(Q: sp.spmatrix, lam: float | None = None) -> tuple[sp.csr_matrix, float]:
+    """Uniformize the CTMC generator ``Q`` into a DTMC transition matrix.
+
+    Returns ``(P, lam)`` with ``P = I + Q / lam`` where ``lam`` defaults
+    to slightly above the largest exit rate so every diagonal entry of
+    ``P`` stays strictly positive (which makes downstream power methods
+    aperiodic).
+    """
+    Q = sp.csr_matrix(Q, dtype=np.float64)
+    max_exit = float((-Q.diagonal()).max()) if Q.shape[0] else 0.0
+    if lam is None:
+        lam = max_exit * 1.02 if max_exit > 0 else 1.0
+    elif lam < max_exit:
+        raise ValueError(
+            f"uniformization rate {lam} is below the maximum exit rate {max_exit}"
+        )
+    P = sp.eye(Q.shape[0], format="csr") + Q.multiply(1.0 / lam)
+    return P.tocsr(), lam
+
+
+def dtmc_stationary(P: sp.spmatrix, tol: float = 1e-12, maxiter: int = 200_000) -> np.ndarray:
+    """Stationary distribution of a row-stochastic matrix by power iteration."""
+    P = sp.csr_matrix(P, dtype=np.float64)
+    n = P.shape[0]
+    PT = P.transpose().tocsr()
+    pi = np.full(n, 1.0 / n)
+    for _ in range(maxiter):
+        nxt = PT @ pi
+        nxt /= nxt.sum()
+        if np.abs(nxt - pi).max() < tol:
+            return nxt
+        pi = nxt
+    raise ConvergenceError(f"DTMC power iteration failed to reach {tol} in {maxiter} steps")

@@ -1,0 +1,88 @@
+"""Truncated Poisson weights for uniformization.
+
+Uniformization expresses the matrix exponential of a CTMC generator as a
+Poisson-weighted sum of powers of the uniformized DTMC.  The weights
+``w_k = e^{-m} m^k / k!`` underflow badly for large ``m`` when computed
+naively, so we follow the standard Fox–Glynn approach of working in log
+space and truncating both tails once the retained mass reaches the
+requested accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["poisson_weights", "poisson_truncation_point"]
+
+
+def poisson_truncation_point(m: float, epsilon: float = 1e-12) -> int:
+    """Smallest ``K`` such that the Poisson(``m``) mass above ``K`` is below
+    ``epsilon``.
+
+    Uses the normal tail bound ``K ~ m + c*sqrt(m)`` as a starting guess
+    and then walks outward on the exact log-pmf, which is cheap and
+    avoids the piecewise constants of the original Fox–Glynn paper.
+    """
+    if m < 0:
+        raise ValueError(f"Poisson rate must be non-negative, got {m}")
+    if m == 0.0:
+        return 0
+    k = int(m + 8.0 * math.sqrt(m) + 10.0)
+    # Walk forward until the (tight) tail bound  pmf(k) * (k+1)/(k+1-m)
+    # drops below epsilon.  For k > m the Poisson tail is bounded by a
+    # geometric series with ratio m/(k+1).
+    while True:
+        log_pmf = k * math.log(m) - m - math.lgamma(k + 1)
+        ratio = m / (k + 1)
+        if ratio < 1.0:
+            log_tail = log_pmf + math.log(1.0 / (1.0 - ratio))
+        else:  # still left of the safe zone; jump right
+            k = int(k * 1.5) + 1
+            continue
+        if log_tail < math.log(epsilon):
+            return k
+        k += max(1, int(0.05 * k))
+
+
+def poisson_weights(m: float, epsilon: float = 1e-12) -> tuple[int, np.ndarray]:
+    """Return ``(k_lo, w)`` with ``w[i] ~= Poisson(m).pmf(k_lo + i)``.
+
+    The weights cover at least ``1 - epsilon`` of the distribution's
+    mass and are renormalized to sum to exactly 1 so that downstream
+    uniformization preserves probability mass.
+
+    Parameters
+    ----------
+    m:
+        Poisson rate (``lambda * t`` in uniformization), must be >= 0.
+    epsilon:
+        Maximum probability mass allowed to be truncated away (before
+        renormalization).
+    """
+    if m < 0:
+        raise ValueError(f"Poisson rate must be non-negative, got {m}")
+    if m == 0.0:
+        return 0, np.array([1.0])
+    k_hi = poisson_truncation_point(m, epsilon / 2.0)
+    if m > 25.0:
+        k_lo = max(0, int(m - 8.0 * math.sqrt(m) - 10.0))
+        # Walk the lower truncation point down until the lower tail is
+        # small enough (lower tail bounded by pmf(k) * (k+1)/(m) geometric).
+        while k_lo > 0:
+            log_pmf = k_lo * math.log(m) - m - math.lgamma(k_lo + 1)
+            ratio = k_lo / m
+            log_tail = log_pmf + math.log(1.0 / (1.0 - ratio)) if ratio < 1 else 0.0
+            if log_tail < math.log(epsilon / 2.0):
+                break
+            k_lo = max(0, k_lo - max(1, int(0.05 * k_lo)))
+    else:
+        k_lo = 0
+    ks = np.arange(k_lo, k_hi + 1, dtype=np.float64)
+    log_w = ks * math.log(m) - m - np.array([math.lgamma(k + 1) for k in ks])
+    # Shift by the max before exponentiating for numerical headroom.
+    log_w -= log_w.max()
+    w = np.exp(log_w)
+    w /= w.sum()
+    return k_lo, w

@@ -1,0 +1,235 @@
+"""Steady-state distributions of finite CTMCs.
+
+The steady-state (equilibrium) distribution ``pi`` of an irreducible
+CTMC with generator ``Q`` satisfies::
+
+    pi @ Q = 0,    sum(pi) = 1,    pi >= 0
+
+Three methods are provided, matching the ablation D1 in DESIGN.md:
+
+``direct``
+    Replace one balance equation by the normalization constraint and
+    solve the resulting nonsingular sparse system with ``splu``.  The
+    workhorse for the state-space sizes PEPA's explicit engine reaches.
+``gmres``
+    Same replaced system solved iteratively with ILU-preconditioned
+    GMRES.  Scales to larger sparse systems at some accuracy cost.
+``power``
+    Power iteration on the uniformized DTMC ``P = I + Q/lambda``.
+    Slowest but allocation-free per step and embarrassingly simple; it
+    is the method of last resort for ill-conditioned generators.
+
+All methods accept the generator in the "row" convention used across
+this library: ``Q[i, j]`` (``i != j``) is the rate from state ``i`` to
+state ``j`` and rows sum to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import ConvergenceError, SingularGeneratorError
+
+__all__ = ["steady_state", "SteadyStateResult", "validate_generator"]
+
+_METHODS = ("direct", "gmres", "power")
+
+
+@dataclass(frozen=True)
+class SteadyStateResult:
+    """Steady-state solve outcome.
+
+    Attributes
+    ----------
+    pi:
+        The stationary probability vector (sums to 1).
+    method:
+        Which back-end produced it.
+    residual:
+        Max-norm of ``pi @ Q`` — a direct measure of solution quality.
+    iterations:
+        Iteration count for iterative methods, 0 for the direct solver.
+    """
+
+    pi: np.ndarray
+    method: str
+    residual: float
+    iterations: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __getitem__(self, i: int) -> float:
+        return float(self.pi[i])
+
+
+def validate_generator(Q: sp.spmatrix, atol: float = 1e-8) -> sp.csr_matrix:
+    """Check that ``Q`` is a square generator (rows sum to ~0, off-diagonal
+    entries non-negative) and return it as CSR.
+
+    Raises
+    ------
+    SingularGeneratorError
+        If the matrix is not square or violates generator structure.
+    """
+    Q = sp.csr_matrix(Q, dtype=np.float64)
+    n, m = Q.shape
+    if n != m:
+        raise SingularGeneratorError(f"generator must be square, got {n}x{m}")
+    if n == 0:
+        raise SingularGeneratorError("generator is empty")
+    row_sums = np.asarray(Q.sum(axis=1)).ravel()
+    scale = max(1.0, float(np.abs(Q.data).max()) if Q.nnz else 1.0)
+    if np.abs(row_sums).max() > atol * scale:
+        worst = int(np.abs(row_sums).argmax())
+        raise SingularGeneratorError(
+            f"row {worst} of generator sums to {row_sums[worst]:.3e}, not 0"
+        )
+    coo = Q.tocoo()
+    off = coo.row != coo.col
+    if coo.data[off].size and coo.data[off].min() < -atol * scale:
+        raise SingularGeneratorError("negative off-diagonal rate in generator")
+    return Q
+
+
+def _replaced_system(Q: sp.csr_matrix) -> tuple[sp.csc_matrix, np.ndarray]:
+    """Build ``A x = b`` where ``A`` is ``Q^T`` with its last row replaced by
+    ones (normalization) and ``b`` is the matching unit vector."""
+    n = Q.shape[0]
+    A = Q.transpose().tolil()
+    A[n - 1, :] = np.ones(n)
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    return A.tocsc(), b
+
+
+def _solve_direct(Q: sp.csr_matrix) -> tuple[np.ndarray, int]:
+    A, b = _replaced_system(Q)
+    try:
+        lu = spla.splu(A)
+        pi = lu.solve(b)
+    except RuntimeError as exc:  # splu signals singularity this way
+        raise SingularGeneratorError(f"direct solve failed: {exc}") from exc
+    return pi, 0
+
+
+def _solve_gmres(Q: sp.csr_matrix, tol: float, maxiter: int) -> tuple[np.ndarray, int]:
+    A, b = _replaced_system(Q)
+    n = A.shape[0]
+    try:
+        ilu = spla.spilu(A.tocsc(), drop_tol=1e-6, fill_factor=20)
+        M = spla.LinearOperator((n, n), matvec=ilu.solve)
+    except RuntimeError:
+        M = None  # fall back to unpreconditioned GMRES
+    iters = 0
+
+    def _count(_):
+        nonlocal iters
+        iters += 1
+
+    x, info = spla.gmres(A, b, rtol=tol, atol=0.0, maxiter=maxiter, M=M, callback=_count,
+                         callback_type="pr_norm")
+    if info != 0:
+        raise ConvergenceError(f"GMRES did not converge (info={info}) after {iters} iterations")
+    return x, iters
+
+
+def _solve_power(Q: sp.csr_matrix, tol: float, maxiter: int) -> tuple[np.ndarray, int]:
+    n = Q.shape[0]
+    diag = -Q.diagonal()
+    lam = float(diag.max()) * 1.02 + 1e-12
+    # P = I + Q/lam, iterated from the uniform distribution.
+    P = sp.eye(n, format="csr") + Q.multiply(1.0 / lam)
+    PT = P.transpose().tocsr()
+    pi = np.full(n, 1.0 / n)
+    for k in range(1, maxiter + 1):
+        nxt = PT @ pi
+        s = nxt.sum()
+        if s <= 0:
+            raise SingularGeneratorError("power iteration lost all probability mass")
+        nxt /= s
+        delta = np.abs(nxt - pi).max()
+        pi = nxt
+        if delta < tol:
+            return pi, k
+    raise ConvergenceError(
+        f"power iteration did not converge below {tol} in {maxiter} iterations"
+    )
+
+
+def steady_state(
+    Q: sp.spmatrix,
+    method: str = "direct",
+    tol: float = 1e-10,
+    maxiter: int = 100_000,
+    check: bool = True,
+) -> SteadyStateResult:
+    """Compute the steady-state distribution of the CTMC generator ``Q``.
+
+    Parameters
+    ----------
+    Q:
+        Sparse ``n x n`` generator, row convention (rows sum to zero).
+    method:
+        ``"direct"`` (sparse LU), ``"gmres"`` or ``"power"``.
+    tol:
+        Convergence tolerance for the iterative methods and the residual
+        acceptance threshold for all methods.
+    maxiter:
+        Iteration budget for the iterative methods.
+    check:
+        Validate generator structure first (disable in hot loops where
+        the caller already guarantees it).
+
+    Returns
+    -------
+    SteadyStateResult
+
+    Raises
+    ------
+    SingularGeneratorError
+        If the chain is reducible/absorbing so no unique solution exists.
+    ConvergenceError
+        If an iterative method exhausts ``maxiter``.
+    """
+    if method not in _METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
+    Q = validate_generator(Q) if check else sp.csr_matrix(Q, dtype=np.float64)
+    n = Q.shape[0]
+    if n == 1:
+        return SteadyStateResult(pi=np.array([1.0]), method=method, residual=0.0)
+    # A state with no outgoing rate is absorbing: the steady state would be
+    # degenerate and almost always signals a modelling error upstream.
+    diag = -Q.diagonal()
+    if (diag <= 0).any():
+        dead = int(np.argmin(diag))
+        raise SingularGeneratorError(
+            f"state {dead} is absorbing (no outgoing transitions); "
+            "the CTMC has no unique equilibrium"
+        )
+    if method == "direct":
+        pi, iters = _solve_direct(Q)
+    elif method == "gmres":
+        pi, iters = _solve_gmres(Q, tol, maxiter)
+    else:
+        pi, iters = _solve_power(Q, tol, maxiter)
+    # Clean tiny negative round-off and renormalize.
+    if pi.min() < -1e-6:
+        raise SingularGeneratorError(
+            f"solution has significantly negative entry {pi.min():.3e}: chain "
+            "is likely reducible"
+        )
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise SingularGeneratorError("steady-state solve produced a non-normalizable vector")
+    pi /= total
+    residual = float(np.abs(pi @ Q).max())
+    rate_scale = max(1.0, float(diag.max()))
+    if residual > 1e-6 * rate_scale:
+        raise SingularGeneratorError(
+            f"steady-state residual {residual:.3e} too large; generator may be reducible"
+        )
+    return SteadyStateResult(pi=pi, method=method, residual=residual, iterations=iters)

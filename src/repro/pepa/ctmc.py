@@ -1,0 +1,116 @@
+"""CTMC construction from a derived PEPA state space.
+
+Aggregates parallel transitions into a sparse generator matrix (CSR,
+row convention) and exposes the numerical analyses on top of it:
+steady-state, transient, and per-action rate matrices for throughput
+rewards.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import DeadlockError
+from repro.numerics.steady import SteadyStateResult, steady_state
+from repro.numerics.transient import transient_distribution
+from repro.pepa.statespace import StateSpace
+
+__all__ = ["CTMC", "ctmc_of"]
+
+
+@dataclass
+class CTMC:
+    """A continuous-time Markov chain derived from a PEPA model.
+
+    Attributes
+    ----------
+    space:
+        The originating state space (for labels and reward queries).
+    generator:
+        Sparse ``n x n`` generator ``Q`` (rows sum to zero).
+    """
+
+    space: StateSpace
+    generator: sp.csr_matrix
+    _action_rates: dict[str, sp.csr_matrix] = field(default_factory=dict, repr=False)
+
+    @property
+    def n_states(self) -> int:
+        return self.generator.shape[0]
+
+    def steady_state(self, method: str = "direct", **kwargs) -> SteadyStateResult:
+        """Equilibrium distribution; see :func:`repro.numerics.steady_state`.
+
+        Raises
+        ------
+        DeadlockError
+            If the chain has absorbing states (use passage-time analysis
+            for those models instead).
+        """
+        deadlocks = self.space.deadlocked_states()
+        if deadlocks:
+            labels = ", ".join(self.space.state_label(s) for s in deadlocks[:3])
+            raise DeadlockError(
+                f"model has {len(deadlocks)} deadlocked state(s) (e.g. {labels}); "
+                "the steady state is degenerate — use passage-time analysis"
+            )
+        return steady_state(self.generator, method=method, **kwargs)
+
+    def transient(
+        self,
+        times: Sequence[float],
+        pi0: Sequence[float] | None = None,
+        epsilon: float = 1e-12,
+    ) -> np.ndarray:
+        """Transient distributions ``pi(t)`` for each requested time.
+
+        ``pi0`` defaults to all mass on the initial state.
+        """
+        if pi0 is None:
+            pi0 = np.zeros(self.n_states)
+            pi0[self.space.initial_state] = 1.0
+        return transient_distribution(self.generator, pi0, times, epsilon)
+
+    def action_rate_matrix(self, action: str) -> sp.csr_matrix:
+        """Sparse matrix ``R_a`` with ``R_a[i, j]`` the total rate of
+        ``action``-transitions from state ``i`` to ``j`` (cached)."""
+        cached = self._action_rates.get(action)
+        if cached is not None:
+            return cached
+        n = self.n_states
+        rows, cols, vals = [], [], []
+        for tr in self.space.transitions:
+            if tr.action == action:
+                rows.append(tr.source)
+                cols.append(tr.target)
+                vals.append(tr.rate)
+        R = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        self._action_rates[action] = R
+        return R
+
+    def action_exit_rates(self, action: str) -> np.ndarray:
+        """Vector of total ``action`` rates out of each state."""
+        return np.asarray(self.action_rate_matrix(action).sum(axis=1)).ravel()
+
+
+def ctmc_of(space: StateSpace) -> CTMC:
+    """Aggregate the labelled transition system into a CTMC.
+
+    Parallel transitions (same source/target, any action) sum their
+    rates — the race-condition semantics of PEPA.
+    """
+    n = space.size
+    rows = np.fromiter((tr.source for tr in space.transitions), dtype=np.intp)
+    cols = np.fromiter((tr.target for tr in space.transitions), dtype=np.intp)
+    vals = np.fromiter((tr.rate for tr in space.transitions), dtype=np.float64)
+    # Self-loops do not change the distribution of a CTMC: drop them so
+    # the generator's diagonal reflects the true exit rates.
+    keep = rows != cols
+    R = sp.coo_matrix((vals[keep], (rows[keep], cols[keep])), shape=(n, n)).tocsr()
+    exit_rates = np.asarray(R.sum(axis=1)).ravel()
+    Q = R - sp.diags(exit_rates, format="csr")
+    return CTMC(space=space, generator=Q.tocsr())

@@ -1,0 +1,96 @@
+"""Derivation and activity graphs of PEPA models.
+
+The PEPA workbench's "activity diagram" (paper Fig. 2) is the derivation
+graph of a component: nodes are states, edges are activities labelled
+``action, rate``.  We export:
+
+* :func:`derivation_graph` — the full global derivation graph as a
+  :class:`networkx.MultiDiGraph` (parallel activities preserved);
+* :func:`activity_graph` — the projection onto one leaf component
+  (local derivatives and the activities that move them), which is what
+  the Fig. 2 diagram shows for machine ``M3``;
+* :func:`to_dot` — Graphviz DOT text for either graph, so diagrams can
+  be rendered outside this library.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.pepa.statespace import StateSpace
+
+__all__ = ["derivation_graph", "activity_graph", "to_dot"]
+
+
+def derivation_graph(space: StateSpace) -> nx.MultiDiGraph:
+    """Full derivation graph: one node per global state.
+
+    Node attributes: ``label`` (readable state label), ``initial``.
+    Edge attributes: ``action``, ``rate``, ``label``.
+    """
+    g = nx.MultiDiGraph(name=f"derivation of {space.model.source_name}")
+    for i in range(space.size):
+        g.add_node(i, label=space.state_label(i), initial=(i == space.initial_state))
+    for tr in space.transitions:
+        g.add_edge(
+            tr.source,
+            tr.target,
+            action=tr.action,
+            rate=tr.rate,
+            label=f"({tr.action}, {tr.rate:g})",
+        )
+    return g
+
+
+def activity_graph(space: StateSpace, leaf: int | str) -> nx.MultiDiGraph:
+    """Activity diagram of one component: nodes are the leaf's local
+    derivatives; an edge ``u -> v`` labelled ``(a, r)`` is included when
+    some global transition performs ``a`` at rate ``r`` while moving the
+    leaf from ``u`` to ``v``.  Transitions that leave the leaf unchanged
+    are omitted — they are other components' activities.
+    """
+    k = space.leaf_index(leaf) if isinstance(leaf, str) else leaf
+    g = nx.MultiDiGraph(name=f"activity diagram of {space.leaves[k].name}")
+    for j in range(len(space.local_terms[k])):
+        g.add_node(j, label=space.local_label(k, j))
+    seen: set[tuple[int, int, str]] = set()
+    for tr in space.transitions:
+        u = space.states[tr.source][k]
+        v = space.states[tr.target][k]
+        if u == v:
+            continue
+        key = (u, v, tr.action)
+        if key in seen:
+            continue
+        seen.add(key)
+        g.add_edge(u, v, action=tr.action, rate=tr.rate, label=f"({tr.action}, {tr.rate:g})")
+    # Drop unreachable local derivatives (interned but never visited).
+    reachable = {space.states[i][k] for i in range(space.size)}
+    g.remove_nodes_from([n for n in list(g.nodes) if n not in reachable])
+    return g
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace('"', r"\"") + '"'
+
+
+def to_dot(graph: nx.MultiDiGraph) -> str:
+    """Render a derivation/activity graph as Graphviz DOT text.
+
+    Deterministic output (sorted nodes and edges) so that native and
+    containerized runs can be compared byte-for-byte.
+    """
+    lines = [f"digraph {_quote(graph.name or 'pepa')} {{", "  rankdir=LR;"]
+    for node in sorted(graph.nodes):
+        attrs = graph.nodes[node]
+        label = attrs.get("label", str(node))
+        shape = "doublecircle" if attrs.get("initial") else "circle"
+        lines.append(f"  {node} [label={_quote(label)}, shape={shape}];")
+    edges = sorted(
+        graph.edges(keys=True, data=True), key=lambda e: (e[0], e[1], e[3].get("label", ""))
+    )
+    for u, v, _key, data in edges:
+        label = data.get("label", "")
+        lines.append(f"  {u} -> {v} [label={_quote(label)}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,130 @@
+"""Tokenizer for the PEPA concrete syntax.
+
+Produces a flat list of :class:`Token` with 1-based line/column
+positions so the parser can report precise error locations.  Supports
+``//`` line comments and ``/* ... */`` block comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PepaSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+#: Reserved words: the passive rate spellings.
+KEYWORDS = frozenset({"infty", "T"})
+
+_PUNCT2 = ("||", "<>")
+_PUNCT1 = "=(),.+/{}<>[];*-%"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``NUMBER``, ``LNAME`` (lower-case identifier),
+    ``UNAME`` (upper-case identifier), ``INFTY``, a punctuation string,
+    or ``EOF``.
+    """
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # compact for parser error messages
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize PEPA source text.
+
+    Raises
+    ------
+    PepaSyntaxError
+        On an unexpected character or an unterminated block comment.
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise PepaSyntaxError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                advance(1)
+            # scientific notation: 1e-3, 2.5E+4
+            if i < n and source[i] in "eE":
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j].isdigit():
+                    while i < j:
+                        advance(1)
+                    while i < n and source[i].isdigit():
+                        advance(1)
+            text = source[start:i]
+            try:
+                float(text)
+            except ValueError:
+                raise PepaSyntaxError(f"malformed number {text!r}", start_line, start_col)
+            tokens.append(Token("NUMBER", text, start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] in "_'"):
+                advance(1)
+            text = source[start:i]
+            if text in KEYWORDS:
+                tokens.append(Token("INFTY", text, start_line, start_col))
+            elif text[0].isupper():
+                tokens.append(Token("UNAME", text, start_line, start_col))
+            else:
+                tokens.append(Token("LNAME", text, start_line, start_col))
+            continue
+        two = source[i : i + 2]
+        if two in _PUNCT2:
+            tokens.append(Token(two, two, line, col))
+            advance(2)
+            continue
+        if ch in _PUNCT1:
+            tokens.append(Token(ch, ch, line, col))
+            advance(1)
+            continue
+        raise PepaSyntaxError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

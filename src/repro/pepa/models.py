@@ -1,0 +1,148 @@
+"""Bundled classic PEPA models.
+
+The paper validates its PEPA container against example models from the
+Edinburgh PEPA collection: the Active Badge model, the Alternating Bit
+Protocol model and the PC LAN 4 model, plus the small two-component
+model shown in its Fig. 1.  The original Eclipse-plugin sources are no
+longer distributed; these are faithful reconstructions of the published
+model structures with the rate constants used throughout the PEPA
+literature's teaching examples.
+
+Access via :func:`get_source` / :func:`get_model` / :data:`MODEL_NAMES`.
+"""
+
+from __future__ import annotations
+
+from repro.pepa.parser import parse_model
+from repro.pepa.syntax import Model
+
+__all__ = ["MODEL_NAMES", "get_source", "get_model"]
+
+
+#: Fig. 1 — the "simple PEPA model" used to validate the container.
+SIMPLE_VALIDATION = """\
+// Simple two-component validation model (paper Fig. 1).
+// A process repeatedly acquires a shared resource to perform task1.
+r1 = 1.0;
+r2 = 2.0;
+s  = 1.5;
+Process  = (task1, r1).Process1;
+Process1 = (task2, r2).Process;
+Resource = (task1, infty).Resource1;
+Resource1 = (reset, s).Resource;
+Process <task1> Resource
+"""
+
+#: The Active Badge model (Clark, Gilmore & Hillston 1999): a person
+#: moves through three connected rooms wearing an active badge; room
+#: sensors register the badge with a database that tracks the person's
+#: last known location.
+ACTIVE_BADGE = """\
+// Active Badge: person in rooms 1-3, database records last location.
+m = 0.2;   // movement rate between adjacent rooms
+r = 0.5;   // badge registration rate
+P1 = (move12, m).P2 + (reg1, r).P1;
+P2 = (move21, m).P1 + (move23, m).P3 + (reg2, r).P2;
+P3 = (move32, m).P2 + (reg3, r).P3;
+D1 = (reg1, infty).D1 + (reg2, infty).D2 + (reg3, infty).D3;
+D2 = (reg1, infty).D1 + (reg2, infty).D2 + (reg3, infty).D3;
+D3 = (reg1, infty).D1 + (reg2, infty).D2 + (reg3, infty).D3;
+P1 <reg1, reg2, reg3> D1
+"""
+
+#: The Alternating Bit Protocol (Edwards 2001): a sender/receiver pair
+#: over a lossy channel, alternating a one-bit sequence number, with
+#: timeout-driven retransmission.
+ALTERNATING_BIT = """\
+// Alternating Bit Protocol over a lossy channel.
+lam  = 2.0;   // send / resend rate
+mu   = 4.0;   // channel delivery rate
+loss = 0.5;   // channel loss rate
+ack  = 4.0;   // acknowledgement rate
+to   = 0.8;   // sender timeout rate
+Send0    = (send0, lam).WaitAck0;
+WaitAck0 = (ack0, infty).Send1 + (timeout, to).Send0;
+Send1    = (send1, lam).WaitAck1;
+WaitAck1 = (ack1, infty).Send0 + (timeout, to).Send1;
+Chan     = (send0, infty).Deliver0 + (send1, infty).Deliver1;
+Deliver0 = (deliver0, mu).Chan + (drop, loss).Chan;
+Deliver1 = (deliver1, mu).Chan + (drop, loss).Chan;
+Recv0    = (deliver0, infty).Ack0 + (deliver1, infty).Recv0;
+Ack0     = (ack0, ack).Recv1;
+Recv1    = (deliver1, infty).Ack1 + (deliver0, infty).Recv1;
+Ack1     = (ack1, ack).Recv0;
+(Send0 <send0, send1> Chan) <deliver0, deliver1, ack0, ack1> Recv0
+"""
+
+#: PC LAN 4: four workstations sharing one communication medium; each
+#: PC thinks, then competes for the medium to transmit.
+PC_LAN_4 = """\
+// PC LAN with 4 workstations sharing one medium.
+lam = 0.4;   // per-PC think rate
+mu  = 5.0;   // medium transmission rate
+PC      = (think, lam).PCready;
+PCready = (send, infty).PC;
+Medium  = (send, mu).Medium;
+PC[4] <send> Medium
+"""
+
+#: An M/M/2/4 queueing station in PEPA: a bounded buffer of capacity 4
+#: fed by arrivals, drained by two parallel servers.  The classic
+#: teaching example for comparing PEPA against queueing-network
+#: formalisms (§II's "process calculi replaced queueing networks").
+MM2_QUEUE = """\
+// M/M/2/4: Poisson arrivals, two exponential servers, capacity 4.
+// The station is one sequential component whose service rate reflects
+// the number of busy servers (mu with one job, 2*mu with two or more).
+lam = 3.0;       // arrival rate
+mu  = 2.0;       // per-server service rate
+mu2 = 2 * mu;    // both servers busy
+Buf0 = (arrive, lam).Buf1;
+Buf1 = (arrive, lam).Buf2 + (serve, mu).Buf0;
+Buf2 = (arrive, lam).Buf3 + (serve, mu2).Buf1;
+Buf3 = (arrive, lam).Buf4 + (serve, mu2).Buf2;
+Buf4 = (serve, mu2).Buf3;
+Buf0
+"""
+
+#: The machine breakdown-repair model: a workstation alternates between
+#: working and failed states while processing jobs — the minimal
+#: availability-modulation pattern the robustness study scales up.
+FAULTY_MACHINE = """\
+// Breakdown/repair: jobs are processed only while the machine is up.
+lam    = 1.0;    // job processing rate
+brk    = 0.05;   // breakdown rate
+rep    = 0.5;    // repair rate
+serveq = 4.0;    // job source rate
+Jobs    = (process, serveq).Jobs;
+Machine = (process, lam).Machine + (fail, brk).MachineDown;
+MachineDown = (repair, rep).Machine;
+Jobs <process> Machine
+"""
+
+_SOURCES: dict[str, str] = {
+    "simple_validation": SIMPLE_VALIDATION,
+    "active_badge": ACTIVE_BADGE,
+    "alternating_bit": ALTERNATING_BIT,
+    "pc_lan_4": PC_LAN_4,
+    "mm2_queue": MM2_QUEUE,
+    "faulty_machine": FAULTY_MACHINE,
+}
+
+#: Names of the bundled models, in documentation order.
+MODEL_NAMES: tuple[str, ...] = tuple(_SOURCES)
+
+
+def get_source(name: str) -> str:
+    """Concrete-syntax source text of a bundled model."""
+    try:
+        return _SOURCES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bundled model {name!r}; available: {', '.join(MODEL_NAMES)}"
+        ) from None
+
+
+def get_model(name: str) -> Model:
+    """Parse and return a bundled model."""
+    return parse_model(get_source(name), source_name=name)

@@ -1,0 +1,281 @@
+"""Recursive-descent parser for PEPA concrete syntax.
+
+Grammar (EBNF, precedence encoded in the rule nesting)::
+
+    model      ::= { definition } system [';'] EOF
+    definition ::= LNAME '=' rate_expr ';'            (* rate definition *)
+                 | UNAME '=' coop ';'                 (* process definition *)
+    system     ::= coop
+    coop       ::= choice { coop_op choice }          (* left-associative *)
+    coop_op    ::= '<' [ LNAME { ',' LNAME } ] '>' | '<>' | '||'
+    choice     ::= unary { '+' unary }
+    unary      ::= atom { '/' '{' actions '}'
+                        | '[' NUMBER [ ',' '{' actions '}' ] ']' }
+    atom       ::= prefix | UNAME | '(' coop ')'
+    prefix     ::= '(' LNAME ',' rate_expr ')' '.' atom
+    rate_expr  ::= rate_term { ('+'|'-') rate_term }
+    rate_term  ::= rate_atom { ('*'|'/') rate_atom }
+    rate_atom  ::= NUMBER | LNAME | INFTY | '(' rate_expr ')'
+
+Conventions enforced: rate names are lower-case (``LNAME``), process
+constants upper-case (``UNAME``), ``infty``/``T`` is the passive rate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PepaSyntaxError
+from repro.pepa.lexer import Token, tokenize
+from repro.pepa.syntax import (
+    Aggregation,
+    Choice,
+    Constant,
+    Cooperation,
+    Hiding,
+    Model,
+    PassiveLiteral,
+    Prefix,
+    ProcessDef,
+    ProcessTerm,
+    RateBinOp,
+    RateDef,
+    RateExpr,
+    RateLiteral,
+    RateName,
+)
+
+__all__ = ["parse_model", "parse_process", "parse_rate_expr"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        j = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[j]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, what: str | None = None) -> Token:
+        tok = self.cur
+        if tok.kind != kind:
+            want = what or kind
+            raise PepaSyntaxError(
+                f"expected {want}, found {tok.text!r}", tok.line, tok.column
+            )
+        return self.advance()
+
+    def error(self, message: str) -> PepaSyntaxError:
+        tok = self.cur
+        return PepaSyntaxError(message, tok.line, tok.column)
+
+    # -- rate expressions ---------------------------------------------------
+
+    def rate_expr(self) -> RateExpr:
+        left = self.rate_term()
+        while self.cur.kind in ("+", "-"):
+            op = self.advance().text
+            right = self.rate_term()
+            left = RateBinOp(op, left, right)
+        return left
+
+    def rate_term(self) -> RateExpr:
+        left = self.rate_atom()
+        while self.cur.kind in ("*", "/"):
+            op = self.advance().text
+            right = self.rate_atom()
+            left = RateBinOp(op, left, right)
+        return left
+
+    def rate_atom(self) -> RateExpr:
+        tok = self.cur
+        if tok.kind == "NUMBER":
+            self.advance()
+            return RateLiteral(float(tok.text))
+        if tok.kind == "LNAME":
+            self.advance()
+            return RateName(tok.text)
+        if tok.kind == "INFTY":
+            self.advance()
+            return PassiveLiteral()
+        if tok.kind == "(":
+            self.advance()
+            inner = self.rate_expr()
+            self.expect(")")
+            return inner
+        raise self.error(f"expected a rate expression, found {tok.text!r}")
+
+    # -- process terms ------------------------------------------------------
+
+    def coop(self) -> ProcessTerm:
+        left = self.choice()
+        while True:
+            actions = self._try_coop_op()
+            if actions is None:
+                return left
+            right = self.choice()
+            left = Cooperation(left, right, tuple(actions))
+
+    def _try_coop_op(self) -> list[str] | None:
+        tok = self.cur
+        if tok.kind in ("||", "<>"):
+            self.advance()
+            return []
+        if tok.kind == "<":
+            self.advance()
+            actions = []
+            if self.cur.kind != ">":
+                actions.append(self.expect("LNAME", "an action name").text)
+                while self.cur.kind == ",":
+                    self.advance()
+                    actions.append(self.expect("LNAME", "an action name").text)
+            self.expect(">")
+            return actions
+        return None
+
+    def choice(self) -> ProcessTerm:
+        left = self.unary()
+        while self.cur.kind == "+":
+            self.advance()
+            right = self.unary()
+            left = Choice(left, right)
+        return left
+
+    def unary(self) -> ProcessTerm:
+        term = self.atom()
+        while True:
+            if self.cur.kind == "/":
+                self.advance()
+                actions = self._action_set()
+                term = Hiding(term, tuple(actions))
+            elif self.cur.kind == "[":
+                self.advance()
+                num = self.expect("NUMBER", "a copy count")
+                copies = float(num.text)
+                if not copies.is_integer() or copies < 1:
+                    raise PepaSyntaxError(
+                        f"aggregation count must be a positive integer, got {num.text}",
+                        num.line,
+                        num.column,
+                    )
+                actions: list[str] = []
+                if self.cur.kind == ",":
+                    self.advance()
+                    actions = self._action_set()
+                self.expect("]")
+                term = Aggregation(term, int(copies), tuple(actions))
+            else:
+                return term
+
+    def _action_set(self) -> list[str]:
+        self.expect("{")
+        actions = []
+        if self.cur.kind != "}":
+            actions.append(self.expect("LNAME", "an action name").text)
+            while self.cur.kind == ",":
+                self.advance()
+                actions.append(self.expect("LNAME", "an action name").text)
+        self.expect("}")
+        return actions
+
+    def atom(self) -> ProcessTerm:
+        tok = self.cur
+        if tok.kind == "UNAME":
+            self.advance()
+            return Constant(tok.text)
+        if tok.kind == "(":
+            # Disambiguate prefix '(a, r)...' from parenthesized term: a
+            # prefix starts with a lower-case action name followed by ','.
+            if self.peek().kind == "LNAME" and self.peek(2).kind == ",":
+                return self._prefix()
+            self.advance()
+            inner = self.coop()
+            self.expect(")")
+            return inner
+        raise self.error(f"expected a process term, found {tok.text!r}")
+
+    def _prefix(self) -> ProcessTerm:
+        self.expect("(")
+        action = self.expect("LNAME", "an action name").text
+        self.expect(",")
+        rate = self.rate_expr()
+        self.expect(")")
+        self.expect(".", "'.' after activity")
+        continuation = self.atom()
+        return Prefix(action, rate, continuation)
+
+    # -- top level ------------------------------------------------------------
+
+    def model(self, source_name: str) -> Model:
+        rate_defs: list[RateDef] = []
+        proc_defs: list[ProcessDef] = []
+        seen: set[str] = set()
+        while (
+            self.cur.kind in ("LNAME", "UNAME")
+            and self.peek().kind == "="
+        ):
+            name_tok = self.advance()
+            self.advance()  # '='
+            if name_tok.kind == "LNAME":
+                expr = self.rate_expr()
+                defn: RateDef | ProcessDef = RateDef(name_tok.text, expr)
+            else:
+                body = self.coop()
+                defn = ProcessDef(name_tok.text, body)
+            if name_tok.text in seen:
+                raise PepaSyntaxError(
+                    f"duplicate definition of {name_tok.text!r}",
+                    name_tok.line,
+                    name_tok.column,
+                )
+            seen.add(name_tok.text)
+            self.expect(";", "';' after definition")
+            if isinstance(defn, RateDef):
+                rate_defs.append(defn)
+            else:
+                proc_defs.append(defn)
+        if self.cur.kind == "EOF":
+            raise self.error("model has no system equation")
+        system = self.coop()
+        if self.cur.kind == ";":
+            self.advance()
+        self.expect("EOF", "end of model")
+        return Model(tuple(rate_defs), tuple(proc_defs), system, source_name)
+
+
+def parse_model(source: str, source_name: str = "<model>") -> Model:
+    """Parse complete PEPA source text into a :class:`Model`.
+
+    Raises
+    ------
+    PepaSyntaxError
+        With line/column information on any lexical or grammatical error.
+    """
+    return _Parser(tokenize(source)).model(source_name)
+
+
+def parse_process(source: str) -> ProcessTerm:
+    """Parse a single process term (used by tests and the REPL-ish CLI)."""
+    parser = _Parser(tokenize(source))
+    term = parser.coop()
+    parser.expect("EOF", "end of process term")
+    return term
+
+
+def parse_rate_expr(source: str) -> RateExpr:
+    """Parse a single rate expression."""
+    parser = _Parser(tokenize(source))
+    expr = parser.rate_expr()
+    parser.expect("EOF", "end of rate expression")
+    return expr

@@ -1,0 +1,111 @@
+"""Reward structures over PEPA steady-state solutions.
+
+The classical PEPA performance measures:
+
+* **throughput** of an action — expected completed activities of that
+  type per time unit;
+* **utilization** of a component's local state — long-run fraction of
+  time a leaf spends in a given derivative;
+* **population average** — expected number of leaves (of a family) in a
+  given derivative, the measure used by client/server scalability
+  studies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.pepa.ctmc import CTMC
+
+__all__ = ["throughput", "utilization", "population_average", "reward_vector", "expected_reward"]
+
+
+def _pi(chain: CTMC, pi: np.ndarray | None) -> np.ndarray:
+    if pi is None:
+        pi = chain.steady_state().pi
+    pi = np.asarray(pi, dtype=np.float64)
+    if pi.shape != (chain.n_states,):
+        raise ValueError(
+            f"probability vector has shape {pi.shape}, expected ({chain.n_states},)"
+        )
+    return pi
+
+
+def throughput(chain: CTMC, action: str, pi: np.ndarray | None = None) -> float:
+    """Steady-state throughput of ``action``: ``sum_s pi(s) * r_a(s)``.
+
+    ``pi`` may be supplied to reuse an existing solve.
+    """
+    pi = _pi(chain, pi)
+    return float(pi @ chain.action_exit_rates(action))
+
+
+def utilization(
+    chain: CTMC,
+    leaf: int | str,
+    local_state: str,
+    pi: np.ndarray | None = None,
+) -> float:
+    """Long-run probability that component ``leaf`` is in ``local_state``.
+
+    ``local_state`` is the label of a local derivative — a constant name
+    such as ``"Server_busy"`` or the unparsed form of an anonymous
+    derivative.
+    """
+    pi = _pi(chain, pi)
+    states = chain.space.states_with_local(leaf, local_state)
+    return float(pi[states].sum())
+
+
+def population_average(
+    chain: CTMC,
+    leaf_family: str,
+    local_state: str,
+    pi: np.ndarray | None = None,
+) -> float:
+    """Expected number of leaves named ``leaf_family`` (exactly, or with a
+    ``#k`` copy suffix from aggregation expansion) that are in
+    ``local_state`` at equilibrium."""
+    pi = _pi(chain, pi)
+    space = chain.space
+    total = 0.0
+    matched = False
+    for leaf in space.leaves:
+        base = leaf.name.split("#", 1)[0]
+        if base != leaf_family:
+            continue
+        matched = True
+        states = space.states_with_local(leaf.index, local_state)
+        total += float(pi[states].sum())
+    if not matched:
+        raise KeyError(
+            f"no component family named {leaf_family!r}; have "
+            f"{sorted({l.name.split('#', 1)[0] for l in space.leaves})}"
+        )
+    return total
+
+
+def reward_vector(
+    chain: CTMC, reward: Callable[[object, int], float]
+) -> np.ndarray:
+    """Evaluate a per-state reward function ``reward(space, state_index)``
+    into a dense vector."""
+    space = chain.space
+    return np.fromiter(
+        (reward(space, i) for i in range(space.size)), dtype=np.float64, count=space.size
+    )
+
+
+def expected_reward(
+    chain: CTMC,
+    reward: Callable[[object, int], float] | Sequence[float],
+    pi: np.ndarray | None = None,
+) -> float:
+    """Steady-state expectation of a per-state reward (callable or vector)."""
+    pi = _pi(chain, pi)
+    r = reward_vector(chain, reward) if callable(reward) else np.asarray(reward, float)
+    if r.shape != pi.shape:
+        raise ValueError(f"reward vector shape {r.shape} != pi shape {pi.shape}")
+    return float(pi @ r)

@@ -1,0 +1,390 @@
+"""Explicit state-space derivation for PEPA models.
+
+A PEPA model's cooperation/hiding structure is static: only the local
+states of the sequential components at the leaves evolve.  Derivation
+therefore proceeds in two phases:
+
+1. The system equation is analyzed into a *structure tree* of
+   cooperation and hiding nodes over sequential leaves.
+2. A breadth-first reachability sweep enumerates global states — tuples
+   of interned local-derivative indices, one per leaf (design decision
+   D3: interning keeps states tiny and hashable) — applying the SOS
+   rules of :mod:`repro.pepa.semantics` at each node.
+
+The result is a :class:`StateSpace`: states, labelled transitions, leaf
+metadata, and convenience queries used by the reward and passage-time
+layers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    CooperationError,
+    IllFormedModelError,
+    StateSpaceLimitError,
+)
+from repro.pepa.semantics import (
+    TAU,
+    ActiveRate,
+    LocalTransition,
+    PassiveRate,
+    Rate,
+    SequentialSemantics,
+    cooperation_rate,
+    rate_sum,
+)
+from repro.pepa.syntax import (
+    Constant,
+    Cooperation,
+    Hiding,
+    Model,
+    ProcessTerm,
+    expand_aggregations,
+    unparse,
+)
+
+__all__ = ["derive", "StateSpace", "Transition", "Leaf"]
+
+
+# ---------------------------------------------------------------------------
+# Structure tree
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A sequential component position in the system equation."""
+
+    index: int
+    name: str
+    initial: ProcessTerm
+
+
+@dataclass(frozen=True)
+class _CoopNode:
+    left: object
+    right: object
+    actions: frozenset[str]
+
+
+@dataclass(frozen=True)
+class _HideNode:
+    child: object
+    actions: frozenset[str]
+
+
+def _build_structure(term: ProcessTerm, leaves: list[Leaf], counters: dict[str, int]):
+    """Split the system equation into static structure and leaves.
+
+    Anything that is not a Cooperation or Hiding node at the top of a
+    subterm becomes a sequential leaf; the sequential-only restriction
+    below cooperation is enforced later during local derivation.
+    """
+    if isinstance(term, Cooperation):
+        left = _build_structure(term.left, leaves, counters)
+        right = _build_structure(term.right, leaves, counters)
+        return _CoopNode(left, right, frozenset(term.actions))
+    if isinstance(term, Hiding):
+        child = _build_structure(term.process, leaves, counters)
+        return _HideNode(child, frozenset(term.actions))
+    base = term.name if isinstance(term, Constant) else "Component"
+    n = counters.get(base, 0)
+    counters[base] = n + 1
+    name = base if n == 0 else f"{base}#{n}"
+    leaf = Leaf(len(leaves), name, term)
+    leaves.append(leaf)
+    return leaf
+
+
+# ---------------------------------------------------------------------------
+# State space
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A global transition ``source --(action, rate)--> target``."""
+
+    source: int
+    target: int
+    action: str
+    rate: float
+
+
+@dataclass
+class StateSpace:
+    """The derived labelled transition system of a PEPA model.
+
+    Attributes
+    ----------
+    model:
+        The model this space was derived from.
+    states:
+        ``states[i]`` is the tuple of local-derivative indices, one per
+        leaf, identifying global state ``i``.  State 0 is initial.
+    transitions:
+        All global transitions (parallel edges are *not* merged here —
+        the CTMC layer aggregates; the derivation graph keeps them).
+    leaves:
+        Leaf metadata, aligned with state-tuple positions.
+    local_terms:
+        ``local_terms[k][j]`` is the ``j``-th local derivative (a
+        sequential process term) of leaf ``k``.
+    """
+
+    model: Model
+    states: list[tuple[int, ...]]
+    transitions: list[Transition]
+    leaves: list[Leaf]
+    local_terms: list[list[ProcessTerm]]
+    _out: list[list[Transition]] = field(default_factory=list, repr=False)
+    _index: dict[tuple[int, ...], int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if not self._out:
+            out: list[list[Transition]] = [[] for _ in self.states]
+            for tr in self.transitions:
+                out[tr.source].append(tr)
+            self._out = out
+        if not self._index:
+            self._index = {s: i for i, s in enumerate(self.states)}
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of reachable global states."""
+        return len(self.states)
+
+    @property
+    def initial_state(self) -> int:
+        return 0
+
+    @property
+    def actions(self) -> frozenset[str]:
+        """All action types labelling at least one transition."""
+        return frozenset(tr.action for tr in self.transitions)
+
+    def outgoing(self, state: int) -> list[Transition]:
+        return self._out[state]
+
+    def state_index(self, local_indices: tuple[int, ...]) -> int | None:
+        return self._index.get(local_indices)
+
+    def deadlocked_states(self) -> list[int]:
+        """States with no outgoing transitions (absorbing)."""
+        return [i for i, out in enumerate(self._out) if not out]
+
+    def exit_rate(self, state: int) -> float:
+        return sum(tr.rate for tr in self._out[state])
+
+    # -- leaf-oriented queries -------------------------------------------------
+
+    def leaf_index(self, name: str) -> int:
+        for leaf in self.leaves:
+            if leaf.name == name:
+                return leaf.index
+        raise KeyError(f"no component named {name!r}; have "
+                       f"{[leaf.name for leaf in self.leaves]}")
+
+    def local_term_of(self, state: int, leaf: int) -> ProcessTerm:
+        """The local derivative of leaf ``leaf`` in global state ``state``."""
+        return self.local_terms[leaf][self.states[state][leaf]]
+
+    def local_label(self, leaf: int, local_index: int) -> str:
+        term = self.local_terms[leaf][local_index]
+        return term.name if isinstance(term, Constant) else unparse(term)
+
+    def state_label(self, state: int) -> str:
+        """Human-readable label, e.g. ``(Client_think, Server)``."""
+        parts = [
+            self.local_label(k, self.states[state][k]) for k in range(len(self.leaves))
+        ]
+        return "(" + ", ".join(parts) + ")"
+
+    def states_where(self, predicate) -> list[int]:
+        """All state indices satisfying ``predicate(space, index)``."""
+        return [i for i in range(self.size) if predicate(self, i)]
+
+    def states_with_local(self, leaf: int | str, term_name: str) -> list[int]:
+        """States in which the given leaf is at the local derivative whose
+        label equals ``term_name`` (a constant name or unparsed term)."""
+        k = self.leaf_index(leaf) if isinstance(leaf, str) else leaf
+        matching = {
+            j
+            for j in range(len(self.local_terms[k]))
+            if self.local_label(k, j) == term_name
+        }
+        if not matching:
+            known = [self.local_label(k, j) for j in range(len(self.local_terms[k]))]
+            raise KeyError(
+                f"leaf {self.leaves[k].name!r} has no local state {term_name!r}; "
+                f"known local states: {known}"
+            )
+        return [i for i, s in enumerate(self.states) if s[k] in matching]
+
+
+# ---------------------------------------------------------------------------
+# Derivation
+# ---------------------------------------------------------------------------
+
+
+class _Deriver:
+    def __init__(self, model: Model, max_states: int):
+        self.model = model
+        self.max_states = max_states
+        self.semantics = SequentialSemantics(model)
+        leaves: list[Leaf] = []
+        system = expand_aggregations(model.system)
+        self.structure = _build_structure(system, leaves, {})
+        self.leaves = leaves
+        # Interning tables: term -> local index, and the reverse list.
+        self.local_index: list[dict[ProcessTerm, int]] = [dict() for _ in leaves]
+        self.local_terms: list[list[ProcessTerm]] = [[] for _ in leaves]
+        self.initial = tuple(self._intern(l.index, l.initial) for l in leaves)
+        # Cache of local transitions in interned form:
+        # (leaf, local_idx) -> tuple[(action, Rate, target_local_idx)]
+        self._local_cache: dict[tuple[int, int], tuple] = {}
+
+    def _intern(self, leaf: int, term: ProcessTerm) -> int:
+        table = self.local_index[leaf]
+        idx = table.get(term)
+        if idx is None:
+            idx = len(self.local_terms[leaf])
+            table[term] = idx
+            self.local_terms[leaf].append(term)
+        return idx
+
+    def _local_transitions(self, leaf: int, local_idx: int):
+        key = (leaf, local_idx)
+        cached = self._local_cache.get(key)
+        if cached is None:
+            term = self.local_terms[leaf][local_idx]
+            raw: tuple[LocalTransition, ...] = self.semantics.transitions(term)
+            cached = tuple(
+                (tr.action, tr.rate, self._intern(leaf, tr.target)) for tr in raw
+            )
+            self._local_cache[key] = cached
+        return cached
+
+    def _node_transitions(self, node, state: tuple[int, ...]):
+        """Transitions of a structure subtree in a given global state.
+
+        Returns a list of ``(action, Rate, updates)`` where ``updates``
+        is a tuple of ``(leaf_index, new_local_index)`` pairs.
+        """
+        if isinstance(node, Leaf):
+            k = node.index
+            return [
+                (action, rate, ((k, tgt),))
+                for action, rate, tgt in self._local_transitions(k, state[k])
+            ]
+        if isinstance(node, _HideNode):
+            inner = self._node_transitions(node.child, state)
+            return [
+                (TAU if action in node.actions else action, rate, upd)
+                for action, rate, upd in inner
+            ]
+        if isinstance(node, _CoopNode):
+            lt = self._node_transitions(node.left, state)
+            rt = self._node_transitions(node.right, state)
+            out = []
+            shared = node.actions
+            for action, rate, upd in lt:
+                if action not in shared:
+                    out.append((action, rate, upd))
+            for action, rate, upd in rt:
+                if action not in shared:
+                    out.append((action, rate, upd))
+            if shared:
+                # Group the shared-action transitions per side.
+                lshared: dict[str, list] = {}
+                rshared: dict[str, list] = {}
+                for action, rate, upd in lt:
+                    if action in shared:
+                        lshared.setdefault(action, []).append((rate, upd))
+                for action, rate, upd in rt:
+                    if action in shared:
+                        rshared.setdefault(action, []).append((rate, upd))
+                for action in lshared.keys() & rshared.keys():
+                    lefts = lshared[action]
+                    rights = rshared[action]
+                    ra_l = self._apparent(action, lefts)
+                    ra_r = self._apparent(action, rights)
+                    for r1, u1 in lefts:
+                        for r2, u2 in rights:
+                            rate = cooperation_rate(r1, ra_l, r2, ra_r)
+                            out.append((action, rate, u1 + u2))
+            return out
+        raise AssertionError(f"unknown structure node {node!r}")
+
+    @staticmethod
+    def _apparent(action: str, entries: list) -> Rate:
+        total: Rate | None = None
+        for rate, _upd in entries:
+            try:
+                total = rate if total is None else rate_sum(total, rate)
+            except CooperationError as exc:
+                raise CooperationError(
+                    f"apparent rate of shared action {action!r} is undefined: {exc}"
+                ) from exc
+        assert total is not None
+        return total
+
+    def run(self) -> StateSpace:
+        states: list[tuple[int, ...]] = [self.initial]
+        index: dict[tuple[int, ...], int] = {self.initial: 0}
+        transitions: list[Transition] = []
+        queue: deque[int] = deque([0])
+        while queue:
+            src = queue.popleft()
+            state = states[src]
+            for action, rate, updates in self._node_transitions(self.structure, state):
+                if isinstance(rate, PassiveRate):
+                    raise IllFormedModelError(
+                        f"action {action!r} remains passive at the top level of the "
+                        "system equation; every passive activity must cooperate "
+                        "with an active partner"
+                    )
+                assert isinstance(rate, ActiveRate)
+                new_state = list(state)
+                for leaf_idx, local_idx in updates:
+                    new_state[leaf_idx] = local_idx
+                key = tuple(new_state)
+                dst = index.get(key)
+                if dst is None:
+                    dst = len(states)
+                    if dst >= self.max_states:
+                        raise StateSpaceLimitError(
+                            f"state space exceeds the configured limit of "
+                            f"{self.max_states} states"
+                        )
+                    index[key] = dst
+                    states.append(key)
+                    queue.append(dst)
+                transitions.append(Transition(src, dst, action, rate.value))
+        return StateSpace(
+            model=self.model,
+            states=states,
+            transitions=transitions,
+            leaves=self.leaves,
+            local_terms=self.local_terms,
+        )
+
+
+def derive(model: Model, max_states: int = 1_000_000) -> StateSpace:
+    """Derive the full reachable state space of a PEPA model.
+
+    Parameters
+    ----------
+    model:
+        A parsed :class:`repro.pepa.syntax.Model`.
+    max_states:
+        Hard cap guarding against state-space explosion; exceeding it
+        raises :class:`repro.errors.StateSpaceLimitError` rather than
+        exhausting memory.
+    """
+    return _Deriver(model, max_states).run()

@@ -1,0 +1,364 @@
+"""Abstract syntax of PEPA models.
+
+The grammar follows the conventions of the PEPA Eclipse plug-in:
+
+* rate names are lower-case identifiers, process constants upper-case;
+* ``infty`` (or ``T``) denotes the passive rate, optionally weighted
+  (``2 * infty``);
+* cooperation is written ``P <a, b> Q`` (``P || Q`` for the empty set);
+* hiding is written ``P / {a, b}``;
+* ``P[n]`` abbreviates ``n`` independent parallel copies of ``P`` and
+  ``P[n, {a}]`` ``n`` copies cooperating pairwise on ``{a}``.
+
+All AST nodes are immutable and hashable; structural equality is used to
+canonicalize local derivative states during state-space derivation, so
+``__eq__``/``__hash__`` correctness here is load-bearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "RateExpr",
+    "RateLiteral",
+    "RateName",
+    "RateBinOp",
+    "PassiveLiteral",
+    "ProcessTerm",
+    "Prefix",
+    "Choice",
+    "Constant",
+    "Cooperation",
+    "Hiding",
+    "Aggregation",
+    "RateDef",
+    "ProcessDef",
+    "Model",
+    "unparse",
+    "unparse_rate",
+    "unparse_model",
+]
+
+
+# ---------------------------------------------------------------------------
+# Rate expressions
+# ---------------------------------------------------------------------------
+
+
+class RateExpr:
+    """Base class for rate expressions appearing in activity prefixes and
+    rate definitions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class RateLiteral(RateExpr):
+    """A numeric rate literal, e.g. ``2.5``."""
+
+    value: float
+
+    def __post_init__(self):
+        if self.value < 0:
+            raise ValueError(f"rate literal must be non-negative, got {self.value}")
+
+
+@dataclass(frozen=True)
+class RateName(RateExpr):
+    """A reference to a named rate, e.g. ``mu``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PassiveLiteral(RateExpr):
+    """The passive rate ``infty``, with an optional multiplicity weight
+    (``w * infty`` is represented as ``PassiveLiteral(weight=w)``)."""
+
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(f"passive weight must be positive, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class RateBinOp(RateExpr):
+    """Arithmetic over rates: ``+ - * /``."""
+
+    op: str
+    left: RateExpr
+    right: RateExpr
+
+    def __post_init__(self):
+        if self.op not in ("+", "-", "*", "/"):
+            raise ValueError(f"unsupported rate operator {self.op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Process terms
+# ---------------------------------------------------------------------------
+
+
+class ProcessTerm:
+    """Base class for PEPA process terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Prefix(ProcessTerm):
+    """Activity prefix ``(action, rate).continuation``."""
+
+    action: str
+    rate: RateExpr
+    continuation: ProcessTerm
+
+
+@dataclass(frozen=True)
+class Choice(ProcessTerm):
+    """Competitive choice ``left + right``."""
+
+    left: ProcessTerm
+    right: ProcessTerm
+
+
+@dataclass(frozen=True)
+class Constant(ProcessTerm):
+    """A named process constant, e.g. ``Server``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Cooperation(ProcessTerm):
+    """Cooperation ``left <actions> right`` (synchronize on ``actions``).
+
+    ``actions`` is stored as a sorted tuple so the node remains hashable
+    and prints deterministically.
+    """
+
+    left: ProcessTerm
+    right: ProcessTerm
+    actions: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "actions", tuple(sorted(set(self.actions))))
+
+    @property
+    def action_set(self) -> frozenset[str]:
+        return frozenset(self.actions)
+
+
+@dataclass(frozen=True)
+class Hiding(ProcessTerm):
+    """Hiding ``process / {actions}`` — actions become the silent ``tau``."""
+
+    process: ProcessTerm
+    actions: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "actions", tuple(sorted(set(self.actions))))
+
+    @property
+    def action_set(self) -> frozenset[str]:
+        return frozenset(self.actions)
+
+
+@dataclass(frozen=True)
+class Aggregation(ProcessTerm):
+    """Array shorthand ``P[n]`` / ``P[n, {a}]``.
+
+    Purely syntactic: :func:`expand_aggregations` rewrites it into a
+    balanced cooperation tree before derivation.
+    """
+
+    process: ProcessTerm
+    copies: int
+    actions: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.copies < 1:
+            raise ValueError(f"aggregation needs at least one copy, got {self.copies}")
+        object.__setattr__(self, "actions", tuple(sorted(set(self.actions))))
+
+
+# ---------------------------------------------------------------------------
+# Definitions and models
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RateDef:
+    """``name = rate_expression ;``"""
+
+    name: str
+    expr: RateExpr
+
+
+@dataclass(frozen=True)
+class ProcessDef:
+    """``Name = process_term ;``"""
+
+    name: str
+    body: ProcessTerm
+
+
+@dataclass(frozen=True)
+class Model:
+    """A complete PEPA model: rate definitions, process definitions and
+    the system equation."""
+
+    rate_defs: tuple[RateDef, ...]
+    process_defs: tuple[ProcessDef, ...]
+    system: ProcessTerm
+    source_name: str = "<model>"
+
+    _rates: dict = field(default_factory=dict, compare=False, repr=False)
+    _procs: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "_rates", {d.name: d.expr for d in self.rate_defs})
+        object.__setattr__(self, "_procs", {d.name: d.body for d in self.process_defs})
+
+    @property
+    def rates(self) -> dict[str, RateExpr]:
+        """Rate definitions as a name → expression mapping."""
+        return dict(self._rates)
+
+    @property
+    def processes(self) -> dict[str, ProcessTerm]:
+        """Process definitions as a name → body mapping."""
+        return dict(self._procs)
+
+    def rate_expr(self, name: str) -> RateExpr | None:
+        return self._rates.get(name)
+
+    def process_body(self, name: str) -> ProcessTerm | None:
+        return self._procs.get(name)
+
+    def with_rate(self, name: str, value: float) -> "Model":
+        """Return a copy of the model with rate ``name`` overridden.
+
+        Used by the experimentation engine for parameter sweeps.
+        """
+        if name not in self._rates:
+            from repro.errors import UnboundRateError
+
+            raise UnboundRateError(f"cannot override undefined rate {name!r}")
+        new_defs = tuple(
+            RateDef(d.name, RateLiteral(value)) if d.name == name else d
+            for d in self.rate_defs
+        )
+        return Model(new_defs, self.process_defs, self.system, self.source_name)
+
+
+# ---------------------------------------------------------------------------
+# Pretty printer (unparser)
+# ---------------------------------------------------------------------------
+
+
+def unparse_rate(expr: RateExpr) -> str:
+    """Render a rate expression back to concrete syntax."""
+    if isinstance(expr, RateLiteral):
+        v = expr.value
+        return repr(int(v)) if float(v).is_integer() and abs(v) < 1e15 else repr(v)
+    if isinstance(expr, RateName):
+        return expr.name
+    if isinstance(expr, PassiveLiteral):
+        if expr.weight == 1.0:
+            return "infty"
+        return f"{unparse_rate(RateLiteral(expr.weight))} * infty"
+    if isinstance(expr, RateBinOp):
+        return f"({unparse_rate(expr.left)} {expr.op} {unparse_rate(expr.right)})"
+    raise TypeError(f"not a rate expression: {expr!r}")
+
+
+def _coop_label(actions: tuple[str, ...]) -> str:
+    return "||" if not actions else "<" + ", ".join(actions) + ">"
+
+
+def unparse(term: ProcessTerm) -> str:
+    """Render a process term back to concrete syntax.
+
+    The output is fully parenthesized where precedence could be
+    ambiguous, and re-parses to a structurally equal term (property
+    tested in ``tests/pepa/test_roundtrip.py``).
+    """
+    if isinstance(term, Constant):
+        return term.name
+    if isinstance(term, Prefix):
+        cont = term.continuation
+        cont_s = unparse(cont)
+        # The grammar's prefix continuation is an atom: anything with an
+        # operator or postfix needs explicit parentheses to round-trip.
+        if isinstance(cont, (Choice, Cooperation, Hiding, Aggregation)):
+            cont_s = f"({cont_s})"
+        return f"({term.action}, {unparse_rate(term.rate)}).{cont_s}"
+    if isinstance(term, Choice):
+        left_s = unparse(term.left)
+        if isinstance(term.left, (Cooperation, Hiding)):
+            left_s = f"({left_s})"
+        right_s = unparse(term.right)
+        # '+' is parsed left-associative: a right-nested Choice must keep
+        # its parentheses to preserve the tree shape.
+        if isinstance(term.right, (Cooperation, Hiding, Choice)):
+            right_s = f"({right_s})"
+        return f"{left_s} + {right_s}"
+    if isinstance(term, Cooperation):
+        left = unparse(term.left)
+        if isinstance(term.left, (Cooperation, Choice)):
+            left = f"({left})"
+        right = unparse(term.right)
+        if isinstance(term.right, (Cooperation, Choice)):
+            right = f"({right})"
+        return f"{left} {_coop_label(term.actions)} {right}"
+    if isinstance(term, Hiding):
+        inner = unparse(term.process)
+        if isinstance(term.process, (Cooperation, Choice, Prefix)):
+            inner = f"({inner})"
+        return f"{inner} / {{{', '.join(term.actions)}}}"
+    if isinstance(term, Aggregation):
+        inner = unparse(term.process)
+        if not isinstance(term.process, Constant):
+            inner = f"({inner})"
+        if term.actions:
+            return f"{inner}[{term.copies}, {{{', '.join(term.actions)}}}]"
+        return f"{inner}[{term.copies}]"
+    raise TypeError(f"not a process term: {term!r}")
+
+
+def unparse_model(model: Model) -> str:
+    """Render a whole model back to concrete syntax."""
+    lines = [f"{d.name} = {unparse_rate(d.expr)};" for d in model.rate_defs]
+    lines += [f"{d.name} = {unparse(d.body)};" for d in model.process_defs]
+    lines.append(unparse(model.system))
+    return "\n".join(lines) + "\n"
+
+
+def expand_aggregations(term: ProcessTerm) -> ProcessTerm:
+    """Rewrite every :class:`Aggregation` node into an explicit balanced
+    cooperation tree (``P[4]`` → ``(P || P) || (P || P)``)."""
+    if isinstance(term, Aggregation):
+        base = expand_aggregations(term.process)
+        nodes = [base] * term.copies
+        while len(nodes) > 1:
+            nxt = []
+            for i in range(0, len(nodes) - 1, 2):
+                nxt.append(Cooperation(nodes[i], nodes[i + 1], term.actions))
+            if len(nodes) % 2:
+                nxt.append(nodes[-1])
+            nodes = nxt
+        return nodes[0]
+    if isinstance(term, Prefix):
+        return Prefix(term.action, term.rate, expand_aggregations(term.continuation))
+    if isinstance(term, Choice):
+        return Choice(expand_aggregations(term.left), expand_aggregations(term.right))
+    if isinstance(term, Cooperation):
+        return Cooperation(
+            expand_aggregations(term.left), expand_aggregations(term.right), term.actions
+        )
+    if isinstance(term, Hiding):
+        return Hiding(expand_aggregations(term.process), term.actions)
+    return term

@@ -1,0 +1,236 @@
+"""Static well-formedness analysis of PEPA models.
+
+``check_model`` performs the checks a user expects before paying for
+state-space derivation:
+
+* every referenced process constant and rate name is defined (error);
+* recursion through constants is guarded by at least one prefix (error);
+* sequential definitions contain no cooperation/hiding (error);
+* cooperation sets mention actions both cooperands can actually perform
+  (warning — a one-sided action in the set blocks forever);
+* hidden actions occur in the hidden subterm's alphabet (warning);
+* unused process/rate definitions (warning).
+
+Errors raise; warnings are returned as a list of messages.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    IllFormedModelError,
+    UnboundConstantError,
+    UnboundRateError,
+)
+from repro.pepa.syntax import (
+    Aggregation,
+    Choice,
+    Constant,
+    Cooperation,
+    Hiding,
+    Model,
+    PassiveLiteral,
+    Prefix,
+    ProcessTerm,
+    RateBinOp,
+    RateExpr,
+    RateLiteral,
+    RateName,
+)
+
+__all__ = ["check_model", "alphabet", "referenced_constants", "referenced_rates"]
+
+
+def referenced_rates(expr: RateExpr) -> set[str]:
+    """Rate names appearing in a rate expression."""
+    if isinstance(expr, RateName):
+        return {expr.name}
+    if isinstance(expr, RateBinOp):
+        return referenced_rates(expr.left) | referenced_rates(expr.right)
+    return set()
+
+
+def referenced_constants(term: ProcessTerm) -> set[str]:
+    """Process constants appearing anywhere in a term."""
+    if isinstance(term, Constant):
+        return {term.name}
+    if isinstance(term, Prefix):
+        return referenced_constants(term.continuation)
+    if isinstance(term, Choice):
+        return referenced_constants(term.left) | referenced_constants(term.right)
+    if isinstance(term, Cooperation):
+        return referenced_constants(term.left) | referenced_constants(term.right)
+    if isinstance(term, (Hiding, Aggregation)):
+        return referenced_constants(term.process)
+    return set()
+
+
+def _term_rates(term: ProcessTerm) -> set[str]:
+    if isinstance(term, Prefix):
+        return referenced_rates(term.rate) | _term_rates(term.continuation)
+    if isinstance(term, Choice):
+        return _term_rates(term.left) | _term_rates(term.right)
+    if isinstance(term, Cooperation):
+        return _term_rates(term.left) | _term_rates(term.right)
+    if isinstance(term, (Hiding, Aggregation)):
+        return _term_rates(term.process)
+    return set()
+
+
+def alphabet(model: Model, term: ProcessTerm, _seen: frozenset[str] = frozenset()) -> set[str]:
+    """All action types a term can ever perform (through constants).
+
+    Hiding removes hidden actions from the visible alphabet (they
+    become ``tau``, which is never in a cooperation set).
+    """
+    if isinstance(term, Prefix):
+        return {term.action} | alphabet(model, term.continuation, _seen)
+    if isinstance(term, Choice):
+        return alphabet(model, term.left, _seen) | alphabet(model, term.right, _seen)
+    if isinstance(term, Constant):
+        if term.name in _seen:
+            return set()
+        body = model.process_body(term.name)
+        if body is None:
+            raise UnboundConstantError(f"process constant {term.name!r} is not defined")
+        return alphabet(model, body, _seen | {term.name})
+    if isinstance(term, Cooperation):
+        return alphabet(model, term.left, _seen) | alphabet(model, term.right, _seen)
+    if isinstance(term, Hiding):
+        return alphabet(model, term.process, _seen) - set(term.actions)
+    if isinstance(term, Aggregation):
+        return alphabet(model, term.process, _seen)
+    raise IllFormedModelError(f"unknown term {term!r}")
+
+
+def _check_guarded(model: Model) -> None:
+    """Detect definitions like ``A = B; B = A;`` with no guarding prefix."""
+
+    def head_constants(term: ProcessTerm) -> set[str]:
+        # Constants reachable without passing through a prefix.
+        if isinstance(term, Constant):
+            return {term.name}
+        if isinstance(term, Choice):
+            return head_constants(term.left) | head_constants(term.right)
+        if isinstance(term, (Cooperation,)):
+            return head_constants(term.left) | head_constants(term.right)
+        if isinstance(term, (Hiding, Aggregation)):
+            return head_constants(term.process)
+        return set()
+
+    graph = {name: head_constants(body) for name, body in model.processes.items()}
+    # Iterative DFS cycle detection over the head-reference graph.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in graph}
+    for start in graph:
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(sorted(graph[start])))]
+        color[start] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in graph:
+                    continue  # unbound; reported separately
+                if color[nxt] == GRAY:
+                    raise IllFormedModelError(
+                        f"unguarded recursive definition through {nxt!r}"
+                    )
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, iter(sorted(graph[nxt]))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+
+
+def check_model(model: Model) -> list[str]:
+    """Validate a model statically.  Returns warnings; raises on errors."""
+    warnings: list[str] = []
+
+    # Unbound rate names (in definitions and in process bodies).
+    defined_rates = set(model.rates)
+    used_rates: set[str] = set()
+    for rdef in model.rate_defs:
+        used_rates |= referenced_rates(rdef.expr)
+    for pdef in model.process_defs:
+        used_rates |= _term_rates(pdef.body)
+    used_rates |= _term_rates(model.system)
+    missing_rates = used_rates - defined_rates
+    if missing_rates:
+        raise UnboundRateError(
+            f"undefined rate name(s): {', '.join(sorted(missing_rates))}"
+        )
+
+    # Unbound process constants: any reference anywhere must be defined.
+    defined_procs = set(model.processes)
+    all_refs: set[str] = referenced_constants(model.system)
+    for pdef in model.process_defs:
+        all_refs |= referenced_constants(pdef.body)
+    missing_procs = all_refs - defined_procs
+    if missing_procs:
+        raise UnboundConstantError(
+            f"undefined process constant(s): {', '.join(sorted(missing_procs))}"
+        )
+
+    # "Used" means reachable from the system equation (a definition that
+    # only references itself is still dead code).
+    used_procs: set[str] = set()
+    frontier = referenced_constants(model.system)
+    while frontier:
+        name = frontier.pop()
+        if name in used_procs:
+            continue
+        used_procs.add(name)
+        body = model.process_body(name)
+        if body is not None:
+            frontier |= referenced_constants(body) - used_procs
+
+    _check_guarded(model)
+
+    # Cooperation-set and hiding-set sanity over the system equation.
+    def walk(term: ProcessTerm) -> None:
+        if isinstance(term, Cooperation):
+            la = alphabet(model, term.left)
+            ra = alphabet(model, term.right)
+            for action in term.actions:
+                if action not in la and action not in ra:
+                    warnings.append(
+                        f"cooperation action {action!r} is in neither cooperand's alphabet"
+                    )
+                elif action not in la or action not in ra:
+                    warnings.append(
+                        f"cooperation action {action!r} can only be performed by one "
+                        "cooperand and will block forever"
+                    )
+            walk(term.left)
+            walk(term.right)
+        elif isinstance(term, Hiding):
+            inner = alphabet(model, term.process)
+            for action in term.actions:
+                if action not in inner:
+                    warnings.append(
+                        f"hidden action {action!r} does not occur in the hidden subterm"
+                    )
+            walk(term.process)
+        elif isinstance(term, Aggregation):
+            walk(term.process)
+        elif isinstance(term, Choice):
+            walk(term.left)
+            walk(term.right)
+        elif isinstance(term, Prefix):
+            walk(term.continuation)
+
+    walk(model.system)
+    for pdef in model.process_defs:
+        walk(pdef.body)
+
+    # Unused definitions.
+    for name in sorted(defined_procs - used_procs):
+        warnings.append(f"process {name!r} is defined but never used")
+    for name in sorted(defined_rates - used_rates):
+        warnings.append(f"rate {name!r} is defined but never used")
+
+    return warnings

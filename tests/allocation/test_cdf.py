@@ -1,0 +1,112 @@
+"""Finishing-time CDFs: hypoexponential oracle and distribution properties."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import MAPPING_A, MAPPING_B, finishing_time_cdf, finishing_time_mean
+from repro.allocation.workload import Workload, synthetic_workload
+from repro.numerics.hypoexp import hypoexp_cdf, hypoexp_mean
+
+
+def no_variation_workload() -> Workload:
+    """A workload whose degraded capacity still exceeds every execution
+    rate: availability toggling then never throttles, so the finishing
+    time is exactly hypoexponential in the stage rates."""
+    base = synthetic_workload(seed=5)
+    rates = 1.0 / base.etc
+    return Workload(
+        etc=base.etc,
+        degraded_capacity=float(rates.max() * 10.0),
+        full_capacity=float(rates.max() * 100.0),
+        degrade_rate=base.degrade_rate,
+        recover_rate=base.recover_rate,
+        seed=base.seed,
+    )
+
+
+class TestHypoexpOracle:
+    @pytest.mark.parametrize("machine", ["M1", "M2", "M3"])
+    def test_cdf_matches_closed_form_without_throttling(self, machine):
+        w = no_variation_workload()
+        apps = MAPPING_A.applications_on(machine)
+        rates = [w.execution_rate(a, machine) for a in apps]
+        times = np.linspace(0.0, 3.0 * hypoexp_mean(rates), 40)
+        ft = finishing_time_cdf(MAPPING_A, machine, w, times=times)
+        np.testing.assert_allclose(ft.cdf, hypoexp_cdf(rates, times), atol=1e-8)
+
+    def test_mean_matches_closed_form_without_throttling(self):
+        w = no_variation_workload()
+        apps = MAPPING_A.applications_on("M2")
+        rates = [w.execution_rate(a, "M2") for a in apps]
+        assert finishing_time_mean(MAPPING_A, "M2", w) == pytest.approx(
+            hypoexp_mean(rates), rel=1e-9
+        )
+
+
+class TestWithVariation:
+    def test_degradation_increases_mean(self, workload):
+        w_free = no_variation_workload()
+        # Same ETC matrix, different throttling.
+        w_throttled = Workload(
+            etc=w_free.etc,
+            degraded_capacity=workload.degraded_capacity,
+            full_capacity=w_free.full_capacity,
+            degrade_rate=w_free.degrade_rate,
+            recover_rate=w_free.recover_rate,
+            seed=w_free.seed,
+        )
+        free = finishing_time_mean(MAPPING_A, "M1", w_free)
+        throttled = finishing_time_mean(MAPPING_A, "M1", w_throttled)
+        assert throttled > free
+
+    def test_cdf_properties(self, workload):
+        ft = finishing_time_cdf(MAPPING_A, "M1", workload, grid_points=50)
+        assert ft.cdf[0] == pytest.approx(0.0, abs=1e-12)
+        assert (np.diff(ft.cdf) >= -1e-12).all()
+        assert ft.cdf[-1] > 0.95
+        assert ft.mean > 0
+
+    def test_mean_consistent_with_curve(self, workload):
+        ft = finishing_time_cdf(
+            MAPPING_A,
+            "M2",
+            workload,
+            times=np.linspace(0.0, 60 * finishing_time_mean(MAPPING_A, "M2", workload), 6000),
+        )
+        integral = float(np.trapezoid(1.0 - ft.cdf, ft.times))
+        assert integral == pytest.approx(ft.mean, rel=5e-3)
+
+    def test_quantiles_ordered(self, workload):
+        ft = finishing_time_cdf(MAPPING_A, "M1", workload, grid_points=200)
+        assert ft.quantile(0.25) < ft.quantile(0.5) < ft.quantile(0.9)
+
+    def test_quantile_out_of_range(self, workload):
+        ft = finishing_time_cdf(
+            MAPPING_A, "M1", workload, times=np.linspace(0.0, 1.0, 5)
+        )
+        with pytest.raises(ValueError, match="extend the horizon"):
+            ft.quantile(0.99)
+
+    def test_metadata(self, workload):
+        ft = finishing_time_cdf(MAPPING_B, "M4", workload, grid_points=10)
+        assert ft.mapping_name == "B"
+        assert ft.machine == "M4"
+        assert ft.n_states == 2 * (3 + 1)
+
+    def test_more_applications_slower_cdf_same_rates(self):
+        # Same ETC everywhere: M1 has 5 apps in A and 6 in B, so B's M1
+        # finishing time stochastically dominates A's.
+        base = synthetic_workload(seed=5)
+        uniform = Workload(
+            etc=np.full_like(base.etc, 10.0),
+            degraded_capacity=0.05,
+            full_capacity=100.0,
+            degrade_rate=base.degrade_rate,
+            recover_rate=base.recover_rate,
+            seed=0,
+        )
+        times = np.linspace(0.0, 300.0, 60)
+        fa = finishing_time_cdf(MAPPING_A, "M1", uniform, times=times)
+        fb = finishing_time_cdf(MAPPING_B, "M1", uniform, times=times)
+        assert (fa.cdf >= fb.cdf - 1e-12).all()
+        assert fa.mean < fb.mean

@@ -1,0 +1,83 @@
+"""Machine model generation: structure, derivation, availability modulation."""
+
+import pytest
+
+from repro.allocation import MAPPING_A, MAPPING_B
+from repro.allocation.machines import (
+    DONE_STATE,
+    MACHINE_LEAF,
+    build_machine_model,
+    machine_model_source,
+)
+from repro.pepa import check_model, ctmc_of, derive
+
+
+class TestSource:
+    def test_source_parses(self, workload):
+        model = build_machine_model(MAPPING_A, "M1", workload)
+        assert model.source_name == "M1-mappingA"
+
+    def test_one_stage_per_application(self, workload):
+        src = machine_model_source(MAPPING_A, "M4", workload)
+        for k in range(6):
+            assert f"Stage{k} =" in src
+        assert "Stage6" not in src
+
+    def test_rates_come_from_workload(self, workload):
+        src = machine_model_source(MAPPING_A, "M1", workload)
+        assert f"exec_a5 = {workload.execution_rate('a5', 'M1')!r};" in src
+
+    def test_statically_well_formed(self, workload):
+        model = build_machine_model(MAPPING_A, "M2", workload, absorbing=False)
+        assert check_model(model) == []
+
+    def test_absorbing_variant_warns_only_about_finished(self, workload):
+        model = build_machine_model(MAPPING_A, "M2", workload, absorbing=True)
+        warnings = check_model(model)
+        assert all("finished" in w for w in warnings)
+
+
+class TestDerivation:
+    def test_state_count_absorbing(self, workload):
+        # (k stages + done) x 2 availability states, minus unreachable
+        # combinations after Done: Done pairs with both -> (k+1)*2.
+        model = build_machine_model(MAPPING_A, "M3", workload)  # 3 apps
+        space = derive(model)
+        assert space.size == 8
+
+    def test_done_states_absorbing(self, workload):
+        model = build_machine_model(MAPPING_A, "M3", workload)
+        space = derive(model)
+        done = space.states_with_local(MACHINE_LEAF, DONE_STATE)
+        # Done states only toggle availability, never leave Done.
+        k = space.leaf_index(MACHINE_LEAF)
+        for s in done:
+            for tr in space.outgoing(s):
+                assert space.states[tr.target][k] == space.states[s][k]
+
+    def test_restart_variant_has_no_deadlock(self, workload):
+        model = build_machine_model(MAPPING_A, "M3", workload, absorbing=False)
+        space = derive(model)
+        assert space.deadlocked_states() == []
+        chain = ctmc_of(space)
+        assert chain.steady_state().pi.sum() == pytest.approx(1.0)
+
+    def test_degradation_throttles_rates(self, workload):
+        model = build_machine_model(MAPPING_A, "M1", workload)
+        space = derive(model)
+        apps = MAPPING_A.applications_on("M1")
+        # In the degraded availability state, the first app's rate is capped.
+        rates = {}
+        for tr in space.transitions:
+            if tr.action == apps[0]:
+                label = space.state_label(tr.source)
+                rates["Degraded" in label] = tr.rate
+        assert rates[True] == pytest.approx(workload.degraded_capacity)
+        assert rates[False] == pytest.approx(workload.execution_rate(apps[0], "M1"))
+
+    @pytest.mark.parametrize("machine", ["M1", "M2", "M3", "M4", "M5"])
+    def test_all_machines_mapping_b(self, machine, workload):
+        model = build_machine_model(MAPPING_B, machine, workload)
+        space = derive(model)
+        n_apps = len(MAPPING_B.applications_on(machine))
+        assert space.size == 2 * (n_apps + 1)

@@ -1,0 +1,62 @@
+"""Overall makespan CDF: product law over independent machines."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    MAPPING_A,
+    MAPPING_B,
+    MACHINES,
+    finishing_time_cdf,
+    finishing_time_mean,
+    makespan_cdf,
+)
+
+
+@pytest.fixture(scope="module")
+def grid(workload):
+    horizon = 4.0 * max(
+        finishing_time_mean(MAPPING_A, m, workload) for m in MACHINES
+    )
+    return np.linspace(0.0, horizon, 120)
+
+
+class TestProductLaw:
+    def test_equals_product_of_machine_cdfs(self, workload, grid):
+        ms = makespan_cdf(MAPPING_A, workload, grid)
+        product = np.ones_like(grid)
+        for machine in MACHINES:
+            product *= finishing_time_cdf(
+                MAPPING_A, machine, workload, times=grid
+            ).cdf
+        np.testing.assert_allclose(ms.cdf, product, atol=1e-12)
+
+    def test_dominated_by_every_machine(self, workload, grid):
+        ms = makespan_cdf(MAPPING_A, workload, grid)
+        for machine in MACHINES:
+            ft = finishing_time_cdf(MAPPING_A, machine, workload, times=grid)
+            assert (ms.cdf <= ft.cdf + 1e-12).all()
+
+    def test_cdf_properties(self, workload, grid):
+        ms = makespan_cdf(MAPPING_A, workload, grid)
+        assert ms.cdf[0] == pytest.approx(0.0, abs=1e-12)
+        assert (np.diff(ms.cdf) >= -1e-12).all()
+        assert ms.cdf[-1] > 0.9
+
+    def test_mean_exceeds_bottleneck_mean(self, workload, grid):
+        ms = makespan_cdf(MAPPING_A, workload, grid)
+        bottleneck = max(
+            finishing_time_mean(MAPPING_A, m, workload) for m in MACHINES
+        )
+        # E[max] >= max E; strictly greater for independent non-degenerate.
+        assert ms.mean > bottleneck
+
+    def test_mapping_b_differs(self, workload, grid):
+        a = makespan_cdf(MAPPING_A, workload, grid)
+        b = makespan_cdf(MAPPING_B, workload, grid)
+        assert a.mean != pytest.approx(b.mean)
+
+    def test_metadata(self, workload, grid):
+        ms = makespan_cdf(MAPPING_A, workload, grid)
+        assert ms.machine == "makespan"
+        assert ms.mapping_name == "A"

@@ -1,0 +1,63 @@
+"""Table I mapping data integrity and the Mapping invariants."""
+
+import pytest
+
+from repro.allocation import APPLICATIONS, MACHINES, MAPPING_A, MAPPING_B, Mapping
+
+
+class TestTableI:
+    @pytest.mark.parametrize("mapping", [MAPPING_A, MAPPING_B], ids=["A", "B"])
+    def test_every_application_placed_once(self, mapping):
+        placed = [a for apps in mapping.assignments.values() for a in apps]
+        assert sorted(placed, key=lambda a: int(a[1:])) == list(APPLICATIONS)
+
+    def test_mapping_a_rows_match_paper(self):
+        assert MAPPING_A.applications_on("M1") == ("a5", "a9", "a12", "a17", "a20")
+        assert MAPPING_A.applications_on("M2") == ("a6", "a16")
+        assert MAPPING_A.applications_on("M3") == ("a1", "a3", "a7")
+        assert MAPPING_A.applications_on("M4") == ("a2", "a4", "a10", "a13", "a15", "a19")
+        assert MAPPING_A.applications_on("M5") == ("a8", "a11", "a14", "a18")
+
+    def test_mapping_b_rows_match_paper(self):
+        assert MAPPING_B.applications_on("M1") == ("a3", "a4", "a5", "a17", "a18", "a20")
+        assert MAPPING_B.applications_on("M2") == ("a2", "a11", "a14", "a19")
+        assert MAPPING_B.applications_on("M3") == ("a1", "a7", "a13")
+        assert MAPPING_B.applications_on("M4") == ("a9", "a12", "a15")
+        assert MAPPING_B.applications_on("M5") == ("a6", "a8", "a10", "a16")
+
+    def test_load_counts(self):
+        assert MAPPING_A.load_counts == {"M1": 5, "M2": 2, "M3": 3, "M4": 6, "M5": 4}
+        assert MAPPING_B.load_counts == {"M1": 6, "M2": 4, "M3": 3, "M4": 3, "M5": 4}
+
+    def test_machine_of(self):
+        assert MAPPING_A.machine_of("a5") == "M1"
+        assert MAPPING_B.machine_of("a5") == "M1"
+        assert MAPPING_A.machine_of("a6") == "M2"
+        with pytest.raises(KeyError):
+            MAPPING_A.machine_of("a99")
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            MAPPING_A.applications_on("M9")
+
+
+class TestMappingValidation:
+    def test_missing_application_rejected(self):
+        with pytest.raises(ValueError, match="does not place"):
+            Mapping("X", {m: () for m in MACHINES})
+
+    def test_duplicate_application_rejected(self):
+        assignments = dict(MAPPING_A.assignments)
+        assignments["M2"] = assignments["M2"] + ("a5",)  # a5 already on M1
+        with pytest.raises(ValueError, match="more than once"):
+            Mapping("X", assignments)
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            Mapping("X", {"M9": APPLICATIONS})
+
+    def test_unknown_application_rejected(self):
+        assignments = {m: () for m in MACHINES}
+        assignments["M1"] = APPLICATIONS + ("a21",)
+        with pytest.raises(ValueError, match="unknown application"):
+            Mapping("X", assignments)

@@ -1,0 +1,86 @@
+"""Mapping optimization over the PEPA finishing-time oracle."""
+
+import pytest
+
+from repro.allocation import (
+    APPLICATIONS,
+    MACHINES,
+    MAPPING_A,
+    MAPPING_B,
+    evaluate_mapping,
+    greedy_mapping,
+    local_search,
+)
+
+
+@pytest.fixture(scope="module")
+def greedy(workload):
+    return greedy_mapping(workload)
+
+
+class TestEvaluate:
+    def test_makespan_is_max_machine_mean(self, workload):
+        score = evaluate_mapping(MAPPING_A, workload, "makespan")
+        assert score.value == max(score.per_machine.values())
+        assert set(score.per_machine) == set(MACHINES)
+
+    def test_makespan_matches_robustness_report(self, workload):
+        from repro.allocation import robustness_of_mapping
+
+        score = evaluate_mapping(MAPPING_A, workload, "makespan")
+        report = robustness_of_mapping(MAPPING_A, workload, grid_points=40)
+        assert score.value == pytest.approx(report.expected_makespan)
+
+    def test_robustness_objective_sign(self, workload):
+        score = evaluate_mapping(MAPPING_A, workload, "robustness")
+        assert -1.0 < score.value < 0.0  # negated min probability
+
+    def test_unknown_objective(self, workload):
+        with pytest.raises(ValueError, match="unknown objective"):
+            evaluate_mapping(MAPPING_A, workload, "speed")
+
+
+class TestGreedy:
+    def test_produces_valid_complete_mapping(self, greedy):
+        placed = [a for apps in greedy.assignments.values() for a in apps]
+        assert sorted(placed, key=lambda a: int(a[1:])) == list(APPLICATIONS)
+
+    def test_beats_both_paper_mappings(self, workload, greedy):
+        g = evaluate_mapping(greedy, workload, "makespan").value
+        a = evaluate_mapping(MAPPING_A, workload, "makespan").value
+        b = evaluate_mapping(MAPPING_B, workload, "makespan").value
+        assert g < a
+        assert g < b
+
+    def test_balanced_loads(self, greedy):
+        sizes = [len(apps) for apps in greedy.assignments.values()]
+        assert max(sizes) - min(sizes) <= 3
+
+    def test_deterministic(self, workload, greedy):
+        again = greedy_mapping(workload)
+        assert again.assignments == greedy.assignments
+
+
+class TestLocalSearch:
+    def test_never_worse_than_start(self, workload, greedy):
+        start = evaluate_mapping(greedy, workload, "makespan")
+        best = local_search(greedy, workload, "makespan", max_rounds=2)
+        assert best.value <= start.value + 1e-9
+
+    def test_improves_a_bad_start(self, workload):
+        from repro.allocation.mapping import Mapping
+
+        # Pathological start: everything on M1.
+        bad = Mapping(
+            name="bad",
+            assignments={
+                "M1": APPLICATIONS,
+                "M2": (),
+                "M3": (),
+                "M4": (),
+                "M5": (),
+            },
+        )
+        start = evaluate_mapping(bad, workload, "makespan")
+        best = local_search(bad, workload, "makespan", max_rounds=3)
+        assert best.value < start.value

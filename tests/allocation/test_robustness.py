@@ -1,0 +1,67 @@
+"""FePIA robustness metric over the Table I mappings."""
+
+import pytest
+
+from repro.allocation import (
+    MAPPING_A,
+    MAPPING_B,
+    MACHINES,
+    machine_robustness,
+    robustness_of_mapping,
+)
+
+
+@pytest.fixture(scope="module")
+def report_a(workload):
+    return robustness_of_mapping(MAPPING_A, workload, beta=1.5, grid_points=120)
+
+
+class TestMachineRobustness:
+    def test_probability_range(self, workload):
+        r = machine_robustness(MAPPING_A, "M2", workload, beta=1.5, grid_points=120)
+        assert 0.0 < r < 1.0
+
+    def test_monotone_in_beta(self, workload):
+        tight = machine_robustness(MAPPING_A, "M2", workload, beta=1.1, grid_points=120)
+        loose = machine_robustness(MAPPING_A, "M2", workload, beta=2.5, grid_points=120)
+        assert loose > tight
+
+    def test_bad_beta_rejected(self, workload):
+        with pytest.raises(ValueError):
+            machine_robustness(MAPPING_A, "M1", workload, beta=0.0)
+
+
+class TestMappingReport:
+    def test_covers_all_machines(self, report_a):
+        assert set(report_a.per_machine) == set(MACHINES)
+        assert set(report_a.nominal_times) == set(MACHINES)
+        assert set(report_a.mean_times) == set(MACHINES)
+
+    def test_aggregate_is_minimum(self, report_a):
+        assert report_a.robustness == min(report_a.per_machine.values())
+        assert (
+            report_a.per_machine[report_a.most_fragile_machine] == report_a.robustness
+        )
+
+    def test_makespan_is_max_mean(self, report_a):
+        assert report_a.expected_makespan == max(report_a.mean_times.values())
+        assert (
+            report_a.mean_times[report_a.bottleneck_machine]
+            == report_a.expected_makespan
+        )
+
+    def test_mean_exceeds_nominal_under_degradation(self, report_a):
+        # Availability variation can only slow machines down.
+        for machine in MACHINES:
+            assert report_a.mean_times[machine] > report_a.nominal_times[machine]
+
+    def test_nominal_is_sum_of_etc(self, report_a, workload):
+        expected = sum(
+            workload.execution_time(a, "M3") for a in MAPPING_A.applications_on("M3")
+        )
+        assert report_a.nominal_times["M3"] == pytest.approx(expected)
+
+    def test_mapping_b_report(self, workload):
+        report = robustness_of_mapping(MAPPING_B, workload, beta=1.5, grid_points=80)
+        assert report.mapping_name == "B"
+        assert 0.0 < report.robustness < 1.0

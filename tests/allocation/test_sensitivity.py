@@ -1,0 +1,55 @@
+"""Seed-sensitivity analysis of the study's conclusions."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import seed_sweep
+
+
+@pytest.fixture(scope="module")
+def report():
+    return seed_sweep(n_seeds=4, first_seed=10, include_greedy=True, grid_points=60)
+
+
+class TestSweep:
+    def test_shapes_aligned(self, report):
+        n = len(report.seeds)
+        for arr in (
+            report.makespan_a,
+            report.makespan_b,
+            report.makespan_greedy,
+            report.robustness_a,
+            report.robustness_b,
+        ):
+            assert arr.shape == (n,)
+
+    def test_seeds_distinct_workloads(self, report):
+        # Different seeds produce genuinely different makespans.
+        assert np.unique(report.makespan_a).size > 1
+
+    def test_robustness_in_unit_interval(self, report):
+        assert ((report.robustness_a > 0) & (report.robustness_a < 1)).all()
+        assert ((report.robustness_b > 0) & (report.robustness_b < 1)).all()
+
+    def test_greedy_beats_hand_mappings_on_every_seed(self, report):
+        assert report.greedy_always_wins
+        assert (report.greedy_improvement > 1.0).all()
+
+    def test_summary_renders(self, report):
+        text = report.summary()
+        assert "makespan greedy" in text
+        assert "always > 1" in text
+
+    def test_deterministic(self, report):
+        again = seed_sweep(n_seeds=4, first_seed=10, include_greedy=True, grid_points=60)
+        np.testing.assert_array_equal(report.makespan_a, again.makespan_a)
+        np.testing.assert_array_equal(report.makespan_greedy, again.makespan_greedy)
+
+    def test_skip_greedy(self):
+        report = seed_sweep(n_seeds=2, first_seed=3, include_greedy=False, grid_points=40)
+        assert np.isnan(report.makespan_greedy).all()
+        assert np.isfinite(report.makespan_a).all()
+
+    def test_needs_seeds(self):
+        with pytest.raises(ValueError):
+            seed_sweep(n_seeds=0)

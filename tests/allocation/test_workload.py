@@ -1,0 +1,105 @@
+"""Synthetic workload generation: determinism, heterogeneity, validation."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import APPLICATIONS, MACHINES, Workload, synthetic_workload
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        a = synthetic_workload(seed=7)
+        b = synthetic_workload(seed=7)
+        assert (a.etc == b.etc).all()
+        assert a.degraded_capacity == b.degraded_capacity
+
+    def test_different_seed_differs(self):
+        a = synthetic_workload(seed=1)
+        b = synthetic_workload(seed=2)
+        assert (a.etc != b.etc).any()
+
+    def test_seed_recorded(self):
+        assert synthetic_workload(seed=99).seed == 99
+
+
+class TestShape:
+    def test_dimensions(self):
+        w = synthetic_workload()
+        assert w.etc.shape == (len(APPLICATIONS), len(MACHINES))
+
+    def test_positive_times(self):
+        w = synthetic_workload()
+        assert (w.etc > 0).all()
+
+    def test_mean_near_target(self):
+        w = synthetic_workload(mean_etc=10.0)
+        assert 5.0 < w.etc.mean() < 20.0
+
+    def test_heterogeneity_present(self):
+        w = synthetic_workload()
+        # Both across tasks and across machines.
+        assert w.etc.std(axis=0).mean() > 0
+        assert w.etc.std(axis=1).mean() > 0
+
+    def test_degraded_below_every_rate(self):
+        w = synthetic_workload()
+        rates = 1.0 / w.etc
+        assert w.degraded_capacity < rates.min()
+
+    def test_full_capacity_above_every_rate(self):
+        w = synthetic_workload()
+        rates = 1.0 / w.etc
+        assert w.full_capacity > rates.max()
+
+
+class TestAccessors:
+    def test_execution_rate_reciprocal(self):
+        w = synthetic_workload()
+        for app, machine in (("a1", "M1"), ("a20", "M5")):
+            assert w.execution_rate(app, machine) == pytest.approx(
+                1.0 / w.execution_time(app, machine)
+            )
+
+    def test_rate_matches_matrix(self):
+        w = synthetic_workload()
+        assert w.execution_time("a3", "M2") == pytest.approx(float(w.etc[2, 1]))
+
+
+class TestValidation:
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError, match="degraded_fraction"):
+            synthetic_workload(degraded_fraction=0.0)
+        with pytest.raises(ValueError, match="degraded_fraction"):
+            synthetic_workload(degraded_fraction=1.5)
+
+    def test_workload_constructor_validates(self):
+        w = synthetic_workload()
+        with pytest.raises(ValueError, match="must be"):
+            Workload(
+                etc=w.etc,
+                degraded_capacity=-1.0,
+                full_capacity=w.full_capacity,
+                degrade_rate=w.degrade_rate,
+                recover_rate=w.recover_rate,
+                seed=0,
+            )
+        with pytest.raises(ValueError, match="ETC"):
+            Workload(
+                etc=np.ones((2, 2)),
+                degraded_capacity=1.0,
+                full_capacity=1.0,
+                degrade_rate=1.0,
+                recover_rate=1.0,
+                seed=0,
+            )
+        bad = w.etc.copy()
+        bad[0, 0] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            Workload(
+                etc=bad,
+                degraded_capacity=1.0,
+                full_capacity=1.0,
+                degrade_rate=1.0,
+                recover_rate=1.0,
+                seed=0,
+            )

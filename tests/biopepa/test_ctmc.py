@@ -1,0 +1,105 @@
+"""Population CTMC semantics: reachability, closed-form equilibria."""
+
+import numpy as np
+import pytest
+
+from repro.biopepa import parse_biopepa, population_ctmc
+from repro.errors import BioPepaError, StateSpaceLimitError
+
+
+def reversible(n: int, kf: float = 1.0, kr: float = 1.0):
+    return parse_biopepa(
+        f"""
+        kf = {kf}; kr = {kr};
+        kineticLawOf f : fMA(kf);
+        kineticLawOf b : fMA(kr);
+        A = (f, 1) << A + (b, 1) >> A;
+        B = (f, 1) >> B + (b, 1) << B;
+        A[{n}] <*> B[0]
+        """
+    )
+
+
+class TestReachability:
+    def test_linear_chain_state_count(self):
+        pc = population_ctmc(reversible(5))
+        # States (A, B) with A + B = 5: six states.
+        assert pc.n_states == 6
+
+    def test_states_conserve_mass(self):
+        pc = population_ctmc(reversible(7))
+        np.testing.assert_array_equal(pc.states.sum(axis=1), 7)
+
+    def test_initial_state_first(self):
+        pc = population_ctmc(reversible(4))
+        np.testing.assert_array_equal(pc.states[0], [4, 0])
+
+    def test_state_index_roundtrip(self):
+        pc = population_ctmc(reversible(4))
+        for k in range(pc.n_states):
+            assert pc.state_index(pc.states[k]) == k
+        with pytest.raises(KeyError):
+            pc.state_index([99, 0])
+
+    def test_generator_rows_zero(self):
+        pc = population_ctmc(reversible(6))
+        rows = np.asarray(pc.generator.sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, 0.0, atol=1e-10)
+
+    def test_cap_enforced(self):
+        with pytest.raises(StateSpaceLimitError):
+            population_ctmc(reversible(100), max_states=20)
+
+    def test_non_integer_initial_rejected(self):
+        model = parse_biopepa(
+            "k = 1.0;\nkineticLawOf f : fMA(k);\nA = (f, 1) << A;\nA[1.5]"
+        )
+        with pytest.raises(BioPepaError, match="integer"):
+            population_ctmc(model)
+
+
+class TestEquilibrium:
+    def test_binomial_steady_state(self):
+        # N independent molecules flipping A<->B at equal rates:
+        # steady state of #A is Binomial(N, 1/2).
+        from scipy.stats import binom
+
+        n = 6
+        pc = population_ctmc(reversible(n))
+        pi = pc.steady_state().pi
+        probs = np.zeros(n + 1)
+        for k in range(pc.n_states):
+            probs[int(pc.states[k, 0])] += pi[k]
+        np.testing.assert_allclose(probs, binom.pmf(np.arange(n + 1), n, 0.5), atol=1e-9)
+
+    def test_expected_population(self):
+        n = 8
+        pc = population_ctmc(reversible(n, kf=2.0, kr=1.0))
+        pi = pc.steady_state().pi
+        # Each molecule independently: P(A) = kr/(kf+kr) = 1/3.
+        assert pc.expected_population(pi, "A") == pytest.approx(n / 3.0, rel=1e-8)
+
+    def test_transient_matches_ode_mean_for_linear_system(self):
+        # For unimolecular (linear) kinetics the CTMC mean equals the ODE.
+        from repro.biopepa import ode_trajectory
+
+        model = reversible(5, kf=1.5, kr=0.5)
+        pc = population_ctmc(model)
+        times = np.linspace(0.0, 3.0, 7)
+        dist = pc.transient(times)
+        means = np.array([pc.expected_population(d, "A") for d in dist])
+        ode = ode_trajectory(model, times)
+        np.testing.assert_allclose(means, ode.of("A"), atol=1e-6)
+
+
+class TestAbsorbingSystems:
+    def test_decay_chain(self):
+        model = parse_biopepa(
+            "k = 2.0;\nkineticLawOf d : fMA(k);\nA = (d, 1) << A;\nA[3]"
+        )
+        pc = population_ctmc(model)
+        assert pc.n_states == 4
+        # Transient mass drains into the empty state.
+        dist = pc.transient([10.0])
+        empty = pc.state_index([0])
+        assert dist[0, empty] == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,163 @@
+"""Kinetic laws: evaluation, parameter lookup, validation."""
+
+import pytest
+
+from repro.biopepa.kinetics import Expression, MassAction, MichaelisMenten
+from repro.biopepa.model import Reaction, SpeciesRole
+from repro.errors import KineticLawError
+
+
+def reaction(*participants, law=None):
+    return Reaction(name="r", participants=tuple(participants), law=law or MassAction(1.0))
+
+
+class TestMassAction:
+    def test_literal_constant(self):
+        rx = reaction(
+            SpeciesRole("A", "reactant", 1),
+            SpeciesRole("B", "product", 1),
+            law=MassAction(2.0),
+        )
+        assert rx.law.rate({"A": 3.0, "B": 0.0}, rx, {}) == pytest.approx(6.0)
+
+    def test_named_constant(self):
+        rx = reaction(SpeciesRole("A", "reactant", 1), law=MassAction("k"))
+        assert rx.law.rate({"A": 2.0}, rx, {"k": 5.0}) == pytest.approx(10.0)
+
+    def test_missing_parameter(self):
+        rx = reaction(SpeciesRole("A", "reactant", 1), law=MassAction("k"))
+        with pytest.raises(KineticLawError, match="undefined parameter"):
+            rx.law.rate({"A": 2.0}, rx, {})
+
+    def test_stoichiometry_power(self):
+        rx = reaction(SpeciesRole("A", "reactant", 2), law=MassAction(1.0))
+        assert rx.law.rate({"A": 3.0}, rx, {}) == pytest.approx(9.0)
+
+    def test_activators_multiply(self):
+        rx = reaction(
+            SpeciesRole("A", "reactant", 1),
+            SpeciesRole("E", "activator", 1),
+            law=MassAction(1.0),
+        )
+        assert rx.law.rate({"A": 2.0, "E": 3.0}, rx, {}) == pytest.approx(6.0)
+
+    def test_inhibitors_do_not_enter_fma(self):
+        rx = reaction(
+            SpeciesRole("A", "reactant", 1),
+            SpeciesRole("I", "inhibitor", 1),
+            law=MassAction(1.0),
+        )
+        assert rx.law.rate({"A": 2.0, "I": 100.0}, rx, {}) == pytest.approx(2.0)
+
+    def test_referenced_names(self):
+        assert MassAction("k").referenced_names() == {"k"}
+        assert MassAction(1.0).referenced_names() == set()
+
+
+class TestMichaelisMenten:
+    def _rx(self):
+        return reaction(
+            SpeciesRole("S", "reactant", 1),
+            SpeciesRole("E", "activator", 1),
+            SpeciesRole("P", "product", 1),
+            law=MichaelisMenten("vm", "km"),
+        )
+
+    def test_formula(self):
+        rx = self._rx()
+        rate = rx.law.rate({"S": 10.0, "E": 2.0, "P": 0.0}, rx, {"vm": 3.0, "km": 5.0})
+        assert rate == pytest.approx(3.0 * 2.0 * 10.0 / 15.0)
+
+    def test_zero_denominator(self):
+        rx = self._rx()
+        assert rx.law.rate({"S": 0.0, "E": 1.0, "P": 0.0}, rx, {"vm": 1.0, "km": 0.0}) == 0.0
+
+    def test_needs_one_substrate_one_enzyme(self):
+        rx = reaction(
+            SpeciesRole("S", "reactant", 1),
+            law=MichaelisMenten(1.0, 1.0),
+        )
+        with pytest.raises(KineticLawError, match="exactly one reactant"):
+            rx.law.rate({"S": 1.0}, rx, {})
+
+    def test_missing_parameter(self):
+        rx = self._rx()
+        with pytest.raises(KineticLawError, match="undefined parameter"):
+            rx.law.rate({"S": 1.0, "E": 1.0, "P": 0.0}, rx, {"vm": 1.0})
+
+    def test_referenced_names(self):
+        assert MichaelisMenten("a", 2.0).referenced_names() == {"a"}
+
+
+class TestExpression:
+    def test_arithmetic(self):
+        law = Expression("k * A / (km + A)")
+        rx = reaction(SpeciesRole("A", "reactant", 1), law=law)
+        assert law.rate({"A": 5.0}, rx, {"k": 2.0, "km": 5.0}) == pytest.approx(1.0)
+
+    def test_functions_allowed(self):
+        law = Expression("exp(0) * sqrt(4) + log(1)")
+        rx = reaction(SpeciesRole("A", "reactant", 1), law=law)
+        assert law.rate({"A": 1.0}, rx, {}) == pytest.approx(2.0)
+
+    def test_undefined_name(self):
+        law = Expression("zz * 2")
+        rx = reaction(SpeciesRole("A", "reactant", 1), law=law)
+        with pytest.raises(KineticLawError, match="undefined name"):
+            law.rate({"A": 1.0}, rx, {})
+
+    def test_division_by_zero_is_zero_rate(self):
+        law = Expression("1 / A")
+        rx = reaction(SpeciesRole("A", "reactant", 1), law=law)
+        assert law.rate({"A": 0.0}, rx, {}) == 0.0
+
+    def test_malformed_rejected(self):
+        with pytest.raises(KineticLawError, match="malformed"):
+            Expression("k * (")
+
+    def test_disallowed_syntax_rejected(self):
+        with pytest.raises(KineticLawError, match="disallowed"):
+            Expression("[x for x in range(3)]")
+        with pytest.raises(KineticLawError, match="disallowed"):
+            Expression("__import__('os')")
+
+    def test_disallowed_function_rejected(self):
+        with pytest.raises(KineticLawError, match="disallowed"):
+            Expression("open('/etc/passwd')")
+
+    def test_referenced_names_excludes_functions(self):
+        assert Expression("exp(k * A)").referenced_names() == {"k", "A"}
+
+
+class TestReactionStructure:
+    def test_duplicate_species_roles_rejected(self):
+        from repro.errors import StoichiometryError
+
+        with pytest.raises(StoichiometryError, match="multiple roles"):
+            reaction(
+                SpeciesRole("A", "reactant", 1),
+                SpeciesRole("A", "product", 1),
+            )
+
+    def test_net_change(self):
+        rx = reaction(
+            SpeciesRole("A", "reactant", 2),
+            SpeciesRole("B", "product", 3),
+            SpeciesRole("E", "activator", 1),
+        )
+        assert rx.stoichiometry_change("A") == -2
+        assert rx.stoichiometry_change("B") == 3
+        assert rx.stoichiometry_change("E") == 0
+        assert rx.stoichiometry_change("Z") == 0
+
+    def test_bad_role_rejected(self):
+        from repro.errors import BioPepaError
+
+        with pytest.raises(BioPepaError):
+            SpeciesRole("A", "eater", 1)
+
+    def test_bad_stoichiometry_rejected(self):
+        from repro.errors import StoichiometryError
+
+        with pytest.raises(StoichiometryError):
+            SpeciesRole("A", "reactant", 0)

@@ -1,0 +1,93 @@
+"""BioModel structure: stoichiometry matrices, validation, state layout."""
+
+import numpy as np
+import pytest
+
+from repro.biopepa import BioModel, parse_biopepa
+from repro.biopepa.examples import enzyme_kinetics_model
+from repro.biopepa.kinetics import MassAction
+from repro.biopepa.model import Reaction, Species, SpeciesRole
+from repro.errors import BioPepaError, KineticLawError
+
+
+class TestStoichiometryMatrix:
+    def test_enzyme_mechanism(self):
+        model = enzyme_kinetics_model()
+        N = model.stoichiometry_matrix()
+        names = model.species_names
+        # bind: S-1 E-1 ES+1; unbind reverses; produce: ES-1 E+1 P+1.
+        bind = [rx.name for rx in model.reactions].index("bind")
+        assert N[names.index("S"), bind] == -1
+        assert N[names.index("E"), bind] == -1
+        assert N[names.index("ES"), bind] == 1
+        produce = [rx.name for rx in model.reactions].index("produce")
+        assert N[names.index("P"), produce] == 1
+
+    def test_conservation_columns(self):
+        # Every reaction conserves E + ES (the enzyme moiety).
+        model = enzyme_kinetics_model()
+        N = model.stoichiometry_matrix()
+        e = model.species_index("E")
+        es = model.species_index("ES")
+        np.testing.assert_allclose(N[e] + N[es], 0.0)
+
+
+class TestReactionRates:
+    def test_vectorized_evaluation(self):
+        model = enzyme_kinetics_model()
+        rates = model.reaction_rates(model.initial_state())
+        assert rates.shape == (3,)
+        # Only bind can fire initially (no ES).
+        by_name = dict(zip([r.name for r in model.reactions], rates))
+        assert by_name["bind"] == pytest.approx(0.01 * 100 * 20)
+        assert by_name["unbind"] == 0.0
+        assert by_name["produce"] == 0.0
+
+
+class TestValidation:
+    def test_unknown_species_in_reaction(self):
+        with pytest.raises(BioPepaError, match="undefined species"):
+            BioModel(
+                species=(Species("A", 1.0),),
+                reactions=(
+                    Reaction("r", (SpeciesRole("Z", "reactant", 1),), MassAction(1.0)),
+                ),
+            )
+
+    def test_unknown_name_in_law(self):
+        with pytest.raises(KineticLawError, match="undefined name"):
+            BioModel(
+                species=(Species("A", 1.0),),
+                reactions=(
+                    Reaction("r", (SpeciesRole("A", "reactant", 1),), MassAction("kk")),
+                ),
+            )
+
+    def test_law_may_reference_species(self):
+        model = BioModel(
+            species=(Species("A", 1.0),),
+            reactions=(
+                Reaction("r", (SpeciesRole("A", "reactant", 1),), MassAction(1.0)),
+            ),
+            parameters={},
+        )
+        assert model.species_names == ("A",)
+
+    def test_duplicate_species_rejected(self):
+        with pytest.raises(BioPepaError, match="duplicate"):
+            BioModel(species=(Species("A", 1.0), Species("A", 2.0)), reactions=())
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(BioPepaError, match="negative"):
+            Species("A", -1.0)
+
+    def test_species_index_unknown(self):
+        model = parse_biopepa(
+            "k = 1.0;\nkineticLawOf r : fMA(k);\nA = (r, 1) << A;\nA[1]"
+        )
+        with pytest.raises(KeyError):
+            model.species_index("Z")
+
+    def test_conserved_total(self):
+        model = enzyme_kinetics_model()
+        assert model.conserved_total(("E", "ES")) == pytest.approx(20.0)

@@ -1,0 +1,102 @@
+"""ODE semantics: conservation laws, equilibria, inhibitor behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.biopepa import ode_trajectory, parse_biopepa
+from repro.biopepa.examples import enzyme_kinetics_model, enzyme_with_inhibitor_model
+
+GRID = np.linspace(0.0, 50.0, 26)
+
+
+def reversible(a0: float, b0: float, kf: float, kr: float):
+    return parse_biopepa(
+        f"""
+        kf = {kf}; kr = {kr};
+        kineticLawOf f : fMA(kf);
+        kineticLawOf b : fMA(kr);
+        A = (f, 1) << A + (b, 1) >> A;
+        B = (f, 1) >> B + (b, 1) << B;
+        A[{a0}] <*> B[{b0}]
+        """
+    )
+
+
+class TestConservation:
+    def test_enzyme_moieties_conserved(self):
+        model = enzyme_kinetics_model()
+        traj = ode_trajectory(model, GRID)
+        enzyme = traj.of("E") + traj.of("ES")
+        np.testing.assert_allclose(enzyme, 20.0, atol=1e-6)
+        mass = traj.of("S") + traj.of("ES") + traj.of("P")
+        np.testing.assert_allclose(mass, 100.0, atol=1e-6)
+
+    @given(
+        a0=st.integers(1, 50),
+        b0=st.integers(0, 50),
+        kf=st.floats(0.05, 3.0),
+        kr=st.floats(0.05, 3.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_total_mass_conserved(self, a0, b0, kf, kr):
+        traj = ode_trajectory(reversible(a0, b0, kf, kr), GRID)
+        total = traj.of("A") + traj.of("B")
+        np.testing.assert_allclose(total, a0 + b0, atol=1e-6)
+
+
+class TestEquilibria:
+    @given(kf=st.floats(0.1, 3.0), kr=st.floats(0.1, 3.0))
+    @settings(max_examples=20, deadline=None)
+    def test_reversible_equilibrium_ratio(self, kf, kr):
+        traj = ode_trajectory(reversible(10, 0, kf, kr), np.linspace(0, 300, 31))
+        a_inf, b_inf = traj.of("A")[-1], traj.of("B")[-1]
+        # Detailed balance: kf * A = kr * B.
+        assert kf * a_inf == pytest.approx(kr * b_inf, rel=1e-4, abs=1e-6)
+
+    def test_enzyme_converts_everything_eventually(self):
+        model = enzyme_kinetics_model()
+        traj = ode_trajectory(model, np.linspace(0, 2000, 21))
+        assert traj.of("P")[-1] == pytest.approx(100.0, abs=0.5)
+
+
+class TestInhibition:
+    def test_inhibitor_slows_product_formation(self):
+        t = np.linspace(0, 100, 11)
+        plain = ode_trajectory(enzyme_kinetics_model(), t)
+        inhib = ode_trajectory(enzyme_with_inhibitor_model(), t)
+        assert inhib.of("P")[-1] < 0.7 * plain.of("P")[-1]
+
+    def test_inhibitor_conserved(self):
+        traj = ode_trajectory(enzyme_with_inhibitor_model(), GRID)
+        total_i = traj.of("I") + traj.of("EI")
+        np.testing.assert_allclose(total_i, 40.0, atol=1e-6)
+
+
+class TestApi:
+    def test_final_dict(self):
+        traj = ode_trajectory(reversible(4, 0, 1.0, 1.0), GRID)
+        final = traj.final()
+        assert set(final) == {"A", "B"}
+        assert final["A"] == pytest.approx(2.0, rel=1e-3)
+
+    def test_rk4_matches_adaptive(self):
+        model = enzyme_kinetics_model()
+        adaptive = ode_trajectory(model, GRID)
+        fixed = ode_trajectory(model, GRID, method="rk4")
+        np.testing.assert_allclose(fixed.amounts, adaptive.amounts, atol=1e-3)
+
+    def test_rk4_bit_identical(self):
+        model = enzyme_kinetics_model()
+        a = ode_trajectory(model, GRID, method="rk4")
+        b = ode_trajectory(model, GRID, method="rk4")
+        assert (a.amounts == b.amounts).all()
+
+    def test_custom_initial(self):
+        traj = ode_trajectory(reversible(4, 0, 1.0, 1.0), GRID, initial=[0.0, 4.0])
+        assert traj.of("B")[0] == pytest.approx(4.0)
+
+    def test_amounts_non_negative(self):
+        traj = ode_trajectory(enzyme_kinetics_model(), np.linspace(0, 500, 26))
+        assert (traj.amounts >= 0).all()

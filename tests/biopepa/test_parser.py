@@ -1,0 +1,170 @@
+"""Bio-PEPA parser: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.biopepa import parse_biopepa
+from repro.biopepa.kinetics import Expression, MassAction, MichaelisMenten
+from repro.errors import BioPepaError
+
+MINIMAL = """
+k = 1.0;
+kineticLawOf r : fMA(k);
+A = (r, 1) << A;
+B = (r, 1) >> B;
+A[5] <*> B[0]
+"""
+
+
+class TestBasics:
+    def test_minimal_model(self):
+        model = parse_biopepa(MINIMAL)
+        assert model.species_names == ("A", "B")
+        assert [rx.name for rx in model.reactions] == ["r"]
+        assert model.parameters == {"k": 1.0}
+
+    def test_initial_amounts(self):
+        model = parse_biopepa(MINIMAL)
+        assert model.initial_state().tolist() == [5.0, 0.0]
+
+    def test_roles_parsed(self):
+        model = parse_biopepa(
+            """
+            k = 1.0;
+            kineticLawOf r : fMA(k);
+            A = (r, 2) << A;
+            B = (r, 1) >> B;
+            E = (r, 1) (+) E;
+            I = (r, 1) (-) I;
+            M = (r, 1) (.) M;
+            A[5] <*> B[0] <*> E[1] <*> I[1] <*> M[1]
+            """
+        )
+        roles = {p.species: (p.role, p.stoichiometry) for p in model.reactions[0].participants}
+        assert roles == {
+            "A": ("reactant", 2),
+            "B": ("product", 1),
+            "E": ("activator", 1),
+            "I": ("inhibitor", 1),
+            "M": ("modifier", 1),
+        }
+
+    def test_multiple_participations_per_species(self):
+        model = parse_biopepa(
+            """
+            k = 1.0; k2 = 2.0;
+            kineticLawOf f : fMA(k);
+            kineticLawOf g : fMA(k2);
+            A = (f, 1) << A + (g, 1) >> A;
+            B = (f, 1) >> B + (g, 1) << B;
+            A[3] <*> B[0]
+            """
+        )
+        assert len(model.reactions) == 2
+
+    def test_trailing_species_name_optional(self):
+        model = parse_biopepa(
+            "k = 1.0;\nkineticLawOf r : fMA(k);\nA = (r, 1) <<;\nB = (r, 1) >>;\nA[1] <*> B[0]"
+        )
+        assert model.species_names == ("A", "B")
+
+
+class TestKineticLaws:
+    def test_fma(self):
+        model = parse_biopepa(MINIMAL)
+        assert isinstance(model.reactions[0].law, MassAction)
+
+    def test_fma_numeric_argument(self):
+        model = parse_biopepa(
+            "kineticLawOf r : fMA(0.5);\nA = (r, 1) << A;\nA[3]"
+        )
+        assert model.reactions[0].law.constant == 0.5
+
+    def test_fmm(self):
+        model = parse_biopepa(
+            """
+            vm = 2.0; km = 5.0;
+            kineticLawOf r : fMM(vm, km);
+            S = (r, 1) << S;
+            E = (r, 1) (+) E;
+            P = (r, 1) >> P;
+            S[10] <*> E[2] <*> P[0]
+            """
+        )
+        law = model.reactions[0].law
+        assert isinstance(law, MichaelisMenten)
+        assert (law.vmax, law.km) == ("vm", "km")
+
+    def test_explicit_expression(self):
+        model = parse_biopepa(
+            """
+            k = 1.0; ki = 0.5;
+            kineticLawOf r : k * A / (1 + B / ki);
+            A = (r, 1) << A;
+            B = (r, 1) (-) B;
+            A[5] <*> B[2]
+            """
+        )
+        assert isinstance(model.reactions[0].law, Expression)
+
+    def test_fma_wrong_arity(self):
+        with pytest.raises(BioPepaError, match="exactly one"):
+            parse_biopepa("kineticLawOf r : fMA(1, 2);\nA = (r, 1) << A;\nA[1]")
+
+    def test_fmm_wrong_arity(self):
+        with pytest.raises(BioPepaError, match="exactly two"):
+            parse_biopepa("kineticLawOf r : fMM(1);\nA = (r, 1) << A;\nA[1]")
+
+
+class TestErrors:
+    def test_reaction_without_law(self):
+        with pytest.raises(BioPepaError, match="no kineticLawOf"):
+            parse_biopepa("A = (r, 1) << A;\nA[1]")
+
+    def test_law_without_reaction(self):
+        with pytest.raises(BioPepaError, match="unknown reaction"):
+            parse_biopepa(
+                "k = 1.0;\nkineticLawOf r : fMA(k);\nkineticLawOf zz : fMA(k);\n"
+                "A = (r, 1) << A;\nA[1]"
+            )
+
+    def test_species_missing_from_system(self):
+        with pytest.raises(BioPepaError, match="missing from the system"):
+            parse_biopepa(
+                "k = 1.0;\nkineticLawOf r : fMA(k);\nA = (r, 1) << A;\nB = (r, 1) >> B;\nA[1]"
+            )
+
+    def test_system_lists_undefined_species(self):
+        with pytest.raises(BioPepaError, match="undefined species"):
+            parse_biopepa(
+                "k = 1.0;\nkineticLawOf r : fMA(k);\nA = (r, 1) << A;\nA[1] <*> Z[2]"
+            )
+
+    def test_duplicate_parameter(self):
+        with pytest.raises(BioPepaError, match="duplicate parameter"):
+            parse_biopepa("k = 1.0;\nk = 2.0;\nA = (r, 1) << A;\nA[1]")
+
+    def test_duplicate_species(self):
+        with pytest.raises(BioPepaError, match="duplicate species"):
+            parse_biopepa(
+                "k = 1.0;\nkineticLawOf r : fMA(k);\nA = (r, 1) << A;\nA = (r, 1) << A;\nA[1]"
+            )
+
+    def test_bad_stoichiometry(self):
+        with pytest.raises(BioPepaError, match="positive integer"):
+            parse_biopepa(
+                "k = 1.0;\nkineticLawOf r : fMA(k);\nA = (r, 1.5) << A;\nA[1]"
+            )
+
+    def test_mismatched_trailing_name(self):
+        with pytest.raises(BioPepaError, match="mismatched"):
+            parse_biopepa(
+                "k = 1.0;\nkineticLawOf r : fMA(k);\nA = (r, 1) << B;\nA[1]"
+            )
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(BioPepaError, match=":3:"):
+            parse_biopepa("k = 1.0;\nkineticLawOf r : fMA(k);\nA = (r) << A;\nA[1]")
+
+    def test_unexpected_character(self):
+        with pytest.raises(BioPepaError, match="unexpected character"):
+            parse_biopepa("k = 1.0 @;")

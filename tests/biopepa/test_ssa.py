@@ -1,0 +1,122 @@
+"""Gillespie SSA: reproducibility, conservation, convergence to the ODE."""
+
+import numpy as np
+import pytest
+
+from repro.biopepa import ode_trajectory, parse_biopepa, ssa_ensemble, ssa_trajectory
+from repro.biopepa.examples import enzyme_kinetics_model
+from repro.errors import BioPepaError
+
+GRID = np.linspace(0.0, 20.0, 21)
+
+
+def decay(n0: int, rate: float = 1.0):
+    return parse_biopepa(
+        f"""
+        k = {rate};
+        kineticLawOf d : fMA(k);
+        A = (d, 1) << A;
+        A[{n0}]
+        """
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        model = enzyme_kinetics_model()
+        a = ssa_trajectory(model, GRID, seed=42)
+        b = ssa_trajectory(model, GRID, seed=42)
+        assert (a.counts == b.counts).all()
+        assert a.n_events == b.n_events
+
+    def test_different_seed_differs(self):
+        model = enzyme_kinetics_model()
+        a = ssa_trajectory(model, GRID, seed=1)
+        b = ssa_trajectory(model, GRID, seed=2)
+        assert (a.counts != b.counts).any()
+
+
+class TestStructure:
+    def test_counts_integer_valued(self):
+        traj = ssa_trajectory(enzyme_kinetics_model(), GRID, seed=0)
+        assert np.allclose(traj.counts, np.round(traj.counts))
+
+    def test_counts_non_negative(self):
+        traj = ssa_trajectory(enzyme_kinetics_model(), GRID, seed=0)
+        assert (traj.counts >= 0).all()
+
+    def test_conservation_per_jump(self):
+        traj = ssa_trajectory(enzyme_kinetics_model(), GRID, seed=3)
+        model = traj.model
+        e = traj.of("E") + traj.of("ES")
+        np.testing.assert_allclose(e, 20.0)
+
+    def test_initial_row_matches_model(self):
+        traj = ssa_trajectory(enzyme_kinetics_model(), GRID, seed=0)
+        np.testing.assert_allclose(traj.counts[0], traj.model.initial_state())
+
+    def test_frozen_state_extends_forever(self):
+        # Pure decay reaches zero and stays there.
+        traj = ssa_trajectory(decay(5, rate=50.0), np.linspace(0, 10, 11), seed=1)
+        assert traj.of("A")[-1] == 0.0
+        assert traj.n_events == 5
+
+
+class TestStatistics:
+    def test_decay_mean_matches_exponential(self):
+        # E[A(t)] = n0 * exp(-k t) for unit-rate decay.
+        n0 = 200
+        grid = np.linspace(0.0, 3.0, 7)
+        ens = ssa_ensemble(decay(n0), grid, n_runs=300, seed=9)
+        expected = n0 * np.exp(-grid)
+        np.testing.assert_allclose(ens.mean_of("A"), expected, rtol=0.08, atol=2.0)
+
+    def test_decay_variance_binomial(self):
+        # A(t) ~ Binomial(n0, e^{-kt}): var = n0 p (1-p).
+        n0 = 200
+        t = 1.0
+        ens = ssa_ensemble(decay(n0), [0.0, t], n_runs=400, seed=10)
+        p = np.exp(-t)
+        assert ens.var_of("A")[-1] == pytest.approx(n0 * p * (1 - p), rel=0.3)
+
+    def test_ensemble_converges_to_ode(self):
+        model = enzyme_kinetics_model()
+        grid = np.linspace(0.0, 30.0, 7)
+        ens = ssa_ensemble(model, grid, n_runs=150, seed=4)
+        ode = ode_trajectory(model, grid)
+        np.testing.assert_allclose(
+            ens.mean_of("P"), ode.of("P"), rtol=0.15, atol=2.0
+        )
+
+
+class TestErrors:
+    def test_non_integer_initial_rejected(self):
+        model = parse_biopepa(
+            "k = 1.0;\nkineticLawOf d : fMA(k);\nA = (d, 1) << A;\nA[2.5]"
+        )
+        with pytest.raises(BioPepaError, match="integer"):
+            ssa_trajectory(model, GRID)
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(BioPepaError, match="increasing"):
+            ssa_trajectory(decay(5), [0.0, 2.0, 1.0])
+        with pytest.raises(BioPepaError, match="non-empty"):
+            ssa_trajectory(decay(5), [])
+
+    def test_event_budget_enforced(self):
+        fast = parse_biopepa(
+            """
+            k = 1000.0;
+            kineticLawOf f : fMA(k);
+            kineticLawOf b : fMA(k);
+            A = (f, 1) << A + (b, 1) >> A;
+            B = (f, 1) >> B + (b, 1) << B;
+            A[100] <*> B[100]
+            """
+        )
+        with pytest.raises(BioPepaError, match="exceeded"):
+            ssa_trajectory(fast, [0.0, 100.0], max_events=1000)
+
+    def test_ensemble_needs_runs(self):
+        with pytest.raises(BioPepaError):
+            ssa_ensemble(decay(5), GRID, n_runs=0)

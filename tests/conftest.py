@@ -1,0 +1,75 @@
+"""Shared fixtures: built images are expensive enough to share per session.
+
+Hypothesis runs derandomized so the suite is bit-reproducible — fitting
+for a reproducibility framework, and it keeps statistical tolerances in
+ensemble tests from flaking.  Export ``HYPOTHESIS_PROFILE=explore`` to
+hunt with fresh random examples instead.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import settings
+
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.register_profile("explore", derandomize=False, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+
+
+@pytest.fixture(scope="session")
+def pepa_image():
+    from repro.core import Builder, get_recipe_source
+
+    image, _ = Builder().build(get_recipe_source("pepa"), name="pepa", tag="test")
+    return image
+
+
+@pytest.fixture(scope="session")
+def biopepa_image():
+    from repro.core import Builder, get_recipe_source
+
+    image, _ = Builder().build(get_recipe_source("biopepa"), name="biopepa", tag="test")
+    return image
+
+
+@pytest.fixture(scope="session")
+def gpa_image():
+    from repro.core import Builder, get_recipe_source
+
+    image, _ = Builder().build(get_recipe_source("gpanalyser"), name="gpanalyser", tag="test")
+    return image
+
+
+@pytest.fixture(scope="session")
+def workload():
+    from repro.allocation import synthetic_workload
+
+    return synthetic_workload(seed=2019)
+
+
+def random_generator(rng: np.random.Generator, n: int, density: float = 0.6) -> sp.csr_matrix:
+    """A random irreducible CTMC generator for property tests.
+
+    A ring backbone guarantees irreducibility; extra random rates add
+    structure.  Used by numerics property tests.
+    """
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        rows.append(i)
+        cols.append((i + 1) % n)
+        vals.append(0.1 + rng.random())
+    extra = rng.random((n, n)) < density
+    for i in range(n):
+        for j in range(n):
+            if i != j and extra[i, j]:
+                rows.append(i)
+                cols.append(j)
+                vals.append(0.05 + 2.0 * rng.random())
+    R = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    R.sum_duplicates()
+    exit_rates = np.asarray(R.sum(axis=1)).ravel()
+    return (R - sp.diags(exit_rates)).tocsr()

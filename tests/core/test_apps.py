@@ -1,0 +1,141 @@
+"""The containerized tool implementations: output formats and subcommands."""
+
+import pytest
+
+from repro.core.apps import native_run
+
+PEPA_MODEL = b"P = (a, 1.0).Q;\nQ = (b, 3.0).P;\nP"
+BIO_MODEL = b"""\
+k = 1.0;
+kineticLawOf d : fMA(k);
+A = (d, 1) << A;
+A[5]
+"""
+GPEPA_MODEL = b"""\
+A = (x, 1.0).B;
+B = (y, 2.0).A;
+G{A[10]}
+"""
+
+
+def run(argv, files=None):
+    return native_run(list(argv), files=files or {})
+
+
+class TestPepaTool:
+    def test_solve(self):
+        r = run(["pepa", "solve", "/m"], {"/m": PEPA_MODEL})
+        assert r.ok
+        assert "(P): 0.75" in r.stdout
+        assert "(Q): 0.25" in r.stdout
+
+    def test_derive(self):
+        r = run(["pepa", "derive", "/m"], {"/m": PEPA_MODEL})
+        assert "states: 2" in r.stdout
+        assert "0 --(a, 1)--> 1" in r.stdout
+
+    def test_throughput(self):
+        r = run(["pepa", "throughput", "/m", "a"], {"/m": PEPA_MODEL})
+        assert "throughput(a) = 0.75" in r.stdout
+
+    def test_cdf(self):
+        model = b"S0 = (go, 2.0).Done;\nDone = (x, 1.0).Done;\nB = (x, infty).B;\nS0 <x> B"
+        r = run(["pepa", "cdf", "/m", "S0", "Done", "2", "5"], {"/m": model})
+        assert r.ok
+        lines = r.stdout.strip().splitlines()
+        assert "mean = 0.5" in lines[0]
+        assert lines[1].strip() == "0 0"
+
+    def test_graph_full(self):
+        r = run(["pepa", "graph", "/m"], {"/m": PEPA_MODEL})
+        assert r.stdout.startswith("digraph")
+
+    def test_graph_activity(self):
+        r = run(["pepa", "graph", "/m", "P"], {"/m": PEPA_MODEL})
+        assert "activity diagram of P" in r.stdout
+
+    def test_selftest(self):
+        r = run(["pepa", "selftest"])
+        assert r.ok and "selftest OK" in r.stdout
+
+    def test_missing_file_argument(self):
+        r = run(["pepa", "solve"])
+        assert r.exit_code == 2
+
+    def test_unknown_subcommand(self):
+        r = run(["pepa", "zz", "/m"], {"/m": PEPA_MODEL})
+        assert r.exit_code == 2
+
+    def test_syntax_error_reported(self):
+        r = run(["pepa", "solve", "/m"], {"/m": b"@@@"})
+        assert r.exit_code == 1
+        assert "PepaSyntaxError" in r.stderr
+
+
+class TestBiopepaTool:
+    def test_ode_table(self):
+        r = run(["biopepa", "ode", "/m", "2", "5"], {"/m": BIO_MODEL})
+        assert r.ok
+        header, *rows = r.stdout.strip().splitlines()
+        assert header == "time A"
+        assert rows[0] == "0 5"
+        assert len(rows) == 5
+
+    def test_ssa_table(self):
+        r = run(["biopepa", "ssa", "/m", "2", "5", "7"], {"/m": BIO_MODEL})
+        assert r.ok
+        assert r.stdout.strip().splitlines()[-1].startswith("events")
+
+    def test_ssa_deterministic_by_seed(self):
+        a = run(["biopepa", "ssa", "/m", "2", "5", "7"], {"/m": BIO_MODEL})
+        b = run(["biopepa", "ssa", "/m", "2", "5", "7"], {"/m": BIO_MODEL})
+        assert a.stdout == b.stdout
+
+    def test_sbml(self):
+        r = run(["biopepa", "sbml", "/m"], {"/m": BIO_MODEL})
+        assert r.stdout.startswith("<?xml")
+
+    def test_selftest(self):
+        r = run(["biopepa", "selftest"])
+        assert r.ok
+
+    def test_usage(self):
+        assert run(["biopepa"]).exit_code == 2
+        assert run(["biopepa", "ode", "/m"], {"/m": BIO_MODEL}).exit_code == 2
+
+
+class TestGpaTool:
+    def test_fluid_table(self):
+        r = run(["gpa", "fluid", "/m", "5", "6"], {"/m": GPEPA_MODEL})
+        assert r.ok
+        header = r.stdout.splitlines()[0]
+        assert header == "time G.A G.B"
+
+    def test_throughput_series(self):
+        r = run(["gpa", "throughput", "/m", "x", "5", "6"], {"/m": GPEPA_MODEL})
+        assert r.ok
+        assert r.stdout.splitlines()[0] == "time rate(x)"
+        # Initial rate = 10 * 1.0.
+        assert r.stdout.splitlines()[1] == "0 10"
+
+    def test_selftest(self):
+        assert run(["gpa", "selftest"]).ok
+
+    def test_usage(self):
+        assert run(["gpa"]).exit_code == 2
+        assert run(["gpa", "fluid", "/m"], {"/m": GPEPA_MODEL}).exit_code == 2
+
+
+class TestNativeRun:
+    def test_unknown_tool(self):
+        with pytest.raises(KeyError):
+            native_run(["nosuch"])
+
+    def test_empty_argv(self):
+        with pytest.raises(ValueError):
+            native_run([])
+
+    def test_determinism_across_invocations(self):
+        a = run(["pepa", "solve", "/m"], {"/m": PEPA_MODEL})
+        b = run(["pepa", "solve", "/m"], {"/m": PEPA_MODEL})
+        assert a.stdout == b.stdout

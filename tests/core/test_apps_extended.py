@@ -1,0 +1,151 @@
+"""The extended tool subcommands: pepa check/prism, gpa simulate."""
+
+import pytest
+
+from repro.core.apps import native_run
+
+PEPA_MODEL = b"P = (a, 1.0).Q;\nQ = (b, 3.0).P;\nP"
+GPEPA_MODEL = b"A = (x, 1.0).B;\nB = (y, 2.0).A;\nG{A[10]}"
+
+
+def run(argv, files=None):
+    return native_run(list(argv), files=files or {})
+
+
+class TestPepaCheck:
+    def test_clean_model(self):
+        r = run(["pepa", "check", "/m"], {"/m": PEPA_MODEL})
+        assert r.ok
+        assert "0 warning(s), no errors" in r.stdout
+
+    def test_warnings_printed(self):
+        model = b"r = 1.0;\nu = 2.0;\nP = (a, r).P;\nP"
+        r = run(["pepa", "check", "/m"], {"/m": model})
+        assert r.ok
+        assert "warning: rate 'u' is defined but never used" in r.stdout
+
+    def test_errors_fail(self):
+        model = b"P = (a, zz).P;\nP"
+        r = run(["pepa", "check", "/m"], {"/m": model})
+        assert r.exit_code == 1
+        assert "UnboundRateError" in r.stderr
+
+
+class TestPepaPrism:
+    def test_writes_three_files(self):
+        r = run(["pepa", "prism", "/m", "/out/chain"], {"/m": PEPA_MODEL})
+        assert r.ok
+        assert set(r.files_written) == {"/out/chain.tra", "/out/chain.sta", "/out/chain.lab"}
+        tra = r.files_written["/out/chain.tra"].decode()
+        assert tra.splitlines()[0] == "2 2"
+
+    def test_default_output_base(self):
+        r = run(["pepa", "prism", "/m"], {"/m": PEPA_MODEL})
+        assert "/out/model.tra" in r.files_written
+
+    def test_round_trip_through_import(self):
+        import numpy as np
+
+        from repro.pepa import ctmc_of, derive, parse_model
+        from repro.pepa.export import import_tra
+
+        r = run(["pepa", "prism", "/m", "/out/c"], {"/m": PEPA_MODEL})
+        Q = import_tra(r.files_written["/out/c.tra"].decode())
+        chain = ctmc_of(derive(parse_model(PEPA_MODEL.decode())))
+        np.testing.assert_allclose(Q.toarray(), chain.generator.toarray(), atol=1e-12)
+
+
+class TestGpaSimulate:
+    def test_ensemble_table(self):
+        r = run(["gpa", "simulate", "/m", "5", "6", "10", "3"], {"/m": GPEPA_MODEL})
+        assert r.ok
+        lines = r.stdout.strip().splitlines()
+        assert lines[0] == "# ensemble mean over 10 runs"
+        assert lines[1] == "time G.A G.B"
+        assert lines[2].startswith("0 10 0")
+
+    def test_deterministic_by_seed(self):
+        a = run(["gpa", "simulate", "/m", "5", "6", "10", "3"], {"/m": GPEPA_MODEL})
+        b = run(["gpa", "simulate", "/m", "5", "6", "10", "3"], {"/m": GPEPA_MODEL})
+        assert a.stdout == b.stdout
+
+    def test_usage(self):
+        r = run(["gpa", "simulate", "/m", "5"], {"/m": GPEPA_MODEL})
+        assert r.exit_code == 2
+
+
+class TestBiopepaLevels:
+    BIO = b"""\
+kf = 1.0;
+kb = 0.5;
+kineticLawOf f : fMA(kf);
+kineticLawOf b : fMA(kb);
+A = (f, 1) << A + (b, 1) >> A;
+B = (f, 1) >> B + (b, 1) << B;
+A[4] <*> B[0]
+"""
+
+    def test_levels_table(self):
+        r = run(["biopepa", "levels", "/m", "1", "5", "6"], {"/m": self.BIO})
+        assert r.ok
+        lines = r.stdout.strip().splitlines()
+        assert lines[0].startswith("# levels CTMC: 5 states")
+        assert lines[1] == "time A B"
+        assert lines[2] == "0 4 0"
+
+    def test_usage(self):
+        r = run(["biopepa", "levels", "/m", "1"], {"/m": self.BIO})
+        assert r.exit_code == 2
+
+
+class TestGpaMoments:
+    def test_moments_table(self):
+        r = run(["gpa", "moments", "/m", "4", "5"], {"/m": GPEPA_MODEL})
+        assert r.ok
+        lines = r.stdout.strip().splitlines()
+        assert lines[0] == "time G.A sd(G.A) G.B sd(G.B)"
+        # t=0: mean (10, 0), sd 0.
+        assert lines[1] == "0 10 0 0 0"
+
+    def test_moments_deterministic(self):
+        a = run(["gpa", "moments", "/m", "4", "5"], {"/m": GPEPA_MODEL})
+        b = run(["gpa", "moments", "/m", "4", "5"], {"/m": GPEPA_MODEL})
+        assert a.stdout == b.stdout
+
+    def test_usage(self):
+        assert run(["gpa", "moments", "/m"], {"/m": GPEPA_MODEL}).exit_code == 2
+
+
+class TestRunAccounting:
+    def test_elapsed_recorded(self, pepa_image):
+        from repro.core import ContainerRuntime
+
+        result = ContainerRuntime().run(pepa_image, ["pepa", "selftest"])
+        assert result.elapsed_seconds > 0
+
+    def test_overlay_bytes(self, pepa_image):
+        from repro.core import ContainerRuntime
+
+        result = ContainerRuntime().run(
+            pepa_image,
+            ["pepa", "prism", "/m", "/out/c"],
+            binds={"/m": b"P = (a, 1.0).Q;\nQ = (b, 1.0).P;\nP"},
+        )
+        assert result.overlay_bytes == sum(
+            len(v) for v in result.files_written.values()
+        )
+        assert result.overlay_bytes > 0
+
+
+class TestInspectCli:
+    def test_inspect_output(self, tmp_path, capsys, pepa_image):
+        from repro.cli import main
+
+        path = tmp_path / "img.json"
+        pepa_image.save(path)
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "pepa:test" in out
+        assert "digest" in out
+        assert "pepa-eclipse-plugin=0.0.19" in out
+        assert "Containerized PEPA" in out

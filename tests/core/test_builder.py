@@ -1,0 +1,175 @@
+"""The build engine: command language, layer cache, layer-mode ablation."""
+
+import pytest
+
+from repro.core import Builder, parse_recipe
+from repro.core.builder import default_base_images
+from repro.errors import BuildError, PackageResolutionError
+
+HEADER = "Bootstrap: library\nFrom: ubuntu:18.04\n"
+
+
+def build(post: str, builder: Builder | None = None, **kwargs):
+    builder = builder or Builder()
+    recipe = parse_recipe(HEADER + "%post\n" + post)
+    return builder.build(recipe, name="t", tag="1", **kwargs)
+
+
+class TestCommands:
+    def test_install_resolves_packages(self):
+        image, report = build("    apt-get install pepa-eclipse-plugin\n")
+        assert image.packages["pepa-eclipse-plugin"] == "0.0.19"
+        assert image.packages["openjdk"] == "8.0"
+        assert "pepa" in image.entrypoints
+        assert report.installed == image.packages
+
+    def test_install_sets_environment(self):
+        image, _ = build("    apt-get install openjdk=8\n")
+        assert image.environment["JAVA_HOME"] == "/opt/packages/openjdk-8.0"
+
+    def test_yum_spelling(self):
+        image, _ = build("    yum install graphviz\n")
+        assert image.packages["graphviz"] == "2.38"
+
+    def test_mkdir(self):
+        image, _ = build("    mkdir -p /opt/data\n")
+        assert "/opt/data/.dir" in image.merged_files()
+
+    def test_echo_redirect(self):
+        image, _ = build("    echo hello world > /opt/msg\n")
+        assert image.read_file("/opt/msg") == b"hello world\n"
+
+    def test_cp(self):
+        image, _ = build(
+            "    echo one > /opt/src\n    cp /opt/src /opt/dst\n"
+        )
+        assert image.read_file("/opt/dst") == b"one\n"
+
+    def test_chmod(self):
+        image, _ = build(
+            "    echo x > /opt/tool\n    chmod 755 /opt/tool\n"
+        )
+        assert image.merged_files()["/opt/tool"].mode == 0o755
+
+    def test_base_files_present(self):
+        image, _ = build("    mkdir /x\n")
+        assert b"18.04" in image.read_file("/etc/os-release")
+
+
+class TestCommandErrors:
+    def test_unknown_command(self):
+        with pytest.raises(BuildError, match="unknown build command"):
+            build("    frobnicate /x\n")
+
+    def test_echo_without_redirect(self):
+        with pytest.raises(BuildError, match="redirection"):
+            build("    echo hello\n")
+
+    def test_cp_missing_source(self):
+        with pytest.raises(BuildError, match="does not exist"):
+            build("    cp /nope /opt/x\n")
+
+    def test_chmod_missing_target(self):
+        with pytest.raises(BuildError, match="does not exist"):
+            build("    chmod 755 /nope\n")
+
+    def test_chmod_bad_mode(self):
+        with pytest.raises(BuildError, match="bad chmod mode"):
+            build("    echo x > /t\n    chmod rwx /t\n")
+
+    def test_unknown_base_image(self):
+        recipe = parse_recipe("Bootstrap: library\nFrom: arch:latest\n%post\n    mkdir /x\n")
+        with pytest.raises(BuildError, match="unknown base image"):
+            Builder().build(recipe, name="t")
+
+    def test_package_conflict_surfaces(self):
+        with pytest.raises(PackageResolutionError, match="version conflict"):
+            build(
+                "    apt-get install pepa-eclipse-plugin\n"
+                "    apt-get install gpanalyser\n"
+            )
+
+    def test_install_without_args(self):
+        with pytest.raises(BuildError):
+            build("    apt-get update\n")
+
+
+class TestFilesSection:
+    def test_files_copied(self):
+        recipe = parse_recipe(HEADER + "%files\n    model.pepa /opt/model.pepa\n")
+        image, _ = Builder().build(
+            recipe, name="t", host_files={"model.pepa": b"P = (a, 1.0).P;\nP"}
+        )
+        assert image.read_file("/opt/model.pepa").startswith(b"P =")
+
+    def test_missing_host_file(self):
+        recipe = parse_recipe(HEADER + "%files\n    model.pepa /opt/model.pepa\n")
+        with pytest.raises(BuildError, match="not provided"):
+            Builder().build(recipe, name="t")
+
+
+class TestLayerCache:
+    def test_rebuild_hits_cache(self):
+        builder = Builder()
+        _, first = build("    apt-get install graphviz\n    mkdir /x\n", builder)
+        assert first.cache_hits == 0
+        image, second = build("    apt-get install graphviz\n    mkdir /x\n", builder)
+        assert second.cache_hits == 2
+        assert second.layers_built == 0
+        assert image.packages["graphviz"] == "2.38"
+
+    def test_cache_prefix_only(self):
+        builder = Builder()
+        build("    apt-get install graphviz\n    mkdir /x\n", builder)
+        _, report = build("    apt-get install graphviz\n    mkdir /y\n", builder)
+        assert report.cache_hits == 1
+        assert report.layers_built == 1
+
+    def test_cached_build_restores_entrypoints(self):
+        builder = Builder()
+        build("    apt-get install pepa-eclipse-plugin\n", builder)
+        image, report = build("    apt-get install pepa-eclipse-plugin\n", builder)
+        assert report.cache_hits == 1
+        assert image.entrypoints == {"pepa": "pepa-eclipse-plugin-0.0.19"}
+        assert image.environment["JAVA_HOME"].endswith("openjdk-8.0")
+
+
+class TestLayerModes:
+    def test_single_mode_one_layer(self):
+        image, report = Builder(layer_mode="single").build(
+            parse_recipe(HEADER + "%post\n    mkdir /a\n    mkdir /b\n"),
+            name="t",
+        )
+        # base + single %post layer
+        assert len(image.layers) == 2
+        assert report.layers_built == 1
+
+    def test_modes_produce_same_filesystem(self):
+        post = "%post\n    apt-get install graphviz\n    echo hi > /opt/hi\n"
+        per, _ = Builder(layer_mode="per-command").build(
+            parse_recipe(HEADER + post), name="t"
+        )
+        single, _ = Builder(layer_mode="single").build(
+            parse_recipe(HEADER + post), name="t"
+        )
+        per_files = {p: f.content for p, f in per.merged_files().items()}
+        single_files = {p: f.content for p, f in single.merged_files().items()}
+        assert per_files == single_files
+        assert per.packages == single.packages
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Builder(layer_mode="zigzag")
+
+
+class TestDeterminism:
+    def test_identical_builds_identical_digests(self):
+        a, _ = build("    apt-get install graphviz\n")
+        b, _ = build("    apt-get install graphviz\n")
+        assert a.digest() == b.digest()
+
+    def test_base_registry_covers_paper_platforms(self):
+        bases = default_base_images()
+        for ref in ("ubuntu:18.04", "ubuntu:16.04", "centos:7.4", "centos:7.6",
+                    "debian:9.6", "linuxmint:19.1"):
+            assert ref in bases

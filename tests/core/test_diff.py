@@ -1,0 +1,95 @@
+"""Image diffing."""
+
+import pytest
+
+from repro.core import Builder, diff_images, parse_recipe
+
+HEADER = "Bootstrap: library\nFrom: ubuntu:18.04\n"
+
+
+def build(post: str, env: str = "", name: str = "t"):
+    src = HEADER
+    if env:
+        src += "%environment\n" + env
+    src += "%post\n" + post
+    image, _ = Builder().build(parse_recipe(src), name=name, tag="1")
+    return image
+
+
+class TestIdentical:
+    def test_same_build_diffs_empty(self):
+        a = build("    apt-get install graphviz\n")
+        b = build("    apt-get install graphviz\n")
+        diff = diff_images(a, b)
+        assert diff.identical
+        assert "behaviourally identical" in diff.render()
+
+    def test_equal_digest_implies_empty_diff(self, pepa_image):
+        diff = diff_images(pepa_image, pepa_image)
+        assert pepa_image.digest() == pepa_image.digest()
+        assert diff.identical
+
+
+class TestDifferences:
+    def test_package_version_change(self):
+        a = build("    apt-get install openjdk=8\n")
+        b = build("    apt-get install openjdk=11\n")
+        diff = diff_images(a, b)
+        assert not diff.identical
+        assert diff.packages.changed["openjdk"] == ("8.0", "11.0")
+        assert "~ package openjdk: 8.0 -> 11.0" in diff.render()
+
+    def test_added_and_removed_files(self):
+        a = build("    echo one > /opt/a\n")
+        b = build("    echo one > /opt/b\n")
+        diff = diff_images(a, b)
+        assert "/opt/b" in diff.files_added
+        assert "/opt/a" in diff.files_removed
+
+    def test_changed_file_content(self):
+        a = build("    echo one > /opt/f\n")
+        b = build("    echo two > /opt/f\n")
+        diff = diff_images(a, b)
+        assert diff.files_changed == ("/opt/f",)
+
+    def test_mode_change_detected(self):
+        a = build("    echo x > /opt/f\n")
+        b = build("    echo x > /opt/f\n    chmod 755 /opt/f\n")
+        diff = diff_images(a, b)
+        assert "/opt/f" in diff.files_changed
+
+    def test_environment_diff(self):
+        a = build("    mkdir /x\n", env="    LANG=C\n")
+        b = build("    mkdir /x\n", env="    LANG=C.UTF-8\n")
+        diff = diff_images(a, b)
+        assert diff.environment.changed["LANG"] == ("C", "C.UTF-8")
+
+    def test_entrypoint_diff(self):
+        a = build("    apt-get install pepa-eclipse-plugin\n")
+        b = build("    apt-get install gpanalyser\n")
+        diff = diff_images(a, b)
+        assert "pepa" in diff.entrypoints.removed
+        assert "gpa" in diff.entrypoints.added
+
+    def test_layer_boundaries_do_not_affect_diff(self):
+        from repro.core import Builder
+
+        src = HEADER + "%post\n    apt-get install graphviz\n    echo x > /opt/f\n"
+        per, _ = Builder(layer_mode="per-command").build(parse_recipe(src), name="a", tag="1")
+        single, _ = Builder(layer_mode="single").build(parse_recipe(src), name="b", tag="1")
+        assert per.digest() != single.digest()  # identity differs...
+        assert diff_images(per, single).identical  # ...behaviour does not
+
+
+class TestCliDiff:
+    def test_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = build("    echo one > /opt/f\n")
+        b = build("    echo two > /opt/f\n")
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        a.save(pa)
+        b.save(pb)
+        assert main(["diff", str(pa), str(pa)]) == 0
+        assert main(["diff", str(pa), str(pb)]) == 1
+        assert "~ file /opt/f" in capsys.readouterr().out

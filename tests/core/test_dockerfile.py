@@ -1,0 +1,153 @@
+"""Dockerfile front end: parsing, translation, build equivalence."""
+
+import pytest
+
+from repro.core import Builder, parse_dockerfile, parse_recipe
+from repro.core.dockerfile import dockerfile_to_recipe
+from repro.errors import RecipeError
+
+DOCKERFILE = """\
+# The PEPA container, Docker style.
+FROM ubuntu:18.04
+LABEL Maintainer=wss2 Tool=pepa-eclipse-plugin
+ENV DISPLAY=:99 LANG=C.UTF-8
+RUN apt-get install pepa-eclipse-plugin
+RUN mkdir -p /opt/models
+CMD ["pepa"]
+"""
+
+
+class TestParsing:
+    def test_from(self):
+        recipe = parse_dockerfile(DOCKERFILE)
+        assert recipe.bootstrap == "docker"
+        assert recipe.base == "ubuntu:18.04"
+
+    def test_run_lines_become_post(self):
+        recipe = parse_dockerfile(DOCKERFILE)
+        assert recipe.post == (
+            "apt-get install pepa-eclipse-plugin",
+            "mkdir -p /opt/models",
+        )
+
+    def test_env_and_labels(self):
+        recipe = parse_dockerfile(DOCKERFILE)
+        assert recipe.environment == {"DISPLAY": ":99", "LANG": "C.UTF-8"}
+        assert recipe.labels["Maintainer"] == "wss2"
+
+    def test_cmd_exec_form(self):
+        recipe = parse_dockerfile(DOCKERFILE)
+        assert recipe.runscript == ("pepa $@",)
+
+    def test_cmd_shell_form(self):
+        recipe = parse_dockerfile("FROM ubuntu:18.04\nCMD pepa solve\n")
+        assert recipe.runscript == ("pepa solve $@",)
+
+    def test_copy(self):
+        recipe = parse_dockerfile("FROM ubuntu:18.04\nCOPY m.pepa /opt/m.pepa\n")
+        assert recipe.files == (("m.pepa", "/opt/m.pepa"),)
+
+    def test_line_continuations(self):
+        recipe = parse_dockerfile(
+            "FROM ubuntu:18.04\nRUN apt-get install \\\n    graphviz\n"
+        )
+        assert recipe.post == ("apt-get install graphviz",)
+
+    def test_legacy_env_space_form(self):
+        recipe = parse_dockerfile("FROM ubuntu:18.04\nENV LANG C.UTF-8\n")
+        assert recipe.environment == {"LANG": "C.UTF-8"}
+
+    def test_workdir_preserved_as_label(self):
+        recipe = parse_dockerfile("FROM ubuntu:18.04\nWORKDIR /opt\n")
+        assert recipe.labels["docker.workdir"] == "/opt"
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(RecipeError, match="no FROM"):
+            parse_dockerfile("RUN mkdir /x\n")
+
+    def test_second_from(self):
+        with pytest.raises(RecipeError, match="multi-stage"):
+            parse_dockerfile("FROM a:1\nFROM b:2\n")
+
+    def test_unknown_instruction(self):
+        with pytest.raises(RecipeError, match="unknown Dockerfile instruction"):
+            parse_dockerfile("FROM a:1\nVOLUME /data\n")
+
+    def test_bad_env(self):
+        with pytest.raises(RecipeError, match="KEY=VALUE"):
+            parse_dockerfile("FROM a:1\nENV A B C\n")
+
+    def test_bad_exec_cmd(self):
+        with pytest.raises(RecipeError, match="malformed exec-form"):
+            parse_dockerfile('FROM a:1\nCMD ["unterminated\n')
+
+    def test_multiple_cmd(self):
+        with pytest.raises(RecipeError, match="multiple CMD"):
+            parse_dockerfile("FROM a:1\nCMD a\nCMD b\n")
+
+    def test_dangling_continuation(self):
+        with pytest.raises(RecipeError, match="dangling"):
+            parse_dockerfile("FROM a:1\nRUN x \\\n")
+
+    def test_bad_copy(self):
+        with pytest.raises(RecipeError, match="COPY takes"):
+            parse_dockerfile("FROM a:1\nCOPY onearg\n")
+
+
+class TestBuildEquivalence:
+    SINGULARITY = """\
+Bootstrap: library
+From: ubuntu:18.04
+
+%labels
+    Maintainer wss2
+    Tool pepa-eclipse-plugin
+
+%environment
+    DISPLAY=:99
+    LANG=C.UTF-8
+
+%post
+    apt-get install pepa-eclipse-plugin
+    mkdir -p /opt/models
+
+%runscript
+    pepa $@
+"""
+
+    def test_same_filesystem_and_metadata(self):
+        builder = Builder()
+        docker_img, _ = builder.build(parse_dockerfile(DOCKERFILE), name="d", tag="1")
+        sing_img, _ = Builder().build(parse_recipe(self.SINGULARITY), name="s", tag="1")
+        assert {p: f.content for p, f in docker_img.merged_files().items()} == {
+            p: f.content for p, f in sing_img.merged_files().items()
+        }
+        assert docker_img.packages == sing_img.packages
+        assert docker_img.environment == sing_img.environment
+        assert docker_img.entrypoints == sing_img.entrypoints
+        assert docker_img.runscript == sing_img.runscript
+
+    def test_dockerfile_image_runs(self):
+        from repro.core import ContainerRuntime
+
+        image, _ = Builder().build(parse_dockerfile(DOCKERFILE), name="d", tag="1")
+        result = ContainerRuntime().run(
+            image,
+            ["pepa", "solve", "/m"],
+            binds={"/m": b"P = (a, 1.0).Q;\nQ = (b, 1.0).P;\nP"},
+        )
+        assert result.ok
+
+
+class TestTranslation:
+    def test_round_trip_through_singularity_syntax(self):
+        text = dockerfile_to_recipe(DOCKERFILE)
+        recipe = parse_recipe(text)
+        original = parse_dockerfile(DOCKERFILE)
+        assert recipe.base == original.base
+        assert recipe.post == original.post
+        assert recipe.environment == original.environment
+        assert recipe.labels == original.labels
+        assert recipe.runscript == original.runscript

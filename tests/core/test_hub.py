@@ -1,0 +1,107 @@
+"""The hub/registry: collections, push/pull, digest verification."""
+
+import json
+
+import pytest
+
+from repro.core import Hub
+from repro.errors import HubError
+
+
+@pytest.fixture()
+def hub(tmp_path):
+    return Hub(tmp_path / "hub")
+
+
+class TestPushPull:
+    def test_round_trip(self, hub, pepa_image):
+        entry = hub.push("col", pepa_image)
+        assert entry.reference == "col/pepa:test"
+        pulled = hub.pull("col", "pepa", "test")
+        assert pulled.digest() == pepa_image.digest()
+
+    def test_pull_counts(self, hub, pepa_image):
+        hub.push("col", pepa_image)
+        assert hub.entry("col", "pepa", "test").pulls == 0
+        hub.pull("col", "pepa", "test")
+        hub.pull("col", "pepa", "test")
+        assert hub.entry("col", "pepa", "test").pulls == 2
+
+    def test_immutable_tags(self, hub, pepa_image):
+        hub.push("col", pepa_image)
+        with pytest.raises(HubError, match="already published"):
+            hub.push("col", pepa_image)
+
+    def test_overwrite_flag(self, hub, pepa_image):
+        hub.push("col", pepa_image)
+        entry = hub.push("col", pepa_image, overwrite=True)
+        assert entry.digest == pepa_image.digest()
+
+    def test_unknown_image(self, hub):
+        with pytest.raises(HubError, match="unknown image"):
+            hub.pull("col", "ghost", "1")
+
+    def test_unknown_collection_listing(self, hub):
+        with pytest.raises(HubError, match="unknown collection"):
+            hub.list_collection("ghost")
+
+
+class TestCollections:
+    def test_create_and_list(self, hub, pepa_image, biopepa_image):
+        hub.push("col", pepa_image)
+        hub.push("col", biopepa_image)
+        refs = [e.reference for e in hub.list_collection("col")]
+        assert refs == ["col/biopepa:test", "col/pepa:test"]
+
+    def test_collections_enumeration(self, hub, pepa_image):
+        hub.create_collection("empty")
+        hub.push("full", pepa_image)
+        assert hub.collections() == ["empty", "full"]
+
+    def test_empty_collection_lists_empty(self, hub):
+        hub.create_collection("empty")
+        assert hub.list_collection("empty") == []
+
+    def test_bad_collection_name(self, hub):
+        with pytest.raises(HubError, match="bad collection name"):
+            hub.create_collection("a/b")
+
+    def test_collections_isolated(self, hub, pepa_image, biopepa_image):
+        hub.push("one", pepa_image)
+        hub.push("two", biopepa_image)
+        assert len(hub.list_collection("one")) == 1
+
+
+class TestIntegrity:
+    def test_tampered_blob_rejected_on_pull(self, hub, pepa_image, tmp_path):
+        hub.push("col", pepa_image)
+        blob = hub.root / "col" / "pepa__test.json"
+        doc = json.loads(blob.read_text())
+        doc["environment"]["EVIL"] = "1"
+        # Keep the embedded digest consistent so only the hub check fires.
+        from repro.core.image import Image
+
+        tampered = Image.from_dict({**doc, "digest": None})
+        doc2 = tampered.to_dict()
+        blob.write_text(json.dumps(doc2))
+        with pytest.raises(HubError, match="digest mismatch"):
+            hub.pull("col", "pepa", "test")
+
+    def test_corrupt_blob_rejected(self, hub, pepa_image):
+        hub.push("col", pepa_image)
+        blob = hub.root / "col" / "pepa__test.json"
+        blob.write_text("{}")
+        with pytest.raises(HubError):
+            hub.pull("col", "pepa", "test")
+
+    def test_missing_blob(self, hub, pepa_image):
+        hub.push("col", pepa_image)
+        (hub.root / "col" / "pepa__test.json").unlink()
+        with pytest.raises(HubError, match="cannot load"):
+            hub.pull("col", "pepa", "test")
+
+    def test_hub_survives_reopen(self, tmp_path, pepa_image):
+        root = tmp_path / "hub"
+        Hub(root).push("col", pepa_image)
+        reopened = Hub(root)
+        assert reopened.pull("col", "pepa", "test").digest() == pepa_image.digest()

@@ -1,0 +1,120 @@
+"""Images: digests, overlay semantics, serialization, tamper detection."""
+
+import json
+
+import pytest
+
+from repro.core.image import FileEntry, Image, Layer
+from repro.errors import ImageFormatError
+
+
+def sample_image() -> Image:
+    return Image(
+        name="demo",
+        tag="1.0",
+        base="ubuntu:18.04",
+        layers=[
+            Layer(command="base", files={"/a": FileEntry(b"one")}),
+            Layer(command="step", files={"/b": FileEntry(b"two"), "/a": FileEntry(b"shadow")}),
+        ],
+        environment={"LANG": "C"},
+        entrypoints={"pepa": "pepa-0.0.19"},
+        runscript=("pepa $@",),
+        test_script=("pepa selftest",),
+        labels={"Maintainer": "x"},
+        help_text="help",
+        packages={"pepa": "0.0.19"},
+    )
+
+
+class TestDigests:
+    def test_deterministic(self):
+        assert sample_image().digest() == sample_image().digest()
+
+    def test_sensitive_to_content(self):
+        a = sample_image()
+        b = sample_image()
+        b.layers[1].files["/b"] = FileEntry(b"TWO")
+        assert a.digest() != b.digest()
+
+    def test_sensitive_to_metadata(self):
+        a = sample_image()
+        b = sample_image()
+        b.environment["LANG"] = "C.UTF-8"
+        assert a.digest() != b.digest()
+
+    def test_sensitive_to_layer_order(self):
+        a = sample_image()
+        b = sample_image()
+        b.layers.reverse()
+        assert a.digest() != b.digest()
+
+    def test_file_mode_matters(self):
+        l1 = Layer(command="c", files={"/x": FileEntry(b"s", mode=0o644)})
+        l2 = Layer(command="c", files={"/x": FileEntry(b"s", mode=0o755)})
+        assert l1.digest() != l2.digest()
+
+
+class TestOverlay:
+    def test_upper_layer_shadows(self):
+        image = sample_image()
+        assert image.read_file("/a") == b"shadow"
+        assert image.read_file("/b") == b"two"
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            sample_image().read_file("/nope")
+
+    def test_merged_files_complete(self):
+        merged = sample_image().merged_files()
+        assert set(merged) == {"/a", "/b"}
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        image = sample_image()
+        path = tmp_path / "img.json"
+        digest = image.save(path)
+        loaded = Image.load(path)
+        assert loaded.digest() == digest
+        assert loaded.reference == "demo:1.0"
+        assert loaded.read_file("/a") == b"shadow"
+        assert loaded.environment == image.environment
+        assert loaded.runscript == image.runscript
+
+    def test_tampered_blob_detected(self, tmp_path):
+        image = sample_image()
+        path = tmp_path / "img.json"
+        image.save(path)
+        doc = json.loads(path.read_text())
+        doc["environment"]["LANG"] = "HACKED"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ImageFormatError, match="digest mismatch"):
+            Image.load(path)
+
+    def test_unsupported_format_version(self):
+        doc = sample_image().to_dict()
+        doc["format"] = 99
+        with pytest.raises(ImageFormatError, match="format version"):
+            Image.from_dict(doc)
+
+    def test_corrupt_document(self):
+        with pytest.raises(ImageFormatError, match="corrupt"):
+            Image.from_dict({"format": 1, "name": "x"})
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all")
+        with pytest.raises(ImageFormatError):
+            Image.load(path)
+
+    def test_binary_content_survives(self, tmp_path):
+        image = Image(
+            name="bin",
+            tag="1",
+            base="ubuntu:18.04",
+            layers=[Layer(command="c", files={"/blob": FileEntry(bytes(range(256)))})],
+        )
+        path = tmp_path / "bin.json"
+        image.save(path)
+        assert Image.load(path).read_file("/blob") == bytes(range(256))

@@ -1,0 +1,123 @@
+"""The simulated package universe and its resolver."""
+
+import pytest
+
+from repro.core.packages import (
+    Package,
+    PackageUniverse,
+    default_universe,
+    parse_requirement,
+)
+from repro.errors import PackageResolutionError
+
+
+class TestRequirementParsing:
+    def test_bare_name(self):
+        assert parse_requirement("openjdk") == ("openjdk", None, None)
+
+    def test_pinned(self):
+        assert parse_requirement("openjdk=8") == ("openjdk", "=", "8")
+
+    def test_range_operators(self):
+        assert parse_requirement("eclipse>=4.7") == ("eclipse", ">=", "4.7")
+        assert parse_requirement("eclipse<=4.8") == ("eclipse", "<=", "4.8")
+
+    def test_malformed(self):
+        with pytest.raises(PackageResolutionError):
+            parse_requirement("a b c")
+
+
+class TestCandidates:
+    def test_newest_last(self):
+        uni = default_universe()
+        versions = [p.version for p in uni.candidates("openjdk")]
+        assert versions == ["7.0", "8.0", "11.0"]
+
+    def test_pin_prefix_match(self):
+        uni = default_universe()
+        assert [p.version for p in uni.candidates("openjdk=8")] == ["8.0"]
+
+    def test_ge_filter(self):
+        uni = default_universe()
+        assert [p.version for p in uni.candidates("openjdk>=8")] == ["8.0", "11.0"]
+
+    def test_unknown_package(self):
+        with pytest.raises(PackageResolutionError, match="no such package"):
+            default_universe().candidates("notapkg")
+
+    def test_unsatisfiable_pin(self):
+        with pytest.raises(PackageResolutionError, match="unsatisfiable"):
+            default_universe().candidates("openjdk=99")
+
+
+class TestResolver:
+    def test_transitive_dependencies_in_order(self):
+        uni = default_universe()
+        order = uni.resolve(["pepa-eclipse-plugin"])
+        names = [p.name for p in order]
+        assert names.index("openjdk") < names.index("eclipse")
+        assert names.index("eclipse") < names.index("pepa-eclipse-plugin")
+
+    def test_pepa_plugin_pins_jdk8(self):
+        uni = default_universe()
+        order = {p.name: p.version for p in uni.resolve(["pepa-eclipse-plugin"])}
+        assert order["openjdk"] == "8.0"
+        assert order["eclipse"] == "4.7"
+
+    def test_gpanalyser_pins_jdk7(self):
+        uni = default_universe()
+        order = {p.name: p.version for p in uni.resolve(["gpanalyser"])}
+        assert order["openjdk"] == "7.0"
+
+    def test_conflict_between_tools(self):
+        # The reason the paper ships three containers: JDK 7 vs JDK 8.
+        uni = default_universe()
+        with pytest.raises(PackageResolutionError, match="version conflict"):
+            uni.resolve(["pepa-eclipse-plugin", "gpanalyser"])
+
+    def test_already_installed_satisfying_is_noop(self):
+        uni = default_universe()
+        jdk8 = uni.candidates("openjdk=8")[-1]
+        order = uni.resolve(["eclipse=4.7"], installed={"openjdk": jdk8})
+        assert [p.name for p in order] == ["eclipse"]
+
+    def test_already_installed_conflicting_rejected(self):
+        uni = default_universe()
+        jdk11 = uni.candidates("openjdk=11")[-1]
+        with pytest.raises(PackageResolutionError, match="version conflict"):
+            uni.resolve(["eclipse=4.7"], installed={"openjdk": jdk11})
+
+    def test_dependency_cycle_detected(self):
+        uni = PackageUniverse(
+            [
+                Package(name="a", version="1", depends=("b",)),
+                Package(name="b", version="1", depends=("a",)),
+            ]
+        )
+        with pytest.raises(PackageResolutionError, match="cycle"):
+            uni.resolve(["a"])
+
+    def test_duplicate_registration_rejected(self):
+        uni = PackageUniverse([Package(name="a", version="1")])
+        with pytest.raises(PackageResolutionError, match="twice"):
+            uni.add(Package(name="a", version="1"))
+
+
+class TestPackageMetadata:
+    def test_install_root(self):
+        pkg = Package(name="x", version="2.0")
+        assert pkg.install_root() == "/opt/packages/x-2.0"
+
+    def test_version_tuple(self):
+        assert Package(name="x", version="4.7.1").version_tuple() == (4, 7, 1)
+        assert Package(name="x", version="weird").version_tuple() == (0,)
+
+    def test_default_universe_entrypoints(self):
+        uni = default_universe()
+        eps = {
+            ep
+            for name in uni.names
+            for v in uni.versions_of(name)
+            for ep in uni.candidates(f"{name}={v}")[-1].entrypoints
+        }
+        assert eps == {"pepa", "biopepa", "gpa"}

@@ -1,0 +1,140 @@
+"""Recipe (definition file) parsing."""
+
+import pytest
+
+from repro.core import parse_recipe
+from repro.core.recipes import BUILTIN_RECIPES, get_recipe_source
+from repro.errors import RecipeError
+
+FULL = """\
+Bootstrap: library
+From: ubuntu:18.04
+
+# a comment
+%help
+    Two lines of
+    help text.
+
+%labels
+    Maintainer someone
+    Version 1.2
+
+%environment
+    LANG=C.UTF-8
+    export JAVA_HOME=/opt/java
+
+%post
+    apt-get install graphviz
+    mkdir -p /opt/models
+
+%runscript
+    pepa $@
+
+%test
+    pepa selftest
+
+%files
+    host.txt /opt/host.txt
+"""
+
+
+class TestParsing:
+    def test_header(self):
+        recipe = parse_recipe(FULL)
+        assert recipe.bootstrap == "library"
+        assert recipe.base == "ubuntu:18.04"
+
+    def test_help_joined(self):
+        recipe = parse_recipe(FULL)
+        assert "Two lines of" in recipe.help_text
+        assert "help text." in recipe.help_text
+
+    def test_labels_dict(self):
+        recipe = parse_recipe(FULL)
+        assert recipe.labels == {"Maintainer": "someone", "Version": "1.2"}
+
+    def test_environment_dict_with_export(self):
+        recipe = parse_recipe(FULL)
+        assert recipe.environment == {"LANG": "C.UTF-8", "JAVA_HOME": "/opt/java"}
+
+    def test_post_lines(self):
+        recipe = parse_recipe(FULL)
+        assert recipe.post == ("apt-get install graphviz", "mkdir -p /opt/models")
+
+    def test_run_and_test_scripts(self):
+        recipe = parse_recipe(FULL)
+        assert recipe.runscript == ("pepa $@",)
+        assert recipe.test == ("pepa selftest",)
+
+    def test_files_pairs(self):
+        recipe = parse_recipe(FULL)
+        assert recipe.files == (("host.txt", "/opt/host.txt"),)
+
+    def test_source_preserved(self):
+        recipe = parse_recipe(FULL)
+        assert recipe.source == FULL
+
+    def test_comments_ignored(self):
+        recipe = parse_recipe("# c\nBootstrap: library\nFrom: ubuntu:18.04\n")
+        assert recipe.base == "ubuntu:18.04"
+
+
+class TestErrors:
+    def test_missing_bootstrap(self):
+        with pytest.raises(RecipeError, match="Bootstrap"):
+            parse_recipe("From: ubuntu:18.04\n")
+
+    def test_missing_from(self):
+        with pytest.raises(RecipeError, match="From"):
+            parse_recipe("Bootstrap: library\n")
+
+    def test_unknown_section(self):
+        with pytest.raises(RecipeError, match="unknown recipe section"):
+            parse_recipe("Bootstrap: library\nFrom: x\n%setup\n")
+
+    def test_duplicate_section(self):
+        with pytest.raises(RecipeError, match="duplicate recipe section"):
+            parse_recipe("Bootstrap: library\nFrom: x\n%post\n%post\n")
+
+    def test_unknown_header_key(self):
+        with pytest.raises(RecipeError, match="unknown header key"):
+            parse_recipe("Stage: one\nBootstrap: library\nFrom: x\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(RecipeError, match="malformed header"):
+            parse_recipe("Bootstrap library\n")
+
+    def test_unsupported_bootstrap_agent(self):
+        with pytest.raises(RecipeError, match="unsupported bootstrap"):
+            parse_recipe("Bootstrap: warp\nFrom: x\n")
+
+    def test_bad_label_line(self):
+        with pytest.raises(RecipeError, match="KEY VALUE"):
+            parse_recipe("Bootstrap: library\nFrom: x\n%labels\n    OnlyKey\n")
+
+    def test_bad_environment_line(self):
+        with pytest.raises(RecipeError, match="KEY=VALUE"):
+            parse_recipe("Bootstrap: library\nFrom: x\n%environment\n    NOEQUALS\n")
+
+    def test_duplicate_label_key(self):
+        with pytest.raises(RecipeError, match="duplicate"):
+            parse_recipe(
+                "Bootstrap: library\nFrom: x\n%labels\n    A 1\n    A 2\n"
+            )
+
+    def test_bad_files_line(self):
+        with pytest.raises(RecipeError, match="SRC DEST"):
+            parse_recipe("Bootstrap: library\nFrom: x\n%files\n    onlyone\n")
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_RECIPES))
+    def test_builtin_recipes_parse(self, name):
+        recipe = parse_recipe(get_recipe_source(name))
+        assert recipe.post  # every builtin installs something
+        assert recipe.runscript
+        assert recipe.test
+
+    def test_unknown_builtin(self):
+        with pytest.raises(KeyError):
+            get_recipe_source("nope")

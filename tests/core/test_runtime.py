@@ -1,0 +1,186 @@
+"""Container runtime: isolation, overlay, binds, entrypoint gating."""
+
+import os
+
+import pytest
+
+from repro.core import ContainerRuntime
+from repro.core.runtime import ExecutionContext
+from repro.errors import RuntimeLaunchError
+
+
+@pytest.fixture()
+def runtime():
+    return ContainerRuntime()
+
+
+MODEL = b"P = (a, 1.0).Q;\nQ = (b, 2.0).P;\nP"
+
+
+class TestRun:
+    def test_basic_run(self, runtime, pepa_image):
+        result = runtime.run(
+            pepa_image,
+            ["pepa", "solve", "/m.pepa"],
+            binds={"/m.pepa": MODEL},
+        )
+        assert result.ok
+        assert "steady-state distribution (2 states)" in result.stdout
+
+    def test_missing_entrypoint_in_image(self, runtime, pepa_image):
+        with pytest.raises(RuntimeLaunchError, match="not installed in image"):
+            runtime.run(pepa_image, ["gpa", "selftest"])
+
+    def test_empty_command(self, runtime, pepa_image):
+        with pytest.raises(RuntimeLaunchError, match="empty"):
+            runtime.run(pepa_image, [])
+
+    def test_unregistered_implementation(self, pepa_image):
+        rt = ContainerRuntime(applications={})
+        with pytest.raises(RuntimeLaunchError, match="no implementation"):
+            rt.run(pepa_image, ["pepa", "selftest"])
+
+    def test_app_crash_becomes_exit_code(self, runtime, pepa_image):
+        result = runtime.run(
+            pepa_image, ["pepa", "solve", "/m.pepa"], binds={"/m.pepa": b"not pepa !!"}
+        )
+        assert result.exit_code == 1
+        assert "PepaSyntaxError" in result.stderr
+
+    def test_usage_error_exit_code_2(self, runtime, pepa_image):
+        result = runtime.run(pepa_image, ["pepa"])
+        assert result.exit_code == 2
+        assert "usage" in result.stderr
+
+
+class TestIsolation:
+    def test_host_environment_not_leaked(self, runtime, pepa_image):
+        canary = "REPRO_CANARY_VALUE_12345"
+        os.environ["REPRO_CANARY"] = canary
+        try:
+            captured = {}
+
+            def spy(ctx):
+                captured.update(ctx.environment)
+                return 0
+
+            rt = ContainerRuntime(applications={"pepa": spy})
+            rt.run(pepa_image, ["pepa"])
+            assert "REPRO_CANARY" not in captured
+        finally:
+            del os.environ["REPRO_CANARY"]
+
+    def test_image_environment_visible(self, pepa_image):
+        captured = {}
+
+        def spy(ctx):
+            captured.update(ctx.environment)
+            return 0
+
+        ContainerRuntime(applications={"pepa": spy}).run(pepa_image, ["pepa"])
+        assert captured["DISPLAY"] == ":99"
+        assert "JAVA_HOME" in captured
+
+    def test_env_overrides(self, pepa_image):
+        captured = {}
+
+        def spy(ctx):
+            captured.update(ctx.environment)
+            return 0
+
+        ContainerRuntime(applications={"pepa": spy}).run(
+            pepa_image, ["pepa"], env={"EXTRA": "1"}
+        )
+        assert captured["EXTRA"] == "1"
+
+    def test_writes_stay_in_overlay(self, runtime, pepa_image):
+        def writer(ctx):
+            ctx.write_text("/out.txt", "written inside")
+            return 0
+
+        rt = ContainerRuntime(applications={"pepa": writer})
+        result = rt.run(pepa_image, ["pepa"])
+        assert result.files_written == {"/out.txt": b"written inside"}
+        # The image itself is untouched.
+        assert "/out.txt" not in pepa_image.merged_files()
+
+    def test_runs_do_not_share_overlays(self, pepa_image):
+        def writer(ctx):
+            assert not ctx.overlay  # fresh every run
+            ctx.write_text("/state", "x")
+            return 0
+
+        rt = ContainerRuntime(applications={"pepa": writer})
+        rt.run(pepa_image, ["pepa"])
+        rt.run(pepa_image, ["pepa"])  # would fail if overlay leaked
+
+
+class TestExecutionContext:
+    def _ctx(self, **kwargs):
+        defaults = dict(argv=["x"], environment={}, image_files={})
+        defaults.update(kwargs)
+        return ExecutionContext(**defaults)
+
+    def test_read_resolution_order(self):
+        from repro.core.image import FileEntry
+
+        ctx = self._ctx(
+            image_files={"/f": FileEntry(b"image")},
+            binds={"/f": b"bind"},
+        )
+        assert ctx.read_file("/f") == b"bind"  # bind over image
+        ctx.write_file("/f", b"overlay")
+        assert ctx.read_file("/f") == b"overlay"  # overlay over bind
+
+    def test_exists(self):
+        ctx = self._ctx(binds={"/b": b"x"})
+        assert ctx.exists("/b")
+        assert not ctx.exists("/nope")
+
+    def test_missing_read(self):
+        with pytest.raises(FileNotFoundError):
+            self._ctx().read_file("/nope")
+
+    def test_stdout_collection(self):
+        ctx = self._ctx()
+        ctx.print("a", 1)
+        ctx.print("b")
+        assert ctx.stdout == "a 1\nb\n"
+        assert ctx.stderr == ""
+
+
+class TestScripts:
+    def test_runscript_substitutes_args(self, runtime, pepa_image):
+        result = runtime.run_script(
+            pepa_image, ["solve", "/m.pepa"], binds={"/m.pepa": MODEL}
+        )
+        assert result.ok
+        assert "steady-state" in result.stdout
+
+    def test_test_section(self, runtime, pepa_image):
+        result = runtime.run_test(pepa_image)
+        assert result.ok
+        assert "selftest OK" in result.stdout
+
+    def test_missing_runscript(self, runtime, pepa_image):
+        import dataclasses
+
+        stripped = dataclasses.replace(pepa_image) if False else pepa_image
+        from repro.core.image import Image
+
+        bare = Image(name="bare", tag="1", base=pepa_image.base,
+                     layers=pepa_image.layers, entrypoints=pepa_image.entrypoints)
+        with pytest.raises(RuntimeLaunchError, match="%runscript"):
+            runtime.run_script(bare, [])
+
+    def test_failing_script_stops_early(self, runtime, pepa_image):
+        from repro.core.image import Image
+
+        img = Image(
+            name="x", tag="1", base=pepa_image.base, layers=pepa_image.layers,
+            entrypoints=pepa_image.entrypoints,
+            runscript=("pepa bogus-subcommand", "pepa selftest"),
+        )
+        result = runtime.run_script(img, [])
+        assert result.exit_code == 2
+        assert "selftest OK" not in result.stdout

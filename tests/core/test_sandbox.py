@@ -1,0 +1,89 @@
+"""Sandbox materialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.core import ContainerRuntime, diff_images
+from repro.core.sandbox import METADATA_NAME, from_sandbox, materialize
+from repro.errors import ImageFormatError
+
+
+class TestMaterialize:
+    def test_files_written(self, pepa_image, tmp_path):
+        root = materialize(pepa_image, tmp_path / "box")
+        assert (root / "etc/os-release").exists()
+        assert (root / METADATA_NAME).exists()
+
+    def test_modes_preserved_on_disk(self, pepa_image, tmp_path):
+        root = materialize(pepa_image, tmp_path / "box")
+        sh = root / "bin/sh"
+        assert sh.stat().st_mode & 0o777 == 0o755
+
+    def test_refuses_existing_sandbox(self, pepa_image, tmp_path):
+        materialize(pepa_image, tmp_path / "box")
+        with pytest.raises(ImageFormatError, match="already contains"):
+            materialize(pepa_image, tmp_path / "box")
+
+    def test_metadata_contents(self, pepa_image, tmp_path):
+        root = materialize(pepa_image, tmp_path / "box")
+        meta = json.loads((root / METADATA_NAME).read_text())
+        assert meta["name"] == "pepa"
+        assert meta["entrypoints"] == pepa_image.entrypoints
+        assert meta["source_digest"] == pepa_image.digest()
+
+
+class TestRoundTrip:
+    def test_behaviourally_identical(self, pepa_image, tmp_path):
+        root = materialize(pepa_image, tmp_path / "box")
+        repacked = from_sandbox(root)
+        diff = diff_images(pepa_image, repacked)
+        assert diff.identical
+        # Digest intentionally differs: layers are collapsed.
+        assert repacked.digest() != pepa_image.digest()
+
+    def test_repacked_image_runs(self, pepa_image, tmp_path):
+        root = materialize(pepa_image, tmp_path / "box")
+        repacked = from_sandbox(root)
+        result = ContainerRuntime().run(
+            repacked,
+            ["pepa", "solve", "/m"],
+            binds={"/m": b"P = (a, 1.0).Q;\nQ = (b, 1.0).P;\nP"},
+        )
+        assert result.ok
+
+    def test_sandbox_edits_picked_up(self, pepa_image, tmp_path):
+        root = materialize(pepa_image, tmp_path / "box")
+        (root / "opt/extra.txt").parent.mkdir(parents=True, exist_ok=True)
+        (root / "opt/extra.txt").write_bytes(b"added by hand")
+        repacked = from_sandbox(root, tag="modified")
+        assert repacked.read_file("/opt/extra.txt") == b"added by hand"
+        assert repacked.tag == "modified"
+        diff = diff_images(pepa_image, repacked)
+        assert "/opt/extra.txt" in diff.files_added
+
+    def test_scripts_survive(self, pepa_image, tmp_path):
+        root = materialize(pepa_image, tmp_path / "box")
+        repacked = from_sandbox(root)
+        assert repacked.runscript == pepa_image.runscript
+        assert repacked.test_script == pepa_image.test_script
+        result = ContainerRuntime().run_test(repacked)
+        assert result.ok
+
+
+class TestErrors:
+    def test_not_a_sandbox(self, tmp_path):
+        with pytest.raises(ImageFormatError, match="not a sandbox"):
+            from_sandbox(tmp_path)
+
+    def test_corrupt_metadata(self, pepa_image, tmp_path):
+        root = materialize(pepa_image, tmp_path / "box")
+        (root / METADATA_NAME).write_text("{broken")
+        with pytest.raises(ImageFormatError, match="corrupt"):
+            from_sandbox(root)
+
+    def test_missing_keys(self, pepa_image, tmp_path):
+        root = materialize(pepa_image, tmp_path / "box")
+        (root / METADATA_NAME).write_text("{}")
+        with pytest.raises(ImageFormatError, match="corrupt"):
+            from_sandbox(root)

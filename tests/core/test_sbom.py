@@ -1,0 +1,86 @@
+"""SBOM export and verification."""
+
+import json
+
+import pytest
+
+from repro.core import Builder, parse_recipe
+from repro.core.sbom import sbom, sbom_json, verify_sbom
+
+HEADER = "Bootstrap: library\nFrom: ubuntu:18.04\n"
+
+
+def build(post: str):
+    image, _ = Builder().build(parse_recipe(HEADER + "%post\n" + post), name="t", tag="1")
+    return image
+
+
+class TestExport:
+    def test_packages_inventoried(self, pepa_image):
+        doc = sbom(pepa_image)
+        assert doc["packages"]["pepa-eclipse-plugin"]["version"] == "0.0.19"
+        assert doc["packages"]["openjdk"]["version"] == "8.0"
+
+    def test_files_carry_digests(self, pepa_image):
+        doc = sbom(pepa_image)
+        entry = doc["files"]["/etc/os-release"]
+        assert len(entry["sha256"]) == 64
+        assert entry["bytes"] > 0
+        assert entry["mode"].startswith("0o")
+
+    def test_provenance_lists_commands(self, pepa_image):
+        doc = sbom(pepa_image)
+        assert any("pepa-eclipse-plugin" in cmd for cmd in doc["provenance"])
+
+    def test_deterministic_json(self, pepa_image):
+        assert sbom_json(pepa_image) == sbom_json(pepa_image)
+
+    def test_identical_builds_identical_sboms(self):
+        a = build("    apt-get install graphviz\n")
+        b = build("    apt-get install graphviz\n")
+        assert sbom_json(a) == sbom_json(b)
+
+    def test_json_round_trips(self, pepa_image):
+        doc = json.loads(sbom_json(pepa_image))
+        assert doc == sbom(pepa_image)
+
+
+class TestVerify:
+    def test_clean_verification(self, pepa_image):
+        assert verify_sbom(pepa_image, sbom(pepa_image)) == []
+
+    def test_rebuild_verifies_against_recorded_sbom(self):
+        a = build("    apt-get install graphviz\n")
+        doc = sbom(a)
+        b = build("    apt-get install graphviz\n")  # independent rebuild
+        assert verify_sbom(b, doc) == []
+
+    def test_version_drift_detected(self):
+        doc = sbom(build("    apt-get install openjdk=8\n"))
+        drifted = build("    apt-get install openjdk=11\n")
+        problems = verify_sbom(drifted, doc)
+        assert any("version" in p for p in problems)
+        assert any("digest" in p for p in problems)
+
+    def test_added_file_detected(self):
+        doc = sbom(build("    mkdir /a\n"))
+        extra = build("    mkdir /a\n    echo x > /b\n")
+        problems = verify_sbom(extra, doc)
+        assert any("present but not recorded" in p for p in problems)
+
+    def test_missing_file_detected(self):
+        doc = sbom(build("    mkdir /a\n    echo x > /b\n"))
+        smaller = build("    mkdir /a\n")
+        problems = verify_sbom(smaller, doc)
+        assert any("missing from image" in p for p in problems)
+
+    def test_content_change_detected(self):
+        doc = sbom(build("    echo one > /f\n"))
+        changed = build("    echo two > /f\n")
+        problems = verify_sbom(changed, doc)
+        assert any("content differs" in p for p in problems)
+
+    def test_unsupported_version(self, pepa_image):
+        assert verify_sbom(pepa_image, {"sbom_version": 99}) == [
+            "unsupported SBOM version 99"
+        ]

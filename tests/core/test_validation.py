@@ -1,0 +1,104 @@
+"""The native-vs-container validation harness (the paper's methodology)."""
+
+import pytest
+
+from repro.core import ContainerRuntime, validate_against_native
+from repro.core.validation import ValidationCase, standard_validation_cases
+from repro.errors import ValidationFailure
+
+
+class TestStandardCorpora:
+    def test_pepa_corpus_passes(self, pepa_image):
+        report = validate_against_native(pepa_image, standard_validation_cases("pepa"))
+        assert report.passed
+        assert report.n_cases >= 10
+        case_names = {r.case.name for r in report.results}
+        # The paper's figures are all covered.
+        assert any(n.startswith("fig2") for n in case_names)
+        assert any(n.startswith("fig3") for n in case_names)
+        assert any(n.startswith("fig4") for n in case_names)
+
+    def test_biopepa_corpus_passes(self, biopepa_image):
+        report = validate_against_native(
+            biopepa_image, standard_validation_cases("biopepa")
+        )
+        assert report.passed
+
+    def test_gpa_corpus_passes(self, gpa_image):
+        report = validate_against_native(gpa_image, standard_validation_cases("gpa"))
+        assert report.passed
+        assert any(r.case.name.startswith("fig5") for r in report.results)
+
+    def test_unknown_tool(self):
+        with pytest.raises(KeyError):
+            standard_validation_cases("zz")
+
+
+class TestHarness:
+    def test_summary_format(self, pepa_image):
+        cases = standard_validation_cases("pepa")[:2]
+        report = validate_against_native(pepa_image, cases)
+        summary = report.summary()
+        assert "2/2 cases identical" in summary
+        assert "[OK ]" in summary
+
+    def test_mismatch_detected(self, pepa_image):
+        # A non-deterministic-across-contexts case: craft one by having the
+        # container see different file contents than the native run can't —
+        # instead, inject a fake runtime whose output differs.
+        class LyingRuntime(ContainerRuntime):
+            def run(self, image, argv, binds=None, env=None):
+                result = super().run(image, argv, binds=binds, env=env)
+                import dataclasses
+
+                return dataclasses.replace(result, stdout=result.stdout + "EXTRA\n")
+
+        cases = [
+            ValidationCase(
+                name="lie",
+                argv=("pepa", "selftest"),
+            )
+        ]
+        report = validate_against_native(pepa_image, cases, runtime=LyingRuntime())
+        assert not report.passed
+        assert len(report.failures) == 1
+        assert "EXTRA" in report.failures[0].diff()
+        assert "[FAIL]" in report.summary()
+
+    def test_strict_raises(self, pepa_image):
+        class LyingRuntime(ContainerRuntime):
+            def run(self, image, argv, binds=None, env=None):
+                result = super().run(image, argv, binds=binds, env=env)
+                import dataclasses
+
+                return dataclasses.replace(result, stdout="different\n")
+
+        cases = [ValidationCase(name="lie", argv=("pepa", "selftest"))]
+        with pytest.raises(ValidationFailure, match="diverged"):
+            validate_against_native(
+                pepa_image, cases, runtime=LyingRuntime(), strict=True
+            )
+
+    def test_diff_empty_when_matched(self, pepa_image):
+        cases = [ValidationCase(name="ok", argv=("pepa", "selftest"))]
+        report = validate_against_native(pepa_image, cases)
+        assert report.results[0].diff() == ""
+
+    def test_exit_code_mismatch_is_failure(self, pepa_image):
+        class FailingRuntime(ContainerRuntime):
+            def run(self, image, argv, binds=None, env=None):
+                result = super().run(image, argv, binds=binds, env=env)
+                import dataclasses
+
+                return dataclasses.replace(result, exit_code=3)
+
+        cases = [ValidationCase(name="code", argv=("pepa", "selftest"))]
+        report = validate_against_native(pepa_image, cases, runtime=FailingRuntime())
+        assert not report.passed
+
+    def test_report_carries_image_identity(self, pepa_image):
+        report = validate_against_native(
+            pepa_image, [ValidationCase(name="ok", argv=("pepa", "selftest"))]
+        )
+        assert report.image_reference == pepa_image.reference
+        assert report.image_digest == pepa_image.digest()

@@ -1,0 +1,161 @@
+"""Fluid semantics: conservation, closed forms, min-cooperation throttling,
+agreement with the exact CTMC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpepa import fluid_trajectory, parse_gpepa
+from repro.gpepa.fluid import action_rate, fluid_rhs
+
+GRID = np.linspace(0.0, 10.0, 21)
+
+
+def two_state_group(n: float, a: float = 1.0, b: float = 2.0):
+    return parse_gpepa(
+        f"""
+        A = (go, {a}).B;
+        B = (back, {b}).A;
+        G{{A[{n}]}}
+        """
+    )
+
+
+class TestIndependentGroup:
+    def test_linear_relaxation_closed_form(self):
+        # Independent two-state components: x_A' = -a x_A + b x_B.
+        n, a, b = 100.0, 1.0, 3.0
+        traj = fluid_trajectory(two_state_group(n, a, b), GRID)
+        s = a + b
+        expected = n * (b / s + (a / s) * np.exp(-s * GRID))
+        np.testing.assert_allclose(traj.of("G", "A"), expected, atol=1e-5)
+
+    @given(
+        n=st.floats(1.0, 500.0),
+        a=st.floats(0.1, 5.0),
+        b=st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_population_conserved(self, n, a, b):
+        traj = fluid_trajectory(two_state_group(n, a, b), GRID)
+        np.testing.assert_allclose(traj.group_series("G"), n, atol=1e-6 * max(1, n))
+
+
+class TestCooperation:
+    def _coop(self, nc, ns, rc, rs):
+        return parse_gpepa(
+            f"""
+            C = (req, {rc}).C1;
+            C1 = (done, 10.0).C;
+            S = (req, {rs}).S;
+            Cs{{C[{nc}]}} <req> Ss{{S[{ns}]}}
+            """
+        )
+
+    def test_min_throttling_rate(self):
+        # Initial req rate = min(nc*rc, ns*rs).
+        model = self._coop(10, 2, 1.0, 3.0)
+        x0 = model.initial_state()
+        assert action_rate(model, "req", x0) == pytest.approx(min(10.0, 6.0))
+
+    def test_unshared_action_sums(self):
+        model = parse_gpepa(
+            """
+            A = (x, 2.0).A;
+            B = (x, 3.0).B;
+            G1{A[4]} || G2{B[5]}
+            """
+        )
+        assert action_rate(model, "x", model.initial_state()) == pytest.approx(
+            4 * 2.0 + 5 * 3.0
+        )
+
+    def test_server_bound_limits_flow(self):
+        # 100 clients, 1 slow server: client drain rate capped by server.
+        model = self._coop(100, 1, 1.0, 2.0)
+        rhs = fluid_rhs(model)
+        dx = rhs(0.0, model.initial_state())
+        c_idx = model.index_of("Cs", "C")
+        assert dx[c_idx] == pytest.approx(-2.0)
+
+    def test_zero_population_no_flow(self):
+        model = self._coop(0, 5, 1.0, 1.0)
+        rhs = fluid_rhs(model)
+        dx = rhs(0.0, model.initial_state())
+        np.testing.assert_allclose(dx, 0.0)
+
+    def test_both_groups_conserved_under_cooperation(self):
+        model = self._coop(50, 5, 2.0, 4.0)
+        traj = fluid_trajectory(model, GRID)
+        np.testing.assert_allclose(traj.group_series("Cs"), 50.0, atol=1e-6)
+        np.testing.assert_allclose(traj.group_series("Ss"), 5.0, atol=1e-6)
+
+    def test_unknown_action_rate_rejected(self):
+        model = self._coop(1, 1, 1.0, 1.0)
+        with pytest.raises(KeyError):
+            action_rate(model, "zz", model.initial_state())
+
+
+class TestAgainstCtmc:
+    def test_fluid_tracks_exact_mean(self):
+        """The fluid limit stays within a few percent of the exact CTMC
+        mean for a moderately large population (ablation D5)."""
+        from repro.pepa import ctmc_of, derive, parse_model
+
+        rc, rs, n = 2.0, 4.0, 8
+        times = np.linspace(0.0, 4.0, 5)
+        pepa = parse_model(
+            f"""
+            C = (req, {rc}).C1; C1 = (done, 3.0).C;
+            S = (req, {rs}).S;
+            C[{n}] <req> S[2]
+            """
+        )
+        space = derive(pepa)
+        chain = ctmc_of(space)
+        dist = chain.transient(times)
+        exact = np.zeros(times.size)
+        for leaf in space.leaves:
+            if not leaf.name.startswith("C"):
+                continue
+            member = np.array(
+                [
+                    1.0 if space.local_label(leaf.index, s[leaf.index]) == "C" else 0.0
+                    for s in space.states
+                ]
+            )
+            exact += dist @ member
+        gm = parse_gpepa(
+            f"""
+            C = (req, {rc}).C1; C1 = (done, 3.0).C;
+            S = (req, {rs}).S;
+            Cs{{C[{n}]}} <req> Ss{{S[2]}}
+            """
+        )
+        fluid = fluid_trajectory(gm, times).of("Cs", "C")
+        assert np.max(np.abs(exact - fluid)) / n < 0.06
+
+
+class TestTrajectoryApi:
+    def test_final_dict(self):
+        traj = fluid_trajectory(two_state_group(10.0), GRID)
+        final = traj.final()
+        assert set(final) == {("G", "A"), ("G", "B")}
+
+    def test_rk4_matches_adaptive(self):
+        model = two_state_group(20.0)
+        a = fluid_trajectory(model, GRID)
+        b = fluid_trajectory(model, GRID, method="rk4")
+        np.testing.assert_allclose(a.counts, b.counts, atol=2e-5)
+
+    def test_rk4_bit_identical(self):
+        model = two_state_group(20.0)
+        a = fluid_trajectory(model, GRID, method="rk4")
+        b = fluid_trajectory(model, GRID, method="rk4")
+        assert (a.counts == b.counts).all()
+
+    def test_unknown_derivative_rejected(self):
+        traj = fluid_trajectory(two_state_group(5.0), GRID)
+        with pytest.raises(KeyError, match="no derivative"):
+            traj.of("G", "Zz")

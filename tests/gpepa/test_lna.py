@@ -1,0 +1,107 @@
+"""Linear noise approximation: exactness on linear systems, ensemble
+agreement, covariance structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GPepaError
+from repro.gpepa import fluid_trajectory, gssa_ensemble, parse_gpepa
+from repro.gpepa.lna import lna_trajectory
+
+GRID = np.linspace(0.0, 4.0, 9)
+
+
+def flip_group(n: int, a: float = 1.0, b: float = 2.0):
+    return parse_gpepa(f"A = (x, {a}).B;\nB = (y, {b}).A;\nG{{A[{n}]}}")
+
+
+class TestLinearExactness:
+    """For unimolecular (linear) systems the LNA is exact: each of the N
+    components is an independent two-state chain, so #A(t) is Binomial
+    with known mean and variance."""
+
+    @pytest.mark.parametrize("n", [50, 200])
+    def test_mean_and_variance_closed_form(self, n):
+        a, b = 1.0, 2.0
+        lna = lna_trajectory(flip_group(n, a, b), GRID)
+        s = a + b
+        p = (b / s) + (a / s) * np.exp(-s * GRID)
+        np.testing.assert_allclose(lna.mean_of("G", "A"), n * p, rtol=1e-5)
+        np.testing.assert_allclose(
+            lna.var_of("G", "A"), n * p * (1.0 - p), rtol=1e-4, atol=1e-8
+        )
+
+    def test_covariance_is_negative_of_variance(self):
+        # With A + B conserved, Cov(A, B) = -Var(A).
+        lna = lna_trajectory(flip_group(100), GRID)
+        np.testing.assert_allclose(
+            lna.covariance_of(("G", "A"), ("G", "B")),
+            -lna.var_of("G", "A"),
+            rtol=1e-6,
+            atol=1e-8,
+        )
+
+
+class TestStructure:
+    def test_mean_matches_fluid(self):
+        model = parse_gpepa(
+            """
+            C = (req, 2.0).C1;
+            C1 = (done, 3.0).C;
+            S = (req, 4.0).S;
+            Cs{C[100]} <req> Ss{S[10]}
+            """
+        )
+        lna = lna_trajectory(model, GRID)
+        fluid = fluid_trajectory(model, GRID)
+        np.testing.assert_allclose(lna.mean, fluid.counts, rtol=1e-4, atol=1e-6)
+
+    def test_initial_covariance_zero(self):
+        lna = lna_trajectory(flip_group(50), GRID)
+        np.testing.assert_allclose(lna.covariance[0], 0.0, atol=1e-12)
+
+    def test_covariance_symmetric_psd(self):
+        lna = lna_trajectory(flip_group(80), GRID)
+        for k in range(GRID.size):
+            C = lna.covariance[k]
+            np.testing.assert_allclose(C, C.T, atol=1e-9)
+            eigs = np.linalg.eigvalsh(C)
+            assert eigs.min() > -1e-6 * max(1.0, eigs.max())
+
+    def test_std_accessor(self):
+        lna = lna_trajectory(flip_group(80), GRID)
+        np.testing.assert_allclose(
+            lna.std_of("G", "A") ** 2, lna.var_of("G", "A"), atol=1e-9
+        )
+
+
+class TestAgainstSimulation:
+    def test_variance_tracks_ensemble_with_cooperation(self):
+        model = parse_gpepa(
+            """
+            C = (req, 2.0).C1;
+            C1 = (done, 3.0).C;
+            S = (req, 4.0).S;
+            Cs{C[60]} <req> Ss{S[30]}
+            """
+        )
+        lna = lna_trajectory(model, GRID)
+        ens = gssa_ensemble(model, GRID, n_runs=300, seed=21)
+        # Variances agree within ensemble noise (a few sigma of a
+        # 300-run variance estimate).
+        lv = lna.var_of("Cs", "C")[-1]
+        sv = ens.var_of("Cs", "C")[-1]
+        assert sv == pytest.approx(lv, rel=0.35)
+
+    def test_relative_noise_shrinks_with_population(self):
+        rel = {}
+        for n in (20, 500):
+            lna = lna_trajectory(flip_group(n), GRID)
+            rel[n] = float(lna.std_of("G", "A")[-1]) / n
+        assert rel[500] < rel[20] / 3
+
+
+class TestErrors:
+    def test_short_grid_rejected(self):
+        with pytest.raises(GPepaError, match="two points"):
+            lna_trajectory(flip_group(10), [0.0])

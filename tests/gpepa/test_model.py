@@ -1,0 +1,103 @@
+"""GroupedModel structure: layout, validation, transitions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FluidSemanticsError
+from repro.gpepa import Group, GroupCooperation, GroupReference, GroupedModel, parse_gpepa
+from repro.pepa.parser import parse_model
+
+
+def definitions(src: str):
+    return parse_model(src + "\nP")  # placeholder system
+
+
+class TestLayout:
+    def test_state_names_discovery_order(self):
+        model = parse_gpepa(
+            """
+            P = (a, 1.0).Q;
+            Q = (b, 1.0).P;
+            G{P[3]}
+            """
+        )
+        assert model.state_names == [("G", "P"), ("G", "Q")]
+        assert model.n_states == 2
+
+    def test_initial_state_vector(self):
+        model = parse_gpepa(
+            "P = (a, 1.0).Q;\nQ = (b, 1.0).P;\nG{P[3] || Q[2]}"
+        )
+        np.testing.assert_allclose(model.initial_state(), [3.0, 2.0])
+
+    def test_group_total_and_indices(self):
+        model = parse_gpepa(
+            "P = (a, 1.0).Q;\nQ = (b, 1.0).P;\nR = (c, 1.0).R;\nG{P[3]} || H{R[7]}"
+        )
+        assert model.group_total("G") == 3.0
+        assert model.group_total("H") == 7.0
+        assert model.group_indices("H") == [2]
+        with pytest.raises(KeyError):
+            model.group_total("Zz")
+
+    def test_transitions_enumerated(self):
+        model = parse_gpepa("P = (a, 2.0).Q;\nQ = (b, 3.0).P;\nG{P[1]}")
+        trans = {(t.action, t.rate) for t in model.transitions}
+        assert trans == {("a", 2.0), ("b", 3.0)}
+
+    def test_actions_property(self):
+        model = parse_gpepa("P = (a, 2.0).Q;\nQ = (b, 3.0).P;\nG{P[1]}")
+        assert model.actions == {"a", "b"}
+
+
+class TestValidation:
+    def test_undefined_group_in_composition(self):
+        defs = definitions("P = (a, 1.0).P;")
+        with pytest.raises(FluidSemanticsError, match="undefined group"):
+            GroupedModel(
+                definitions=defs,
+                groups=[Group("G", {"P": 1.0})],
+                system=GroupReference("H"),
+            )
+
+    def test_uncomposed_group(self):
+        defs = definitions("P = (a, 1.0).P;")
+        with pytest.raises(FluidSemanticsError, match="never composed"):
+            GroupedModel(
+                definitions=defs,
+                groups=[Group("G", {"P": 1.0}), Group("H", {"P": 1.0})],
+                system=GroupReference("G"),
+            )
+
+    def test_group_repeated_in_composition(self):
+        defs = definitions("P = (a, 1.0).P;")
+        with pytest.raises(FluidSemanticsError, match="twice"):
+            GroupedModel(
+                definitions=defs,
+                groups=[Group("G", {"P": 1.0})],
+                system=GroupCooperation(GroupReference("G"), GroupReference("G"), ("a",)),
+            )
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(FluidSemanticsError, match="negative"):
+            Group("G", {"P": -1.0})
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(FluidSemanticsError, match="empty"):
+            Group("G", {})
+
+    def test_passive_rate_rejected(self):
+        defs = definitions("P = (a, infty).P;")
+        with pytest.raises(FluidSemanticsError, match="passively"):
+            GroupedModel(
+                definitions=defs,
+                groups=[Group("G", {"P": 1.0})],
+                system=GroupReference("G"),
+            )
+
+    def test_index_of_unknown(self):
+        model = parse_gpepa("P = (a, 1.0).P;\nG{P[1]}")
+        with pytest.raises(KeyError):
+            model.index_of("G", "Q")
+        with pytest.raises(KeyError):
+            model.index_of("H", "P")

@@ -1,0 +1,91 @@
+"""Grouped-PEPA parser."""
+
+import pytest
+
+from repro.errors import FluidSemanticsError, PepaSyntaxError
+from repro.gpepa import GroupCooperation, GroupReference, parse_gpepa
+
+BASIC = """
+r = 1.0;
+Client = (request, r).Client_think;
+Client_think = (think, 0.5).Client;
+Server = (request, 2.0).Server;
+Clients{Client[10]} <request> Servers{Server[2]}
+"""
+
+
+class TestBasics:
+    def test_groups_discovered(self):
+        model = parse_gpepa(BASIC)
+        assert set(model.groups) == {"Clients", "Servers"}
+        assert model.groups["Clients"].initial_counts == {"Client": 10.0}
+
+    def test_system_tree(self):
+        model = parse_gpepa(BASIC)
+        assert isinstance(model.system, GroupCooperation)
+        assert model.system.actions == ("request",)
+        assert model.system.left == GroupReference("Clients")
+
+    def test_multiple_components_in_group(self):
+        model = parse_gpepa(
+            """
+            Server_on = (serve, 1.0).Server_on;
+            Server_off = (wake, 0.2).Server_on;
+            Servers{Server_on[5] || Server_off[3]}
+            """
+        )
+        counts = model.groups["Servers"].initial_counts
+        assert counts == {"Server_on": 5.0, "Server_off": 3.0}
+
+    def test_nested_composition(self):
+        model = parse_gpepa(
+            """
+            A = (x, 1.0).A;
+            B = (x, 1.0).B;
+            C = (y, 1.0).C;
+            (G1{A[1]} <x> G2{B[1]}) || G3{C[1]}
+            """
+        )
+        assert isinstance(model.system, GroupCooperation)
+        assert model.system.actions == ()
+
+    def test_zero_count_allowed(self):
+        model = parse_gpepa(
+            """
+            A = (x, 1.0).B;
+            B = (y, 1.0).A;
+            G{A[10] || B[0]}
+            """
+        )
+        assert model.groups["G"].initial_counts["B"] == 0.0
+
+
+class TestErrors:
+    def test_duplicate_component_in_group(self):
+        with pytest.raises(PepaSyntaxError, match="twice"):
+            parse_gpepa("A = (x, 1.0).A;\nG{A[1] || A[2]}")
+
+    def test_duplicate_group_label(self):
+        with pytest.raises(FluidSemanticsError, match="duplicate group"):
+            parse_gpepa("A = (x, 1.0).A;\nB = (y, 1.0).B;\nG{A[1]} || G{B[1]}")
+
+    def test_missing_system(self):
+        with pytest.raises(PepaSyntaxError, match="no system equation"):
+            parse_gpepa("A = (x, 1.0).A;")
+
+    def test_missing_brace(self):
+        with pytest.raises(PepaSyntaxError):
+            parse_gpepa("A = (x, 1.0).A;\nG{A[1]")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(PepaSyntaxError):
+            parse_gpepa("A = (x, 1.0).A;\nG{}")
+
+    def test_passive_rate_rejected_by_fluid_layer(self):
+        with pytest.raises(FluidSemanticsError, match="passively"):
+            parse_gpepa(
+                """
+                A = (x, infty).A;
+                G{A[5]}
+                """
+            )

@@ -1,0 +1,91 @@
+"""Fluid rewards: throughput series, state rewards, the bundled examples."""
+
+import numpy as np
+import pytest
+
+from repro.gpepa import (
+    client_server_power,
+    client_server_scalability,
+    fluid_trajectory,
+    parse_gpepa,
+)
+from repro.gpepa.examples import POWER_WEIGHTS
+from repro.gpepa.rewards import (
+    action_throughput_series,
+    integrated_reward,
+    reward_series,
+)
+
+GRID = np.linspace(0.0, 30.0, 31)
+
+
+class TestThroughputSeries:
+    def test_matches_action_rate_at_each_point(self):
+        from repro.gpepa.fluid import action_rate
+
+        model = client_server_scalability(50, 5)
+        traj = fluid_trajectory(model, GRID)
+        series = action_throughput_series(traj, "request")
+        for k in (0, 10, 30):
+            assert series[k] == pytest.approx(
+                action_rate(model, "request", traj.counts[k])
+            )
+
+    def test_unknown_action(self):
+        traj = fluid_trajectory(client_server_scalability(10, 2), GRID)
+        with pytest.raises(KeyError):
+            action_throughput_series(traj, "zz")
+
+    def test_request_throughput_increases_with_servers(self):
+        thr = []
+        for ns in (2, 10):
+            traj = fluid_trajectory(client_server_scalability(100, ns), GRID)
+            thr.append(action_throughput_series(traj, "request")[-1])
+        assert thr[1] > thr[0]
+
+
+class TestStateRewards:
+    def test_reward_series_linear(self):
+        model = parse_gpepa("P = (a, 1.0).Q;\nQ = (b, 1.0).P;\nG{P[10]}")
+        traj = fluid_trajectory(model, GRID)
+        series = reward_series(traj, {("G", "P"): 1.0, ("G", "Q"): 1.0})
+        np.testing.assert_allclose(series, 10.0, atol=1e-6)
+
+    def test_unknown_key_raises(self):
+        model = parse_gpepa("P = (a, 1.0).Q;\nQ = (b, 1.0).P;\nG{P[10]}")
+        traj = fluid_trajectory(model, GRID)
+        with pytest.raises(KeyError):
+            reward_series(traj, {("G", "Zz"): 1.0})
+
+    def test_integrated_reward_constant(self):
+        model = parse_gpepa("P = (a, 1.0).Q;\nQ = (b, 1.0).P;\nG{P[4]}")
+        traj = fluid_trajectory(model, GRID)
+        total = integrated_reward(traj, {("G", "P"): 1.0, ("G", "Q"): 1.0})
+        assert total == pytest.approx(4.0 * 30.0, rel=1e-6)
+
+
+class TestBundledExamples:
+    def test_scalability_populations_plausible(self):
+        traj = fluid_trajectory(client_server_scalability(100, 10), GRID)
+        assert traj.group_series("Clients")[-1] == pytest.approx(100.0, abs=1e-6)
+        assert traj.group_series("Servers")[-1] == pytest.approx(10.0, abs=1e-6)
+        # Some servers are broken in steady state (breakage is slow but real).
+        assert 0 < traj.of("Servers", "Server_broken")[-1] < 10
+
+    def test_power_example_reward(self):
+        traj = fluid_trajectory(client_server_power(100, 20), GRID)
+        power = reward_series(traj, POWER_WEIGHTS)
+        # Between all-off (100 W) and all-busy (4000 W).
+        assert 100.0 < power[-1] < 4000.0
+
+    def test_power_down_reduces_energy(self):
+        # Disabling power-down (rdn -> ~0) must increase steady power draw.
+        from repro.gpepa.examples import client_server_power_source
+
+        src = client_server_power_source(100, 20)
+        low = fluid_trajectory(parse_gpepa(src), GRID)
+        src_no_down = src.replace("rdn = 0.05;", "rdn = 0.000001;")
+        high = fluid_trajectory(parse_gpepa(src_no_down), GRID)
+        p_low = reward_series(low, POWER_WEIGHTS)[-1]
+        p_high = reward_series(high, POWER_WEIGHTS)[-1]
+        assert p_high > p_low

@@ -1,0 +1,113 @@
+"""Stochastic simulation of grouped models vs the fluid limit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GPepaError
+from repro.gpepa import (
+    fluid_trajectory,
+    gssa_ensemble,
+    gssa_trajectory,
+    parse_gpepa,
+)
+
+GRID = np.linspace(0.0, 5.0, 11)
+
+
+def flip_group(n: int):
+    return parse_gpepa(f"A = (x, 1.0).B;\nB = (y, 2.0).A;\nG{{A[{n}]}}")
+
+
+def coop_model(nc: int, ns: int):
+    return parse_gpepa(
+        f"""
+        C = (req, 2.0).C1;
+        C1 = (done, 3.0).C;
+        S = (req, 4.0).S;
+        Cs{{C[{nc}]}} <req> Ss{{S[{ns}]}}
+        """
+    )
+
+
+class TestDeterminism:
+    def test_seeded_reproducible(self):
+        a = gssa_trajectory(flip_group(50), GRID, seed=5)
+        b = gssa_trajectory(flip_group(50), GRID, seed=5)
+        assert (a.counts == b.counts).all()
+
+    def test_different_seeds_differ(self):
+        a = gssa_trajectory(flip_group(50), GRID, seed=1)
+        b = gssa_trajectory(flip_group(50), GRID, seed=2)
+        assert (a.counts != b.counts).any()
+
+
+class TestInvariants:
+    def test_population_conserved_exactly(self):
+        traj = gssa_trajectory(flip_group(30), GRID, seed=0)
+        totals = traj.counts.sum(axis=1)
+        np.testing.assert_array_equal(totals, 30.0)
+
+    def test_counts_are_non_negative_integers(self):
+        traj = gssa_trajectory(coop_model(20, 3), GRID, seed=1)
+        assert (traj.counts >= 0).all()
+        assert np.allclose(traj.counts, np.round(traj.counts))
+
+    def test_cooperation_conserves_both_groups(self):
+        traj = gssa_trajectory(coop_model(20, 3), GRID, seed=2)
+        model = traj.model
+        cs = traj.counts[:, model.group_indices("Cs")].sum(axis=1)
+        ss = traj.counts[:, model.group_indices("Ss")].sum(axis=1)
+        np.testing.assert_array_equal(cs, 20.0)
+        np.testing.assert_array_equal(ss, 3.0)
+
+
+class TestAgainstFluid:
+    def test_ensemble_mean_tracks_fluid_independent_group(self):
+        model = flip_group(200)
+        ens = gssa_ensemble(model, GRID, n_runs=80, seed=7)
+        fluid = fluid_trajectory(model, GRID)
+        np.testing.assert_allclose(
+            ens.mean_of("G", "A"), fluid.of("G", "A"), rtol=0.06, atol=3.0
+        )
+
+    def test_ensemble_mean_tracks_fluid_with_cooperation(self):
+        model = coop_model(100, 10)
+        ens = gssa_ensemble(model, GRID, n_runs=60, seed=9)
+        fluid = fluid_trajectory(model, GRID)
+        np.testing.assert_allclose(
+            ens.mean_of("Cs", "C"), fluid.of("Cs", "C"), rtol=0.10, atol=4.0
+        )
+
+    def test_variance_scales_sublinearly_with_population(self):
+        # Relative fluctuations shrink as populations grow (the fluid
+        # limit's justification).
+        rel = {}
+        for n in (20, 200):
+            ens = gssa_ensemble(flip_group(n), GRID, n_runs=60, seed=3)
+            rel[n] = float(np.sqrt(ens.var_of("G", "A")[-1]) / n)
+        assert rel[200] < rel[20]
+
+
+class TestErrors:
+    def test_non_integer_counts_rejected(self):
+        model = parse_gpepa("A = (x, 1.0).B;\nB = (y, 1.0).A;\nG{A[2.5]}")
+        with pytest.raises(GPepaError, match="integer"):
+            gssa_trajectory(model, GRID)
+
+    def test_bad_grid(self):
+        with pytest.raises(GPepaError, match="increasing"):
+            gssa_trajectory(flip_group(5), [0.0, 2.0, 1.0])
+
+    def test_event_budget(self):
+        with pytest.raises(GPepaError, match="exceeded"):
+            gssa_trajectory(flip_group(1000), [0.0, 100.0], max_events=100)
+
+    def test_ensemble_needs_runs(self):
+        with pytest.raises(GPepaError):
+            gssa_ensemble(flip_group(5), GRID, n_runs=0)
+
+    def test_frozen_state_extends(self):
+        # A one-way drain: all A convert to absorbing B, then nothing fires.
+        model = parse_gpepa("A = (x, 5.0).B;\nB = (done, 0.0001).B;\nG{A[3]}")
+        traj = gssa_trajectory(model, np.linspace(0, 1000, 5), seed=1)
+        assert traj.of("G", "B")[-1] >= 0

@@ -1,0 +1,94 @@
+"""Hypoexponential closed forms against scipy references and each other."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import erlang, expon
+
+from repro.numerics.hypoexp import hypoexp_cdf, hypoexp_mean, hypoexp_var
+
+rates_strategy = st.lists(
+    st.floats(min_value=0.05, max_value=20.0), min_size=1, max_size=8
+)
+
+
+class TestClosedForms:
+    def test_single_rate_is_exponential(self):
+        t = np.linspace(0.0, 5.0, 21)
+        np.testing.assert_allclose(
+            hypoexp_cdf([2.0], t), expon.cdf(t, scale=0.5), atol=1e-12
+        )
+
+    def test_equal_rates_is_erlang(self):
+        # Repeated rates exercise the phase-type fallback.
+        r, k = 3.0, 4
+        t = np.linspace(0.0, 4.0, 17)
+        np.testing.assert_allclose(
+            hypoexp_cdf([r] * k, t), erlang.cdf(t, k, scale=1.0 / r), atol=1e-9
+        )
+
+    def test_nearly_equal_rates_stable(self):
+        rates = [1.0, 1.0 + 1e-9, 1.0 + 2e-9]
+        out = hypoexp_cdf(rates, np.array([0.5, 1.0, 2.0]))
+        ref = erlang.cdf([0.5, 1.0, 2.0], 3, scale=1.0)
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_distinct_rates_partial_fractions(self):
+        # Cross-check distinct-rate path against the phase-type path by
+        # perturbing into the fallback regime.
+        rates = [1.0, 2.0, 5.0]
+        t = np.linspace(0.1, 6.0, 9)
+        from scipy.linalg import expm
+
+        S = np.diag([-1.0, -2.0, -5.0]) + np.diag([1.0, 2.0], k=1)
+        ref = [1.0 - (np.array([1.0, 0, 0]) @ expm(S * tk)).sum() for tk in t]
+        np.testing.assert_allclose(hypoexp_cdf(rates, t), ref, atol=1e-10)
+
+    def test_scalar_input_returns_scalar(self):
+        out = hypoexp_cdf([1.0, 2.0], 1.5)
+        assert np.ndim(out) == 0
+
+
+class TestMoments:
+    @given(rates=rates_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_mean_is_sum_of_stage_means(self, rates):
+        assert hypoexp_mean(rates) == pytest.approx(sum(1.0 / r for r in rates))
+
+    @given(rates=rates_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_var_is_sum_of_stage_vars(self, rates):
+        assert hypoexp_var(rates) == pytest.approx(sum(1.0 / r**2 for r in rates))
+
+    @given(rates=rates_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_cdf_properties(self, rates):
+        t = np.linspace(0.0, 5.0 * hypoexp_mean(rates), 30)
+        cdf = hypoexp_cdf(rates, t)
+        assert cdf[0] == pytest.approx(0.0, abs=1e-12)
+        assert (np.diff(cdf) >= -1e-10).all()
+        assert cdf.max() <= 1.0
+
+    def test_mean_matches_numeric_integral(self):
+        rates = [0.5, 1.5, 4.0]
+        mean = hypoexp_mean(rates)
+        t = np.linspace(0.0, 60 * mean, 40_000)
+        integral = float(np.trapezoid(1.0 - hypoexp_cdf(rates, t), t))
+        assert integral == pytest.approx(mean, rel=1e-4)
+
+
+class TestErrors:
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ValueError):
+            hypoexp_cdf([], 1.0)
+
+    def test_non_positive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            hypoexp_cdf([1.0, 0.0], 1.0)
+        with pytest.raises(ValueError):
+            hypoexp_mean([-1.0])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            hypoexp_cdf([1.0], -0.5)

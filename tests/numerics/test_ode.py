@@ -1,0 +1,77 @@
+"""ODE helpers: adaptive and fixed-step integrators against closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericsError
+from repro.numerics.ode import integrate_ode, rk4_fixed_step
+
+
+def linear_rhs(_t, y):
+    # dy/dt = A y with eigenvalues -1, -3.
+    A = np.array([[-2.0, 1.0], [1.0, -2.0]])
+    return A @ y
+
+
+class TestIntegrate:
+    def test_exponential_decay(self):
+        times = np.linspace(0.0, 3.0, 16)
+        out = integrate_ode(lambda t, y: -2.0 * y, [1.0], times)
+        np.testing.assert_allclose(out[:, 0], np.exp(-2.0 * times), atol=1e-7)
+
+    def test_linear_system(self):
+        from scipy.linalg import expm
+
+        A = np.array([[-2.0, 1.0], [1.0, -2.0]])
+        y0 = np.array([1.0, 0.0])
+        times = np.linspace(0.0, 2.0, 5)
+        out = integrate_ode(linear_rhs, y0, times)
+        for k, t in enumerate(times):
+            np.testing.assert_allclose(out[k], expm(A * t) @ y0, atol=1e-7)
+
+    def test_first_row_is_initial(self):
+        out = integrate_ode(lambda t, y: -y, [5.0], [0.0, 1.0])
+        assert out[0, 0] == pytest.approx(5.0)
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(NumericsError):
+            integrate_ode(lambda t, y: -y, [1.0], [0.0])
+        with pytest.raises(NumericsError):
+            integrate_ode(lambda t, y: -y, [1.0], [0.0, 2.0, 1.0])
+
+    def test_blowup_reported(self):
+        # y' = y^2 from y=1 blows up at t=1; the integrator must fail
+        # cleanly, not return garbage.  RK45 detects the vanishing step
+        # size immediately (LSODA can grind on this singularity for
+        # minutes before giving up, so it is not used here).
+        with pytest.raises(NumericsError, match="ODE integration failed"):
+            integrate_ode(lambda t, y: y**2, [1.0], [0.0, 0.5, 2.0], method="RK45")
+
+
+class TestRk4:
+    def test_matches_adaptive_on_smooth_problem(self):
+        times = np.linspace(0.0, 2.0, 9)
+        ref = integrate_ode(linear_rhs, [1.0, 0.0], times)
+        rk4 = rk4_fixed_step(linear_rhs, [1.0, 0.0], times, substeps=32)
+        np.testing.assert_allclose(rk4, ref, atol=1e-7)
+
+    def test_fourth_order_convergence(self):
+        times = [0.0, 1.0]
+        exact = np.exp(-1.0)
+        errors = []
+        for sub in (4, 8, 16):
+            out = rk4_fixed_step(lambda t, y: -y, [1.0], times, substeps=sub)
+            errors.append(abs(out[-1, 0] - exact))
+        # Halving the step should cut the error by ~16x.
+        assert errors[0] / errors[1] > 12
+        assert errors[1] / errors[2] > 12
+
+    def test_deterministic_bit_identical(self):
+        times = np.linspace(0.0, 5.0, 11)
+        a = rk4_fixed_step(linear_rhs, [0.3, 0.7], times)
+        b = rk4_fixed_step(linear_rhs, [0.3, 0.7], times)
+        assert (a == b).all()
+
+    def test_bad_substeps_rejected(self):
+        with pytest.raises(NumericsError):
+            rk4_fixed_step(lambda t, y: -y, [1.0], [0.0, 1.0], substeps=0)

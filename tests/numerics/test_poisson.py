@@ -1,0 +1,82 @@
+"""Poisson truncation weights: correctness against scipy and mass bounds."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import poisson as sp_poisson
+
+from repro.numerics.poisson import poisson_truncation_point, poisson_weights
+
+
+class TestTruncationPoint:
+    def test_zero_rate(self):
+        assert poisson_truncation_point(0.0) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_truncation_point(-1.0)
+
+    @pytest.mark.parametrize("m", [0.1, 1.0, 5.0, 50.0, 500.0])
+    def test_tail_below_epsilon(self, m):
+        eps = 1e-12
+        k = poisson_truncation_point(m, eps)
+        tail = sp_poisson.sf(k, m)
+        assert tail < eps
+
+    def test_scales_like_sqrt(self):
+        # K - m should grow like sqrt(m), not like m.
+        k1 = poisson_truncation_point(100.0) - 100.0
+        k2 = poisson_truncation_point(10000.0) - 10000.0
+        assert k2 < 15 * k1
+
+
+class TestWeights:
+    def test_zero_rate_degenerate(self):
+        k_lo, w = poisson_weights(0.0)
+        assert k_lo == 0
+        np.testing.assert_allclose(w, [1.0])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_weights(-0.5)
+
+    @pytest.mark.parametrize("m", [0.01, 0.5, 3.0, 30.0, 300.0, 3000.0])
+    def test_matches_scipy_pmf(self, m):
+        k_lo, w = poisson_weights(m, epsilon=1e-13)
+        ks = np.arange(k_lo, k_lo + w.size)
+        ref = sp_poisson.pmf(ks, m)
+        # Weights are renormalized, so compare shapes after normalization.
+        np.testing.assert_allclose(w, ref / ref.sum(), rtol=1e-9, atol=1e-15)
+
+    @pytest.mark.parametrize("m", [0.2, 2.0, 20.0, 200.0])
+    def test_weights_sum_to_one(self, m):
+        _k_lo, w = poisson_weights(m)
+        assert math.isclose(w.sum(), 1.0, rel_tol=0, abs_tol=1e-12)
+
+    def test_lower_truncation_used_for_large_m(self):
+        k_lo, w = poisson_weights(10_000.0)
+        assert k_lo > 0
+        # The window is a few hundred wide, not 10k wide.
+        assert w.size < 4000
+
+    def test_mode_is_near_m(self):
+        k_lo, w = poisson_weights(400.0)
+        mode = k_lo + int(np.argmax(w))
+        assert abs(mode - 400) <= 1
+
+    @given(m=st.floats(min_value=0.001, max_value=2000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_mass_and_mean_properties(self, m):
+        k_lo, w = poisson_weights(m, epsilon=1e-12)
+        assert abs(w.sum() - 1.0) < 1e-9
+        ks = np.arange(k_lo, k_lo + w.size)
+        mean = float(ks @ w)
+        assert abs(mean - m) < 1e-6 * max(1.0, m)
+
+    def test_all_weights_non_negative(self):
+        for m in (0.1, 7.0, 77.0):
+            _lo, w = poisson_weights(m)
+            assert (w >= 0).all()

@@ -1,0 +1,123 @@
+"""Steady-state solvers: closed forms, cross-method agreement, failure modes."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SingularGeneratorError
+from repro.numerics.steady import steady_state, validate_generator
+from tests.conftest import random_generator
+
+
+def two_state(a: float, b: float) -> sp.csr_matrix:
+    """0 -> 1 at rate a, 1 -> 0 at rate b."""
+    return sp.csr_matrix(np.array([[-a, a], [b, -b]]))
+
+
+def birth_death(n: int, lam: float, mu: float) -> sp.csr_matrix:
+    """M/M/1/n queue generator."""
+    Q = np.zeros((n + 1, n + 1))
+    for i in range(n):
+        Q[i, i + 1] = lam
+        Q[i + 1, i] = mu
+    np.fill_diagonal(Q, -Q.sum(axis=1))
+    return sp.csr_matrix(Q)
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("method", ["direct", "gmres", "power"])
+    def test_two_state(self, method):
+        a, b = 2.0, 3.0
+        result = steady_state(two_state(a, b), method=method)
+        np.testing.assert_allclose(result.pi, [b / (a + b), a / (a + b)], atol=1e-8)
+        assert result.method == method
+
+    @pytest.mark.parametrize("method", ["direct", "gmres", "power"])
+    def test_birth_death_geometric(self, method):
+        lam, mu, n = 1.0, 2.0, 8
+        rho = lam / mu
+        expected = np.array([rho**k for k in range(n + 1)])
+        expected /= expected.sum()
+        result = steady_state(birth_death(n, lam, mu), method=method, tol=1e-12)
+        np.testing.assert_allclose(result.pi, expected, atol=1e-7)
+
+    def test_single_state(self):
+        result = steady_state(sp.csr_matrix(np.array([[0.0]])))
+        np.testing.assert_allclose(result.pi, [1.0])
+
+    def test_result_indexing(self):
+        result = steady_state(two_state(1.0, 1.0))
+        assert result[0] == pytest.approx(0.5)
+
+
+class TestCrossMethodAgreement:
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 25))
+    @settings(max_examples=25, deadline=None)
+    def test_methods_agree_on_random_chains(self, seed, n):
+        rng = np.random.default_rng(seed)
+        Q = random_generator(rng, n)
+        direct = steady_state(Q, method="direct").pi
+        power = steady_state(Q, method="power", tol=1e-12).pi
+        np.testing.assert_allclose(direct, power, atol=1e-6)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_gmres_agrees(self, seed):
+        rng = np.random.default_rng(seed)
+        Q = random_generator(rng, 15)
+        direct = steady_state(Q, method="direct").pi
+        gmres = steady_state(Q, method="gmres", tol=1e-12).pi
+        np.testing.assert_allclose(direct, gmres, atol=1e-6)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_solution_properties(self, seed, n):
+        rng = np.random.default_rng(seed)
+        Q = random_generator(rng, n)
+        result = steady_state(Q)
+        assert abs(result.pi.sum() - 1.0) < 1e-9
+        assert (result.pi >= 0).all()
+        assert result.residual < 1e-7 * max(1.0, abs(Q.diagonal()).max())
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(SingularGeneratorError, match="square"):
+            validate_generator(sp.csr_matrix(np.zeros((2, 3))))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SingularGeneratorError, match="empty"):
+            validate_generator(sp.csr_matrix((0, 0)))
+
+    def test_bad_row_sum_rejected(self):
+        Q = sp.csr_matrix(np.array([[-1.0, 2.0], [1.0, -1.0]]))
+        with pytest.raises(SingularGeneratorError, match="sums to"):
+            validate_generator(Q)
+
+    def test_negative_off_diagonal_rejected(self):
+        Q = sp.csr_matrix(np.array([[1.0, -1.0], [1.0, -1.0]]))
+        with pytest.raises(SingularGeneratorError):
+            validate_generator(Q)
+
+    def test_absorbing_state_rejected(self):
+        Q = sp.csr_matrix(np.array([[-1.0, 1.0], [0.0, 0.0]]))
+        with pytest.raises(SingularGeneratorError, match="absorbing"):
+            steady_state(Q)
+
+    def test_reducible_chain_rejected(self):
+        # Two disconnected 2-state chains: no unique steady state.
+        Q = sp.block_diag([two_state(1.0, 1.0), two_state(2.0, 2.0)]).tocsr()
+        with pytest.raises(SingularGeneratorError):
+            steady_state(Q, method="direct")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            steady_state(two_state(1.0, 1.0), method="magic")
+
+    def test_check_false_skips_validation(self):
+        # With check=False a slightly imbalanced generator still solves.
+        Q = two_state(1.0, 1.0)
+        result = steady_state(Q, check=False)
+        np.testing.assert_allclose(result.pi, [0.5, 0.5], atol=1e-9)

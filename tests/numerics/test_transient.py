@@ -1,0 +1,205 @@
+"""Transient analysis: uniformization vs matrix exponential, absorption CDFs,
+hitting times."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NumericsError
+from repro.numerics.transient import (
+    absorption_cdf,
+    backward_transient,
+    expected_hitting_time,
+    transient_distribution,
+)
+from tests.conftest import random_generator
+
+
+def two_state(a: float, b: float) -> sp.csr_matrix:
+    return sp.csr_matrix(np.array([[-a, a], [b, -b]]))
+
+
+class TestTransientDistribution:
+    def test_time_zero_is_initial(self):
+        Q = two_state(1.0, 2.0)
+        out = transient_distribution(Q, [1.0, 0.0], [0.0])
+        np.testing.assert_allclose(out[0], [1.0, 0.0], atol=1e-12)
+
+    def test_two_state_closed_form(self):
+        a, b = 1.5, 0.5
+        Q = two_state(a, b)
+        times = np.linspace(0.0, 5.0, 11)
+        out = transient_distribution(Q, [1.0, 0.0], times)
+        s = a + b
+        expected_p1 = (a / s) * (1.0 - np.exp(-s * times))
+        np.testing.assert_allclose(out[:, 1], expected_p1, atol=1e-10)
+
+    @given(seed=st.integers(0, 5000), n=st.integers(2, 12), t=st.floats(0.01, 10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_expm(self, seed, n, t):
+        rng = np.random.default_rng(seed)
+        Q = random_generator(rng, n)
+        pi0 = np.zeros(n)
+        pi0[0] = 1.0
+        out = transient_distribution(Q, pi0, [t])
+        ref = pi0 @ scipy.linalg.expm(Q.toarray() * t)
+        np.testing.assert_allclose(out[0], ref, atol=1e-8)
+
+    def test_rows_are_distributions(self):
+        rng = np.random.default_rng(3)
+        Q = random_generator(rng, 10)
+        pi0 = np.full(10, 0.1)
+        out = transient_distribution(Q, pi0, np.linspace(0, 20, 7))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)
+        assert (out >= -1e-12).all()
+
+    def test_converges_to_steady_state(self):
+        from repro.numerics.steady import steady_state
+
+        rng = np.random.default_rng(11)
+        Q = random_generator(rng, 8)
+        pi0 = np.zeros(8)
+        pi0[0] = 1.0
+        out = transient_distribution(Q, pi0, [200.0])
+        pi = steady_state(Q).pi
+        np.testing.assert_allclose(out[0], pi, atol=1e-6)
+
+    def test_unordered_times_preserved(self):
+        Q = two_state(1.0, 1.0)
+        out = transient_distribution(Q, [1.0, 0.0], [2.0, 0.5])
+        ref_05 = transient_distribution(Q, [1.0, 0.0], [0.5])
+        np.testing.assert_allclose(out[1], ref_05[0], atol=1e-10)
+
+    def test_empty_times(self):
+        out = transient_distribution(two_state(1, 1), [1.0, 0.0], [])
+        assert out.shape == (0, 2)
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(NumericsError):
+            transient_distribution(two_state(1, 1), [0.7, 0.7], [1.0])
+        with pytest.raises(NumericsError):
+            transient_distribution(two_state(1, 1), [1.0], [1.0])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(NumericsError):
+            transient_distribution(two_state(1, 1), [1.0, 0.0], [-1.0])
+
+
+class TestBackwardTransient:
+    def test_duality_with_forward(self):
+        # pi0 @ expm(Qt) @ z == pi0 @ backward(z, t) for any pi0, z.
+        rng = np.random.default_rng(8)
+        Q = random_generator(rng, 9)
+        z = rng.random(9)
+        t = 1.7
+        u = backward_transient(Q, z, t)
+        for start in range(9):
+            pi0 = np.eye(9)[start]
+            forward = transient_distribution(Q, pi0, [t])[0]
+            assert forward @ z == pytest.approx(u[start], rel=1e-7)
+
+    def test_matches_expm(self):
+        rng = np.random.default_rng(9)
+        Q = random_generator(rng, 7)
+        z = rng.random(7)
+        t = 2.3
+        ref = scipy.linalg.expm(Q.toarray() * t) @ z
+        np.testing.assert_allclose(backward_transient(Q, z, t), ref, atol=1e-9)
+
+    def test_time_zero_identity(self):
+        Q = two_state(1.0, 2.0)
+        z = np.array([0.3, 0.9])
+        np.testing.assert_allclose(backward_transient(Q, z, 0.0), z)
+
+    def test_constant_reward_preserved(self):
+        # expm(Qt) is stochastic: a constant reward stays constant.
+        rng = np.random.default_rng(10)
+        Q = random_generator(rng, 6)
+        u = backward_transient(Q, np.ones(6), 3.0)
+        np.testing.assert_allclose(u, 1.0, atol=1e-9)
+
+    def test_bad_inputs(self):
+        Q = two_state(1.0, 2.0)
+        with pytest.raises(NumericsError, match="shape"):
+            backward_transient(Q, [1.0], 1.0)
+        with pytest.raises(NumericsError, match="non-negative"):
+            backward_transient(Q, [1.0, 0.0], -1.0)
+
+
+class TestAbsorptionCdf:
+    def test_single_exponential(self):
+        # 0 -> 1 at rate r; first passage to 1 is Exp(r).
+        r = 2.5
+        Q = sp.csr_matrix(np.array([[-r, r], [0.0, 0.0]]))
+        times = np.linspace(0.0, 3.0, 13)
+        cdf = absorption_cdf(Q, [1.0, 0.0], [1], times)
+        np.testing.assert_allclose(cdf, 1.0 - np.exp(-r * times), atol=1e-10)
+
+    def test_monotone_and_bounded(self):
+        rng = np.random.default_rng(5)
+        Q = random_generator(rng, 9)
+        times = np.linspace(0.0, 10.0, 40)
+        cdf = absorption_cdf(Q, np.eye(9)[0], [8], times)
+        assert (np.diff(cdf) >= -1e-10).all()
+        assert cdf.min() >= 0.0 and cdf.max() <= 1.0 + 1e-12
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(NumericsError, match="empty"):
+            absorption_cdf(two_state(1, 1), [1.0, 0.0], [], [1.0])
+
+    def test_out_of_range_target_rejected(self):
+        with pytest.raises(NumericsError, match="out of range"):
+            absorption_cdf(two_state(1, 1), [1.0, 0.0], [5], [1.0])
+
+    def test_starting_in_target(self):
+        Q = two_state(1.0, 1.0)
+        cdf = absorption_cdf(Q, [0.0, 1.0], [1], [0.0, 1.0])
+        np.testing.assert_allclose(cdf, [1.0, 1.0])
+
+
+class TestHittingTime:
+    def test_single_exponential_mean(self):
+        r = 4.0
+        Q = sp.csr_matrix(np.array([[-r, r], [0.0, 0.0]]))
+        assert expected_hitting_time(Q, [1.0, 0.0], [1]) == pytest.approx(1.0 / r)
+
+    def test_erlang_chain_mean(self):
+        # 0 -> 1 -> 2 -> 3, each at rate r: mean = 3/r.
+        r = 2.0
+        Q = np.zeros((4, 4))
+        for i in range(3):
+            Q[i, i + 1] = r
+            Q[i, i] = -r
+        pi0 = np.array([1.0, 0, 0, 0])
+        assert expected_hitting_time(sp.csr_matrix(Q), pi0, [3]) == pytest.approx(3.0 / r)
+
+    def test_already_in_target(self):
+        Q = two_state(1.0, 1.0)
+        assert expected_hitting_time(Q, [0.0, 1.0], [0, 1]) == 0.0
+
+    def test_two_state_round_trip(self):
+        # From state 0 to state 1 in the 2-state chain: Exp(a).
+        a, b = 3.0, 7.0
+        assert expected_hitting_time(two_state(a, b), [1.0, 0.0], [1]) == pytest.approx(1 / a)
+
+    def test_mean_consistent_with_cdf(self):
+        rng = np.random.default_rng(17)
+        Q = random_generator(rng, 7)
+        pi0 = np.eye(7)[0]
+        mean = expected_hitting_time(Q, pi0, [6])
+        # Numerically integrate 1-F via the CDF on a long horizon.
+        times = np.linspace(0.0, 40 * mean, 4000)
+        cdf = absorption_cdf(Q, pi0, [6], times)
+        integral = float(np.trapezoid(1.0 - cdf, times))
+        assert integral == pytest.approx(mean, rel=1e-3)
+
+    def test_unreachable_target_raises(self):
+        # State 1 cannot reach state 2 in this chain.
+        Q = np.array(
+            [[-1.0, 0.5, 0.5], [0.0, 0.0, 0.0], [0.0, 1.0, -1.0]]
+        )
+        with pytest.raises(NumericsError):
+            expected_hitting_time(sp.csr_matrix(Q), [1.0, 0.0, 0.0], [2])

@@ -1,0 +1,140 @@
+"""Cross-engine property tests: independent implementations of the same
+quantity must agree on randomly generated models.
+
+These are the deepest invariants in the PEPA stack:
+
+* attaching a stochastic probe never perturbs the probed system;
+* CSL's bounded-until probability equals a direct transient computation;
+* the simulation back-end's long-run action frequencies match the exact
+  steady-state throughput;
+* lumping preserves steady-state measures on arbitrary (not just
+  replica-symmetric) models with any initial partition.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.pepa import (
+    attach_probe,
+    ctmc_of,
+    derive,
+    lump,
+    parse_model,
+    throughput,
+)
+from repro.pepa.csl import prob_until
+from repro.numerics.steady import steady_state
+from tests.pepa.test_random_models import random_model
+
+
+def ergodic_chain(source: str):
+    """Derive + solve, or None if the random model isn't ergodic."""
+    space = derive(parse_model(source), max_states=20_000)
+    if space.deadlocked_states():
+        return None
+    chain = ctmc_of(space)
+    try:
+        chain.steady_state()
+    except ReproError:
+        return None
+    return chain
+
+
+class TestProbeNonPerturbation:
+    @given(source=random_model())
+    @settings(max_examples=25, deadline=None)
+    def test_probe_preserves_every_throughput(self, source):
+        model = parse_model(source)
+        chain = ergodic_chain(source)
+        if chain is None:
+            return
+        actions = sorted(chain.space.actions)
+        if len(actions) < 2:
+            return
+        probed = ctmc_of(derive(attach_probe(model, actions[0], actions[1])))
+        try:
+            pi = probed.steady_state().pi
+        except ReproError:
+            return
+        for action in actions:
+            assert abs(
+                throughput(chain, action) - throughput(probed, action, pi)
+            ) < 1e-8
+
+
+class TestCslAgainstTransient:
+    @given(source=random_model(), t=st.floats(0.05, 3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_true_until_equals_transient_reach(self, source, t):
+        """P(true U[0,t] ψ) from the initial state == transient mass in ψ
+        of the ψ-absorbing chain — computed through two different code
+        paths (backward vs forward uniformization)."""
+        chain = ergodic_chain(source)
+        if chain is None or chain.n_states < 2:
+            return
+        psi = {chain.n_states - 1}
+        u = prob_until(chain, set(range(chain.n_states)), psi, 0.0, t)
+        from repro.numerics.transient import absorption_cdf
+
+        pi0 = np.zeros(chain.n_states)
+        pi0[chain.space.initial_state] = 1.0
+        forward = absorption_cdf(chain.generator, pi0, sorted(psi), [t])[0]
+        assert abs(u[chain.space.initial_state] - forward) < 1e-8
+
+
+class TestLumpingOnRandomModels:
+    @given(source=random_model())
+    @settings(max_examples=20, deadline=None)
+    def test_lumped_blocks_preserve_steady_state(self, source):
+        chain = ergodic_chain(source)
+        if chain is None:
+            return
+        lumped = lump(chain)
+        pi_full = chain.steady_state().pi
+        pi_lumped = steady_state(lumped.generator).pi
+        np.testing.assert_allclose(
+            lumped.project(pi_full), pi_lumped, atol=1e-8
+        )
+
+    @given(source=random_model())
+    @settings(max_examples=15, deadline=None)
+    def test_identity_partition_reproduces_chain(self, source):
+        chain = ergodic_chain(source)
+        if chain is None:
+            return
+        lumped = lump(chain, initial=lambda i: i)
+        assert lumped.n_blocks == chain.n_states
+        np.testing.assert_allclose(
+            lumped.generator.toarray(), chain.generator.toarray(), atol=1e-12
+        )
+
+
+class TestSimulationAgainstExact:
+    @given(source=random_model(), seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_long_run_throughput(self, source, seed):
+        from repro.pepa import empirical_throughput, simulate
+
+        chain = ergodic_chain(source)
+        if chain is None:
+            return
+        # Pick the busiest action for a tight estimate.
+        actions = sorted(chain.space.actions)
+        exact = {a: throughput(chain, a) for a in actions}
+        action = max(exact, key=exact.get)
+        if exact[action] < 0.05:
+            return
+        path = simulate(chain, np.linspace(0.0, 4000.0, 5), seed=seed)
+        measured = empirical_throughput(path, action)
+        # Self-loop activities are invisible to the simulator; compare
+        # against the self-loop-free exact value.
+        loop_rate = sum(
+            tr.rate * chain.steady_state().pi[tr.source]
+            for tr in chain.space.transitions
+            if tr.action == action and tr.source == tr.target
+        )
+        assert abs(measured - (exact[action] - loop_rate)) < 0.15 * max(
+            exact[action], 0.1
+        )

@@ -1,0 +1,211 @@
+"""CSL model checking: closed-form probabilities and operator algebra."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PepaError
+from repro.pepa import ctmc_of, derive, parse_model
+from repro.pepa.csl import (
+    And,
+    Atomic,
+    Next,
+    Not,
+    Or,
+    ProbOp,
+    SteadyStateOp,
+    TrueFormula,
+    Until,
+    check,
+    label_ap,
+    local_ap,
+    prob_next,
+    prob_steady,
+    prob_until,
+    satisfying_states,
+)
+
+
+@pytest.fixture(scope="module")
+def flip():
+    """P <-> Q at rates 1 and 3."""
+    return ctmc_of(derive(parse_model("P = (a, 1.0).Q; Q = (b, 3.0).P; P")))
+
+
+@pytest.fixture(scope="module")
+def race():
+    """S0 races to Win (rate 2) or Lose (rate 1); both terminal loops."""
+    return ctmc_of(
+        derive(
+            parse_model(
+                "S0 = (w, 2.0).Win + (l, 1.0).Lose; "
+                "Win = (x, 1.0).Win; Lose = (y, 1.0).Lose; "
+                "B = (x, infty).B + (y, infty).B; S0 <x, y> B"
+            )
+        )
+    )
+
+
+class TestStateFormulas:
+    def test_true_everywhere(self, flip):
+        assert satisfying_states(flip, TrueFormula()) == {0, 1}
+
+    def test_local_ap(self, flip):
+        assert satisfying_states(flip, local_ap("P", "Q")) == {1}
+
+    def test_label_ap(self, race):
+        wins = satisfying_states(race, label_ap("Win"))
+        assert len(wins) == 1
+
+    def test_boolean_algebra(self, flip):
+        q = local_ap("P", "Q")
+        assert satisfying_states(flip, Not(q)) == {0}
+        assert satisfying_states(flip, And(q, Not(q))) == set()
+        assert satisfying_states(flip, Or(q, Not(q))) == {0, 1}
+
+    def test_operator_sugar(self, flip):
+        q = local_ap("P", "Q")
+        assert satisfying_states(flip, ~q) == {0}
+        assert satisfying_states(flip, q & ~q) == set()
+        assert satisfying_states(flip, q | ~q) == {0, 1}
+
+
+class TestNext:
+    def test_two_state_next_is_certain(self, flip):
+        u = prob_next(flip, {1})
+        np.testing.assert_allclose(u, [1.0, 0.0])
+
+    def test_race_next(self, race):
+        wins = satisfying_states(race, label_ap("Win"))
+        u = prob_next(race, wins)
+        assert u[race.space.initial_state] == pytest.approx(2.0 / 3.0)
+
+    def test_absorbing_state_never_jumps(self, race):
+        wins = satisfying_states(race, label_ap("Win"))
+        # Win/Lose are absorbing (their activities are global self-loops).
+        lose = next(iter(satisfying_states(race, label_ap("Lose"))))
+        u = prob_next(race, wins)
+        assert u[lose] == 0.0
+
+
+class TestBoundedUntil:
+    def test_exponential_reach(self, flip):
+        t = 0.7
+        u = prob_until(flip, {0, 1}, {1}, 0.0, t)
+        assert u[0] == pytest.approx(1.0 - np.exp(-t), rel=1e-9)
+        assert u[1] == pytest.approx(1.0)
+
+    def test_interval_until(self, flip):
+        # From P, reach Q within [t1, t2] while allowed to move freely:
+        # staying "in Φ=true" phase 1 just evolves; compare against the
+        # numerically integrated answer from transient analysis.
+        t1, t2 = 0.4, 1.1
+        u = prob_until(flip, {0, 1}, {1}, t1, t2)
+        # By symmetry of the algorithm: evolve t1, then bounded reach.
+        dist = flip.transient([t1])[0]
+        reach = prob_until(flip, {0, 1}, {1}, 0.0, t2 - t1)
+        expected = float(dist @ reach)
+        assert u[0] == pytest.approx(expected, rel=1e-8)
+
+    def test_phi_constrains_path(self, race):
+        # true U Win vs (¬Lose) U Win are the same here since Lose is a
+        # trap that never reaches Win anyway.
+        all_states = set(range(race.n_states))
+        wins = satisfying_states(race, label_ap("Win"))
+        loses = satisfying_states(race, label_ap("Lose"))
+        u_all = prob_until(race, all_states, wins, 0.0, 50.0)
+        u_safe = prob_until(race, all_states - loses, wins, 0.0, 50.0)
+        np.testing.assert_allclose(u_all, u_safe, atol=1e-9)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(PepaError, match="interval"):
+            Until(TrueFormula(), TrueFormula(), 2.0, 1.0)
+
+
+class TestUnboundedUntil:
+    def test_race_win_probability(self, race):
+        wins = satisfying_states(race, label_ap("Win"))
+        u = prob_until(race, set(range(race.n_states)), wins)
+        assert u[race.space.initial_state] == pytest.approx(2.0 / 3.0)
+
+    def test_prob0_states_zero(self, race):
+        wins = satisfying_states(race, label_ap("Win"))
+        loses = satisfying_states(race, label_ap("Lose"))
+        u = prob_until(race, set(range(race.n_states)), wins)
+        for s in loses:
+            assert u[s] == 0.0
+
+    def test_irreducible_reaches_everything(self, flip):
+        u = prob_until(flip, {0, 1}, {1})
+        np.testing.assert_allclose(u, 1.0)
+
+    def test_empty_phi(self, flip):
+        u = prob_until(flip, set(), {1})
+        np.testing.assert_allclose(u, [0.0, 1.0])
+
+
+class TestSteadyOperator:
+    def test_threshold(self, flip):
+        q = local_ap("P", "Q")
+        assert prob_steady(flip, satisfying_states(flip, q)) == pytest.approx(0.25)
+        assert check(flip, SteadyStateOp(">=", 0.2, q))
+        assert not check(flip, SteadyStateOp(">=", 0.3, q))
+        assert check(flip, SteadyStateOp("<", 0.3, q))
+
+
+class TestProbOperator:
+    def test_nested_formula(self, race):
+        # P>=0.6 [ true U Win ] holds in S0 and Win, not in Lose.
+        f = ProbOp(">=", 0.6, Until(TrueFormula(), label_ap("Win")))
+        sats = satisfying_states(race, f)
+        assert race.space.initial_state in sats
+        loses = satisfying_states(race, label_ap("Lose"))
+        assert not (sats & loses)
+
+    def test_check_default_initial(self, race):
+        f = ProbOp(">=", 0.6, Until(TrueFormula(), label_ap("Win")))
+        assert check(race, f)
+        g = ProbOp(">=", 0.7, Until(TrueFormula(), label_ap("Win")))
+        assert not check(race, g)
+
+    def test_next_under_prob(self, race):
+        f = ProbOp(">", 0.5, Next(label_ap("Win")))
+        assert check(race, f)
+
+    def test_bare_path_formula_rejected(self, flip):
+        with pytest.raises(PepaError, match="path formulas"):
+            satisfying_states(flip, Until(TrueFormula(), TrueFormula()))
+
+    def test_bad_operator_arguments(self):
+        with pytest.raises(PepaError):
+            ProbOp("!=", 0.5, Next(TrueFormula()))
+        with pytest.raises(PepaError):
+            ProbOp(">=", 1.5, Next(TrueFormula()))
+        with pytest.raises(PepaError, match="Next or Until"):
+            ProbOp(">=", 0.5, TrueFormula())
+
+
+class TestAgainstPassageEngine:
+    def test_until_matches_passage_cdf(self):
+        """On an absorbing finishing-time model, bounded until from the
+        initial state equals the passage-time CDF."""
+        from repro.pepa.passage import passage_time_cdf
+
+        source = """
+        S0 = (s1, 0.8).S1; S1 = (s2, 1.6).Done;
+        Done = (stuck, 1.0).Done;
+        B = (never, 1.0).B;
+        S0 <stuck> B
+        """
+        chain = ctmc_of(derive(parse_model(source)))
+        done = set(chain.space.states_with_local("S0", "Done"))
+        times = np.linspace(0.0, 6.0, 13)
+        cdf = passage_time_cdf(chain, sorted(done), times).cdf
+        until = np.array(
+            [
+                prob_until(chain, set(range(chain.n_states)), done, 0.0, t)[
+                    chain.space.initial_state
+                ]
+                for t in times
+            ]
+        )
+        np.testing.assert_allclose(until, cdf, atol=1e-9)

@@ -1,0 +1,89 @@
+"""CTMC construction and analysis from derived PEPA state spaces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError
+from repro.pepa import ctmc_of, derive, parse_model
+
+
+def chain_of(source: str):
+    return ctmc_of(derive(parse_model(source)))
+
+
+class TestGenerator:
+    def test_rows_sum_to_zero(self):
+        chain = chain_of("P = (a, 1.0).Q + (b, 0.5).Q; Q = (c, 2.0).P; P")
+        rows = np.asarray(chain.generator.sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, 0.0, atol=1e-12)
+
+    def test_parallel_transitions_aggregate(self):
+        # Two distinct actions between the same states sum in Q.
+        chain = chain_of("P = (a, 1.0).Q + (b, 0.5).Q; Q = (c, 2.0).P; P")
+        assert chain.generator[0, 1] == pytest.approx(1.5)
+
+    def test_self_loops_dropped(self):
+        chain = chain_of("P = (a, 1.0).P + (b, 2.0).Q; Q = (c, 1.0).P; P")
+        # The self-loop (a) must not appear on the diagonal.
+        assert chain.generator[0, 0] == pytest.approx(-2.0)
+
+    def test_n_states(self):
+        chain = chain_of("P = (a, 1.0).Q; Q = (b, 2.0).P; P")
+        assert chain.n_states == 2
+
+
+class TestSteadyState:
+    def test_two_state_closed_form(self):
+        chain = chain_of("P = (a, 1.0).Q; Q = (b, 3.0).P; P")
+        pi = chain.steady_state().pi
+        np.testing.assert_allclose(pi, [0.75, 0.25], atol=1e-10)
+
+    def test_deadlock_raises_with_label(self):
+        chain = chain_of(
+            "P = (go, 1.0).Done; Done = (x, 1.0).Done; "
+            "Q = (go, infty).Q; P <go, x> Q"
+        )
+        with pytest.raises(DeadlockError, match="Done"):
+            chain.steady_state()
+
+    def test_method_forwarding(self):
+        chain = chain_of("P = (a, 1.0).Q; Q = (b, 3.0).P; P")
+        pi_power = chain.steady_state(method="power", tol=1e-12).pi
+        np.testing.assert_allclose(pi_power, [0.75, 0.25], atol=1e-8)
+
+
+class TestTransient:
+    def test_defaults_to_initial_state(self):
+        chain = chain_of("P = (a, 1.0).Q; Q = (b, 1.0).P; P")
+        dist = chain.transient([0.0])
+        np.testing.assert_allclose(dist[0], [1.0, 0.0], atol=1e-12)
+
+    def test_converges_to_steady(self):
+        chain = chain_of("P = (a, 1.0).Q; Q = (b, 3.0).P; P")
+        dist = chain.transient([100.0])
+        np.testing.assert_allclose(dist[0], [0.75, 0.25], atol=1e-8)
+
+    def test_custom_initial(self):
+        chain = chain_of("P = (a, 1.0).Q; Q = (b, 1.0).P; P")
+        dist = chain.transient([0.0], pi0=[0.0, 1.0])
+        np.testing.assert_allclose(dist[0], [0.0, 1.0], atol=1e-12)
+
+
+class TestActionRates:
+    def test_action_rate_matrix(self):
+        chain = chain_of("P = (a, 1.0).Q + (b, 0.5).Q; Q = (c, 2.0).P; P")
+        Ra = chain.action_rate_matrix("a")
+        assert Ra[0, 1] == pytest.approx(1.0)
+        assert Ra.sum() == pytest.approx(1.0)
+
+    def test_action_exit_rates(self):
+        chain = chain_of("P = (a, 1.0).Q + (b, 0.5).Q; Q = (c, 2.0).P; P")
+        np.testing.assert_allclose(chain.action_exit_rates("c"), [0.0, 2.0])
+
+    def test_unknown_action_is_zero_matrix(self):
+        chain = chain_of("P = (a, 1.0).Q; Q = (b, 1.0).P; P")
+        assert chain.action_rate_matrix("zz").nnz == 0
+
+    def test_matrix_cached(self):
+        chain = chain_of("P = (a, 1.0).Q; Q = (b, 1.0).P; P")
+        assert chain.action_rate_matrix("a") is chain.action_rate_matrix("a")

@@ -1,0 +1,74 @@
+"""Parameter sweeps (the Eclipse plug-in experimentation feature)."""
+
+import numpy as np
+import pytest
+
+from repro.pepa import parse_model, sweep, throughput
+from repro.pepa.rewards import utilization
+
+
+@pytest.fixture()
+def model():
+    return parse_model("r = 1.0; mu = 3.0; P = (a, r).Q; Q = (b, mu).P; P")
+
+
+class TestSweep:
+    def test_single_parameter(self, model):
+        result = sweep(model, {"r": [0.5, 1.0, 2.0]},
+                       measure=lambda c: throughput(c, "a"))
+        assert result.parameters == ("r",)
+        assert result.grid.shape == (3, 1)
+        # throughput(a) = r*mu/(r+mu): increasing in r.
+        assert (np.diff(result.values) > 0).all()
+
+    def test_closed_form_values(self, model):
+        result = sweep(model, {"r": [1.0]}, measure=lambda c: throughput(c, "a"))
+        assert result.values[0] == pytest.approx(3.0 / 4.0)
+
+    def test_cartesian_product(self, model):
+        result = sweep(
+            model,
+            {"r": [1.0, 2.0], "mu": [1.0, 2.0, 4.0]},
+            measure=lambda c: throughput(c, "a"),
+        )
+        assert result.grid.shape == (6, 2)
+        assert len(result.as_rows()) == 6
+
+    def test_column_accessor(self, model):
+        result = sweep(
+            model, {"r": [1.0, 2.0], "mu": [5.0]}, measure=lambda c: 0.0
+        )
+        np.testing.assert_allclose(sorted(set(result.column("r"))), [1.0, 2.0])
+        with pytest.raises(KeyError):
+            result.column("zz")
+
+    def test_as_rows_contains_value(self, model):
+        result = sweep(model, {"r": [1.0]}, measure=lambda c: 42.0)
+        assert result.as_rows()[0]["value"] == 42.0
+
+    def test_utilization_measure(self, model):
+        result = sweep(
+            model,
+            {"mu": [1.0, 100.0]},
+            measure=lambda c: utilization(c, "P", "Q"),
+        )
+        # Faster service -> lower utilization of the busy state.
+        assert result.values[1] < result.values[0]
+
+    def test_empty_ranges_rejected(self, model):
+        with pytest.raises(ValueError):
+            sweep(model, {}, measure=lambda c: 0.0)
+        with pytest.raises(ValueError):
+            sweep(model, {"r": []}, measure=lambda c: 0.0)
+
+    def test_unknown_rate_rejected(self, model):
+        from repro.errors import UnboundRateError
+
+        with pytest.raises(UnboundRateError):
+            sweep(model, {"nope": [1.0]}, measure=lambda c: 0.0)
+
+    def test_base_model_not_mutated(self, model):
+        sweep(model, {"r": [9.0]}, measure=lambda c: 0.0)
+        from repro.pepa.syntax import RateLiteral
+
+        assert model.rate_expr("r") == RateLiteral(1.0)

@@ -1,0 +1,125 @@
+"""PRISM explicit-format export/import."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PepaError
+from repro.pepa import ctmc_of, derive, parse_model
+from repro.pepa.export import (
+    export_prism,
+    import_tra,
+    to_prism_lab,
+    to_prism_sta,
+    to_prism_tra,
+)
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return ctmc_of(
+        derive(
+            parse_model(
+                """
+                P = (a, 1.0).P1; P1 = (b, 2.0).P;
+                Q = (a, infty).Q1; Q1 = (c, 0.5).Q;
+                P <a> Q
+                """
+            )
+        )
+    )
+
+
+class TestTra:
+    def test_header_counts(self, chain):
+        lines = to_prism_tra(chain).splitlines()
+        n, m = map(int, lines[0].split())
+        assert n == chain.n_states
+        assert m == len(lines) - 1
+
+    def test_round_trip(self, chain):
+        Q = import_tra(to_prism_tra(chain))
+        np.testing.assert_allclose(
+            Q.toarray(), chain.generator.toarray(), atol=1e-12
+        )
+
+    def test_rows_sorted(self, chain):
+        rows = [tuple(map(float, l.split()[:2])) for l in to_prism_tra(chain).splitlines()[1:]]
+        assert rows == sorted(rows)
+
+    def test_deterministic(self, chain):
+        assert to_prism_tra(chain) == to_prism_tra(chain)
+
+
+class TestStaLab:
+    def test_sta_header_names_leaves(self, chain):
+        header = to_prism_sta(chain).splitlines()[0]
+        assert header == "(P,Q)"
+
+    def test_sta_rows(self, chain):
+        lines = to_prism_sta(chain).splitlines()
+        assert len(lines) == chain.n_states + 1
+        assert lines[1].startswith("0:(")
+
+    def test_lab_marks_init(self, chain):
+        lab = to_prism_lab(chain)
+        assert '0="init"' in lab
+        assert "\n0: 0" in lab
+
+    def test_lab_marks_deadlock(self):
+        # After the shared 'go', Dead wants 'stuck' (blocked: Q1 never
+        # enables it) and Q1 waits passively for another 'go' that P's
+        # side never offers: a genuine deadlock state.
+        chain = ctmc_of(
+            derive(
+                parse_model(
+                    "P = (go, 1.0).Dead; Dead = (stuck, 1.0).Dead; "
+                    "Q = (go, infty).Q1; Q1 = (go, infty).Q1; "
+                    "P <go, stuck> Q"
+                )
+            )
+        )
+        deadlocks = chain.space.deadlocked_states()
+        assert deadlocks
+        lab = to_prism_lab(chain)
+        assert '1="deadlock"' in lab
+        assert f"{deadlocks[0]}: 1" in lab
+
+    def test_sanitized_variable_names(self):
+        chain = ctmc_of(derive(parse_model("P = (a, 1.0).Q; Q = (b, 1.0).P; P || P")))
+        header = to_prism_sta(chain).splitlines()[0]
+        assert header == "(P,P_1)"  # '#' sanitized for PRISM identifiers
+
+
+class TestFiles:
+    def test_export_writes_three_files(self, chain, tmp_path):
+        base = str(tmp_path / "model")
+        out = export_prism(chain, base)
+        assert set(out) == {f"{base}.tra", f"{base}.sta", f"{base}.lab"}
+        for path in out:
+            assert (tmp_path / path.split("/")[-1]).read_text() == out[path]
+
+
+class TestImportErrors:
+    def test_empty(self):
+        with pytest.raises(PepaError, match="empty"):
+            import_tra("")
+
+    def test_bad_header(self):
+        with pytest.raises(PepaError, match="header"):
+            import_tra("3\n")
+
+    def test_count_mismatch(self):
+        with pytest.raises(PepaError, match="declares"):
+            import_tra("2 2\n0 1 1.0\n")
+
+    def test_bad_row(self):
+        with pytest.raises(PepaError, match="malformed"):
+            import_tra("2 1\n0 1\n")
+
+    def test_out_of_range_state(self):
+        with pytest.raises(PepaError, match="outside"):
+            import_tra("2 1\n0 5 1.0\n")
+
+    def test_non_positive_rate(self):
+        with pytest.raises(PepaError, match="non-positive"):
+            import_tra("2 1\n0 1 0.0\n")

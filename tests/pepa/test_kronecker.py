@@ -1,0 +1,124 @@
+"""Kronecker-sum compositional generator vs explicit derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CooperationError, IllFormedModelError
+from repro.numerics.steady import steady_state
+from repro.pepa import ctmc_of, derive, parse_model
+from repro.pepa.kronecker import (
+    component_generator,
+    kronecker_generator,
+    kronecker_states,
+)
+from repro.pepa.syntax import Constant
+
+
+def align(model):
+    """Permutation mapping explicit-derivation state order to Kronecker order."""
+    space = derive(model)
+    chain = ctmc_of(space)
+    states = kronecker_states(model)
+    label_to_kron = {s: i for i, s in enumerate(states)}
+    perm = np.array(
+        [
+            label_to_kron[
+                tuple(
+                    space.local_label(k, space.states[i][k])
+                    for k in range(len(space.leaves))
+                )
+            ]
+            for i in range(space.size)
+        ]
+    )
+    return chain, perm
+
+
+class TestAgreement:
+    def test_two_independent_components(self):
+        model = parse_model(
+            "P = (a, 1.0).P1; P1 = (b, 2.0).P; "
+            "Q = (c, 0.7).Q1; Q1 = (d, 1.1).Q; P || Q"
+        )
+        chain, perm = align(model)
+        Qk = kronecker_generator(model).toarray()[:, :]
+        np.testing.assert_allclose(
+            Qk[np.ix_(perm, perm)], chain.generator.toarray(), atol=1e-12
+        )
+
+    def test_aggregated_replicas(self):
+        model = parse_model("P = (a, 1.0).P1; P1 = (b, 2.0).P; P[3]")
+        chain, perm = align(model)
+        Qk = kronecker_generator(model).toarray()
+        np.testing.assert_allclose(
+            Qk[np.ix_(perm, perm)], chain.generator.toarray(), atol=1e-12
+        )
+
+    def test_steady_states_agree(self):
+        model = parse_model(
+            "P = (a, 1.0).P1; P1 = (b, 2.0).P; "
+            "Q = (c, 0.7).Q1; Q1 = (d, 1.1).Q2; Q2 = (e, 3.0).Q; P || Q"
+        )
+        chain, perm = align(model)
+        pi_k = steady_state(kronecker_generator(model)).pi
+        np.testing.assert_allclose(pi_k[perm], chain.steady_state().pi, atol=1e-9)
+
+    @given(
+        rates=st.lists(
+            st.floats(min_value=0.1, max_value=5.0), min_size=4, max_size=4
+        ),
+        copies=st.integers(2, 4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_rate_replicas(self, rates, copies):
+        a, b, c, d = rates
+        model = parse_model(
+            f"P = (x, {a!r}).P1 + (y, {b!r}).P2; "
+            f"P1 = (z, {c!r}).P; P2 = (w, {d!r}).P; P[{copies}]"
+        )
+        chain, perm = align(model)
+        Qk = kronecker_generator(model).toarray()
+        np.testing.assert_allclose(
+            Qk[np.ix_(perm, perm)], chain.generator.toarray(), atol=1e-10
+        )
+
+
+class TestStructure:
+    def test_state_count_is_product(self):
+        model = parse_model(
+            "P = (a, 1.0).P1; P1 = (b, 2.0).P; "
+            "Q = (c, 0.7).Q1; Q1 = (d, 1.1).Q2; Q2 = (e, 3.0).Q; P || Q"
+        )
+        assert kronecker_generator(model).shape == (6, 6)
+        assert len(kronecker_states(model)) == 6
+
+    def test_component_generator_shape(self):
+        model = parse_model("P = (a, 1.0).P1; P1 = (b, 2.0).P; P")
+        Q, order = component_generator(model, Constant("P"))
+        assert Q.shape == (2, 2)
+        assert [t.name for t in order] == ["P", "P1"]
+        np.testing.assert_allclose(
+            np.asarray(Q.sum(axis=1)).ravel(), 0.0, atol=1e-12
+        )
+
+    def test_hiding_transparent(self):
+        model = parse_model(
+            "P = (a, 1.0).P1; P1 = (b, 2.0).P; Q = (c, 1.0).Q; (P / {a}) || Q"
+        )
+        assert kronecker_generator(model).shape == (2, 2)
+
+
+class TestRejections:
+    def test_synchronization_rejected(self):
+        model = parse_model(
+            "P = (a, 1.0).P; Q = (a, 2.0).Q; P <a> Q"
+        )
+        with pytest.raises(CooperationError, match="empty cooperation sets"):
+            kronecker_generator(model)
+
+    def test_passive_component_rejected(self):
+        model = parse_model("P = (a, infty).P1; P1 = (b, 1.0).P; P || P")
+        with pytest.raises(IllFormedModelError, match="passively"):
+            kronecker_generator(model)

@@ -1,0 +1,88 @@
+"""PEPA lexer: token kinds, positions, comments, errors."""
+
+import pytest
+
+from repro.errors import PepaSyntaxError
+from repro.pepa.lexer import Token, tokenize
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source) if t.kind != "EOF"]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        assert kinds("") == ["EOF"]
+
+    def test_identifiers_case_split(self):
+        assert kinds("Server client") == ["UNAME", "LNAME", "EOF"]
+
+    def test_prime_in_identifier(self):
+        assert texts("Server'") == ["Server'"]
+
+    def test_underscore_identifier(self):
+        assert kinds("_x Client_busy") == ["LNAME", "UNAME", "EOF"]
+
+    def test_infty_keywords(self):
+        assert kinds("infty T") == ["INFTY", "INFTY", "EOF"]
+
+    def test_numbers(self):
+        assert texts("1 2.5 0.001 1e-3 2.5E+4 .5") == [
+            "1",
+            "2.5",
+            "0.001",
+            "1e-3",
+            "2.5E+4",
+            ".5",
+        ]
+
+    def test_punctuation(self):
+        assert kinds("( ) , . + / { } < > [ ] ; * = %") == [
+            "(", ")", ",", ".", "+", "/", "{", "}", "<", ">", "[", "]", ";",
+            "*", "=", "%", "EOF",
+        ]
+
+    def test_two_char_tokens(self):
+        assert kinds("|| <>") == ["||", "<>", "EOF"]
+
+    def test_coop_set_is_separate_tokens(self):
+        assert kinds("<a, b>") == ["<", "LNAME", ",", "LNAME", ">", "EOF"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment here\n b") == ["LNAME", "LNAME", "EOF"]
+
+    def test_block_comment(self):
+        assert kinds("a /* multi\nline */ b") == ["LNAME", "LNAME", "EOF"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(PepaSyntaxError, match="unterminated"):
+            tokenize("a /* oops")
+
+
+class TestPositions:
+    def test_line_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(PepaSyntaxError) as err:
+            tokenize("abc\n   ?")
+        assert err.value.line == 2
+        assert err.value.column == 4
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(PepaSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_token_repr_compact(self):
+        tok = Token("LNAME", "abc", 1, 1)
+        assert "abc" in repr(tok)

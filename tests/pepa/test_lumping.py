@@ -1,0 +1,130 @@
+"""Ordinary lumping: symmetry aggregation, correctness, custom partitions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PepaError
+from repro.numerics.steady import steady_state
+from repro.pepa import ctmc_of, derive, lump, parse_model, symmetry_labels
+
+PC_LAN = """
+lam = 0.4; mu = 5.0;
+PC = (think, lam).PCready;
+PCready = (send, infty).PC;
+Medium = (send, mu).Medium;
+PC[{n}] <send> Medium
+"""
+
+
+def pc_chain(n: int):
+    return ctmc_of(derive(parse_model(PC_LAN.format(n=n))))
+
+
+class TestSymmetryAggregation:
+    @pytest.mark.parametrize("n,expected", [(2, 3), (4, 5), (6, 7)])
+    def test_replica_counts_collapse(self, n, expected):
+        # n symmetric PCs with 2 local states: blocks = number ready 0..n.
+        lumped = lump(pc_chain(n))
+        assert lumped.n_blocks == expected
+
+    def test_projection_preserves_steady_state(self):
+        chain = pc_chain(4)
+        lumped = lump(chain)
+        pi_full = chain.steady_state().pi
+        pi_lumped = steady_state(lumped.generator).pi
+        np.testing.assert_allclose(lumped.project(pi_full), pi_lumped, atol=1e-9)
+
+    def test_lumped_generator_is_generator(self):
+        lumped = lump(pc_chain(4))
+        rows = np.asarray(lumped.generator.sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, 0.0, atol=1e-10)
+
+    def test_asymmetric_components_not_merged(self):
+        # Two components with different rates: no states are equivalent.
+        chain = ctmc_of(
+            derive(
+                parse_model(
+                    "A = (x, 1.0).A1; A1 = (y, 1.0).A; "
+                    "B = (x, 2.0).B1; B1 = (y, 2.0).B; A || B"
+                )
+            )
+        )
+        lumped = lump(chain)
+        assert lumped.n_blocks == chain.n_states
+
+    def test_block_membership_consistent(self):
+        lumped = lump(pc_chain(3))
+        for b, members in enumerate(lumped.blocks):
+            for s in members:
+                assert lumped.block_of[s] == b
+
+    def test_symmetry_labels_shape(self):
+        chain = pc_chain(2)
+        labels = symmetry_labels(chain)
+        assert len(labels) == chain.n_states
+        # Permuted replica states share labels: 8 states -> 3*2... PC[2]:
+        # (PC, PC), (PC, PCready)~(PCready, PC), (PCready, PCready);
+        # Medium has one state.
+        assert len(set(labels)) == 3
+
+
+class TestCustomPartitions:
+    def test_sequence_labels(self):
+        chain = pc_chain(2)
+        # All states labelled identically: the (vacuous) one-block lumping.
+        lumped = lump(chain, initial=[0] * chain.n_states)
+        assert lumped.n_blocks == 1
+        assert lumped.project(chain.steady_state().pi)[0] == pytest.approx(1.0)
+
+    def test_callable_labels(self):
+        chain = pc_chain(2)
+        lumped = lump(chain, initial=lambda i: i)  # identity partition
+        assert lumped.n_blocks == chain.n_states
+        # Identity lumping reproduces the original generator.
+        np.testing.assert_allclose(
+            lumped.generator.toarray(), chain.generator.toarray(), atol=1e-12
+        )
+
+    def test_refinement_splits_unlumpable_blocks(self):
+        # A -> B -> C -> A with distinct rates; initial partition {A,B},{C}.
+        # A has no flow out of block 0 (A->B is internal) while B flows to
+        # {C} at rate 2: the block must split, cascading to singletons.
+        chain = ctmc_of(
+            derive(parse_model("A = (x, 1.0).B; B = (y, 2.0).C; C = (z, 3.0).A; A"))
+        )
+        lumped = lump(chain, initial=[0, 0, 1])
+        assert lumped.n_blocks == 3
+
+    def test_one_block_initial_is_vacuously_lumpable(self):
+        # Ordinary lumpability constrains flows to *other* blocks only, so
+        # the trivial partition always survives refinement unchanged —
+        # exactly why the default initial partition is symmetry_labels.
+        chain = ctmc_of(
+            derive(parse_model("A = (x, 1.0).B; B = (y, 2.0).C; C = (z, 3.0).A; A"))
+        )
+        assert lump(chain, initial=[0, 0, 0]).n_blocks == 1
+
+    def test_wrong_label_count_rejected(self):
+        with pytest.raises(PepaError, match="cover"):
+            lump(pc_chain(2), initial=[0, 1])
+
+    def test_lift_uniform_within_block(self):
+        lumped = lump(pc_chain(2))
+        pi_l = steady_state(lumped.generator).pi
+        lifted = lumped.lift(pi_l)
+        assert lifted.sum() == pytest.approx(1.0)
+        # For the symmetric model the true chain IS uniform within blocks.
+        chain = pc_chain(2)
+        np.testing.assert_allclose(lifted, chain.steady_state().pi, atol=1e-9)
+
+
+class TestScaling:
+    def test_large_symmetric_model_lumps_linearly(self):
+        chain = pc_chain(8)
+        assert chain.n_states == 256
+        lumped = lump(chain)
+        assert lumped.n_blocks == 9
+        pi_l = steady_state(lumped.generator).pi
+        np.testing.assert_allclose(
+            lumped.project(chain.steady_state().pi), pi_l, atol=1e-8
+        )

@@ -1,0 +1,97 @@
+"""The bundled classic PEPA models: all parse, derive, and solve."""
+
+import numpy as np
+import pytest
+
+from repro.pepa import check_model, ctmc_of, derive, throughput
+from repro.pepa.models import MODEL_NAMES, get_model, get_source
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_parses(self, name):
+        model = get_model(name)
+        assert model.source_name == name
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_statically_well_formed(self, name):
+        check_model(get_model(name))  # errors raise; warnings tolerated
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_derives_without_deadlock(self, name):
+        space = derive(get_model(name))
+        assert space.size > 1
+        assert space.deadlocked_states() == []
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_steady_state_solves(self, name):
+        chain = ctmc_of(derive(get_model(name)))
+        pi = chain.steady_state().pi
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown bundled model"):
+            get_source("nope")
+
+
+class TestExpectedSizes:
+    def test_simple_validation_size(self):
+        assert derive(get_model("simple_validation")).size == 4
+
+    def test_active_badge_size(self):
+        # 3 person locations x 3 database beliefs.
+        assert derive(get_model("active_badge")).size == 9
+
+    def test_pc_lan_size(self):
+        # 4 PCs x 2 local states, medium stateless.
+        assert derive(get_model("pc_lan_4")).size == 16
+
+    def test_alternating_bit_reasonable(self):
+        size = derive(get_model("alternating_bit")).size
+        assert 10 <= size <= 40
+
+
+class TestBehaviour:
+    def test_active_badge_database_follows_person(self):
+        chain = ctmc_of(derive(get_model("active_badge")))
+        pi = chain.steady_state().pi
+        # The database agrees with the person's position more often than a
+        # uniform guess (it tracks via registrations).
+        space = chain.space
+        agree = 0.0
+        for i in range(space.size):
+            label = space.state_label(i)
+            # label like "(P2, D2)"
+            inner = label.strip("()").split(", ")
+            if inner[0][1] == inner[1][1]:
+                agree += pi[i]
+        assert agree > 1.0 / 3.0
+
+    def test_abp_delivery_throughputs_balance(self):
+        chain = ctmc_of(derive(get_model("alternating_bit")))
+        pi = chain.steady_state().pi
+        # Alternating bits: both values are delivered equally often.
+        d0 = throughput(chain, "deliver0", pi)
+        d1 = throughput(chain, "deliver1", pi)
+        assert d0 == pytest.approx(d1, rel=1e-6)
+        assert d0 > 0
+
+    def test_abp_ack_rate_equals_delivery_rate(self):
+        chain = ctmc_of(derive(get_model("alternating_bit")))
+        pi = chain.steady_state().pi
+        # Every accepted delivery is acknowledged exactly once.
+        acks = throughput(chain, "ack0", pi) + throughput(chain, "ack1", pi)
+        # deliveries include duplicates discarded by the receiver, so
+        # acks <= deliveries.
+        delivered = throughput(chain, "deliver0", pi) + throughput(chain, "deliver1", pi)
+        assert acks <= delivered + 1e-9
+
+    def test_pc_lan_throughput_bounded_by_demand(self):
+        chain = ctmc_of(derive(get_model("pc_lan_4")))
+        send = throughput(chain, "send")
+        think = throughput(chain, "think")
+        # Flow balance: every think is followed by exactly one send.
+        assert send == pytest.approx(think, rel=1e-6)
+        # And bounded by 4 PCs' think rate.
+        assert send < 4 * 0.4

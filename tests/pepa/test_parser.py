@@ -1,0 +1,202 @@
+"""PEPA parser: grammar coverage, precedence, and error reporting."""
+
+import pytest
+
+from repro.errors import PepaSyntaxError
+from repro.pepa.parser import parse_model, parse_process, parse_rate_expr
+from repro.pepa.syntax import (
+    Aggregation,
+    Choice,
+    Constant,
+    Cooperation,
+    Hiding,
+    PassiveLiteral,
+    Prefix,
+    RateBinOp,
+    RateLiteral,
+    RateName,
+)
+
+
+class TestRateExpressions:
+    def test_literal(self):
+        assert parse_rate_expr("2.5") == RateLiteral(2.5)
+
+    def test_name(self):
+        assert parse_rate_expr("mu") == RateName("mu")
+
+    def test_passive(self):
+        assert parse_rate_expr("infty") == PassiveLiteral()
+        assert parse_rate_expr("T") == PassiveLiteral()
+
+    def test_weighted_passive_shape(self):
+        expr = parse_rate_expr("2 * infty")
+        assert isinstance(expr, RateBinOp) and expr.op == "*"
+
+    def test_precedence(self):
+        expr = parse_rate_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_rate_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_left_associative_division(self):
+        expr = parse_rate_expr("8 / 2 / 2")
+        assert expr.op == "/"
+        assert expr.left.op == "/"
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(PepaSyntaxError):
+            parse_rate_expr("1 2")
+
+
+class TestProcessTerms:
+    def test_constant(self):
+        assert parse_process("Server") == Constant("Server")
+
+    def test_prefix(self):
+        term = parse_process("(go, 1.5).Server")
+        assert term == Prefix("go", RateLiteral(1.5), Constant("Server"))
+
+    def test_chained_prefix(self):
+        term = parse_process("(a, 1).(b, 2).P")
+        assert isinstance(term, Prefix)
+        assert isinstance(term.continuation, Prefix)
+
+    def test_choice(self):
+        term = parse_process("(a, 1).P + (b, 2).Q")
+        assert isinstance(term, Choice)
+
+    def test_choice_left_associative(self):
+        term = parse_process("P + Q + R")
+        assert isinstance(term, Choice)
+        assert isinstance(term.left, Choice)
+
+    def test_cooperation_with_set(self):
+        term = parse_process("P <a, b> Q")
+        assert term == Cooperation(Constant("P"), Constant("Q"), ("a", "b"))
+
+    def test_cooperation_set_sorted_and_deduped(self):
+        term = parse_process("P <b, a, b> Q")
+        assert term.actions == ("a", "b")
+
+    def test_empty_cooperation_spellings(self):
+        for op in ("||", "<>"):
+            term = parse_process(f"P {op} Q")
+            assert term == Cooperation(Constant("P"), Constant("Q"), ())
+
+    def test_cooperation_left_associative(self):
+        term = parse_process("P <a> Q <b> R")
+        assert isinstance(term, Cooperation)
+        assert term.actions == ("b",)
+        assert isinstance(term.left, Cooperation)
+
+    def test_hiding(self):
+        term = parse_process("P / {a, b}")
+        assert term == Hiding(Constant("P"), ("a", "b"))
+
+    def test_hiding_binds_tighter_than_cooperation(self):
+        term = parse_process("P / {a} <b> Q")
+        assert isinstance(term, Cooperation)
+        assert isinstance(term.left, Hiding)
+
+    def test_hiding_applies_to_whole_prefix(self):
+        term = parse_process("(a, 1).P / {a}")
+        assert isinstance(term, Hiding)
+        assert isinstance(term.process, Prefix)
+
+    def test_choice_binds_tighter_than_cooperation(self):
+        term = parse_process("P + Q <a> R")
+        assert isinstance(term, Cooperation)
+        assert isinstance(term.left, Choice)
+
+    def test_parenthesized_cooperation_in_prefix(self):
+        term = parse_process("(a, 1).(P <b> Q)")
+        assert isinstance(term, Prefix)
+        assert isinstance(term.continuation, Cooperation)
+
+    def test_aggregation(self):
+        term = parse_process("P[4]")
+        assert term == Aggregation(Constant("P"), 4, ())
+
+    def test_aggregation_with_coop_set(self):
+        term = parse_process("P[3, {a}]")
+        assert term == Aggregation(Constant("P"), 3, ("a",))
+
+    def test_aggregation_bad_count(self):
+        with pytest.raises(PepaSyntaxError, match="positive integer"):
+            parse_process("P[2.5]")
+        with pytest.raises(PepaSyntaxError, match="positive integer"):
+            parse_process("P[0]")
+
+    def test_empty_hide_set_allowed(self):
+        term = parse_process("P / {}")
+        assert term == Hiding(Constant("P"), ())
+
+
+class TestModels:
+    def test_minimal_model(self):
+        model = parse_model("P = (a, 1.0).P;\nP")
+        assert len(model.process_defs) == 1
+        assert model.system == Constant("P")
+
+    def test_rate_and_process_defs_separated(self):
+        model = parse_model("r = 2.0;\nP = (a, r).P;\nP")
+        assert [d.name for d in model.rate_defs] == ["r"]
+        assert [d.name for d in model.process_defs] == ["P"]
+
+    def test_trailing_semicolon_on_system_tolerated(self):
+        model = parse_model("P = (a, 1).P;\nP;")
+        assert model.system == Constant("P")
+
+    def test_duplicate_definition_rejected(self):
+        with pytest.raises(PepaSyntaxError, match="duplicate"):
+            parse_model("P = (a, 1).P;\nP = (b, 2).P;\nP")
+
+    def test_missing_system_equation(self):
+        with pytest.raises(PepaSyntaxError, match="no system equation"):
+            parse_model("P = (a, 1).P;")
+
+    def test_error_carries_location(self):
+        with pytest.raises(PepaSyntaxError) as err:
+            parse_model("P = (a, 1).P;\nP <a Q")
+        assert err.value.line == 2
+
+    def test_missing_semicolon_reported(self):
+        with pytest.raises(PepaSyntaxError, match=";"):
+            parse_model("P = (a, 1).P\nP")
+
+    def test_model_accessors(self):
+        model = parse_model("r = 1.0;\nP = (a, r).P;\nP")
+        assert "r" in model.rates
+        assert "P" in model.processes
+        assert model.rate_expr("nope") is None
+        assert model.process_body("nope") is None
+
+    def test_with_rate_override(self):
+        model = parse_model("r = 1.0;\nP = (a, r).P;\nP")
+        varied = model.with_rate("r", 9.0)
+        assert varied.rate_expr("r") == RateLiteral(9.0)
+        # original untouched
+        assert model.rate_expr("r") == RateLiteral(1.0)
+
+    def test_with_rate_unknown_rejected(self):
+        from repro.errors import UnboundRateError
+
+        model = parse_model("P = (a, 1).P;\nP")
+        with pytest.raises(UnboundRateError):
+            model.with_rate("zz", 1.0)
+
+    def test_comment_heavy_model(self):
+        model = parse_model(
+            """
+            // rates
+            r = 1.0; /* inline */
+            P = (a, r).P; // loop
+            P
+            """
+        )
+        assert model.system == Constant("P")

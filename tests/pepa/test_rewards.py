@@ -1,0 +1,86 @@
+"""Reward structures: throughput, utilization, population averages."""
+
+import numpy as np
+import pytest
+
+from repro.pepa import ctmc_of, derive, parse_model
+from repro.pepa.rewards import (
+    expected_reward,
+    population_average,
+    reward_vector,
+    throughput,
+    utilization,
+)
+
+
+@pytest.fixture()
+def two_state_chain():
+    return ctmc_of(derive(parse_model("P = (a, 1.0).Q; Q = (b, 3.0).P; P")))
+
+
+class TestThroughput:
+    def test_flow_balance(self, two_state_chain):
+        # In equilibrium the a-flow equals the b-flow.
+        pi = two_state_chain.steady_state().pi
+        ta = throughput(two_state_chain, "a", pi)
+        tb = throughput(two_state_chain, "b", pi)
+        assert ta == pytest.approx(tb)
+        # pi = (0.75, 0.25); throughput(a) = 0.75 * 1.0.
+        assert ta == pytest.approx(0.75)
+
+    def test_implicit_solve(self, two_state_chain):
+        assert throughput(two_state_chain, "a") == pytest.approx(0.75)
+
+    def test_unknown_action_zero(self, two_state_chain):
+        assert throughput(two_state_chain, "zz") == 0.0
+
+    def test_bad_pi_shape_rejected(self, two_state_chain):
+        with pytest.raises(ValueError, match="shape"):
+            throughput(two_state_chain, "a", np.array([1.0]))
+
+
+class TestUtilization:
+    def test_two_state(self, two_state_chain):
+        assert utilization(two_state_chain, "P", "Q") == pytest.approx(0.25)
+        assert utilization(two_state_chain, "P", "P") == pytest.approx(0.75)
+
+    def test_sums_to_one_over_derivatives(self, two_state_chain):
+        u = utilization(two_state_chain, "P", "P") + utilization(two_state_chain, "P", "Q")
+        assert u == pytest.approx(1.0)
+
+    def test_by_leaf_index(self, two_state_chain):
+        assert utilization(two_state_chain, 0, "Q") == pytest.approx(0.25)
+
+
+class TestPopulationAverage:
+    def test_independent_copies(self):
+        chain = ctmc_of(derive(parse_model("P = (a, 1.0).Q; Q = (b, 3.0).P; P[4]")))
+        # Each copy independently spends 1/4 of time in Q.
+        assert population_average(chain, "P", "Q") == pytest.approx(1.0)
+        assert population_average(chain, "P", "P") == pytest.approx(3.0)
+
+    def test_unknown_family_rejected(self):
+        chain = ctmc_of(derive(parse_model("P = (a, 1.0).Q; Q = (b, 3.0).P; P")))
+        with pytest.raises(KeyError, match="family"):
+            population_average(chain, "Zz", "Q")
+
+
+class TestGenericRewards:
+    def test_reward_vector(self, two_state_chain):
+        vec = reward_vector(two_state_chain, lambda space, i: float(i))
+        np.testing.assert_allclose(vec, [0.0, 1.0])
+
+    def test_expected_reward_callable(self, two_state_chain):
+        # Reward 1 in state Q only == utilization of Q.
+        r = expected_reward(
+            two_state_chain,
+            lambda space, i: 1.0 if space.state_label(i) == "(Q)" else 0.0,
+        )
+        assert r == pytest.approx(0.25)
+
+    def test_expected_reward_vector(self, two_state_chain):
+        assert expected_reward(two_state_chain, [0.0, 4.0]) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self, two_state_chain):
+        with pytest.raises(ValueError, match="shape"):
+            expected_reward(two_state_chain, [1.0, 2.0, 3.0])

@@ -1,0 +1,109 @@
+"""Property-based round-trip: unparse(term) re-parses to an equal term.
+
+A hypothesis strategy generates random well-formed process terms and
+rate expressions; the pretty-printer must emit concrete syntax the
+parser maps back to a structurally identical AST.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pepa.parser import parse_model, parse_process, parse_rate_expr
+from repro.pepa.syntax import (
+    Aggregation,
+    Choice,
+    Constant,
+    Cooperation,
+    Hiding,
+    Model,
+    PassiveLiteral,
+    Prefix,
+    ProcessDef,
+    RateBinOp,
+    RateDef,
+    RateLiteral,
+    RateName,
+    unparse,
+    unparse_model,
+    unparse_rate,
+)
+
+actions = st.sampled_from(["go", "stop", "send", "recv", "tau2"])
+constants = st.sampled_from(["P", "Q", "Server", "Client_busy"])
+rate_names = st.sampled_from(["r", "mu", "lam"])
+
+rate_exprs = st.recursive(
+    st.one_of(
+        st.floats(min_value=0.001, max_value=1000.0).map(
+            lambda v: RateLiteral(round(v, 6))
+        ),
+        rate_names.map(RateName),
+        st.just(PassiveLiteral()),
+    ),
+    lambda children: st.builds(
+        RateBinOp,
+        st.sampled_from(["+", "*"]),
+        children.filter(lambda e: not isinstance(e, PassiveLiteral)),
+        children.filter(lambda e: not isinstance(e, PassiveLiteral)),
+    ),
+    max_leaves=6,
+)
+
+process_terms = st.recursive(
+    constants.map(Constant),
+    lambda children: st.one_of(
+        st.builds(Prefix, actions, rate_exprs, children),
+        st.builds(Choice, children, children),
+        st.builds(
+            Cooperation,
+            children,
+            children,
+            st.lists(actions, max_size=3).map(tuple),
+        ),
+        st.builds(Hiding, children, st.lists(actions, min_size=1, max_size=2).map(tuple)),
+        st.builds(
+            Aggregation,
+            constants.map(Constant),
+            st.integers(min_value=1, max_value=5),
+            st.lists(actions, max_size=2).map(tuple),
+        ),
+    ),
+    max_leaves=12,
+)
+
+
+class TestRoundTrip:
+    @given(expr=rate_exprs)
+    @settings(max_examples=200, deadline=None)
+    def test_rate_expressions(self, expr):
+        assert parse_rate_expr(unparse_rate(expr)) == expr
+
+    @given(term=process_terms)
+    @settings(max_examples=300, deadline=None)
+    def test_process_terms(self, term):
+        assert parse_process(unparse(term)) == term
+
+    @given(terms=st.lists(process_terms, min_size=1, max_size=3), system=process_terms)
+    @settings(max_examples=100, deadline=None)
+    def test_whole_models(self, terms, system):
+        model = Model(
+            rate_defs=(RateDef("r", RateLiteral(1.0)), RateDef("mu", RateLiteral(2.0)),
+                       RateDef("lam", RateLiteral(0.5))),
+            process_defs=tuple(
+                ProcessDef(f"Def{i}", body) for i, body in enumerate(terms)
+            ),
+            system=system,
+        )
+        reparsed = parse_model(unparse_model(model))
+        assert reparsed.rate_defs == model.rate_defs
+        assert reparsed.process_defs == model.process_defs
+        assert reparsed.system == model.system
+
+
+class TestDeterminism:
+    @given(term=process_terms)
+    @settings(max_examples=100, deadline=None)
+    def test_unparse_is_stable(self, term):
+        once = unparse(term)
+        twice = unparse(parse_process(once))
+        assert once == twice

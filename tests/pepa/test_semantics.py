@@ -1,0 +1,198 @@
+"""PEPA value semantics: rates, apparent rates, the cooperation law,
+rate-expression evaluation, local transitions."""
+
+import pytest
+
+from repro.errors import (
+    CooperationError,
+    IllFormedModelError,
+    UnboundConstantError,
+    UnboundRateError,
+)
+from repro.pepa.parser import parse_model, parse_rate_expr
+from repro.pepa.semantics import (
+    ActiveRate,
+    PassiveRate,
+    RateEnvironment,
+    SequentialSemantics,
+    cooperation_rate,
+    rate_min,
+    rate_sum,
+)
+from repro.pepa.syntax import Constant
+
+
+class TestRateValues:
+    def test_active_rate_positive(self):
+        assert ActiveRate(2.0).value == 2.0
+        with pytest.raises(IllFormedModelError):
+            ActiveRate(0.0)
+        with pytest.raises(IllFormedModelError):
+            ActiveRate(-1.0)
+
+    def test_passive_weight_positive(self):
+        assert PassiveRate().weight == 1.0
+        with pytest.raises(IllFormedModelError):
+            PassiveRate(0.0)
+
+    def test_is_passive_flags(self):
+        assert not ActiveRate(1.0).is_passive
+        assert PassiveRate().is_passive
+
+
+class TestRateAlgebra:
+    def test_sum_active(self):
+        assert rate_sum(ActiveRate(1.0), ActiveRate(2.5)) == ActiveRate(3.5)
+
+    def test_sum_passive_adds_weights(self):
+        assert rate_sum(PassiveRate(1.0), PassiveRate(2.0)) == PassiveRate(3.0)
+
+    def test_sum_mixed_rejected(self):
+        with pytest.raises(CooperationError):
+            rate_sum(ActiveRate(1.0), PassiveRate())
+
+    def test_min_active(self):
+        assert rate_min(ActiveRate(3.0), ActiveRate(2.0)) == ActiveRate(2.0)
+
+    def test_min_passive_dominated(self):
+        assert rate_min(PassiveRate(5.0), ActiveRate(2.0)) == ActiveRate(2.0)
+        assert rate_min(ActiveRate(2.0), PassiveRate(5.0)) == ActiveRate(2.0)
+
+    def test_min_both_passive(self):
+        assert rate_min(PassiveRate(2.0), PassiveRate(3.0)) == PassiveRate(2.0)
+
+
+class TestCooperationLaw:
+    def test_active_active_min(self):
+        # Single activity each side: R = min(r1, r2).
+        r = cooperation_rate(ActiveRate(3.0), ActiveRate(3.0), ActiveRate(2.0), ActiveRate(2.0))
+        assert r == ActiveRate(2.0)
+
+    def test_shares_scale_with_apparent_rates(self):
+        # Left has two ways (1.0 of apparent 2.0); right single (4.0).
+        r = cooperation_rate(ActiveRate(1.0), ActiveRate(2.0), ActiveRate(4.0), ActiveRate(4.0))
+        # (1/2) * (4/4) * min(2, 4) = 1.0
+        assert r == ActiveRate(1.0)
+
+    def test_passive_participant_takes_active_rate(self):
+        r = cooperation_rate(ActiveRate(3.0), ActiveRate(3.0), PassiveRate(1.0), PassiveRate(1.0))
+        assert r == ActiveRate(3.0)
+
+    def test_passive_weights_split_rate(self):
+        # Two passive alternatives with weights 1 and 3 share an active 4.0.
+        r1 = cooperation_rate(ActiveRate(4.0), ActiveRate(4.0), PassiveRate(1.0), PassiveRate(4.0))
+        r3 = cooperation_rate(ActiveRate(4.0), ActiveRate(4.0), PassiveRate(3.0), PassiveRate(4.0))
+        assert r1 == ActiveRate(1.0)
+        assert r3 == ActiveRate(3.0)
+
+    def test_both_passive_stays_passive(self):
+        r = cooperation_rate(PassiveRate(1.0), PassiveRate(2.0), PassiveRate(1.0), PassiveRate(1.0))
+        assert isinstance(r, PassiveRate)
+
+    def test_law_is_commutative_in_sides(self):
+        a = cooperation_rate(ActiveRate(1.0), ActiveRate(3.0), ActiveRate(2.0), ActiveRate(5.0))
+        b = cooperation_rate(ActiveRate(2.0), ActiveRate(5.0), ActiveRate(1.0), ActiveRate(3.0))
+        assert a == b
+
+
+class TestRateEnvironment:
+    def _env(self, source: str) -> RateEnvironment:
+        return RateEnvironment(parse_model(source + "\nP = (a, 1).P;\nP"))
+
+    def test_lookup_literal(self):
+        env = self._env("r = 2.5;")
+        assert env.lookup("r") == ActiveRate(2.5)
+
+    def test_reference_chain(self):
+        env = self._env("a = 2.0; b = a * 3; c = b + a;")
+        assert env.lookup("c") == ActiveRate(8.0)
+
+    def test_cycle_detected(self):
+        env = self._env("a = b; b = a;")
+        with pytest.raises(UnboundRateError, match="cyclic"):
+            env.lookup("a")
+
+    def test_unbound_rate(self):
+        env = self._env("a = 1.0;")
+        with pytest.raises(UnboundRateError):
+            env.lookup("zz")
+
+    def test_weighted_passive(self):
+        env = self._env("w = 2 * infty;")
+        assert env.lookup("w") == PassiveRate(2.0)
+        env2 = self._env("w = infty * 3;")
+        assert env2.lookup("w") == PassiveRate(3.0)
+
+    def test_passive_arithmetic_rejected(self):
+        env = self._env("w = infty + 1;")
+        with pytest.raises(IllFormedModelError):
+            env.lookup("w")
+
+    def test_division_by_zero(self):
+        # The literal 0 is rejected as a rate value even before the
+        # division is attempted; either way the definition is ill-formed.
+        env = self._env("w = 1 / 0;")
+        with pytest.raises(IllFormedModelError):
+            env.lookup("w")
+
+    def test_non_positive_subtraction(self):
+        env = self._env("w = 1 - 2;")
+        with pytest.raises(IllFormedModelError, match="non-positive"):
+            env.lookup("w")
+
+    def test_evaluate_standalone_expression(self):
+        env = self._env("a = 4.0;")
+        assert env.evaluate(parse_rate_expr("a / 2")) == ActiveRate(2.0)
+
+
+class TestSequentialSemantics:
+    def _sem(self, source: str) -> SequentialSemantics:
+        return SequentialSemantics(parse_model(source))
+
+    def test_prefix_transition(self):
+        sem = self._sem("P = (a, 2.0).Q; Q = (b, 1.0).P; P")
+        trs = sem.transitions(Constant("P"))
+        assert len(trs) == 1
+        assert trs[0].action == "a"
+        assert trs[0].rate == ActiveRate(2.0)
+        assert trs[0].target == Constant("Q")
+
+    def test_choice_union(self):
+        sem = self._sem("P = (a, 1.0).P + (b, 2.0).P; P")
+        actions = {t.action for t in sem.transitions(Constant("P"))}
+        assert actions == {"a", "b"}
+
+    def test_apparent_rate_sums_same_action(self):
+        sem = self._sem("P = (a, 1.0).P + (a, 2.0).P; P")
+        assert sem.apparent_rate(Constant("P"), "a") == ActiveRate(3.0)
+
+    def test_apparent_rate_none_when_disabled(self):
+        sem = self._sem("P = (a, 1.0).P; P")
+        assert sem.apparent_rate(Constant("P"), "zz") is None
+
+    def test_unbound_constant(self):
+        sem = self._sem("P = (a, 1.0).Q; P")
+        with pytest.raises(UnboundConstantError):
+            sem.transitions(Constant("Q"))
+
+    def test_unguarded_recursion_detected(self):
+        sem = self._sem("A = B; B = A; A")
+        with pytest.raises(IllFormedModelError, match="unguarded"):
+            sem.transitions(Constant("A"))
+
+    def test_constant_indirection_resolves(self):
+        sem = self._sem("A = B; B = (a, 1.0).A; A")
+        trs = sem.transitions(Constant("A"))
+        assert trs[0].action == "a"
+
+    def test_cooperation_inside_sequential_rejected(self):
+        sem = self._sem("A = (a, 1.0).(P <b> Q); P = (b, 1).P; Q = (b, 1).Q; A")
+        trs = sem.transitions(Constant("A"))  # prefix is fine
+        with pytest.raises(IllFormedModelError, match="sequential"):
+            sem.transitions(trs[0].target)
+
+    def test_transitions_cached(self):
+        sem = self._sem("P = (a, 1.0).P; P")
+        first = sem.transitions(Constant("P"))
+        second = sem.transitions(Constant("P"))
+        assert first is second

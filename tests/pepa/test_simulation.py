@@ -1,0 +1,122 @@
+"""Discrete-event simulation of PEPA chains vs the exact numerics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PepaError
+from repro.pepa import (
+    ctmc_of,
+    derive,
+    empirical_throughput,
+    parse_model,
+    simulate,
+    simulate_ensemble,
+    throughput,
+)
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return ctmc_of(derive(parse_model("P = (a, 1.0).Q; Q = (b, 3.0).P; P")))
+
+
+GRID = np.linspace(0.0, 5.0, 11)
+
+
+class TestPaths:
+    def test_seeded_reproducible(self, chain):
+        a = simulate(chain, GRID, seed=4)
+        b = simulate(chain, GRID, seed=4)
+        assert (a.states == b.states).all()
+        assert a.jump_actions == b.jump_actions
+
+    def test_starts_in_initial_state(self, chain):
+        path = simulate(chain, GRID, seed=0)
+        assert path.states[0] == chain.space.initial_state
+
+    def test_custom_initial_state(self, chain):
+        path = simulate(chain, GRID, seed=0, initial_state=1)
+        assert path.states[0] == 1
+
+    def test_actions_alternate_on_two_state_cycle(self, chain):
+        path = simulate(chain, np.linspace(0, 50, 5), seed=1)
+        # On P -> Q -> P the action sequence strictly alternates a, b.
+        for first, second in zip(path.jump_actions, path.jump_actions[1:]):
+            assert first != second
+
+    def test_action_counts(self, chain):
+        path = simulate(chain, np.linspace(0, 100, 5), seed=2)
+        counts = path.action_counts()
+        assert set(counts) == {"a", "b"}
+        assert abs(counts["a"] - counts["b"]) <= 1
+
+    def test_absorbing_state_freezes(self):
+        # After 'go', Done's only activity is the blocked shared 'stuck';
+        # the Blocker's own activity is a global self-loop the simulator
+        # never takes — the path freezes after one event.
+        chain = ctmc_of(
+            derive(
+                parse_model(
+                    "S = (go, 2.0).Done; Done = (stuck, 1.0).Done; "
+                    "Blocker = (never, 1.0).Blocker; S <stuck> Blocker"
+                )
+            )
+        )
+        path = simulate(chain, np.linspace(0, 100, 11), seed=0)
+        assert path.states[-1] == path.states[-2]
+        assert path.n_events == 1
+
+    def test_self_loops_not_simulated(self):
+        # A self-loop action must not appear in the event log.
+        chain = ctmc_of(
+            derive(parse_model("P = (loop, 5.0).P + (hop, 1.0).Q; Q = (back, 1.0).P; P"))
+        )
+        path = simulate(chain, np.linspace(0, 50, 5), seed=3)
+        assert "loop" not in path.action_counts()
+
+
+class TestStatistics:
+    def test_empirical_throughput_converges(self, chain):
+        path = simulate(chain, np.linspace(0, 5000, 6), seed=5)
+        exact = throughput(chain, "a")
+        assert empirical_throughput(path, "a") == pytest.approx(exact, rel=0.05)
+
+    def test_ensemble_matches_transient(self, chain):
+        ens = simulate_ensemble(chain, GRID, n_runs=600, seed=6)
+        exact = chain.transient(GRID)
+        assert np.abs(ens.occupancy - exact).max() < 0.06
+
+    def test_occupancy_rows_normalized(self, chain):
+        ens = simulate_ensemble(chain, GRID, n_runs=50, seed=7)
+        np.testing.assert_allclose(ens.occupancy.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_probability_of_accessor(self, chain):
+        ens = simulate_ensemble(chain, GRID, n_runs=50, seed=8)
+        np.testing.assert_allclose(
+            ens.probability_of(0) + ens.probability_of(1), 1.0, atol=1e-12
+        )
+
+
+class TestErrors:
+    def test_bad_grid(self, chain):
+        with pytest.raises(PepaError, match="increasing"):
+            simulate(chain, [0.0, 2.0, 1.0])
+        with pytest.raises(PepaError, match="non-empty"):
+            simulate(chain, [])
+
+    def test_bad_initial_state(self, chain):
+        with pytest.raises(PepaError, match="out of range"):
+            simulate(chain, GRID, initial_state=99)
+
+    def test_event_budget(self, chain):
+        with pytest.raises(PepaError, match="exceeded"):
+            simulate(chain, [0.0, 1e7], max_events=100)
+
+    def test_zero_horizon_throughput(self, chain):
+        path = simulate(chain, [0.0], seed=0)
+        with pytest.raises(PepaError, match="horizon"):
+            empirical_throughput(path, "a")
+
+    def test_ensemble_needs_runs(self, chain):
+        with pytest.raises(PepaError):
+            simulate_ensemble(chain, GRID, n_runs=0)

@@ -1,0 +1,229 @@
+"""State-space derivation: hand-computed models, cooperation semantics,
+hiding, aggregation, deadlock and failure modes."""
+
+import pytest
+
+from repro.errors import (
+    CooperationError,
+    IllFormedModelError,
+    StateSpaceLimitError,
+)
+from repro.pepa import derive, parse_model
+from repro.pepa.semantics import TAU
+
+
+def space_of(source: str, **kwargs):
+    return derive(parse_model(source), **kwargs)
+
+
+class TestSimpleDerivation:
+    def test_two_state_loop(self):
+        space = space_of("P = (a, 1.0).Q; Q = (b, 2.0).P; P")
+        assert space.size == 2
+        assert len(space.transitions) == 2
+        assert space.actions == {"a", "b"}
+
+    def test_initial_state_is_zero(self):
+        space = space_of("P = (a, 1.0).Q; Q = (b, 2.0).P; P")
+        assert space.initial_state == 0
+        assert space.state_label(0) == "(P)"
+
+    def test_choice_creates_branching(self):
+        space = space_of("P = (a, 1.0).Q + (b, 1.0).R; Q = (c, 1).P; R = (d, 1).P; P")
+        assert space.size == 3
+        out = space.outgoing(0)
+        assert {t.action for t in out} == {"a", "b"}
+
+    def test_anonymous_derivatives_labelled_by_unparse(self):
+        space = space_of("P = (a, 1.0).(b, 2.0).P; P")
+        assert space.size == 2
+        assert space.state_label(1) == "((b, 2).P)"
+
+    def test_exit_rate(self):
+        space = space_of("P = (a, 1.5).Q + (b, 2.5).Q; Q = (c, 1).P; P")
+        assert space.exit_rate(0) == pytest.approx(4.0)
+
+
+class TestCooperation:
+    def test_independent_interleaving(self):
+        space = space_of("P = (a, 1.0).P1; P1 = (b, 1.0).P; P || P")
+        # 2 x 2 local states.
+        assert space.size == 4
+
+    def test_synchronized_product_smaller(self):
+        space = space_of("P = (a, 1.0).P1; P1 = (b, 1.0).P; P <a, b> P")
+        # Lock-step: only the diagonal is reachable.
+        assert space.size == 2
+
+    def test_shared_action_rate_is_min(self):
+        space = space_of(
+            "P = (a, 3.0).P1; P1 = (b, 1.0).P1; Q = (a, 2.0).Q1; Q1 = (c, 1.0).Q1; P <a> Q"
+        )
+        tr = [t for t in space.outgoing(0) if t.action == "a"]
+        assert len(tr) == 1
+        assert tr[0].rate == pytest.approx(2.0)
+
+    def test_passive_cooperation_takes_active_rate(self):
+        space = space_of(
+            "P = (a, 3.0).P1; P1 = (b, 1).P; Q = (a, infty).Q1; Q1 = (c, 1).Q; P <a> Q"
+        )
+        tr = [t for t in space.outgoing(0) if t.action == "a"]
+        assert tr[0].rate == pytest.approx(3.0)
+
+    def test_passive_weights_split(self):
+        space = space_of(
+            """
+            P = (a, 4.0).P1; P1 = (b, 1).P;
+            Q = (a, infty).Q1 + (a, 3 * infty).Q2; Q1 = (c, 1).Q; Q2 = (c, 1).Q;
+            P <a> Q
+            """
+        )
+        rates = sorted(t.rate for t in space.outgoing(0) if t.action == "a")
+        assert rates == [pytest.approx(1.0), pytest.approx(3.0)]
+
+    def test_blocked_one_sided_shared_action(self):
+        # 'a' is shared but only P performs it: it never fires.
+        space = space_of("P = (a, 1.0).P; Q = (b, 1.0).Q; P <a> Q")
+        assert all(t.action != "a" for t in space.transitions)
+
+    def test_multiway_apparent_rates(self):
+        # Two enabled a-activities on the left sharing with one on the right:
+        # total a-rate = min(1+1, 3) = 2, split equally.
+        space = space_of(
+            """
+            P = (a, 1.0).P1 + (a, 1.0).P2; P1 = (x, 1).P; P2 = (y, 1).P;
+            Q = (a, 3.0).Q1; Q1 = (z, 1).Q;
+            P <a> Q
+            """
+        )
+        rates = [t.rate for t in space.outgoing(0) if t.action == "a"]
+        assert len(rates) == 2
+        assert sum(rates) == pytest.approx(2.0)
+
+    def test_mixed_active_passive_same_action_rejected(self):
+        with pytest.raises(CooperationError):
+            space_of(
+                """
+                P = (a, 1.0).P1 + (a, infty).P2; P1 = (x, 1).P; P2 = (y, 1).P;
+                Q = (a, 2.0).Q1; Q1 = (z, 1).Q;
+                P <a> Q
+                """
+            )
+
+    def test_top_level_passive_rejected(self):
+        with pytest.raises(IllFormedModelError, match="passive"):
+            space_of("P = (a, infty).P1; P1 = (b, 1).P; P")
+
+    def test_nested_cooperation(self):
+        space = space_of(
+            """
+            P = (a, 1.0).P1; P1 = (done1, 1).P1;
+            Q = (a, infty).Q1; Q1 = (b, 1.0).Q2; Q2 = (done2, 1).Q2;
+            R = (b, infty).R1; R1 = (done3, 1).R1;
+            (P <a> Q) <b> R
+            """
+        )
+        # Progresses a then b, leaves all in terminal self-loop states.
+        labels = {space.state_label(i) for i in range(space.size)}
+        assert "(P1, Q2, R1)" in labels
+
+
+class TestHiding:
+    def test_hidden_action_becomes_tau(self):
+        space = space_of("P = (a, 1.0).Q; Q = (b, 1).P; P / {a}")
+        actions = {t.action for t in space.transitions}
+        assert actions == {TAU, "b"}
+
+    def test_hiding_preserves_rates(self):
+        space = space_of("P = (a, 2.5).Q; Q = (b, 1).P; P / {a}")
+        tau_tr = [t for t in space.transitions if t.action == TAU]
+        assert tau_tr[0].rate == pytest.approx(2.5)
+
+    def test_hidden_action_not_shared_above(self):
+        # 'a' hidden inside left cannot synchronize with right's 'a'.
+        space = space_of(
+            "P = (a, 1.0).P; Q = (a, 2.0).Q; (P / {a}) <a> Q"
+        )
+        # Left side's tau fires independently; right side's a blocks forever.
+        assert all(t.action in (TAU,) for t in space.transitions)
+
+
+class TestAggregation:
+    def test_copies_expand(self):
+        space = space_of("P = (a, 1.0).P1; P1 = (b, 1.0).P; P[3]")
+        assert space.size == 8  # 2^3
+        assert len(space.leaves) == 3
+
+    def test_copy_names_distinct(self):
+        space = space_of("P = (a, 1.0).P1; P1 = (b, 1.0).P; P[3]")
+        assert [l.name for l in space.leaves] == ["P", "P#1", "P#2"]
+
+    def test_aggregation_with_shared_action(self):
+        # All copies must fire 'a' together: lock-step.
+        space = space_of("P = (a, 1.0).P1; P1 = (b, 1.0).P; P[3, {a}]")
+        # 'a' synchronizes all copies; 'b' is independent -> from (P1,P1,P1)
+        # the copies return independently: more than 2 states.
+        labels = {space.state_label(i) for i in range(space.size)}
+        assert "(P, P, P)" in labels and "(P1, P1, P1)" in labels
+
+    def test_aggregated_coop_with_resource(self):
+        space = space_of(
+            "P = (t, 1.0).P1; P1 = (s, infty).P; M = (s, 5.0).M; P[2] <s> M"
+        )
+        assert space.size == 4
+
+
+class TestQueries:
+    def test_states_with_local(self):
+        space = space_of("P = (a, 1.0).Q; Q = (b, 2.0).P; P || P")
+        both_q = set(space.states_with_local("P", "Q")) & set(
+            space.states_with_local("P#1", "Q")
+        )
+        assert len(both_q) == 1
+
+    def test_states_with_local_unknown_state(self):
+        space = space_of("P = (a, 1.0).Q; Q = (b, 2.0).P; P")
+        with pytest.raises(KeyError, match="no local state"):
+            space.states_with_local("P", "Nope")
+
+    def test_leaf_index_unknown(self):
+        space = space_of("P = (a, 1.0).Q; Q = (b, 2.0).P; P")
+        with pytest.raises(KeyError):
+            space.leaf_index("Zz")
+
+    def test_states_where_predicate(self):
+        space = space_of("P = (a, 1.0).Q; Q = (b, 2.0).P; P")
+        all_states = space.states_where(lambda s, i: True)
+        assert all_states == [0, 1]
+
+    def test_deadlock_detection(self):
+        space = space_of("P = (a, 1.0).Dead; Dead = (never, 1.0).Dead; P <never> P")
+        # Hmm: 'never' shared between two P copies both reach Dead, so it CAN fire.
+        assert space.deadlocked_states() == []
+
+    def test_true_deadlock(self):
+        # Done performs an action that the partner never enables.
+        space = space_of(
+            "P = (go, 1.0).Done; Done = (blocked, 1.0).Done; "
+            "Q = (go, infty).Q1; Q1 = (idle, 1.0).Q1; "
+            "P <go, blocked> Q"
+        )
+        deadlocks = space.deadlocked_states()
+        assert len(deadlocks) == 0 or all(
+            "Done" in space.state_label(s) for s in deadlocks
+        )
+
+    def test_state_index_lookup(self):
+        space = space_of("P = (a, 1.0).Q; Q = (b, 2.0).P; P")
+        assert space.state_index(space.states[1]) == 1
+        assert space.state_index((99,)) is None
+
+
+class TestLimits:
+    def test_state_space_cap(self):
+        with pytest.raises(StateSpaceLimitError):
+            space_of("P = (a, 1.0).P1; P1 = (b, 1.0).P; P[12]", max_states=100)
+
+    def test_cap_not_triggered_at_boundary(self):
+        space = space_of("P = (a, 1.0).P1; P1 = (b, 1.0).P; P[3]", max_states=8)
+        assert space.size == 8

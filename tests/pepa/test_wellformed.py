@@ -1,0 +1,93 @@
+"""Static well-formedness checks."""
+
+import pytest
+
+from repro.errors import IllFormedModelError, UnboundConstantError, UnboundRateError
+from repro.pepa import check_model, parse_model
+from repro.pepa.wellformed import alphabet, referenced_constants, referenced_rates
+from repro.pepa.parser import parse_process, parse_rate_expr
+
+
+class TestErrors:
+    def test_unbound_rate(self):
+        model = parse_model("P = (a, zz).P; P")
+        with pytest.raises(UnboundRateError, match="zz"):
+            check_model(model)
+
+    def test_unbound_rate_in_rate_def(self):
+        model = parse_model("r = zz * 2; P = (a, r).P; P")
+        with pytest.raises(UnboundRateError, match="zz"):
+            check_model(model)
+
+    def test_unbound_constant(self):
+        model = parse_model("P = (a, 1.0).Q; P")
+        with pytest.raises(UnboundConstantError, match="Q"):
+            check_model(model)
+
+    def test_unguarded_recursion(self):
+        model = parse_model("A = B; B = A; A")
+        with pytest.raises(IllFormedModelError, match="unguarded"):
+            check_model(model)
+
+    def test_unguarded_through_choice(self):
+        model = parse_model("A = (a, 1.0).A + A; A")
+        with pytest.raises(IllFormedModelError, match="unguarded"):
+            check_model(model)
+
+    def test_guarded_recursion_ok(self):
+        model = parse_model("A = (a, 1.0).B; B = (b, 1.0).A; A")
+        assert check_model(model) == []
+
+
+class TestWarnings:
+    def test_one_sided_cooperation_action(self):
+        model = parse_model(
+            "P = (a, 1.0).P; Q = (b, 1.0).Q; P <a> Q"
+        )
+        warnings = check_model(model)
+        assert any("one cooperand" in w for w in warnings)
+
+    def test_phantom_cooperation_action(self):
+        model = parse_model("P = (a, 1.0).P; Q = (b, 1.0).Q; P <zz> Q")
+        warnings = check_model(model)
+        assert any("neither cooperand" in w for w in warnings)
+
+    def test_hiding_missing_action(self):
+        model = parse_model("P = (a, 1.0).P; P / {zz}")
+        warnings = check_model(model)
+        assert any("hidden action 'zz'" in w for w in warnings)
+
+    def test_unused_definitions(self):
+        model = parse_model("r = 1.0; u = 2.0; P = (a, r).P; Q = (b, r).Q; P")
+        warnings = check_model(model)
+        assert any("'Q' is defined but never used" in w for w in warnings)
+        assert any("'u' is defined but never used" in w for w in warnings)
+
+    def test_clean_model_no_warnings(self):
+        model = parse_model(
+            "r = 1.0; P = (a, r).P1; P1 = (b, r).P; "
+            "Q = (a, infty).Q; P <a> Q"
+        )
+        assert check_model(model) == []
+
+
+class TestHelpers:
+    def test_referenced_rates(self):
+        expr = parse_rate_expr("a * (b + 2)")
+        assert referenced_rates(expr) == {"a", "b"}
+
+    def test_referenced_constants(self):
+        term = parse_process("(a, 1.0).P + Q <x> R / {y}")
+        assert referenced_constants(term) == {"P", "Q", "R"}
+
+    def test_alphabet_through_constants(self):
+        model = parse_model("P = (a, 1.0).Q; Q = (b, 1.0).P; P")
+        assert alphabet(model, model.system) == {"a", "b"}
+
+    def test_alphabet_hiding_removes(self):
+        model = parse_model("P = (a, 1.0).Q; Q = (b, 1.0).P; P / {a}")
+        assert alphabet(model, model.system) == {"b"}
+
+    def test_alphabet_recursive_safe(self):
+        model = parse_model("P = (a, 1.0).P; P")
+        assert alphabet(model, model.system) == {"a"}

@@ -1,0 +1,194 @@
+"""End-to-end CLI tests (the `repro` command)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+PEPA_MODEL = "P = (a, 1.0).Q;\nQ = (b, 3.0).P;\nP\n"
+
+
+@pytest.fixture()
+def model_file(tmp_path):
+    path = tmp_path / "model.pepa"
+    path.write_text(PEPA_MODEL)
+    return str(path)
+
+
+@pytest.fixture()
+def built_image(tmp_path):
+    out = tmp_path / "pepa.img.json"
+    code = main(["build", "--builtin", "pepa", "--tag", "t", "-o", str(out)])
+    assert code == 0
+    return str(out)
+
+
+class TestToolSubcommands:
+    def test_pepa_solve(self, model_file, capsys):
+        assert main(["pepa", "solve", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "steady-state distribution" in out
+
+    def test_biopepa_ode(self, tmp_path, capsys):
+        f = tmp_path / "m.biopepa"
+        f.write_text("k = 1.0;\nkineticLawOf d : fMA(k);\nA = (d, 1) << A;\nA[5]\n")
+        assert main(["biopepa", "ode", str(f), "2", "5"]) == 0
+        assert "time A" in capsys.readouterr().out
+
+    def test_gpa_fluid(self, tmp_path, capsys):
+        f = tmp_path / "m.gpepa"
+        f.write_text("A = (x, 1.0).B;\nB = (y, 2.0).A;\nG{A[10]}\n")
+        assert main(["gpa", "fluid", str(f), "5", "6"]) == 0
+        assert "time G.A G.B" in capsys.readouterr().out
+
+    def test_tool_error_exit_code(self, tmp_path, capsys):
+        f = tmp_path / "bad.pepa"
+        f.write_text("@@@")
+        assert main(["pepa", "solve", str(f)]) == 1
+
+
+class TestBuildRunTest:
+    def test_build_writes_image(self, built_image, capsys):
+        doc = json.loads(open(built_image).read())
+        assert doc["name"] == "pepa"
+        assert doc["tag"] == "t"
+
+    def test_run_inside_image(self, built_image, model_file, capsys):
+        assert main(["run", built_image, "pepa", "solve", model_file]) == 0
+        assert "steady-state" in capsys.readouterr().out
+
+    def test_run_output_dir_exports_container_writes(
+        self, built_image, model_file, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "outputs"
+        # NB: options must precede the image path — everything after it
+        # belongs to the in-container command line (argparse.REMAINDER).
+        code = main(
+            [
+                "run",
+                "--output-dir",
+                str(out_dir),
+                built_image,
+                "pepa",
+                "prism",
+                model_file,
+                "/out/chain",
+            ]
+        )
+        assert code == 0
+        tra = out_dir / "out/chain.tra"
+        assert tra.exists()
+        assert tra.read_text().splitlines()[0] == "2 2"
+
+    def test_run_runscript_default(self, built_image, model_file, capsys):
+        assert main(["run", built_image]) == 2  # runscript without args: usage
+        # usage goes to stderr
+        assert "usage" in capsys.readouterr().err
+
+    def test_test_section(self, built_image, capsys):
+        assert main(["test", built_image]) == 0
+        assert "selftest OK" in capsys.readouterr().out
+
+    def test_validate(self, built_image, capsys):
+        assert main(["validate", built_image, "--tool", "pepa"]) == 0
+        assert "cases identical" in capsys.readouterr().out
+
+    def test_build_from_recipe_file(self, tmp_path, capsys):
+        recipe = tmp_path / "my.def"
+        recipe.write_text(
+            "Bootstrap: library\nFrom: ubuntu:18.04\n%post\n    apt-get install graphviz\n"
+        )
+        out = tmp_path / "my.img.json"
+        assert main(["build", str(recipe), "-o", str(out)]) == 0
+        assert out.exists()
+
+    def test_build_without_recipe_is_usage_error(self, capsys):
+        assert main(["build"]) == 2
+
+    def test_build_from_dockerfile(self, tmp_path, capsys):
+        dockerfile = tmp_path / "Dockerfile"
+        dockerfile.write_text(
+            "FROM ubuntu:18.04\nRUN apt-get install graphviz\nCMD [\"pepa\"]\n"
+        )
+        out = tmp_path / "docker.img.json"
+        assert main(["build", str(dockerfile), "--name", "d", "-o", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "graphviz=2.38" in captured
+
+    def test_build_format_override(self, tmp_path, capsys):
+        # A Dockerfile under a non-Dockerfile name still builds with --format.
+        recipe = tmp_path / "my.txt"
+        recipe.write_text("FROM ubuntu:18.04\nRUN mkdir /x\n")
+        out = tmp_path / "x.img.json"
+        assert main(
+            ["build", str(recipe), "--format", "dockerfile", "-o", str(out)]
+        ) == 0
+
+    def test_build_conflict_reports_error(self, tmp_path, capsys):
+        recipe = tmp_path / "conflict.def"
+        recipe.write_text(
+            "Bootstrap: library\nFrom: ubuntu:18.04\n%post\n"
+            "    apt-get install pepa-eclipse-plugin\n"
+            "    apt-get install gpanalyser\n"
+        )
+        assert main(["build", str(recipe)]) == 1
+        assert "version conflict" in capsys.readouterr().err
+
+
+class TestSbomCli:
+    def test_export_and_verify(self, built_image, tmp_path, capsys):
+        sbom_path = tmp_path / "sbom.json"
+        assert main(["sbom", built_image, "-o", str(sbom_path)]) == 0
+        assert sbom_path.exists()
+        assert main(["sbom", built_image, "--verify", str(sbom_path)]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_verify_mismatch_fails(self, built_image, tmp_path, capsys):
+        other = tmp_path / "other.img.json"
+        assert main(["build", "--builtin", "biopepa", "-o", str(other)]) == 0
+        sbom_path = tmp_path / "sbom.json"
+        assert main(["sbom", str(other), "-o", str(sbom_path)]) == 0
+        assert main(["sbom", built_image, "--verify", str(sbom_path)]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+
+class TestSandboxCli:
+    def test_sandbox_and_repack(self, built_image, tmp_path, capsys):
+        box = tmp_path / "box"
+        assert main(["sandbox", built_image, str(box)]) == 0
+        assert (box / ".repro-image.json").exists()
+        out = tmp_path / "repacked.img.json"
+        assert main(["repack", str(box), "--tag", "mod", "-o", str(out)]) == 0
+        assert out.exists()
+        # The repacked image still passes its self-test.
+        assert main(["test", str(out)]) == 0
+
+
+class TestHub:
+    def test_push_list_pull(self, built_image, tmp_path, capsys):
+        hub_root = str(tmp_path / "hub")
+        assert main(["hub", "--root", hub_root, "push", "col", built_image]) == 0
+        assert main(["hub", "--root", hub_root, "list", "col"]) == 0
+        out = capsys.readouterr().out
+        assert "col/pepa:t" in out
+        dest = tmp_path / "pulled.img.json"
+        assert main(
+            ["hub", "--root", hub_root, "pull", "col", "pepa", "t", "-o", str(dest)]
+        ) == 0
+        assert dest.exists()
+
+    def test_pull_unknown_errors(self, tmp_path, capsys):
+        hub_root = str(tmp_path / "hub")
+        assert main(["hub", "--root", hub_root, "pull", "c", "x", "1"]) == 1
+
+
+class TestExperimentCommand:
+    def test_table1_like_output(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "digraph" in out
+
+    def test_unknown_experiment_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

@@ -1,0 +1,88 @@
+"""The exception hierarchy: every error is catchable as ReproError and
+lives under the right family — the contract the CLI's single
+``except ReproError`` handler relies on."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    BioPepaError,
+    BuildError,
+    ContainerError,
+    CooperationError,
+    GPepaError,
+    HubError,
+    NumericsError,
+    PackageResolutionError,
+    PepaError,
+    PepaSyntaxError,
+    ReproError,
+    SingularGeneratorError,
+    ValidationFailure,
+)
+
+
+def all_error_classes():
+    return [
+        obj
+        for _name, obj in inspect.getmembers(errors_module, inspect.isclass)
+        if issubclass(obj, Exception)
+    ]
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for cls in all_error_classes():
+            assert issubclass(cls, ReproError), cls
+
+    @pytest.mark.parametrize(
+        "child,parent",
+        [
+            (PepaSyntaxError, PepaError),
+            (CooperationError, PepaError),
+            (SingularGeneratorError, NumericsError),
+            (PackageResolutionError, BuildError),
+            (BuildError, ContainerError),
+            (HubError, ContainerError),
+            (ValidationFailure, ContainerError),
+            (BioPepaError, ReproError),
+            (GPepaError, ReproError),
+        ],
+    )
+    def test_family_membership(self, child, parent):
+        assert issubclass(child, parent)
+
+    def test_families_disjoint(self):
+        assert not issubclass(PepaError, ContainerError)
+        assert not issubclass(ContainerError, PepaError)
+        assert not issubclass(BioPepaError, PepaError)
+
+
+class TestSyntaxErrorLocations:
+    def test_position_embedded_in_message(self):
+        err = PepaSyntaxError("boom", line=3, column=7)
+        assert "line 3, column 7" in str(err)
+        assert err.line == 3
+        assert err.column == 7
+
+    def test_position_optional(self):
+        err = PepaSyntaxError("boom")
+        assert str(err) == "boom"
+        assert err.line is None
+
+
+class TestCliMapsErrorsToExitCode:
+    def test_library_error_becomes_exit_1(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.pepa"
+        bad.write_text("P = (a, zz).P;\nP")  # unbound rate
+        assert main(["pepa", "solve", str(bad)]) == 1
+
+    def test_missing_file_becomes_exit_1(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "/nonexistent.img.json", "pepa"]) == 1
+        assert "error" in capsys.readouterr().err.lower()

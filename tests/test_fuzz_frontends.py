@@ -1,0 +1,188 @@
+"""Fuzz every text front end: arbitrary input must fail with the
+library's own error types, never with an unhandled crash.
+
+(The PEPA parser has its own fuzz in ``tests/pepa/test_random_models``;
+this file covers the remaining front ends: Bio-PEPA, grouped PEPA,
+Singularity recipes, Dockerfiles, PRISM ``.tra`` import, and CSL
+kinetic-law expressions.)
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+
+arbitrary = st.text(max_size=300)
+
+biopepa_soup = st.text(
+    alphabet="ABab()<>*+=;:[]1234567890., \nkineticLawOffMAfMM",
+    max_size=200,
+)
+
+recipe_soup = st.text(
+    alphabet="BootstrapFrom:%postlabelshelp\n =ubuntu.18-_/$@{}",
+    max_size=200,
+)
+
+
+class TestBioPepaParser:
+    @given(text=arbitrary)
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary(self, text):
+        from repro.biopepa import parse_biopepa
+
+        try:
+            parse_biopepa(text)
+        except ReproError:
+            pass
+
+    @given(text=biopepa_soup)
+    @settings(max_examples=200, deadline=None)
+    def test_flavored(self, text):
+        from repro.biopepa import parse_biopepa
+
+        try:
+            parse_biopepa(text)
+        except ReproError:
+            pass
+
+
+class TestGPepaParser:
+    @given(text=arbitrary)
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary(self, text):
+        from repro.gpepa import parse_gpepa
+
+        try:
+            parse_gpepa(text)
+        except ReproError:
+            pass
+
+    @given(
+        text=st.text(
+            alphabet="GABab(),.<>{}[]|=;1234567890 \ninfty",
+            max_size=150,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_flavored(self, text):
+        from repro.gpepa import parse_gpepa
+
+        try:
+            parse_gpepa(text)
+        except ReproError:
+            pass
+
+
+class TestRecipeParsers:
+    @given(text=arbitrary)
+    @settings(max_examples=150, deadline=None)
+    def test_singularity(self, text):
+        from repro.core import parse_recipe
+
+        try:
+            parse_recipe(text)
+        except ReproError:
+            pass
+
+    @given(text=recipe_soup)
+    @settings(max_examples=150, deadline=None)
+    def test_singularity_flavored(self, text):
+        from repro.core import parse_recipe
+
+        try:
+            parse_recipe(text)
+        except ReproError:
+            pass
+
+    @given(text=arbitrary)
+    @settings(max_examples=150, deadline=None)
+    def test_dockerfile(self, text):
+        from repro.core import parse_dockerfile
+
+        try:
+            parse_dockerfile(text)
+        except ReproError:
+            pass
+
+    @given(
+        text=st.text(
+            alphabet="FROMRUNENVLABELCMDCOPY ubuntu:18.04=[]\"\\\n ",
+            max_size=200,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_dockerfile_flavored(self, text):
+        from repro.core import parse_dockerfile
+
+        try:
+            parse_dockerfile(text)
+        except ReproError:
+            pass
+
+
+class TestTraImport:
+    @given(text=arbitrary)
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary(self, text):
+        from repro.pepa.export import import_tra
+
+        try:
+            import_tra(text)
+        except ReproError:
+            pass
+
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(-2, 5), st.integers(-2, 5), st.floats(-1, 10)),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_structured_rows(self, rows):
+        from repro.pepa.export import import_tra
+
+        text = f"4 {len(rows)}\n" + "\n".join(
+            f"{a} {b} {r}" for a, b, r in rows
+        )
+        try:
+            import_tra(text)
+        except ReproError:
+            pass
+
+
+class TestKineticExpressions:
+    @given(text=st.text(max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_expression_construction(self, text):
+        from repro.biopepa.kinetics import Expression
+
+        try:
+            Expression(text)
+        except ReproError:
+            pass
+
+    @given(
+        text=st.text(
+            alphabet="ABk123+-*/() .expsqrtlog,",
+            max_size=60,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_expression_evaluation(self, text):
+        from repro.biopepa.kinetics import Expression
+        from repro.biopepa.model import Reaction, SpeciesRole
+        from repro.biopepa.kinetics import MassAction
+
+        try:
+            law = Expression(text)
+        except ReproError:
+            return
+        rx = Reaction(
+            "r", (SpeciesRole("A", "reactant", 1),), MassAction(1.0)
+        )
+        try:
+            value = law.rate({"A": 2.0, "B": 3.0}, rx, {"k": 1.5})
+            assert isinstance(value, float)
+        except (ReproError, OverflowError):
+            pass

@@ -1,0 +1,120 @@
+"""Cross-package integration: the paper's full workflow in one test module."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Builder,
+    ContainerRuntime,
+    Hub,
+    get_recipe_source,
+    validate_against_native,
+)
+from repro.core.validation import standard_validation_cases
+
+
+class TestFullPipeline:
+    def test_build_validate_publish_pull_run(self, tmp_path):
+        """The complete loop: recipe -> build -> validate -> push -> pull ->
+        run the pulled image and get identical output again."""
+        builder = Builder()
+        runtime = ContainerRuntime()
+        image, report = builder.build(get_recipe_source("pepa"), name="pepa", tag="1.0")
+        assert report.layers_built > 0
+
+        validation = validate_against_native(
+            image, standard_validation_cases("pepa")[:4]
+        )
+        assert validation.passed
+
+        hub = Hub(tmp_path / "hub")
+        entry = hub.push("pepa-containers", image)
+        pulled = hub.pull("pepa-containers", "pepa", "1.0")
+        assert pulled.digest() == entry.digest
+
+        model = b"P = (work, 1.0).Q;\nQ = (rest, 1.0).P;\nP"
+        before = runtime.run(image, ["pepa", "solve", "/m"], binds={"/m": model})
+        after = runtime.run(pulled, ["pepa", "solve", "/m"], binds={"/m": model})
+        assert before.stdout == after.stdout
+        assert before.ok
+
+    def test_serialized_image_runs_identically(self, tmp_path, pepa_image):
+        from repro.core.image import Image
+
+        path = tmp_path / "img.json"
+        pepa_image.save(path)
+        loaded = Image.load(path)
+        runtime = ContainerRuntime()
+        model = b"P = (a, 2.0).Q;\nQ = (b, 1.0).P;\nP"
+        a = runtime.run(pepa_image, ["pepa", "derive", "/m"], binds={"/m": model})
+        b = runtime.run(loaded, ["pepa", "derive", "/m"], binds={"/m": model})
+        assert a.stdout == b.stdout
+
+
+class TestCrossFormalism:
+    def test_pepa_and_biopepa_agree_on_two_state_flip(self):
+        """The same physical system modeled in both formalisms gives the
+        same equilibrium: a molecule flipping A<->B vs a PEPA component."""
+        from repro.biopepa import parse_biopepa, population_ctmc
+        from repro.pepa import ctmc_of, derive, parse_model
+        from repro.pepa.rewards import utilization
+
+        pepa = ctmc_of(derive(parse_model("A = (f, 1.0).B; B = (b, 2.0).A; A")))
+        u_pepa = utilization(pepa, "A", "A")
+
+        bio = population_ctmc(
+            parse_biopepa(
+                """
+                kf = 1.0; kb = 2.0;
+                kineticLawOf f : fMA(kf);
+                kineticLawOf b : fMA(kb);
+                A = (f, 1) << A + (b, 1) >> A;
+                B = (f, 1) >> B + (b, 1) << B;
+                A[1] <*> B[0]
+                """
+            )
+        )
+        pi = bio.steady_state().pi
+        u_bio = bio.expected_population(pi, "A")
+        assert u_pepa == pytest.approx(u_bio, rel=1e-9)
+
+    def test_gpepa_fluid_matches_pepa_utilization_at_scale(self):
+        """Independent replicas: fluid fraction equals single-component
+        steady-state utilization."""
+        from repro.gpepa import fluid_trajectory, parse_gpepa
+        from repro.pepa import ctmc_of, derive, parse_model
+        from repro.pepa.rewards import utilization
+
+        single = ctmc_of(derive(parse_model("A = (f, 1.0).B; B = (b, 3.0).A; A")))
+        u = utilization(single, "A", "A")
+
+        fluid = fluid_trajectory(
+            parse_gpepa("A = (f, 1.0).B;\nB = (b, 3.0).A;\nG{A[1000]}"),
+            np.linspace(0.0, 50.0, 11),
+        )
+        assert fluid.of("G", "A")[-1] / 1000.0 == pytest.approx(u, rel=1e-4)
+
+
+class TestPaperStoryline:
+    def test_three_containers_cover_three_tools(self, pepa_image, biopepa_image, gpa_image):
+        assert set(pepa_image.entrypoints) == {"pepa"}
+        assert set(biopepa_image.entrypoints) == {"biopepa"}
+        assert set(gpa_image.entrypoints) == {"gpa"}
+
+    def test_tool_not_in_container_cannot_run(self, pepa_image):
+        from repro.errors import RuntimeLaunchError
+
+        with pytest.raises(RuntimeLaunchError):
+            ContainerRuntime().run(pepa_image, ["biopepa", "selftest"])
+
+    def test_conflicting_pins_force_separate_containers(self):
+        from repro.core import parse_recipe
+        from repro.errors import PackageResolutionError
+
+        recipe = parse_recipe(
+            "Bootstrap: library\nFrom: ubuntu:18.04\n%post\n"
+            "    apt-get install biopepa-eclipse-plugin\n"
+            "    apt-get install gpanalyser\n"
+        )
+        with pytest.raises(PackageResolutionError):
+            Builder().build(recipe, name="everything")
