@@ -11,6 +11,21 @@ from __future__ import annotations
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _no_result_cache():
+    """Benchmarks time the solvers, not the engine's result cache.
+
+    Without this, every benchmark round after the first would be served
+    from the content-addressed cache and the numbers would measure
+    pickle round-trips. bench_engine.py re-enables the cache locally
+    where the cache itself is the subject.
+    """
+    from repro.engine import cache_disabled
+
+    with cache_disabled():
+        yield
+
+
 @pytest.fixture(scope="session")
 def workload():
     from repro.allocation import synthetic_workload

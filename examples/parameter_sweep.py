@@ -6,24 +6,36 @@ Uses the PC LAN 4 model to study how per-PC think rate and medium speed
 trade off: throughput of `send` and the probability that the medium is
 saturated, over a grid of rates.
 
+Sweep points are independent, so the engine fans them out over a
+process pool inside the ``parallel`` block — results are identical to
+a sequential run (see docs/engine.md).
+
 Run:  python examples/parameter_sweep.py
 """
 
 import numpy as np
 
+from repro.engine import parallel
 from repro.pepa import ctmc_of, sweep, throughput
 from repro.pepa.models import get_model
+
+
+def send_throughput(chain):
+    # Module-level (picklable) measure: required for the process pool;
+    # a lambda would silently degrade the sweep to sequential execution.
+    return throughput(chain, "send")
 
 
 def main() -> None:
     model = get_model("pc_lan_4")
 
     # --- 1-D sweep: medium speed -------------------------------------------
-    result = sweep(
-        model,
-        {"mu": np.linspace(0.5, 8.0, 12)},
-        measure=lambda chain: throughput(chain, "send"),
-    )
+    with parallel():  # one worker per CPU
+        result = sweep(
+            model,
+            {"mu": np.linspace(0.5, 8.0, 12)},
+            measure=send_throughput,
+        )
     print("send throughput vs medium rate mu (lam = 0.4):")
     print(f"  {'mu':>6} {'throughput':>11}")
     for row in result.as_rows():
@@ -31,11 +43,12 @@ def main() -> None:
     print()
 
     # --- 2-D sweep: think rate x medium rate --------------------------------
-    result2 = sweep(
-        model,
-        {"lam": [0.2, 0.4, 0.8], "mu": [1.0, 2.0, 4.0, 8.0]},
-        measure=lambda chain: throughput(chain, "send"),
-    )
+    with parallel():
+        result2 = sweep(
+            model,
+            {"lam": [0.2, 0.4, 0.8], "mu": [1.0, 2.0, 4.0, 8.0]},
+            measure=send_throughput,
+        )
     print("send throughput over (lam, mu) grid:")
     mus = sorted(set(result2.column("mu")))
     lams = sorted(set(result2.column("lam")))

@@ -3,17 +3,28 @@
 The finishing time of a machine is the first-passage time of its PEPA
 model from the initial state into the ``Done`` state, computed by the
 uniformization-based passage engine.
+
+Machines are statistically independent, so :func:`makespan_cdf` fans
+the per-machine solves out through the execution engine — run it under
+``engine.parallel(workers=...)`` to use a process pool — and repeated
+calls with identical arguments are served from the engine's
+content-addressed cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.allocation.machines import DONE_STATE, MACHINE_LEAF, build_machine_model
 from repro.allocation.mapping import Mapping
 from repro.allocation.workload import Workload
+from repro.engine.cache import cached
+from repro.engine.executor import run_tasks
+from repro.engine.metrics import get_registry
+from repro.numerics.quantile import cdf_quantile
 from repro.pepa.ctmc import ctmc_of
 from repro.pepa.passage import passage_time_cdf, passage_time_mean
 from repro.pepa.statespace import derive
@@ -37,10 +48,13 @@ class FinishingTime:
     times / cdf:
         The sampled CDF ``P(finish <= t)``.
     mean:
-        Exact mean finishing time.
+        Exact mean finishing time (for :func:`makespan_cdf` the
+        numerical ``integral of (1 - F)`` over the supplied grid).
     n_states:
         Size of the derived state space (small: 2 availability states
         per machine stage).
+    meta:
+        Execution metadata (``cache`` status of the producing call).
     """
 
     mapping_name: str
@@ -49,19 +63,12 @@ class FinishingTime:
     cdf: np.ndarray
     mean: float
     n_states: int
+    meta: dict = field(default_factory=dict, compare=False)
 
     def quantile(self, q: float) -> float:
-        """Grid-interpolated quantile of the finishing time."""
-        idx = int(np.searchsorted(self.cdf, q))
-        if idx >= self.times.size:
-            raise ValueError(
-                f"CDF reaches only {self.cdf[-1]:.6f} on this grid; extend the horizon"
-            )
-        if idx == 0 or self.cdf[idx] == self.cdf[idx - 1]:
-            return float(self.times[idx])
-        t0, t1 = self.times[idx - 1], self.times[idx]
-        f0, f1 = self.cdf[idx - 1], self.cdf[idx]
-        return float(t0 + (q - f0) * (t1 - t0) / (f1 - f0))
+        """Grid-interpolated quantile of the finishing time; see
+        :func:`repro.numerics.cdf_quantile`."""
+        return cdf_quantile(self.times, self.cdf, q)
 
 
 def finishing_time_mean(mapping: Mapping, machine: str, workload: Workload) -> float:
@@ -88,6 +95,26 @@ def finishing_time_cdf(
         ``[0, horizon_means * mean]`` with ``grid_points`` samples is
         used (matching the paper's plots, which span a few means).
     """
+    with get_registry().timer("finishing_time_cdf"):
+        result, status = cached(
+            "finishing_cdf",
+            (mapping, machine, workload, times, horizon_means, grid_points),
+            lambda: _compute_finishing_time(
+                mapping, machine, workload, times, horizon_means, grid_points
+            ),
+        )
+    result.meta["cache"] = status
+    return result
+
+
+def _compute_finishing_time(
+    mapping: Mapping,
+    machine: str,
+    workload: Workload,
+    times: np.ndarray | None,
+    horizon_means: float,
+    grid_points: int,
+) -> FinishingTime:
     model = build_machine_model(mapping, machine, workload, absorbing=True)
     chain = ctmc_of(derive(model))
     target = (MACHINE_LEAF, DONE_STATE)
@@ -105,10 +132,17 @@ def finishing_time_cdf(
     )
 
 
+def _machine_cdf_task(task) -> np.ndarray:
+    """Worker: one machine's finishing-time CDF on a shared grid."""
+    mapping, machine, workload, times = task
+    return finishing_time_cdf(mapping, machine, workload, times=times).cdf
+
+
 def makespan_cdf(
     mapping: Mapping,
     workload: Workload,
     times: np.ndarray,
+    tail_tol: float = 1e-2,
 ) -> FinishingTime:
     """CDF of the mapping's overall makespan.
 
@@ -118,19 +152,51 @@ def makespan_cdf(
 
         F_makespan(t) = prod_M F_M(t)
 
-    The mean is recovered numerically as ``integral of (1 - F)`` over the
-    grid, so supply a horizon where the CDF effectively reaches 1 (the
-    per-machine means via :func:`finishing_time_mean` guide the choice).
+    The per-machine solves are independent work units: under
+    ``engine.parallel(workers=...)`` they run on a process pool, with
+    results reduced in the fixed machine order so the product is
+    bit-identical to the sequential one.
+
+    The mean is recovered numerically as ``integral of (1 - F)`` over
+    the grid.  When the supplied grid ends before the CDF reaches
+    ``1 - tail_tol``, the integral silently truncates the upper tail, so
+    a ``UserWarning`` flags the underestimated mean — supply a horizon
+    where the CDF effectively reaches 1 (the per-machine means via
+    :func:`finishing_time_mean` guide the choice).
     """
+    times = np.asarray(times, dtype=np.float64)
+    with get_registry().timer("makespan_cdf") as gauges:
+        result, status = cached(
+            "makespan_cdf",
+            (mapping, workload, times),
+            lambda: _compute_makespan(mapping, workload, times),
+        )
+        gauges["grid_points"] = times.size
+    result.meta["cache"] = status
+    if result.cdf.size and result.cdf[-1] < 1.0 - tail_tol:
+        warnings.warn(
+            f"makespan CDF reaches only {result.cdf[-1]:.4f} at the grid horizon "
+            f"t={times[-1]:.4g}; the trapezoid mean integral of (1 - F) truncates "
+            "the upper tail and underestimates the true mean — extend the grid",
+            UserWarning,
+            stacklevel=2,
+        )
+    return result
+
+
+def _compute_makespan(
+    mapping: Mapping, workload: Workload, times: np.ndarray
+) -> FinishingTime:
     from repro.allocation.mapping import MACHINES
 
-    times = np.asarray(times, dtype=np.float64)
+    machines = [m for m in MACHINES if mapping.applications_on(m)]
+    per_machine = run_tasks(
+        _machine_cdf_task,
+        [(mapping, machine, workload, times) for machine in machines],
+    )
     cdf = np.ones_like(times)
-    for machine in MACHINES:
-        if not mapping.applications_on(machine):
-            continue
-        ft = finishing_time_cdf(mapping, machine, workload, times=times)
-        cdf *= ft.cdf
+    for machine_cdf in per_machine:  # fixed MACHINES order: deterministic product
+        cdf = cdf * machine_cdf
     mean = float(np.trapezoid(1.0 - cdf, times))
     return FinishingTime(
         mapping_name=mapping.name,

@@ -3,18 +3,27 @@
 The discrete-stochastic interpretation: species are integer molecule
 counts; each reaction fires with propensity given by its kinetic law at
 the current counts.  The direct method is implemented with a
-pre-computed stoichiometry matrix and vectorized propensity evaluation;
-ensembles reuse one RNG stream for reproducibility.
+pre-computed stoichiometry matrix and vectorized propensity evaluation.
+
+Ensembles draw one independent child seed per realization from a single
+``numpy.random.SeedSequence`` (the engine's deterministic-seeding
+contract), so the statistics depend only on ``(model, times, n_runs,
+seed)`` — never on how the runs are scheduled.  Under
+``engine.parallel(workers=...)`` the realizations are fanned out over a
+process pool in fixed chunks and reduced in chunk order, making the
+parallel mean/variance bit-identical to the sequential ones.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.biopepa.model import BioModel
+from repro.engine.executor import run_tasks, spawn_seeds, welford_merge
+from repro.engine.metrics import get_registry
 from repro.errors import BioPepaError
 
 __all__ = ["ssa_trajectory", "ssa_ensemble", "SsaTrajectory", "SsaEnsemble"]
@@ -39,13 +48,19 @@ class SsaTrajectory:
 
 @dataclass(frozen=True)
 class SsaEnsemble:
-    """Mean/variance over many SSA realizations on a shared grid."""
+    """Mean/variance over many SSA realizations on a shared grid.
+
+    ``var`` is the *sample* variance (``ddof=1``) — the unbiased
+    estimator of the ensemble variance, matching
+    ``np.var(stacked_counts, axis=0, ddof=1)`` over the realizations.
+    """
 
     model: BioModel
     times: np.ndarray
     mean: np.ndarray
     var: np.ndarray
     n_runs: int
+    meta: dict = field(default_factory=dict, compare=False)
 
     def mean_of(self, species: str) -> np.ndarray:
         return self.mean[:, self.model.species_index(species)]
@@ -126,27 +141,73 @@ def ssa_trajectory(
     return SsaTrajectory(model=model, times=grid, counts=out, n_events=events)
 
 
+#: Realizations per work unit.  Fixed — never derived from the worker
+#: count — so the chunk boundaries, and therefore every floating-point
+#: reduction, are identical however the chunks are scheduled.
+_CHUNK_RUNS = 25
+
+
+def _ssa_chunk(task) -> tuple[int, np.ndarray, np.ndarray, int]:
+    """Worker: Welford partials ``(count, mean, m2, events)`` over one
+    chunk of independently seeded realizations."""
+    model, grid, seeds = task
+    mean = np.zeros((grid.size, len(model.species)))
+    m2 = np.zeros_like(mean)
+    events = 0
+    for k, seed_seq in enumerate(seeds, start=1):
+        traj = ssa_trajectory(model, grid, seed=np.random.default_rng(seed_seq))
+        delta = traj.counts - mean
+        mean += delta / k
+        m2 += delta * (traj.counts - mean)
+        events += traj.n_events
+    return len(seeds), mean, m2, events
+
+
 def ssa_ensemble(
     model: BioModel,
     times: Sequence[float],
     n_runs: int = 100,
     seed: int = 0,
 ) -> SsaEnsemble:
-    """Mean and variance over ``n_runs`` independent realizations.
+    """Mean and sample variance over ``n_runs`` independent realizations.
 
-    Uses Welford-style streaming moments so memory stays at two grids
-    regardless of ensemble size.
+    Realization ``i`` is driven by the ``i``-th child of
+    ``SeedSequence(seed)``, so the result is a pure function of
+    ``(model, times, n_runs, seed)``.  Runs are processed in fixed
+    chunks whose Welford partials are merged in chunk order (memory
+    stays at two grids per chunk regardless of ensemble size); under
+    ``engine.parallel(workers=...)`` the chunks execute on a process
+    pool and the result is bit-identical to the sequential one.
+
+    ``var`` uses the unbiased ``ddof=1`` normalization ``m2 / (n_runs -
+    1)``; dividing by ``n_runs`` would be the biased population-variance
+    estimator.
     """
     if n_runs < 1:
         raise BioPepaError("ensemble needs at least one run")
-    rng = np.random.default_rng(seed)
     grid = np.asarray(times, dtype=np.float64)
-    mean = np.zeros((grid.size, len(model.species)))
-    m2 = np.zeros_like(mean)
-    for k in range(1, n_runs + 1):
-        traj = ssa_trajectory(model, grid, seed=rng)
-        delta = traj.counts - mean
-        mean += delta / k
-        m2 += delta * (traj.counts - mean)
-    var = m2 / n_runs if n_runs > 1 else np.zeros_like(m2)
-    return SsaEnsemble(model=model, times=grid, mean=mean, var=var, n_runs=n_runs)
+    seeds = spawn_seeds(seed, n_runs)
+    with get_registry().timer("ssa_ensemble") as gauges:
+        tasks = [
+            (model, grid, seeds[lo : lo + _CHUNK_RUNS])
+            for lo in range(0, n_runs, _CHUNK_RUNS)
+        ]
+        partials = run_tasks(_ssa_chunk, tasks)
+        count, mean, m2 = 0, 0.0, 0.0
+        events = 0
+        for chunk_count, chunk_mean, chunk_m2, chunk_events in partials:
+            count, mean, m2 = welford_merge(
+                (count, mean, m2), (chunk_count, chunk_mean, chunk_m2)
+            )
+            events += chunk_events
+        var = m2 / (n_runs - 1) if n_runs > 1 else np.zeros_like(m2)
+        gauges["n_runs"] = n_runs
+        gauges["events"] = events
+    return SsaEnsemble(
+        model=model,
+        times=grid,
+        mean=mean,
+        var=var,
+        n_runs=n_runs,
+        meta={"events": events, "chunks": len(tasks)},
+    )

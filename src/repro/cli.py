@@ -17,6 +17,7 @@ Subcommands mirror the workflow of the paper::
     repro hub --root ./hub pull COLLECTION NAME TAG -o out.img.json
 
     repro experiment fig3                           # regenerate a paper artifact
+    repro metrics fig3 --workers 4                  # same, with solver metrics
 
 Exit codes: 0 success, 1 library error, 2 usage error.
 """
@@ -237,6 +238,37 @@ def _experiment_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _metrics_command(args: argparse.Namespace) -> int:
+    """Report solver metrics, optionally after running an experiment
+    (the registry is process-local, so there is nothing to show until
+    some analysis has run in this process)."""
+    from repro.engine import get_registry, parallel
+
+    if args.experiment:
+        from repro.experiments import run_experiment
+
+        if args.workers and args.workers > 1:
+            with parallel(workers=args.workers):
+                text = run_experiment(args.experiment)
+        else:
+            text = run_experiment(args.experiment)
+        sys.stdout.write(text)
+        print()
+    registry = get_registry()
+    if args.json:
+        print(registry.to_json())
+    else:
+        print(registry.render())
+    return 0
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -337,6 +369,29 @@ def build_arg_parser() -> argparse.ArgumentParser:
         ),
     )
     p.set_defaults(func=_experiment_command)
+
+    p = sub.add_parser(
+        "metrics",
+        help="report solver metrics (wall times, state-space sizes, cache "
+        "hit/miss counters), optionally after running an experiment",
+    )
+    p.add_argument(
+        "experiment",
+        nargs="?",
+        choices=(
+            "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "overhead", "biopepa", "classic", "optimize", "sensitivity", "all",
+        ),
+        help="experiment to run (instrumented) before reporting",
+    )
+    p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="run the experiment under engine.parallel(workers=N)",
+    )
+    p.set_defaults(func=_metrics_command)
 
     return parser
 

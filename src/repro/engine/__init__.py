@@ -1,0 +1,71 @@
+"""Shared experiment-execution engine: parallelism, caching, metrics.
+
+Three orthogonal facilities every analysis layer builds on:
+
+``executor``
+    Ordered fan-out of independent work units over a process pool with
+    deterministic per-task seeding — parallel results are bit-identical
+    to sequential ones (see the module docstring for the contract).
+``cache``
+    Content-addressed result cache (in-memory LRU plus optional disk
+    layer) keyed on canonical hashes of (model, solver, parameters).
+``metrics``
+    Process-wide registry of solver wall times, state-space sizes,
+    iteration counts and cache hit/miss counters, surfaced by the
+    ``repro metrics`` CLI subcommand.
+"""
+
+from repro.engine.cache import (
+    ResultCache,
+    Uncacheable,
+    cache_disabled,
+    cache_override,
+    cached,
+    canonical_key,
+    configure_cache,
+    get_cache,
+)
+from repro.engine.executor import (
+    EngineConfig,
+    current_config,
+    parallel,
+    run_tasks,
+    spawn_seeds,
+    welford_merge,
+)
+from repro.engine.metrics import (
+    MetricsRegistry,
+    get_registry,
+    increment,
+    metrics_snapshot,
+    render_metrics,
+    reset_metrics,
+    timer,
+)
+
+__all__ = [
+    # executor
+    "EngineConfig",
+    "parallel",
+    "current_config",
+    "run_tasks",
+    "spawn_seeds",
+    "welford_merge",
+    # cache
+    "ResultCache",
+    "Uncacheable",
+    "canonical_key",
+    "cached",
+    "get_cache",
+    "configure_cache",
+    "cache_disabled",
+    "cache_override",
+    # metrics
+    "MetricsRegistry",
+    "get_registry",
+    "increment",
+    "timer",
+    "metrics_snapshot",
+    "reset_metrics",
+    "render_metrics",
+]

@@ -1,0 +1,331 @@
+"""Content-addressed result cache for solver artifacts.
+
+Ding & Hillston's treatment of the numerical representation of a
+stochastic process algebra model as a first-class artifact motivates
+this layer: a derived state space, an aggregated generator, or a solved
+distribution is fully determined by (model source, solver name, solver
+parameters), so identical requests can be served from a cache without
+re-deriving or re-solving — the backbone of bit-for-bit reproducible
+re-runs of published experiments.
+
+Keys are canonical SHA-256 hashes computed structurally: dataclasses
+hash by qualified type name plus their compared fields, mappings and
+sets are order-insensitive, NumPy arrays hash dtype/shape/contents, and
+sparse matrices hash their canonical CSR form.  Anything the encoder
+does not understand raises :class:`Uncacheable` and the computation
+simply runs uncached — caching is always best-effort.
+
+Values are stored as pickle bytes (in-memory LRU, plus an optional
+on-disk layer under ``$REPRO_CACHE_DIR``) and unpickled on every hit so
+callers always receive a private copy they may mutate freely.
+
+Environment knobs::
+
+    REPRO_CACHE=off       disable caching entirely
+    REPRO_CACHE_DIR=path  enable the on-disk layer
+    REPRO_CACHE_SIZE=n    in-memory LRU capacity (default 256 entries)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import struct
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.engine.metrics import get_registry
+
+__all__ = [
+    "Uncacheable",
+    "ResultCache",
+    "canonical_key",
+    "cached",
+    "get_cache",
+    "configure_cache",
+    "cache_disabled",
+    "cache_override",
+]
+
+
+class Uncacheable(TypeError):
+    """Raised when a value has no canonical content hash."""
+
+
+_MISS = object()
+
+
+# ---------------------------------------------------------------------------
+# Canonical hashing
+# ---------------------------------------------------------------------------
+
+def _update(h, obj) -> None:
+    """Feed a type-tagged canonical encoding of ``obj`` into hash ``h``."""
+    if obj is None:
+        h.update(b"N;")
+    elif isinstance(obj, bool):
+        h.update(b"B1;" if obj else b"B0;")
+    elif isinstance(obj, int):
+        h.update(b"I%d;" % obj)
+    elif isinstance(obj, float):
+        h.update(b"F" + struct.pack("<d", obj) + b";")
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        h.update(b"S%d:" % len(raw) + raw + b";")
+    elif isinstance(obj, bytes):
+        h.update(b"Y%d:" % len(obj) + obj + b";")
+    elif isinstance(obj, np.generic):
+        _update(h, obj.item())
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(b"A" + arr.dtype.str.encode() + repr(arr.shape).encode() + b":")
+        h.update(arr.tobytes())
+        h.update(b";")
+    elif sp.issparse(obj):
+        m = obj.tocsr()
+        if not m.has_sorted_indices:
+            m = m.copy()
+            m.sort_indices()
+        h.update(b"M" + repr(m.shape).encode() + b":")
+        _update(h, m.indptr)
+        _update(h, m.indices)
+        _update(h, m.data)
+        h.update(b";")
+    elif isinstance(obj, (tuple, list)):
+        h.update(b"L%d:" % len(obj))
+        for item in obj:
+            _update(h, item)
+        h.update(b";")
+    elif isinstance(obj, (set, frozenset)):
+        h.update(b"E%d:" % len(obj))
+        for digest in sorted(_digest(item) for item in obj):
+            h.update(digest)
+        h.update(b";")
+    elif isinstance(obj, dict):
+        h.update(b"D%d:" % len(obj))
+        entries = sorted((_digest(k), v) for k, v in obj.items())
+        for key_digest, value in entries:
+            h.update(key_digest)
+            _update(h, value)
+        h.update(b";")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        tag = f"{type(obj).__module__}.{type(obj).__qualname__}"
+        h.update(b"O" + tag.encode() + b":")
+        for f in dataclasses.fields(obj):
+            if not f.compare:
+                # Derived memo fields (e.g. Model._rates) are excluded
+                # from equality and therefore from the content hash.
+                continue
+            h.update(f.name.encode() + b"=")
+            _update(h, getattr(obj, f.name))
+        h.update(b";")
+    else:
+        raise Uncacheable(
+            f"no canonical content hash for {type(obj).__module__}."
+            f"{type(obj).__qualname__}"
+        )
+
+
+def _digest(obj) -> bytes:
+    h = hashlib.sha256()
+    _update(h, obj)
+    return h.digest()
+
+
+def canonical_key(namespace: str, *parts) -> str:
+    """Content-addressed cache key: ``namespace-<sha256 of parts>``.
+
+    Raises
+    ------
+    Uncacheable
+        If any part contains a value without a canonical encoding.
+    """
+    h = hashlib.sha256()
+    h.update(namespace.encode("utf-8") + b"\x00")
+    for part in parts:
+        _update(h, part)
+    return f"{namespace}-{h.hexdigest()}"
+
+
+# ---------------------------------------------------------------------------
+# The cache proper
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """In-memory LRU of pickled results with an optional on-disk layer.
+
+    Hits always unpickle a fresh copy, so cached results can never be
+    corrupted by callers mutating what they were handed back.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        disk_dir: str | os.PathLike | None = None,
+        enabled: bool = True,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs at least one entry of capacity")
+        self._lock = threading.RLock()
+        self._mem: OrderedDict[str, bytes] = OrderedDict()
+        self.max_entries = max_entries
+        self.disk_dir = Path(disk_dir) if disk_dir else None
+        self.enabled = enabled
+
+    # -- storage ------------------------------------------------------------
+
+    def get(self, key: str):
+        """Return the cached value for ``key`` or the module-private miss
+        sentinel; counts ``cache.hit`` / ``cache.miss`` metrics."""
+        reg = get_registry()
+        with self._lock:
+            payload = self._mem.get(key)
+            if payload is not None:
+                self._mem.move_to_end(key)
+        if payload is None and self.disk_dir is not None:
+            path = self._disk_path(key)
+            if path.is_file():
+                payload = path.read_bytes()
+                reg.increment("cache.disk_hit")
+                with self._lock:
+                    self._store_mem(key, payload)
+        if payload is None:
+            reg.increment("cache.miss")
+            return _MISS
+        reg.increment("cache.hit")
+        return pickle.loads(payload)
+
+    def put(self, key: str, value) -> None:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._store_mem(key, payload)
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            path = self._disk_path(key)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_bytes(payload)
+            tmp.replace(path)  # atomic on POSIX
+
+    def _store_mem(self, key: str, payload: bytes) -> None:
+        self._mem[key] = payload
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.max_entries:
+            self._mem.popitem(last=False)
+
+    def _disk_path(self, key: str) -> Path:
+        return self.disk_dir / f"{key}.pkl"
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self, disk: bool = False) -> None:
+        with self._lock:
+            self._mem.clear()
+        if disk and self.disk_dir is not None and self.disk_dir.is_dir():
+            for path in self.disk_dir.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._mem)
+
+    def stats(self) -> dict:
+        reg = get_registry()
+        return {
+            "entries": len(self),
+            "hits": reg.counter("cache.hit"),
+            "misses": reg.counter("cache.miss"),
+            "disk_hits": reg.counter("cache.disk_hit"),
+            "enabled": self.enabled,
+        }
+
+
+def _cache_from_env() -> ResultCache:
+    enabled = os.environ.get("REPRO_CACHE", "on").lower() not in ("off", "0", "false")
+    size = int(os.environ.get("REPRO_CACHE_SIZE", "256"))
+    return ResultCache(
+        max_entries=size,
+        disk_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+        enabled=enabled,
+    )
+
+
+_CACHE = _cache_from_env()
+
+
+def get_cache() -> ResultCache:
+    return _CACHE
+
+
+def configure_cache(
+    max_entries: int | None = None,
+    disk_dir: str | os.PathLike | None = None,
+    enabled: bool | None = None,
+) -> ResultCache:
+    """Adjust the process-wide cache in place; returns it."""
+    if max_entries is not None:
+        if max_entries < 1:
+            raise ValueError("cache needs at least one entry of capacity")
+        _CACHE.max_entries = max_entries
+    if disk_dir is not None:
+        _CACHE.disk_dir = Path(disk_dir)
+    if enabled is not None:
+        _CACHE.enabled = enabled
+    return _CACHE
+
+
+@contextmanager
+def cache_override(enabled: bool):
+    """Temporarily force the cache on or off."""
+    prev = _CACHE.enabled
+    _CACHE.enabled = enabled
+    try:
+        yield _CACHE
+    finally:
+        _CACHE.enabled = prev
+
+
+def cache_disabled():
+    """Context manager: run a block with caching off (benchmarks use this
+    so repeated solves measure the solver, not the cache)."""
+    return cache_override(False)
+
+
+# ---------------------------------------------------------------------------
+# Memoization helper used by the solver entry points
+# ---------------------------------------------------------------------------
+
+def cached(namespace: str, parts: tuple, compute):
+    """Serve ``compute()`` through the content-addressed cache.
+
+    Returns ``(value, status)`` with status one of ``"hit"``, ``"miss"``,
+    ``"off"`` (cache disabled) or ``"uncacheable"`` (no canonical key, or
+    the result itself cannot be pickled).  Never raises on cache
+    machinery problems — the computation always wins.
+    """
+    reg = get_registry()
+    if not _CACHE.enabled:
+        return compute(), "off"
+    try:
+        key = canonical_key(namespace, *parts)
+    except Uncacheable:
+        reg.increment("cache.uncacheable")
+        return compute(), "uncacheable"
+    value = _CACHE.get(key)
+    if value is not _MISS:
+        reg.increment(f"{namespace}.cache_hit")
+        return value, "hit"
+    value = compute()
+    reg.increment(f"{namespace}.cache_miss")
+    try:
+        _CACHE.put(key, value)
+    except (pickle.PicklingError, TypeError, AttributeError):
+        reg.increment("cache.unstorable")
+        return value, "uncacheable"
+    return value, "miss"

@@ -1,0 +1,162 @@
+"""Deterministic fan-out of independent work units over a process pool.
+
+The experiment layer has three embarrassingly parallel workloads — SSA
+ensemble realizations, per-machine finishing-time CDFs, and parameter
+sweep points.  All of them route through :func:`run_tasks`, which runs
+sequentially by default and fans out over ``concurrent.futures``
+process workers inside a :func:`parallel` context::
+
+    from repro import engine
+
+    with engine.parallel(workers=4):
+        ens = ssa_ensemble(model, grid, n_runs=200)
+
+Determinism contract
+--------------------
+Results must be *bit-identical* regardless of worker count.  Two rules
+enforce this:
+
+1. Randomness is assigned per task up front via
+   :func:`spawn_seeds` (``numpy.random.SeedSequence.spawn``), never
+   drawn from a shared stream during execution.
+2. :func:`run_tasks` preserves task order in its result list, and
+   callers reduce partial results in that fixed order; chunk boundaries
+   must be a function of the task list alone, never of the worker
+   count.
+
+Callables or task payloads that cannot be pickled silently degrade to
+sequential execution (counted as ``engine.pickle_fallback``) — the
+parallel path is an optimization, not a requirement.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.metrics import get_registry
+
+__all__ = [
+    "EngineConfig",
+    "parallel",
+    "current_config",
+    "run_tasks",
+    "spawn_seeds",
+    "welford_merge",
+]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Active execution configuration (workers=1 means sequential)."""
+
+    workers: int = 1
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+
+_config_stack: list[EngineConfig] = []
+
+
+def current_config() -> EngineConfig:
+    """The innermost :func:`parallel` configuration, or the environment
+    default (``$REPRO_WORKERS``, else sequential)."""
+    if _config_stack:
+        return _config_stack[-1]
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return EngineConfig(workers=max(1, int(env)))
+    return EngineConfig()
+
+
+@contextmanager
+def parallel(workers: int | None = None):
+    """Run enclosed engine workloads on a pool of ``workers`` processes.
+
+    ``workers=None`` uses the CPU count.  Contexts nest; the innermost
+    wins.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    config = EngineConfig(workers=workers)
+    _config_stack.append(config)
+    try:
+        yield config
+    finally:
+        _config_stack.pop()
+
+
+def _is_picklable(*objects) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return False
+    return True
+
+
+def run_tasks(fn: Callable, tasks: Iterable, workers: int | None = None) -> list:
+    """Map ``fn`` over ``tasks``, preserving order.
+
+    Sequential unless a :func:`parallel` context (or ``workers``) asks
+    for more than one worker and there is more than one task.  ``fn``
+    and every task must be picklable to take the pool path; otherwise
+    execution silently falls back to sequential.
+    """
+    tasks = list(tasks)
+    reg = get_registry()
+    if workers is None:
+        workers = current_config().workers
+    workers = min(workers, len(tasks))
+    if workers > 1 and not _is_picklable(fn, tasks):
+        reg.increment("engine.pickle_fallback")
+        workers = 1
+    if workers <= 1:
+        reg.increment("engine.sequential_batches")
+        return [fn(task) for task in tasks]
+    reg.increment("engine.parallel_batches")
+    reg.increment("engine.tasks_dispatched", by=len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, tasks))
+
+
+def spawn_seeds(seed: int, n: int) -> list[np.random.SeedSequence]:
+    """``n`` independent child seed sequences of ``seed``.
+
+    The assignment of child ``i`` to task ``i`` depends only on
+    ``(seed, n)`` — this is what makes parallel stochastic results
+    bit-identical to sequential ones.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seeds")
+    return list(np.random.SeedSequence(seed).spawn(n))
+
+
+def welford_merge(
+    a: tuple[int, np.ndarray, np.ndarray],
+    b: tuple[int, np.ndarray, np.ndarray],
+) -> tuple[int, np.ndarray, np.ndarray]:
+    """Combine two Welford partials ``(count, mean, m2)`` (Chan et al.).
+
+    Deterministic given its inputs; callers must fold partials in a
+    fixed order for bit-identical results.
+    """
+    na, mean_a, m2a = a
+    nb, mean_b, m2b = b
+    if na == 0:
+        return b
+    if nb == 0:
+        return a
+    n = na + nb
+    delta = mean_b - mean_a
+    mean = mean_a + delta * (nb / n)
+    m2 = m2a + m2b + delta * delta * (na * nb / n)
+    return n, mean, m2

@@ -1,0 +1,199 @@
+"""Lightweight metrics registry for the solver entry points.
+
+Every hot path in the library — state-space derivation, CTMC
+aggregation, steady-state and passage-time solves, SSA ensembles —
+records a wall-time observation here, together with whatever gauges it
+knows about (state-space size, iteration counts, events simulated).
+The cache layer records hit/miss counters.  The registry is cheap
+enough to stay on unconditionally: one lock acquisition and a couple of
+dict updates per solver call.
+
+The registry is process-local.  Worker processes spawned by the
+executor accumulate their own metrics; only the parent's registry is
+surfaced by the ``repro metrics`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MetricsRegistry",
+    "TimerStat",
+    "get_registry",
+    "increment",
+    "timer",
+    "metrics_snapshot",
+    "reset_metrics",
+    "render_metrics",
+]
+
+
+@dataclass
+class TimerStat:
+    """Aggregated wall-time observations for one instrumented name."""
+
+    calls: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = float("inf")
+    max_seconds: float = 0.0
+    #: Summed numeric gauges (e.g. total states derived across calls).
+    gauges: dict[str, float] = field(default_factory=dict)
+    #: Gauge values from the most recent observation.
+    last: dict[str, float] = field(default_factory=dict)
+
+    def observe(self, seconds: float, **gauges: float) -> None:
+        self.calls += 1
+        self.total_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+        for name, value in gauges.items():
+            self.gauges[name] = self.gauges.get(name, 0.0) + float(value)
+            self.last[name] = float(value)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+class MetricsRegistry:
+    """Thread-safe counters and wall-time timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, TimerStat] = {}
+
+    # -- counters -----------------------------------------------------------
+
+    def increment(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- timers -------------------------------------------------------------
+
+    def observe(self, name: str, seconds: float, **gauges: float) -> None:
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.observe(seconds, **gauges)
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time a block; numeric values put into the yielded dict become
+        gauges of the observation::
+
+            with registry.timer("derive") as meta:
+                space = ...
+                meta["n_states"] = space.size
+        """
+        meta: dict[str, float] = {}
+        start = time.perf_counter()
+        try:
+            yield meta
+        finally:
+            elapsed = time.perf_counter() - start
+            gauges = {
+                k: float(v) for k, v in meta.items() if isinstance(v, (int, float))
+            }
+            self.observe(name, elapsed, **gauges)
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of every counter and timer (JSON-friendly)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "timers": {
+                    name: {
+                        "calls": stat.calls,
+                        "total_seconds": stat.total_seconds,
+                        "mean_seconds": stat.mean_seconds,
+                        "min_seconds": stat.min_seconds if stat.calls else 0.0,
+                        "max_seconds": stat.max_seconds,
+                        "gauges": dict(stat.gauges),
+                        "last": dict(stat.last),
+                    }
+                    for name, stat in self._timers.items()
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+
+    def render(self) -> str:
+        """Human-readable metrics table."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        timers = snap["timers"]
+        if timers:
+            lines.append("solver timers:")
+            width = max(len(n) for n in timers)
+            lines.append(
+                f"  {'name':<{width}} {'calls':>6} {'total[s]':>10} {'mean[s]':>10}  gauges"
+            )
+            for name in sorted(timers):
+                t = timers[name]
+                gauges = ", ".join(
+                    f"{k}={_fmt_num(v)}" for k, v in sorted(t["gauges"].items())
+                )
+                lines.append(
+                    f"  {name:<{width}} {t['calls']:>6} {t['total_seconds']:>10.4f} "
+                    f"{t['mean_seconds']:>10.4f}  {gauges}"
+                )
+        counters = snap["counters"]
+        if counters:
+            lines.append("counters:")
+            width = max(len(n) for n in counters)
+            for name in sorted(counters):
+                lines.append(f"  {name:<{width}} {counters[name]}")
+        if not lines:
+            lines.append("no metrics recorded yet (run a solver or an experiment first)")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+
+def _fmt_num(v: float) -> str:
+    return str(int(v)) if float(v).is_integer() else f"{v:.4g}"
+
+
+#: The process-wide registry used by every instrumented entry point.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def increment(name: str, by: int = 1) -> None:
+    _REGISTRY.increment(name, by)
+
+
+def timer(name: str):
+    return _REGISTRY.timer(name)
+
+
+def metrics_snapshot() -> dict:
+    return _REGISTRY.snapshot()
+
+
+def reset_metrics() -> None:
+    _REGISTRY.reset()
+
+
+def render_metrics() -> str:
+    return _REGISTRY.render()

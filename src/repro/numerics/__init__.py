@@ -21,6 +21,9 @@ by the process-algebra packages) and *matrix* concerns:
 ``ode``
     Fixed-grid ODE integration helpers (SciPy ``solve_ivp`` wrapper and
     a self-contained RK4 fallback).
+``quantile``
+    The shared generalized-inverse quantile of a sampled CDF, used by
+    every result type carrying a ``(times, cdf)`` curve.
 """
 
 from repro.numerics.steady import steady_state, SteadyStateResult
@@ -33,6 +36,7 @@ from repro.numerics.poisson import poisson_weights
 from repro.numerics.hypoexp import hypoexp_cdf, hypoexp_mean, hypoexp_var
 from repro.numerics.dtmc import uniformized_dtmc, dtmc_stationary
 from repro.numerics.ode import integrate_ode, rk4_fixed_step
+from repro.numerics.quantile import cdf_quantile
 
 __all__ = [
     "steady_state",
@@ -48,4 +52,5 @@ __all__ = [
     "dtmc_stationary",
     "integrate_ode",
     "rk4_fixed_step",
+    "cdf_quantile",
 ]

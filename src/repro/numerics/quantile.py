@@ -1,0 +1,80 @@
+"""Quantiles of sampled CDFs.
+
+One correct implementation shared by every result type that carries a
+``(times, cdf)`` curve (PEPA passage times, allocation finishing
+times).  The semantics are those of the generalized inverse on the
+piecewise-linear interpolant of the sampled curve:
+
+    quantile(q) = the earliest time t in the grid's span with F(t) >= q
+
+Two subtleties the previously duplicated copies got wrong:
+
+* When ``q`` exactly equals a grid CDF value, the bracketing index must
+  point at the *first* grid point attaining that value, and the grid
+  time must be returned exactly — interpolating ``t0 + 1.0 * (t1 - t0)``
+  reintroduces floating-point noise around an exact hit.
+* On a plateau (repeated CDF values), the quantile is the time the
+  level is first reached, never a later plateau point — and never a
+  time *before* the level is reached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NumericsError
+
+__all__ = ["cdf_quantile"]
+
+
+def cdf_quantile(times, cdf, q: float) -> float:
+    """The ``q`` quantile of a CDF sampled on a time grid.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing evaluation grid.
+    cdf:
+        Sampled CDF values, non-decreasing, aligned with ``times``.
+    q:
+        Level in ``[0, 1]``.
+
+    Returns
+    -------
+    float
+        The earliest time at which the piecewise-linear interpolant of
+        the sampled curve reaches ``q`` (exactly a grid time whenever
+        ``q`` equals a sampled value).
+
+    Raises
+    ------
+    ValueError
+        If ``q`` is outside ``[0, 1]`` or the inputs are malformed.
+    NumericsError
+        If the sampled CDF never reaches ``q`` on the grid.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile level must be in [0, 1], got {q}")
+    times = np.asarray(times, dtype=np.float64)
+    cdf = np.asarray(cdf, dtype=np.float64)
+    if times.ndim != 1 or times.size < 1 or times.shape != cdf.shape:
+        raise ValueError(
+            f"times and cdf must be equal-length 1-D arrays, got shapes "
+            f"{times.shape} and {cdf.shape}"
+        )
+    if q <= cdf[0]:
+        return float(times[0])
+    if q > cdf[-1]:
+        raise NumericsError(
+            f"CDF only reaches {cdf[-1]:.6f} on the given grid; "
+            f"extend the time horizon to evaluate the {q} quantile"
+        )
+    # Leftmost index with cdf[idx] >= q; the guards above ensure
+    # 1 <= idx < len(cdf) and cdf[idx - 1] < q <= cdf[idx].
+    idx = int(np.searchsorted(cdf, q, side="left"))
+    if cdf[idx] == q:
+        # Exact grid hit (including the start of a plateau at level q).
+        return float(times[idx])
+    t0, t1 = times[idx - 1], times[idx]
+    f0, f1 = cdf[idx - 1], cdf[idx]
+    return float(t0 + (q - f0) * (t1 - t0) / (f1 - f0))

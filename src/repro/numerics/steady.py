@@ -32,6 +32,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.engine.cache import cached
+from repro.engine.metrics import get_registry
 from repro.errors import ConvergenceError, SingularGeneratorError
 
 __all__ = ["steady_state", "SteadyStateResult", "validate_generator"]
@@ -53,6 +55,10 @@ class SteadyStateResult:
         Max-norm of ``pi @ Q`` — a direct measure of solution quality.
     iterations:
         Iteration count for iterative methods, 0 for the direct solver.
+    meta:
+        Execution metadata filled by :func:`steady_state`: ``cache``
+        (``"hit"``/``"miss"``/``"off"``/``"uncacheable"``), ``method``
+        and ``n_states``.
     """
 
     pi: np.ndarray
@@ -96,10 +102,22 @@ def validate_generator(Q: sp.spmatrix, atol: float = 1e-8) -> sp.csr_matrix:
 
 def _replaced_system(Q: sp.csr_matrix) -> tuple[sp.csc_matrix, np.ndarray]:
     """Build ``A x = b`` where ``A`` is ``Q^T`` with its last row replaced by
-    ones (normalization) and ``b`` is the matching unit vector."""
+    ones (normalization) and ``b`` is the matching unit vector.
+
+    The replacement is direct CSR row surgery on ``Q^T``: keep the raw
+    ``data``/``indices`` of rows ``0 .. n-2`` and append a dense row of
+    ones, avoiding the former LIL round-trip (which reallocated every
+    row into Python lists just to rewrite one of them).
+    """
     n = Q.shape[0]
-    A = Q.transpose().tolil()
-    A[n - 1, :] = np.ones(n)
+    Qt = Q.transpose().tocsr()
+    cut = Qt.indptr[n - 1]  # end of row n-2 == start of the replaced row
+    data = np.concatenate([Qt.data[:cut], np.ones(n)])
+    indices = np.concatenate(
+        [Qt.indices[:cut], np.arange(n, dtype=Qt.indices.dtype)]
+    )
+    indptr = np.concatenate([Qt.indptr[:n], [cut + n]]).astype(Qt.indptr.dtype)
+    A = sp.csr_matrix((data, indices, indptr), shape=(n, n))
     b = np.zeros(n)
     b[n - 1] = 1.0
     return A.tocsc(), b
@@ -209,6 +227,22 @@ def steady_state(
             f"state {dead} is absorbing (no outgoing transitions); "
             "the CTMC has no unique equilibrium"
         )
+    with get_registry().timer("steady_state") as gauges:
+        result, status = cached(
+            "steady_state",
+            (Q, method, tol, maxiter),
+            lambda: _solve_and_check(Q, method, tol, maxiter, diag),
+        )
+        gauges["n_states"] = n
+        gauges["iterations"] = result.iterations
+    result.meta.update(cache=status, method=method, n_states=n)
+    return result
+
+
+def _solve_and_check(
+    Q: sp.csr_matrix, method: str, tol: float, maxiter: int, diag: np.ndarray
+) -> SteadyStateResult:
+    """Dispatch to the selected back-end and validate the solution."""
     if method == "direct":
         pi, iters = _solve_direct(Q)
     elif method == "gmres":

@@ -101,8 +101,24 @@ def ctmc_of(space: StateSpace) -> CTMC:
     """Aggregate the labelled transition system into a CTMC.
 
     Parallel transitions (same source/target, any action) sum their
-    rates — the race-condition semantics of PEPA.
+    rates — the race-condition semantics of PEPA.  The aggregation is
+    memoized on the state-space instance (the generator is a pure
+    function of it) and timed in the ``ctmc_of`` metrics entry.
     """
+    from repro.engine.metrics import get_registry
+
+    memo = getattr(space, "_ctmc_memo", None)
+    if memo is not None:
+        get_registry().increment("ctmc_of.memo_hit")
+        return memo
+    with get_registry().timer("ctmc_of") as gauges:
+        chain = _aggregate(space)
+        gauges["n_states"] = chain.n_states
+    space._ctmc_memo = chain
+    return chain
+
+
+def _aggregate(space: StateSpace) -> CTMC:
     n = space.size
     rows = np.fromiter((tr.source for tr in space.transitions), dtype=np.intp)
     cols = np.fromiter((tr.target for tr in space.transitions), dtype=np.intp)

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.executor import run_tasks
+from repro.engine.metrics import get_registry
 from repro.pepa.ctmc import CTMC, ctmc_of
 from repro.pepa.statespace import derive
 from repro.pepa.syntax import Model
@@ -83,9 +85,15 @@ def sweep(
     Notes
     -----
     Rate changes cannot alter reachability in PEPA (rates are strictly
-    positive), but the sweep re-derives per run anyway: derivation is
-    cheap at these sizes and the simplicity keeps the result
-    trustworthy — the guide's "make it work reliably before optimizing".
+    positive), but the sweep re-derives per run anyway — derivations
+    repeat across sweeps only when the *same* rate assignment recurs, in
+    which case the engine's content-addressed cache serves them.
+
+    Each grid point is an independent work unit: under
+    ``engine.parallel(workers=...)`` the points run on a process pool
+    (values come back in grid order, so results are identical to the
+    sequential path).  A ``measure`` that cannot be pickled — a lambda,
+    say — silently degrades to sequential execution.
     """
     if not ranges:
         raise ValueError("sweep requires at least one parameter range")
@@ -96,11 +104,18 @@ def sweep(
             raise ValueError(f"parameter {name!r} has an empty range")
     combos = list(itertools.product(*value_lists))
     grid = np.array(combos, dtype=np.float64)
-    values = np.empty(len(combos))
-    for k, combo in enumerate(combos):
-        variant = model
-        for name, value in zip(names, combo):
-            variant = variant.with_rate(name, float(value))
-        chain = ctmc_of(derive(variant, max_states=max_states))
-        values[k] = measure(chain)
+    with get_registry().timer("sweep") as gauges:
+        tasks = [(model, names, combo, max_states, measure) for combo in combos]
+        values = np.asarray(run_tasks(_sweep_point, tasks), dtype=np.float64)
+        gauges["points"] = len(combos)
     return SweepResult(parameters=names, grid=grid, values=values)
+
+
+def _sweep_point(task) -> float:
+    """Worker: solve one rate assignment and apply the measure."""
+    model, names, combo, max_states, measure = task
+    variant = model
+    for name, value in zip(names, combo):
+        variant = variant.with_rate(name, float(value))
+    chain = ctmc_of(derive(variant, max_states=max_states))
+    return float(measure(chain))

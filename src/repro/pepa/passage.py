@@ -15,12 +15,15 @@ sequential models, the closed-form hypoexponential.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.linalg
 
+from repro.engine.cache import cached
+from repro.engine.metrics import get_registry
 from repro.errors import NumericsError
+from repro.numerics.quantile import cdf_quantile
 from repro.numerics.transient import absorption_cdf, expected_hitting_time
 from repro.pepa.ctmc import CTMC
 
@@ -42,28 +45,20 @@ class PassageTimeResult:
     mean:
         Exact mean first-passage time (from the linear hitting-time
         system, not from the sampled curve).
+    meta:
+        Execution metadata (``cache`` status, ``n_states``, ``method``).
     """
 
     times: np.ndarray
     cdf: np.ndarray
     mean: float
+    meta: dict = field(default_factory=dict, compare=False)
 
     def quantile(self, q: float) -> float:
-        """Smallest grid time with CDF >= q (linear interpolation between
-        bracketing grid points)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile level must be in [0, 1], got {q}")
-        idx = int(np.searchsorted(self.cdf, q))
-        if idx >= self.times.size:
-            raise NumericsError(
-                f"CDF only reaches {self.cdf[-1]:.6f} on the given grid; "
-                f"extend the time horizon to evaluate the {q} quantile"
-            )
-        if idx == 0 or self.cdf[idx] == self.cdf[idx - 1]:
-            return float(self.times[idx])
-        t0, t1 = self.times[idx - 1], self.times[idx]
-        f0, f1 = self.cdf[idx - 1], self.cdf[idx]
-        return float(t0 + (q - f0) * (t1 - t0) / (f1 - f0))
+        """Earliest time the sampled CDF reaches level ``q`` (linear
+        interpolation between bracketing grid points); see
+        :func:`repro.numerics.cdf_quantile`."""
+        return cdf_quantile(self.times, self.cdf, q)
 
 
 def _resolve_states(chain: CTMC, spec) -> list[int]:
@@ -126,10 +121,31 @@ def passage_time_cdf(
             raise NumericsError("passage-time source set is empty")
         pi0[src] = 1.0 / len(src)
     times_arr = np.asarray(times, dtype=np.float64)
+    if method not in ("uniformization", "expm"):
+        raise ValueError(f"unknown passage-time method {method!r}")
+    with get_registry().timer("passage_time_cdf") as gauges:
+        result, status = cached(
+            "passage_cdf",
+            (chain.generator, tuple(sorted(targets)), times_arr, pi0, method, epsilon),
+            lambda: _compute_cdf(chain, pi0, targets, times_arr, method, epsilon),
+        )
+        gauges["n_states"] = n
+    result.meta.update(cache=status, n_states=n, method=method)
+    return result
+
+
+def _compute_cdf(
+    chain: CTMC,
+    pi0: np.ndarray,
+    targets: list[int],
+    times_arr: np.ndarray,
+    method: str,
+    epsilon: float,
+) -> PassageTimeResult:
     if method == "uniformization":
         cdf = absorption_cdf(chain.generator, pi0, targets, times_arr, epsilon)
-    elif method == "expm":
-        if n > 2000:
+    else:  # expm (ablation D2)
+        if chain.n_states > 2000:
             raise NumericsError("dense expm passage-time is limited to 2000 states")
         Q = chain.generator.toarray()
         Q[targets, :] = 0.0
@@ -137,8 +153,6 @@ def passage_time_cdf(
         for i, t in enumerate(times_arr):
             dist = pi0 @ scipy.linalg.expm(Q * t)
             cdf[i] = dist[targets].sum()
-    else:
-        raise ValueError(f"unknown passage-time method {method!r}")
     cdf = np.clip(cdf, 0.0, 1.0)
     # Enforce monotonicity against truncation-level round-off.
     cdf = np.maximum.accumulate(cdf)

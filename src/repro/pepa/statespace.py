@@ -378,6 +378,11 @@ class _Deriver:
 def derive(model: Model, max_states: int = 1_000_000) -> StateSpace:
     """Derive the full reachable state space of a PEPA model.
 
+    Results are served through the engine's content-addressed cache:
+    deriving the same model (structurally, not by object identity) with
+    the same ``max_states`` returns a cached copy, and every call is
+    timed in the ``derive`` metrics entry.
+
     Parameters
     ----------
     model:
@@ -387,4 +392,14 @@ def derive(model: Model, max_states: int = 1_000_000) -> StateSpace:
         raises :class:`repro.errors.StateSpaceLimitError` rather than
         exhausting memory.
     """
-    return _Deriver(model, max_states).run()
+    from repro.engine.cache import cached
+    from repro.engine.metrics import get_registry
+
+    with get_registry().timer("derive") as gauges:
+        space, _status = cached(
+            "derive",
+            (model, max_states),
+            lambda: _Deriver(model, max_states).run(),
+        )
+        gauges["n_states"] = space.size
+    return space

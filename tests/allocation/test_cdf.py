@@ -81,10 +81,12 @@ class TestWithVariation:
         assert ft.quantile(0.25) < ft.quantile(0.5) < ft.quantile(0.9)
 
     def test_quantile_out_of_range(self, workload):
+        from repro.errors import NumericsError
+
         ft = finishing_time_cdf(
             MAPPING_A, "M1", workload, times=np.linspace(0.0, 1.0, 5)
         )
-        with pytest.raises(ValueError, match="extend the horizon"):
+        with pytest.raises(NumericsError, match="extend the time horizon"):
             ft.quantile(0.99)
 
     def test_metadata(self, workload):

@@ -60,3 +60,49 @@ class TestProductLaw:
         ms = makespan_cdf(MAPPING_A, workload, grid)
         assert ms.machine == "makespan"
         assert ms.mapping_name == "A"
+
+
+class TestTruncatedGrid:
+    def test_short_horizon_warns_about_underestimated_mean(self, workload, grid):
+        short = np.linspace(0.0, grid[-1] / 8.0, 30)
+        with pytest.warns(UserWarning, match="underestimates"):
+            makespan_cdf(MAPPING_A, workload, short)
+
+    def test_adequate_horizon_does_not_warn(self, workload, grid):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            makespan_cdf(MAPPING_A, workload, grid)
+
+    def test_tail_tolerance_is_adjustable(self, workload, grid):
+        short = np.linspace(0.0, grid[-1] / 8.0, 30)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            makespan_cdf(MAPPING_A, workload, short, tail_tol=1.0)
+
+
+class TestCachingAndParallel:
+    def test_repeat_served_from_cache_with_identical_output(self, workload, grid):
+        from repro.engine import cache_override, get_registry
+
+        with cache_override(True):
+            first = makespan_cdf(MAPPING_A, workload, grid)
+            hits_before = get_registry().counter("cache.hit")
+            second = makespan_cdf(MAPPING_A, workload, grid)
+        assert second.meta["cache"] == "hit"
+        assert get_registry().counter("cache.hit") > hits_before
+        np.testing.assert_array_equal(first.cdf, second.cdf)
+        assert first.mean == second.mean
+
+    def test_parallel_fanout_is_bit_identical(self, workload, grid):
+        from repro.engine import cache_disabled, parallel
+
+        with cache_disabled():
+            seq = makespan_cdf(MAPPING_A, workload, grid)
+            with parallel(workers=2):
+                par = makespan_cdf(MAPPING_A, workload, grid)
+        np.testing.assert_array_equal(seq.cdf, par.cdf)
+        assert seq.mean == par.mean

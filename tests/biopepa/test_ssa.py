@@ -62,6 +62,59 @@ class TestStructure:
         assert traj.n_events == 5
 
 
+class TestEnsembleMoments:
+    """Regression: the streaming moments must equal the batch estimators
+    over the stacked per-run trajectories (sample variance, ddof=1)."""
+
+    def test_welford_matches_stacked_numpy_moments(self):
+        from repro.engine import spawn_seeds
+
+        model = enzyme_kinetics_model()
+        grid = np.linspace(0.0, 10.0, 11)
+        n_runs, seed = 40, 17
+        ens = ssa_ensemble(model, grid, n_runs=n_runs, seed=seed)
+        stacked = np.stack(
+            [
+                ssa_trajectory(model, grid, seed=np.random.default_rng(s)).counts
+                for s in spawn_seeds(seed, n_runs)
+            ]
+        )
+        np.testing.assert_allclose(ens.mean, stacked.mean(axis=0), rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(
+            ens.var, stacked.var(axis=0, ddof=1), rtol=1e-10, atol=1e-10
+        )
+
+    def test_variance_is_sample_not_population(self):
+        # With the biased m2/n normalization this equality cannot hold:
+        # the two estimators differ by the factor n/(n-1).
+        model = decay(50)
+        grid = np.array([0.0, 0.5, 1.0])
+        n_runs, seed = 12, 2
+        from repro.engine import spawn_seeds
+
+        ens = ssa_ensemble(model, grid, n_runs=n_runs, seed=seed)
+        stacked = np.stack(
+            [
+                ssa_trajectory(model, grid, seed=np.random.default_rng(s)).counts
+                for s in spawn_seeds(seed, n_runs)
+            ]
+        )
+        biased = stacked.var(axis=0, ddof=0)
+        unbiased = stacked.var(axis=0, ddof=1)
+        assert not np.allclose(biased, unbiased)  # estimators genuinely differ
+        np.testing.assert_allclose(ens.var, unbiased, rtol=1e-10, atol=1e-10)
+
+    def test_single_run_variance_is_zero(self):
+        ens = ssa_ensemble(decay(10), GRID, n_runs=1, seed=0)
+        assert (ens.var == 0.0).all()
+
+    def test_ensemble_is_pure_function_of_seed(self):
+        a = ssa_ensemble(decay(30), GRID, n_runs=10, seed=5)
+        b = ssa_ensemble(decay(30), GRID, n_runs=10, seed=5)
+        np.testing.assert_array_equal(a.mean, b.mean)
+        np.testing.assert_array_equal(a.var, b.var)
+
+
 class TestStatistics:
     def test_decay_mean_matches_exponential(self):
         # E[A(t)] = n0 * exp(-k t) for unit-rate decay.

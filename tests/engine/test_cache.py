@@ -1,0 +1,150 @@
+"""Content-addressed cache: canonical keys, LRU, disk layer, wiring."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.engine import (
+    ResultCache,
+    Uncacheable,
+    cache_disabled,
+    cache_override,
+    cached,
+    canonical_key,
+    configure_cache,
+    get_cache,
+)
+from repro.pepa.parser import parse_model
+
+MODEL_SRC = """
+r = 1.0;
+s = 2.0;
+P = (a, r).Q;
+Q = (b, s).P;
+P
+"""
+
+
+class TestCanonicalKey:
+    def test_structurally_equal_models_share_a_key(self):
+        a = parse_model(MODEL_SRC)
+        b = parse_model(MODEL_SRC)
+        assert a is not b
+        assert canonical_key("t", a) == canonical_key("t", b)
+
+    def test_changed_rate_changes_key(self):
+        model = parse_model(MODEL_SRC)
+        assert canonical_key("t", model) != canonical_key(
+            "t", model.with_rate("r", 3.0)
+        )
+
+    def test_dict_insertion_order_is_irrelevant(self):
+        assert canonical_key("t", {"a": 1, "b": 2}) == canonical_key(
+            "t", {"b": 2, "a": 1}
+        )
+
+    def test_set_iteration_order_is_irrelevant(self):
+        assert canonical_key("t", frozenset(["x", "y", "z"])) == canonical_key(
+            "t", frozenset(["z", "x", "y"])
+        )
+
+    def test_ndarray_content_and_dtype_matter(self):
+        a = np.array([1.0, 2.0])
+        assert canonical_key("t", a) == canonical_key("t", a.copy())
+        assert canonical_key("t", a) != canonical_key("t", np.array([1.0, 2.5]))
+        assert canonical_key("t", a) != canonical_key("t", a.astype(np.float32))
+
+    def test_sparse_matrix_by_content(self):
+        m = sp.csr_matrix(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        assert canonical_key("t", m) == canonical_key("t", m.tocoo())
+        other = sp.csr_matrix(np.array([[0.0, 1.0], [2.5, 0.0]]))
+        assert canonical_key("t", m) != canonical_key("t", other)
+
+    def test_namespace_separates_keys(self):
+        assert canonical_key("a", 1) != canonical_key("b", 1)
+
+    def test_unhashable_type_raises(self):
+        with pytest.raises(Uncacheable):
+            canonical_key("t", object())
+
+    def test_scalar_type_tags_distinguish(self):
+        assert canonical_key("t", 1) != canonical_key("t", 1.0)
+        assert canonical_key("t", True) != canonical_key("t", 1)
+
+
+class TestResultCache:
+    def test_roundtrip_returns_fresh_copy(self):
+        cache = ResultCache(max_entries=4)
+        value = np.arange(5.0)
+        cache.put("k", value)
+        out = cache.get("k")
+        np.testing.assert_array_equal(out, value)
+        assert out is not value  # unpickled copy, safe to mutate
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        miss = cache.get("b")
+        assert not isinstance(miss, int)  # evicted: miss sentinel
+
+    def test_disk_layer_survives_memory_clear(self, tmp_path):
+        cache = ResultCache(max_entries=4, disk_dir=tmp_path)
+        cache.put("k", {"pi": np.ones(3)})
+        cache.clear()  # memory only
+        assert len(cache) == 0
+        out = cache.get("k")
+        np.testing.assert_array_equal(out["pi"], np.ones(3))
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestCachedHelper:
+    def test_miss_then_hit(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 41 + len(calls)
+
+        parts = (parse_model(MODEL_SRC), "unit-test-miss-then-hit")
+        value1, status1 = cached("unittest", parts, compute)
+        value2, status2 = cached("unittest", parts, compute)
+        assert (status1, status2) == ("miss", "hit")
+        assert value1 == value2 == 42
+        assert len(calls) == 1  # second call served from cache
+
+    def test_disabled_cache_always_computes(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return len(calls)
+
+        with cache_disabled():
+            v1, s1 = cached("unittest", ("disabled-case",), compute)
+            v2, s2 = cached("unittest", ("disabled-case",), compute)
+        assert (s1, s2) == ("off", "off")
+        assert (v1, v2) == (1, 2)
+
+    def test_uncacheable_parts_still_compute(self):
+        value, status = cached("unittest", (object(),), lambda: 7)
+        assert value == 7
+        assert status == "uncacheable"
+
+    def test_override_restores_state(self):
+        cache = get_cache()
+        before = cache.enabled
+        with cache_override(not before):
+            assert cache.enabled is not before
+        assert cache.enabled is before
+
+    def test_configure_validates(self):
+        with pytest.raises(ValueError):
+            configure_cache(max_entries=0)

@@ -1,0 +1,112 @@
+"""Execution engine: ordered fan-out, deterministic seeding, fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    EngineConfig,
+    current_config,
+    get_registry,
+    parallel,
+    run_tasks,
+    spawn_seeds,
+    welford_merge,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _entropy(seed_seq):
+    return seed_seq.entropy
+
+
+class TestRunTasks:
+    def test_sequential_preserves_order(self):
+        assert run_tasks(_square, range(7)) == [x * x for x in range(7)]
+
+    def test_parallel_matches_sequential(self):
+        tasks = list(range(11))
+        expected = run_tasks(_square, tasks)
+        with parallel(workers=2):
+            assert run_tasks(_square, tasks) == expected
+
+    def test_empty_task_list(self):
+        assert run_tasks(_square, []) == []
+
+    def test_unpicklable_fn_falls_back_to_sequential(self):
+        reg = get_registry()
+        before = reg.counter("engine.pickle_fallback")
+        with parallel(workers=2):
+            result = run_tasks(lambda x: x + 1, [1, 2, 3])
+        assert result == [2, 3, 4]
+        assert reg.counter("engine.pickle_fallback") == before + 1
+
+    def test_explicit_workers_override(self):
+        assert run_tasks(_square, [1, 2, 3], workers=2) == [1, 4, 9]
+
+
+class TestConfig:
+    def test_default_is_sequential(self):
+        assert current_config().workers == 1
+
+    def test_context_nesting_restores(self):
+        with parallel(workers=3):
+            assert current_config().workers == 3
+            with parallel(workers=2):
+                assert current_config().workers == 2
+            assert current_config().workers == 3
+        assert current_config().workers == 1
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(workers=0)
+
+
+class TestSeeding:
+    def test_spawn_is_deterministic(self):
+        a = spawn_seeds(42, 5)
+        b = spawn_seeds(42, 5)
+        assert len(a) == 5
+        for sa, sb in zip(a, b):
+            va = np.random.default_rng(sa).random(4)
+            vb = np.random.default_rng(sb).random(4)
+            np.testing.assert_array_equal(va, vb)
+
+    def test_children_are_independent(self):
+        a, b = spawn_seeds(0, 2)
+        va = np.random.default_rng(a).random(8)
+        vb = np.random.default_rng(b).random(8)
+        assert (va != vb).any()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestWelfordMerge:
+    def test_merge_matches_numpy_moments(self):
+        rng = np.random.default_rng(5)
+        xs = rng.normal(size=(40, 6))
+        partials = []
+        for lo in range(0, 40, 10):
+            chunk = xs[lo : lo + 10]
+            mean = np.zeros(6)
+            m2 = np.zeros(6)
+            for k, row in enumerate(chunk, start=1):
+                delta = row - mean
+                mean += delta / k
+                m2 += delta * (row - mean)
+            partials.append((len(chunk), mean, m2))
+        count, mean, m2 = 0, 0.0, 0.0
+        for p in partials:
+            count, mean, m2 = welford_merge((count, mean, m2), p)
+        assert count == 40
+        np.testing.assert_allclose(mean, xs.mean(axis=0), rtol=1e-12)
+        np.testing.assert_allclose(m2 / 39, xs.var(axis=0, ddof=1), rtol=1e-12)
+
+    def test_empty_side_is_identity(self):
+        part = (3, np.array([1.0]), np.array([0.5]))
+        assert welford_merge((0, 0.0, 0.0), part) == part
+        assert welford_merge(part, (0, 0.0, 0.0)) == part

@@ -1,0 +1,75 @@
+"""Metrics registry: counters, timers, rendering."""
+
+import json
+
+from repro.engine.metrics import MetricsRegistry
+
+
+class TestCounters:
+    def test_increment_and_read(self):
+        reg = MetricsRegistry()
+        reg.increment("x")
+        reg.increment("x", by=2)
+        assert reg.counter("x") == 3
+        assert reg.counter("never") == 0
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.increment("x")
+        reg.observe("t", 0.5)
+        reg.reset()
+        assert reg.counter("x") == 0
+        assert reg.snapshot() == {"counters": {}, "timers": {}}
+
+
+class TestTimers:
+    def test_observe_aggregates(self):
+        reg = MetricsRegistry()
+        reg.observe("solve", 0.25, n_states=10)
+        reg.observe("solve", 0.75, n_states=30)
+        snap = reg.snapshot()["timers"]["solve"]
+        assert snap["calls"] == 2
+        assert snap["total_seconds"] == 1.0
+        assert snap["mean_seconds"] == 0.5
+        assert snap["gauges"]["n_states"] == 40.0
+        assert snap["last"]["n_states"] == 30.0
+
+    def test_timer_context_records_gauges(self):
+        reg = MetricsRegistry()
+        with reg.timer("block") as meta:
+            meta["size"] = 7
+            meta["note"] = "ignored: not numeric"
+        snap = reg.snapshot()["timers"]["block"]
+        assert snap["calls"] == 1
+        assert snap["total_seconds"] >= 0.0
+        assert snap["gauges"] == {"size": 7.0}
+
+    def test_timer_records_on_exception(self):
+        reg = MetricsRegistry()
+        try:
+            with reg.timer("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert reg.snapshot()["timers"]["failing"]["calls"] == 1
+
+
+class TestRendering:
+    def test_render_mentions_names(self):
+        reg = MetricsRegistry()
+        reg.increment("cache.hit", by=3)
+        reg.observe("derive", 0.01, n_states=100)
+        text = reg.render()
+        assert "derive" in text
+        assert "cache.hit" in text
+
+    def test_render_empty(self):
+        assert "no metrics recorded" in MetricsRegistry().render()
+
+    def test_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.increment("c")
+        reg.observe("t", 0.1, iterations=5)
+        data = json.loads(reg.to_json())
+        assert data["counters"]["c"] == 1
+        assert data["timers"]["t"]["gauges"]["iterations"] == 5.0

@@ -1,0 +1,71 @@
+"""The shared sampled-CDF quantile: exact hits, plateaus, interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericsError
+from repro.numerics import cdf_quantile
+
+
+class TestExactHits:
+    def test_exact_grid_value_returns_exact_grid_time(self):
+        # Grid times chosen so naive interpolation t0 + 1.0*(t1-t0) would
+        # NOT reproduce t1 exactly in floating point.
+        times = np.array([0.1, 0.3, 0.7])
+        cdf = np.array([0.0, 0.5, 1.0])
+        assert cdf_quantile(times, cdf, 0.5) == 0.3
+        assert cdf_quantile(times, cdf, 1.0) == 0.7
+
+    def test_exact_value_on_plateau_returns_first_attaining_time(self):
+        times = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        cdf = np.array([0.0, 0.5, 0.5, 0.5, 0.8])
+        assert cdf_quantile(times, cdf, 0.5) == 1.0
+
+    def test_level_below_first_sample(self):
+        times = np.array([2.0, 3.0])
+        cdf = np.array([0.4, 1.0])
+        assert cdf_quantile(times, cdf, 0.25) == 2.0
+        assert cdf_quantile(times, cdf, 0.0) == 2.0
+
+
+class TestInterpolation:
+    def test_linear_between_brackets(self):
+        times = np.array([0.0, 1.0])
+        cdf = np.array([0.0, 1.0])
+        assert cdf_quantile(times, cdf, 0.25) == pytest.approx(0.25)
+        assert cdf_quantile(times, cdf, 0.75) == pytest.approx(0.75)
+
+    def test_level_above_plateau_interpolates_past_it(self):
+        times = np.array([0.0, 1.0, 2.0, 3.0])
+        cdf = np.array([0.0, 0.5, 0.5, 1.0])
+        # F crosses 0.75 halfway between t=2 and t=3, never before.
+        assert cdf_quantile(times, cdf, 0.75) == pytest.approx(2.5)
+
+    def test_monotone_in_q(self):
+        rng = np.random.default_rng(3)
+        times = np.linspace(0.0, 5.0, 50)
+        cdf = np.minimum(1.0, np.maximum.accumulate(rng.random(50)) * 1.05)
+        levels = np.linspace(0.0, cdf[-1], 20)
+        values = [cdf_quantile(times, cdf, q) for q in levels]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_exponential_median(self):
+        times = np.linspace(0.0, 10.0, 2001)
+        cdf = 1.0 - np.exp(-times)
+        assert cdf_quantile(times, cdf, 0.5) == pytest.approx(np.log(2.0), rel=1e-4)
+
+
+class TestErrors:
+    def test_unreachable_level_raises(self):
+        with pytest.raises(NumericsError, match="extend the time horizon"):
+            cdf_quantile([0.0, 1.0], [0.0, 0.4], 0.9)
+
+    def test_level_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="quantile level"):
+            cdf_quantile([0.0, 1.0], [0.0, 1.0], 1.5)
+        with pytest.raises(ValueError, match="quantile level"):
+            cdf_quantile([0.0, 1.0], [0.0, 1.0], -0.1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            cdf_quantile([0.0, 1.0, 2.0], [0.0, 1.0], 0.5)

@@ -52,6 +52,45 @@ class TestClosedForms:
         assert result[0] == pytest.approx(0.5)
 
 
+class TestReplacedSystem:
+    """The CSR row surgery must build exactly Q^T with its last row
+    replaced by the normalization row of ones."""
+
+    @pytest.mark.parametrize("n", [2, 5, 13])
+    def test_matches_dense_construction(self, n):
+        rng = np.random.default_rng(n)
+        Q = random_generator(rng, n)
+        from repro.numerics.steady import _replaced_system
+
+        A, b = _replaced_system(sp.csr_matrix(Q, dtype=np.float64))
+        expected = np.asarray(Q.todense()).T.copy()
+        expected[n - 1, :] = 1.0
+        np.testing.assert_allclose(A.toarray(), expected, atol=0.0)
+        assert b[n - 1] == 1.0 and (b[:-1] == 0.0).all()
+        assert A.format == "csc"
+
+
+class TestReferenceModelAgreement:
+    """All three back-ends must agree on a reference PEPA model, not just
+    on synthetic random generators."""
+
+    def test_methods_agree_on_pc_lan(self):
+        from repro.engine import cache_disabled
+        from repro.pepa import ctmc_of
+        from repro.pepa.models import get_model
+        from repro.pepa.statespace import derive
+
+        chain = ctmc_of(derive(get_model("pc_lan_4")))
+        with cache_disabled():  # compare the solvers, not cached copies
+            direct = steady_state(chain.generator, method="direct")
+            gmres = steady_state(chain.generator, method="gmres", tol=1e-12)
+            power = steady_state(chain.generator, method="power", tol=1e-12)
+        np.testing.assert_allclose(gmres.pi, direct.pi, atol=1e-8)
+        np.testing.assert_allclose(power.pi, direct.pi, atol=1e-8)
+        assert direct.meta["cache"] == "off"
+        assert power.iterations > 0
+
+
 class TestCrossMethodAgreement:
     @given(seed=st.integers(0, 10_000), n=st.integers(2, 25))
     @settings(max_examples=25, deadline=None)
