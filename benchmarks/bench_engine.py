@@ -48,6 +48,18 @@ def test_steady_state_warm_cache(benchmark, chain):
     get_cache().clear()
 
 
+@pytest.mark.parametrize("backend", ("sparse", "dense", "gmres", "uniformization"))
+def test_steady_backend(benchmark, chain, backend):
+    """Per-backend steady-state cost through the IR registry — the menu
+    the `repro solve --backend` flag chooses from."""
+    from repro.ir import solve
+
+    ir = chain.lower()
+    result = benchmark(solve, ir, "steady", backend=backend)
+    assert result.meta["backend"] == backend
+    assert abs(result.pi.sum() - 1.0) < 1e-9
+
+
 def test_ssa_ensemble_smoke(benchmark):
     """SSA ensemble through the chunked engine path; moments must be sane."""
     from repro.biopepa import ssa_ensemble

@@ -85,6 +85,7 @@ def finishing_time_cdf(
     times: np.ndarray | None = None,
     horizon_means: float = 4.0,
     grid_points: int = 200,
+    method: str = "uniformization",
 ) -> FinishingTime:
     """Finishing-time CDF of ``machine`` under ``mapping``.
 
@@ -94,13 +95,17 @@ def finishing_time_cdf(
         Explicit evaluation grid; when omitted, a uniform grid over
         ``[0, horizon_means * mean]`` with ``grid_points`` samples is
         used (matching the paper's plots, which span a few means).
+    method:
+        Passage backend, forwarded to
+        :func:`repro.pepa.passage.passage_time_cdf` —
+        ``"uniformization"`` (default) or ``"expm"``.
     """
     with get_registry().timer("finishing_time_cdf"):
         result, status = cached(
             "finishing_cdf",
-            (mapping, machine, workload, times, horizon_means, grid_points),
+            (mapping, machine, workload, times, horizon_means, grid_points, method),
             lambda: _compute_finishing_time(
-                mapping, machine, workload, times, horizon_means, grid_points
+                mapping, machine, workload, times, horizon_means, grid_points, method
             ),
         )
     result.meta["cache"] = status
@@ -114,6 +119,7 @@ def _compute_finishing_time(
     times: np.ndarray | None,
     horizon_means: float,
     grid_points: int,
+    method: str,
 ) -> FinishingTime:
     model = build_machine_model(mapping, machine, workload, absorbing=True)
     chain = ctmc_of(derive(model))
@@ -121,7 +127,7 @@ def _compute_finishing_time(
     mean = passage_time_mean(chain, target)
     if times is None:
         times = np.linspace(0.0, horizon_means * mean, grid_points)
-    result = passage_time_cdf(chain, target, times)
+    result = passage_time_cdf(chain, target, times, method=method)
     return FinishingTime(
         mapping_name=mapping.name,
         machine=machine,
@@ -134,8 +140,8 @@ def _compute_finishing_time(
 
 def _machine_cdf_task(task) -> np.ndarray:
     """Worker: one machine's finishing-time CDF on a shared grid."""
-    mapping, machine, workload, times = task
-    return finishing_time_cdf(mapping, machine, workload, times=times).cdf
+    mapping, machine, workload, times, method = task
+    return finishing_time_cdf(mapping, machine, workload, times=times, method=method).cdf
 
 
 def makespan_cdf(
@@ -143,6 +149,7 @@ def makespan_cdf(
     workload: Workload,
     times: np.ndarray,
     tail_tol: float = 1e-2,
+    method: str = "uniformization",
 ) -> FinishingTime:
     """CDF of the mapping's overall makespan.
 
@@ -168,8 +175,8 @@ def makespan_cdf(
     with get_registry().timer("makespan_cdf") as gauges:
         result, status = cached(
             "makespan_cdf",
-            (mapping, workload, times),
-            lambda: _compute_makespan(mapping, workload, times),
+            (mapping, workload, times, method),
+            lambda: _compute_makespan(mapping, workload, times, method),
         )
         gauges["grid_points"] = times.size
     result.meta["cache"] = status
@@ -185,14 +192,14 @@ def makespan_cdf(
 
 
 def _compute_makespan(
-    mapping: Mapping, workload: Workload, times: np.ndarray
+    mapping: Mapping, workload: Workload, times: np.ndarray, method: str
 ) -> FinishingTime:
     from repro.allocation.mapping import MACHINES
 
     machines = [m for m in MACHINES if mapping.applications_on(m)]
     per_machine = run_tasks(
         _machine_cdf_task,
-        [(mapping, machine, workload, times) for machine in machines],
+        [(mapping, machine, workload, times, method) for machine in machines],
     )
     cdf = np.ones_like(times)
     for machine_cdf in per_machine:  # fixed MACHINES order: deterministic product

@@ -3,8 +3,9 @@
 For small molecule counts the discrete-stochastic semantics is a finite
 CTMC over population vectors.  This back-end enumerates the reachable
 population states by breadth-first search (propensities > 0 gate
-reachability), builds the sparse generator, and reuses the shared
-numerics for steady-state and transient analysis — mirroring the
+reachability), builds the sparse generator, and lowers to
+:class:`repro.ir.MarkovIR` for steady-state and transient analysis
+through the backend registry — mirroring the
 Bio-PEPA plug-in's CTMC export, which the paper notes is limited to
 ~10^11 states (our cap is configurable and much lower by default).
 """
@@ -13,15 +14,15 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.biopepa.model import BioModel
 from repro.errors import BioPepaError, StateSpaceLimitError
-from repro.numerics.steady import SteadyStateResult, steady_state
-from repro.numerics.transient import transient_distribution
+from repro.ir import MarkovIR, solve
+from repro.numerics.steady import SteadyStateResult
 
 __all__ = ["population_ctmc", "PopulationCTMC"]
 
@@ -42,10 +43,29 @@ class PopulationCTMC:
     model: BioModel
     states: np.ndarray
     generator: sp.csr_matrix
+    _ir: MarkovIR | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_states(self) -> int:
         return self.states.shape[0]
+
+    def lower(self) -> MarkovIR:
+        """Lower to the labelled-CTMC IR (memoized per chain).
+
+        Population vectors label the states; the generator is already
+        aggregated, and no per-transition table is needed (the SSA runs
+        on the reaction IR, not on the explicit chain).
+        """
+        if self._ir is None:
+            labels = tuple(
+                ",".join(str(int(v)) for v in row) for row in self.states
+            )
+            object.__setattr__(
+                self,
+                "_ir",
+                MarkovIR(generator=self.generator, initial_index=0, labels=labels),
+            )
+        return self._ir
 
     def state_index(self, populations: Sequence[float]) -> int:
         """Index of an exact population vector (raises if unreachable)."""
@@ -56,13 +76,10 @@ class PopulationCTMC:
         return int(matches[0])
 
     def steady_state(self, method: str = "direct") -> SteadyStateResult:
-        return steady_state(self.generator, method=method)
+        return solve(self.lower(), "steady", backend=method)
 
     def transient(self, times: Sequence[float], pi0: np.ndarray | None = None) -> np.ndarray:
-        if pi0 is None:
-            pi0 = np.zeros(self.n_states)
-            pi0[0] = 1.0
-        return transient_distribution(self.generator, pi0, times)
+        return solve(self.lower(), "transient", times=times, pi0=pi0)
 
     def expected_population(self, distribution: np.ndarray, species: str) -> float:
         """Expected count of ``species`` under a state distribution."""

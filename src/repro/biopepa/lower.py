@@ -1,0 +1,34 @@
+"""Lowering Bio-PEPA models to the shared reaction IR.
+
+A :class:`~repro.biopepa.model.BioModel` *is* a reaction network: the
+lowering is a direct packaging of its species order, initial amounts,
+stoichiometry matrix and kinetic-law propensity vector into
+:class:`repro.ir.ReactionIR`.  The model itself (a frozen, canonically
+hashable dataclass) serves as the cache token, and its bound
+``reaction_rates`` method as the picklable propensity callable — so
+ensemble fan-out over a process pool ships the model, not a closure.
+
+``sampler="choice"`` preserves Bio-PEPA's RNG-consumption discipline
+(``rng.choice`` on normalized propensities), keeping seeded
+trajectories bit-identical to the pre-IR simulator.
+"""
+
+from __future__ import annotations
+
+from repro.biopepa.model import BioModel
+from repro.ir import ReactionIR
+
+__all__ = ["lower_reactions"]
+
+
+def lower_reactions(model: BioModel) -> ReactionIR:
+    """Lower the model's kinetics to a :class:`~repro.ir.ReactionIR`."""
+    return ReactionIR(
+        species=tuple(model.species_names),
+        initial=model.initial_state(),
+        stoichiometry=model.stoichiometry_matrix(),
+        reaction_names=tuple(r.name for r in model.reactions),
+        propensities=model.reaction_rates,
+        sampler="choice",
+        token=model,
+    )

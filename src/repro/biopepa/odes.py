@@ -5,9 +5,10 @@ The continuous interpretation: species amounts evolve as::
     dx/dt = N @ v(x)
 
 with ``N`` the stoichiometry matrix and ``v`` the vector of kinetic-law
-rates.  Trajectories are clipped at zero with a smooth guard: rates of
-reactions whose reactants are exhausted evaluate to zero under mass
-action, and the integrator grid keeps states physical.
+rates.  The integration is done by the ``ode`` capability of the
+backend registry (``scipy`` for ``solve_ivp`` methods, ``rk4`` for the
+deterministic fixed-step integrator); trajectories are clipped at zero
+by the backend, keeping states physical.
 """
 
 from __future__ import annotations
@@ -17,8 +18,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.biopepa.lower import lower_reactions
 from repro.biopepa.model import BioModel
-from repro.numerics.ode import integrate_ode, rk4_fixed_step
+from repro.errors import BioPepaError, reraise_ir_errors
+from repro.ir import solve
 
 __all__ = ["ode_trajectory", "OdeTrajectory"]
 
@@ -61,18 +64,13 @@ def ode_trajectory(
         fixed-step integrator (bit-identical across runs, used by the
         container-validation harness).
     """
-    N = model.stoichiometry_matrix()
-    y0 = model.initial_state() if initial is None else np.asarray(initial, dtype=float)
-
-    def rhs(_t: float, y: np.ndarray) -> np.ndarray:
-        # Clamp transient negative round-off before evaluating laws that
-        # may divide by species amounts.
-        rates = model.reaction_rates(np.clip(y, 0.0, None))
-        return N @ rates
-
-    if method == "rk4":
-        amounts = rk4_fixed_step(rhs, y0, times)
-    else:
-        amounts = integrate_ode(rhs, y0, times, method=method, rtol=rtol, atol=atol)
-    amounts = np.clip(amounts, 0.0, None)
+    ir = lower_reactions(model)
+    with reraise_ir_errors(BioPepaError):
+        if method == "rk4":
+            amounts = solve(ir, "ode", backend="rk4", times=times, initial=initial)
+        else:
+            amounts = solve(
+                ir, "ode", times=times, initial=initial,
+                method=method, rtol=rtol, atol=atol,
+            )
     return OdeTrajectory(model=model, times=np.asarray(times, dtype=float), amounts=amounts)

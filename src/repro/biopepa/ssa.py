@@ -2,8 +2,10 @@
 
 The discrete-stochastic interpretation: species are integer molecule
 counts; each reaction fires with propensity given by its kinetic law at
-the current counts.  The direct method is implemented with a
-pre-computed stoichiometry matrix and vectorized propensity evaluation.
+the current counts.  The simulation loop lives in the shared backend
+(:mod:`repro.ir.backends.ssa`) — this module only lowers the model
+(:func:`repro.biopepa.lower.lower_reactions`) and rewraps the results
+in Bio-PEPA's own result types.
 
 Ensembles draw one independent child seed per realization from a single
 ``numpy.random.SeedSequence`` (the engine's deterministic-seeding
@@ -21,10 +23,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.biopepa.lower import lower_reactions
 from repro.biopepa.model import BioModel
-from repro.engine.executor import run_tasks, spawn_seeds, welford_merge
-from repro.engine.metrics import get_registry
-from repro.errors import BioPepaError
+from repro.errors import BioPepaError, reraise_ir_errors
+from repro.ir import solve
 
 __all__ = ["ssa_trajectory", "ssa_ensemble", "SsaTrajectory", "SsaEnsemble"]
 
@@ -69,16 +71,6 @@ class SsaEnsemble:
         return self.var[:, self.model.species_index(species)]
 
 
-def _check_integer_initial(model: BioModel) -> np.ndarray:
-    x0 = model.initial_state()
-    if not np.allclose(x0, np.round(x0)):
-        raise BioPepaError(
-            "SSA requires integer initial amounts; use the ODE semantics for "
-            "continuous concentrations"
-        )
-    return np.round(x0).astype(np.float64)
-
-
 def ssa_trajectory(
     model: BioModel,
     times: Sequence[float],
@@ -92,75 +84,21 @@ def ssa_trajectory(
     times:
         Strictly increasing sample grid starting at the initial time.
     seed:
-        Integer seed or an existing :class:`numpy.random.Generator`
-        (ensembles pass a shared generator).
+        Integer seed or an existing :class:`numpy.random.Generator`.
     max_events:
         Guard against runaway models (propensities that never die out).
     """
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-    grid = np.asarray(times, dtype=np.float64)
-    if grid.ndim != 1 or grid.size < 1:
-        raise BioPepaError("SSA needs a non-empty time grid")
-    if (np.diff(grid) <= 0).any():
-        raise BioPepaError("SSA time grid must be strictly increasing")
-    N = model.stoichiometry_matrix()
-    x = _check_integer_initial(model)
-    out = np.empty((grid.size, x.size))
-    t = float(grid[0])
-    out[0] = x
-    cursor = 1
-    events = 0
-    while cursor < grid.size:
-        props = model.reaction_rates(x)
-        if (props < 0).any():
-            bad = model.reactions[int(np.argmin(props))].name
-            raise BioPepaError(f"negative propensity for reaction {bad!r}")
-        total = float(props.sum())
-        if total == 0.0:
-            # No reaction can fire: the state is frozen for all time.
-            out[cursor:] = x
-            break
-        t += rng.exponential(1.0 / total)
-        # Fill every grid point passed before this event fires.
-        while cursor < grid.size and grid[cursor] <= t:
-            out[cursor] = x
-            cursor += 1
-        if cursor >= grid.size:
-            break
-        r = int(rng.choice(props.size, p=props / total))
-        x = x + N[:, r]
-        if (x < 0).any():
-            rx = model.reactions[r].name
-            raise BioPepaError(
-                f"reaction {rx!r} fired with insufficient reactants — its kinetic "
-                "law does not vanish at zero amounts"
-            )
-        events += 1
-        if events > max_events:
-            raise BioPepaError(f"SSA exceeded {max_events} events before the horizon")
-    return SsaTrajectory(model=model, times=grid, counts=out, n_events=events)
-
-
-#: Realizations per work unit.  Fixed — never derived from the worker
-#: count — so the chunk boundaries, and therefore every floating-point
-#: reduction, are identical however the chunks are scheduled.
-_CHUNK_RUNS = 25
-
-
-def _ssa_chunk(task) -> tuple[int, np.ndarray, np.ndarray, int]:
-    """Worker: Welford partials ``(count, mean, m2, events)`` over one
-    chunk of independently seeded realizations."""
-    model, grid, seeds = task
-    mean = np.zeros((grid.size, len(model.species)))
-    m2 = np.zeros_like(mean)
-    events = 0
-    for k, seed_seq in enumerate(seeds, start=1):
-        traj = ssa_trajectory(model, grid, seed=np.random.default_rng(seed_seq))
-        delta = traj.counts - mean
-        mean += delta / k
-        m2 += delta * (traj.counts - mean)
-        events += traj.n_events
-    return len(seeds), mean, m2, events
+    with reraise_ir_errors(BioPepaError):
+        traj = solve(
+            lower_reactions(model),
+            "ssa",
+            times=times,
+            seed=seed,
+            max_events=max_events,
+        )
+    return SsaTrajectory(
+        model=model, times=traj.times, counts=traj.counts, n_events=traj.n_events
+    )
 
 
 def ssa_ensemble(
@@ -168,6 +106,7 @@ def ssa_ensemble(
     times: Sequence[float],
     n_runs: int = 100,
     seed: int = 0,
+    method: str = "direct",
 ) -> SsaEnsemble:
     """Mean and sample variance over ``n_runs`` independent realizations.
 
@@ -182,32 +121,27 @@ def ssa_ensemble(
     ``var`` uses the unbiased ``ddof=1`` normalization ``m2 / (n_runs -
     1)``; dividing by ``n_runs`` would be the biased population-variance
     estimator.
+
+    ``method`` selects the ``ssa`` backend: ``"direct"`` (Gillespie,
+    the default) or ``"next-reaction"`` (Anderson's modified
+    next-reaction method; statistically equivalent, different RNG
+    stream).
     """
-    if n_runs < 1:
-        raise BioPepaError("ensemble needs at least one run")
-    grid = np.asarray(times, dtype=np.float64)
-    seeds = spawn_seeds(seed, n_runs)
-    with get_registry().timer("ssa_ensemble") as gauges:
-        tasks = [
-            (model, grid, seeds[lo : lo + _CHUNK_RUNS])
-            for lo in range(0, n_runs, _CHUNK_RUNS)
-        ]
-        partials = run_tasks(_ssa_chunk, tasks)
-        count, mean, m2 = 0, 0.0, 0.0
-        events = 0
-        for chunk_count, chunk_mean, chunk_m2, chunk_events in partials:
-            count, mean, m2 = welford_merge(
-                (count, mean, m2), (chunk_count, chunk_mean, chunk_m2)
-            )
-            events += chunk_events
-        var = m2 / (n_runs - 1) if n_runs > 1 else np.zeros_like(m2)
-        gauges["n_runs"] = n_runs
-        gauges["events"] = events
+    with reraise_ir_errors(BioPepaError):
+        ens = solve(
+            lower_reactions(model),
+            "ssa",
+            backend=method,
+            mode="ensemble",
+            times=times,
+            n_runs=n_runs,
+            seed=seed,
+        )
     return SsaEnsemble(
         model=model,
-        times=grid,
-        mean=mean,
-        var=var,
+        times=ens.times,
+        mean=ens.mean,
+        var=ens.var,
         n_runs=n_runs,
-        meta={"events": events, "chunks": len(tasks)},
+        meta=dict(ens.meta),
     )

@@ -16,6 +16,10 @@ Subcommands mirror the workflow of the paper::
     repro hub --root ./hub list COLLECTION
     repro hub --root ./hub pull COLLECTION NAME TAG -o out.img.json
 
+    repro solve model.pepa --backend dense          # IR backend registry
+    repro solve model.biopepa --capability ssa --runs 200
+    repro solve --list-backends
+
     repro experiment fig3                           # regenerate a paper artifact
     repro metrics fig3 --workers 4                  # same, with solver metrics
 
@@ -238,6 +242,119 @@ def _experiment_command(args: argparse.Namespace) -> int:
     return 0
 
 
+_SOLVE_SUFFIXES = {
+    ".pepa": "pepa",
+    ".biopepa": "biopepa",
+    ".gpepa": "gpepa",
+}
+
+
+def _solve_lower(formalism: str, source: str, capability: str):
+    """Lower ``source`` to the IR the requested capability runs on."""
+    markov = capability in ("steady", "transient")
+    if formalism == "pepa":
+        from repro.pepa import ctmc_of, derive, parse_model
+
+        chain = ctmc_of(derive(parse_model(source)))
+        return chain.lower(), tuple(
+            chain.space.state_label(i) for i in range(chain.n_states)
+        )
+    if formalism == "biopepa":
+        from repro.biopepa import parse_biopepa, population_ctmc
+
+        model = parse_biopepa(source)
+        if markov:
+            chain = population_ctmc(model)
+            return chain.lower(), chain.lower().labels
+        from repro.biopepa.lower import lower_reactions
+
+        ir = lower_reactions(model)
+        return ir, ir.species
+    # gpepa: population semantics only (no finite global CTMC is derived).
+    from repro.gpepa import parse_gpepa
+    from repro.gpepa.lower import lower_reactions as lower_grouped
+
+    if markov:
+        print(
+            "error: capability requires a finite CTMC; the gpepa frontend "
+            "lowers to population dynamics — use --capability ode or ssa",
+            file=sys.stderr,
+        )
+        return None, None
+    ir = lower_grouped(parse_gpepa(source))
+    return ir, ir.species
+
+
+def _print_top(labels, values, top: int) -> None:
+    order = sorted(range(len(values)), key=lambda i: -values[i])[:top]
+    for i in order:
+        print(f"  {labels[i]:40s} {values[i]:.6g}")
+
+
+def _solve_command(args: argparse.Namespace) -> int:
+    """Solve one model through the IR backend registry."""
+    import numpy as np
+
+    from repro.ir import available_backends, default_backend
+    from repro.ir import solve as ir_solve
+
+    if args.list_backends:
+        for capability, names in available_backends().items():
+            default = default_backend(capability)
+            rendered = ", ".join(
+                name + (" (default)" if name == default else "") for name in names
+            )
+            print(f"{capability:10s} {rendered}")
+        return 0
+    if not args.model:
+        print("error: provide a model file or --list-backends", file=sys.stderr)
+        return 2
+    formalism = args.formalism
+    if formalism == "auto":
+        formalism = _SOLVE_SUFFIXES.get(pathlib.Path(args.model).suffix.lower())
+        if formalism is None:
+            print(
+                "error: cannot infer the formalism from the file suffix; "
+                "pass --formalism pepa|biopepa|gpepa",
+                file=sys.stderr,
+            )
+            return 2
+    source = pathlib.Path(args.model).read_text()
+    ir, labels = _solve_lower(formalism, source, args.capability)
+    if ir is None:
+        return 2
+    times = np.linspace(0.0, args.horizon, args.points)
+    if args.capability == "steady":
+        result = ir_solve(ir, "steady", backend=args.backend)
+        print(
+            f"steady state: {ir.n_states} states, backend "
+            f"{result.meta.get('backend', result.method)}, residual "
+            f"{result.residual:.3g}"
+        )
+        _print_top(labels, result.pi, args.top)
+        return 0
+    if args.capability == "transient":
+        dist = ir_solve(ir, "transient", backend=args.backend, times=times)
+        print(f"transient distribution at t={args.horizon:g}:")
+        _print_top(labels, dist[-1], args.top)
+        return 0
+    if args.capability == "ode":
+        traj = ir_solve(ir, "ode", backend=args.backend, times=times)
+        print(f"ode solution at t={args.horizon:g}:")
+        _print_top(labels, traj[-1], args.top)
+        return 0
+    ens = ir_solve(
+        ir, "ssa", backend=args.backend, mode="ensemble",
+        times=times, n_runs=args.runs, seed=args.seed,
+    )
+    print(
+        f"ssa ensemble mean at t={args.horizon:g} "
+        f"({args.runs} runs, seed {args.seed}):"
+    )
+    _print_top(labels, ens.mean[-1], args.top)
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -359,6 +476,43 @@ def build_arg_parser() -> argparse.ArgumentParser:
     hp = hub_sub.add_parser("list")
     hp.add_argument("collection")
     hp.set_defaults(func=_hub_command)
+
+    p = sub.add_parser(
+        "solve",
+        help="solve a model through the shared IR backend registry",
+    )
+    p.add_argument("model", nargs="?", help="model file (.pepa/.biopepa/.gpepa)")
+    p.add_argument(
+        "--formalism",
+        choices=("auto", "pepa", "biopepa", "gpepa"),
+        default="auto",
+        help="frontend; 'auto' infers it from the file suffix",
+    )
+    p.add_argument(
+        "--capability",
+        choices=("steady", "transient", "ssa", "ode"),
+        default="steady",
+    )
+    p.add_argument(
+        "--backend",
+        help="registered backend name (see --list-backends); default per "
+        "capability",
+    )
+    p.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list the registered backends per capability and exit",
+    )
+    p.add_argument("--horizon", type=float, default=10.0,
+                   help="end of the time grid for time-based capabilities")
+    p.add_argument("--points", type=_positive_int, default=101,
+                   help="grid points over [0, horizon]")
+    p.add_argument("--runs", type=_positive_int, default=100,
+                   help="SSA ensemble size")
+    p.add_argument("--seed", type=int, default=0, help="SSA ensemble seed")
+    p.add_argument("--top", type=_positive_int, default=10,
+                   help="how many states/species to print")
+    p.set_defaults(func=_solve_command)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(

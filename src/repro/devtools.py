@@ -1,0 +1,144 @@
+"""Development-time checks: the import-layering lint.
+
+The refactor to a shared solver IR (:mod:`repro.ir`) only stays a
+refactor if the layering it introduced cannot silently erode — e.g. a
+frontend growing a private numerical loop again, or ``numerics``
+reaching up into a frontend.  This module walks the package with
+:mod:`ast` (no imports are executed) and checks every intra-``repro``
+import against the architecture's layer ranks::
+
+    0  errors                     (leaf: exception taxonomy)
+    1  engine                     (cache, executor, metrics)
+    2  numerics                   (linear algebra, ODE, uniformization)
+    3  ir                         (MarkovIR / ReactionIR + backends)
+    4  pepa, biopepa, gpepa       (frontends; lower() to the IR)
+    5  allocation                 (paper case study, on top of pepa)
+    6  core                       (container framework, wraps the tools)
+    7  experiments                (paper artifacts)
+    8  cli                        (entry point)
+
+A module may import strictly *down* the ranks.  Same-rank imports are
+forbidden (the frontends must stay independent) except for the
+explicitly allowed edges listed in :data:`ALLOWED_EDGES`.
+
+Run as a module for CI: ``python -m repro.devtools`` exits non-zero and
+prints one line per violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+__all__ = ["LAYER_RANKS", "ALLOWED_EDGES", "check_import_layering"]
+
+#: Layer rank of every top-level ``repro`` subpackage/module.
+LAYER_RANKS: dict[str, int] = {
+    "errors": 0,
+    "engine": 1,
+    "numerics": 2,
+    "ir": 3,
+    "pepa": 4,
+    "biopepa": 4,
+    "gpepa": 4,
+    "allocation": 5,
+    "core": 6,
+    "experiments": 7,
+    "cli": 8,
+    "devtools": 9,
+    # The package root docstring imports nothing; rank it above
+    # everything so re-exports could never be flagged.
+    "__init__": 10,
+}
+
+#: Same-rank (or upward) imports that are architecturally intended:
+#: GPEPA is grouped *PEPA* — its parser and model reuse the PEPA
+#: component grammar.
+ALLOWED_EDGES: frozenset[tuple[str, str]] = frozenset({("gpepa", "pepa")})
+
+
+def _top_level(module: str) -> str | None:
+    """The ``repro`` subpackage a dotted import path lands in."""
+    parts = module.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+def _imported_repro_packages(tree: ast.AST) -> list[tuple[int, str]]:
+    """``(lineno, subpackage)`` for every intra-``repro`` import."""
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                target = _top_level(alias.name)
+                if target is not None:
+                    found.append((node.lineno, target))
+        elif isinstance(node, ast.ImportFrom):
+            # Relative imports (level > 0) stay inside their own
+            # subpackage by construction; only absolute paths can
+            # cross layers.
+            if node.level == 0 and node.module:
+                target = _top_level(node.module)
+                if target is not None:
+                    found.append((node.lineno, target))
+    return found
+
+
+def check_import_layering(package_root: str | pathlib.Path | None = None) -> list[str]:
+    """Lint the package's import graph against :data:`LAYER_RANKS`.
+
+    Returns one human-readable message per violation (empty list =
+    clean).  Unknown subpackages — a new top-level directory nobody
+    assigned a rank — are violations too: the architecture must be
+    extended deliberately, not by accident.
+    """
+    if package_root is None:
+        package_root = pathlib.Path(__file__).resolve().parent
+    root = pathlib.Path(package_root)
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        importer = rel.parts[0].removesuffix(".py")
+        importer_rank = LAYER_RANKS.get(importer)
+        if importer_rank is None:
+            violations.append(
+                f"{rel}: subpackage {importer!r} has no layer rank; "
+                "add it to repro.devtools.LAYER_RANKS"
+            )
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, target in _imported_repro_packages(tree):
+            if target == importer:
+                continue
+            target_rank = LAYER_RANKS.get(target)
+            if target_rank is None:
+                violations.append(
+                    f"{rel}:{lineno}: import of unranked subpackage "
+                    f"repro.{target}; add it to repro.devtools.LAYER_RANKS"
+                )
+                continue
+            if target_rank < importer_rank or (importer, target) in ALLOWED_EDGES:
+                continue
+            direction = "upward" if target_rank > importer_rank else "same-layer"
+            violations.append(
+                f"{rel}:{lineno}: {direction} import repro.{target} "
+                f"(rank {target_rank}) from repro.{importer} "
+                f"(rank {importer_rank})"
+            )
+    return violations
+
+
+def main() -> int:
+    problems = check_import_layering()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} layering violation(s)")
+        return 1
+    print("import layering clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

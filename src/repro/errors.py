@@ -8,6 +8,8 @@ message format.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 
 class ReproError(Exception):
     """Base class for every error raised by the :mod:`repro` library."""
@@ -89,6 +91,41 @@ class GPepaError(ReproError):
 
 class FluidSemanticsError(GPepaError):
     """The grouped model violates a precondition of the fluid translation."""
+
+
+# ---------------------------------------------------------------------------
+# Intermediate representation / solver backends
+# ---------------------------------------------------------------------------
+
+
+class IRError(ReproError):
+    """Base class for intermediate-representation and backend errors.
+
+    The frontend shims catch these and re-raise the frontend's own error
+    type (``PepaError`` / ``BioPepaError`` / ``GPepaError``) with the
+    same message, so existing callers keep their exception contracts.
+    """
+
+
+class BackendError(IRError):
+    """Unknown capability/backend, or a backend rejected the given IR."""
+
+
+class SimulationLimitError(IRError):
+    """A stochastic simulation exceeded its event budget."""
+
+
+@contextmanager
+def reraise_ir_errors(error_type: type[ReproError]):
+    """Convert :class:`IRError` raised in the block into ``error_type``.
+
+    The frontend shims wrap their registry calls in this so callers keep
+    seeing the frontend's own exception class with the backend's message.
+    """
+    try:
+        yield
+    except IRError as exc:
+        raise error_type(str(exc)) from exc
 
 
 # ---------------------------------------------------------------------------

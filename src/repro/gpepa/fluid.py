@@ -14,6 +14,11 @@ and each local transition receives a share of the global rate
 proportional to its contribution within its subtree (normalized-min
 sharing).  The resulting ODE system conserves each group's population
 exactly.
+
+The compiled plan machinery lives in :mod:`repro.gpepa.lower` (it is
+shared with the stochastic simulation and the reaction-IR lowering);
+the integration itself runs through the ``ode`` capability of the
+backend registry.
 """
 
 from __future__ import annotations
@@ -23,82 +28,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.gpepa.model import GroupCooperation, GroupReference, GroupedModel, LocalRate
-from repro.numerics.ode import integrate_ode, rk4_fixed_step
+from repro.errors import GPepaError, reraise_ir_errors
+from repro.gpepa.lower import (  # noqa: F401  (re-exported for lna/rewards)
+    PlanRhs,
+    _FluidSystem,
+    _group_flows,
+    _plan_apply,
+    _plan_rate,
+    lower_reactions,
+)
+from repro.gpepa.model import GroupedModel
+from repro.ir import solve
 
 __all__ = ["fluid_rhs", "fluid_trajectory", "FluidTrajectory", "action_rate"]
-
-
-def _group_flows(
-    model: GroupedModel, label: str, action: str
-) -> list[LocalRate]:
-    return [t for t in model.transitions if t.group == label and t.action == action]
-
-
-class _FluidSystem:
-    """Pre-compiled flow structure: for each action, the tree of flow
-    lists, so the RHS evaluation allocates nothing per step beyond the
-    numpy temporaries."""
-
-    def __init__(self, model: GroupedModel):
-        self.model = model
-        self.actions = sorted(model.actions)
-        # Per action: evaluation plan as a nested structure mirroring the
-        # composition tree; leaves carry (src_indices, tgt_indices, rates).
-        self.plans = {a: self._compile(model.system, a) for a in self.actions}
-
-    def _compile(self, node, action: str):
-        if isinstance(node, GroupReference):
-            flows = _group_flows(self.model, node.label, action)
-            src = np.array([f.source for f in flows], dtype=np.intp)
-            tgt = np.array([f.target for f in flows], dtype=np.intp)
-            rates = np.array([f.rate for f in flows], dtype=np.float64)
-            return ("leaf", src, tgt, rates)
-        assert isinstance(node, GroupCooperation)
-        left = self._compile(node.left, action)
-        right = self._compile(node.right, action)
-        shared = action in node.actions
-        return ("coop", shared, left, right)
-
-def _plan_rate(plan, x: np.ndarray) -> float:
-    """Unthrottled apparent rate of a compiled subtree."""
-    if plan[0] == "leaf":
-        _tag, src, _tgt, rates = plan
-        if src.size == 0:
-            return 0.0
-        return float(np.dot(x[src], rates))
-    _tag, shared, left, right = plan
-    rl = _plan_rate(left, x)
-    rr = _plan_rate(right, x)
-    return min(rl, rr) if shared else rl + rr
-
-
-def _plan_apply(plan, x: np.ndarray, dx: np.ndarray, scale: float) -> None:
-    """Accumulate throttled flows into ``dx``.
-
-    ``scale`` is the ratio of the rate granted from above to this
-    subtree's own apparent rate (1.0 when unthrottled).
-    """
-    if scale == 0.0:
-        return
-    if plan[0] == "leaf":
-        _tag, src, tgt, rates = plan
-        if src.size == 0:
-            return
-        flow = x[src] * rates * scale
-        np.subtract.at(dx, src, flow)
-        np.add.at(dx, tgt, flow)
-        return
-    _tag, shared, left, right = plan
-    if not shared:
-        _plan_apply(left, x, dx, scale)
-        _plan_apply(right, x, dx, scale)
-        return
-    rl = _plan_rate(left, x)
-    rr = _plan_rate(right, x)
-    granted = min(rl, rr) * scale
-    _plan_apply(left, x, dx, 0.0 if rl == 0.0 else granted / rl)
-    _plan_apply(right, x, dx, 0.0 if rr == 0.0 else granted / rr)
 
 
 def action_rate(model: GroupedModel, action: str, x: np.ndarray) -> float:
@@ -112,20 +54,7 @@ def action_rate(model: GroupedModel, action: str, x: np.ndarray) -> float:
 
 def fluid_rhs(model: GroupedModel):
     """Compile the fluid ODE right-hand side ``f(t, x) -> dx/dt``."""
-    system = _FluidSystem(model)
-    plans = list(system.plans.values())
-    n = model.n_states
-
-    def rhs(_t: float, x: np.ndarray) -> np.ndarray:
-        # Negative excursions from integrator round-off are clamped so
-        # apparent rates stay physical.
-        xc = np.clip(x, 0.0, None)
-        dx = np.zeros(n)
-        for plan in plans:
-            _plan_apply(plan, xc, dx, 1.0)
-        return dx
-
-    return rhs
+    return PlanRhs(model)
 
 
 @dataclass(frozen=True)
@@ -165,13 +94,14 @@ def fluid_trajectory(
     ``method="rk4"`` selects the deterministic fixed-step integrator
     (bit-identical output for container validation).
     """
-    rhs = fluid_rhs(model)
-    x0 = model.initial_state()
-    if method == "rk4":
-        counts = rk4_fixed_step(rhs, x0, times)
-    else:
-        counts = integrate_ode(rhs, x0, times, method=method, rtol=rtol, atol=atol)
-    counts = np.clip(counts, 0.0, None)
+    ir = lower_reactions(model)
+    with reraise_ir_errors(GPepaError):
+        if method == "rk4":
+            counts = solve(ir, "ode", backend="rk4", times=times)
+        else:
+            counts = solve(
+                ir, "ode", times=times, method=method, rtol=rtol, atol=atol
+            )
     return FluidTrajectory(
         model=model, times=np.asarray(times, dtype=np.float64), counts=counts
     )

@@ -30,7 +30,7 @@ import numpy as np
 from repro.errors import GPepaError
 from repro.gpepa.fluid import _FluidSystem, fluid_rhs
 from repro.gpepa.model import GroupedModel
-from repro.gpepa.simulation import _transition_propensities
+from repro.gpepa.lower import _transition_propensities
 from repro.numerics.ode import integrate_ode
 
 __all__ = ["lna_trajectory", "LnaTrajectory"]

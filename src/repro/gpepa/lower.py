@@ -1,0 +1,292 @@
+"""Lowering grouped PEPA models to the shared reaction IR.
+
+The Hayden–Bradley fluid semantics compiles, per action, an evaluation
+*plan* mirroring the composition tree — leaves carry the group's local
+transitions, cooperation nodes apply min (shared action) or sum
+(unshared) with normalized-min sharing.  This module owns that compiled
+form and packages it as a :class:`repro.ir.ReactionIR`:
+
+* each local transition of each action's plan becomes one *reaction*
+  with stoichiometry ``-1`` source / ``+1`` target (self-loops give a
+  zero column: a no-op firing that still consumes RNG draws, exactly
+  like the pre-IR simulator);
+* :class:`PlanPropensities` evaluates the throttled per-transition
+  flows into the fixed reaction slots (``sampler="scan"`` preserves
+  GPEPA's RNG discipline: zero-propensity slots neither accumulate nor
+  fire);
+* :class:`PlanRhs` is the fluid right-hand side — the net flows are
+  *not* a plain ``N @ v(x)`` once min-sharing throttles subtrees, so
+  the IR carries it as a custom ``rhs``.
+
+Both callables are small classes (not closures) so ensemble fan-out can
+pickle them onto a process pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpepa.model import GroupCooperation, GroupReference, GroupedModel, LocalRate
+from repro.ir import ReactionIR
+
+__all__ = [
+    "lower_reactions",
+    "model_token",
+    "PlanPropensities",
+    "PlanRhs",
+]
+
+
+def _group_flows(
+    model: GroupedModel, label: str, action: str
+) -> list[LocalRate]:
+    return [t for t in model.transitions if t.group == label and t.action == action]
+
+
+class _FluidSystem:
+    """Pre-compiled flow structure: for each action, the tree of flow
+    lists, so the RHS evaluation allocates nothing per step beyond the
+    numpy temporaries."""
+
+    def __init__(self, model: GroupedModel):
+        self.model = model
+        self.actions = sorted(model.actions)
+        # Per action: evaluation plan as a nested structure mirroring the
+        # composition tree; leaves carry (src_indices, tgt_indices, rates).
+        self.plans = {a: self._compile(model.system, a) for a in self.actions}
+
+    def _compile(self, node, action: str):
+        if isinstance(node, GroupReference):
+            flows = _group_flows(self.model, node.label, action)
+            src = np.array([f.source for f in flows], dtype=np.intp)
+            tgt = np.array([f.target for f in flows], dtype=np.intp)
+            rates = np.array([f.rate for f in flows], dtype=np.float64)
+            return ("leaf", src, tgt, rates)
+        assert isinstance(node, GroupCooperation)
+        left = self._compile(node.left, action)
+        right = self._compile(node.right, action)
+        shared = action in node.actions
+        return ("coop", shared, left, right)
+
+
+def _plan_rate(plan, x: np.ndarray) -> float:
+    """Unthrottled apparent rate of a compiled subtree.
+
+    Works on plain and slot-decorated plans alike (the leaf's extra
+    slot offset sits past the fields read here).
+    """
+    if plan[0] == "leaf":
+        src, rates = plan[1], plan[3]
+        if src.size == 0:
+            return 0.0
+        return float(np.dot(x[src], rates))
+    _tag, shared, left, right = plan[0], plan[1], plan[2], plan[3]
+    rl = _plan_rate(left, x)
+    rr = _plan_rate(right, x)
+    return min(rl, rr) if shared else rl + rr
+
+
+def _plan_apply(plan, x: np.ndarray, dx: np.ndarray, scale: float) -> None:
+    """Accumulate throttled flows into ``dx``.
+
+    ``scale`` is the ratio of the rate granted from above to this
+    subtree's own apparent rate (1.0 when unthrottled).
+    """
+    if scale == 0.0:
+        return
+    if plan[0] == "leaf":
+        _tag, src, tgt, rates = plan
+        if src.size == 0:
+            return
+        flow = x[src] * rates * scale
+        np.subtract.at(dx, src, flow)
+        np.add.at(dx, tgt, flow)
+        return
+    _tag, shared, left, right = plan
+    if not shared:
+        _plan_apply(left, x, dx, scale)
+        _plan_apply(right, x, dx, scale)
+        return
+    rl = _plan_rate(left, x)
+    rr = _plan_rate(right, x)
+    granted = min(rl, rr) * scale
+    _plan_apply(left, x, dx, 0.0 if rl == 0.0 else granted / rl)
+    _plan_apply(right, x, dx, 0.0 if rr == 0.0 else granted / rr)
+
+
+def _decorate(plan, counter: list[int]):
+    """Assign a contiguous slot range to every leaf, depth-first
+    left-to-right — the canonical reaction order of the lowering."""
+    if plan[0] == "leaf":
+        _tag, src, tgt, rates = plan
+        start = counter[0]
+        counter[0] += src.size
+        return ("leaf", src, tgt, rates, start)
+    _tag, shared, left, right = plan
+    return ("coop", shared, _decorate(left, counter), _decorate(right, counter))
+
+
+def _fill(plan, x: np.ndarray, out: np.ndarray, scale: float) -> None:
+    """Write throttled per-transition flows into their fixed slots.
+
+    Mirrors ``_plan_apply``'s traversal exactly; subtrees whose granted
+    scale is zero are skipped, leaving their slots at 0.0 — which the
+    ``scan`` sampler neither accumulates nor fires, so the RNG stream
+    matches the positive-only scan of the pre-IR simulator.
+    """
+    if scale == 0.0:
+        return
+    if plan[0] == "leaf":
+        _tag, src, _tgt, rates, start = plan
+        if src.size == 0:
+            return
+        out[start : start + src.size] = x[src] * rates * scale
+        return
+    _tag, shared, left, right = plan
+    if not shared:
+        _fill(left, x, out, scale)
+        _fill(right, x, out, scale)
+        return
+    rl = _plan_rate(left, x)
+    rr = _plan_rate(right, x)
+    granted = min(rl, rr) * scale
+    _fill(left, x, out, 0.0 if rl == 0.0 else granted / rl)
+    _fill(right, x, out, 0.0 if rr == 0.0 else granted / rr)
+
+
+def _transition_propensities(plans, x: np.ndarray):
+    """Per-transition propensities at counts ``x`` (positive terms only).
+
+    Returns parallel lists: propensity, source index, target index.
+    Mirrors ``_plan_apply`` but collects per-transition terms instead of
+    accumulating net flows; the LNA diffusion term sums outer products
+    over these.
+    """
+    props: list[float] = []
+    srcs: list[int] = []
+    tgts: list[int] = []
+
+    def walk(plan, scale: float) -> None:
+        if scale == 0.0:
+            return
+        if plan[0] == "leaf":
+            src, tgt, rates = plan[1], plan[2], plan[3]
+            for k in range(src.size):
+                a = float(x[src[k]] * rates[k] * scale)
+                if a > 0.0:
+                    props.append(a)
+                    srcs.append(int(src[k]))
+                    tgts.append(int(tgt[k]))
+            return
+        _tag, shared, left, right = plan[0], plan[1], plan[2], plan[3]
+        if not shared:
+            walk(left, scale)
+            walk(right, scale)
+            return
+        rl = _plan_rate(left, x)
+        rr = _plan_rate(right, x)
+        granted = min(rl, rr) * scale
+        walk(left, 0.0 if rl == 0.0 else granted / rl)
+        walk(right, 0.0 if rr == 0.0 else granted / rr)
+
+    for plan in plans:
+        walk(plan, 1.0)
+    return props, srcs, tgts
+
+
+def _leaves(plan):
+    """Leaf ``(src, tgt)`` arrays in slot-assignment order."""
+    if plan[0] == "leaf":
+        yield plan[1], plan[2]
+        return
+    yield from _leaves(plan[2])
+    yield from _leaves(plan[3])
+
+
+class PlanPropensities:
+    """Per-transition propensities at counts ``x``, in fixed slots."""
+
+    def __init__(self, model: GroupedModel):
+        system = _FluidSystem(model)
+        counter = [0]
+        self.plans = tuple(
+            _decorate(system.plans[a], counter) for a in system.actions
+        )
+        self.n_slots = counter[0]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.n_slots)
+        for plan in self.plans:
+            _fill(plan, x, out, 1.0)
+        return out
+
+
+class PlanRhs:
+    """The fluid ODE right-hand side ``f(t, x) -> dx/dt``."""
+
+    def __init__(self, model: GroupedModel):
+        system = _FluidSystem(model)
+        self.plans = tuple(system.plans.values())
+        self.n_states = model.n_states
+
+    def __call__(self, _t: float, x: np.ndarray) -> np.ndarray:
+        # Negative excursions from integrator round-off are clamped so
+        # apparent rates stay physical.
+        xc = np.clip(x, 0.0, None)
+        dx = np.zeros(self.n_states)
+        for plan in self.plans:
+            _plan_apply(plan, xc, dx, 1.0)
+        return dx
+
+
+def model_token(model: GroupedModel) -> tuple:
+    """Canonically hashable identity of the model's dynamics.
+
+    ``GroupedModel`` is a mutable builder class, so the cache token is a
+    structural digest: state coordinates, local transitions, composition
+    tree and initial counts determine every analysis result.
+    """
+    return (
+        "gpepa",
+        tuple(model.state_names),
+        model.transitions,
+        model.system,
+        tuple(float(v) for v in model.initial_state()),
+    )
+
+
+def lower_reactions(model: GroupedModel) -> ReactionIR:
+    """Lower the grouped model's population dynamics to a
+    :class:`~repro.ir.ReactionIR` (memoized on the model)."""
+    memo = getattr(model, "_reaction_ir", None)
+    if memo is not None:
+        return memo
+    system = _FluidSystem(model)
+    names: list[str] = []
+    sources: list[int] = []
+    targets: list[int] = []
+    for action in system.actions:
+        for src, tgt in _leaves(system.plans[action]):
+            for k in range(src.size):
+                s, t = int(src[k]), int(tgt[k])
+                g_src, d_src = model.state_names[s]
+                _g_tgt, d_tgt = model.state_names[t]
+                names.append(f"{action}:{g_src}.{d_src}->{d_tgt}")
+                sources.append(s)
+                targets.append(t)
+    N = np.zeros((model.n_states, len(names)))
+    for j, (s, t) in enumerate(zip(sources, targets)):
+        N[s, j] -= 1.0
+        N[t, j] += 1.0
+    ir = ReactionIR(
+        species=tuple(f"{g}.{d}" for g, d in model.state_names),
+        initial=model.initial_state(),
+        stoichiometry=N,
+        reaction_names=tuple(names),
+        propensities=PlanPropensities(model),
+        rhs=PlanRhs(model),
+        sampler="scan",
+        token=model_token(model),
+    )
+    model._reaction_ir = ir
+    return ir

@@ -3,27 +3,33 @@
 GPAnalyser offers stochastic simulation alongside fluid analysis; the
 population process of a grouped model is a CTMC whose transition
 propensities are exactly the fluid flow terms evaluated at integer
-counts (min-cooperation shares included).  This module reuses the
-compiled flow plans from :mod:`repro.gpepa.fluid` inside a Gillespie
-loop, giving:
+counts (min-cooperation shares included).  The model lowers to
+:class:`repro.ir.ReactionIR` (:mod:`repro.gpepa.lower`) and the shared
+``ssa`` backend does the stepping, giving:
 
 * single trajectories (:func:`gssa_trajectory`) — jump paths of the
   population process;
 * ensembles (:func:`gssa_ensemble`) — streaming mean/variance, the
   stochastic counterpart the fluid mean is validated against (the
   ensemble mean converges to the fluid solution as populations grow).
+
+Ensembles follow the engine's determinism contract: one
+``SeedSequence(seed)`` child per realization, fixed chunk boundaries,
+bit-identical under ``engine.parallel`` fan-out; ``var`` is the
+unbiased sample variance (``ddof=1``).
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import GPepaError
-from repro.gpepa.fluid import _FluidSystem, _plan_rate
+from repro.errors import GPepaError, reraise_ir_errors
+from repro.gpepa.lower import lower_reactions
 from repro.gpepa.model import GroupedModel
+from repro.ir import solve
 
 __all__ = ["gssa_trajectory", "gssa_ensemble", "GssaTrajectory", "GssaEnsemble"]
 
@@ -50,51 +56,13 @@ class GssaEnsemble:
     mean: np.ndarray
     var: np.ndarray
     n_runs: int
+    meta: dict = field(default_factory=dict, compare=False)
 
     def mean_of(self, group: str, derivative: str) -> np.ndarray:
         return self.mean[:, self.model.index_of(group, derivative)]
 
     def var_of(self, group: str, derivative: str) -> np.ndarray:
         return self.var[:, self.model.index_of(group, derivative)]
-
-
-def _transition_propensities(plans, x: np.ndarray):
-    """Per-transition propensities at counts ``x``.
-
-    Returns parallel lists: propensity, source index, target index.
-    Mirrors ``_plan_apply`` but collects per-transition terms instead of
-    accumulating net flows.
-    """
-    props: list[float] = []
-    srcs: list[int] = []
-    tgts: list[int] = []
-
-    def walk(plan, scale: float) -> None:
-        if scale == 0.0:
-            return
-        if plan[0] == "leaf":
-            _tag, src, tgt, rates = plan
-            for k in range(src.size):
-                a = float(x[src[k]] * rates[k] * scale)
-                if a > 0.0:
-                    props.append(a)
-                    srcs.append(int(src[k]))
-                    tgts.append(int(tgt[k]))
-            return
-        _tag, shared, left, right = plan
-        if not shared:
-            walk(left, scale)
-            walk(right, scale)
-            return
-        rl = _plan_rate(left, x)
-        rr = _plan_rate(right, x)
-        granted = min(rl, rr) * scale
-        walk(left, 0.0 if rl == 0.0 else granted / rl)
-        walk(right, 0.0 if rr == 0.0 else granted / rr)
-
-    for plan in plans:
-        walk(plan, 1.0)
-    return props, srcs, tgts
 
 
 def gssa_trajectory(
@@ -108,50 +76,17 @@ def gssa_trajectory(
     Requires integer initial counts (the jump process lives on the
     lattice); raises :class:`repro.errors.GPepaError` otherwise.
     """
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-    grid = np.asarray(times, dtype=np.float64)
-    if grid.ndim != 1 or grid.size < 1:
-        raise GPepaError("simulation needs a non-empty time grid")
-    if (np.diff(grid) <= 0).any():
-        raise GPepaError("simulation time grid must be strictly increasing")
-    x = model.initial_state()
-    if not np.allclose(x, np.round(x)):
-        raise GPepaError("stochastic simulation requires integer initial counts")
-    x = np.round(x)
-    system = _FluidSystem(model)
-    plans = list(system.plans.values())
-    out = np.empty((grid.size, x.size))
-    out[0] = x
-    t = float(grid[0])
-    cursor = 1
-    events = 0
-    while cursor < grid.size:
-        props, srcs, tgts = _transition_propensities(plans, x)
-        total = float(sum(props))
-        if total == 0.0:
-            out[cursor:] = x
-            break
-        t += rng.exponential(1.0 / total)
-        while cursor < grid.size and grid[cursor] <= t:
-            out[cursor] = x
-            cursor += 1
-        if cursor >= grid.size:
-            break
-        u = rng.random() * total
-        acc = 0.0
-        chosen = len(props) - 1
-        for k, a in enumerate(props):
-            acc += a
-            if u <= acc:
-                chosen = k
-                break
-        x = x.copy()
-        x[srcs[chosen]] -= 1.0
-        x[tgts[chosen]] += 1.0
-        events += 1
-        if events > max_events:
-            raise GPepaError(f"simulation exceeded {max_events} events before the horizon")
-    return GssaTrajectory(model=model, times=grid, counts=out, n_events=events)
+    with reraise_ir_errors(GPepaError):
+        traj = solve(
+            lower_reactions(model),
+            "ssa",
+            times=times,
+            seed=seed,
+            max_events=max_events,
+        )
+    return GssaTrajectory(
+        model=model, times=traj.times, counts=traj.counts, n_events=traj.n_events
+    )
 
 
 def gssa_ensemble(
@@ -160,17 +95,26 @@ def gssa_ensemble(
     n_runs: int = 100,
     seed: int = 0,
 ) -> GssaEnsemble:
-    """Streaming mean/variance over ``n_runs`` independent realizations."""
-    if n_runs < 1:
-        raise GPepaError("ensemble needs at least one run")
-    rng = np.random.default_rng(seed)
-    grid = np.asarray(times, dtype=np.float64)
-    mean = np.zeros((grid.size, model.n_states))
-    m2 = np.zeros_like(mean)
-    for k in range(1, n_runs + 1):
-        traj = gssa_trajectory(model, grid, seed=rng)
-        delta = traj.counts - mean
-        mean += delta / k
-        m2 += delta * (traj.counts - mean)
-    var = m2 / n_runs if n_runs > 1 else np.zeros_like(m2)
-    return GssaEnsemble(model=model, times=grid, mean=mean, var=var, n_runs=n_runs)
+    """Streaming mean/variance over ``n_runs`` independent realizations.
+
+    Realization ``i`` is driven by the ``i``-th ``SeedSequence(seed)``
+    child, so the result is a pure function of ``(model, times, n_runs,
+    seed)`` and reproduces bit-identically under ``engine.parallel``.
+    """
+    with reraise_ir_errors(GPepaError):
+        ens = solve(
+            lower_reactions(model),
+            "ssa",
+            mode="ensemble",
+            times=times,
+            n_runs=n_runs,
+            seed=seed,
+        )
+    return GssaEnsemble(
+        model=model,
+        times=ens.times,
+        mean=ens.mean,
+        var=ens.var,
+        n_runs=n_runs,
+        meta=dict(ens.meta),
+    )

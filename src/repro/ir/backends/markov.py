@@ -1,0 +1,177 @@
+"""CTMC solver backends: steady-state, transient, and passage time.
+
+Thin adapters from :class:`~repro.ir.markov.MarkovIR` onto the shared
+numerics.  ``steady`` delegates to :func:`repro.numerics.steady_state`,
+which carries its own metrics timer and content-addressed cache (keyed
+on the generator), so those registrations opt out of the registry-level
+cache — one cache layer per solve, never two.  ``transient`` and
+``passage`` are pure functions of the IR and their parameters and cache
+at the registry level under ``ir.transient`` / ``ir.passage``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.linalg
+
+from repro.errors import BackendError
+from repro.ir.markov import MarkovIR
+from repro.ir.registry import register_backend
+from repro.numerics.steady import steady_state
+from repro.numerics.transient import (
+    absorption_cdf,
+    expected_hitting_time,
+    transient_distribution,
+)
+
+__all__ = ["PassageSolution", "DENSE_STATE_LIMIT"]
+
+#: Dense (``expm`` / LAPACK) backends refuse larger systems.
+DENSE_STATE_LIMIT = 2000
+
+
+@dataclass(frozen=True)
+class PassageSolution:
+    """A sampled first-passage CDF with its exact mean."""
+
+    times: np.ndarray
+    cdf: np.ndarray
+    mean: float
+    meta: dict = field(default_factory=dict, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# steady
+# ---------------------------------------------------------------------------
+
+def _steady(method):
+    def run(ir: MarkovIR, **params):
+        return steady_state(ir.generator, method=method, **params)
+
+    return run
+
+
+register_backend(
+    "steady",
+    "sparse",
+    _steady("direct"),
+    accepts=(MarkovIR,),
+    aliases=("direct",),
+    cache=False,
+    default=True,
+)
+register_backend(
+    "steady", "dense", _steady("dense"), accepts=(MarkovIR,), cache=False
+)
+register_backend(
+    "steady", "gmres", _steady("gmres"), accepts=(MarkovIR,), cache=False
+)
+register_backend(
+    "steady",
+    "uniformization",
+    _steady("power"),
+    accepts=(MarkovIR,),
+    aliases=("power",),
+    cache=False,
+)
+
+
+# ---------------------------------------------------------------------------
+# transient
+# ---------------------------------------------------------------------------
+
+def _resolve_pi0(ir: MarkovIR, pi0) -> np.ndarray:
+    if pi0 is None:
+        return ir.initial_distribution()
+    return np.asarray(pi0, dtype=np.float64)
+
+
+def _transient_uniformization(ir: MarkovIR, *, times, pi0=None, epsilon=1e-12):
+    return transient_distribution(
+        ir.generator, _resolve_pi0(ir, pi0), times, epsilon
+    )
+
+
+def _check_dense_limit(ir: MarkovIR) -> None:
+    if ir.n_states > DENSE_STATE_LIMIT:
+        raise BackendError(
+            f"dense expm backends are limited to {DENSE_STATE_LIMIT} states "
+            f"(got {ir.n_states}); use uniformization"
+        )
+
+
+def _transient_expm(ir: MarkovIR, *, times, pi0=None, epsilon=1e-12):
+    _check_dense_limit(ir)
+    p0 = _resolve_pi0(ir, pi0)
+    Q = ir.generator.toarray()
+    times = np.asarray(times, dtype=np.float64)
+    out = np.empty((times.size, ir.n_states))
+    for i, t in enumerate(times):
+        out[i] = p0 @ scipy.linalg.expm(Q * t)
+    return out
+
+
+register_backend(
+    "transient",
+    "uniformization",
+    _transient_uniformization,
+    accepts=(MarkovIR,),
+    default=True,
+)
+register_backend("transient", "expm", _transient_expm, accepts=(MarkovIR,))
+
+
+# ---------------------------------------------------------------------------
+# passage
+# ---------------------------------------------------------------------------
+
+def _finish_passage(ir, pi0, targets, times, cdf) -> PassageSolution:
+    cdf = np.clip(cdf, 0.0, 1.0)
+    # Enforce monotonicity against truncation-level round-off.
+    cdf = np.maximum.accumulate(cdf)
+    mean = expected_hitting_time(ir.generator, pi0, targets)
+    return PassageSolution(times=times, cdf=cdf, mean=mean)
+
+
+def _passage_targets(ir: MarkovIR, targets) -> list[int]:
+    targets = [int(s) for s in targets]
+    if not targets:
+        raise BackendError("passage-time target set is empty")
+    return targets
+
+
+def _passage_uniformization(ir: MarkovIR, *, targets, times, pi0=None,
+                            epsilon=1e-12):
+    targets = _passage_targets(ir, targets)
+    p0 = _resolve_pi0(ir, pi0)
+    times = np.asarray(times, dtype=np.float64)
+    cdf = absorption_cdf(ir.generator, p0, targets, times, epsilon)
+    return _finish_passage(ir, p0, targets, times, cdf)
+
+
+def _passage_expm(ir: MarkovIR, *, targets, times, pi0=None, epsilon=1e-12):
+    _check_dense_limit(ir)
+    targets = _passage_targets(ir, targets)
+    p0 = _resolve_pi0(ir, pi0)
+    times = np.asarray(times, dtype=np.float64)
+    Q = ir.generator.toarray()
+    Q[targets, :] = 0.0
+    cdf = np.empty(times.size)
+    for i, t in enumerate(times):
+        dist = p0 @ scipy.linalg.expm(Q * t)
+        cdf[i] = dist[targets].sum()
+    return _finish_passage(ir, p0, targets, times, cdf)
+
+
+register_backend(
+    "passage",
+    "uniformization",
+    _passage_uniformization,
+    accepts=(MarkovIR,),
+    default=True,
+)
+register_backend(
+    "passage", "expm", _passage_expm, accepts=(MarkovIR,), aliases=("dense",)
+)

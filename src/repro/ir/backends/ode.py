@@ -1,0 +1,64 @@
+"""Deterministic (ODE) backends for reaction networks.
+
+Integrates ``dx/dt = N @ v(clip(x, 0))`` — or the IR's custom ``rhs``
+when the frontend's flow computation is richer (GPEPA's normalized-min
+sharing) — with either SciPy's ``solve_ivp`` or the deterministic
+fixed-step RK4 used by the container-validation harness.  Trajectories
+are clipped at zero after integration, matching both pre-IR frontends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.reaction import ReactionIR
+from repro.ir.registry import register_backend
+from repro.numerics.ode import integrate_ode, rk4_fixed_step
+
+__all__ = ["DefaultRhs"]
+
+
+class DefaultRhs:
+    """Picklable default right-hand side ``N @ v(clip(x, 0))``.
+
+    Transient negative round-off is clamped before evaluating laws that
+    may divide by species amounts.
+    """
+
+    def __init__(self, ir: ReactionIR):
+        self.stoichiometry = ir.stoichiometry
+        self.propensities = ir.propensities
+
+    def __call__(self, _t: float, y: np.ndarray) -> np.ndarray:
+        rates = self.propensities(np.clip(y, 0.0, None))
+        return self.stoichiometry @ rates
+
+
+def _rhs_of(ir: ReactionIR):
+    return ir.rhs if ir.rhs is not None else DefaultRhs(ir)
+
+
+def _initial_of(ir: ReactionIR, initial) -> np.ndarray:
+    if initial is None:
+        return np.asarray(ir.initial, dtype=np.float64).copy()
+    return np.asarray(initial, dtype=np.float64)
+
+
+def _ode_scipy(ir: ReactionIR, *, times, initial=None, method="LSODA",
+               rtol=1e-8, atol=1e-10):
+    counts = integrate_ode(
+        _rhs_of(ir), _initial_of(ir, initial), times,
+        method=method, rtol=rtol, atol=atol,
+    )
+    return np.clip(counts, 0.0, None)
+
+
+def _ode_rk4(ir: ReactionIR, *, times, initial=None, **_ignored):
+    counts = rk4_fixed_step(_rhs_of(ir), _initial_of(ir, initial), times)
+    return np.clip(counts, 0.0, None)
+
+
+register_backend(
+    "ode", "scipy", _ode_scipy, accepts=(ReactionIR,), default=True
+)
+register_backend("ode", "rk4", _ode_rk4, accepts=(ReactionIR,))

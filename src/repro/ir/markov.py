@@ -1,0 +1,139 @@
+"""``MarkovIR`` — the explicit labelled-CTMC intermediate representation.
+
+Every frontend whose semantics is a finite continuous-time Markov chain
+(PEPA's derivation graph, Bio-PEPA's population CTMC) lowers to this
+form: a sparse generator in the row convention, an initial state, and —
+when the frontend has them — state labels and a labelled transition
+table for simulation and action-reward queries.
+
+The IR is canonically hashable through the engine's content-addressed
+cache (:func:`repro.engine.canonical_key`): two models that lower to the
+same matrices share every cached solve, whatever frontend produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import IRError
+
+__all__ = ["MarkovIR"]
+
+
+@dataclass(frozen=True, eq=False)
+class MarkovIR:
+    """An explicit labelled CTMC.
+
+    Attributes
+    ----------
+    generator:
+        Sparse ``n x n`` generator ``Q`` (CSR, rows sum to zero,
+        self-loops already removed).
+    initial_index:
+        Index of the initial state (transient/passage analyses start
+        from the unit mass there unless given an explicit ``pi0``).
+    labels:
+        Optional human-readable state labels, ``labels[i]`` for state
+        ``i``.  ``None`` when the frontend has no cheap labelling (e.g.
+        large population CTMCs).
+    trans_source / trans_target / trans_rate / trans_action:
+        Optional labelled transition table (parallel arrays / tuple) in
+        the frontend's derivation order, *including* self-loops.  Drives
+        the SSA backend and per-action reward matrices; ``None`` when
+        the frontend only exposes the aggregated generator.
+    """
+
+    generator: sp.csr_matrix
+    initial_index: int = 0
+    labels: tuple[str, ...] | None = None
+    trans_source: np.ndarray | None = None
+    trans_target: np.ndarray | None = None
+    trans_rate: np.ndarray | None = None
+    trans_action: tuple[str, ...] | None = None
+    _ssa_tables: list | None = field(
+        default=None, repr=False, compare=False, hash=False
+    )
+    _action_rates: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self):
+        n, m = self.generator.shape
+        if n != m:
+            raise IRError(f"MarkovIR generator must be square, got {n}x{m}")
+        if not 0 <= self.initial_index < n:
+            raise IRError(f"initial state {self.initial_index} out of range")
+        if self.labels is not None and len(self.labels) != n:
+            raise IRError(
+                f"{len(self.labels)} labels for {n} states"
+            )
+        table = (self.trans_source, self.trans_target, self.trans_rate)
+        if any(t is not None for t in table) and any(t is None for t in table):
+            raise IRError("transition table must be given completely or not at all")
+
+    @property
+    def n_states(self) -> int:
+        return self.generator.shape[0]
+
+    @property
+    def has_transitions(self) -> bool:
+        return self.trans_source is not None
+
+    def initial_distribution(self) -> np.ndarray:
+        pi0 = np.zeros(self.n_states)
+        pi0[self.initial_index] = 1.0
+        return pi0
+
+    def absorbing_states(self) -> np.ndarray:
+        """Indices of states with zero exit rate."""
+        return np.nonzero(-self.generator.diagonal() <= 0.0)[0]
+
+    def action_rate_matrix(self, action: str) -> sp.csr_matrix:
+        """Sparse matrix of total per-``action`` rates between states
+        (self-loops included — rewards observe them; memoized)."""
+        if not self.has_transitions:
+            raise IRError("this MarkovIR carries no labelled transition table")
+        memo = self._action_rates.get(action)
+        if memo is not None:
+            return memo
+        keep = [k for k, a in enumerate(self.trans_action) if a == action]
+        n = self.n_states
+        R = sp.coo_matrix(
+            (
+                self.trans_rate[keep],
+                (self.trans_source[keep], self.trans_target[keep]),
+            ),
+            shape=(n, n),
+        ).tocsr()
+        self._action_rates[action] = R
+        return R
+
+    def ssa_tables(self) -> list[tuple[np.ndarray, np.ndarray, tuple[str, ...]]]:
+        """Per-state jump tables ``(cum_rates, targets, actions)``.
+
+        Self-loops are excluded (they do not change the state), and the
+        per-state order is the transition-table order restricted to each
+        source — exactly the frontend's derivation order, which keeps
+        seeded paths bit-identical to the pre-IR simulators.  Memoized
+        on the instance (the table is a pure function of the IR).
+        """
+        if self._ssa_tables is not None:
+            return self._ssa_tables
+        if not self.has_transitions:
+            raise IRError("this MarkovIR carries no labelled transition table")
+        per_state: list[list[int]] = [[] for _ in range(self.n_states)]
+        for k in range(self.trans_source.size):
+            s, t = int(self.trans_source[k]), int(self.trans_target[k])
+            if s != t:
+                per_state[s].append(k)
+        tables = []
+        actions = self.trans_action or ("",) * self.trans_source.size
+        for ks in per_state:
+            cum = np.cumsum(self.trans_rate[ks]) if ks else np.empty(0)
+            targets = self.trans_target[ks].astype(np.intp)
+            tables.append((cum, targets, tuple(actions[k] for k in ks)))
+        object.__setattr__(self, "_ssa_tables", tables)
+        return tables

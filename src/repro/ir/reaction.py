@@ -1,0 +1,133 @@
+"""``ReactionIR`` — the species/reaction-vector intermediate representation.
+
+The common numerical form of Bio-PEPA kinetics and GPEPA fluid
+semantics (Ding & Hillston's "numerical representation" of a stochastic
+process algebra): a species vector ``x``, a stoichiometry matrix ``N``
+and a propensity function ``v`` such that
+
+* the deterministic semantics is ``dx/dt = N @ v(x)`` (or a custom
+  ``rhs`` when the frontend's flow computation is not a plain
+  matrix-vector product — GPEPA's normalized-min sharing), and
+* the stochastic semantics is the jump process firing reaction ``r``
+  at rate ``v(x)[r]`` with state change ``N[:, r]``.
+
+``propensities``/``rhs`` are *picklable callables* (bound methods or
+small classes, never closures) so the engine can fan ensemble
+realizations out over a process pool.  They are excluded from the
+content hash; the ``token`` field carries the canonically hashable
+identity of the dynamics instead (the frontend model itself, or a
+structural digest of it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import IRError
+
+__all__ = ["ReactionIR"]
+
+#: RNG-consumption disciplines of the direct-method SSA, preserved per
+#: frontend so seeded trajectories stay bit-identical to the pre-IR
+#: simulators (see :mod:`repro.ir.backends.ssa`).
+_SAMPLERS = ("choice", "scan")
+
+
+@dataclass(frozen=True, eq=False)
+class ReactionIR:
+    """A reaction network in vector form.
+
+    Attributes
+    ----------
+    species:
+        Coordinate labels of the state vector (species names, or
+        ``"group.derivative"`` for grouped models).
+    initial:
+        Initial amounts/counts, ``float64``.
+    stoichiometry:
+        ``(n_species, n_reactions)`` state-change matrix ``N``.
+    reaction_names:
+        One label per reaction (kinetic-law names, or action-derived
+        labels for grouped models).
+    propensities:
+        Picklable callable ``v(x) -> ndarray`` of per-reaction rates at
+        amounts ``x`` (non-negative for valid states).
+    rhs:
+        Optional picklable callable ``f(t, x) -> dx`` overriding the
+        default deterministic right-hand side ``N @ v(clip(x, 0))``.
+    sampler:
+        Reaction-selection discipline of the direct SSA: ``"choice"``
+        (``rng.choice`` on normalized propensities — Bio-PEPA) or
+        ``"scan"`` (linear scan of ``rng.random() * total`` — GPEPA).
+    integer_state:
+        Whether the stochastic semantics requires integer initial
+        amounts (both current frontends do).
+    token:
+        Canonically hashable identity of the dynamics for the engine
+        cache (compared instead of the callables).
+    """
+
+    species: tuple[str, ...]
+    initial: np.ndarray
+    stoichiometry: np.ndarray
+    reaction_names: tuple[str, ...]
+    propensities: Callable = field(compare=False)
+    rhs: Callable | None = field(default=None, compare=False)
+    sampler: str = "choice"
+    integer_state: bool = True
+    token: object = None
+
+    def __post_init__(self):
+        n_species, n_reactions = self.stoichiometry.shape
+        if len(self.species) != n_species:
+            raise IRError(
+                f"{len(self.species)} species but stoichiometry has "
+                f"{n_species} rows"
+            )
+        if len(self.reaction_names) != n_reactions:
+            raise IRError(
+                f"{len(self.reaction_names)} reaction names but stoichiometry "
+                f"has {n_reactions} columns"
+            )
+        if self.initial.shape != (n_species,):
+            raise IRError(
+                f"initial state has shape {self.initial.shape}, expected "
+                f"({n_species},)"
+            )
+        if self.sampler not in _SAMPLERS:
+            raise IRError(
+                f"unknown sampler {self.sampler!r}; expected one of {_SAMPLERS}"
+            )
+
+    @property
+    def n_species(self) -> int:
+        return self.stoichiometry.shape[0]
+
+    @property
+    def n_reactions(self) -> int:
+        return self.stoichiometry.shape[1]
+
+    def species_index(self, name: str) -> int:
+        try:
+            return self.species.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no species {name!r}; have {list(self.species)}"
+            ) from None
+
+    def integer_initial(self) -> np.ndarray:
+        """Initial amounts rounded to the integer lattice.
+
+        Raises :class:`~repro.errors.IRError` when the initial state is
+        not integral and the IR demands it.
+        """
+        x0 = np.asarray(self.initial, dtype=np.float64)
+        if self.integer_state and not np.allclose(x0, np.round(x0)):
+            raise IRError(
+                "stochastic simulation requires integer initial amounts; use "
+                "the ODE semantics for continuous concentrations"
+            )
+        return np.round(x0).astype(np.float64)

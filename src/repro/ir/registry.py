@@ -1,0 +1,152 @@
+"""Solver-backend registry: one dispatch point for every analysis.
+
+Backends register under a ``(capability, name)`` pair; the five
+capabilities are::
+
+    steady      equilibrium distribution of a MarkovIR
+    transient   distribution over a time grid of a MarkovIR
+    passage     first-passage CDF/mean into a target set of a MarkovIR
+    ssa         stochastic trajectories / ensembles (MarkovIR or ReactionIR)
+    ode         deterministic trajectory of a ReactionIR
+
+:func:`solve` resolves the backend (aliases included), checks that it
+accepts the IR's type, and wraps the call in the engine's metrics timer
+(``ir.<capability>``) and — for deterministic capabilities — the
+content-addressed cache under the uniform namespace ``ir.<capability>``,
+keyed on ``(IR, backend, parameters)``.  Capabilities that already cache
+at a lower level (``steady`` delegates to
+:func:`repro.numerics.steady_state`) or that must not cache (``ssa``
+ensembles feed the engine's parallel fan-out and batch counters) opt
+out per registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.engine.cache import cached
+from repro.engine.metrics import get_registry
+from repro.errors import BackendError
+
+__all__ = [
+    "CAPABILITIES",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "default_backend",
+    "solve",
+]
+
+CAPABILITIES = ("steady", "transient", "passage", "ssa", "ode")
+
+
+@dataclass(frozen=True)
+class _Backend:
+    capability: str
+    name: str
+    func: Callable
+    accepts: tuple[type, ...]
+    cache: bool
+
+
+_REGISTRY: dict[tuple[str, str], _Backend] = {}
+_ALIASES: dict[tuple[str, str], str] = {}
+_DEFAULTS: dict[str, str] = {}
+
+
+def register_backend(
+    capability: str,
+    name: str,
+    func: Callable,
+    *,
+    accepts: tuple[type, ...],
+    aliases: tuple[str, ...] = (),
+    cache: bool = True,
+    default: bool = False,
+) -> None:
+    """Register ``func`` as backend ``name`` for ``capability``.
+
+    ``func`` is called as ``func(ir, **params)``.  ``aliases`` map extra
+    names onto this backend (e.g. the numerics method names kept for
+    backward compatibility).  The first registration for a capability —
+    or the one passing ``default=True`` — becomes its default.
+    """
+    if capability not in CAPABILITIES:
+        raise BackendError(
+            f"unknown capability {capability!r}; expected one of {CAPABILITIES}"
+        )
+    _REGISTRY[(capability, name)] = _Backend(capability, name, func, accepts, cache)
+    for alias in aliases:
+        _ALIASES[(capability, alias)] = name
+    if default or capability not in _DEFAULTS:
+        _DEFAULTS[capability] = name
+
+
+def default_backend(capability: str) -> str:
+    """Name of the default backend for ``capability``."""
+    if capability not in _DEFAULTS:
+        raise BackendError(f"no backend registered for capability {capability!r}")
+    return _DEFAULTS[capability]
+
+
+def available_backends(capability: str | None = None) -> dict[str, tuple[str, ...]]:
+    """Mapping ``capability -> registered backend names`` (aliases omitted)."""
+    caps = CAPABILITIES if capability is None else (capability,)
+    return {
+        cap: tuple(
+            name for (c, name) in sorted(_REGISTRY) if c == cap
+        )
+        for cap in caps
+    }
+
+
+def get_backend(capability: str, name: str | None = None) -> _Backend:
+    """Resolve a backend by capability and (possibly aliased) name."""
+    if capability not in CAPABILITIES:
+        raise BackendError(
+            f"unknown capability {capability!r}; expected one of {CAPABILITIES}"
+        )
+    if name is None:
+        name = default_backend(capability)
+    name = _ALIASES.get((capability, name), name)
+    backend = _REGISTRY.get((capability, name))
+    if backend is None:
+        have = available_backends(capability)[capability]
+        raise BackendError(
+            f"no {capability!r} backend named {name!r}; available: {list(have)}"
+        )
+    return backend
+
+
+def solve(ir, capability: str, backend: str | None = None, **params):
+    """Run ``capability`` on ``ir`` with the selected ``backend``.
+
+    Deterministic capabilities are cached under ``ir.<capability>``
+    keyed on ``(ir, backend, params)``; when the result carries a
+    ``meta`` dict, its ``cache`` and ``backend`` entries record how this
+    call was served.
+    """
+    be = get_backend(capability, backend)
+    if not isinstance(ir, be.accepts):
+        names = " or ".join(t.__name__ for t in be.accepts)
+        raise BackendError(
+            f"{capability}/{be.name} accepts {names}, got {type(ir).__name__}"
+        )
+    reg = get_registry()
+    reg.increment(f"ir.{capability}.{be.name}")
+    with reg.timer(f"ir.{capability}"):
+        if be.cache and getattr(ir, "token", True) is not None:
+            result, status = cached(
+                f"ir.{capability}",
+                (ir, be.name, params),
+                lambda: be.func(ir, **params),
+            )
+        else:
+            result, status = be.func(ir, **params), None
+    meta = getattr(result, "meta", None)
+    if isinstance(meta, dict):
+        if status is not None:
+            meta["cache"] = status
+        meta["backend"] = be.name
+    return result

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.linalg
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
@@ -38,7 +39,11 @@ from repro.errors import ConvergenceError, SingularGeneratorError
 
 __all__ = ["steady_state", "SteadyStateResult", "validate_generator"]
 
-_METHODS = ("direct", "gmres", "power")
+_METHODS = ("direct", "dense", "gmres", "power")
+
+#: The dense LAPACK solver materializes the full matrix; refuse sizes
+#: where that silently burns memory for no accuracy gain.
+_DENSE_LIMIT = 2000
 
 
 @dataclass(frozen=True)
@@ -133,6 +138,26 @@ def _solve_direct(Q: sp.csr_matrix) -> tuple[np.ndarray, int]:
     return pi, 0
 
 
+def _solve_dense(Q: sp.csr_matrix) -> tuple[np.ndarray, int]:
+    """LAPACK solve of the replaced system on the densified matrix.
+
+    The ablation baseline for the sparse-LU workhorse: identical
+    construction, dense factorization.  Limited to small systems.
+    """
+    n = Q.shape[0]
+    if n > _DENSE_LIMIT:
+        raise SingularGeneratorError(
+            f"dense steady-state solve is limited to {_DENSE_LIMIT} states "
+            f"(got {n}); use the sparse direct method"
+        )
+    A, b = _replaced_system(Q)
+    try:
+        pi = scipy.linalg.solve(A.toarray(), b)
+    except scipy.linalg.LinAlgError as exc:
+        raise SingularGeneratorError(f"dense solve failed: {exc}") from exc
+    return pi, 0
+
+
 def _solve_gmres(Q: sp.csr_matrix, tol: float, maxiter: int) -> tuple[np.ndarray, int]:
     A, b = _replaced_system(Q)
     n = A.shape[0]
@@ -191,7 +216,8 @@ def steady_state(
     Q:
         Sparse ``n x n`` generator, row convention (rows sum to zero).
     method:
-        ``"direct"`` (sparse LU), ``"gmres"`` or ``"power"``.
+        ``"direct"`` (sparse LU), ``"dense"`` (LAPACK, small systems),
+        ``"gmres"`` or ``"power"``.
     tol:
         Convergence tolerance for the iterative methods and the residual
         acceptance threshold for all methods.
@@ -245,6 +271,8 @@ def _solve_and_check(
     """Dispatch to the selected back-end and validate the solution."""
     if method == "direct":
         pi, iters = _solve_direct(Q)
+    elif method == "dense":
+        pi, iters = _solve_dense(Q)
     elif method == "gmres":
         pi, iters = _solve_gmres(Q, tol, maxiter)
     else:

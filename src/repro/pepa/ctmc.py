@@ -1,9 +1,10 @@
 """CTMC construction from a derived PEPA state space.
 
 Aggregates parallel transitions into a sparse generator matrix (CSR,
-row convention) and exposes the numerical analyses on top of it:
-steady-state, transient, and per-action rate matrices for throughput
-rewards.
+row convention) and lowers the labelled transition system to
+:class:`repro.ir.MarkovIR`.  All numerical analyses — steady-state,
+transient, per-action rate matrices — delegate to the backend registry
+through :func:`repro.ir.solve`; this module holds no numerical code.
 """
 
 from __future__ import annotations
@@ -15,8 +16,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import DeadlockError
-from repro.numerics.steady import SteadyStateResult, steady_state
-from repro.numerics.transient import transient_distribution
+from repro.ir import MarkovIR, solve
+from repro.numerics.steady import SteadyStateResult
 from repro.pepa.statespace import StateSpace
 
 __all__ = ["CTMC", "ctmc_of"]
@@ -36,14 +37,43 @@ class CTMC:
 
     space: StateSpace
     generator: sp.csr_matrix
-    _action_rates: dict[str, sp.csr_matrix] = field(default_factory=dict, repr=False)
+    _ir: MarkovIR | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_states(self) -> int:
         return self.generator.shape[0]
 
+    def lower(self) -> MarkovIR:
+        """Lower to the labelled-CTMC IR (memoized per chain).
+
+        The transition table keeps self-loops — they matter for action
+        throughput and for the jump chain of the stochastic simulator —
+        while the generator already has them aggregated away.
+        """
+        if self._ir is None:
+            space = self.space
+            transitions = space.transitions
+            count = len(transitions)
+            self._ir = MarkovIR(
+                generator=self.generator,
+                initial_index=space.initial_state,
+                labels=tuple(space.state_label(i) for i in range(space.size)),
+                trans_source=np.fromiter(
+                    (tr.source for tr in transitions), dtype=np.intp, count=count
+                ),
+                trans_target=np.fromiter(
+                    (tr.target for tr in transitions), dtype=np.intp, count=count
+                ),
+                trans_rate=np.fromiter(
+                    (tr.rate for tr in transitions), dtype=np.float64, count=count
+                ),
+                trans_action=tuple(tr.action for tr in transitions),
+            )
+        return self._ir
+
     def steady_state(self, method: str = "direct", **kwargs) -> SteadyStateResult:
-        """Equilibrium distribution; see :func:`repro.numerics.steady_state`.
+        """Equilibrium distribution via the ``steady`` capability of the
+        backend registry (``direct``/``dense``/``gmres``/``power``...).
 
         Raises
         ------
@@ -58,7 +88,7 @@ class CTMC:
                 f"model has {len(deadlocks)} deadlocked state(s) (e.g. {labels}); "
                 "the steady state is degenerate — use passage-time analysis"
             )
-        return steady_state(self.generator, method=method, **kwargs)
+        return solve(self.lower(), "steady", backend=method, **kwargs)
 
     def transient(
         self,
@@ -70,27 +100,12 @@ class CTMC:
 
         ``pi0`` defaults to all mass on the initial state.
         """
-        if pi0 is None:
-            pi0 = np.zeros(self.n_states)
-            pi0[self.space.initial_state] = 1.0
-        return transient_distribution(self.generator, pi0, times, epsilon)
+        return solve(self.lower(), "transient", times=times, pi0=pi0, epsilon=epsilon)
 
     def action_rate_matrix(self, action: str) -> sp.csr_matrix:
         """Sparse matrix ``R_a`` with ``R_a[i, j]`` the total rate of
         ``action``-transitions from state ``i`` to ``j`` (cached)."""
-        cached = self._action_rates.get(action)
-        if cached is not None:
-            return cached
-        n = self.n_states
-        rows, cols, vals = [], [], []
-        for tr in self.space.transitions:
-            if tr.action == action:
-                rows.append(tr.source)
-                cols.append(tr.target)
-                vals.append(tr.rate)
-        R = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
-        self._action_rates[action] = R
-        return R
+        return self.lower().action_rate_matrix(action)
 
     def action_exit_rates(self, action: str) -> np.ndarray:
         """Vector of total ``action`` rates out of each state."""

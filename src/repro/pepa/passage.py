@@ -5,11 +5,11 @@ distributions: the probability that the system has reached a set of
 *target* states (machine finished all mapped applications) by time
 ``t``, starting from a source distribution.
 
-Implementation: the target states are made absorbing and the modified
-chain's transient solution is evaluated on the requested time grid via
-uniformization (:func:`repro.numerics.absorption_cdf`).  Design ablation
-D2 compares this against the dense matrix exponential and, for purely
-sequential models, the closed-form hypoexponential.
+This module resolves frontend-level target/source specs (predicates,
+``(leaf, label)`` pairs, index lists) into state indices and delegates
+the numerics to the ``passage`` capability of the backend registry —
+``uniformization`` (production path) or ``expm`` (dense matrix
+exponential; ablation D2, small models only).
 """
 
 from __future__ import annotations
@@ -18,13 +18,12 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
-import scipy.linalg
 
-from repro.engine.cache import cached
 from repro.engine.metrics import get_registry
-from repro.errors import NumericsError
+from repro.errors import NumericsError, reraise_ir_errors
+from repro.ir import solve
 from repro.numerics.quantile import cdf_quantile
-from repro.numerics.transient import absorption_cdf, expected_hitting_time
+from repro.numerics.transient import expected_hitting_time
 from repro.pepa.ctmc import CTMC
 
 __all__ = ["passage_time_cdf", "passage_time_mean", "passage_time_quantile", "PassageTimeResult"]
@@ -46,7 +45,8 @@ class PassageTimeResult:
         Exact mean first-passage time (from the linear hitting-time
         system, not from the sampled curve).
     meta:
-        Execution metadata (``cache`` status, ``n_states``, ``method``).
+        Execution metadata (``cache`` status, ``backend``, ``n_states``,
+        ``method``).
     """
 
     times: np.ndarray
@@ -124,40 +124,21 @@ def passage_time_cdf(
     if method not in ("uniformization", "expm"):
         raise ValueError(f"unknown passage-time method {method!r}")
     with get_registry().timer("passage_time_cdf") as gauges:
-        result, status = cached(
-            "passage_cdf",
-            (chain.generator, tuple(sorted(targets)), times_arr, pi0, method, epsilon),
-            lambda: _compute_cdf(chain, pi0, targets, times_arr, method, epsilon),
-        )
+        with reraise_ir_errors(NumericsError):
+            sol = solve(
+                chain.lower(),
+                "passage",
+                backend=method,
+                targets=tuple(sorted(targets)),
+                times=times_arr,
+                pi0=pi0,
+                epsilon=epsilon,
+            )
         gauges["n_states"] = n
-    result.meta.update(cache=status, n_states=n, method=method)
+    result = PassageTimeResult(times=sol.times, cdf=sol.cdf, mean=sol.mean)
+    result.meta.update(sol.meta)
+    result.meta.update(n_states=n, method=method)
     return result
-
-
-def _compute_cdf(
-    chain: CTMC,
-    pi0: np.ndarray,
-    targets: list[int],
-    times_arr: np.ndarray,
-    method: str,
-    epsilon: float,
-) -> PassageTimeResult:
-    if method == "uniformization":
-        cdf = absorption_cdf(chain.generator, pi0, targets, times_arr, epsilon)
-    else:  # expm (ablation D2)
-        if chain.n_states > 2000:
-            raise NumericsError("dense expm passage-time is limited to 2000 states")
-        Q = chain.generator.toarray()
-        Q[targets, :] = 0.0
-        cdf = np.empty(times_arr.size)
-        for i, t in enumerate(times_arr):
-            dist = pi0 @ scipy.linalg.expm(Q * t)
-            cdf[i] = dist[targets].sum()
-    cdf = np.clip(cdf, 0.0, 1.0)
-    # Enforce monotonicity against truncation-level round-off.
-    cdf = np.maximum.accumulate(cdf)
-    mean = expected_hitting_time(chain.generator, pi0, targets)
-    return PassageTimeResult(times=times_arr, cdf=cdf, mean=mean)
 
 
 def passage_time_mean(chain: CTMC, target, source: Sequence[int] | None = None) -> float:

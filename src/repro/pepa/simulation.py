@@ -1,8 +1,9 @@
 """Discrete-event simulation of PEPA models.
 
 The PEPA Eclipse plug-in offers stochastic simulation alongside exact
-CTMC analysis; this module provides the same back-end over a derived
-:class:`~repro.pepa.ctmc.CTMC`:
+CTMC analysis; this module keeps that API but owns no simulation loop:
+the chain lowers to :class:`repro.ir.MarkovIR` and the ``ssa``
+capability of the backend registry does the stepping.
 
 * :func:`simulate` — one jump path (state index + action sequence),
   sampled on a fixed grid;
@@ -11,9 +12,9 @@ CTMC analysis; this module provides the same back-end over a derived
 * :func:`empirical_throughput` — action counts per unit time along a
   path, the simulation estimate of the steady-state throughput reward.
 
-Simulation complements exact analysis where the state space is too big
-to derive — here it mainly serves as an independent cross-check of the
-numerics (same chain, different algorithm, same answers).
+Ensembles follow the engine's determinism contract: one
+``SeedSequence(seed)`` child per realization, fixed chunk boundaries,
+so the same seed reproduces bit-identically under ``engine.parallel``.
 """
 
 from __future__ import annotations
@@ -24,7 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import PepaError
+from repro.errors import PepaError, reraise_ir_errors
+from repro.ir import solve
 from repro.pepa.ctmc import CTMC
 
 __all__ = ["simulate", "simulate_ensemble", "empirical_throughput", "SimulatedPath", "OccupancyEstimate"]
@@ -72,20 +74,6 @@ class OccupancyEstimate:
         return self.occupancy[:, state]
 
 
-def _prepare(chain: CTMC):
-    """Per-state transition tables: (cum-rates, targets, actions)."""
-    tables = []
-    for s in range(chain.n_states):
-        out = chain.space.outgoing(s)
-        real = [tr for tr in out if tr.target != tr.source]
-        rates = np.array([tr.rate for tr in real], dtype=np.float64)
-        cum = np.cumsum(rates)
-        targets = np.array([tr.target for tr in real], dtype=np.intp)
-        actions = tuple(tr.action for tr in real)
-        tables.append((cum, targets, actions))
-    return tables
-
-
 def simulate(
     chain: CTMC,
     times: Sequence[float],
@@ -98,46 +86,21 @@ def simulate(
     Self-loop activities are dropped (they do not change the state and
     the CTMC generator already excludes them).
     """
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-    grid = np.asarray(times, dtype=np.float64)
-    if grid.ndim != 1 or grid.size < 1:
-        raise PepaError("simulation needs a non-empty time grid")
-    if (np.diff(grid) <= 0).any():
-        raise PepaError("simulation time grid must be strictly increasing")
-    tables = _prepare(chain)
-    state = chain.space.initial_state if initial_state is None else int(initial_state)
-    if not 0 <= state < chain.n_states:
-        raise PepaError(f"initial state {state} out of range")
-    out_states = np.empty(grid.size, dtype=np.intp)
-    out_states[0] = state
-    jump_times: list[float] = []
-    jump_actions: list[str] = []
-    t = float(grid[0])
-    cursor = 1
-    while cursor < grid.size:
-        cum, targets, actions = tables[state]
-        if cum.size == 0 or cum[-1] <= 0.0:
-            out_states[cursor:] = state  # absorbed
-            break
-        t += rng.exponential(1.0 / cum[-1])
-        while cursor < grid.size and grid[cursor] <= t:
-            out_states[cursor] = state
-            cursor += 1
-        if cursor >= grid.size:
-            break
-        k = int(np.searchsorted(cum, rng.random() * cum[-1], side="right"))
-        k = min(k, targets.size - 1)
-        jump_times.append(t)
-        jump_actions.append(actions[k])
-        state = int(targets[k])
-        if len(jump_times) > max_events:
-            raise PepaError(f"simulation exceeded {max_events} events")
+    with reraise_ir_errors(PepaError):
+        path = solve(
+            chain.lower(),
+            "ssa",
+            times=times,
+            seed=seed,
+            initial=initial_state,
+            max_events=max_events,
+        )
     return SimulatedPath(
         chain=chain,
-        times=grid,
-        states=out_states,
-        jump_times=np.asarray(jump_times),
-        jump_actions=tuple(jump_actions),
+        times=path.times,
+        states=path.states,
+        jump_times=path.jump_times,
+        jump_actions=path.jump_actions,
     )
 
 
@@ -148,17 +111,26 @@ def simulate_ensemble(
     seed: int = 0,
     initial_state: int | None = None,
 ) -> OccupancyEstimate:
-    """Estimate state-occupancy probabilities from ``n_runs`` paths."""
-    if n_runs < 1:
-        raise PepaError("ensemble needs at least one run")
-    rng = np.random.default_rng(seed)
-    grid = np.asarray(times, dtype=np.float64)
-    occ = np.zeros((grid.size, chain.n_states))
-    for _ in range(n_runs):
-        path = simulate(chain, grid, seed=rng, initial_state=initial_state)
-        occ[np.arange(grid.size), path.states] += 1.0
-    occ /= n_runs
-    return OccupancyEstimate(chain=chain, times=grid, occupancy=occ, n_runs=n_runs)
+    """Estimate state-occupancy probabilities from ``n_runs`` paths.
+
+    Realization ``i`` is driven by the ``i``-th ``SeedSequence(seed)``
+    child (the engine-wide ensemble discipline), so the estimate is a
+    pure function of ``(chain, times, n_runs, seed)`` and reproduces
+    bit-identically under ``engine.parallel`` fan-out.
+    """
+    with reraise_ir_errors(PepaError):
+        ens = solve(
+            chain.lower(),
+            "ssa",
+            mode="ensemble",
+            times=times,
+            n_runs=n_runs,
+            seed=seed,
+            initial=initial_state,
+        )
+    return OccupancyEstimate(
+        chain=chain, times=ens.times, occupancy=ens.mean, n_runs=n_runs
+    )
 
 
 def empirical_throughput(path: SimulatedPath, action: str) -> float:

@@ -1,0 +1,91 @@
+"""Backend matrix over the bundled Edinburgh PEPA models.
+
+Every CTMC backend must agree on every model: the steady-state vectors
+of ``dense`` / ``sparse`` / ``gmres`` / ``uniformization`` coincide, and
+the ``expm`` transient/passage backends match the uniformization ones.
+This is the cross-backend half of the equivalence suite (the
+cross-formalism half lives in ``test_cross_formalism.py``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import BackendError
+from repro.ir import MarkovIR, solve
+from repro.ir.backends.markov import DENSE_STATE_LIMIT
+from repro.pepa import ctmc_of, derive
+from repro.pepa.models import get_model
+
+EDINBURGH_MODELS = ("active_badge", "alternating_bit", "pc_lan_4")
+
+STEADY_BACKENDS = ("dense", "sparse", "gmres", "uniformization")
+
+
+@lru_cache(maxsize=None)
+def lowered(name: str) -> MarkovIR:
+    return ctmc_of(derive(get_model(name))).lower()
+
+
+@pytest.mark.parametrize("name", EDINBURGH_MODELS)
+@pytest.mark.parametrize("backend", STEADY_BACKENDS)
+def test_steady_backend_matrix(name, backend):
+    ir = lowered(name)
+    reference = solve(ir, "steady", backend="sparse").pi
+    result = solve(ir, "steady", backend=backend)
+    assert result.pi.shape == (ir.n_states,)
+    assert abs(result.pi.sum() - 1.0) < 1e-9
+    np.testing.assert_allclose(result.pi, reference, atol=1e-7)
+
+
+@pytest.mark.parametrize("name", EDINBURGH_MODELS)
+def test_transient_backend_agreement(name):
+    ir = lowered(name)
+    times = np.array([0.0, 0.5, 2.0, 8.0])
+    uni = solve(ir, "transient", times=times)
+    expm = solve(ir, "transient", backend="expm", times=times)
+    assert uni.shape == (times.size, ir.n_states)
+    np.testing.assert_allclose(uni, expm, atol=1e-9)
+    # Row-stochastic at every time point.
+    np.testing.assert_allclose(uni.sum(axis=1), 1.0, atol=1e-9)
+
+
+@pytest.mark.parametrize("name", EDINBURGH_MODELS)
+def test_passage_backend_agreement(name):
+    ir = lowered(name)
+    target = ir.n_states - 1
+    times = np.linspace(0.0, 10.0, 41)
+    uni = solve(ir, "passage", targets=(target,), times=times)
+    expm = solve(ir, "passage", backend="expm", targets=(target,), times=times)
+    np.testing.assert_allclose(uni.cdf, expm.cdf, atol=1e-8)
+    np.testing.assert_allclose(uni.mean, expm.mean, rtol=1e-9)
+    # CDFs are monotone and bounded by construction.
+    assert (np.diff(uni.cdf) >= 0.0).all()
+    assert 0.0 <= uni.cdf[0] and uni.cdf[-1] <= 1.0
+
+
+@pytest.mark.parametrize("alias", ("dense",))
+def test_passage_dense_alias(alias):
+    ir = lowered("active_badge")
+    times = np.linspace(0.0, 5.0, 11)
+    via_alias = solve(ir, "passage", backend=alias, targets=(1,), times=times)
+    assert via_alias.meta["backend"] == "expm"
+
+
+def test_empty_target_set_is_rejected():
+    ir = lowered("active_badge")
+    with pytest.raises(BackendError, match="target set is empty"):
+        solve(ir, "passage", targets=(), times=np.linspace(0.0, 1.0, 5))
+
+
+def test_dense_backends_refuse_large_chains():
+    n = DENSE_STATE_LIMIT + 1
+    big = MarkovIR(generator=sp.csr_matrix((n, n)))
+    with pytest.raises(BackendError, match="use uniformization"):
+        solve(big, "transient", backend="expm", times=[0.0, 1.0])
+    with pytest.raises(BackendError, match="use uniformization"):
+        solve(big, "passage", backend="expm", targets=(0,), times=[0.0, 1.0])

@@ -1,0 +1,148 @@
+"""Cross-formalism equivalence: one system, two frontends, one IR.
+
+The classic enzyme mechanism with product recycling
+
+    S + E  --k1-->  ES        (bind)
+    ES     --kr-->  S + E     (unbind)
+    ES     --k2-->  E + P     (produce)
+    P      --k4-->  S         (recycle)
+
+is encoded twice: as a Bio-PEPA mass-action model and as a PEPA
+cooperation of substrate components with a single enzyme.  With one
+enzyme the PEPA apparent-rate semantics (min-cooperation with passive
+rates) coincides exactly with mass-action kinetics — ``k1 * S * E``
+degenerates to ``k1 * S`` gated by enzyme availability — so both
+frontends describe the *same* CTMC, and every shared-IR analysis must
+agree to solver precision:
+
+* steady-state expected populations (MarkovIR ``steady``),
+* transient expected populations (MarkovIR ``transient``),
+* SSA ensemble means against the exact transient (ReactionIR /
+  MarkovIR ``ssa``, loose statistical tolerance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.biopepa import parse_biopepa, population_ctmc, ssa_ensemble
+from repro.pepa import ctmc_of, derive, parse_model
+from repro.pepa.rewards import population_average, throughput
+from repro.pepa.simulation import simulate_ensemble
+
+K1, KR, K2, K4 = 1.2, 0.8, 1.5, 0.9
+N_SUB = 3
+
+PEPA_SOURCE = f"""
+// Enzyme kinetics with recycling, one enzyme, {N_SUB} substrate copies.
+k1 = {K1};
+kr = {KR};
+k2 = {K2};
+k4 = {K4};
+Sub   = (bind, k1).Bound;
+Bound = (unbind, infty).Sub + (produce, infty).Prod;
+Prod  = (recycle, k4).Sub;
+Enz      = (bind, infty).EnzBound;
+EnzBound = (unbind, kr).Enz + (produce, k2).Enz;
+Sub[{N_SUB}] <bind, unbind, produce> Enz
+"""
+
+BIOPEPA_SOURCE = f"""
+k1 = {K1};
+kr = {KR};
+k2 = {K2};
+k4 = {K4};
+kineticLawOf bind    : fMA(k1);
+kineticLawOf unbind  : fMA(kr);
+kineticLawOf produce : fMA(k2);
+kineticLawOf recycle : fMA(k4);
+S  = (bind, 1) << S + (unbind, 1) >> S + (recycle, 1) >> S;
+E  = (bind, 1) << E + (unbind, 1) >> E + (produce, 1) >> E;
+ES = (bind, 1) >> ES + (unbind, 1) << ES + (produce, 1) << ES;
+P  = (produce, 1) >> P + (recycle, 1) << P;
+S[{N_SUB}] <*> E[1] <*> ES[0] <*> P[0]
+"""
+
+TIMES = np.linspace(0.0, 4.0, 9)
+
+
+@pytest.fixture(scope="module")
+def pepa_chain():
+    return ctmc_of(derive(parse_model(PEPA_SOURCE)))
+
+
+@pytest.fixture(scope="module")
+def bio_chain():
+    return population_ctmc(parse_biopepa(BIOPEPA_SOURCE))
+
+
+def pepa_population_vector(chain, local_state: str) -> np.ndarray:
+    """Per-CTMC-state count of substrate copies in ``local_state``."""
+    space = chain.space
+    counts = np.zeros(space.size)
+    for leaf in space.leaves:
+        if leaf.name.split("#", 1)[0] != "Sub":
+            continue
+        for i in space.states_with_local(leaf.index, local_state):
+            counts[i] += 1.0
+    return counts
+
+
+def test_steady_state_populations_agree(pepa_chain, bio_chain):
+    pi_b = bio_chain.steady_state().pi
+    for pepa_state, species in (("Prod", "P"), ("Bound", "ES"), ("Sub", "S")):
+        expected_pepa = population_average(pepa_chain, "Sub", pepa_state)
+        expected_bio = bio_chain.expected_population(pi_b, species)
+        assert expected_pepa == pytest.approx(expected_bio, abs=1e-9)
+    # Enzyme occupancy equals the complex count.
+    assert population_average(pepa_chain, "Enz", "EnzBound") == pytest.approx(
+        bio_chain.expected_population(pi_b, "ES"), abs=1e-9
+    )
+
+
+def test_steady_state_throughput_agrees(pepa_chain, bio_chain):
+    """PEPA action throughput == Bio-PEPA expected reaction propensity."""
+    pi_b = bio_chain.steady_state().pi
+    es = bio_chain.expected_population(pi_b, "ES")
+    p = bio_chain.expected_population(pi_b, "P")
+    assert throughput(pepa_chain, "produce") == pytest.approx(K2 * es, abs=1e-9)
+    assert throughput(pepa_chain, "recycle") == pytest.approx(K4 * p, abs=1e-9)
+
+
+def test_transient_populations_agree(pepa_chain, bio_chain):
+    dist_p = pepa_chain.transient(TIMES)
+    dist_b = bio_chain.transient(TIMES)
+    prod_counts = pepa_population_vector(pepa_chain, "Prod")
+    expected_pepa = dist_p @ prod_counts
+    expected_bio = np.array(
+        [bio_chain.expected_population(row, "P") for row in dist_b]
+    )
+    np.testing.assert_allclose(expected_pepa, expected_bio, atol=1e-8)
+    # Same conservation law on both sides: S + ES + P == N_SUB.
+    total_b = sum(
+        np.array([bio_chain.expected_population(row, s) for row in dist_b])
+        for s in ("S", "ES", "P")
+    )
+    np.testing.assert_allclose(total_b, N_SUB, atol=1e-8)
+
+
+def test_ssa_ensembles_track_the_shared_exact_solution(pepa_chain, bio_chain):
+    """Both frontends' SSA fan-outs estimate the same transient means."""
+    exact = np.array(
+        [
+            bio_chain.expected_population(row, "P")
+            for row in bio_chain.transient(TIMES)
+        ]
+    )
+
+    bio_ens = ssa_ensemble(parse_biopepa(BIOPEPA_SOURCE), TIMES, n_runs=300,
+                           seed=17)
+    p_idx = bio_ens.model.species_index("P")
+    np.testing.assert_allclose(bio_ens.mean[:, p_idx], exact, atol=0.25)
+
+    pepa_ens = simulate_ensemble(pepa_chain, TIMES, n_runs=300, seed=17)
+    prod_counts = pepa_population_vector(pepa_chain, "Prod")
+    np.testing.assert_allclose(
+        pepa_ens.occupancy @ prod_counts, exact, atol=0.25
+    )

@@ -1,0 +1,94 @@
+"""ReactionIR construction, validation, and the integer lattice."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import ReactionIR
+
+
+class BirthDeath:
+    """Picklable propensities for X --birth--> 2X, X --death--> 0."""
+
+    def __init__(self, birth: float = 1.0, death: float = 0.5):
+        self.birth = birth
+        self.death = death
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.array([self.birth * x[0], self.death * x[0]])
+
+
+def birth_death_ir(initial: float = 5.0, **kwargs) -> ReactionIR:
+    return ReactionIR(
+        species=("X",),
+        initial=np.array([initial]),
+        stoichiometry=np.array([[1.0, -1.0]]),
+        reaction_names=("birth", "death"),
+        propensities=BirthDeath(),
+        token=("birth-death", initial),
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_species_count_mismatch(self):
+        with pytest.raises(IRError, match="species"):
+            ReactionIR(
+                species=("X", "Y"),
+                initial=np.array([1.0]),
+                stoichiometry=np.array([[1.0]]),
+                reaction_names=("r",),
+                propensities=BirthDeath(),
+            )
+
+    def test_reaction_name_count_mismatch(self):
+        with pytest.raises(IRError, match="reaction names"):
+            ReactionIR(
+                species=("X",),
+                initial=np.array([1.0]),
+                stoichiometry=np.array([[1.0, -1.0]]),
+                reaction_names=("only-one",),
+                propensities=BirthDeath(),
+            )
+
+    def test_initial_shape_mismatch(self):
+        with pytest.raises(IRError, match="initial state"):
+            ReactionIR(
+                species=("X",),
+                initial=np.array([1.0, 2.0]),
+                stoichiometry=np.array([[1.0]]),
+                reaction_names=("r",),
+                propensities=BirthDeath(),
+            )
+
+    def test_unknown_sampler(self):
+        with pytest.raises(IRError, match="sampler"):
+            birth_death_ir(sampler="roulette")
+
+
+class TestAccessors:
+    def test_dimensions(self):
+        ir = birth_death_ir()
+        assert ir.n_species == 1
+        assert ir.n_reactions == 2
+
+    def test_species_index(self):
+        ir = birth_death_ir()
+        assert ir.species_index("X") == 0
+        with pytest.raises(KeyError, match="no species"):
+            ir.species_index("Z")
+
+    def test_integer_initial_accepts_lattice_points(self):
+        x0 = birth_death_ir(initial=5.0).integer_initial()
+        np.testing.assert_array_equal(x0, [5.0])
+        assert x0.dtype == np.float64
+
+    def test_integer_initial_rejects_fractional(self):
+        with pytest.raises(IRError, match="integer initial amounts"):
+            birth_death_ir(initial=5.5).integer_initial()
+
+    def test_continuous_ir_rounds_instead(self):
+        ir = birth_death_ir(initial=5.4, integer_state=False)
+        np.testing.assert_array_equal(ir.integer_initial(), [5.0])

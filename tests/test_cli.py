@@ -48,6 +48,68 @@ class TestToolSubcommands:
         assert main(["pepa", "solve", str(f)]) == 1
 
 
+class TestSolveSubcommand:
+    def test_list_backends(self, capsys):
+        assert main(["solve", "--list-backends"]) == 0
+        out = capsys.readouterr().out
+        for line in ("steady", "transient", "passage", "ssa", "ode"):
+            assert line in out
+        assert "sparse (default)" in out
+
+    def test_steady_default_backend(self, model_file, capsys):
+        assert main(["solve", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "steady state: 2 states" in out
+        assert "backend sparse" in out
+
+    def test_steady_backend_override(self, model_file, capsys):
+        assert main(["solve", model_file, "--backend", "dense"]) == 0
+        assert "backend dense" in capsys.readouterr().out
+
+    def test_unknown_backend_is_a_library_error(self, model_file, capsys):
+        assert main(["solve", model_file, "--backend", "quantum"]) == 1
+        assert "available" in capsys.readouterr().err
+
+    def test_transient_and_ssa(self, model_file, capsys):
+        assert main(
+            ["solve", model_file, "--capability", "transient",
+             "--horizon", "2", "--points", "5"]
+        ) == 0
+        assert "transient distribution at t=2" in capsys.readouterr().out
+        assert main(
+            ["solve", model_file, "--capability", "ssa", "--runs", "10",
+             "--horizon", "2", "--points", "3", "--seed", "4"]
+        ) == 0
+        assert "ssa ensemble mean" in capsys.readouterr().out
+
+    def test_biopepa_ode_by_suffix(self, tmp_path, capsys):
+        f = tmp_path / "m.biopepa"
+        f.write_text(
+            "k = 1.0;\nkineticLawOf d : fMA(k);\n"
+            "A = (d, 1) << A;\nB = (d, 1) >> B;\nA[5] <*> B[0]\n"
+        )
+        assert main(["solve", str(f), "--capability", "ode",
+                     "--horizon", "3"]) == 0
+        assert "ode solution at t=3" in capsys.readouterr().out
+
+    def test_gpepa_rejects_markov_capabilities(self, tmp_path, capsys):
+        f = tmp_path / "m.gpepa"
+        f.write_text("A = (x, 1.0).B;\nB = (y, 2.0).A;\nG{A[10]}\n")
+        assert main(["solve", str(f)]) == 2
+        assert "ode or ssa" in capsys.readouterr().err
+        assert main(["solve", str(f), "--capability", "ode"]) == 0
+
+    def test_unknown_suffix_needs_formalism(self, tmp_path, capsys):
+        f = tmp_path / "model.txt"
+        f.write_text(PEPA_MODEL)
+        assert main(["solve", str(f)]) == 2
+        assert "--formalism" in capsys.readouterr().err
+        assert main(["solve", str(f), "--formalism", "pepa"]) == 0
+
+    def test_no_model_is_usage_error(self, capsys):
+        assert main(["solve"]) == 2
+
+
 class TestBuildRunTest:
     def test_build_writes_image(self, built_image, capsys):
         doc = json.loads(open(built_image).read())

@@ -1,0 +1,89 @@
+"""The import-layering lint: the IR refactor's architecture, enforced.
+
+``repro.devtools.check_import_layering`` walks the package with ``ast``
+and flags any import that climbs the layer ranks (frontend -> ir ->
+numerics -> engine -> errors).  These tests gate the real source tree
+and pin the lint's own behaviour on synthetic violations.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools import ALLOWED_EDGES, LAYER_RANKS, check_import_layering
+
+
+def test_source_tree_is_clean():
+    assert check_import_layering() == []
+
+
+def test_every_rank_is_used():
+    """Each subpackage on disk has a rank (no unranked stragglers)."""
+    import pathlib
+
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    tops = {
+        p.name if p.is_dir() else p.stem
+        for p in root.iterdir()
+        if (p.is_dir() and (p / "__init__.py").exists())
+        or (p.is_file() and p.suffix == ".py")
+    }
+    tops.discard("__pycache__")
+    assert tops <= set(LAYER_RANKS)
+
+
+def test_frontends_share_a_rank():
+    assert (
+        LAYER_RANKS["pepa"] == LAYER_RANKS["biopepa"] == LAYER_RANKS["gpepa"]
+    )
+    assert LAYER_RANKS["ir"] < LAYER_RANKS["pepa"]
+    assert LAYER_RANKS["numerics"] < LAYER_RANKS["ir"]
+    assert LAYER_RANKS["engine"] < LAYER_RANKS["numerics"]
+    assert ("gpepa", "pepa") in ALLOWED_EDGES
+
+
+def _write_pkg(tmp_path, name: str, body: str) -> None:
+    pkg = tmp_path / name
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "__init__.py").write_text(textwrap.dedent(body))
+
+
+def test_upward_import_is_flagged(tmp_path):
+    _write_pkg(tmp_path, "numerics", "from repro.pepa import parse_model\n")
+    problems = check_import_layering(tmp_path)
+    assert len(problems) == 1
+    assert "upward import repro.pepa" in problems[0]
+
+
+def test_same_layer_import_is_flagged(tmp_path):
+    _write_pkg(tmp_path, "biopepa", "import repro.gpepa\n")
+    problems = check_import_layering(tmp_path)
+    assert len(problems) == 1
+    assert "same-layer import repro.gpepa" in problems[0]
+
+
+def test_allowed_edge_is_not_flagged(tmp_path):
+    _write_pkg(tmp_path, "gpepa", "from repro.pepa.parser import parse_model\n")
+    assert check_import_layering(tmp_path) == []
+
+
+def test_downward_and_relative_imports_pass(tmp_path):
+    _write_pkg(
+        tmp_path,
+        "pepa",
+        """\
+        from repro.errors import PepaError
+        from repro.ir import solve
+        from . import sibling  # relative: never a layering edge
+        """,
+    )
+    assert check_import_layering(tmp_path) == []
+
+
+def test_unranked_subpackage_is_flagged(tmp_path):
+    _write_pkg(tmp_path, "newthing", "x = 1\n")
+    problems = check_import_layering(tmp_path)
+    assert len(problems) == 1
+    assert "no layer rank" in problems[0]
