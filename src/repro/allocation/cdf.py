@@ -21,7 +21,7 @@ import numpy as np
 from repro.allocation.machines import DONE_STATE, MACHINE_LEAF, build_machine_model
 from repro.allocation.mapping import Mapping
 from repro.allocation.workload import Workload
-from repro.engine.cache import cached
+from repro.engine.cache import Uncacheable, cached, canonical_key
 from repro.engine.executor import run_tasks
 from repro.engine.metrics import get_registry
 from repro.numerics.quantile import cdf_quantile
@@ -197,9 +197,17 @@ def _compute_makespan(
     from repro.allocation.mapping import MACHINES
 
     machines = [m for m in MACHINES if mapping.applications_on(m)]
+    try:
+        # Same content-hash scheme as the result cache, so an interrupted
+        # sweep resumes its per-machine solves from checkpointed partials
+        # when $REPRO_CHECKPOINT_DIR is set.
+        checkpoint = canonical_key("makespan_chunks", mapping, workload, times, method)
+    except Uncacheable:
+        checkpoint = None
     per_machine = run_tasks(
         _machine_cdf_task,
         [(mapping, machine, workload, times, method) for machine in machines],
+        checkpoint=checkpoint,
     )
     cdf = np.ones_like(times)
     for machine_cdf in per_machine:  # fixed MACHINES order: deterministic product

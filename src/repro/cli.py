@@ -293,10 +293,7 @@ def _print_top(labels, values, top: int) -> None:
 
 def _solve_command(args: argparse.Namespace) -> int:
     """Solve one model through the IR backend registry."""
-    import numpy as np
-
     from repro.ir import available_backends, default_backend
-    from repro.ir import solve as ir_solve
 
     if args.list_backends:
         for capability, names in available_backends().items():
@@ -323,6 +320,23 @@ def _solve_command(args: argparse.Namespace) -> int:
     ir, labels = _solve_lower(formalism, source, args.capability)
     if ir is None:
         return 2
+    if args.workers or args.retries is not None or args.task_timeout is not None:
+        from repro.engine import parallel
+
+        with parallel(
+            workers=args.workers or 1,
+            task_timeout=args.task_timeout,
+            max_retries=args.retries,
+        ):
+            return _solve_dispatch(args, ir, labels)
+    return _solve_dispatch(args, ir, labels)
+
+
+def _solve_dispatch(args: argparse.Namespace, ir, labels) -> int:
+    import numpy as np
+
+    from repro.ir import solve as ir_solve
+
     times = np.linspace(0.0, args.horizon, args.points)
     if args.capability == "steady":
         result = ir_solve(ir, "steady", backend=args.backend)
@@ -331,6 +345,11 @@ def _solve_command(args: argparse.Namespace) -> int:
             f"{result.meta.get('backend', result.method)}, residual "
             f"{result.residual:.3g}"
         )
+        if "fallback_from" in result.meta:
+            print(
+                f"  (fell back from {result.meta['fallback_from']}: "
+                f"{result.meta['fallback_error']})"
+            )
         _print_top(labels, result.pi, args.top)
         return 0
     if args.capability == "transient":
@@ -359,6 +378,13 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -512,6 +538,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="SSA ensemble seed")
     p.add_argument("--top", type=_positive_int, default=10,
                    help="how many states/species to print")
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   help="solve under engine.parallel(workers=N)")
+    p.add_argument("--retries", type=_nonneg_int, default=None,
+                   help="max per-task retries in the supervised pool "
+                   "(default $REPRO_MAX_RETRIES, else 2)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="per-task deadline in seconds "
+                   "(default $REPRO_TASK_TIMEOUT, else none)")
     p.set_defaults(func=_solve_command)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

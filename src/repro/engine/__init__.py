@@ -1,20 +1,28 @@
 """Shared experiment-execution engine: parallelism, caching, metrics.
 
-Three orthogonal facilities every analysis layer builds on:
+Four orthogonal facilities every analysis layer builds on:
 
 ``executor``
     Ordered fan-out of independent work units over a process pool with
     deterministic per-task seeding — parallel results are bit-identical
     to sequential ones (see the module docstring for the contract).
+``resilience`` / ``faults``
+    Fault tolerance for unattended runs: the supervised pool loop
+    (per-task timeout, bounded retry, broken-pool recovery, sequential
+    degradation), checkpointed batches under ``$REPRO_CHECKPOINT_DIR``,
+    and the deterministic fault-injection harness the chaos suite uses
+    to prove bit-identity under failure.
 ``cache``
     Content-addressed result cache (in-memory LRU plus optional disk
-    layer) keyed on canonical hashes of (model, solver, parameters).
+    layer, SHA-256 integrity trailer on every entry) keyed on canonical
+    hashes of (model, solver, parameters).
 ``metrics``
     Process-wide registry of solver wall times, state-space sizes,
     iteration counts and cache hit/miss counters, surfaced by the
     ``repro metrics`` CLI subcommand.
 """
 
+from repro.engine import faults
 from repro.engine.cache import (
     ResultCache,
     Uncacheable,
@@ -24,6 +32,8 @@ from repro.engine.cache import (
     canonical_key,
     configure_cache,
     get_cache,
+    seal_payload,
+    unseal_payload,
 )
 from repro.engine.executor import (
     EngineConfig,
@@ -42,6 +52,14 @@ from repro.engine.metrics import (
     reset_metrics,
     timer,
 )
+from repro.engine.resilience import (
+    CheckpointStore,
+    ResiliencePolicy,
+    configure_checkpoints,
+    get_checkpoint_store,
+    resolve_policy,
+    supervised_map,
+)
 
 __all__ = [
     # executor
@@ -51,6 +69,14 @@ __all__ = [
     "run_tasks",
     "spawn_seeds",
     "welford_merge",
+    # resilience
+    "ResiliencePolicy",
+    "resolve_policy",
+    "supervised_map",
+    "CheckpointStore",
+    "configure_checkpoints",
+    "get_checkpoint_store",
+    "faults",
     # cache
     "ResultCache",
     "Uncacheable",
@@ -60,6 +86,8 @@ __all__ = [
     "configure_cache",
     "cache_disabled",
     "cache_override",
+    "seal_payload",
+    "unseal_payload",
     # metrics
     "MetricsRegistry",
     "get_registry",

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import os
 import pickle
 import struct
@@ -41,6 +42,7 @@ from pathlib import Path
 import numpy as np
 import scipy.sparse as sp
 
+from repro.engine import faults
 from repro.engine.metrics import get_registry
 
 __all__ = [
@@ -52,6 +54,8 @@ __all__ = [
     "configure_cache",
     "cache_disabled",
     "cache_override",
+    "seal_payload",
+    "unseal_payload",
 ]
 
 
@@ -155,6 +159,36 @@ def canonical_key(namespace: str, *parts) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Integrity trailer
+# ---------------------------------------------------------------------------
+
+_PAYLOAD_MAGIC = b"RPRO1"
+_TRAILER_LEN = 32 + len(_PAYLOAD_MAGIC)
+
+
+def seal_payload(payload: bytes) -> bytes:
+    """Append a SHA-256 integrity trailer to ``payload``.
+
+    Disk-cache entries and ensemble checkpoints are written through
+    this, so a torn write (power loss, full disk, killed process) is
+    detected on read instead of surfacing as a pickle error — or worse,
+    silently deserializing garbage.
+    """
+    return payload + hashlib.sha256(payload).digest() + _PAYLOAD_MAGIC
+
+
+def unseal_payload(blob: bytes) -> bytes | None:
+    """Verify and strip the integrity trailer; ``None`` if corrupt."""
+    if len(blob) < _TRAILER_LEN or not blob.endswith(_PAYLOAD_MAGIC):
+        return None
+    payload = blob[: -_TRAILER_LEN]
+    digest = blob[-_TRAILER_LEN : -len(_PAYLOAD_MAGIC)]
+    if hashlib.sha256(payload).digest() != digest:
+        return None
+    return payload
+
+
+# ---------------------------------------------------------------------------
 # The cache proper
 # ---------------------------------------------------------------------------
 
@@ -175,6 +209,7 @@ class ResultCache:
             raise ValueError("cache needs at least one entry of capacity")
         self._lock = threading.RLock()
         self._mem: OrderedDict[str, bytes] = OrderedDict()
+        self._tmp_counter = itertools.count()
         self.max_entries = max_entries
         self.disk_dir = Path(disk_dir) if disk_dir else None
         self.enabled = enabled
@@ -190,17 +225,45 @@ class ResultCache:
             if payload is not None:
                 self._mem.move_to_end(key)
         if payload is None and self.disk_dir is not None:
-            path = self._disk_path(key)
-            if path.is_file():
-                payload = path.read_bytes()
+            payload = self._read_disk(key)
+            if payload is not None:
                 reg.increment("cache.disk_hit")
                 with self._lock:
                     self._store_mem(key, payload)
         if payload is None:
             reg.increment("cache.miss")
             return _MISS
+        try:
+            value = pickle.loads(payload)
+        except Exception:
+            reg.increment("cache.corrupt_entries")
+            with self._lock:
+                self._mem.pop(key, None)
+            reg.increment("cache.miss")
+            return _MISS
         reg.increment("cache.hit")
-        return pickle.loads(payload)
+        return value
+
+    def _read_disk(self, key: str) -> bytes | None:
+        """Read a disk entry, verifying its integrity trailer.
+
+        A corrupt or truncated entry (including pre-trailer legacy
+        files) is quarantined — renamed to ``<key>.pkl.<pid>.corrupt``
+        for post-mortem inspection — counted, and treated as a miss.
+        """
+        path = self._disk_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        payload = unseal_payload(blob)
+        if payload is None:
+            get_registry().increment("cache.corrupt_entries")
+            try:
+                path.replace(path.with_name(f"{path.name}.{os.getpid()}.corrupt"))
+            except OSError:
+                pass
+        return payload
 
     def put(self, key: str, value) -> None:
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -209,9 +272,20 @@ class ResultCache:
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
             path = self._disk_path(key)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_bytes(payload)
-            tmp.replace(path)  # atomic on POSIX
+            blob = seal_payload(payload)
+            if faults.should_fire("cache_corrupt") is not None:
+                blob = blob[: max(1, len(blob) // 2)]  # simulate a torn write
+            # Unique tmp name per process + call: two processes writing
+            # the same key must never replace() each other's half-written
+            # tmp file into place.
+            tmp = path.with_name(
+                f"{path.name}.{os.getpid()}-{next(self._tmp_counter)}.tmp"
+            )
+            try:
+                tmp.write_bytes(blob)
+                tmp.replace(path)  # atomic on POSIX
+            except OSError:
+                tmp.unlink(missing_ok=True)
 
     def _store_mem(self, key: str, payload: bytes) -> None:
         self._mem[key] = payload
@@ -228,8 +302,9 @@ class ResultCache:
         with self._lock:
             self._mem.clear()
         if disk and self.disk_dir is not None and self.disk_dir.is_dir():
-            for path in self.disk_dir.glob("*.pkl"):
-                path.unlink(missing_ok=True)
+            for pattern in ("*.pkl", "*.corrupt", "*.tmp"):
+                for path in self.disk_dir.glob(pattern):
+                    path.unlink(missing_ok=True)
 
     def __len__(self) -> int:
         with self._lock:
@@ -242,6 +317,7 @@ class ResultCache:
             "hits": reg.counter("cache.hit"),
             "misses": reg.counter("cache.miss"),
             "disk_hits": reg.counter("cache.disk_hit"),
+            "corrupt": reg.counter("cache.corrupt_entries"),
             "enabled": self.enabled,
         }
 
@@ -263,18 +339,25 @@ def get_cache() -> ResultCache:
     return _CACHE
 
 
+_UNSET = object()
+
+
 def configure_cache(
     max_entries: int | None = None,
-    disk_dir: str | os.PathLike | None = None,
+    disk_dir: str | os.PathLike | None = _UNSET,
     enabled: bool | None = None,
 ) -> ResultCache:
-    """Adjust the process-wide cache in place; returns it."""
+    """Adjust the process-wide cache in place; returns it.
+
+    Passing ``disk_dir=None`` explicitly *disables* the on-disk layer
+    (leaving the argument out keeps the current setting).
+    """
     if max_entries is not None:
         if max_entries < 1:
             raise ValueError("cache needs at least one entry of capacity")
         _CACHE.max_entries = max_entries
-    if disk_dir is not None:
-        _CACHE.disk_dir = Path(disk_dir)
+    if disk_dir is not _UNSET:
+        _CACHE.disk_dir = Path(disk_dir) if disk_dir is not None else None
     if enabled is not None:
         _CACHE.enabled = enabled
     return _CACHE

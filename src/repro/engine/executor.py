@@ -33,14 +33,19 @@ from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.engine.metrics import get_registry
+from repro.engine.resilience import (
+    get_checkpoint_store,
+    resolve_policy,
+    supervised_map,
+)
 
 __all__ = [
     "EngineConfig",
@@ -54,13 +59,24 @@ __all__ = [
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """Active execution configuration (workers=1 means sequential)."""
+    """Active execution configuration (workers=1 means sequential).
+
+    ``task_timeout`` and ``max_retries`` override the environment
+    defaults (``REPRO_TASK_TIMEOUT`` / ``REPRO_MAX_RETRIES``) for the
+    supervised parallel path; ``None`` defers to the environment.
+    """
 
     workers: int = 1
+    task_timeout: float | None = None
+    max_retries: int | None = None
 
     def __post_init__(self):
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {self.task_timeout}")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
 
 
 _config_stack: list[EngineConfig] = []
@@ -73,20 +89,38 @@ def current_config() -> EngineConfig:
         return _config_stack[-1]
     env = os.environ.get("REPRO_WORKERS")
     if env:
-        return EngineConfig(workers=max(1, int(env)))
+        try:
+            return EngineConfig(workers=max(1, int(env)))
+        except ValueError:
+            warnings.warn(
+                f"ignoring malformed REPRO_WORKERS={env!r}; running sequentially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return EngineConfig()
 
 
 @contextmanager
-def parallel(workers: int | None = None):
+def parallel(
+    workers: int | None = None,
+    task_timeout: float | None = None,
+    max_retries: int | None = None,
+):
     """Run enclosed engine workloads on a pool of ``workers`` processes.
 
     ``workers=None`` uses the CPU count.  Contexts nest; the innermost
-    wins.
+    wins.  ``task_timeout`` / ``max_retries`` tune the supervised loop
+    (see :mod:`repro.engine.resilience`); unset values inherit from the
+    enclosing context, then the environment.
     """
     if workers is None:
         workers = os.cpu_count() or 1
-    config = EngineConfig(workers=workers)
+    outer = current_config()
+    config = EngineConfig(
+        workers=workers,
+        task_timeout=task_timeout if task_timeout is not None else outer.task_timeout,
+        max_retries=max_retries if max_retries is not None else outer.max_retries,
+    )
     _config_stack.append(config)
     try:
         yield config
@@ -103,29 +137,72 @@ def _is_picklable(*objects) -> bool:
     return True
 
 
-def run_tasks(fn: Callable, tasks: Iterable, workers: int | None = None) -> list:
+def run_tasks(
+    fn: Callable,
+    tasks: Iterable,
+    workers: int | None = None,
+    checkpoint: str | None = None,
+) -> list:
     """Map ``fn`` over ``tasks``, preserving order.
 
     Sequential unless a :func:`parallel` context (or ``workers``) asks
-    for more than one worker and there is more than one task.  ``fn``
-    and every task must be picklable to take the pool path; otherwise
-    execution silently falls back to sequential.
+    for more than one worker and there is more than one task.  The
+    pickle probe covers ``fn`` and the first task only — per-task pickle
+    failures are absorbed by the supervised loop, which also provides
+    retries, per-task timeouts, and broken-pool recovery (see
+    :mod:`repro.engine.resilience`).
+
+    ``checkpoint`` names a content-addressed batch key: when a
+    checkpoint store is active (``$REPRO_CHECKPOINT_DIR`` or
+    ``configure_checkpoints``), each task's result is persisted as it
+    completes, already-completed tasks of an interrupted earlier run are
+    not recomputed, and the batch's checkpoints are discarded once every
+    task has finished.
     """
     tasks = list(tasks)
     reg = get_registry()
+    config = current_config()
     if workers is None:
-        workers = current_config().workers
+        workers = config.workers
     workers = min(workers, len(tasks))
-    if workers > 1 and not _is_picklable(fn, tasks):
+    if workers > 1 and tasks and not _is_picklable(fn, tasks[0]):
         reg.increment("engine.pickle_fallback")
         workers = 1
+
+    store = get_checkpoint_store() if checkpoint else None
+    results: dict[int, object] = {}
+    if store is not None:
+        results = store.load(checkpoint, len(tasks))
+        if results:
+            reg.increment("engine.checkpoint_resumes")
+            reg.increment("engine.checkpoint_loaded", by=len(results))
+    missing = [i for i in range(len(tasks)) if i not in results]
+
+    def on_result(index: int, value) -> None:
+        results[index] = value
+        if store is not None:
+            store.save(checkpoint, index, value)
+
     if workers <= 1:
         reg.increment("engine.sequential_batches")
-        return [fn(task) for task in tasks]
-    reg.increment("engine.parallel_batches")
-    reg.increment("engine.tasks_dispatched", by=len(tasks))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, tasks))
+        if store is None:
+            return [fn(task) for task in tasks]
+        for index in missing:
+            on_result(index, fn(tasks[index]))
+    elif missing:
+        reg.increment("engine.parallel_batches")
+        reg.increment("engine.tasks_dispatched", by=len(missing))
+        policy = resolve_policy(config.task_timeout, config.max_retries)
+        supervised_map(
+            fn,
+            [tasks[i] for i in missing],
+            workers=min(workers, len(missing)),
+            policy=policy,
+            on_result=lambda j, value: on_result(missing[j], value),
+        )
+    if store is not None:
+        store.discard(checkpoint)
+    return [results[i] for i in range(len(tasks))]
 
 
 def spawn_seeds(seed: int, n: int) -> list[np.random.SeedSequence]:

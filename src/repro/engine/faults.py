@@ -1,0 +1,252 @@
+"""Deterministic fault injection for the resilience chaos suite.
+
+Reproducibility work lives and dies on unattended re-runs surviving
+partial failure, so the failure modes themselves must be reproducible:
+a chaos test that crashes a *random* worker proves nothing about the
+bit-identity contract.  This module injects failures at fixed,
+content-addressed points — "crash the worker executing task 3", "corrupt
+the next disk-cache entry written", "make the gmres solver report
+non-convergence once" — and guarantees each fault fires exactly the
+requested number of times *across processes*.
+
+The active plan travels through the environment (``$REPRO_FAULT_PLAN``
+names a JSON plan file), so pool workers spawned after :func:`inject`
+see the same plan as the parent.  Claiming a fire is an atomic
+``O_CREAT | O_EXCL`` file creation in the plan's scratch directory, so
+two workers racing for a single-shot fault cannot both fire it.
+
+Usage::
+
+    from repro.engine import faults
+
+    with faults.inject(faults.FaultSpec("worker_crash", task_index=3)) as plan:
+        with engine.parallel(workers=4):
+            out = ssa_ensemble(model, grid, n_runs=200)   # survives the crash
+    assert plan.fired() == 1
+
+Fault kinds
+-----------
+``worker_crash``
+    ``os._exit(70)`` in the pool worker about to run ``task_index``
+    (any task when ``None``).  Parent-side process-pool supervision must
+    rebuild the pool and resubmit unfinished work.
+``task_error``
+    Raise :class:`InjectedFaultError` in the worker about to run
+    ``task_index`` — a transient in-task failure the retry loop absorbs.
+``task_timeout``
+    Sleep ``sleep`` seconds in the worker before running ``task_index``,
+    long enough to trip a configured per-task deadline.
+``cache_corrupt``
+    Truncate the next disk-cache payload written (a torn write); the
+    integrity trailer must catch it on the next read.
+``solver_nonconverge``
+    Raise ``ConvergenceError`` at the entry of the steady-state method
+    named by ``backend`` — exercised by the IR fallback chains.
+
+Hooks are free when no plan is active: one environment-dict lookup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+
+from repro.engine.metrics import get_registry
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "InjectedFaultError",
+    "inject",
+    "active",
+    "should_fire",
+]
+
+_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+FAULT_KINDS = (
+    "worker_crash",
+    "task_error",
+    "task_timeout",
+    "cache_corrupt",
+    "solver_nonconverge",
+)
+
+
+class InjectedFaultError(RuntimeError):
+    """A deliberate, injected task failure (``task_error`` faults)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned failure.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    task_index:
+        Restrict worker-side faults to the task with this batch index
+        (``None`` = any task).
+    backend:
+        Restrict ``solver_nonconverge`` to this solver method name.
+    sleep:
+        Seconds a ``task_timeout`` fault stalls the worker.
+    times:
+        How many times the fault may fire in total, across processes.
+    """
+
+    kind: str
+    task_index: int | None = None
+    backend: str | None = None
+    sleep: float = 0.0
+    times: int = 1
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.times < 1:
+            raise ValueError(f"fault must be allowed to fire at least once, got {self.times}")
+
+    def matches(self, kind: str, task_index: int | None, backend: str | None) -> bool:
+        if self.kind != kind:
+            return False
+        if self.task_index is not None and self.task_index != task_index:
+            return False
+        if self.backend is not None and self.backend != backend:
+            return False
+        return True
+
+
+class FaultInjection:
+    """Handle yielded by :func:`inject`: inspect what actually fired.
+
+    Valid both inside the block (live claim-file counts) and after it
+    exits (the counts are snapshotted before the plan's scratch
+    directory is removed).
+    """
+
+    def __init__(self, root: str, specs: tuple[FaultSpec, ...]):
+        self.root = root
+        self.specs = specs
+        self._snapshot: list[str] | None = None
+
+    def _claimed(self) -> list[str]:
+        if self._snapshot is not None:
+            return self._snapshot
+        try:
+            return os.listdir(os.path.join(self.root, "fired"))
+        except FileNotFoundError:
+            return []
+
+    def _seal(self) -> None:
+        """Freeze the claim counts (called by ``inject`` before cleanup)."""
+        self._snapshot = self._claimed()
+
+    def fired(self, kind: str | None = None) -> int:
+        """How many fault slots have been claimed (optionally by kind)."""
+        names = self._claimed()
+        if kind is None:
+            return len(names)
+        claimed = 0
+        for name in names:
+            spec_id = int(name.split(".", 1)[0])
+            if self.specs[spec_id].kind == kind:
+                claimed += 1
+        return claimed
+
+
+@contextmanager
+def inject(*specs: FaultSpec):
+    """Activate a deterministic fault plan for the enclosed block.
+
+    The plan is visible to this process *and* to any worker process
+    started inside the block (it travels via ``$REPRO_FAULT_PLAN``).
+    Plans do not nest — the innermost wins for workers started under it.
+    """
+    for spec in specs:
+        if not isinstance(spec, FaultSpec):
+            raise TypeError(f"expected FaultSpec, got {type(spec).__name__}")
+    root = tempfile.mkdtemp(prefix="repro-faults-")
+    os.mkdir(os.path.join(root, "fired"))
+    plan_path = os.path.join(root, "plan.json")
+    with open(plan_path, "w", encoding="utf-8") as fh:
+        json.dump({"scratch": os.path.join(root, "fired"),
+                   "faults": [asdict(spec) for spec in specs]}, fh)
+    previous = os.environ.get(_PLAN_ENV)
+    os.environ[_PLAN_ENV] = plan_path
+    handle = FaultInjection(root, tuple(specs))
+    try:
+        yield handle
+    finally:
+        if previous is None:
+            os.environ.pop(_PLAN_ENV, None)
+        else:
+            os.environ[_PLAN_ENV] = previous
+        handle._seal()
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def active() -> bool:
+    """Whether a fault plan is currently in effect."""
+    return _PLAN_ENV in os.environ
+
+
+def _load_plan() -> dict | None:
+    path = os.environ.get(_PLAN_ENV)
+    if not path:
+        return None
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def _claim(scratch: str, spec_id: int, times: int) -> bool:
+    """Atomically claim one of the fault's ``times`` fire slots."""
+    for slot in range(times):
+        try:
+            fd = os.open(
+                os.path.join(scratch, f"{spec_id}.{slot}"),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            continue
+        except OSError:
+            return False
+        os.close(fd)
+        return True
+    return False
+
+
+def should_fire(
+    kind: str,
+    task_index: int | None = None,
+    backend: str | None = None,
+) -> FaultSpec | None:
+    """Claim and return the first matching planned fault, else ``None``.
+
+    Free when no plan is active.  A returned spec means this caller won
+    the (cross-process) race for one of the fault's fire slots and must
+    now enact it.
+    """
+    if _PLAN_ENV not in os.environ:
+        return None
+    plan = _load_plan()
+    if plan is None:
+        return None
+    for spec_id, raw in enumerate(plan["faults"]):
+        spec = FaultSpec(**raw)
+        if not spec.matches(kind, task_index, backend):
+            continue
+        if _claim(plan["scratch"], spec_id, spec.times):
+            get_registry().increment(f"faults.injected.{kind}")
+            return spec
+    return None

@@ -129,6 +129,23 @@ def reraise_ir_errors(error_type: type[ReproError]):
 
 
 # ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class EngineError(ReproError):
+    """Base class for execution-engine failures (pools, checkpoints)."""
+
+
+class TaskTimeoutError(EngineError):
+    """A task exceeded its per-task deadline on every allowed attempt.
+
+    Raised rather than degraded to sequential: a task that hangs in a
+    worker would hang the parent too.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Numerics
 # ---------------------------------------------------------------------------
 

@@ -27,10 +27,13 @@ from repro.ir.markov import MarkovIR
 from repro.ir.reaction import ReactionIR
 from repro.ir.registry import (
     CAPABILITIES,
+    RetryPolicy,
     available_backends,
     default_backend,
+    fallback_chain,
     get_backend,
     register_backend,
+    register_fallback_chain,
     solve,
 )
 
@@ -38,9 +41,12 @@ __all__ = [
     "CAPABILITIES",
     "MarkovIR",
     "ReactionIR",
+    "RetryPolicy",
     "available_backends",
     "default_backend",
+    "fallback_chain",
     "get_backend",
     "register_backend",
+    "register_fallback_chain",
     "solve",
 ]

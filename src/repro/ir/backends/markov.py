@@ -18,7 +18,7 @@ import scipy.linalg
 
 from repro.errors import BackendError
 from repro.ir.markov import MarkovIR
-from repro.ir.registry import register_backend
+from repro.ir.registry import register_backend, register_fallback_chain
 from repro.numerics.steady import steady_state
 from repro.numerics.transient import (
     absorption_cdf,
@@ -76,6 +76,10 @@ register_backend(
     aliases=("power",),
     cache=False,
 )
+
+# An iterative steady solve that fails to converge falls back to the
+# sparse direct factorization, then (for small systems) dense LAPACK.
+register_fallback_chain("steady", ("gmres", "sparse", "dense"))
 
 
 # ---------------------------------------------------------------------------
@@ -175,3 +179,8 @@ register_backend(
 register_backend(
     "passage", "expm", _passage_expm, accepts=(MarkovIR,), aliases=("dense",)
 )
+
+# The dense expm backends bail out to uniformization, whose adaptive
+# truncation handles stiff generators the matrix exponential cannot.
+register_fallback_chain("transient", ("expm", "uniformization"))
+register_fallback_chain("passage", ("expm", "uniformization"))

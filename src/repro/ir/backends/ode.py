@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ir.reaction import ReactionIR
-from repro.ir.registry import register_backend
+from repro.ir.registry import register_backend, register_fallback_chain
 from repro.numerics.ode import integrate_ode, rk4_fixed_step
 
 __all__ = ["DefaultRhs"]
@@ -62,3 +62,7 @@ register_backend(
     "ode", "scipy", _ode_scipy, accepts=(ReactionIR,), default=True
 )
 register_backend("ode", "rk4", _ode_rk4, accepts=(ReactionIR,))
+
+# If the adaptive integrator reports non-convergence, the deterministic
+# fixed-step RK4 of the validation harness still yields a trajectory.
+register_fallback_chain("ode", ("scipy", "rk4"))

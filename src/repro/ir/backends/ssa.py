@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.cache import Uncacheable, canonical_key
 from repro.engine.executor import run_tasks, spawn_seeds, welford_merge
 from repro.engine.metrics import get_registry
 from repro.errors import BackendError, IRError, SimulationLimitError
@@ -343,6 +344,28 @@ def _ensemble_chunk(task) -> tuple[int, np.ndarray, np.ndarray, int]:
     return len(seeds), mean, m2, events
 
 
+def _checkpoint_key(runner, payload, grid, n_runs: int, seed: int) -> str | None:
+    """Content-addressed batch key for checkpointed ensembles.
+
+    ``None`` (checkpointing skipped) when the payload has no canonical
+    hash, or when its identity token is explicitly ``None`` — a
+    tokenless IR marks itself as not content-addressable, and hashing it
+    anyway would collide distinct models onto one key.
+    """
+    ident = payload[0] if isinstance(payload, tuple) else payload
+    if getattr(ident, "token", True) is None:
+        return None
+    name = getattr(
+        runner, "checkpoint_name", getattr(runner, "__qualname__", repr(runner))
+    )
+    try:
+        return canonical_key(
+            "ensemble", name, payload, grid, int(n_runs), int(seed)
+        )
+    except Uncacheable:
+        return None
+
+
 def ensemble_moments(
     runner,
     payload,
@@ -360,6 +383,12 @@ def ensemble_moments(
     in chunk order; under ``engine.parallel(workers=...)`` the chunks
     execute on a process pool and the result is bit-identical to the
     sequential one.  ``var`` uses the unbiased ``ddof=1`` normalization.
+
+    When a checkpoint store is active (``$REPRO_CHECKPOINT_DIR``), chunk
+    partials are persisted as they complete under a key derived from the
+    same content hash as the result cache, so an interrupted ensemble
+    resumes from its completed chunks — and, the reduction order being
+    fixed, still matches the uninterrupted result bit for bit.
     """
     if n_runs < 1:
         raise IRError("ensemble needs at least one run")
@@ -369,7 +398,11 @@ def ensemble_moments(
             (runner, payload, grid, seeds[lo : lo + CHUNK_RUNS])
             for lo in range(0, n_runs, CHUNK_RUNS)
         ]
-        partials = run_tasks(_ensemble_chunk, tasks)
+        partials = run_tasks(
+            _ensemble_chunk, tasks, checkpoint=_checkpoint_key(
+                runner, payload, grid, n_runs, seed
+            )
+        )
         count, mean, m2 = 0, 0.0, 0.0
         events = 0
         for chunk_count, chunk_mean, chunk_m2, chunk_events in partials:

@@ -18,20 +18,36 @@ at a lower level (``steady`` delegates to
 :func:`repro.numerics.steady_state`) or that must not cache (``ssa``
 ensembles feed the engine's parallel fan-out and batch counters) opt
 out per registration.
+
+Fallback chains
+---------------
+A capability may declare an ordered *fallback chain*
+(:func:`register_fallback_chain`) — e.g. ``steady: gmres → sparse →
+dense``.  When the requested backend fails with an error the chain's
+:class:`RetryPolicy` deems recoverable (by default
+:class:`~repro.errors.ConvergenceError` /
+:class:`~repro.errors.SingularGeneratorError`), :func:`solve` walks the
+remaining chain entries in order, records ``ir.fallback.*`` metrics and
+the result's ``meta["fallback_from"]``, and re-raises the *first* error
+only if every candidate fails.  ``solve(..., fallback=False)`` disables
+the walk for callers that need the raw failure.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.engine.cache import cached
 from repro.engine.metrics import get_registry
-from repro.errors import BackendError
+from repro.errors import BackendError, ConvergenceError, SingularGeneratorError
 
 __all__ = [
     "CAPABILITIES",
+    "RetryPolicy",
     "register_backend",
+    "register_fallback_chain",
+    "fallback_chain",
     "get_backend",
     "available_backends",
     "default_backend",
@@ -50,9 +66,31 @@ class _Backend:
     cache: bool
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Which failures a fallback chain may recover from.
+
+    ``attempts`` is how many times each chain candidate is tried before
+    moving on (1 = no same-backend retry — the solvers are deterministic,
+    so retrying the identical call only helps for injected faults and
+    other transient failures).
+    """
+
+    attempts: int = 1
+    recoverable: tuple[type[BaseException], ...] = field(
+        default=(ConvergenceError, SingularGeneratorError)
+    )
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+
 _REGISTRY: dict[tuple[str, str], _Backend] = {}
 _ALIASES: dict[tuple[str, str], str] = {}
 _DEFAULTS: dict[str, str] = {}
+_FALLBACK_CHAINS: dict[str, tuple[str, ...]] = {}
+_FALLBACK_POLICIES: dict[str, RetryPolicy] = {}
 
 
 def register_backend(
@@ -81,6 +119,30 @@ def register_backend(
         _ALIASES[(capability, alias)] = name
     if default or capability not in _DEFAULTS:
         _DEFAULTS[capability] = name
+
+
+def register_fallback_chain(
+    capability: str,
+    chain: tuple[str, ...],
+    policy: RetryPolicy | None = None,
+) -> None:
+    """Declare the ordered backend fallback chain for ``capability``.
+
+    When a :func:`solve` call on this capability fails recoverably, the
+    chain entries *after* the requested backend's position (all entries,
+    if the requested backend is not in the chain) are tried in order.
+    """
+    if capability not in CAPABILITIES:
+        raise BackendError(
+            f"unknown capability {capability!r}; expected one of {CAPABILITIES}"
+        )
+    _FALLBACK_CHAINS[capability] = tuple(chain)
+    _FALLBACK_POLICIES[capability] = policy or RetryPolicy()
+
+
+def fallback_chain(capability: str) -> tuple[str, ...]:
+    """The registered fallback chain for ``capability`` (may be empty)."""
+    return _FALLBACK_CHAINS.get(capability, ())
 
 
 def default_backend(capability: str) -> str:
@@ -119,26 +181,14 @@ def get_backend(capability: str, name: str | None = None) -> _Backend:
     return backend
 
 
-def solve(ir, capability: str, backend: str | None = None, **params):
-    """Run ``capability`` on ``ir`` with the selected ``backend``.
-
-    Deterministic capabilities are cached under ``ir.<capability>``
-    keyed on ``(ir, backend, params)``; when the result carries a
-    ``meta`` dict, its ``cache`` and ``backend`` entries record how this
-    call was served.
-    """
-    be = get_backend(capability, backend)
-    if not isinstance(ir, be.accepts):
-        names = " or ".join(t.__name__ for t in be.accepts)
-        raise BackendError(
-            f"{capability}/{be.name} accepts {names}, got {type(ir).__name__}"
-        )
+def _execute(be: _Backend, ir, params: dict):
+    """One backend attempt: metrics timer plus (opt-in) result cache."""
     reg = get_registry()
-    reg.increment(f"ir.{capability}.{be.name}")
-    with reg.timer(f"ir.{capability}"):
+    reg.increment(f"ir.{be.capability}.{be.name}")
+    with reg.timer(f"ir.{be.capability}"):
         if be.cache and getattr(ir, "token", True) is not None:
             result, status = cached(
-                f"ir.{capability}",
+                f"ir.{be.capability}",
                 (ir, be.name, params),
                 lambda: be.func(ir, **params),
             )
@@ -150,3 +200,72 @@ def solve(ir, capability: str, backend: str | None = None, **params):
             meta["cache"] = status
         meta["backend"] = be.name
     return result
+
+
+def _candidates(capability: str, first: _Backend) -> list[_Backend]:
+    """The requested backend plus the chain entries that follow it."""
+    chain = [
+        _ALIASES.get((capability, name), name)
+        for name in _FALLBACK_CHAINS.get(capability, ())
+    ]
+    if first.name in chain:
+        chain = chain[chain.index(first.name) + 1 :]
+    names = [first.name] + [name for name in chain if name != first.name]
+    out = []
+    for name in names:
+        be = _REGISTRY.get((capability, name))
+        if be is not None:
+            out.append(be)
+    return out
+
+
+def solve(ir, capability: str, backend: str | None = None, fallback: bool = True, **params):
+    """Run ``capability`` on ``ir`` with the selected ``backend``.
+
+    Deterministic capabilities are cached under ``ir.<capability>``
+    keyed on ``(ir, backend, params)``; when the result carries a
+    ``meta`` dict, its ``cache`` and ``backend`` entries record how this
+    call was served.
+
+    When the capability declares a fallback chain and the selected
+    backend fails recoverably, the remaining chain entries are tried in
+    order (``fallback=False`` disables this); a fallback success records
+    ``meta["fallback_from"]`` / ``meta["fallback_error"]`` and bumps the
+    ``ir.fallback.*`` counters.  If every candidate fails, the *first*
+    error is re-raised.
+    """
+    be = get_backend(capability, backend)
+    if not isinstance(ir, be.accepts):
+        names = " or ".join(t.__name__ for t in be.accepts)
+        raise BackendError(
+            f"{capability}/{be.name} accepts {names}, got {type(ir).__name__}"
+        )
+    policy = _FALLBACK_POLICIES.get(capability, RetryPolicy())
+    candidates = _candidates(capability, be) if fallback else [be]
+    reg = get_registry()
+    first_error: BaseException | None = None
+    for candidate in candidates:
+        if not isinstance(ir, candidate.accepts):
+            continue
+        error: BaseException | None = None
+        for _attempt in range(policy.attempts):
+            try:
+                result = _execute(candidate, ir, params)
+            except policy.recoverable as exc:
+                error = exc
+                continue
+            if candidate is not be:
+                reg.increment("ir.fallback.used")
+                reg.increment(
+                    f"ir.fallback.{capability}.{be.name}->{candidate.name}"
+                )
+                meta = getattr(result, "meta", None)
+                if isinstance(meta, dict):
+                    meta["fallback_from"] = be.name
+                    meta["fallback_error"] = str(first_error)
+            return result
+        if first_error is None:
+            first_error = error
+    if len(candidates) > 1:
+        reg.increment("ir.fallback.exhausted")
+    raise first_error

@@ -33,6 +33,7 @@ import scipy.linalg
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.engine import faults
 from repro.engine.cache import cached
 from repro.engine.metrics import get_registry
 from repro.errors import ConvergenceError, SingularGeneratorError
@@ -269,6 +270,8 @@ def _solve_and_check(
     Q: sp.csr_matrix, method: str, tol: float, maxiter: int, diag: np.ndarray
 ) -> SteadyStateResult:
     """Dispatch to the selected back-end and validate the solution."""
+    if faults.should_fire("solver_nonconverge", backend=method) is not None:
+        raise ConvergenceError(f"injected non-convergence for method {method!r}")
     if method == "direct":
         pi, iters = _solve_direct(Q)
     elif method == "dense":

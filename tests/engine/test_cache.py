@@ -13,6 +13,8 @@ from repro.engine import (
     canonical_key,
     configure_cache,
     get_cache,
+    seal_payload,
+    unseal_payload,
 )
 from repro.pepa.parser import parse_model
 
@@ -105,6 +107,37 @@ class TestResultCache:
             ResultCache(max_entries=0)
 
 
+class TestDiskIntegrity:
+    def test_disk_entries_carry_the_integrity_trailer(self, tmp_path):
+        cache = ResultCache(max_entries=4, disk_dir=tmp_path)
+        cache.put("sealed", [1, 2, 3])
+        blob = (tmp_path / "sealed.pkl").read_bytes()
+        assert blob.endswith(b"RPRO1")
+        payload = unseal_payload(blob)
+        assert payload is not None
+        assert seal_payload(payload) == blob
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        # Writes go through per-process/per-call unique tmp names and an
+        # atomic replace; repeated puts of the same key must leave exactly
+        # one entry and no stray tmp files.
+        cache = ResultCache(max_entries=4, disk_dir=tmp_path)
+        for value in range(5):
+            cache.put("rewritten", value)
+        assert [p.name for p in tmp_path.iterdir()] == ["rewritten.pkl"]
+
+    def test_concurrent_writers_use_distinct_tmp_names(self, tmp_path):
+        # Two cache instances standing in for two processes: the tmp
+        # name embeds pid + a counter, so they can never collide on the
+        # same half-written file even for the same key.
+        a = ResultCache(max_entries=4, disk_dir=tmp_path)
+        b = ResultCache(max_entries=4, disk_dir=tmp_path)
+        a.put("shared", "from-a")
+        b.put("shared", "from-b")
+        assert b.get("shared") == "from-b"
+        assert not list(tmp_path.glob("*.tmp"))
+
+
 class TestCachedHelper:
     def test_miss_then_hit(self):
         calls = []
@@ -148,3 +181,16 @@ class TestCachedHelper:
     def test_configure_validates(self):
         with pytest.raises(ValueError):
             configure_cache(max_entries=0)
+
+    def test_configure_disk_dir_none_disables(self, tmp_path):
+        cache = get_cache()
+        before = cache.disk_dir
+        try:
+            configure_cache(disk_dir=tmp_path)
+            assert cache.disk_dir == tmp_path
+            configure_cache()  # omitting the argument keeps the setting
+            assert cache.disk_dir == tmp_path
+            configure_cache(disk_dir=None)  # None is an explicit reset
+            assert cache.disk_dir is None
+        finally:
+            configure_cache(disk_dir=before)

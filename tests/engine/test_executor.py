@@ -18,6 +18,10 @@ def _square(x):
     return x * x
 
 
+def _apply_or_square(task):
+    return task(3) if callable(task) else task * task
+
+
 def _entropy(seed_seq):
     return seed_seq.entropy
 
@@ -46,6 +50,18 @@ class TestRunTasks:
     def test_explicit_workers_override(self):
         assert run_tasks(_square, [1, 2, 3], workers=2) == [1, 4, 9]
 
+    def test_later_unpicklable_task_runs_in_parent(self):
+        # The upfront probe covers fn and the first task only; a later
+        # unpicklable payload is absorbed per-task by the supervised
+        # loop instead of failing the whole batch.
+        reg = get_registry()
+        before = reg.counter("engine.pickle_fallback")
+        tasks = [2, lambda x: x + 10, 4]
+        with parallel(workers=2):
+            result = run_tasks(_apply_or_square, tasks)
+        assert result == [4, 13, 16]
+        assert reg.counter("engine.pickle_fallback") == before + 1
+
 
 class TestConfig:
     def test_default_is_sequential(self):
@@ -62,6 +78,18 @@ class TestConfig:
     def test_bad_worker_count_rejected(self):
         with pytest.raises(ValueError):
             EngineConfig(workers=0)
+
+    def test_workers_env_is_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert current_config().workers == 3
+
+    def test_malformed_workers_env_warns_and_runs_sequentially(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "four")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            config = current_config()
+        assert config.workers == 1
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            assert run_tasks(_square, [1, 2, 3]) == [1, 4, 9]
 
 
 class TestSeeding:
@@ -110,3 +138,21 @@ class TestWelfordMerge:
         part = (3, np.array([1.0]), np.array([0.5]))
         assert welford_merge((0, 0.0, 0.0), part) == part
         assert welford_merge(part, (0, 0.0, 0.0)) == part
+
+    def test_both_sides_empty(self):
+        empty = (0, 0.0, 0.0)
+        assert welford_merge(empty, empty) == empty
+
+    def test_single_run_chunks_match_batch_moments(self):
+        # A checkpoint-resumed ensemble can hand back chunks of one run
+        # each; folding them must still reproduce the batch moments.
+        rng = np.random.default_rng(17)
+        xs = rng.normal(size=(13, 4))
+        count, mean, m2 = 0, 0.0, 0.0
+        for row in xs:
+            count, mean, m2 = welford_merge(
+                (count, mean, m2), (1, row.copy(), np.zeros(4))
+            )
+        assert count == 13
+        np.testing.assert_allclose(mean, xs.mean(axis=0), rtol=1e-12)
+        np.testing.assert_allclose(m2 / 12, xs.var(axis=0, ddof=1), rtol=1e-11)

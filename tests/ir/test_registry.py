@@ -7,12 +7,14 @@ import pytest
 import scipy.sparse as sp
 
 from repro.engine import cache_override, get_cache, get_registry
-from repro.errors import BackendError
+from repro.errors import BackendError, SingularGeneratorError
 from repro.ir import (
     MarkovIR,
     ReactionIR,
+    RetryPolicy,
     available_backends,
     default_backend,
+    fallback_chain,
     get_backend,
     solve,
 )
@@ -135,3 +137,39 @@ class TestDispatch:
         exact = 5.0 * np.exp(0.5 * times)
         np.testing.assert_allclose(sol_scipy[:, 0], exact, rtol=1e-5)
         np.testing.assert_allclose(sol_rk4[:, 0], exact, rtol=1e-4)
+
+
+class TestFallbackChains:
+    def test_registered_chains(self):
+        assert fallback_chain("steady") == ("gmres", "sparse", "dense")
+        assert fallback_chain("transient") == ("expm", "uniformization")
+        assert fallback_chain("passage") == ("expm", "uniformization")
+        assert fallback_chain("ode") == ("scipy", "rk4")
+        assert fallback_chain("ssa") == ()  # stochastic: never silently resolved
+
+    def test_retry_policy_validation(self):
+        assert RetryPolicy().attempts == 1
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+    def test_exhausted_chain_reraises_first_error(self):
+        # An absorbing chain defeats every steady backend the same way;
+        # solve must re-raise the requested backend's error, not the
+        # last candidate's, and count the exhaustion.
+        Q = sp.csr_matrix(np.array([[-1.0, 1.0], [0.0, 0.0]]))
+        reg = get_registry()
+        before = reg.counter("ir.fallback.exhausted")
+        with pytest.raises(SingularGeneratorError, match="absorbing"):
+            solve(MarkovIR(generator=Q), "steady", backend="gmres")
+        assert reg.counter("ir.fallback.exhausted") == before + 1
+
+    def test_non_recoverable_error_skips_fallback(self):
+        # A bad parameter is a caller bug, not a solver failure: it must
+        # propagate from the requested backend without walking the chain.
+        reg = get_registry()
+        used = reg.counter("ir.fallback.used")
+        exhausted = reg.counter("ir.fallback.exhausted")
+        with pytest.raises(TypeError):
+            solve(ring_ir(), "steady", backend="gmres", bogus_option=1)
+        assert reg.counter("ir.fallback.used") == used
+        assert reg.counter("ir.fallback.exhausted") == exhausted

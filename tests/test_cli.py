@@ -70,6 +70,17 @@ class TestSolveSubcommand:
         assert main(["solve", model_file, "--backend", "quantum"]) == 1
         assert "available" in capsys.readouterr().err
 
+    def test_resilience_flags(self, model_file, capsys):
+        assert main(
+            ["solve", model_file, "--workers", "2", "--retries", "1",
+             "--task-timeout", "30"]
+        ) == 0
+        assert "steady state" in capsys.readouterr().out
+
+    def test_negative_retries_is_a_usage_error(self, model_file):
+        with pytest.raises(SystemExit):
+            main(["solve", model_file, "--retries", "-1"])
+
     def test_transient_and_ssa(self, model_file, capsys):
         assert main(
             ["solve", model_file, "--capability", "transient",
