@@ -16,13 +16,19 @@ trajectories bit-identical to the pre-IR simulator.
 from __future__ import annotations
 
 from repro.biopepa.model import BioModel
+from repro.biopepa.wellformed import check_model
 from repro.ir import ReactionIR
 
 __all__ = ["lower_reactions"]
 
 
-def lower_reactions(model: BioModel) -> ReactionIR:
-    """Lower the model's kinetics to a :class:`~repro.ir.ReactionIR`."""
+def lower_reactions(model: BioModel, strict: bool = True) -> ReactionIR:
+    """Lower the model's kinetics to a :class:`~repro.ir.ReactionIR`.
+
+    Well-formedness is checked first (errors raise); ``strict=False``
+    demotes errors to warnings for deliberately degenerate models.
+    """
+    check_model(model, strict=strict)
     return ReactionIR(
         species=tuple(model.species_names),
         initial=model.initial_state(),

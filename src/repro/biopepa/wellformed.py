@@ -1,0 +1,127 @@
+"""Static well-formedness analysis of Bio-PEPA models.
+
+The Bio-PEPA analogue of :mod:`repro.pepa.wellformed`: the checks a
+user expects before paying for a lowering or a solve —
+
+* every name a kinetic law references is a species or parameter (error);
+* no parameter used by a law is negative (error) or zero (warning —
+  the reaction can never fire);
+* propensities at the initial state are finite and non-negative
+  (error), and at least one reaction can fire (warning otherwise —
+  the network is initially deadlocked);
+* every reaction changes *some* species (warning — a zero
+  stoichiometry column is a no-op firing);
+* species and parameters that no reaction touches (warning).
+
+``check_model(model)`` raises on errors and returns the warnings;
+``check_model(model, strict=False)`` demotes every error to a warning —
+the escape hatch :func:`repro.biopepa.lower.lower_reactions` exposes for
+deliberately degenerate models (test fixtures, reduction studies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.biopepa.model import BioModel
+from repro.errors import BioPepaError, KineticLawError
+
+__all__ = ["check_model"]
+
+
+def _raise_or_warn(strict: bool, warnings: list[str], exc: BioPepaError) -> None:
+    if strict:
+        raise exc
+    warnings.append(str(exc))
+
+
+def check_model(model: BioModel, strict: bool = True) -> list[str]:
+    """Validate a Bio-PEPA model statically.
+
+    Returns warnings; raises on errors unless ``strict=False``, in which
+    case errors are appended to the returned warnings instead.
+    """
+    warnings: list[str] = []
+    species = set(model.species_names)
+    used_params: set[str] = set()
+    used_species: set[str] = set()
+
+    for rx in model.reactions:
+        for ref in rx.law.referenced_names():
+            if ref in species:
+                used_species.add(ref)
+            elif ref in model.parameters:
+                used_params.add(ref)
+            else:
+                _raise_or_warn(
+                    strict,
+                    warnings,
+                    KineticLawError(
+                        f"kinetic law of {rx.name!r} references undefined "
+                        f"name {ref!r}"
+                    ),
+                )
+        for p in rx.participants:
+            used_species.add(p.species)
+
+    for name in sorted(used_params):
+        value = model.parameters[name]
+        if value < 0:
+            _raise_or_warn(
+                strict,
+                warnings,
+                BioPepaError(f"parameter {name!r} is negative ({value})"),
+            )
+        elif value == 0:
+            warnings.append(
+                f"parameter {name!r} is zero; reactions using it can never fire"
+            )
+
+    # Propensities at the initial state: the cheapest dynamic probe.
+    try:
+        rates = np.asarray(model.reaction_rates(model.initial_state()))
+    except Exception as exc:  # noqa: BLE001 - report, don't mask, law bugs
+        warnings.append(
+            f"kinetic laws could not be evaluated at the initial state: {exc}"
+        )
+        rates = None
+    if rates is not None:
+        for r, rx in enumerate(model.reactions):
+            if not np.isfinite(rates[r]):
+                _raise_or_warn(
+                    strict,
+                    warnings,
+                    KineticLawError(
+                        f"reaction {rx.name!r} has non-finite rate "
+                        f"{rates[r]} at the initial state"
+                    ),
+                )
+            elif rates[r] < 0:
+                _raise_or_warn(
+                    strict,
+                    warnings,
+                    KineticLawError(
+                        f"reaction {rx.name!r} has negative rate "
+                        f"{rates[r]} at the initial state"
+                    ),
+                )
+        if rates.size and np.nanmax(np.abs(rates)) == 0.0:
+            warnings.append(
+                "no reaction can fire at the initial state; the network "
+                "is initially deadlocked"
+            )
+
+    N = model.stoichiometry_matrix()
+    for r, rx in enumerate(model.reactions):
+        if N.shape[0] and not N[:, r].any():
+            warnings.append(
+                f"reaction {rx.name!r} changes no species (zero "
+                "stoichiometry column)"
+            )
+
+    for name in sorted(species - used_species):
+        warnings.append(f"species {name!r} participates in no reaction")
+    for name in sorted(set(model.parameters) - used_params):
+        warnings.append(f"parameter {name!r} is defined but never used")
+
+    return warnings

@@ -18,7 +18,11 @@ Subcommands mirror the workflow of the paper::
 
     repro solve model.pepa --backend dense          # IR backend registry
     repro solve model.biopepa --capability ssa --runs 200
+    repro solve model.pepa --diagnostics            # trust-layer diagnostics
+    repro solve model.pepa --shadow dense           # cross-backend check
     repro solve --list-backends
+
+    repro validate model.pepa                       # static well-formedness
 
     repro experiment fig3                           # regenerate a paper artifact
     repro metrics fig3 --workers 4                  # same, with solver metrics
@@ -124,10 +128,46 @@ def _test_command(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _validate_model(args: argparse.Namespace, formalism: str) -> int:
+    """Static well-formedness check of a model file (any formalism)."""
+    source = pathlib.Path(args.image).read_text()
+    strict = not args.lax
+    if formalism == "pepa":
+        from repro.pepa import parse_model
+        from repro.pepa.wellformed import check_model
+
+        # The PEPA checker has no lax mode: its errors are all fatal to
+        # derivation anyway.
+        warnings = check_model(parse_model(source))
+    elif formalism == "biopepa":
+        from repro.biopepa import parse_biopepa
+        from repro.biopepa.wellformed import check_model
+
+        warnings = check_model(parse_biopepa(source), strict=strict)
+    else:
+        from repro.gpepa import parse_gpepa
+        from repro.gpepa.wellformed import check_model
+
+        warnings = check_model(parse_gpepa(source), strict=strict)
+    for warning in warnings:
+        print(f"warning: {warning}")
+    print(f"{args.image}: well-formed ({len(warnings)} warning(s))")
+    return 0
+
+
 def _validate_command(args: argparse.Namespace) -> int:
     from repro.core import Image, validate_against_native
     from repro.core.validation import standard_validation_cases
 
+    formalism = _SOLVE_SUFFIXES.get(pathlib.Path(args.image).suffix.lower())
+    if formalism is not None:
+        return _validate_model(args, formalism)
+    if args.tool is None:
+        print(
+            "error: --tool is required when validating a container image",
+            file=sys.stderr,
+        )
+        return 2
     image = Image.load(args.image)
     report = validate_against_native(image, standard_validation_cases(args.tool))
     print(report.summary())
@@ -332,14 +372,32 @@ def _solve_command(args: argparse.Namespace) -> int:
     return _solve_dispatch(args, ir, labels)
 
 
+def _print_diagnostics() -> None:
+    """Print the trust layer's diagnostics for the last verified solve."""
+    from repro.ir import guards
+
+    diagnostics = guards.last_diagnostics()
+    if not diagnostics:
+        print("diagnostics: (none recorded)")
+        return
+    print("diagnostics:")
+    for key in sorted(diagnostics):
+        value = diagnostics[key]
+        if isinstance(value, float):
+            print(f"  {key:24s} {value:.6g}")
+        else:
+            print(f"  {key:24s} {value}")
+
+
 def _solve_dispatch(args: argparse.Namespace, ir, labels) -> int:
     import numpy as np
 
     from repro.ir import solve as ir_solve
 
     times = np.linspace(0.0, args.horizon, args.points)
+    shadow = args.shadow
     if args.capability == "steady":
-        result = ir_solve(ir, "steady", backend=args.backend)
+        result = ir_solve(ir, "steady", backend=args.backend, shadow=shadow)
         print(
             f"steady state: {ir.n_states} states, backend "
             f"{result.meta.get('backend', result.method)}, residual "
@@ -351,26 +409,30 @@ def _solve_dispatch(args: argparse.Namespace, ir, labels) -> int:
                 f"{result.meta['fallback_error']})"
             )
         _print_top(labels, result.pi, args.top)
-        return 0
-    if args.capability == "transient":
-        dist = ir_solve(ir, "transient", backend=args.backend, times=times)
+    elif args.capability == "transient":
+        dist = ir_solve(
+            ir, "transient", backend=args.backend, shadow=shadow, times=times
+        )
         print(f"transient distribution at t={args.horizon:g}:")
         _print_top(labels, dist[-1], args.top)
-        return 0
-    if args.capability == "ode":
-        traj = ir_solve(ir, "ode", backend=args.backend, times=times)
+    elif args.capability == "ode":
+        traj = ir_solve(
+            ir, "ode", backend=args.backend, shadow=shadow, times=times
+        )
         print(f"ode solution at t={args.horizon:g}:")
         _print_top(labels, traj[-1], args.top)
-        return 0
-    ens = ir_solve(
-        ir, "ssa", backend=args.backend, mode="ensemble",
-        times=times, n_runs=args.runs, seed=args.seed,
-    )
-    print(
-        f"ssa ensemble mean at t={args.horizon:g} "
-        f"({args.runs} runs, seed {args.seed}):"
-    )
-    _print_top(labels, ens.mean[-1], args.top)
+    else:
+        ens = ir_solve(
+            ir, "ssa", backend=args.backend, mode="ensemble",
+            times=times, n_runs=args.runs, seed=args.seed,
+        )
+        print(
+            f"ssa ensemble mean at t={args.horizon:g} "
+            f"({args.runs} runs, seed {args.seed}):"
+        )
+        _print_top(labels, ens.mean[-1], args.top)
+    if args.diagnostics:
+        _print_diagnostics()
     return 0
 
 
@@ -480,9 +542,26 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("image")
     p.set_defaults(func=_inspect_command)
 
-    p = sub.add_parser("validate", help="compare container output against native")
-    p.add_argument("image")
-    p.add_argument("--tool", choices=("pepa", "biopepa", "gpa"), required=True)
+    p = sub.add_parser(
+        "validate",
+        help="check a model's well-formedness, or compare a container "
+        "image's output against native",
+    )
+    p.add_argument(
+        "image",
+        help="model file (.pepa/.biopepa/.gpepa) for a static check, or "
+        "an image file (.img.json) for native-vs-container validation",
+    )
+    p.add_argument(
+        "--tool",
+        choices=("pepa", "biopepa", "gpa"),
+        help="tool to compare (required for image validation)",
+    )
+    p.add_argument(
+        "--lax",
+        action="store_true",
+        help="demote model well-formedness errors to warnings",
+    )
     p.set_defaults(func=_validate_command)
 
     p = sub.add_parser("hub", help="local registry operations")
@@ -538,6 +617,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="SSA ensemble seed")
     p.add_argument("--top", type=_positive_int, default=10,
                    help="how many states/species to print")
+    p.add_argument(
+        "--diagnostics",
+        action="store_true",
+        help="print the trust layer's diagnostics (residual, condition "
+        "estimate, truncation mass, ...) for the solve",
+    )
+    p.add_argument(
+        "--shadow",
+        metavar="BACKEND",
+        help="re-solve on this independent backend and fail on "
+        "disagreement (not applicable to ssa)",
+    )
     p.add_argument("--workers", type=_positive_int, default=None,
                    help="solve under engine.parallel(workers=N)")
     p.add_argument("--retries", type=_nonneg_int, default=None,

@@ -42,6 +42,21 @@ Fault kinds
 ``solver_nonconverge``
     Raise ``ConvergenceError`` at the entry of the steady-state method
     named by ``backend`` — exercised by the IR fallback chains.
+``solver_silent_garbage``
+    Make the steady-state method named by ``backend`` *return* a
+    well-normalized but wrong probability vector while reporting
+    success — the failure mode exit codes cannot catch.  The trust
+    layer's residual sentinel (:mod:`repro.ir.guards`) must detect it
+    and route the solve down the fallback chain.
+``sentinel_violation``
+    Force the trust layer's :func:`repro.ir.guards.verify` to reject the
+    result of the capability named by ``backend`` (any, when ``None``)
+    as if an invariant had failed — exercises the sentinel → fallback →
+    metrics path without needing a numerically broken solver.
+``shadow_mismatch``
+    Force a shadow comparison against the backend named by ``backend``
+    to report disagreement — exercises the quarantine path
+    (``ir.trust.shadow_mismatch`` metric plus ``NumericalTrustError``).
 
 Hooks are free when no plan is active: one environment-dict lookup.
 """
@@ -74,6 +89,9 @@ FAULT_KINDS = (
     "task_timeout",
     "cache_corrupt",
     "solver_nonconverge",
+    "solver_silent_garbage",
+    "sentinel_violation",
+    "shadow_mismatch",
 )
 
 
@@ -93,7 +111,10 @@ class FaultSpec:
         Restrict worker-side faults to the task with this batch index
         (``None`` = any task).
     backend:
-        Restrict ``solver_nonconverge`` to this solver method name.
+        Restrict solver-side faults (``solver_nonconverge``,
+        ``solver_silent_garbage``) to this solver method name;
+        for ``sentinel_violation`` the capability name, for
+        ``shadow_mismatch`` the shadow backend name.
     sleep:
         Seconds a ``task_timeout`` fault stalls the worker.
     times:

@@ -163,6 +163,50 @@ class ConvergenceError(NumericsError):
     """An iterative solver failed to converge within its iteration budget."""
 
 
+class NumericalTrustError(NumericsError):
+    """A solver result violated a structural invariant it must satisfy.
+
+    Raised by the trust layer (:mod:`repro.ir.guards`) when a backend
+    returns a plausible-looking but wrong answer — a steady-state vector
+    off the probability simplex, a non-monotone passage CDF, an ODE
+    trajectory with NaNs — or when a shadow re-solve on an independent
+    backend disagrees beyond tolerance.  The structured attributes let
+    the fallback chain and the chaos suite identify exactly which
+    invariant failed on which backend.
+
+    Attributes
+    ----------
+    invariant:
+        Short name of the violated invariant (e.g. ``"simplex"``,
+        ``"residual"``, ``"cdf_monotone"``, ``"shadow_mismatch"``).
+    capability / backend:
+        The registry dispatch that produced the untrusted result.
+    token:
+        The IR's cache-identity token when it has one (``None``
+        otherwise), so a violation can be tied to a cached entry.
+    detail:
+        Free-form measurement backing the verdict (the defect size).
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        capability: str | None = None,
+        backend: str | None = None,
+        token: object = None,
+        detail: float | None = None,
+    ):
+        self.invariant = invariant
+        self.capability = capability
+        self.backend = backend
+        self.token = token
+        self.detail = detail
+        where = f"{capability}/{backend}" if capability and backend else (backend or "?")
+        super().__init__(f"[{invariant}] {where}: {message}")
+
+
 # ---------------------------------------------------------------------------
 # Container framework
 # ---------------------------------------------------------------------------

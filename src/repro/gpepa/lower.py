@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpepa.model import GroupCooperation, GroupReference, GroupedModel, LocalRate
+from repro.gpepa.wellformed import check_model
 from repro.ir import ReactionIR
 
 __all__ = [
@@ -255,12 +256,17 @@ def model_token(model: GroupedModel) -> tuple:
     )
 
 
-def lower_reactions(model: GroupedModel) -> ReactionIR:
+def lower_reactions(model: GroupedModel, strict: bool = True) -> ReactionIR:
     """Lower the grouped model's population dynamics to a
-    :class:`~repro.ir.ReactionIR` (memoized on the model)."""
+    :class:`~repro.ir.ReactionIR` (memoized on the model).
+
+    Well-formedness is checked on first lowering (errors raise);
+    ``strict=False`` demotes errors to warnings.
+    """
     memo = getattr(model, "_reaction_ir", None)
     if memo is not None:
         return memo
+    check_model(model, strict=strict)
     system = _FluidSystem(model)
     names: list[str] = []
     sources: list[int] = []

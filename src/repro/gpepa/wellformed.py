@@ -1,0 +1,104 @@
+"""Static well-formedness analysis of grouped PEPA models.
+
+The GPEPA analogue of :mod:`repro.pepa.wellformed`, run against the
+analyzed :class:`~repro.gpepa.model.GroupedModel` (whose constructor
+already rejects unbound group references, duplicate labels and passive
+rates) —
+
+* no local transition has a negative rate (error) or zero rate
+  (warning — a dead transition);
+* every group has positive total population (warning otherwise — its
+  subtree contributes nothing to the dynamics);
+* every cooperation-set action is performable by *both* subtrees
+  (warning — a one-sided shared action is throttled to zero and blocks
+  forever; an action in neither alphabet is dead weight);
+* absorbing local derivatives — states mass can enter but never leave
+  (warning: legitimate in terminating protocols, fatal for steady-state
+  questions).
+
+``check_model(model)`` raises on errors and returns the warnings;
+``check_model(model, strict=False)`` demotes errors to warnings — the
+escape hatch :func:`repro.gpepa.lower.lower_reactions` exposes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FluidSemanticsError
+from repro.gpepa.model import GroupCooperation, GroupedModel, GroupReference
+
+__all__ = ["check_model"]
+
+
+def _subtree_actions(model: GroupedModel, node) -> set[str]:
+    """All actions the groups under ``node`` can perform."""
+    if isinstance(node, GroupReference):
+        return {t.action for t in model.transitions if t.group == node.label}
+    assert isinstance(node, GroupCooperation)
+    return _subtree_actions(model, node.left) | _subtree_actions(model, node.right)
+
+
+def check_model(model: GroupedModel, strict: bool = True) -> list[str]:
+    """Validate a grouped model statically.
+
+    Returns warnings; raises on errors unless ``strict=False``, in which
+    case errors are appended to the returned warnings instead.
+    """
+    warnings: list[str] = []
+
+    for t in model.transitions:
+        src_group, src_label = model.state_names[t.source]
+        if t.rate < 0:
+            message = (
+                f"transition {src_group}.{src_label} --{t.action}--> has "
+                f"negative rate {t.rate}"
+            )
+            if strict:
+                raise FluidSemanticsError(message)
+            warnings.append(message)
+        elif t.rate == 0:
+            warnings.append(
+                f"transition {src_group}.{src_label} --{t.action}--> has "
+                "zero rate and can never fire"
+            )
+
+    for label in model.groups:
+        if model.group_total(label) == 0:
+            warnings.append(
+                f"group {label!r} has zero total population; its subtree "
+                "contributes nothing"
+            )
+
+    def walk(node) -> None:
+        if isinstance(node, GroupReference):
+            return
+        assert isinstance(node, GroupCooperation)
+        left = _subtree_actions(model, node.left)
+        right = _subtree_actions(model, node.right)
+        for action in node.actions:
+            if action not in left and action not in right:
+                warnings.append(
+                    f"cooperation action {action!r} is in neither "
+                    "cooperand's alphabet"
+                )
+            elif action not in left or action not in right:
+                warnings.append(
+                    f"cooperation action {action!r} can only be performed "
+                    "by one cooperand and will block forever"
+                )
+        walk(node.left)
+        walk(node.right)
+
+    walk(model.system)
+
+    # Absorbing derivatives: reachable (some transition targets them)
+    # but with no outgoing transition of their own.
+    has_exit = {t.source for t in model.transitions}
+    entered = {t.target for t in model.transitions}
+    for idx in sorted(entered - has_exit):
+        group, label = model.state_names[idx]
+        warnings.append(
+            f"derivative {group}.{label} is absorbing (mass can enter "
+            "but never leave)"
+        )
+
+    return warnings

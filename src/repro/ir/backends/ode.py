@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ir import guards
 from repro.ir.reaction import ReactionIR
 from repro.ir.registry import register_backend, register_fallback_chain
 from repro.numerics.ode import integrate_ode, rk4_fixed_step
@@ -46,15 +47,26 @@ def _initial_of(ir: ReactionIR, initial) -> np.ndarray:
 
 def _ode_scipy(ir: ReactionIR, *, times, initial=None, method="LSODA",
                rtol=1e-8, atol=1e-10):
-    counts = integrate_ode(
-        _rhs_of(ir), _initial_of(ir, initial), times,
-        method=method, rtol=rtol, atol=atol,
-    )
+    stats: dict = {}
+    try:
+        counts = integrate_ode(
+            _rhs_of(ir), _initial_of(ir, initial), times,
+            method=method, rtol=rtol, atol=atol, stats=stats,
+        )
+    finally:
+        guards.note(**stats)
     return np.clip(counts, 0.0, None)
 
 
-def _ode_rk4(ir: ReactionIR, *, times, initial=None, **_ignored):
-    counts = rk4_fixed_step(_rhs_of(ir), _initial_of(ir, initial), times)
+def _ode_rk4(ir: ReactionIR, *, times, initial=None, substeps=16, **_ignored):
+    t = np.asarray(times, dtype=np.float64)
+    counts = rk4_fixed_step(
+        _rhs_of(ir), _initial_of(ir, initial), times, substeps=substeps
+    )
+    guards.note(
+        ode_method="rk4",
+        ode_nfev=4 * substeps * max(t.size - 1, 0),
+    )
     return np.clip(counts, 0.0, None)
 
 

@@ -91,6 +91,32 @@ class MarkovIR:
         """Indices of states with zero exit rate."""
         return np.nonzero(-self.generator.diagonal() <= 0.0)[0]
 
+    def generator_defect(self) -> dict:
+        """Worst structural defects of the CSR generator.
+
+        Returns ``{"row_sum": max |row sum|, "min_offdiag": most
+        negative off-diagonal entry (0 if none), "scale": max |entry|
+        (>= 1)}`` — the raw measurements behind the trust layer's
+        generator sentinels.  Memoized: the generator is immutable, so
+        one CSR sweep covers every solve on this IR.
+        """
+        memo = getattr(self, "_trust_generator_defect", None)
+        if memo is not None:
+            return memo
+        Q = self.generator
+        row_sums = np.asarray(Q.sum(axis=1)).ravel()
+        scale = max(1.0, float(np.abs(Q.data).max()) if Q.nnz else 1.0)
+        coo = Q.tocoo()
+        off = coo.row != coo.col
+        min_off = float(coo.data[off].min()) if off.any() else 0.0
+        defect = {
+            "row_sum": float(np.abs(row_sums).max()) if row_sums.size else 0.0,
+            "min_offdiag": min(min_off, 0.0),
+            "scale": scale,
+        }
+        object.__setattr__(self, "_trust_generator_defect", defect)
+        return defect
+
     def action_rate_matrix(self, action: str) -> sp.csr_matrix:
         """Sparse matrix of total per-``action`` rates between states
         (self-loops included — rewards observe them; memoized)."""

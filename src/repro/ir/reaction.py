@@ -118,6 +118,28 @@ class ReactionIR:
                 f"no species {name!r}; have {list(self.species)}"
             ) from None
 
+    def conservation_laws(self) -> np.ndarray:
+        """Orthonormal basis of the left null space of the stoichiometry.
+
+        Rows ``w`` satisfy ``w @ N = 0``; every trajectory of the
+        network — SSA sample paths, ensemble means, the fluid ODE — must
+        hold each ``w @ x(t)`` constant, which is the invariant the
+        trust layer's conservation sentinel measures.  Memoized per
+        instance (the stoichiometry is immutable); networks beyond
+        512 species skip the SVD and report no laws.
+        """
+        memo = getattr(self, "_trust_conservation", None)
+        if memo is not None:
+            return memo
+        if self.n_species > 512:
+            W = np.empty((0, self.n_species))
+        else:
+            from repro.numerics.diagnostics import conservation_laws
+
+            W = conservation_laws(self.stoichiometry)
+        object.__setattr__(self, "_trust_conservation", W)
+        return W
+
     def integer_initial(self) -> np.ndarray:
         """Initial amounts rounded to the integer lattice.
 

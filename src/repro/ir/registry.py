@@ -26,11 +26,26 @@ A capability may declare an ordered *fallback chain*
 dense``.  When the requested backend fails with an error the chain's
 :class:`RetryPolicy` deems recoverable (by default
 :class:`~repro.errors.ConvergenceError` /
-:class:`~repro.errors.SingularGeneratorError`), :func:`solve` walks the
+:class:`~repro.errors.SingularGeneratorError` /
+:class:`~repro.errors.NumericalTrustError`), :func:`solve` walks the
 remaining chain entries in order, records ``ir.fallback.*`` metrics and
 the result's ``meta["fallback_from"]``, and re-raises the *first* error
 only if every candidate fails.  ``solve(..., fallback=False)`` disables
 the walk for callers that need the raw failure.
+
+Numerical trust
+---------------
+Every backend result — fresh or cached — passes the sentinels of
+:mod:`repro.ir.guards` before :func:`solve` returns it: probability
+vectors on the simplex, generator rows summing to ~0, monotone CDFs,
+finite non-negative trajectories, conserved stoichiometric sums.  A
+violation raises :class:`~repro.errors.NumericalTrustError`, which is
+recoverable — a silently-garbage ``gmres`` answer degrades through the
+same chain as a raised exception.  Verified solves carry a diagnostics
+dictionary (``meta["diagnostics"]`` / :func:`repro.ir.guards.last_diagnostics`),
+and ``$REPRO_SHADOW_RATE`` or ``solve(..., shadow=...)`` re-solves a
+sampled fraction on an independent backend, quarantining disagreements
+as ``ir.trust.shadow_mismatch``.
 """
 
 from __future__ import annotations
@@ -40,7 +55,13 @@ from typing import Callable
 
 from repro.engine.cache import cached
 from repro.engine.metrics import get_registry
-from repro.errors import BackendError, ConvergenceError, SingularGeneratorError
+from repro.errors import (
+    BackendError,
+    ConvergenceError,
+    NumericalTrustError,
+    SingularGeneratorError,
+)
+from repro.ir import guards
 
 __all__ = [
     "CAPABILITIES",
@@ -78,7 +99,7 @@ class RetryPolicy:
 
     attempts: int = 1
     recoverable: tuple[type[BaseException], ...] = field(
-        default=(ConvergenceError, SingularGeneratorError)
+        default=(ConvergenceError, SingularGeneratorError, NumericalTrustError)
     )
 
     def __post_init__(self):
@@ -185,6 +206,7 @@ def _execute(be: _Backend, ir, params: dict):
     """One backend attempt: metrics timer plus (opt-in) result cache."""
     reg = get_registry()
     reg.increment(f"ir.{be.capability}.{be.name}")
+    guards.reset_notes()
     with reg.timer(f"ir.{be.capability}"):
         if be.cache and getattr(ir, "token", True) is not None:
             result, status = cached(
@@ -199,6 +221,9 @@ def _execute(be: _Backend, ir, params: dict):
         if status is not None:
             meta["cache"] = status
         meta["backend"] = be.name
+    # Sentinels run on every result, cached ones included — a corrupt or
+    # stale cache entry is exactly as untrustworthy as a bad solve.
+    guards.verify(be.capability, be.name, ir, result, params)
     return result
 
 
@@ -219,7 +244,40 @@ def _candidates(capability: str, first: _Backend) -> list[_Backend]:
     return out
 
 
-def solve(ir, capability: str, backend: str | None = None, fallback: bool = True, **params):
+def _maybe_shadow(capability: str, be: _Backend, ir, result, params: dict,
+                  explicit: str | None) -> None:
+    """Re-solve a sampled request on an independent backend and compare.
+
+    ``explicit`` (the ``shadow=`` argument) forces a check against that
+    backend; otherwise ``$REPRO_SHADOW_RATE`` selects a deterministic
+    sample of requests and :func:`repro.ir.guards.shadow_backend` picks
+    the partner.  Disagreement above tolerance raises
+    :class:`~repro.errors.NumericalTrustError` — the result is
+    quarantined, not returned.
+    """
+    rate = 1.0 if explicit is not None else guards.shadow_rate()
+    if rate <= 0.0 or not guards.shadow_due(capability, rate):
+        return
+    reg = get_registry()
+    partner = guards.shadow_backend(capability, be.name, ir, explicit=explicit)
+    if partner is not None:
+        partner = _ALIASES.get((capability, partner), partner)
+    shadow_be = _REGISTRY.get((capability, partner)) if partner else None
+    if shadow_be is None or not isinstance(ir, shadow_be.accepts):
+        reg.increment("ir.trust.shadow.skipped")
+        return
+    primary_diag = guards.last_diagnostics()
+    shadow_result = _execute(shadow_be, ir, params)
+    info = guards.shadow_compare(
+        capability, be.name, shadow_be.name, ir, result, shadow_result
+    )
+    if isinstance(primary_diag, dict):
+        primary_diag.update(info)
+        guards.set_last(primary_diag)
+
+
+def solve(ir, capability: str, backend: str | None = None, fallback: bool = True,
+          shadow: str | None = None, **params):
     """Run ``capability`` on ``ir`` with the selected ``backend``.
 
     Deterministic capabilities are cached under ``ir.<capability>``
@@ -228,11 +286,16 @@ def solve(ir, capability: str, backend: str | None = None, fallback: bool = True
     call was served.
 
     When the capability declares a fallback chain and the selected
-    backend fails recoverably, the remaining chain entries are tried in
-    order (``fallback=False`` disables this); a fallback success records
-    ``meta["fallback_from"]`` / ``meta["fallback_error"]`` and bumps the
-    ``ir.fallback.*`` counters.  If every candidate fails, the *first*
-    error is re-raised.
+    backend fails recoverably — raising an exception *or* returning a
+    result the trust sentinels reject — the remaining chain entries are
+    tried in order (``fallback=False`` disables this); a fallback
+    success records ``meta["fallback_from"]`` / ``meta["fallback_error"]``
+    and bumps the ``ir.fallback.*`` counters.  If every candidate fails,
+    the *first* error is re-raised.
+
+    ``shadow`` names a backend to re-solve on and compare against
+    (``repro solve --shadow``); without it, ``$REPRO_SHADOW_RATE``
+    shadow-verifies a deterministic sample of requests.
     """
     be = get_backend(capability, backend)
     if not isinstance(ir, be.accepts):
@@ -263,6 +326,7 @@ def solve(ir, capability: str, backend: str | None = None, fallback: bool = True
                 if isinstance(meta, dict):
                     meta["fallback_from"] = be.name
                     meta["fallback_error"] = str(first_error)
+            _maybe_shadow(capability, candidate, ir, result, params, shadow)
             return result
         if first_error is None:
             first_error = error

@@ -1,0 +1,174 @@
+"""Conditioning and convergence diagnostics for the numerical back-ends.
+
+The trust layer (:mod:`repro.ir.guards`) attaches a small dictionary of
+quality measurements to every registry solve: residual norms, condition
+estimates, uniformization truncation mass, conservation defects.  This
+module owns the measurements themselves — each is a pure function of
+the generator / stoichiometry / result arrays, cheap relative to the
+solve it describes, and safe on degenerate inputs (it *reports*, never
+raises; deciding whether a number is acceptable is the sentinels' job).
+
+Everything here sits below :mod:`repro.ir` in the import layering:
+``ir -> numerics`` only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.numerics.poisson import poisson_truncation_point
+
+__all__ = [
+    "CONDITION_ESTIMATE_LIMIT",
+    "steady_residual",
+    "condition_estimate",
+    "simplex_defect",
+    "monotonicity_defect",
+    "truncation_diagnostics",
+    "conservation_laws",
+    "conservation_defect",
+]
+
+#: Condition estimation factorizes the replaced steady-state system; skip
+#: it above this state count (the estimate would cost as much as a solve).
+CONDITION_ESTIMATE_LIMIT = 5000
+
+
+def steady_residual(Q: sp.spmatrix, pi: np.ndarray) -> float:
+    """Max-norm residual ``‖pi @ Q‖∞`` of a claimed equilibrium vector.
+
+    This is the one number that cannot lie: whatever a solver reports
+    about its own convergence, the true defect of ``pi @ Q = 0`` is a
+    single sparse mat-vec away.
+    """
+    pi = np.asarray(pi, dtype=np.float64)
+    r = pi @ sp.csr_matrix(Q, dtype=np.float64)
+    r = np.asarray(r).ravel()
+    return float(np.abs(r).max()) if r.size else 0.0
+
+
+def condition_estimate(Q: sp.spmatrix) -> float | None:
+    """1-norm condition estimate of the replaced steady-state system.
+
+    ``kappa_1(A) ~ onenormest(A) * onenormest(A^-1)`` where ``A`` is the
+    normalization-replaced transpose actually factorized by the direct
+    solvers — the matrix whose conditioning governs how many digits of
+    the solve survive.  ``A^-1`` is never formed; its 1-norm is
+    estimated through an LU solve operator (Higham & Tisseur's block
+    algorithm, a handful of solves).
+
+    Returns ``None`` when the system is too large
+    (:data:`CONDITION_ESTIMATE_LIMIT`), singular, or tiny (order < 2 —
+    ``onenormest`` needs a 2x2 or larger operator).
+    """
+    from repro.numerics.steady import _replaced_system
+
+    Q = sp.csr_matrix(Q, dtype=np.float64)
+    n = Q.shape[0]
+    if n < 2 or n > CONDITION_ESTIMATE_LIMIT:
+        return None
+    A, _b = _replaced_system(Q)
+    try:
+        lu = spla.splu(A)
+        # onenormest walks both A^-1 and its adjoint, so the operator
+        # needs rmatvec (a transposed LU solve) as well as matvec.
+        inv_op = spla.LinearOperator(
+            (n, n),
+            matvec=lu.solve,
+            rmatvec=lambda v: lu.solve(np.asarray(v, dtype=np.float64).ravel(), trans="T"),
+            dtype=np.float64,
+        )
+        norm_a = spla.onenormest(A)
+        norm_ainv = spla.onenormest(inv_op)
+    except (RuntimeError, ValueError):
+        return None
+    kappa = float(norm_a * norm_ainv)
+    return kappa if np.isfinite(kappa) else None
+
+
+def simplex_defect(pi: np.ndarray) -> dict:
+    """How far a claimed probability vector sits off the simplex.
+
+    Returns ``{"min": most negative entry (0 if none), "mass_error":
+    |sum - 1|, "finite": all entries finite}``.
+    """
+    pi = np.asarray(pi, dtype=np.float64)
+    finite = bool(np.isfinite(pi).all())
+    if not finite or pi.size == 0:
+        return {"min": float("nan"), "mass_error": float("nan"), "finite": finite}
+    return {
+        "min": float(min(pi.min(), 0.0)),
+        "mass_error": float(abs(pi.sum() - 1.0)),
+        "finite": True,
+    }
+
+
+def monotonicity_defect(cdf: np.ndarray) -> float:
+    """Largest decrease between consecutive CDF samples (0 if monotone)."""
+    cdf = np.asarray(cdf, dtype=np.float64)
+    if cdf.size < 2:
+        return 0.0
+    drops = -np.diff(cdf)
+    worst = float(drops.max())
+    return worst if worst > 0.0 else 0.0
+
+
+def truncation_diagnostics(
+    Q: sp.spmatrix, t_max: float, epsilon: float = 1e-12
+) -> dict:
+    """Uniformization truncation summary for a horizon ``t_max``.
+
+    Reports the uniformization rate ``lambda``, the Poisson mean
+    ``lambda * t_max``, the truncation point ``K`` actually used by the
+    shared weight computation, and the mass bound ``epsilon`` the
+    truncation guarantees (weights are renormalized, so the *retained*
+    error is at most ``epsilon``).
+    """
+    Q = sp.csr_matrix(Q, dtype=np.float64)
+    lam = float(np.abs(Q.diagonal()).max()) if Q.shape[0] else 0.0
+    m = lam * max(float(t_max), 0.0)
+    k = poisson_truncation_point(m, epsilon) if m > 0 else 0
+    return {
+        "uniformization_rate": lam,
+        "poisson_mean": m,
+        "truncation_k": int(k),
+        "truncation_mass": float(epsilon),
+    }
+
+
+def conservation_laws(N: np.ndarray, atol: float = 1e-10) -> np.ndarray:
+    """Orthonormal basis of the left null space of a stoichiometry matrix.
+
+    Rows ``w`` satisfy ``w @ N = 0``: the linear combinations
+    ``w @ x(t)`` every trajectory of the network — stochastic or fluid —
+    must hold constant.  Shape ``(n_laws, n_species)``; empty when the
+    network conserves nothing (or ``N`` is empty).
+    """
+    N = np.asarray(N, dtype=np.float64)
+    if N.size == 0:
+        return np.empty((0, N.shape[0] if N.ndim == 2 else 0))
+    import scipy.linalg
+
+    W = scipy.linalg.null_space(N.T, rcond=atol)
+    return W.T
+
+
+def conservation_defect(
+    W: np.ndarray, counts: np.ndarray, reference: np.ndarray
+) -> float:
+    """Worst drift of the conserved sums ``W @ x`` along a trajectory.
+
+    ``counts`` has shape ``(n_times, n_species)``; ``reference`` is the
+    state the sums are measured against (normally the initial state).
+    Returns 0.0 when there are no conservation laws.
+    """
+    if W.size == 0:
+        return 0.0
+    expected = W @ np.asarray(reference, dtype=np.float64)
+    along = np.asarray(counts, dtype=np.float64) @ W.T
+    if along.size == 0:
+        return 0.0
+    drift = np.abs(along - expected[None, :])
+    return float(drift.max())

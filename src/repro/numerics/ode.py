@@ -41,10 +41,15 @@ def integrate_ode(
     method: str = "LSODA",
     rtol: float = 1e-8,
     atol: float = 1e-10,
+    stats: dict | None = None,
 ) -> np.ndarray:
     """Integrate ``dy/dt = rhs(t, y)`` and sample on ``times``.
 
     Returns an array of shape ``(len(times), len(y0))``; row 0 is ``y0``.
+    When ``stats`` is given, the integrator's work counters (right-hand
+    side / Jacobian evaluations, LU decompositions, exit status) are
+    written into it — even on failure, so callers can report how much
+    effort preceded the error.
     """
     t = _grid(times)
     y0 = np.asarray(y0, dtype=np.float64)
@@ -58,6 +63,14 @@ def integrate_ode(
         atol=atol,
         dense_output=False,
     )
+    if stats is not None:
+        stats.update(
+            ode_method=method,
+            ode_nfev=int(sol.nfev),
+            ode_njev=int(sol.njev),
+            ode_nlu=int(sol.nlu),
+            ode_status=int(sol.status),
+        )
     if not sol.success:
         raise NumericsError(f"ODE integration failed: {sol.message}")
     return sol.y.T.copy()

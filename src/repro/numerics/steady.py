@@ -177,6 +177,18 @@ def _solve_gmres(Q: sp.csr_matrix, tol: float, maxiter: int) -> tuple[np.ndarray
                          callback_type="pr_norm")
     if info != 0:
         raise ConvergenceError(f"GMRES did not converge (info={info}) after {iters} iterations")
+    # Preconditioned GMRES converges on the *preconditioned* residual, so
+    # info == 0 does not bound |A x - b|: a poor ILU factorization can
+    # report success on an answer that is wrong in the original system.
+    # Measure the true residual and treat silent non-convergence exactly
+    # like reported non-convergence — recoverable by the fallback chain.
+    scale = max(1.0, float(np.abs(A.data).max()) if A.nnz else 1.0)
+    true_res = float(np.abs(A @ x - b).max())
+    if not np.isfinite(true_res) or true_res > max(tol, 1e-10) * 1e3 * scale:
+        raise ConvergenceError(
+            f"GMRES reported convergence but the true residual |Ax-b| = "
+            f"{true_res:.3e} exceeds tolerance after {iters} iterations"
+        )
     return x, iters
 
 
@@ -262,6 +274,17 @@ def steady_state(
         )
         gauges["n_states"] = n
         gauges["iterations"] = result.iterations
+    if faults.should_fire("solver_silent_garbage", backend=method) is not None:
+        # Injected *after* the cache block so the garbage never becomes a
+        # cached entry.  The vector is well-normalized and the reported
+        # residual is confidently tiny — the exact lie an exit-code check
+        # believes and the trust layer's recomputed residual does not.
+        rigged = np.linspace(1.0, 2.0, n)
+        rigged /= rigged.sum()
+        result = SteadyStateResult(
+            pi=rigged, method=method, residual=tol / 10.0,
+            iterations=result.iterations,
+        )
     result.meta.update(cache=status, method=method, n_states=n)
     return result
 

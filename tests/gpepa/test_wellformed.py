@@ -1,0 +1,88 @@
+"""Static well-formedness analysis of grouped PEPA models."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import FluidSemanticsError
+from repro.gpepa import GroupReference, parse_gpepa
+from repro.gpepa.examples import (
+    client_server_power_source,
+    client_server_scalability_source,
+)
+from repro.gpepa.lower import lower_reactions
+from repro.gpepa.wellformed import check_model
+
+DEGENERATE = """
+ra = 1.0;
+A = (a, ra).A;
+C = (c, ra).C;
+G1{A[5]} <a, ghost> G2{C[0]}
+"""
+
+
+class TestCleanModels:
+    def test_example_models_are_well_formed(self):
+        for source in (
+            client_server_scalability_source(10, 2),
+            client_server_power_source(10, 2),
+        ):
+            assert check_model(parse_gpepa(source)) == []
+
+
+class TestParsedWarnings:
+    def test_degenerate_cooperation_warns_three_ways(self):
+        warnings = check_model(parse_gpepa(DEGENERATE))
+        assert any("zero total population" in w for w in warnings)
+        assert any("block forever" in w for w in warnings)
+        assert any("neither cooperand" in w for w in warnings)
+        assert len(warnings) == 3
+
+
+def fake_model(*, rate: float = 1.0, absorbing: bool = False):
+    """A minimal GroupedModel stand-in: the parser rejects zero/negative
+    rates and derivatives without definitions, so those checker branches
+    are only reachable from programmatic construction."""
+    transitions = [
+        SimpleNamespace(group="G", action="go", source=0, target=1, rate=rate)
+    ]
+    if not absorbing:
+        transitions.append(
+            SimpleNamespace(group="G", action="back", source=1, target=0, rate=1.0)
+        )
+    return SimpleNamespace(
+        transitions=transitions,
+        state_names=[("G", "A"), ("G", "B")],
+        groups={"G": None},
+        group_total=lambda label: 5.0,
+        system=GroupReference("G"),
+    )
+
+
+class TestConstructedModels:
+    def test_negative_rate_raises(self):
+        with pytest.raises(FluidSemanticsError, match="negative rate"):
+            check_model(fake_model(rate=-2.0))
+
+    def test_negative_rate_demoted_when_lax(self):
+        warnings = check_model(fake_model(rate=-2.0), strict=False)
+        assert any("negative rate" in w for w in warnings)
+
+    def test_zero_rate_warns(self):
+        warnings = check_model(fake_model(rate=0.0))
+        assert any("zero rate" in w for w in warnings)
+
+    def test_absorbing_derivative_warns(self):
+        warnings = check_model(fake_model(absorbing=True))
+        assert any("G.B is absorbing" in w for w in warnings)
+
+
+class TestLoweringIntegration:
+    def test_strict_lowering_accepts_warned_model(self):
+        # Warnings never block: the degenerate cooperation still lowers.
+        ir = lower_reactions(parse_gpepa(DEGENERATE))
+        assert ("G1", "A") in [tuple(s.split(".")) for s in ir.species] or ir.species
+
+    def test_examples_lower_with_checks_enabled(self):
+        ir = lower_reactions(parse_gpepa(client_server_scalability_source(10, 2)))
+        assert ir.n_species > 0

@@ -1,0 +1,322 @@
+"""The numerical trust layer: sentinels, diagnostics, shadow verification."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.engine import faults, get_registry
+from repro.errors import NumericalTrustError, SingularGeneratorError
+from repro.ir import MarkovIR, ReactionIR, guards, solve
+
+from tests.ir.test_reaction_ir import birth_death_ir
+
+
+def ring_ir(n: int = 4, rate: float = 1.0) -> MarkovIR:
+    rows = list(range(n))
+    cols = [(i + 1) % n for i in range(n)]
+    Q = sp.coo_matrix((np.full(n, rate), (rows, cols)), shape=(n, n)).tolil()
+    Q.setdiag(-rate)
+    return MarkovIR(generator=Q.tocsr())
+
+
+def conserving_ir(total: float = 10.0) -> ReactionIR:
+    """A <-> B: conserves A + B exactly."""
+
+    class Flip:
+        def __call__(self, x):
+            return np.array([1.0 * x[0], 2.0 * x[1]])
+
+    return ReactionIR(
+        species=("A", "B"),
+        initial=np.array([total, 0.0]),
+        stoichiometry=np.array([[-1.0, 1.0], [1.0, -1.0]]),
+        reaction_names=("fwd", "rev"),
+        propensities=Flip(),
+        token=("flip", total),
+    )
+
+
+def counter(name: str) -> int:
+    return get_registry().snapshot()["counters"].get(name, 0)
+
+
+class TestSentinels:
+    def test_clean_solve_attaches_diagnostics(self):
+        ir = ring_ir()
+        result = solve(ir, "steady")
+        d = result.meta["diagnostics"]
+        assert d["capability"] == "steady"
+        assert d["residual"] <= 1e-10
+        assert d["condition_estimate"] is not None
+        assert d["n_states"] == 4
+        assert guards.last_diagnostics() is d
+
+    def test_steady_off_simplex_is_rejected(self):
+        ir = ring_ir()
+        bad = SimpleNamespace(pi=np.array([0.5, 0.5, 0.5, 0.5]), meta={})
+        with pytest.raises(NumericalTrustError, match="simplex") as info:
+            guards.verify("steady", "sparse", ir, bad, {})
+        assert info.value.invariant == "simplex"
+        assert info.value.backend == "sparse"
+
+    def test_steady_bad_residual_is_rejected(self):
+        # On the simplex, but not the equilibrium of this ring.
+        ir = ring_ir()
+        bad = SimpleNamespace(pi=np.array([0.7, 0.1, 0.1, 0.1]), meta={})
+        with pytest.raises(NumericalTrustError, match="pi@Q"):
+            guards.verify("steady", "sparse", ir, bad, {})
+
+    def test_steady_nan_is_rejected(self):
+        ir = ring_ir()
+        bad = SimpleNamespace(pi=np.array([np.nan, 0.5, 0.25, 0.25]), meta={})
+        with pytest.raises(NumericalTrustError, match="NaN"):
+            guards.verify("steady", "sparse", ir, bad, {})
+
+    def test_transient_negative_probability_is_rejected(self):
+        ir = ring_ir()
+        bad = np.array([[1.0, 0.0, 0.0, 0.0], [1.01, -0.01, 0.0, 0.0]])
+        with pytest.raises(NumericalTrustError, match="negative transient"):
+            guards.verify(
+                "transient", "uniformization", ir, bad,
+                {"times": np.array([0.0, 1.0])},
+            )
+
+    def test_passage_nonmonotone_cdf_is_rejected(self):
+        ir = ring_ir()
+        bad = SimpleNamespace(
+            cdf=np.array([0.0, 0.4, 0.3]), mean=1.0, meta={}
+        )
+        with pytest.raises(NumericalTrustError, match="decreases"):
+            guards.verify(
+                "passage", "uniformization", ir, bad,
+                {"times": np.array([0.0, 0.5, 1.0])},
+            )
+
+    def test_passage_cdf_above_one_is_rejected(self):
+        ir = ring_ir()
+        bad = SimpleNamespace(
+            cdf=np.array([0.0, 0.5, 1.5]), mean=1.0, meta={}
+        )
+        with pytest.raises(NumericalTrustError, match=r"\[0, 1\]"):
+            guards.verify(
+                "passage", "uniformization", ir, bad,
+                {"times": np.array([0.0, 0.5, 1.0])},
+            )
+
+    def test_ode_negative_species_is_rejected(self):
+        ir = birth_death_ir()
+        bad = np.array([[5.0], [-0.5]])
+        with pytest.raises(NumericalTrustError, match="drops to"):
+            guards.verify("ode", "scipy", ir, bad, {})
+
+    def test_ode_conservation_drift_is_rejected(self):
+        ir = conserving_ir(10.0)
+        bad = np.array([[10.0, 0.0], [6.0, 3.0]])  # total drops to 9
+        with pytest.raises(NumericalTrustError, match="conserv"):
+            guards.verify("ode", "scipy", ir, bad, {})
+
+    def test_ssa_conservation_drift_is_rejected(self):
+        ir = conserving_ir(10.0)
+        bad = SimpleNamespace(
+            counts=np.array([[10.0, 0.0], [9.0, 2.0]]), n_events=1, meta={}
+        )
+        with pytest.raises(NumericalTrustError, match="conserv"):
+            guards.verify("ssa", "direct", ir, bad, {})
+
+    def test_corrupt_generator_is_rejected(self):
+        Q = sp.csr_matrix(np.array([[-1.0, 2.0], [1.0, -1.0]]))
+        ir = MarkovIR.__new__(MarkovIR)  # bypass __post_init__ row checks
+        object.__setattr__(ir, "generator", Q)
+        object.__setattr__(ir, "initial_index", 0)
+        ok = SimpleNamespace(pi=np.array([0.5, 0.5]), meta={})
+        with pytest.raises(NumericalTrustError, match="rows sum"):
+            guards.verify("steady", "sparse", ir, ok, {})
+
+    def test_violation_metrics_and_token(self):
+        ir = conserving_ir(7.0)
+        before = counter("ir.trust.sentinel_violation")
+        bad = np.array([[7.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(NumericalTrustError) as info:
+            guards.verify("ode", "scipy", ir, bad, {})
+        assert counter("ir.trust.sentinel_violation") == before + 1
+        assert counter("ir.trust.violation.conservation") >= 1
+        assert info.value.token == ("flip", 7.0)
+        assert info.value.capability == "ode"
+
+
+class TestDegenerateModels:
+    def test_absorbing_ctmc_steady_errors_cleanly(self):
+        Q = sp.csr_matrix(np.array([[-1.0, 1.0], [0.0, 0.0]]))
+        ir = MarkovIR(generator=Q)
+        with pytest.raises(SingularGeneratorError, match="absorbing"):
+            solve(ir, "steady")
+
+    def test_empty_reaction_network(self):
+        class NoRx:
+            def __call__(self, x):
+                return np.empty(0)
+
+        ir = ReactionIR(
+            species=("X",),
+            initial=np.array([3.0]),
+            stoichiometry=np.empty((1, 0)),
+            reaction_names=(),
+            propensities=NoRx(),
+            token="empty-net",
+        )
+        grid = np.linspace(0.0, 1.0, 5)
+        traj = solve(ir, "ode", times=grid)
+        assert np.allclose(traj, 3.0)
+        path = solve(ir, "ssa", times=grid, seed=0)
+        assert np.allclose(path.counts, 3.0)
+
+    def test_zero_duration_passage_query(self):
+        ir = ring_ir()
+        result = solve(ir, "passage", targets=[2], times=np.array([0.0]))
+        assert result.cdf.shape == (1,)
+        assert result.cdf[0] == pytest.approx(0.0)
+
+
+class TestChaosInjection:
+    def test_silent_garbage_degrades_to_bitwise_dense(self):
+        """The acceptance scenario: a silently-wrong steady solve is
+        caught by the residual sentinel, degrades gmres -> sparse ->
+        dense, and the served vector is bit-identical to a clean dense
+        solve."""
+        ir = ring_ir(5, rate=2.0)
+        clean = solve(ir, "steady", backend="dense", fallback=False)
+        spec = faults.FaultSpec("solver_silent_garbage", times=2)
+        with faults.inject(spec) as plan:
+            result = solve(ir, "steady", backend="gmres")
+            assert plan.fired("solver_silent_garbage") == 2
+        assert result.meta["backend"] == "dense"
+        assert result.meta["fallback_from"] == "gmres"
+        assert "residual" in result.meta["fallback_error"]
+        assert np.array_equal(result.pi, clean.pi)
+
+    def test_silent_garbage_never_pollutes_the_cache(self):
+        ir = ring_ir(6, rate=3.0)
+        with faults.inject(faults.FaultSpec("solver_silent_garbage", times=1)):
+            garbage_run = solve(ir, "steady", backend="gmres")
+        assert garbage_run.meta["fallback_from"] == "gmres"
+        # The garbage was substituted *after* the content cache stored the
+        # clean gmres answer, so a later gmres solve — no fallback allowed —
+        # serves a vector that passes the sentinels.
+        again = solve(ir, "steady", backend="gmres", fallback=False)
+        assert again.meta["backend"] == "gmres"
+        assert "fallback_from" not in again.meta
+        assert np.allclose(again.pi, garbage_run.pi, atol=1e-8)
+
+    def test_injected_sentinel_violation_falls_back(self):
+        ir = ring_ir(3)
+        spec = faults.FaultSpec("sentinel_violation", backend="sparse")
+        with faults.inject(spec) as plan:
+            result = solve(ir, "steady")
+            assert plan.fired("sentinel_violation") == 1
+        assert result.meta["fallback_from"] == "sparse"
+        assert "injected" in result.meta["fallback_error"]
+
+    def test_injected_shadow_mismatch_quarantines(self):
+        ir = ring_ir(4, rate=1.5)
+        before = counter("ir.trust.shadow_mismatch")
+        with faults.inject(faults.FaultSpec("shadow_mismatch")):
+            with pytest.raises(NumericalTrustError, match="disagrees") as info:
+                solve(ir, "steady", shadow="dense")
+        assert info.value.invariant == "shadow_mismatch"
+        assert counter("ir.trust.shadow_mismatch") == before + 1
+
+
+class TestShadowVerification:
+    def test_explicit_shadow_agrees(self):
+        ir = ring_ir(4)
+        result = solve(ir, "steady", shadow="dense")
+        d = result.meta["diagnostics"]
+        assert d["shadow_backend"] == "dense"
+        assert d["shadow_max_abs"] <= d["shadow_tolerance"]
+
+    def test_ode_shadow_across_integrators(self):
+        ir = birth_death_ir(4.0)
+        solve(ir, "ode", times=np.linspace(0.0, 2.0, 9), shadow="rk4")
+        d = guards.last_diagnostics()
+        assert d["shadow_backend"] == "rk4"
+        assert d["shadow_max_abs"] <= d["shadow_tolerance"]
+
+    def test_shadow_same_backend_is_skipped(self):
+        ir = ring_ir(4)
+        before = counter("ir.trust.shadow.skipped")
+        result = solve(ir, "steady", backend="dense", shadow="dense")
+        assert "shadow_backend" not in result.meta["diagnostics"]
+        assert counter("ir.trust.shadow.skipped") == before + 1
+
+    def test_ssa_is_never_shadowed(self):
+        assert guards.shadow_backend("ssa", "direct", None) is None
+        assert (
+            guards.shadow_backend("ssa", "direct", None, explicit="next-reaction")
+            is None
+        )
+
+    def test_partner_selection(self):
+        small = ring_ir(3)
+        assert guards.shadow_backend("steady", "sparse", small) == "dense"
+        assert guards.shadow_backend("steady", "dense", small) == "sparse"
+        assert guards.shadow_backend("ode", "scipy", None) == "rk4"
+        # Dense partners are skipped above the dense state limit.
+        big = SimpleNamespace(n_states=guards._DENSE_PARTNER_LIMIT + 1)
+        assert guards.shadow_backend("steady", "sparse", big) == "gmres"
+
+    def test_sampling_is_deterministic_and_stratified(self):
+        guards.reset_shadow_state()
+        hits = [guards.shadow_due("steady", 0.5) for _ in range(10)]
+        assert sum(hits) == 5
+        guards.reset_shadow_state()
+        assert hits == [guards.shadow_due("steady", 0.5) for _ in range(10)]
+        guards.reset_shadow_state()
+
+    def test_rate_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHADOW_RATE", raising=False)
+        assert guards.shadow_rate() == 0.0
+        monkeypatch.setenv("REPRO_SHADOW_RATE", "0.25")
+        assert guards.shadow_rate() == 0.25
+        monkeypatch.setenv("REPRO_SHADOW_RATE", "7")
+        assert guards.shadow_rate() == 1.0
+        monkeypatch.setenv("REPRO_SHADOW_RATE", "lots")
+        with pytest.warns(UserWarning, match="malformed"):
+            assert guards.shadow_rate() == 0.0
+
+    def test_env_rate_shadows_every_solve(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHADOW_RATE", "1.0")
+        guards.reset_shadow_state()
+        before = counter("ir.trust.shadow.checked")
+        ir = ring_ir(4, rate=0.7)
+        result = solve(ir, "steady")
+        assert counter("ir.trust.shadow.checked") == before + 1
+        assert result.meta["diagnostics"]["shadow_backend"] == "dense"
+        guards.reset_shadow_state()
+
+    def test_shadow_compare_shape_mismatch_is_a_mismatch(self):
+        ir = ring_ir(3)
+        a = SimpleNamespace(pi=np.array([0.5, 0.25, 0.25]))
+        b = SimpleNamespace(pi=np.array([0.5, 0.5]))
+        with pytest.raises(NumericalTrustError, match="disagrees"):
+            guards.shadow_compare("steady", "sparse", "dense", ir, a, b)
+
+
+class TestOdeDiagnostics:
+    def test_scipy_integrator_stats_are_reported(self):
+        ir = birth_death_ir(6.0)
+        solve(ir, "ode", times=np.linspace(0.0, 3.0, 7))
+        d = guards.last_diagnostics()
+        assert d["ode_method"] == "LSODA"
+        assert d["ode_nfev"] > 0
+        assert d["ode_status"] == 0
+
+    def test_rk4_stats_are_reported(self):
+        ir = birth_death_ir(6.0)
+        solve(ir, "ode", backend="rk4", times=np.linspace(0.0, 3.0, 7))
+        d = guards.last_diagnostics()
+        assert d["ode_method"] == "rk4"
+        assert d["ode_nfev"] == 4 * 16 * 6

@@ -91,6 +91,48 @@ class TestReferenceModelAgreement:
         assert power.iterations > 0
 
 
+class TestGmresTrueResidual:
+    """GMRES exit codes are not trusted: the solver re-measures |Ax - b|."""
+
+    def test_silent_nonconvergence_is_recoverable(self, monkeypatch):
+        # A preconditioned GMRES that lies: info == 0 on a garbage vector.
+        import repro.numerics.steady as steady_mod
+        from repro.errors import ConvergenceError
+
+        def lying_gmres(A, b, **kwargs):
+            return np.full(A.shape[0], 0.5), 0
+
+        monkeypatch.setattr(steady_mod.spla, "gmres", lying_gmres)
+        with pytest.raises(ConvergenceError, match="true residual"):
+            steady_state(two_state(2.7, 3.9), method="gmres")
+
+    def test_honest_solve_passes_the_check(self):
+        from repro.engine import cache_disabled
+
+        with cache_disabled():
+            result = steady_state(two_state(2.7, 3.9), method="gmres")
+        a, b = 2.7, 3.9
+        np.testing.assert_allclose(result.pi, [b / (a + b), a / (a + b)], atol=1e-8)
+
+    def test_injected_garbage_skips_the_cache(self):
+        from repro.engine import faults
+
+        Q = two_state(1.3, 4.1)
+        with faults.inject(faults.FaultSpec("solver_silent_garbage",
+                                            backend="direct")) as plan:
+            rigged = steady_state(Q, method="direct")
+            assert plan.fired() == 1
+        # The rigged vector is normalized and claims a tiny residual ...
+        assert rigged.pi.sum() == pytest.approx(1.0)
+        assert rigged.residual < 1e-10
+        # ... but the truth is recomputable, and the cache never saw it.
+        assert float(np.abs(rigged.pi @ Q).max()) > 0.1
+        clean = steady_state(Q, method="direct")
+        np.testing.assert_allclose(
+            clean.pi, [4.1 / 5.4, 1.3 / 5.4], atol=1e-10
+        )
+
+
 class TestCrossMethodAgreement:
     @given(seed=st.integers(0, 10_000), n=st.integers(2, 25))
     @settings(max_examples=25, deadline=None)

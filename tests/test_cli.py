@@ -121,6 +121,70 @@ class TestSolveSubcommand:
         assert main(["solve"]) == 2
 
 
+class TestTrustFlags:
+    def test_diagnostics_flag_prints_measurements(self, model_file, capsys):
+        assert main(["solve", model_file, "--diagnostics"]) == 0
+        out = capsys.readouterr().out
+        assert "diagnostics:" in out
+        assert "residual" in out
+        assert "condition_estimate" in out
+
+    def test_shadow_flag_cross_checks(self, model_file, capsys):
+        assert main(
+            ["solve", model_file, "--shadow", "dense", "--diagnostics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shadow_backend           dense" in out
+        assert "shadow_max_abs" in out
+
+    def test_ode_shadow_across_integrators(self, tmp_path, capsys):
+        f = tmp_path / "m.gpepa"
+        f.write_text("A = (x, 1.0).B;\nB = (y, 2.0).A;\nG{A[10]}\n")
+        assert main(
+            ["solve", str(f), "--capability", "ode", "--shadow", "rk4",
+             "--diagnostics"]
+        ) == 0
+        assert "shadow_backend           rk4" in capsys.readouterr().out
+
+
+class TestValidateModels:
+    def test_pepa_model_is_well_formed(self, model_file, capsys):
+        assert main(["validate", model_file]) == 0
+        assert "well-formed (0 warning(s))" in capsys.readouterr().out
+
+    def test_biopepa_model_with_warnings(self, tmp_path, capsys):
+        f = tmp_path / "m.biopepa"
+        f.write_text(
+            "k = 0.0;\nkineticLawOf d : fMA(k);\nA = (d, 1) << A;\nA[5]\n"
+        )
+        assert main(["validate", str(f)]) == 0
+        out = capsys.readouterr().out
+        assert "warning:" in out
+        assert "deadlocked" in out
+
+    def test_gpepa_model_with_warnings(self, tmp_path, capsys):
+        f = tmp_path / "m.gpepa"
+        f.write_text(
+            "ra = 1.0;\nA = (a, ra).A;\nC = (c, ra).C;\n"
+            "G1{A[5]} <a> G2{C[0]}\n"
+        )
+        assert main(["validate", str(f), "--lax"]) == 0
+        out = capsys.readouterr().out
+        assert "zero total population" in out
+        assert "well-formed (2 warning(s))" in out
+
+    def test_parse_error_is_a_library_error(self, tmp_path, capsys):
+        f = tmp_path / "bad.pepa"
+        f.write_text("@@@")
+        assert main(["validate", str(f)]) == 1
+
+    def test_image_validation_still_requires_tool(self, tmp_path, capsys):
+        f = tmp_path / "img.json"
+        f.write_text("{}")
+        assert main(["validate", str(f)]) == 2
+        assert "--tool is required" in capsys.readouterr().err
+
+
 class TestBuildRunTest:
     def test_build_writes_image(self, built_image, capsys):
         doc = json.loads(open(built_image).read())
