@@ -27,6 +27,9 @@ Subcommands mirror the workflow of the paper::
     repro experiment fig3                           # regenerate a paper artifact
     repro metrics fig3 --workers 4                  # same, with solver metrics
 
+    repro profile model.pepa                        # fast-path vs naive derivation
+    repro profile model.pepa --kronecker --json
+
 Exit codes: 0 success, 1 library error, 2 usage error.
 """
 
@@ -336,6 +339,8 @@ def _solve_command(args: argparse.Namespace) -> int:
     from repro.ir import available_backends, default_backend
 
     if args.list_backends:
+        import repro.pepa  # noqa: F401  (registers the 'derive' backends)
+
         for capability, names in available_backends().items():
             default = default_backend(capability)
             rendered = ", ".join(
@@ -471,6 +476,105 @@ def _metrics_command(args: argparse.Namespace) -> int:
         print(registry.to_json())
     else:
         print(registry.render())
+    return 0
+
+
+def _profile_command(args: argparse.Namespace) -> int:
+    """Profile the derivation fast path against the naive reference.
+
+    Both strategies run best-of-``--repeat`` with the content cache
+    disabled, so every repetition pays the full derivation cost; the
+    CSR-assembly time and memo-table hit rate come from the metrics
+    registry (``derive.csr_assembly`` timer, ``derive.memo_*``
+    counters).
+    """
+    import json as json_module
+    import time
+
+    from repro.engine import cache_disabled, get_registry
+    from repro.pepa import ctmc_of, parse_model
+    from repro.pepa.derivation import product_state_bound, select_derive_backend
+    from repro.pepa.statespace import derive, derive_reference
+
+    model = parse_model(pathlib.Path(args.model).read_text())
+    registry = get_registry()
+
+    def best_of(fn):
+        best, result = float("inf"), None
+        for _ in range(args.repeat):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    with cache_disabled():
+        hits0 = registry.counter("derive.memo_hit")
+        misses0 = registry.counter("derive.memo_miss")
+        fast_s, space = best_of(lambda: derive(model, max_states=args.max_states))
+        hits = registry.counter("derive.memo_hit") - hits0
+        misses = registry.counter("derive.memo_miss") - misses0
+        # Each repetition derived a fresh StateSpace, so ctmc_of's
+        # per-instance memo never hits here and the csr timer sees every
+        # assembly.
+        csr0 = registry.timer_stat("derive.csr_assembly") or {
+            "calls": 0, "total_seconds": 0.0,
+        }
+        csr_s, _ = best_of(lambda: ctmc_of(derive(model, max_states=args.max_states)))
+        csr1 = registry.timer_stat("derive.csr_assembly")
+        csr_calls = csr1["calls"] - csr0["calls"]
+        csr_seconds = (
+            (csr1["total_seconds"] - csr0["total_seconds"]) / csr_calls
+            if csr_calls
+            else 0.0
+        )
+        naive_s, _ = best_of(
+            lambda: derive_reference(model, max_states=args.max_states)
+        )
+        kron_s = None
+        if args.kronecker:
+            from repro.pepa import kronecker_markov_ir
+
+            kron_s, _ = best_of(
+                lambda: kronecker_markov_ir(model, max_states=args.max_states)
+            )
+
+    total = hits + misses
+    report = {
+        "model": args.model,
+        "repeat": args.repeat,
+        "n_states": space.size,
+        "n_transitions": space.n_transitions,
+        "fast_seconds": fast_s,
+        "naive_seconds": naive_s,
+        "speedup": naive_s / fast_s if fast_s > 0 else float("inf"),
+        "states_per_second": space.size / fast_s if fast_s > 0 else float("inf"),
+        "csr_assembly_seconds": csr_seconds,
+        "memo_hits": hits,
+        "memo_misses": misses,
+        "memo_hit_rate": hits / total if total else 0.0,
+        "product_state_bound": product_state_bound(model, cap=args.max_states),
+        "auto_backend": select_derive_backend(model, max_states=args.max_states),
+    }
+    if kron_s is not None:
+        report["kronecker_seconds"] = kron_s
+    if args.json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"derivation profile for {args.model} (best of {args.repeat}):")
+    print(f"  states           : {report['n_states']}")
+    print(f"  transitions      : {report['n_transitions']}")
+    print(f"  fast path        : {fast_s:.6f} s "
+          f"({report['states_per_second']:.0f} states/s)")
+    print(f"  naive reference  : {naive_s:.6f} s")
+    print(f"  speedup          : {report['speedup']:.2f}x")
+    print(f"  csr assembly     : {csr_seconds:.6f} s")
+    print(f"  memo hit rate    : {report['memo_hit_rate']:.1%} "
+          f"({hits} hits, {misses} misses)")
+    if kron_s is not None:
+        print(f"  kronecker        : {kron_s:.6f} s")
+    bound = report["product_state_bound"]
+    print(f"  product bound    : {bound if bound is not None else '(over budget)'}")
+    print(f"  auto backend     : {report['auto_backend']}")
     return 0
 
 
@@ -671,6 +775,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="run the experiment under engine.parallel(workers=N)",
     )
     p.set_defaults(func=_metrics_command)
+
+    p = sub.add_parser(
+        "profile",
+        help="time the derivation fast path against the naive reference "
+        "on one PEPA model",
+    )
+    p.add_argument("model", help="PEPA model file")
+    p.add_argument("--repeat", type=_positive_int, default=5,
+                   help="repetitions per strategy (best time is reported)")
+    p.add_argument("--max-states", type=_positive_int, default=1_000_000,
+                   help="state-space size cap")
+    p.add_argument("--kronecker", action="store_true",
+                   help="also time the generalized-Kronecker construction")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON")
+    p.set_defaults(func=_profile_command)
 
     return parser
 

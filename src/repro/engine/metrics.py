@@ -78,6 +78,22 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def timer_stat(self, name: str) -> dict | None:
+        """JSON-friendly snapshot of one timer, or ``None`` if never observed."""
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                return None
+            return {
+                "calls": stat.calls,
+                "total_seconds": stat.total_seconds,
+                "mean_seconds": stat.mean_seconds,
+                "min_seconds": stat.min_seconds if stat.calls else 0.0,
+                "max_seconds": stat.max_seconds,
+                "gauges": dict(stat.gauges),
+                "last": dict(stat.last),
+            }
+
     # -- timers -------------------------------------------------------------
 
     def observe(self, name: str, seconds: float, **gauges: float) -> None:

@@ -214,6 +214,25 @@ def _check_generator(capability: str, backend: str, ir: MarkovIR) -> None:
         )
 
 
+def _check_derive(capability, backend, ir, result, params) -> dict:
+    # ``ir`` is the frontend's model object here; the sentinels run on
+    # the freshly built MarkovIR instead — a derivation strategy that
+    # assembles a malformed generator must not hand it downstream.
+    if not isinstance(result, MarkovIR):
+        _fail(
+            "derive_type",
+            f"derive backend returned {type(result).__name__}, not MarkovIR",
+            capability=capability, backend=backend, ir=ir,
+        )
+    _check_generator(capability, backend, result)
+    defect = result.generator_defect()
+    return {
+        "n_states": result.n_states,
+        "nnz": int(result.generator.nnz),
+        "row_sum_defect": defect["row_sum"],
+    }
+
+
 def _rate_scale(ir: MarkovIR) -> float:
     diag_abs = np.abs(ir.generator.diagonal())
     return max(1.0, float(diag_abs.max()) if diag_abs.size else 1.0)
@@ -410,6 +429,7 @@ def _check_ssa(capability, backend, ir, result, params) -> dict:
 
 
 _CHECKS = {
+    "derive": _check_derive,
     "steady": _check_steady,
     "transient": _check_transient,
     "passage": _check_passage,

@@ -1,13 +1,21 @@
 """Solver-backend registry: one dispatch point for every analysis.
 
-Backends register under a ``(capability, name)`` pair; the five
+Backends register under a ``(capability, name)`` pair; the six
 capabilities are::
 
+    derive      frontend model -> MarkovIR (PEPA: explicit / naive /
+                generalized-Kronecker derivation strategies)
     steady      equilibrium distribution of a MarkovIR
     transient   distribution over a time grid of a MarkovIR
     passage     first-passage CDF/mean into a target set of a MarkovIR
     ssa         stochastic trajectories / ensembles (MarkovIR or ReactionIR)
     ode         deterministic trajectory of a ReactionIR
+
+``derive`` is the odd one out: its input is a *frontend model object*
+(the frontend registers its own strategies and the ``accepts`` check
+keeps types honest — the registry itself never imports a frontend) and
+its output is a fresh ``MarkovIR``, which the sentinels then check for
+generator well-formedness like any other Markov result.
 
 :func:`solve` resolves the backend (aliases included), checks that it
 accepts the IR's type, and wraps the call in the engine's metrics timer
@@ -75,7 +83,7 @@ __all__ = [
     "solve",
 ]
 
-CAPABILITIES = ("steady", "transient", "passage", "ssa", "ode")
+CAPABILITIES = ("derive", "steady", "transient", "passage", "ssa", "ode")
 
 
 @dataclass(frozen=True)

@@ -38,7 +38,7 @@ from repro.pepa.syntax import (
 from repro.pepa.lexer import tokenize
 from repro.pepa.parser import parse_model, parse_process
 from repro.pepa.semantics import Rate, ActiveRate, PassiveRate, TAU
-from repro.pepa.statespace import derive, StateSpace, Transition
+from repro.pepa.statespace import derive, derive_reference, StateSpace, Transition
 from repro.pepa.ctmc import ctmc_of, CTMC
 from repro.pepa.passage import passage_time_cdf, passage_time_mean, PassageTimeResult
 from repro.pepa.rewards import throughput, utilization, population_average
@@ -53,7 +53,12 @@ from repro.pepa.simulation import (
     SimulatedPath,
 )
 from repro.pepa.probes import attach_probe, probe_passage_time
-from repro.pepa.kronecker import kronecker_generator, kronecker_states
+from repro.pepa.kronecker import (
+    kronecker_generator,
+    kronecker_markov_ir,
+    kronecker_states,
+)
+from repro.pepa import derivation  # registers the 'derive' IR backends
 from repro.pepa import csl
 from repro.pepa.export import (
     to_prism_tra,
@@ -83,6 +88,8 @@ __all__ = [
     "PassiveRate",
     "TAU",
     "derive",
+    "derive_reference",
+    "derivation",
     "StateSpace",
     "Transition",
     "ctmc_of",
@@ -109,6 +116,7 @@ __all__ = [
     "attach_probe",
     "probe_passage_time",
     "kronecker_generator",
+    "kronecker_markov_ir",
     "kronecker_states",
     "csl",
     "to_prism_tra",

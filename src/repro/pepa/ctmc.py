@@ -52,22 +52,15 @@ class CTMC:
         """
         if self._ir is None:
             space = self.space
-            transitions = space.transitions
-            count = len(transitions)
+            names = space.action_names
             self._ir = MarkovIR(
                 generator=self.generator,
                 initial_index=space.initial_state,
                 labels=tuple(space.state_label(i) for i in range(space.size)),
-                trans_source=np.fromiter(
-                    (tr.source for tr in transitions), dtype=np.intp, count=count
-                ),
-                trans_target=np.fromiter(
-                    (tr.target for tr in transitions), dtype=np.intp, count=count
-                ),
-                trans_rate=np.fromiter(
-                    (tr.rate for tr in transitions), dtype=np.float64, count=count
-                ),
-                trans_action=tuple(tr.action for tr in transitions),
+                trans_source=space.trans_source,
+                trans_target=space.trans_target,
+                trans_rate=space.trans_rate,
+                trans_action=tuple(names[c] for c in space.trans_action_code),
             )
         return self._ir
 
@@ -134,14 +127,24 @@ def ctmc_of(space: StateSpace) -> CTMC:
 
 
 def _aggregate(space: StateSpace) -> CTMC:
+    from repro.engine.metrics import get_registry
+
     n = space.size
-    rows = np.fromiter((tr.source for tr in space.transitions), dtype=np.intp)
-    cols = np.fromiter((tr.target for tr in space.transitions), dtype=np.intp)
-    vals = np.fromiter((tr.rate for tr in space.transitions), dtype=np.float64)
+    rows = space.trans_source
+    cols = space.trans_target
+    vals = space.trans_rate
     # Self-loops do not change the distribution of a CTMC: drop them so
     # the generator's diagonal reflects the true exit rates.
     keep = rows != cols
-    R = sp.coo_matrix((vals[keep], (rows[keep], cols[keep])), shape=(n, n)).tocsr()
-    exit_rates = np.asarray(R.sum(axis=1)).ravel()
-    Q = R - sp.diags(exit_rates, format="csr")
-    return CTMC(space=space, generator=Q.tocsr())
+    with get_registry().timer("derive.csr_assembly") as gauges:
+        R = sp.coo_matrix(
+            (vals[keep], (rows[keep], cols[keep])), shape=(n, n)
+        ).tocsr()
+        # COO->CSR already sums duplicate (row, col) entries — PEPA's
+        # race-condition semantics for parallel edges; sum_duplicates()
+        # pins that contract and canonicalizes the index arrays.
+        R.sum_duplicates()
+        exit_rates = np.asarray(R.sum(axis=1)).ravel()
+        Q = (R - sp.diags(exit_rates, format="csr")).tocsr()
+        gauges["nnz"] = Q.nnz
+    return CTMC(space=space, generator=Q)

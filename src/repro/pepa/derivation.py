@@ -1,0 +1,193 @@
+"""PEPA derivation strategies as IR-registry ``derive`` backends.
+
+Importing this module (``repro.pepa`` does it on package import)
+registers three strategies plus an auto-selector under the registry's
+``derive`` capability, so callers can pick how a PEPA model becomes a
+:class:`repro.ir.MarkovIR`::
+
+    from repro.ir import solve
+    ir = solve(model, "derive")                      # explicit (default)
+    ir = solve(model, "derive", backend="kronecker") # compositional
+    ir = solve(model, "derive", backend="auto")      # size heuristic
+
+Backends
+--------
+``explicit`` (default; aliases ``fast``, ``bfs``)
+    The memoized fast path: :func:`repro.pepa.statespace.derive` +
+    :func:`repro.pepa.ctmc.ctmc_of` + ``lower()``.  Bit-identical to
+    every pre-existing analysis (same state order, same transition
+    table, same seeded SSA streams); caching happens in those layers.
+
+``naive`` (alias ``reference``)
+    The retained un-memoized reference walk
+    (:func:`repro.pepa.statespace.derive_reference`) — the oracle the
+    fast path is property-tested against.  Never cached.
+
+``kronecker`` (alias ``compositional``)
+    The generalized Kronecker product construction
+    (:func:`repro.pepa.kronecker.kronecker_markov_ir`), restricted to
+    the reachable component.  State *ordering* differs from explicit
+    derivation (mixed-radix product order, no transition table), so use
+    it for generator-level analyses, not for seeded-simulation
+    reproducibility.  Registry-cached.
+
+``auto``
+    Picks ``kronecker`` when the full product space provably fits the
+    ``max_states`` budget (see :func:`product_state_bound`), otherwise
+    ``explicit``; records the choice under ``derive.auto.*`` metrics.
+
+The capability carries a fallback chain ending in ``explicit`` whose
+retry policy treats :class:`~repro.errors.StateSpaceLimitError` as
+recoverable: a Kronecker product space that blows the limit degrades to
+explicit reachable-only derivation instead of failing the solve.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StateSpaceLimitError
+from repro.ir import MarkovIR
+from repro.ir.registry import (
+    RetryPolicy,
+    register_backend,
+    register_fallback_chain,
+)
+from repro.pepa.ctmc import ctmc_of
+from repro.pepa.kronecker import kronecker_markov_ir
+from repro.pepa.semantics import SequentialSemantics
+from repro.pepa.statespace import derive, derive_reference
+from repro.pepa.syntax import (
+    Cooperation,
+    Hiding,
+    Model,
+    ProcessTerm,
+    expand_aggregations,
+)
+
+__all__ = [
+    "derive_explicit",
+    "derive_naive",
+    "derive_kronecker",
+    "derive_auto",
+    "product_state_bound",
+    "select_derive_backend",
+]
+
+
+def derive_explicit(model: Model, max_states: int = 1_000_000) -> MarkovIR:
+    """Explicit BFS derivation (memoized fast path) lowered to the IR."""
+    return ctmc_of(derive(model, max_states=max_states)).lower()
+
+
+def derive_naive(model: Model, max_states: int = 1_000_000) -> MarkovIR:
+    """Un-memoized reference derivation lowered to the IR."""
+    return ctmc_of(derive_reference(model, max_states=max_states)).lower()
+
+
+def derive_kronecker(model: Model, max_states: int = 1_000_000) -> MarkovIR:
+    """Generalized-Kronecker compositional construction (product order)."""
+    return kronecker_markov_ir(model, max_states=max_states)
+
+
+def product_state_bound(model: Model, cap: int = 10_000_000) -> int | None:
+    """Size of the full Kronecker product space, or ``None`` if unknown.
+
+    Multiplies the local-derivative counts of the sequential leaves
+    (each bounded by a BFS of its local chain).  Returns ``None`` when
+    the bound exceeds ``cap`` or a leaf cannot be walked — both mean
+    "do not attempt the compositional construction".
+    """
+    semantics = SequentialSemantics(model)
+
+    def leaf_terms(term: ProcessTerm) -> list[ProcessTerm]:
+        if isinstance(term, Cooperation):
+            return leaf_terms(term.left) + leaf_terms(term.right)
+        if isinstance(term, Hiding):
+            return leaf_terms(term.process)
+        return [term]
+
+    bound = 1
+    try:
+        for initial in leaf_terms(expand_aggregations(model.system)):
+            seen = {initial}
+            frontier = [initial]
+            while frontier:
+                term = frontier.pop()
+                for tr in semantics.transitions(term):
+                    if tr.target not in seen:
+                        seen.add(tr.target)
+                        frontier.append(tr.target)
+                if len(seen) > cap:
+                    return None
+            bound *= len(seen)
+            if bound > cap:
+                return None
+    except Exception:
+        # Ill-formed leaves are diagnosed by the chosen strategy itself,
+        # with its proper error; the selector just declines to guess.
+        return None
+    return bound
+
+
+def select_derive_backend(model: Model, max_states: int = 1_000_000) -> str:
+    """``kronecker`` when the full product space fits ``max_states``,
+    else ``explicit``."""
+    bound = product_state_bound(model, cap=max_states)
+    if bound is not None and bound <= max_states:
+        return "kronecker"
+    return "explicit"
+
+
+def derive_auto(model: Model, max_states: int = 1_000_000) -> MarkovIR:
+    """Auto-select a derivation strategy by the product-space bound."""
+    from repro.engine.metrics import get_registry
+
+    choice = select_derive_backend(model, max_states=max_states)
+    get_registry().increment(f"derive.auto.{choice}")
+    if choice == "kronecker":
+        return derive_kronecker(model, max_states=max_states)
+    return derive_explicit(model, max_states=max_states)
+
+
+def _register() -> None:
+    # explicit/naive are not registry-cached: the statespace/ctmc layers
+    # already serve them from the content cache, and caching the lowered
+    # IR again would only duplicate storage.
+    register_backend(
+        "derive",
+        "explicit",
+        derive_explicit,
+        accepts=(Model,),
+        aliases=("fast", "bfs"),
+        cache=False,
+        default=True,
+    )
+    register_backend(
+        "derive",
+        "naive",
+        derive_naive,
+        accepts=(Model,),
+        aliases=("reference",),
+        cache=False,
+    )
+    register_backend(
+        "derive",
+        "kronecker",
+        derive_kronecker,
+        accepts=(Model,),
+        aliases=("compositional",),
+        cache=True,
+    )
+    register_backend(
+        "derive",
+        "auto",
+        derive_auto,
+        accepts=(Model,),
+        cache=False,
+    )
+    policy = RetryPolicy(
+        recoverable=RetryPolicy().recoverable + (StateSpaceLimitError,)
+    )
+    register_fallback_chain("derive", ("kronecker", "explicit"), policy)
+
+
+_register()

@@ -53,13 +53,16 @@ def activity_graph(space: StateSpace, leaf: int | str) -> nx.MultiDiGraph:
     g = nx.MultiDiGraph(name=f"activity diagram of {space.leaves[k].name}")
     for j in range(len(space.local_terms[k])):
         g.add_node(j, label=space.local_label(k, j))
-    seen: set[tuple[int, int, str]] = set()
+    # Dedup on the full activity (action AND rate): a component may move
+    # u -> v via the same action at different rates (parallel edges from
+    # distinct prefixes), and the diagram must show each of them.
+    seen: set[tuple[int, int, str, float]] = set()
     for tr in space.transitions:
         u = space.states[tr.source][k]
         v = space.states[tr.target][k]
         if u == v:
             continue
-        key = (u, v, tr.action)
+        key = (u, v, tr.action, tr.rate)
         if key in seen:
             continue
         seen.add(key)

@@ -1,37 +1,55 @@
-"""Compositional generator construction via Kronecker sums.
+"""Compositional generator construction via generalized Kronecker algebra.
 
 For a system equation that composes components with **empty**
 cooperation sets (pure interleaving, ``P || Q || ...``), the global
-CTMC generator is the Kronecker sum of the component generators::
+CTMC generator is the classical Kronecker sum of the component
+generators::
 
     Q = Q₁ ⊕ Q₂ ⊕ ... = Σ_i  I ⊗ ... ⊗ Q_i ⊗ ... ⊗ I
 
-This is the classical compositional representation from the PEPA
-literature (and the basis of Kronecker-structured solvers): the global
-matrix is never enumerated transition-by-transition, only assembled
-from tiny component matrices — the construction is *linear* in the
-number of components instead of exponential state walking.
+Synchronized cooperation generalizes the sum to the Kronecker
+**product** algebra with apparent-rate normalization (Ding & Hillston's
+numerical representation).  Each subtree of the system equation carries
+one *active-rate* matrix ``W_a`` and one *passive-weight* matrix ``V_a``
+per action type ``a``; the row sums of those matrices are exactly the
+subtree's apparent rates.  At a cooperation node ``L <a,...> R``:
 
-Scope: non-interacting composition only.  Any non-empty cooperation set
-raises :class:`~repro.errors.CooperationError` (synchronized actions
-need the generalized Kronecker *product* algebra with apparent-rate
-normalization, which explicit derivation already covers).  Hiding is
-fine — it only renames actions, which a generator cannot see.
+* non-shared actions interleave: ``W_a ⊗ I + I ⊗ W_a`` (and likewise
+  for ``V_a``);
+* a shared action combines the *row-normalized* probability matrices
+  ``P = diag(1/rowsum) · M`` of both sides, rescaled row-wise by the
+  PEPA bounded-capacity law — ``min`` of two active apparent rates, the
+  active side's apparent rate against a passive partner, and ``min`` of
+  the passive weights when both sides wait (the result stays passive,
+  awaiting an active partner further up the tree).
 
-The state ordering matches :func:`repro.pepa.statespace.derive`'s tuple
-order **only up to enumeration order**; use :func:`kronecker_states` to
-map indices to local-derivative tuples.  The equality of the two
-constructions (up to the explicit engine's reachability restriction) is
-property-tested in ``tests/pepa/test_kronecker.py``.
+Hiding renames matrices to ``tau``; a passive matrix surviving to the
+top level is ill-formed.  The construction assembles the global matrix
+from per-component matrices instead of walking states one by one, and
+state ``k`` is the mixed-radix tuple over component derivative lists
+(leftmost slowest) — the *full* product space, not just the reachable
+part.  :func:`kronecker_markov_ir` restricts the product generator to
+the component reachable from the initial state and is registered as the
+``kronecker`` backend of the IR registry's ``derive`` capability;
+equality with explicit derivation (up to that reachability restriction
+and state reordering) is property-tested in
+``tests/pepa/test_kronecker.py`` and
+``tests/pepa/test_derivation_fastpath.py``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import scipy.sparse as sp
 
-from repro.errors import CooperationError, IllFormedModelError
-from repro.pepa.semantics import ActiveRate, SequentialSemantics
+from repro.errors import (
+    CooperationError,
+    IllFormedModelError,
+    StateSpaceLimitError,
+)
+from repro.pepa.semantics import TAU, ActiveRate, SequentialSemantics
 from repro.pepa.syntax import (
     Constant,
     Cooperation,
@@ -42,21 +60,12 @@ from repro.pepa.syntax import (
     unparse,
 )
 
-__all__ = ["kronecker_generator", "kronecker_states", "component_generator"]
-
-
-def _leaves(term: ProcessTerm) -> list[ProcessTerm]:
-    """Sequential leaves of a pure-interleaving composition, left to right."""
-    if isinstance(term, Cooperation):
-        if term.actions:
-            raise CooperationError(
-                "Kronecker-sum construction requires empty cooperation sets; "
-                f"found synchronization on {set(term.actions)} — use derive()"
-            )
-        return _leaves(term.left) + _leaves(term.right)
-    if isinstance(term, Hiding):
-        return _leaves(term.process)
-    return [term]
+__all__ = [
+    "kronecker_generator",
+    "kronecker_states",
+    "kronecker_markov_ir",
+    "component_generator",
+]
 
 
 def component_generator(
@@ -106,44 +115,314 @@ def component_generator(
     return Q, order
 
 
-def kronecker_generator(model: Model) -> sp.csr_matrix:
-    """Global generator of a pure-interleaving model as a Kronecker sum.
+# ---------------------------------------------------------------------------
+# Generalized Kronecker parts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _KronPart:
+    """Per-action rate matrices of one subtree of the system equation.
+
+    ``active[a][i, j]`` is the summed active rate of ``a``-activities
+    moving the subtree from product-state ``i`` to ``j``; ``passive``
+    holds the summed passive weights.  Row sums are the subtree's
+    apparent rates.  Self-loops are kept — they cancel on the generator
+    diagonal but participate in apparent rates.
+    """
+
+    labels: list[tuple[str, ...]]
+    active: dict[str, sp.csr_matrix]
+    passive: dict[str, sp.csr_matrix]
+
+    @property
+    def n(self) -> int:
+        return len(self.labels)
+
+
+def _row_sums(M: sp.csr_matrix) -> np.ndarray:
+    return np.asarray(M.sum(axis=1)).ravel()
+
+
+def _normalized(M: sp.csr_matrix, sums: np.ndarray) -> sp.csr_matrix:
+    """Row-stochastic scaling ``diag(1/sums) @ M`` (zero rows stay zero)."""
+    inv = np.zeros_like(sums)
+    nz = sums > 0
+    inv[nz] = 1.0 / sums[nz]
+    return (sp.diags(inv) @ M).tocsr()
+
+
+def _leaf_part(
+    semantics: SequentialSemantics, initial: ProcessTerm, max_states: int
+) -> _KronPart:
+    """BFS a sequential component into per-action rate/weight matrices."""
+    index: dict[ProcessTerm, int] = {initial: 0}
+    order: list[ProcessTerm] = [initial]
+    act: dict[str, tuple[list, list, list]] = {}
+    pas: dict[str, tuple[list, list, list]] = {}
+    cursor = 0
+    while cursor < len(order):
+        term = order[cursor]
+        for action, group in semantics.grouped_transitions(term).items():
+            for tr in group:
+                j = index.get(tr.target)
+                if j is None:
+                    j = len(order)
+                    if j >= max_states:
+                        raise StateSpaceLimitError(
+                            f"component {unparse(initial)!r} exceeds the "
+                            f"configured limit of {max_states} local derivatives"
+                        )
+                    index[tr.target] = j
+                    order.append(tr.target)
+                if isinstance(tr.rate, ActiveRate):
+                    rows, cols, vals = act.setdefault(action, ([], [], []))
+                    vals.append(tr.rate.value)
+                else:
+                    rows, cols, vals = pas.setdefault(action, ([], [], []))
+                    vals.append(tr.rate.weight)
+                rows.append(cursor)
+                cols.append(j)
+        cursor += 1
+    n = len(order)
+
+    def to_csr(entries):
+        out = {}
+        for action, (rows, cols, vals) in entries.items():
+            M = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+            M.sum_duplicates()
+            out[action] = M
+        return out
+
+    labels = [
+        (t.name if isinstance(t, Constant) else unparse(t),) for t in order
+    ]
+    return _KronPart(labels, to_csr(act), to_csr(pas))
+
+
+def _hide_part(part: _KronPart, hidden: frozenset[str]) -> _KronPart:
+    """Rename hidden actions to ``tau`` (merging with existing ``tau``)."""
+
+    def rename(table: dict[str, sp.csr_matrix]) -> dict[str, sp.csr_matrix]:
+        out: dict[str, sp.csr_matrix] = {}
+        for action, M in table.items():
+            name = TAU if action in hidden else action
+            out[name] = (out[name] + M).tocsr() if name in out else M
+        return out
+
+    return _KronPart(part.labels, rename(part.active), rename(part.passive))
+
+
+def _mixed_rate_check(action: str, wa: np.ndarray, va: np.ndarray) -> None:
+    if ((wa > 0) & (va > 0)).any():
+        raise CooperationError(
+            f"apparent rate of shared action {action!r} is undefined: a "
+            "component enables both active and passive activities of the "
+            "same action type"
+        )
+
+
+def _combine_coop(
+    left: _KronPart, right: _KronPart, shared: frozenset[str], max_states: int
+) -> _KronPart:
+    n1, n2 = left.n, right.n
+    n = n1 * n2
+    if n > max_states:
+        raise StateSpaceLimitError(
+            f"Kronecker product space has {n} states, exceeding the "
+            f"configured limit of {max_states} states (the explicit engine "
+            "only pays for reachable states — use derive())"
+        )
+    I1 = sp.identity(n1, format="csr")
+    I2 = sp.identity(n2, format="csr")
+    zero1 = sp.csr_matrix((n1, n1))
+    zero2 = sp.csr_matrix((n2, n2))
+
+    # Deterministic action order: left side's first-use order, then the
+    # right side's actions not already seen.
+    actions: list[str] = []
+    for table in (left.active, left.passive, right.active, right.passive):
+        for action in table:
+            if action not in actions:
+                actions.append(action)
+
+    active: dict[str, sp.csr_matrix] = {}
+    passive: dict[str, sp.csr_matrix] = {}
+    for action in actions:
+        W1 = left.active.get(action)
+        V1 = left.passive.get(action)
+        W2 = right.active.get(action)
+        V2 = right.passive.get(action)
+        if action not in shared:
+            # Interleaving: either side proceeds independently.
+            if W1 is not None or W2 is not None:
+                active[action] = (
+                    sp.kron(W1 if W1 is not None else zero1, I2, format="csr")
+                    + sp.kron(I1, W2 if W2 is not None else zero2, format="csr")
+                ).tocsr()
+            if V1 is not None or V2 is not None:
+                passive[action] = (
+                    sp.kron(V1 if V1 is not None else zero1, I2, format="csr")
+                    + sp.kron(I1, V2 if V2 is not None else zero2, format="csr")
+                ).tocsr()
+            continue
+        if (W1 is None and V1 is None) or (W2 is None and V2 is None):
+            # A shared action one side never performs is blocked forever.
+            continue
+        wa1 = _row_sums(W1) if W1 is not None else np.zeros(n1)
+        va1 = _row_sums(V1) if V1 is not None else np.zeros(n1)
+        wa2 = _row_sums(W2) if W2 is not None else np.zeros(n2)
+        va2 = _row_sums(V2) if V2 is not None else np.zeros(n2)
+        _mixed_rate_check(action, wa1, va1)
+        _mixed_rate_check(action, wa2, va2)
+        Pa1 = _normalized(W1, wa1) if W1 is not None else zero1
+        Pp1 = _normalized(V1, va1) if V1 is not None else zero1
+        Pa2 = _normalized(W2, wa2) if W2 is not None else zero2
+        Pp2 = _normalized(V2, va2) if V2 is not None else zero2
+        # Product-space apparent-rate vectors (leftmost slowest).
+        RA1 = np.repeat(wa1, n2)
+        PA1 = np.repeat(va1, n2)
+        RA2 = np.tile(wa2, n1)
+        PA2 = np.tile(va2, n1)
+        terms = []
+        mask_aa = (RA1 > 0) & (RA2 > 0)
+        if mask_aa.any():
+            # Both active: bounded capacity, min of the apparent rates.
+            terms.append(
+                sp.diags(np.where(mask_aa, np.minimum(RA1, RA2), 0.0))
+                @ sp.kron(Pa1, Pa2, format="csr")
+            )
+        mask_ap = (RA1 > 0) & (PA2 > 0)
+        if mask_ap.any():
+            # Active left, passive right: the active side sets the pace.
+            terms.append(
+                sp.diags(np.where(mask_ap, RA1, 0.0))
+                @ sp.kron(Pa1, Pp2, format="csr")
+            )
+        mask_pa = (PA1 > 0) & (RA2 > 0)
+        if mask_pa.any():
+            terms.append(
+                sp.diags(np.where(mask_pa, RA2, 0.0))
+                @ sp.kron(Pp1, Pa2, format="csr")
+            )
+        if terms:
+            W = terms[0]
+            for extra in terms[1:]:
+                W = W + extra
+            W = W.tocsr()
+            W.eliminate_zeros()
+            if W.nnz:
+                active[action] = W
+        mask_pp = (PA1 > 0) & (PA2 > 0)
+        if mask_pp.any():
+            # Both passive: still waiting; weights combine with min.
+            V = (
+                sp.diags(np.where(mask_pp, np.minimum(PA1, PA2), 0.0))
+                @ sp.kron(Pp1, Pp2, format="csr")
+            ).tocsr()
+            V.eliminate_zeros()
+            if V.nnz:
+                passive[action] = V
+    labels = [l1 + l2 for l1 in left.labels for l2 in right.labels]
+    return _KronPart(labels, active, passive)
+
+
+def _system_part(model: Model, max_states: int) -> _KronPart:
+    semantics = SequentialSemantics(model)
+
+    def build(term: ProcessTerm) -> _KronPart:
+        if isinstance(term, Cooperation):
+            return _combine_coop(
+                build(term.left),
+                build(term.right),
+                frozenset(term.actions),
+                max_states,
+            )
+        if isinstance(term, Hiding):
+            return _hide_part(build(term.process), frozenset(term.actions))
+        return _leaf_part(semantics, term, max_states)
+
+    return build(expand_aggregations(model.system))
+
+
+def _check_top_level_passive(part: _KronPart) -> None:
+    for action, V in part.passive.items():
+        if V.nnz:
+            raise IllFormedModelError(
+                f"action {action!r} is performed passively at the top level "
+                "of the system equation; every passive activity must "
+                "cooperate with an active partner"
+            )
+
+
+def _assemble_generator(part: _KronPart) -> sp.csr_matrix:
+    n = part.n
+    R = sp.csr_matrix((n, n))
+    for W in part.active.values():
+        R = R + W
+    R = R.tocsr()
+    # Self-loop rates appear in both R and the row sums, so they cancel
+    # on the diagonal — exactly the explicit engine's aggregation.
+    exit_rates = _row_sums(R)
+    return (R - sp.diags(exit_rates, format="csr")).tocsr()
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def kronecker_generator(
+    model: Model, max_states: int = 1_000_000
+) -> sp.csr_matrix:
+    """Global generator over the full Kronecker product space.
+
+    Handles arbitrary cooperation sets (and hiding) via the generalized
+    product algebra; pure interleaving reduces to the classical
+    Kronecker sum.  States the explicit engine would never reach are
+    included (with their outgoing rates; unreachable rows are simply
+    never entered).
 
     Raises
     ------
-    CooperationError
-        If any cooperation set in the system equation is non-empty.
+    IllFormedModelError
+        If some action is still passive at the top level.
+    StateSpaceLimitError
+        If the product space exceeds ``max_states``.
     """
-    system = expand_aggregations(model.system)
-    leaves = _leaves(system)
-    generators = [component_generator(model, leaf)[0] for leaf in leaves]
-    Q = generators[0]
-    for Qi in generators[1:]:
-        # Kronecker sum: Q ⊕ Qi = Q ⊗ I + I ⊗ Qi.
-        n_left = Q.shape[0]
-        n_right = Qi.shape[0]
-        Q = sp.kron(Q, sp.eye(n_right), format="csr") + sp.kron(
-            sp.eye(n_left), Qi, format="csr"
-        )
-    return Q.tocsr()
+    part = _system_part(model, max_states)
+    _check_top_level_passive(part)
+    return _assemble_generator(part)
 
 
-def kronecker_states(model: Model) -> list[tuple[str, ...]]:
+def kronecker_states(
+    model: Model, max_states: int = 1_000_000
+) -> list[tuple[str, ...]]:
     """Labels of the Kronecker state ordering.
 
     State ``k`` of :func:`kronecker_generator` corresponds to the tuple
     of local-derivative labels returned at position ``k`` (row-major
     over the component derivative lists, leftmost component slowest).
     """
-    system = expand_aggregations(model.system)
-    leaves = _leaves(system)
-    derivative_labels: list[list[str]] = []
-    for leaf in leaves:
-        _Q, order = component_generator(model, leaf)
-        derivative_labels.append(
-            [t.name if isinstance(t, Constant) else unparse(t) for t in order]
-        )
-    states: list[tuple[str, ...]] = [()]
-    for labels in derivative_labels:
-        states = [s + (l,) for s in states for l in labels]
-    return states
+    return list(_system_part(model, max_states).labels)
+
+
+def kronecker_markov_ir(model: Model, max_states: int = 1_000_000):
+    """Lower a PEPA model to :class:`repro.ir.MarkovIR` compositionally.
+
+    Assembles the product-space generator, then restricts it to the
+    states reachable from the initial state (product index 0 — every
+    component in its initial derivative).  Labels use the same
+    ``(A, B, ...)`` format as ``StateSpace.state_label``, so the result
+    can be aligned with explicit derivation by label; the *ordering*
+    is the Kronecker mixed-radix order, not BFS discovery order.
+    """
+    from repro.ir import MarkovIR
+
+    part = _system_part(model, max_states)
+    _check_top_level_passive(part)
+    Q = _assemble_generator(part)
+    labels = tuple("(" + ", ".join(state) + ")" for state in part.labels)
+    ir = MarkovIR(generator=Q, initial_index=0, labels=labels)
+    restricted, _kept = ir.restricted_to_reachable()
+    return restricted

@@ -122,6 +122,13 @@ def probe_passage_time(
     """
     probed = attach_probe(model, start_action, stop_action)
     space = derive(probed, max_states=max_states)
+    if start_action not in space.actions:
+        # Diagnose before solving: with zero start-labelled transitions
+        # there is no flux at any distribution, and the probed chain may
+        # not even admit a steady state (e.g. it deadlocks instantly).
+        raise PepaError(
+            f"no equilibrium flux of {start_action!r}: the passage never starts"
+        )
     chain = ctmc_of(space)
     pi = chain.steady_state().pi
     probe_leaf = space.leaf_index(PROBE_STOPPED)

@@ -33,13 +33,20 @@ def ring_ir(n: int = 4) -> MarkovIR:
 
 class TestDiscovery:
     def test_available_backends(self):
-        assert available_backends() == {
+        listing = available_backends()
+        numeric = {c: n for c, n in listing.items() if c != "derive"}
+        assert numeric == {
             "steady": ("dense", "gmres", "sparse", "uniformization"),
             "transient": ("expm", "uniformization"),
             "passage": ("expm", "uniformization"),
             "ssa": ("direct", "next-reaction"),
             "ode": ("rk4", "scipy"),
         }
+        # The derive capability is registered by the pepa frontend on
+        # import; whether it shows up here depends on what this process
+        # imported before, so only pin its content when present.
+        if "derive" in listing:
+            assert listing["derive"] == ("auto", "explicit", "kronecker", "naive")
 
     def test_single_capability_listing(self):
         assert available_backends("ode") == {"ode": ("rk4", "scipy")}

@@ -80,6 +80,20 @@ class TestActivityGraph:
         g = activity_graph(space, "P")
         assert g.number_of_edges() == 2
 
+    def test_parallel_activities_kept_separate(self):
+        # Two distinct activities of the same action between the same
+        # derivatives (different rates) are genuinely parallel edges —
+        # deduplication must not merge them.
+        space = derive(
+            parse_model("P = (a, 1.0).P1 + (a, 2.0).P1; P1 = (b, 1.0).P; P")
+        )
+        g = activity_graph(space, "P")
+        a_edges = [
+            (u, v, d) for u, v, d in g.edges(data=True) if d["action"] == "a"
+        ]
+        assert len(a_edges) == 2
+        assert {d["rate"] for _u, _v, d in a_edges} == {1.0, 2.0}
+
 
 class TestDot:
     def test_deterministic_output(self, space):

@@ -1,4 +1,4 @@
-"""Kronecker-sum compositional generator vs explicit derivation."""
+"""Generalized-Kronecker compositional generator vs explicit derivation."""
 
 import numpy as np
 import pytest
@@ -11,6 +11,7 @@ from repro.pepa import ctmc_of, derive, parse_model
 from repro.pepa.kronecker import (
     component_generator,
     kronecker_generator,
+    kronecker_markov_ir,
     kronecker_states,
 )
 from repro.pepa.syntax import Constant
@@ -110,15 +111,110 @@ class TestStructure:
         assert kronecker_generator(model).shape == (2, 2)
 
 
-class TestRejections:
-    def test_synchronization_rejected(self):
-        model = parse_model(
-            "P = (a, 1.0).P; Q = (a, 2.0).Q; P <a> Q"
+def restricted_agreement(source, atol=1e-12):
+    """Assert the reachable Kronecker generator equals the explicit one
+    (up to the label permutation between the two state orders)."""
+    model = parse_model(source)
+    ir = ctmc_of(derive(model)).lower()
+    # kronecker_markov_ir already restricts to the reachable component.
+    kir = kronecker_markov_ir(model)
+    assert kir.n_states == ir.n_states
+    perm = [kir.labels.index(lbl) for lbl in ir.labels]
+    np.testing.assert_allclose(
+        kir.generator.toarray()[np.ix_(perm, perm)],
+        ir.generator.toarray(),
+        atol=atol,
+    )
+
+
+class TestSynchronization:
+    """Apparent-rate normalized cooperation — the generalized algebra."""
+
+    def test_active_active_min_rate(self):
+        # Lock-step pair: the shared rate is min(1, 2) = 1.
+        model = parse_model("P = (a, 1.0).P; Q = (a, 2.0).Q; P <a> Q")
+        Qk = kronecker_generator(model).toarray()
+        assert Qk.shape == (1, 1)
+        np.testing.assert_allclose(Qk, [[0.0]], atol=1e-15)
+        kir = kronecker_markov_ir(model)
+        assert kir.n_states == 1
+
+    def test_active_passive_cooperation(self):
+        restricted_agreement(
+            "P = (a, 1.0).P1; P1 = (b, 2.0).P; "
+            "Q = (a, infty).Q1; Q1 = (c, 0.5).Q; P <a> Q"
         )
-        with pytest.raises(CooperationError, match="empty cooperation sets"):
+
+    def test_active_active_cooperation(self):
+        restricted_agreement(
+            "P = (a, 1.0).P1; P1 = (b, 2.0).P; "
+            "Q = (a, 3.0).Q1; Q1 = (c, 0.5).Q; P <a> Q"
+        )
+
+    def test_apparent_rate_multiway_choice(self):
+        # Both sides enable the shared action from several derivatives;
+        # the apparent-rate normalization must split the flux correctly.
+        restricted_agreement(
+            "P = (a, 1.0).P1 + (a, 2.0).P2; P1 = (b, 1.0).P; P2 = (b, 2.0).P; "
+            "Q = (a, infty).Q1; Q1 = (c, 0.5).Q; P <a> Q"
+        )
+
+    def test_two_shared_actions(self):
+        restricted_agreement(
+            "L = (a, 1.0).L1 + (b, 1.0).L2; L1 = (r, 2.0).L; L2 = (s, 2.0).L; "
+            "R = (a, 2.0).R1 + (b, 2.0).R2; R1 = (t, 1.0).R; R2 = (u, 1.0).R; "
+            "L <a, b> R"
+        )
+
+    def test_nested_cooperation(self):
+        restricted_agreement(
+            "P = (a, 1.0).P1; P1 = (b, 2.0).P; "
+            "Q = (a, infty).Q1; Q1 = (c, 0.5).Q; "
+            "R = (c, infty).R1; R1 = (d, 0.3).R; "
+            "(P <a> Q) <c> R"
+        )
+
+    def test_hidden_then_cooperate(self):
+        restricted_agreement(
+            "P = (a, 1.0).P1; P1 = (b, 2.0).P; "
+            "Q = (b, 1.5).Q1; Q1 = (c, 0.5).Q; "
+            "(P / {a}) <b> Q"
+        )
+
+    def test_steady_state_agrees_on_synchronized_model(self):
+        model = parse_model(
+            "P = (a, 1.0).P1; P1 = (b, 2.0).P; "
+            "Q = (a, infty).Q1; Q1 = (c, 0.5).Q; P <a> Q"
+        )
+        chain = ctmc_of(derive(model))
+        ir = chain.lower()
+        kir = kronecker_markov_ir(model)
+        perm = [kir.labels.index(lbl) for lbl in ir.labels]
+        pi_k = steady_state(kir.generator).pi
+        np.testing.assert_allclose(pi_k[perm], chain.steady_state().pi, atol=1e-9)
+
+    def test_mixed_active_passive_rejected(self):
+        # One component enables both an active and a passive 'a': the
+        # apparent rate is undefined under the product algebra.
+        model = parse_model(
+            "P = (a, 1.0).P1 + (a, infty).P1; P1 = (b, 1.0).P; "
+            "Q = (a, 2.0).Q1; Q1 = (c, 1.0).Q; P <a> Q"
+        )
+        with pytest.raises(CooperationError, match="undefined"):
             kronecker_generator(model)
 
+
+class TestRejections:
     def test_passive_component_rejected(self):
         model = parse_model("P = (a, infty).P1; P1 = (b, 1.0).P; P || P")
+        with pytest.raises(IllFormedModelError, match="passively"):
+            kronecker_generator(model)
+
+    def test_passive_at_top_after_cooperation(self):
+        # The passive 'b' of Q never meets an active partner.
+        model = parse_model(
+            "P = (a, 1.0).P1; P1 = (b, infty).P; "
+            "Q = (a, infty).Q1; Q1 = (c, 0.5).Q; P <a> Q"
+        )
         with pytest.raises(IllFormedModelError, match="passively"):
             kronecker_generator(model)

@@ -198,20 +198,25 @@ class TestQueries:
 
     def test_deadlock_detection(self):
         space = space_of("P = (a, 1.0).Dead; Dead = (never, 1.0).Dead; P <never> P")
-        # Hmm: 'never' shared between two P copies both reach Dead, so it CAN fire.
-        assert space.deadlocked_states() == []
+        # 'never' is shared between the two copies, so it fires only in
+        # (Dead, Dead) — as a pure self-loop.  The CTMC can never leave
+        # that state, so it is absorbing despite "having" a transition.
+        [dead] = space.deadlocked_states()
+        assert space.state_label(dead) == "(Dead, Dead)"
+        assert space.exit_rate(dead) == 0.0
 
     def test_true_deadlock(self):
-        # Done performs an action that the partner never enables.
+        # Done performs an action that the partner never enables; the
+        # only activity left in (Done, Q1) is Q1's local self-loop,
+        # which does not let the chain escape.
         space = space_of(
             "P = (go, 1.0).Done; Done = (blocked, 1.0).Done; "
             "Q = (go, infty).Q1; Q1 = (idle, 1.0).Q1; "
             "P <go, blocked> Q"
         )
         deadlocks = space.deadlocked_states()
-        assert len(deadlocks) == 0 or all(
-            "Done" in space.state_label(s) for s in deadlocks
-        )
+        assert deadlocks
+        assert all("Done" in space.state_label(s) for s in deadlocks)
 
     def test_state_index_lookup(self):
         space = space_of("P = (a, 1.0).Q; Q = (b, 2.0).P; P")
