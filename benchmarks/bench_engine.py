@@ -72,3 +72,25 @@ def test_ssa_ensemble_smoke(benchmark):
     assert ens.mean.shape == ens.var.shape == (grid.size, len(model.species))
     assert (ens.var >= 0.0).all()
     assert ens.meta["events"] > 0
+
+
+def test_ssa_ensemble_batched_smoke(benchmark):
+    """Same ensemble through the vectorized batched kernel: the moments
+    must be bit-identical to the scalar chunked path, just faster."""
+    from repro.biopepa.examples import enzyme_kinetics_model
+    from repro.biopepa.lower import lower_reactions
+    from repro.ir import solve
+
+    ir = lower_reactions(enzyme_kinetics_model())
+    grid = np.linspace(0.0, 10.0, 11)
+    scalar = solve(ir, "ssa", backend="direct", mode="ensemble",
+                   times=grid, n_runs=60, seed=1234)
+
+    ens = benchmark(
+        solve, ir, "ssa", backend="batched", mode="ensemble",
+        times=grid, n_runs=60, seed=1234,
+    )
+    assert ens.meta["kernel"] == "batched"
+    np.testing.assert_array_equal(ens.mean, scalar.mean)
+    np.testing.assert_array_equal(ens.var, scalar.var)
+    assert ens.events == scalar.events and ens.chunks == scalar.chunks

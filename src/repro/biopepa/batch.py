@@ -1,0 +1,221 @@
+"""Batched kinetic-law evaluation for the vectorized SSA kernel.
+
+:func:`batch_rates_for` compiles a :class:`~repro.biopepa.model.BioModel`
+into a picklable evaluator ``V(X) -> (B, n_reactions)`` that computes
+the propensity matrix for a whole batch of states at once,
+*bit-identically* to :meth:`BioModel.reaction_rates
+<repro.biopepa.model.BioModel.reaction_rates>` row by row.
+
+Bit identity restricts which law forms are compiled: only operations
+whose NumPy elementwise result provably equals the scalar Python-float
+arithmetic are admitted —
+
+* ``fMA`` with all reactant/activator stoichiometries equal to 1 (a
+  chain of multiplies in participant order; ``x**s`` is excluded
+  because NumPy's integer-power strategy need not match ``pow``),
+* ``fMM`` (one add, three multiplies, one divide, with the scalar
+  law's ``denom == 0 → 0.0`` guard reproduced by masking),
+* ``Expression`` laws restricted to ``+ - * /`` and unary sign over
+  names and constants (``pow``/``exp``/``log``/``sqrt`` are excluded
+  for the same libm-vs-NumPy reason; a zero divisor anywhere zeroes
+  the whole rate, matching the scalar ``ZeroDivisionError → 0.0``).
+
+A model using any other form compiles to ``None`` and the batched
+kernel evaluates row-wise through the scalar law instead.  The kernel
+additionally self-checks the first batched evaluation against the
+scalar law, so even a latent mismatch degrades to the oracle rather
+than corrupting an ensemble.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import numpy as np
+
+from repro.biopepa.kinetics import (
+    _ALLOWED_FUNCS,
+    Expression,
+    MassAction,
+    MichaelisMenten,
+)
+
+__all__ = ["BatchRates", "batch_rates_for"]
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation (restricted arithmetic subset)
+# ---------------------------------------------------------------------------
+
+_BINOPS = {ast.Add: "add", ast.Sub: "sub", ast.Mult: "mul", ast.Div: "div"}
+
+
+def _compile_expr(node, species_index, parameters):
+    """AST node -> tagged-tuple plan, or ``None`` when not batchable."""
+    if isinstance(node, ast.Expression):
+        return _compile_expr(node.body, species_index, parameters)
+    if isinstance(node, ast.Constant):
+        if not isinstance(node.value, (int, float)) or isinstance(node.value, bool):
+            return None
+        return ("const", float(node.value))
+    if isinstance(node, ast.Name):
+        # Scalar evaluation layers the env as parameters, then amounts,
+        # then the math functions — later layers shadow earlier ones.
+        if node.id in _ALLOWED_FUNCS:
+            return None
+        if node.id in species_index:
+            return ("col", species_index[node.id])
+        if node.id in parameters:
+            return ("const", float(parameters[node.id]))
+        return None
+    if isinstance(node, ast.UnaryOp):
+        inner = _compile_expr(node.operand, species_index, parameters)
+        if inner is None:
+            return None
+        if isinstance(node.op, ast.USub):
+            return ("neg", inner)
+        if isinstance(node.op, ast.UAdd):
+            return inner
+        return None
+    if isinstance(node, ast.BinOp):
+        op = _BINOPS.get(type(node.op))
+        if op is None:  # Pow and friends: NumPy need not match libm
+            return None
+        left = _compile_expr(node.left, species_index, parameters)
+        right = _compile_expr(node.right, species_index, parameters)
+        if left is None or right is None:
+            return None
+        return (op, left, right)
+    return None
+
+
+def _eval_expr(plan, states, zero_div):
+    tag = plan[0]
+    if tag == "const":
+        return plan[1]
+    if tag == "col":
+        return states[:, plan[1]]
+    if tag == "neg":
+        return -_eval_expr(plan[1], states, zero_div)
+    left = _eval_expr(plan[1], states, zero_div)
+    right = _eval_expr(plan[2], states, zero_div)
+    if tag == "add":
+        return left + right
+    if tag == "sub":
+        return left - right
+    if tag == "mul":
+        return left * right
+    # Division: the scalar evaluator raises ZeroDivisionError on a zero
+    # divisor and the law maps it to 0.0 — record the offending rows and
+    # mask the whole rate afterwards.
+    zero = right == 0.0
+    if np.ndim(zero):
+        if zero.any():
+            zero_div.append(zero)
+    elif zero:
+        zero_div.append(True)
+        return 0.0 if np.ndim(left) == 0 else np.zeros_like(left)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return left / right
+
+
+# ---------------------------------------------------------------------------
+# The evaluator
+# ---------------------------------------------------------------------------
+
+class BatchRates:
+    """Picklable batch propensity evaluator compiled from kinetic laws.
+
+    Holds one tagged-tuple plan per reaction; ``__call__`` fills the
+    ``(B, n_reactions)`` propensity matrix column by column with the
+    same operand order as the scalar laws.
+    """
+
+    def __init__(self, plans: tuple) -> None:
+        self.plans = plans
+
+    def __call__(self, states: np.ndarray) -> np.ndarray:
+        batch = states.shape[0]
+        out = np.empty((batch, len(self.plans)))
+        for r, plan in enumerate(self.plans):
+            tag = plan[0]
+            if tag == "ma":
+                _, k, idxs = plan
+                col = np.full(batch, k)
+                for idx in idxs:
+                    col = col * states[:, idx]
+            elif tag == "mm":
+                _, vmax, km, e_idx, s_idx = plan
+                substrate = states[:, s_idx]
+                denom = km + substrate
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    col = vmax * states[:, e_idx] * substrate / denom
+                col = np.where(denom == 0.0, 0.0, col)
+            else:  # expression
+                zero_div = []
+                val = _eval_expr(plan[1], states, zero_div)
+                col = np.full(batch, val) if np.ndim(val) == 0 else val
+                if zero_div:
+                    mask = np.zeros(batch, dtype=bool)
+                    for zero in zero_div:
+                        mask |= zero
+                    col = np.where(mask, 0.0, col)
+            out[:, r] = col
+        return out
+
+
+def batch_rates_for(model) -> BatchRates | None:
+    """Compile ``model`` into a :class:`BatchRates`, or ``None``.
+
+    All-or-nothing: every reaction's law must fall in the
+    elementwise-exact subset, otherwise the model stays on the scalar
+    row-wise path.
+    """
+    species_index = {name: i for i, name in enumerate(model.species_names)}
+    parameters = model.parameters
+    plans = []
+    for rx in model.reactions:
+        law = rx.law
+        if isinstance(law, MassAction):
+            if isinstance(law.constant, str):
+                if law.constant not in parameters:
+                    return None
+                k = float(parameters[law.constant])
+            else:
+                k = float(law.constant)
+            idxs = []
+            for part in rx.participants:
+                if part.role in ("reactant", "activator"):
+                    if part.stoichiometry != 1:
+                        return None  # x**s: NumPy power need not match pow
+                    idxs.append(species_index[part.species])
+            plans.append(("ma", k, tuple(idxs)))
+        elif isinstance(law, MichaelisMenten):
+            substrates = [p for p in rx.participants if p.role == "reactant"]
+            enzymes = [p for p in rx.participants if p.role == "activator"]
+            if len(substrates) != 1 or len(enzymes) != 1:
+                return None  # scalar law raises; keep that path
+            params = []
+            for value in (law.vmax, law.km):
+                if isinstance(value, str):
+                    if value not in parameters:
+                        return None
+                    params.append(float(parameters[value]))
+                else:
+                    params.append(float(value))
+            plans.append((
+                "mm",
+                params[0],
+                params[1],
+                species_index[enzymes[0].species],
+                species_index[substrates[0].species],
+            ))
+        elif isinstance(law, Expression):
+            tree = ast.parse(law.source, mode="eval")
+            plan = _compile_expr(tree, species_index, parameters)
+            if plan is None:
+                return None
+            plans.append(("expr", plan))
+        else:
+            return None
+    return BatchRates(tuple(plans))

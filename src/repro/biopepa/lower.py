@@ -15,6 +15,7 @@ trajectories bit-identical to the pre-IR simulator.
 
 from __future__ import annotations
 
+from repro.biopepa.batch import batch_rates_for
 from repro.biopepa.model import BioModel
 from repro.biopepa.wellformed import check_model
 from repro.ir import ReactionIR
@@ -35,6 +36,7 @@ def lower_reactions(model: BioModel, strict: bool = True) -> ReactionIR:
         stoichiometry=model.stoichiometry_matrix(),
         reaction_names=tuple(r.name for r in model.reactions),
         propensities=model.reaction_rates,
+        batch_propensities=batch_rates_for(model),
         sampler="choice",
         token=model,
     )

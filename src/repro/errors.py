@@ -112,7 +112,35 @@ class BackendError(IRError):
 
 
 class SimulationLimitError(IRError):
-    """A stochastic simulation exceeded its event budget."""
+    """A stochastic simulation exceeded its event budget.
+
+    Carries the structured ``budget`` (the configured ``max_events``)
+    and ``events`` (jumps recorded when the budget tripped) so callers
+    can distinguish a tight budget from a runaway model without parsing
+    the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget: int | None = None,
+        events: int | None = None,
+    ):
+        self.budget = budget
+        self.events = events
+        super().__init__(message)
+
+
+class BatchedKernelError(BackendError):
+    """The vectorized SSA kernel cannot serve this request.
+
+    Raised when the batched ensemble kernel is asked for something only
+    the scalar steppers provide (single-trajectory mode), or when its
+    vectorized propensity evaluation fails the bit-identity self-check
+    against the scalar law.  Registered as recoverable in the ``ssa``
+    fallback chain, so the request degrades to the scalar oracle
+    (``direct``) instead of failing."""
 
 
 @contextmanager

@@ -33,6 +33,7 @@ from repro.ir import ReactionIR
 __all__ = [
     "lower_reactions",
     "model_token",
+    "BatchPlanPropensities",
     "PlanPropensities",
     "PlanRhs",
 ]
@@ -222,6 +223,81 @@ class PlanPropensities:
         return out
 
 
+def _rate_batch(plan, states: np.ndarray) -> np.ndarray:
+    """Batched :func:`_plan_rate`: apparent rates for every batch row.
+
+    Only valid on plans whose every leaf has at most one transition —
+    a one-element ``np.dot`` is a single multiply, so the batched
+    column equals the scalar dot bit for bit.  Multi-transition leaves
+    would route through BLAS ``ddot``, whose accumulation order is not
+    replicable elementwise.
+    """
+    if plan[0] == "leaf":
+        src, rates = plan[1], plan[3]
+        if src.size == 0:
+            return np.zeros(states.shape[0])
+        return states[:, src[0]] * rates[0]
+    _tag, shared, left, right = plan[0], plan[1], plan[2], plan[3]
+    rl = _rate_batch(left, states)
+    rr = _rate_batch(right, states)
+    return np.minimum(rl, rr) if shared else rl + rr
+
+
+def _fill_batch(plan, states: np.ndarray, out: np.ndarray, scale: np.ndarray) -> None:
+    """Batched :func:`_fill`: ``scale`` carries one granted ratio per row.
+
+    Rows whose scale is zero keep their slots at 0.0 (`np.where`), which
+    is exactly the scalar traversal's early return on ``scale == 0.0``.
+    """
+    if not scale.any():
+        return
+    if plan[0] == "leaf":
+        _tag, src, _tgt, rates, start = plan
+        if src.size == 0:
+            return
+        col = states[:, src[0]] * rates[0] * scale
+        out[:, start] = np.where(scale == 0.0, 0.0, col)
+        return
+    _tag, shared, left, right = plan
+    if not shared:
+        _fill_batch(left, states, out, scale)
+        _fill_batch(right, states, out, scale)
+        return
+    rl = _rate_batch(left, states)
+    rr = _rate_batch(right, states)
+    granted = np.minimum(rl, rr) * scale
+    with np.errstate(divide="ignore", invalid="ignore"):
+        _fill_batch(left, states, out, np.where(rl == 0.0, 0.0, granted / rl))
+        _fill_batch(right, states, out, np.where(rr == 0.0, 0.0, granted / rr))
+
+
+def _batchable(plan) -> bool:
+    """Whether every leaf has at most one transition (see `_rate_batch`)."""
+    if plan[0] == "leaf":
+        return plan[1].size <= 1
+    return _batchable(plan[2]) and _batchable(plan[3])
+
+
+class BatchPlanPropensities:
+    """Batched propensity matrix ``V(X) -> (B, n_slots)``.
+
+    Shares the slot-decorated plans of a :class:`PlanPropensities` and
+    produces, row by row, exactly its output — attached to the IR only
+    when :func:`_batchable` holds for every action plan.
+    """
+
+    def __init__(self, scalar: PlanPropensities):
+        self.plans = scalar.plans
+        self.n_slots = scalar.n_slots
+
+    def __call__(self, states: np.ndarray) -> np.ndarray:
+        out = np.zeros((states.shape[0], self.n_slots))
+        ones = np.ones(states.shape[0])
+        for plan in self.plans:
+            _fill_batch(plan, states, out, ones)
+        return out
+
+
 class PlanRhs:
     """The fluid ODE right-hand side ``f(t, x) -> dx/dt``."""
 
@@ -284,13 +360,20 @@ def lower_reactions(model: GroupedModel, strict: bool = True) -> ReactionIR:
     for j, (s, t) in enumerate(zip(sources, targets)):
         N[s, j] -= 1.0
         N[t, j] += 1.0
+    propensities = PlanPropensities(model)
+    batch = (
+        BatchPlanPropensities(propensities)
+        if all(_batchable(plan) for plan in propensities.plans)
+        else None
+    )
     ir = ReactionIR(
         species=tuple(f"{g}.{d}" for g, d in model.state_names),
         initial=model.initial_state(),
         stoichiometry=N,
         reaction_names=tuple(names),
-        propensities=PlanPropensities(model),
+        propensities=propensities,
         rhs=PlanRhs(model),
+        batch_propensities=batch,
         sampler="scan",
         token=model_token(model),
     )

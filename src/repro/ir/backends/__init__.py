@@ -9,11 +9,20 @@ Each submodule registers its backends at import time:
 ``ssa``
     ``ssa`` (direct / next-reaction) over both IRs, plus the shared
     chunked-Welford ensemble machinery.
+``ssa_batched``
+    ``ssa`` (batched / auto) — vectorized ensemble kernels that are
+    bit-identical to the scalar steppers, with a batched→scalar
+    fallback chain.
 ``ode``
     ``ode`` (scipy / rk4) over :class:`~repro.ir.reaction.ReactionIR`.
 """
 
-from repro.ir.backends import markov, ode, ssa  # noqa: F401  (registration)
+from repro.ir.backends import (  # noqa: F401  (registration)
+    markov,
+    ode,
+    ssa,
+    ssa_batched,
+)
 from repro.ir.backends.markov import DENSE_STATE_LIMIT, PassageSolution
 from repro.ir.backends.ode import DefaultRhs
 from repro.ir.backends.ssa import (
@@ -30,6 +39,11 @@ from repro.ir.backends.ssa import (
     reaction_trajectory_next_reaction,
     validate_grid,
 )
+from repro.ir.backends.ssa_batched import (
+    ensemble_moments_batched,
+    markov_occupancy_chunk,
+    reaction_chunk,
+)
 
 __all__ = [
     "CHUNK_RUNS",
@@ -41,7 +55,10 @@ __all__ = [
     "Trajectory",
     "as_rng",
     "ensemble_moments",
+    "ensemble_moments_batched",
+    "markov_occupancy_chunk",
     "markov_path",
+    "reaction_chunk",
     "occupancy_run",
     "reaction_run",
     "reaction_trajectory",

@@ -151,13 +151,21 @@ def markov_path(
             cursor += 1
         if cursor >= grid.size:
             break
+        # Budget check *before* the jump is drawn: a path that reaches
+        # the horizon with exactly ``max_events`` jumps is admitted, the
+        # (max_events+1)-th jump is refused before it consumes RNG draws
+        # or is recorded — the same pre-fire semantics as the reaction
+        # steppers.
+        if len(jump_times) >= max_events:
+            raise SimulationLimitError(
+                f"simulation exceeded {max_events} events",
+                budget=max_events, events=len(jump_times),
+            )
         k = int(np.searchsorted(cum, rng.random() * cum[-1], side="right"))
         k = min(k, targets.size - 1)
         jump_times.append(t)
         jump_actions.append(actions[k])
         state = int(targets[k])
-        if len(jump_times) > max_events:
-            raise SimulationLimitError(f"simulation exceeded {max_events} events")
     return JumpPath(
         times=grid,
         states=out_states,
@@ -207,8 +215,14 @@ def reaction_trajectory(
     select = _select_choice if choice else _select_scan
     while cursor < grid.size:
         props = ir.propensities(x)
-        if choice and (props < 0).any():
-            bad = ir.reaction_names[int(np.argmin(props))]
+        # Both samplers validate negativity: ``scan`` skips negative
+        # slots when selecting but ``float(sum(props))`` would still
+        # fold them into the total, corrupting waiting times and the
+        # selection threshold — a negative law is a model error, not a
+        # samplable state.
+        pvals = np.asarray(props, dtype=np.float64)
+        if (pvals < 0).any():
+            bad = ir.reaction_names[int(np.argmin(pvals))]
             raise IRError(f"negative propensity for reaction {bad!r}")
         # float(sum(...)) iterates sequentially — bit-equal to the old
         # positive-only Python-list sum because adding 0.0 is exact;
@@ -223,6 +237,11 @@ def reaction_trajectory(
             cursor += 1
         if cursor >= grid.size:
             break
+        if events >= max_events:
+            raise SimulationLimitError(
+                f"simulation exceeded {max_events} events before the horizon",
+                budget=max_events, events=events,
+            )
         r = select(rng, props, total)
         x = x + N[:, r]
         if (x < 0).any():
@@ -232,10 +251,6 @@ def reaction_trajectory(
                 "law does not vanish at zero amounts"
             )
         events += 1
-        if events > max_events:
-            raise SimulationLimitError(
-                f"simulation exceeded {max_events} events before the horizon"
-            )
     return Trajectory(times=grid, counts=out, n_events=events)
 
 
@@ -284,6 +299,11 @@ def reaction_trajectory_next_reaction(
             cursor += 1
         if cursor >= grid.size:
             break
+        if events >= max_events:
+            raise SimulationLimitError(
+                f"simulation exceeded {max_events} events before the horizon",
+                budget=max_events, events=events,
+            )
         internal += props * dt
         thresholds[r] += rng.exponential()
         x = x + N[:, r]
@@ -294,10 +314,6 @@ def reaction_trajectory_next_reaction(
                 "law does not vanish at zero amounts"
             )
         events += 1
-        if events > max_events:
-            raise SimulationLimitError(
-                f"simulation exceeded {max_events} events before the horizon"
-            )
     return Trajectory(times=grid, counts=out, n_events=events)
 
 
@@ -305,22 +321,33 @@ def reaction_trajectory_next_reaction(
 # Chunked ensembles (one code path for all frontends)
 # ---------------------------------------------------------------------------
 
-def reaction_run(payload, grid, rng):
+def reaction_run(payload, grid, rng, max_events=None):
     """Ensemble runner: one direct-method realization of a ReactionIR."""
-    traj = reaction_trajectory(payload, grid, rng)
+    if max_events is None:
+        traj = reaction_trajectory(payload, grid, rng)
+    else:
+        traj = reaction_trajectory(payload, grid, rng, max_events=max_events)
     return traj.counts, traj.n_events
 
 
-def reaction_run_next_reaction(payload, grid, rng):
+def reaction_run_next_reaction(payload, grid, rng, max_events=None):
     """Ensemble runner: one next-reaction realization of a ReactionIR."""
-    traj = reaction_trajectory_next_reaction(payload, grid, rng)
+    if max_events is None:
+        traj = reaction_trajectory_next_reaction(payload, grid, rng)
+    else:
+        traj = reaction_trajectory_next_reaction(
+            payload, grid, rng, max_events=max_events
+        )
     return traj.counts, traj.n_events
 
 
-def occupancy_run(payload, grid, rng):
+def occupancy_run(payload, grid, rng, max_events=None):
     """Ensemble runner: one MarkovIR path as a one-hot occupancy matrix."""
     ir, initial = payload
-    path = markov_path(ir, grid, rng, initial=initial)
+    if max_events is None:
+        path = markov_path(ir, grid, rng, initial=initial)
+    else:
+        path = markov_path(ir, grid, rng, initial=initial, max_events=max_events)
     occ = np.zeros((grid.size, ir.n_states))
     occ[np.arange(grid.size), path.states] = 1.0
     return occ, path.n_events
@@ -328,12 +355,22 @@ def occupancy_run(payload, grid, rng):
 
 def _ensemble_chunk(task) -> tuple[int, np.ndarray, np.ndarray, int]:
     """Worker: Welford partials ``(count, mean, m2, events)`` over one
-    chunk of independently seeded realizations."""
-    runner, payload, grid, seeds = task
+    chunk of independently seeded realizations.
+
+    Tasks are 4-tuples historically and 5-tuples when an event budget is
+    threaded through; budget-less calls keep the 3-argument runner
+    signature so existing custom runners stay compatible.
+    """
+    runner, payload, grid, seeds, *rest = task
+    budget = rest[0] if rest else None
     mean = m2 = None
     events = 0
     for k, seed_seq in enumerate(seeds, start=1):
-        counts, n_events = runner(payload, grid, np.random.default_rng(seed_seq))
+        rng = np.random.default_rng(seed_seq)
+        if budget is None:
+            counts, n_events = runner(payload, grid, rng)
+        else:
+            counts, n_events = runner(payload, grid, rng, max_events=budget)
         if mean is None:
             mean = np.zeros_like(counts)
             m2 = np.zeros_like(counts)
@@ -344,7 +381,8 @@ def _ensemble_chunk(task) -> tuple[int, np.ndarray, np.ndarray, int]:
     return len(seeds), mean, m2, events
 
 
-def _checkpoint_key(runner, payload, grid, n_runs: int, seed: int) -> str | None:
+def _checkpoint_key(runner, payload, grid, n_runs: int, seed: int,
+                    max_events=None) -> str | None:
     """Content-addressed batch key for checkpointed ensembles.
 
     ``None`` (checkpointing skipped) when the payload has no canonical
@@ -359,9 +397,12 @@ def _checkpoint_key(runner, payload, grid, n_runs: int, seed: int) -> str | None
         runner, "checkpoint_name", getattr(runner, "__qualname__", repr(runner))
     )
     try:
-        return canonical_key(
-            "ensemble", name, payload, grid, int(n_runs), int(seed)
-        )
+        # Budget-less keys keep their historical shape so checkpoints
+        # written before budgets were threaded through remain valid.
+        parts = ("ensemble", name, payload, grid, int(n_runs), int(seed))
+        if max_events is not None:
+            parts = parts + (int(max_events),)
+        return canonical_key(*parts)
     except Uncacheable:
         return None
 
@@ -373,6 +414,7 @@ def ensemble_moments(
     n_runs: int,
     seed: int,
     timer_name: str = "ssa_ensemble",
+    max_events=None,
 ) -> EnsembleMoments:
     """Streaming mean / sample variance over ``n_runs`` realizations.
 
@@ -396,11 +438,13 @@ def ensemble_moments(
     with get_registry().timer(timer_name) as gauges:
         tasks = [
             (runner, payload, grid, seeds[lo : lo + CHUNK_RUNS])
+            if max_events is None
+            else (runner, payload, grid, seeds[lo : lo + CHUNK_RUNS], max_events)
             for lo in range(0, n_runs, CHUNK_RUNS)
         ]
         partials = run_tasks(
             _ensemble_chunk, tasks, checkpoint=_checkpoint_key(
-                runner, payload, grid, n_runs, seed
+                runner, payload, grid, n_runs, seed, max_events
             )
         )
         count, mean, m2 = 0, 0.0, 0.0
@@ -447,13 +491,15 @@ def _ssa_solve(ir, *, variant, times, seed=0, mode="trajectory", n_runs=100,
         if mode == "trajectory":
             return markov_path(ir, grid, as_rng(seed), initial=initial,
                                max_events=budget)
-        return ensemble_moments(occupancy_run, (ir, initial), grid, n_runs, seed)
+        return ensemble_moments(occupancy_run, (ir, initial), grid, n_runs,
+                                seed, max_events=max_events)
     budget = 5_000_000 if max_events is None else max_events
     if mode == "trajectory":
         step = (reaction_trajectory if variant == "direct"
                 else reaction_trajectory_next_reaction)
         return step(ir, grid, as_rng(seed), max_events=budget)
-    return ensemble_moments(_RUNNERS[variant], ir, grid, n_runs, seed)
+    return ensemble_moments(_RUNNERS[variant], ir, grid, n_runs, seed,
+                            max_events=max_events)
 
 
 def _ssa_direct(ir, **params):

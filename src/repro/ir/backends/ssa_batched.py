@@ -1,0 +1,523 @@
+"""Vectorized batched SSA ensemble kernels.
+
+The scalar steppers in :mod:`repro.ir.backends.ssa` advance one
+trajectory per Python loop iteration; for the paper's Table I / Fig. 3-6
+ensembles (thousands of realizations, millions of events) that loop is
+the dominant hot path.  This module advances a whole chunk of
+realizations per NumPy call instead — batched propensity evaluation
+across the live trajectories, vectorized grid-cursor advance and
+reaction selection, and compaction of finished/absorbed paths out of
+the working set — in the array-level spirit of Ding & Hillston's
+numerical vector form.
+
+Bit-identity contract
+---------------------
+The scalar steppers remain the *oracle* (exactly as the derivation fast
+path kept ``derive_reference``): the batched kernel must reproduce every
+seeded trajectory bit for bit.  Three disciplines make that possible:
+
+* each realization still consumes only its own ``SeedSequence``-child
+  stream, and waiting-time/selection draws stay interleaved per
+  trajectory — the per-trajectory generator calls cannot be block-drawn
+  without changing the stream, so they remain scalar calls while
+  everything around them is batched;
+* every vectorized reduction is elementwise or row-wise with the same
+  operand order as the scalar code (``cumsum`` rows equal the scalar
+  left-fold because adding ``0.0`` is exact; ``sum(axis=1)`` keeps
+  NumPy's pairwise order per row; ``rng.choice`` is replicated by its
+  own normalized-CDF inversion, which consumes the identical single
+  uniform);
+* chunk boundaries (:data:`~repro.ir.backends.ssa.CHUNK_RUNS`) still own
+  determinism: the batch width *is* the chunk, Welford partials are
+  computed per chunk in run order and merged in chunk order, so
+  parallel, sequential, batched and scalar ensembles all agree bitwise.
+
+Batched propensity evaluation uses ``ReactionIR.batch_propensities``
+when the frontend attached one (elementwise-exact law forms only) and
+self-checks its first evaluation against the scalar law; any
+disagreement — or a request the kernel cannot serve, like trajectory
+mode — raises :class:`~repro.errors.BatchedKernelError`, which the
+``ssa`` fallback chain resolves to the scalar ``direct`` backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.cache import Uncacheable, canonical_key
+from repro.engine.executor import run_tasks, spawn_seeds, welford_merge
+from repro.engine.metrics import get_registry
+from repro.errors import (
+    BatchedKernelError,
+    ConvergenceError,
+    IRError,
+    NumericalTrustError,
+    SimulationLimitError,
+    SingularGeneratorError,
+)
+from repro.ir.backends.ssa import (
+    CHUNK_RUNS,
+    EnsembleMoments,
+    _ssa_solve,
+    validate_grid,
+)
+from repro.ir.markov import MarkovIR
+from repro.ir.reaction import ReactionIR
+from repro.ir.registry import (
+    RetryPolicy,
+    register_backend,
+    register_fallback_chain,
+)
+
+__all__ = [
+    "batched_markov_tables",
+    "markov_occupancy_chunk",
+    "reaction_chunk",
+    "ensemble_moments_batched",
+]
+
+#: Padded per-state jump tables beyond this many matrix entries fall
+#: back to the scalar stepper rather than allocating a dense table.
+_TABLE_ENTRY_LIMIT = 50_000_000
+
+
+def batched_markov_tables(ir: MarkovIR):
+    """Dense padded jump tables ``(CUM, TGT, deg, total)`` for batching.
+
+    Row ``i`` holds state ``i``'s cumulative rates padded with ``+inf``
+    (so a row-wise ``count(cum <= v)`` reproduces the scalar
+    ``searchsorted(..., side="right")``) and its jump targets; ``deg``
+    is the out-degree and ``total`` the exit rate.  Memoized on the IR
+    like :meth:`~repro.ir.markov.MarkovIR.ssa_tables`.
+    """
+    memo = getattr(ir, "_batched_ssa_tables", None)
+    if memo is not None:
+        return memo
+    tables = ir.ssa_tables()
+    n = ir.n_states
+    deg = np.array([t[1].size for t in tables], dtype=np.intp)
+    width = int(deg.max()) if n else 0
+    if n * max(width, 1) > _TABLE_ENTRY_LIMIT:
+        raise BatchedKernelError(
+            f"padded jump table would hold {n * width} entries "
+            f"(> {_TABLE_ENTRY_LIMIT}); use the scalar stepper"
+        )
+    cum_pad = np.full((n, max(width, 1)), np.inf)
+    tgt_pad = np.zeros((n, max(width, 1)), dtype=np.intp)
+    total = np.zeros(n)
+    for i, (cum, targets, _actions) in enumerate(tables):
+        d = targets.size
+        if d:
+            cum_pad[i, :d] = cum
+            tgt_pad[i, :d] = targets
+            total[i] = cum[-1]
+    memo = (cum_pad, tgt_pad, deg, total)
+    object.__setattr__(ir, "_batched_ssa_tables", memo)
+    return memo
+
+
+def markov_occupancy_chunk(
+    ir: MarkovIR,
+    grid: np.ndarray,
+    seeds,
+    initial: int | None = None,
+    max_events: int | None = None,
+) -> tuple[list[np.ndarray], list[int]]:
+    """One chunk of jump paths, advanced together; one-hot occupancies.
+
+    Returns per-run ``(grid.size, n_states)`` occupancy matrices and
+    event counts, bit-identical to running
+    :func:`~repro.ir.backends.ssa.occupancy_run` per seed.
+    """
+    cum_pad, tgt_pad, deg, total = batched_markov_tables(ir)
+    budget = 10_000_000 if max_events is None else max_events
+    state0 = ir.initial_index if initial is None else int(initial)
+    if not 0 <= state0 < ir.n_states:
+        raise IRError(f"initial state {state0} out of range")
+    n_runs = len(seeds)
+    gens = [np.random.default_rng(s) for s in seeds]
+    exp_draw = [g.exponential for g in gens]
+    uni_draw = [g.random for g in gens]
+    grid_size = grid.size
+    state = np.full(n_runs, state0, dtype=np.intp)
+    states_out = np.empty((n_runs, grid_size), dtype=np.intp)
+    states_out[:, 0] = state
+    cursor = np.ones(n_runs, dtype=np.intp)
+    t = np.full(n_runs, float(grid[0]))
+    events = np.zeros(n_runs, dtype=np.int64)
+    # Every live row fires exactly one jump per round, so all live rows
+    # share the same event count — the round number carries the budget.
+    rounds = 0
+    live = np.arange(n_runs) if grid_size > 1 else np.empty(0, dtype=np.intp)
+    while live.size:
+        st = state[live]
+        tot = total[st]
+        absorbed = tot <= 0.0
+        if absorbed.any():
+            for row in live[absorbed]:
+                states_out[row, cursor[row]:] = state[row]
+            keep = ~absorbed
+            live, st, tot = live[keep], st[keep], tot[keep]
+            if not live.size:
+                break
+        # Waiting times: one exponential per trajectory from its own
+        # stream — the draws interleave with the selection uniforms on
+        # one PCG64 stream each, so they cannot be block-drawn.
+        scale = 1.0 / tot
+        for j in range(live.size):
+            row = live[j]
+            t[row] += exp_draw[row](scale[j])
+        new_cursor = np.searchsorted(grid, t[live], side="right")
+        for j in np.flatnonzero(new_cursor > cursor[live]):
+            row = live[j]
+            states_out[row, cursor[row]:new_cursor[j]] = state[row]
+        cursor[live] = new_cursor
+        finished = new_cursor >= grid_size
+        if finished.any():
+            keep = ~finished
+            live, st, tot = live[keep], st[keep], tot[keep]
+            if not live.size:
+                break
+        if rounds >= budget:
+            raise SimulationLimitError(
+                f"simulation exceeded {budget} events",
+                budget=budget, events=int(budget),
+            )
+        u = np.empty(live.size)
+        for j in range(live.size):
+            u[j] = uni_draw[live[j]]()
+        # Row-wise inversion of the padded cumulative-rate rows: the
+        # +inf padding makes count(cum <= v) equal the scalar
+        # searchsorted(..., 'right') on the unpadded row.
+        k = (cum_pad[st] <= (u * tot)[:, None]).sum(axis=1)
+        k = np.minimum(k, deg[st] - 1)
+        state[live] = tgt_pad[st, k]
+        events[live] += 1
+        rounds += 1
+    occupancies = []
+    idx = np.arange(grid_size)
+    for b in range(n_runs):
+        occ = np.zeros((grid_size, ir.n_states))
+        occ[idx, states_out[b]] = 1.0
+        occupancies.append(occ)
+    return occupancies, [int(e) for e in events]
+
+
+def _rowwise_propensities(ir: ReactionIR, states: np.ndarray) -> np.ndarray:
+    if ir.n_reactions == 0:
+        return np.zeros((states.shape[0], 0))
+    return np.stack(
+        [np.asarray(ir.propensities(x), dtype=np.float64) for x in states]
+    )
+
+
+def reaction_chunk(
+    ir: ReactionIR,
+    grid: np.ndarray,
+    seeds,
+    max_events: int | None = None,
+) -> tuple[list[np.ndarray], list[int]]:
+    """One chunk of direct-method realizations, advanced together.
+
+    Returns per-run ``(grid.size, n_species)`` count matrices and event
+    counts, bit-identical to :func:`~repro.ir.backends.ssa.reaction_run`
+    per seed, for both the ``choice`` and ``scan`` samplers.
+    """
+    budget = 5_000_000 if max_events is None else max_events
+    stoich_t = np.ascontiguousarray(ir.stoichiometry.T)
+    x0 = ir.integer_initial()
+    grid_size, n_rx = grid.size, ir.n_reactions
+    n_runs = len(seeds)
+    gens = [np.random.default_rng(s) for s in seeds]
+    exp_draw = [g.exponential for g in gens]
+    uni_draw = [g.random for g in gens]
+    states = np.tile(x0, (n_runs, 1))
+    out = np.empty((n_runs, grid_size, x0.size))
+    out[:, 0] = x0
+    cursor = np.ones(n_runs, dtype=np.intp)
+    t = np.full(n_runs, float(grid[0]))
+    events = np.zeros(n_runs, dtype=np.int64)
+    # Every live row fires exactly one reaction per round, so all live
+    # rows share the same event count — the round number is the budget.
+    rounds = 0
+    choice = ir.sampler == "choice"
+    batch_eval = ir.batch_propensities
+    self_checked = batch_eval is None
+    live = np.arange(n_runs) if grid_size > 1 else np.empty(0, dtype=np.intp)
+    while live.size:
+        x_live = states[live]
+        if batch_eval is not None:
+            props = np.asarray(batch_eval(x_live), dtype=np.float64)
+            if not self_checked:
+                ref = _rowwise_propensities(ir, x_live)
+                if props.shape != ref.shape or not np.array_equal(props, ref):
+                    raise BatchedKernelError(
+                        "batch propensity evaluator disagrees with the "
+                        "scalar kinetic law"
+                    )
+                self_checked = True
+        else:
+            props = _rowwise_propensities(ir, x_live)
+        if props.size and props.min() < 0.0:
+            j = int(np.flatnonzero((props < 0.0).any(axis=1))[0])
+            bad = ir.reaction_names[int(np.argmin(props[j]))]
+            raise IRError(f"negative propensity for reaction {bad!r}")
+        if choice:
+            cum = None
+            tot = props.sum(axis=1) if n_rx else np.zeros(live.size)
+        else:
+            # cumsum rows equal the scalar sequential left-fold (adding
+            # 0.0 is exact), so tot matches ``float(sum(props))``.
+            cum = np.cumsum(props, axis=1) if n_rx else None
+            tot = cum[:, -1] if n_rx else np.zeros(live.size)
+        frozen = tot <= 0.0
+        if frozen.any():
+            for row in live[frozen]:
+                out[row, cursor[row]:] = states[row]
+            keep = ~frozen
+            live, props, tot = live[keep], props[keep], tot[keep]
+            if cum is not None:
+                cum = cum[keep]
+            if not live.size:
+                break
+        scale = 1.0 / tot
+        for j in range(live.size):
+            row = live[j]
+            t[row] += exp_draw[row](scale[j])
+        new_cursor = np.searchsorted(grid, t[live], side="right")
+        for j in np.flatnonzero(new_cursor > cursor[live]):
+            row = live[j]
+            out[row, cursor[row]:new_cursor[j]] = states[row]
+        cursor[live] = new_cursor
+        finished = new_cursor >= grid_size
+        if finished.any():
+            keep = ~finished
+            live, props, tot = live[keep], props[keep], tot[keep]
+            if cum is not None:
+                cum = cum[keep]
+            if not live.size:
+                break
+        if rounds >= budget:
+            raise SimulationLimitError(
+                f"simulation exceeded {budget} events before the horizon",
+                budget=budget, events=int(budget),
+            )
+        u = np.empty(live.size)
+        for j in range(live.size):
+            u[j] = uni_draw[live[j]]()
+        if choice:
+            # Bit-exact replication of rng.choice(n, p=props/total): the
+            # generator normalizes p, cumsums, renormalizes the CDF by
+            # its last entry, and inverts one uniform with
+            # searchsorted(..., 'right').
+            norm = props / tot[:, None]
+            cdf = np.cumsum(norm, axis=1)
+            last = cdf[:, -1].copy()
+            cdf = cdf / last[:, None]
+            k = (cdf <= u[:, None]).sum(axis=1)
+            k = np.minimum(k, n_rx - 1)
+        else:
+            # Positive-only scan: first positive slot whose running sum
+            # reaches u*total, else the last positive slot.
+            threshold = u * tot
+            hit = (props > 0.0) & (threshold[:, None] <= cum)
+            k = hit.argmax(axis=1)
+            has_hit = hit.any(axis=1)
+            if not has_hit.all():
+                last_positive = n_rx - 1 - np.argmax(
+                    props[:, ::-1] > 0.0, axis=1
+                )
+                k = np.where(has_hit, k, last_positive)
+        states[live] += stoich_t[k]
+        negative = np.flatnonzero((states[live] < 0).any(axis=1))
+        if negative.size:
+            rx = ir.reaction_names[int(k[negative[0]])]
+            raise IRError(
+                f"reaction {rx!r} fired with insufficient reactants — its "
+                "kinetic law does not vanish at zero amounts"
+            )
+        events[live] += 1
+        rounds += 1
+    return [out[b] for b in range(n_runs)], [int(e) for e in events]
+
+
+# ---------------------------------------------------------------------------
+# Chunked ensemble driver (same determinism contract as the scalar one)
+# ---------------------------------------------------------------------------
+
+#: Chunks simulated together per batched task.  The per-round NumPy and
+#: bookkeeping overhead amortizes over the batch width while the
+#: per-trajectory scalar RNG draws scale linearly, so a wider batch is
+#: nearly free throughput — but Welford partials are still folded per
+#: :data:`~repro.ir.backends.ssa.CHUNK_RUNS` chunk in run order and
+#: merged in chunk order, so the chunk structure (and with it seeded
+#: replication) is untouched by the width.
+SUPER_CHUNKS = 4
+
+
+def _batched_chunk(task) -> list[tuple[int, np.ndarray, np.ndarray, int]]:
+    """Worker: per-chunk Welford partials over one batched sweep.
+
+    The task's whole seed slice (up to ``SUPER_CHUNKS`` chunks) advances
+    together through the vectorized kernel; the Welford fold then visits
+    the finished runs chunk by chunk in run order with the same
+    arithmetic as the scalar ``_ensemble_chunk``, so each partial is
+    bit-identical given bit-identical trajectories.
+    """
+    kind, payload, grid, seeds, budget = task
+    if kind == "occupancy":
+        ir, initial = payload
+        runs, run_events = markov_occupancy_chunk(
+            ir, grid, seeds, initial=initial, max_events=budget
+        )
+    else:
+        runs, run_events = reaction_chunk(
+            payload, grid, seeds, max_events=budget
+        )
+    partials = []
+    for lo in range(0, len(seeds), CHUNK_RUNS):
+        chunk = runs[lo : lo + CHUNK_RUNS]
+        mean = m2 = None
+        for k, counts in enumerate(chunk, start=1):
+            if mean is None:
+                mean = np.zeros_like(counts)
+                m2 = np.zeros_like(counts)
+            delta = counts - mean
+            mean += delta / k
+            m2 += delta * (counts - mean)
+        partials.append(
+            (len(chunk), mean, m2,
+             int(sum(run_events[lo : lo + CHUNK_RUNS])))
+        )
+    return partials
+
+
+def _batched_checkpoint_key(kind, payload, grid, n_runs, seed, max_events):
+    ident = payload[0] if isinstance(payload, tuple) else payload
+    if getattr(ident, "token", True) is None:
+        return None
+    try:
+        parts = ("ensemble-batched", kind, payload, grid, int(n_runs), int(seed))
+        if max_events is not None:
+            parts = parts + (int(max_events),)
+        return canonical_key(*parts)
+    except Uncacheable:
+        return None
+
+
+def ensemble_moments_batched(
+    kind: str,
+    payload,
+    grid: np.ndarray,
+    n_runs: int,
+    seed: int,
+    max_events=None,
+    timer_name: str = "ssa_ensemble_batched",
+) -> EnsembleMoments:
+    """Streaming ensemble moments through the batched kernels.
+
+    Same determinism contract as
+    :func:`~repro.ir.backends.ssa.ensemble_moments` — one seed child per
+    realization, fixed :data:`~repro.ir.backends.ssa.CHUNK_RUNS` chunk
+    boundaries, Welford partials merged in chunk order — and the same
+    result bit for bit, because each chunk's batched trajectories equal
+    the scalar ones.  Checkpoints use the distinct ``ensemble-batched``
+    namespace (partials are interchangeable with the scalar kernel's,
+    but a resumed batch must re-verify with the kernel that wrote it).
+    """
+    if n_runs < 1:
+        raise IRError("ensemble needs at least one run")
+    seeds = spawn_seeds(seed, n_runs)
+    stride = CHUNK_RUNS * SUPER_CHUNKS
+    n_chunks = -(-n_runs // CHUNK_RUNS)
+    with get_registry().timer(timer_name) as gauges:
+        tasks = [
+            (kind, payload, grid, seeds[lo : lo + stride], max_events)
+            for lo in range(0, n_runs, stride)
+        ]
+        grouped = run_tasks(
+            _batched_chunk, tasks, checkpoint=_batched_checkpoint_key(
+                kind, payload, grid, n_runs, seed, max_events
+            )
+        )
+        count, mean, m2 = 0, 0.0, 0.0
+        events = 0
+        for group in grouped:
+            for chunk_count, chunk_mean, chunk_m2, chunk_events in group:
+                count, mean, m2 = welford_merge(
+                    (count, mean, m2), (chunk_count, chunk_mean, chunk_m2)
+                )
+                events += chunk_events
+        var = m2 / (n_runs - 1) if n_runs > 1 else np.zeros_like(m2)
+        gauges["n_runs"] = n_runs
+        gauges["events"] = events
+    return EnsembleMoments(
+        times=grid,
+        mean=mean,
+        var=var,
+        n_runs=n_runs,
+        events=events,
+        chunks=n_chunks,
+        meta={"events": events, "chunks": n_chunks, "kernel": "batched"},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry entry points
+# ---------------------------------------------------------------------------
+
+def _ssa_batched(ir, *, times, seed=0, mode="trajectory", n_runs=100,
+                 initial=None, max_events=None):
+    grid = validate_grid(times)
+    if mode != "ensemble":
+        raise BatchedKernelError(
+            "the batched SSA kernel serves ensembles only; trajectory mode "
+            "falls back to the scalar stepper"
+        )
+    if isinstance(ir, MarkovIR):
+        return ensemble_moments_batched(
+            "occupancy", (ir, initial), grid, n_runs, seed,
+            max_events=max_events,
+        )
+    return ensemble_moments_batched(
+        "reaction", ir, grid, n_runs, seed, max_events=max_events
+    )
+
+
+def _ssa_auto(ir, *, mode="trajectory", **params):
+    """Mode-directed selection: ensembles go batched, paths go scalar."""
+    if mode == "ensemble":
+        return _ssa_batched(ir, mode=mode, **params)
+    return _ssa_solve(ir, variant="direct", mode=mode, **params)
+
+
+register_backend(
+    "ssa",
+    "batched",
+    _ssa_batched,
+    accepts=(MarkovIR, ReactionIR),
+    aliases=("ssa.batched",),
+    cache=False,
+)
+register_backend(
+    "ssa",
+    "auto",
+    _ssa_auto,
+    accepts=(MarkovIR, ReactionIR),
+    cache=False,
+)
+# Batched -> scalar: safe to resolve silently because the kernels are
+# bit-identical — falling back changes throughput, never the numbers.
+# ``next-reaction`` stays outside the chain (different RNG stream).
+register_fallback_chain(
+    "ssa",
+    ("batched", "direct"),
+    RetryPolicy(
+        recoverable=(
+            ConvergenceError,
+            SingularGeneratorError,
+            NumericalTrustError,
+            BatchedKernelError,
+        )
+    ),
+)

@@ -403,6 +403,25 @@ def _check_ssa(capability, backend, ir, result, params) -> dict:
                   detail=float(var.min()))
         out = {"events": int(getattr(result, "events", 0)),
                "n_runs": int(getattr(result, "n_runs", 0))}
+        chunks = getattr(result, "chunks", None)
+        n_runs = out["n_runs"]
+        if chunks is not None and n_runs > 0:
+            # Chunk boundaries own ensemble determinism: every kernel —
+            # scalar, batched, parallel, resumed — must produce exactly
+            # ceil(n_runs / CHUNK_RUNS) Welford partials.  A kernel that
+            # compacted runs into a different chunk structure would merge
+            # in a different order and silently break seeded replication.
+            from repro.ir.backends.ssa import CHUNK_RUNS
+
+            expected = -(-n_runs // CHUNK_RUNS)
+            if int(chunks) != expected:
+                _fail(
+                    "chunk_structure",
+                    f"ensemble built from {int(chunks)} chunks, expected "
+                    f"{expected} for {n_runs} runs",
+                    capability=capability, backend=backend, ir=ir,
+                    detail=float(chunks),
+                )
         out.update(
             _conservation_checks(capability, backend, ir, mean, "ssa_ensemble")
         )

@@ -58,6 +58,17 @@ class ReactionIR:
     rhs:
         Optional picklable callable ``f(t, x) -> dx`` overriding the
         default deterministic right-hand side ``N @ v(clip(x, 0))``.
+    batch_propensities:
+        Optional picklable callable ``V(X) -> (B, n_reactions)`` that
+        evaluates the propensity vector for a whole batch of states
+        ``X`` of shape ``(B, n_species)`` at once, *bit-identically* to
+        ``propensities`` row by row.  The batched SSA kernel uses it to
+        amortize the per-event law evaluation across an ensemble;
+        ``None`` means the kernel evaluates row-wise through
+        ``propensities``.  Frontends only attach an evaluator when every
+        kinetic form is elementwise-exact under NumPy (the batched
+        kernel additionally self-checks the first evaluation against the
+        scalar law and falls back on any disagreement).
     sampler:
         Reaction-selection discipline of the direct SSA: ``"choice"``
         (``rng.choice`` on normalized propensities — Bio-PEPA) or
@@ -76,6 +87,7 @@ class ReactionIR:
     reaction_names: tuple[str, ...]
     propensities: Callable = field(compare=False)
     rhs: Callable | None = field(default=None, compare=False)
+    batch_propensities: Callable | None = field(default=None, compare=False)
     sampler: str = "choice"
     integer_state: bool = True
     token: object = None

@@ -39,7 +39,7 @@ class TestDiscovery:
             "steady": ("dense", "gmres", "sparse", "uniformization"),
             "transient": ("expm", "uniformization"),
             "passage": ("expm", "uniformization"),
-            "ssa": ("direct", "next-reaction"),
+            "ssa": ("auto", "batched", "direct", "next-reaction"),
             "ode": ("rk4", "scipy"),
         }
         # The derive capability is registered by the pepa frontend on
@@ -64,6 +64,7 @@ class TestDiscovery:
             ("steady", "direct", "sparse"),
             ("steady", "power", "uniformization"),
             ("ssa", "gillespie", "direct"),
+            ("ssa", "ssa.batched", "batched"),
             ("passage", "dense", "expm"),
         ],
     )
@@ -152,7 +153,10 @@ class TestFallbackChains:
         assert fallback_chain("transient") == ("expm", "uniformization")
         assert fallback_chain("passage") == ("expm", "uniformization")
         assert fallback_chain("ode") == ("scipy", "rk4")
-        assert fallback_chain("ssa") == ()  # stochastic: never silently resolved
+        # Stochastic backends with distinct RNG streams are never
+        # silently substituted; batched -> direct is safe because the
+        # kernels are bit-identical, so the chain only changes speed.
+        assert fallback_chain("ssa") == ("batched", "direct")
 
     def test_retry_policy_validation(self):
         assert RetryPolicy().attempts == 1

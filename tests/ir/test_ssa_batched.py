@@ -1,0 +1,312 @@
+"""The batched SSA ensemble kernels: bit-identity against the scalar
+oracle, compaction, the fallback chain, and the trust-layer checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import engine
+from repro.engine import faults
+from repro.engine.executor import spawn_seeds
+from repro.errors import (
+    BatchedKernelError,
+    NumericalTrustError,
+    SimulationLimitError,
+)
+from repro.ir import MarkovIR, ReactionIR, solve
+from repro.ir.backends.ssa import (
+    EnsembleMoments,
+    occupancy_run,
+    reaction_run,
+)
+from repro.ir.backends.ssa_batched import (
+    ensemble_moments_batched,
+    markov_occupancy_chunk,
+    reaction_chunk,
+)
+from repro.ir import guards
+
+from tests.ir.test_ssa_core import (
+    GRID,
+    immigration_death_ir,
+    ring_ir_with_table,
+)
+
+
+def absorbing_ir() -> MarkovIR:
+    """0 -> 1 -> 2, state 2 absorbing: exercises path compaction."""
+    Q = sp.csr_matrix(
+        np.array([[-2.0, 2.0, 0.0], [0.0, -1.0, 1.0], [0.0, 0.0, 0.0]])
+    )
+    return MarkovIR(
+        generator=Q,
+        trans_source=np.array([0, 1]),
+        trans_target=np.array([1, 2]),
+        trans_rate=np.array([2.0, 1.0]),
+        trans_action=("step", "stop"),
+    )
+
+
+class Drain:
+    """Propensity x: vanishes at zero amounts, so paths absorb."""
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.array([x[0]])
+
+
+def draining_ir(sampler: str = "choice") -> ReactionIR:
+    return ReactionIR(
+        species=("X",),
+        initial=np.array([3.0]),
+        stoichiometry=np.array([[-1.0]]),
+        reaction_names=("drain",),
+        propensities=Drain(),
+        sampler=sampler,
+        token=("drain", sampler),
+    )
+
+
+class LyingBatch:
+    """A batch evaluator that disagrees with the scalar law."""
+
+    def __call__(self, states: np.ndarray) -> np.ndarray:
+        return np.full((states.shape[0], 2), 1.0)
+
+
+def lying_ir() -> ReactionIR:
+    base = immigration_death_ir()
+    return ReactionIR(
+        species=base.species,
+        initial=base.initial,
+        stoichiometry=base.stoichiometry,
+        reaction_names=base.reaction_names,
+        propensities=base.propensities,
+        batch_propensities=LyingBatch(),
+        sampler="choice",
+        token=None,
+    )
+
+
+def assert_identical(a: EnsembleMoments, b: EnsembleMoments) -> None:
+    np.testing.assert_array_equal(a.mean, b.mean)
+    np.testing.assert_array_equal(a.var, b.var)
+    assert a.events == b.events
+    assert a.chunks == b.chunks
+
+
+def ensembles(ir, grid, n_runs=60, seed=17, **params):
+    scalar = solve(ir, "ssa", backend="direct", mode="ensemble",
+                   times=grid, n_runs=n_runs, seed=seed, **params)
+    batched = solve(ir, "ssa", backend="batched", mode="ensemble",
+                    times=grid, n_runs=n_runs, seed=seed, **params)
+    return scalar, batched
+
+
+class TestBitIdentity:
+    def test_markov_occupancy(self):
+        scalar, batched = ensembles(ring_ir_with_table(), GRID)
+        assert_identical(scalar, batched)
+        assert batched.meta["kernel"] == "batched"
+
+    @pytest.mark.parametrize("sampler", ["choice", "scan"])
+    def test_reaction_both_samplers(self, sampler):
+        scalar, batched = ensembles(immigration_death_ir(sampler), GRID)
+        assert_identical(scalar, batched)
+
+    def test_absorbing_markov_compaction(self):
+        # Every path absorbs well before the horizon; the batched kernel
+        # must retire rows without disturbing the survivors' streams.
+        scalar, batched = ensembles(
+            absorbing_ir(), np.linspace(0.0, 30.0, 16)
+        )
+        assert_identical(scalar, batched)
+
+    @pytest.mark.parametrize("sampler", ["choice", "scan"])
+    def test_absorbing_reaction_compaction(self, sampler):
+        scalar, batched = ensembles(
+            draining_ir(sampler), np.linspace(0.0, 40.0, 11)
+        )
+        assert_identical(scalar, batched)
+
+    def test_per_trajectory_oracle_markov(self):
+        # Kernel-level: every padded-table path equals the scalar stepper's.
+        ir = ring_ir_with_table()
+        seeds = spawn_seeds(23, 9)
+        runs, events = markov_occupancy_chunk(ir, GRID, seeds, initial=None)
+        for occ, n_events, s in zip(runs, events, seeds):
+            ref_occ, ref_events = occupancy_run(
+                (ir, None), GRID, np.random.default_rng(s)
+            )
+            np.testing.assert_array_equal(occ, ref_occ)
+            assert n_events == ref_events
+
+    @pytest.mark.parametrize("sampler", ["choice", "scan"])
+    def test_per_trajectory_oracle_reaction(self, sampler):
+        ir = immigration_death_ir(sampler)
+        seeds = spawn_seeds(29, 9)
+        runs, events = reaction_chunk(ir, GRID, seeds)
+        for counts, n_events, s in zip(runs, events, seeds):
+            ref_counts, ref_events = reaction_run(
+                ir, GRID, np.random.default_rng(s)
+            )
+            np.testing.assert_array_equal(counts, ref_counts)
+            assert n_events == ref_events
+
+    def test_parallel_equals_sequential(self):
+        ir = immigration_death_ir()
+        sequential = solve(ir, "ssa", backend="batched", mode="ensemble",
+                           times=GRID, n_runs=60, seed=31)
+        with engine.parallel(workers=2):
+            parallel = solve(ir, "ssa", backend="batched", mode="ensemble",
+                             times=GRID, n_runs=60, seed=31)
+        assert_identical(sequential, parallel)
+
+
+class TestFrontends:
+    def test_pepa_occupancy_ensemble(self):
+        from repro.pepa import ctmc_of, derive, parse_model
+
+        src = """
+        P1 = (a, 1.0).P2;
+        P2 = (b, 2.0).P1;
+        Q1 = (a, 1.0).Q2;
+        Q2 = (c, 0.5).Q1;
+        P1 <a> Q1
+        """
+        ir = ctmc_of(derive(parse_model(src))).lower()
+        scalar, batched = ensembles(ir, np.linspace(0.0, 5.0, 21))
+        assert_identical(scalar, batched)
+
+    def test_biopepa_enzyme_ensemble(self):
+        from repro.biopepa import parse_biopepa
+        from repro.biopepa.examples import enzyme_kinetics_source
+        from repro.biopepa.lower import lower_reactions
+
+        ir = lower_reactions(parse_biopepa(enzyme_kinetics_source()))
+        assert ir.batch_propensities is not None
+        scalar, batched = ensembles(ir, np.linspace(0.0, 5.0, 21))
+        assert_identical(scalar, batched)
+
+    def test_biopepa_mm_and_expression_laws(self):
+        from repro.biopepa import parse_biopepa
+        from repro.biopepa.lower import lower_reactions
+
+        src = """
+        vM = 1.2; kM = 8.0; k1 = 0.05; kI = 4.0;
+        kineticLawOf convert : fMM(vM, kM);
+        kineticLawOf feed    : fMA(k1);
+        kineticLawOf inhib   : vM * E * S / (kM * (1 + I / kI) + S);
+        S = (convert, 1) << S + (inhib, 1) << S + (feed, 1) >> S;
+        E = (convert, 1) (+) E + (inhib, 1) (+) E;
+        I = (inhib, 1) (.) I;
+        P = (convert, 1) >> P + (inhib, 1) >> P;
+        S[40] <*> E[10] <*> I[12] <*> P[0]
+        """
+        ir = lower_reactions(parse_biopepa(src))
+        assert ir.batch_propensities is not None
+        # The compiled laws agree with the scalar evaluation everywhere,
+        # including zero-substrate rows (the fMM/ZeroDivision guards).
+        rng = np.random.default_rng(5)
+        states = rng.integers(0, 50, size=(64, 4)).astype(float)
+        states[:5, 0] = 0.0
+        reference = np.stack([ir.propensities(x) for x in states])
+        np.testing.assert_array_equal(
+            ir.batch_propensities(states), reference
+        )
+        scalar, batched = ensembles(ir, np.linspace(0.0, 4.0, 17))
+        assert_identical(scalar, batched)
+
+    def test_gpepa_client_server_ensemble(self):
+        from repro.gpepa.examples import client_server_scalability
+        from repro.gpepa.lower import lower_reactions
+
+        ir = lower_reactions(client_server_scalability(10, 2))
+        assert ir.batch_propensities is not None
+        scalar, batched = ensembles(ir, np.linspace(0.0, 2.0, 11))
+        assert_identical(scalar, batched)
+
+
+class TestFallbackChain:
+    def test_trajectory_mode_falls_back_to_scalar(self):
+        # The batched kernel serves ensembles only; a trajectory request
+        # through it must resolve to the scalar stepper's exact result.
+        ir = immigration_death_ir()
+        direct = solve(ir, "ssa", backend="direct", times=GRID, seed=42)
+        routed = solve(ir, "ssa", backend="batched", times=GRID, seed=42)
+        np.testing.assert_array_equal(routed.counts, direct.counts)
+        assert routed.n_events == direct.n_events
+
+    def test_self_check_rejects_lying_evaluator(self):
+        ir = lying_ir()
+        with pytest.raises(BatchedKernelError, match="disagrees"):
+            ensemble_moments_batched("reaction", ir, GRID, 10, seed=3)
+
+    def test_lying_evaluator_degrades_to_oracle(self):
+        # Through the registry the self-check failure is recoverable:
+        # the chain re-solves on ``direct`` and the numbers match the
+        # scalar law exactly.
+        scalar = solve(immigration_death_ir(), "ssa", backend="direct",
+                       mode="ensemble", times=GRID, n_runs=30, seed=13)
+        degraded = solve(lying_ir(), "ssa", backend="batched",
+                         mode="ensemble", times=GRID, n_runs=30, seed=13)
+        np.testing.assert_array_equal(degraded.mean, scalar.mean)
+        np.testing.assert_array_equal(degraded.var, scalar.var)
+        assert degraded.meta.get("fallback_from") == "batched"
+
+    def test_auto_selects_batched_for_ensembles(self):
+        ir = immigration_death_ir()
+        auto = solve(ir, "ssa", backend="auto", mode="ensemble",
+                     times=GRID, n_runs=30, seed=19)
+        batched = solve(ir, "ssa", backend="batched", mode="ensemble",
+                        times=GRID, n_runs=30, seed=19)
+        assert auto.meta["kernel"] == "batched"
+        assert_identical(auto, batched)
+
+    def test_auto_selects_scalar_for_trajectories(self):
+        ir = immigration_death_ir()
+        auto = solve(ir, "ssa", backend="auto", times=GRID, seed=21)
+        direct = solve(ir, "ssa", backend="direct", times=GRID, seed=21)
+        np.testing.assert_array_equal(auto.counts, direct.counts)
+
+    def test_chaos_sentinel_violation_degrades_identically(self):
+        # Fault injection in the trust layer: the batched result is
+        # quarantined, the chain re-solves on the oracle, and the served
+        # numbers are the scalar kernel's.
+        ir = immigration_death_ir()
+        scalar = solve(ir, "ssa", backend="direct", mode="ensemble",
+                       times=GRID, n_runs=30, seed=37)
+        with faults.inject(
+            faults.FaultSpec("sentinel_violation", backend="batched")
+        ) as plan:
+            served = solve(ir, "ssa", backend="batched", mode="ensemble",
+                           times=GRID, n_runs=30, seed=37)
+            assert plan.fired("sentinel_violation") == 1
+        np.testing.assert_array_equal(served.mean, scalar.mean)
+        np.testing.assert_array_equal(served.var, scalar.var)
+        assert served.meta.get("fallback_from") == "batched"
+
+
+class TestBudgetAndGuards:
+    def test_batched_ensemble_honors_budget(self):
+        ir = immigration_death_ir()
+        with pytest.raises(SimulationLimitError, match="exceeded 3 events"):
+            ensemble_moments_batched(
+                "reaction", ir, np.linspace(0.0, 100.0, 3), 8, seed=0,
+                max_events=3,
+            )
+
+    def test_chunk_structure_sentinel(self):
+        # A kernel that merged runs into the wrong number of chunks
+        # would break seeded replication; the trust layer rejects it.
+        ir = immigration_death_ir()
+        good = solve(ir, "ssa", backend="batched", mode="ensemble",
+                     times=GRID, n_runs=30, seed=5)
+        bad = EnsembleMoments(
+            times=good.times, mean=good.mean, var=good.var,
+            n_runs=good.n_runs, events=good.events,
+            chunks=good.chunks + 1, meta={},
+        )
+        with pytest.raises(NumericalTrustError, match="chunk"):
+            guards.verify("ssa", "batched", ir, bad, {})

@@ -42,6 +42,18 @@ class MinusOne:
         return np.array([-1.0])
 
 
+class NegativeFirst:
+    """One negative, one positive propensity.
+
+    ``_select_scan`` would skip the negative entry, but the waiting-time
+    total would still include it — the stepper must reject it up front
+    for *both* samplers, not just ``choice``.
+    """
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.array([-1.0, 2.0])
+
+
 def immigration_death_ir(sampler: str = "choice") -> ReactionIR:
     return ReactionIR(
         species=("X",),
@@ -198,6 +210,58 @@ class TestErrors:
         with pytest.raises(SimulationLimitError, match="exceeded 3 events"):
             solve(ir, "ssa", times=np.linspace(0.0, 100.0, 3), seed=0,
                   max_events=3)
+
+    def test_negative_propensity_under_scan(self):
+        """Regression: negatives were only validated for ``choice``."""
+        ir = ReactionIR(
+            species=("X",),
+            initial=np.array([1.0]),
+            stoichiometry=np.array([[-1.0, 1.0]]),
+            reaction_names=("bad", "good"),
+            propensities=NegativeFirst(),
+            sampler="scan",
+            token=None,
+        )
+        with pytest.raises(IRError, match="negative propensity for reaction 'bad'"):
+            solve(ir, "ssa", times=GRID, seed=0)
+
+    def test_ensemble_honors_event_budget(self):
+        """Regression: ensembles silently dropped ``max_events``."""
+        ir = immigration_death_ir()
+        with pytest.raises(SimulationLimitError, match="exceeded 3 events"):
+            solve(ir, "ssa", mode="ensemble",
+                  times=np.linspace(0.0, 100.0, 3), n_runs=4, seed=0,
+                  max_events=3)
+
+    def test_reaction_budget_boundary(self):
+        """``max_events=N`` admits exactly N firings, no off-by-one."""
+        ir = immigration_death_ir()
+        free = solve(ir, "ssa", times=GRID, seed=7)
+        assert free.n_events > 1
+        exact = solve(ir, "ssa", times=GRID, seed=7,
+                      max_events=free.n_events)
+        np.testing.assert_array_equal(exact.counts, free.counts)
+        with pytest.raises(SimulationLimitError) as info:
+            solve(ir, "ssa", times=GRID, seed=7,
+                  max_events=free.n_events - 1)
+        assert info.value.budget == free.n_events - 1
+        assert info.value.events == free.n_events - 1
+
+    def test_markov_budget_boundary(self):
+        """Regression: the jump-path budget fired only after admitting
+        ``max_events + 1`` jumps; the semantics now match the reaction
+        steppers (``max_events=N`` admits exactly N jumps)."""
+        ring = ring_ir_with_table()
+        free = solve(ring, "ssa", times=GRID, seed=9)
+        assert free.n_events > 1
+        exact = solve(ring, "ssa", times=GRID, seed=9,
+                      max_events=free.n_events)
+        np.testing.assert_array_equal(exact.states, free.states)
+        with pytest.raises(SimulationLimitError) as info:
+            solve(ring, "ssa", times=GRID, seed=9,
+                  max_events=free.n_events - 1)
+        assert info.value.budget == free.n_events - 1
+        assert info.value.events == free.n_events - 1
 
     def test_markov_initial_out_of_range(self):
         with pytest.raises(IRError, match="out of range"):
