@@ -21,6 +21,7 @@ import numpy as np
 from repro.allocation.machines import DONE_STATE, MACHINE_LEAF, build_machine_model
 from repro.allocation.mapping import Mapping
 from repro.allocation.workload import Workload
+from repro.engine import run_manifest
 from repro.engine.cache import Uncacheable, cached, canonical_key
 from repro.engine.executor import run_tasks
 from repro.engine.metrics import get_registry
@@ -180,6 +181,22 @@ def makespan_cdf(
         )
         gauges["grid_points"] = times.size
     result.meta["cache"] = status
+    from repro.allocation.mapping import MACHINES
+
+    manifest = run_manifest.build_batch_manifest(
+        "makespan_cdf",
+        {"times": times, "tail_tol": tail_tol, "method": method},
+        result,
+        model={
+            "mapping": run_manifest.dataclass_descriptor(mapping),
+            "workload": run_manifest.dataclass_descriptor(workload),
+        },
+        chunks={
+            "count": sum(1 for m in MACHINES if mapping.applications_on(m)),
+            "unit": "machine",
+        },
+    )
+    run_manifest.attach_manifest(result, manifest)
     if result.cdf.size and result.cdf[-1] < 1.0 - tail_tol:
         warnings.warn(
             f"makespan CDF reaches only {result.cdf[-1]:.4f} at the grid horizon "

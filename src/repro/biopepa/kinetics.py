@@ -165,6 +165,9 @@ class Expression(KineticLaw):
             tree = ast.parse(self.source, mode="eval")
         except SyntaxError as exc:
             raise KineticLawError(f"malformed kinetic expression {self.source!r}: {exc}")
+        call_funcs = {
+            id(node.func) for node in ast.walk(tree) if isinstance(node, ast.Call)
+        }
         for node in ast.walk(tree):
             if not isinstance(node, _ALLOWED_NODES):
                 raise KineticLawError(
@@ -176,6 +179,15 @@ class Expression(KineticLaw):
                     raise KineticLawError(
                         f"kinetic expression {self.source!r} calls a disallowed function"
                     )
+            if (
+                isinstance(node, ast.Name)
+                and node.id in _ALLOWED_FUNCS
+                and id(node) not in call_funcs
+            ):
+                raise KineticLawError(
+                    f"kinetic expression {self.source!r} uses function "
+                    f"{node.id!r} as a value"
+                )
         return tree
 
     def rate(self, amounts, reaction, parameters) -> float:
@@ -190,9 +202,10 @@ class Expression(KineticLaw):
             ) from exc
         except ZeroDivisionError:
             return 0.0
-        except (OverflowError, ValueError) as exc:
-            # e.g. exp() overflow or log() of a negative amount — surface
-            # as a model error rather than a raw math exception.
+        except (OverflowError, ValueError, TypeError) as exc:
+            # e.g. exp() overflow, log() of a negative amount, or a
+            # complex-valued power — surface as a model error rather
+            # than a raw math exception.
             raise KineticLawError(
                 f"kinetic expression {self.source!r} failed to evaluate: {exc}"
             ) from exc

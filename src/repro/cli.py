@@ -22,6 +22,10 @@ Subcommands mirror the workflow of the paper::
     repro solve model.pepa --shadow dense           # cross-backend check
     repro solve --list-backends
 
+    repro solve model.pepa --emit-manifest run.json # record the run
+    repro replay run.json --verify                  # re-execute bit-for-bit
+    repro solve model.pepa --workers 4 --transport subprocess
+
     repro validate model.pepa                       # static well-formedness
 
     repro experiment fig3                           # regenerate a paper artifact
@@ -292,42 +296,6 @@ _SOLVE_SUFFIXES = {
 }
 
 
-def _solve_lower(formalism: str, source: str, capability: str):
-    """Lower ``source`` to the IR the requested capability runs on."""
-    markov = capability in ("steady", "transient")
-    if formalism == "pepa":
-        from repro.pepa import ctmc_of, derive, parse_model
-
-        chain = ctmc_of(derive(parse_model(source)))
-        return chain.lower(), tuple(
-            chain.space.state_label(i) for i in range(chain.n_states)
-        )
-    if formalism == "biopepa":
-        from repro.biopepa import parse_biopepa, population_ctmc
-
-        model = parse_biopepa(source)
-        if markov:
-            chain = population_ctmc(model)
-            return chain.lower(), chain.lower().labels
-        from repro.biopepa.lower import lower_reactions
-
-        ir = lower_reactions(model)
-        return ir, ir.species
-    # gpepa: population semantics only (no finite global CTMC is derived).
-    from repro.gpepa import parse_gpepa
-    from repro.gpepa.lower import lower_reactions as lower_grouped
-
-    if markov:
-        print(
-            "error: capability requires a finite CTMC; the gpepa frontend "
-            "lowers to population dynamics — use --capability ode or ssa",
-            file=sys.stderr,
-        )
-        return None, None
-    ir = lower_grouped(parse_gpepa(source))
-    return ir, ir.species
-
-
 def _print_top(labels, values, top: int) -> None:
     order = sorted(range(len(values)), key=lambda i: -values[i])[:top]
     for i in order:
@@ -362,19 +330,33 @@ def _solve_command(args: argparse.Namespace) -> int:
             )
             return 2
     source = pathlib.Path(args.model).read_text()
-    ir, labels = _solve_lower(formalism, source, args.capability)
-    if ir is None:
-        return 2
-    if args.workers or args.retries is not None or args.task_timeout is not None:
-        from repro.engine import parallel
+    from repro.errors import ReplayError
+    from repro.manifest import lower_for_capability, model_context, model_descriptor
 
-        with parallel(
-            workers=args.workers or 1,
-            task_timeout=args.task_timeout,
-            max_retries=args.retries,
+    try:
+        ir, labels = lower_for_capability(formalism, source, args.capability)
+    except ReplayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Declare the model so the registry's manifests are self-contained
+    # (replayable) — see repro.engine.run_manifest.
+    with model_context(model_descriptor(formalism, source)):
+        if (
+            args.workers
+            or args.retries is not None
+            or args.task_timeout is not None
+            or args.transport is not None
         ):
-            return _solve_dispatch(args, ir, labels)
-    return _solve_dispatch(args, ir, labels)
+            from repro.engine import parallel
+
+            with parallel(
+                workers=args.workers or 1,
+                task_timeout=args.task_timeout,
+                max_retries=args.retries,
+                transport=args.transport,
+            ):
+                return _solve_dispatch(args, ir, labels)
+        return _solve_dispatch(args, ir, labels)
 
 
 def _print_diagnostics() -> None:
@@ -438,6 +420,55 @@ def _solve_dispatch(args: argparse.Namespace, ir, labels) -> int:
         _print_top(labels, ens.mean[-1], args.top)
     if args.diagnostics:
         _print_diagnostics()
+    if args.emit_manifest:
+        from repro.manifest import last_manifest
+
+        manifest = last_manifest()
+        if manifest is None:
+            print(
+                "error: no manifest was recorded for this solve "
+                "(parameters have no stable encoding)",
+                file=sys.stderr,
+            )
+            return 1
+        manifest.save(args.emit_manifest)
+        print(f"wrote manifest -> {args.emit_manifest}")
+    return 0
+
+
+def _replay_command(args: argparse.Namespace) -> int:
+    """Re-execute a run manifest; with --verify, assert bit-identity."""
+    from repro.manifest import load_manifest, replay
+
+    manifest = load_manifest(args.manifest)
+    print(
+        f"replaying {args.manifest}: kind {manifest.kind}"
+        + (f", capability {manifest.capability}" if manifest.capability else "")
+        + (
+            f", backend {manifest.backend['used']}"
+            if manifest.backend and manifest.backend.get("used")
+            else ""
+        )
+    )
+    if args.transport is not None:
+        from repro.engine import parallel
+
+        with parallel(workers=args.workers or 1, transport=args.transport):
+            report = replay(manifest, verify=args.verify)
+    elif args.workers:
+        from repro.engine import parallel
+
+        with parallel(workers=args.workers):
+            report = replay(manifest, verify=args.verify)
+    else:
+        report = replay(manifest, verify=args.verify)
+    recorded = (manifest.result or {}).get("digest")
+    if args.verify:
+        print(f"verified: result digest {recorded[:12]}… reproduced bit-for-bit")
+        print(f"verified: manifest identity {manifest.identity_digest()[:12]}… matches")
+    else:
+        status = {True: "matches", False: "DIVERGED", None: "(no digest recorded)"}
+        print(f"result digest {status[report.digest_match]}")
     return 0
 
 
@@ -741,7 +772,43 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--task-timeout", type=float, default=None,
                    help="per-task deadline in seconds "
                    "(default $REPRO_TASK_TIMEOUT, else none)")
+    p.add_argument(
+        "--transport",
+        choices=("inline", "pool", "subprocess"),
+        default=None,
+        help="execution transport for fanned-out work "
+        "(default $REPRO_TRANSPORT, else auto by worker count)",
+    )
+    p.add_argument(
+        "--emit-manifest",
+        metavar="PATH",
+        help="write the solve's reproducibility manifest (JSON) here; "
+        "re-execute it with 'repro replay PATH --verify'",
+    )
     p.set_defaults(func=_solve_command)
+
+    p = sub.add_parser(
+        "replay",
+        help="re-execute a run manifest emitted by 'solve --emit-manifest' "
+        "(or any API run), optionally asserting bit-identity",
+    )
+    p.add_argument("manifest", help="manifest JSON file")
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="fail unless the replay reproduces the recorded result "
+        "digest and manifest identity bit-for-bit",
+    )
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   help="replay under engine.parallel(workers=N)")
+    p.add_argument(
+        "--transport",
+        choices=("inline", "pool", "subprocess"),
+        default=None,
+        help="execution transport for the replay (bit-identity is "
+        "transport-invariant)",
+    )
+    p.set_defaults(func=_replay_command)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(

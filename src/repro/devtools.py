@@ -42,6 +42,7 @@ LAYER_RANKS: dict[str, int] = {
     "biopepa": 4,
     "gpepa": 4,
     "allocation": 5,
+    "manifest": 6,
     "core": 6,
     "experiments": 7,
     "cli": 8,

@@ -2,10 +2,17 @@
 
 Four orthogonal facilities every analysis layer builds on:
 
-``executor``
-    Ordered fan-out of independent work units over a process pool with
-    deterministic per-task seeding — parallel results are bit-identical
-    to sequential ones (see the module docstring for the contract).
+``executor`` / ``transport``
+    Ordered fan-out of independent work units over a pluggable transport
+    (inline, supervised process pool, fresh worker subprocesses) with
+    deterministic per-task seeding — results are bit-identical across
+    worker counts *and* transports (see the executor docstring for the
+    contract).
+``run_manifest`` / ``environment``
+    Self-contained reproducibility manifests assembled around every
+    engine run — model hash, seed spec, backend chain, chunk structure,
+    environment fingerprint — serializable to JSON and re-executable by
+    ``repro replay``.
 ``resilience`` / ``faults``
     Fault tolerance for unattended runs: the supervised pool loop
     (per-task timeout, bounded retry, broken-pool recovery, sequential
@@ -34,7 +41,9 @@ from repro.engine.cache import (
     get_cache,
     seal_payload,
     unseal_payload,
+    unseal_payload_env,
 )
+from repro.engine.environment import environment_fingerprint, platform_info
 from repro.engine.executor import (
     EngineConfig,
     current_config,
@@ -59,6 +68,15 @@ from repro.engine.resilience import (
     get_checkpoint_store,
     resolve_policy,
     supervised_map,
+)
+from repro.engine.transport import (
+    InlineTransport,
+    ProcessPoolTransport,
+    SubprocessWorkerTransport,
+    Transport,
+    available_transports,
+    get_transport,
+    resolve_transport,
 )
 
 __all__ = [
@@ -88,6 +106,18 @@ __all__ = [
     "cache_override",
     "seal_payload",
     "unseal_payload",
+    "unseal_payload_env",
+    # transport
+    "Transport",
+    "InlineTransport",
+    "ProcessPoolTransport",
+    "SubprocessWorkerTransport",
+    "available_transports",
+    "get_transport",
+    "resolve_transport",
+    # environment
+    "environment_fingerprint",
+    "platform_info",
     # metrics
     "MetricsRegistry",
     "get_registry",

@@ -31,6 +31,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import itertools
+import json
 import os
 import pickle
 import struct
@@ -56,6 +57,7 @@ __all__ = [
     "cache_override",
     "seal_payload",
     "unseal_payload",
+    "unseal_payload_env",
 ]
 
 
@@ -162,30 +164,82 @@ def canonical_key(namespace: str, *parts) -> str:
 # Integrity trailer
 # ---------------------------------------------------------------------------
 
-_PAYLOAD_MAGIC = b"RPRO1"
-_TRAILER_LEN = 32 + len(_PAYLOAD_MAGIC)
+_LEGACY_MAGIC = b"RPRO1"
+_PAYLOAD_MAGIC = b"RPRO2"
+_LEGACY_TRAILER_LEN = 32 + len(_LEGACY_MAGIC)
+# v2 trailer: sha256(payload + env + env_len) | env_len (uint32 LE) | magic
+_TRAILER_LEN = 32 + 4 + len(_PAYLOAD_MAGIC)
 
 
-def seal_payload(payload: bytes) -> bytes:
-    """Append a SHA-256 integrity trailer to ``payload``.
+def _current_env_blob() -> bytes:
+    from repro.engine.environment import environment_fingerprint
+
+    return json.dumps(environment_fingerprint(), sort_keys=True).encode("utf-8")
+
+
+def seal_payload(payload: bytes, env: bytes | None = None) -> bytes:
+    """Append an environment-stamped SHA-256 integrity trailer.
 
     Disk-cache entries and ensemble checkpoints are written through
     this, so a torn write (power loss, full disk, killed process) is
     detected on read instead of surfacing as a pickle error — or worse,
-    silently deserializing garbage.
+    silently deserializing garbage.  The trailer also seals the writing
+    process's environment fingerprint (python/numpy/scipy versions), so
+    an entry produced under a different numerical stack can be
+    quarantined instead of silently served (``unseal_payload_env``).
     """
-    return payload + hashlib.sha256(payload).digest() + _PAYLOAD_MAGIC
+    if env is None:
+        env = _current_env_blob()
+    body = payload + env + struct.pack("<I", len(env))
+    return body + hashlib.sha256(body).digest() + _PAYLOAD_MAGIC
+
+
+def unseal_payload_env(blob: bytes) -> tuple[bytes, dict | None] | None:
+    """Verify a sealed blob; return ``(payload, env)`` or ``None``.
+
+    ``env`` is the writer's environment fingerprint, or ``None`` for
+    legacy (pre-fingerprint) trailers whose environment is unknown —
+    callers that care about environment identity must treat unknown as
+    a mismatch.  Returns ``None`` outright when the blob is torn,
+    truncated or tampered with.
+    """
+    if blob.endswith(_PAYLOAD_MAGIC):
+        if len(blob) < _TRAILER_LEN:
+            return None
+        len_bytes = blob[-_TRAILER_LEN : -_TRAILER_LEN + 4]
+        digest = blob[-(32 + len(_PAYLOAD_MAGIC)) : -len(_PAYLOAD_MAGIC)]
+        (env_len,) = struct.unpack("<I", len_bytes)
+        if len(blob) < _TRAILER_LEN + env_len:
+            return None
+        env_raw = blob[-_TRAILER_LEN - env_len : -_TRAILER_LEN]
+        payload = blob[: -_TRAILER_LEN - env_len]
+        if hashlib.sha256(payload + env_raw + len_bytes).digest() != digest:
+            return None
+        try:
+            env = json.loads(env_raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None
+        return payload, env if isinstance(env, dict) else None
+    if blob.endswith(_LEGACY_MAGIC):
+        # Pre-fingerprint trailer: integrity-checkable, environment unknown.
+        if len(blob) < _LEGACY_TRAILER_LEN:
+            return None
+        payload = blob[: -_LEGACY_TRAILER_LEN]
+        digest = blob[-_LEGACY_TRAILER_LEN : -len(_LEGACY_MAGIC)]
+        if hashlib.sha256(payload).digest() != digest:
+            return None
+        return payload, None
+    return None
 
 
 def unseal_payload(blob: bytes) -> bytes | None:
-    """Verify and strip the integrity trailer; ``None`` if corrupt."""
-    if len(blob) < _TRAILER_LEN or not blob.endswith(_PAYLOAD_MAGIC):
-        return None
-    payload = blob[: -_TRAILER_LEN]
-    digest = blob[-_TRAILER_LEN : -len(_PAYLOAD_MAGIC)]
-    if hashlib.sha256(payload).digest() != digest:
-        return None
-    return payload
+    """Verify and strip the integrity trailer; ``None`` if corrupt.
+
+    Integrity only — use :func:`unseal_payload_env` when the writer's
+    environment matters (the disk cache does).
+    """
+    unsealed = unseal_payload_env(blob)
+    return None if unsealed is None else unsealed[0]
 
 
 # ---------------------------------------------------------------------------
@@ -245,25 +299,41 @@ class ResultCache:
         return value
 
     def _read_disk(self, key: str) -> bytes | None:
-        """Read a disk entry, verifying its integrity trailer.
+        """Read a disk entry, verifying its integrity + environment seal.
 
-        A corrupt or truncated entry (including pre-trailer legacy
-        files) is quarantined — renamed to ``<key>.pkl.<pid>.corrupt``
-        for post-mortem inspection — counted, and treated as a miss.
+        A corrupt or truncated entry is quarantined — renamed to
+        ``<key>.pkl.<pid>.corrupt`` for post-mortem inspection — counted,
+        and treated as a miss.  An intact entry written under a
+        *different* environment fingerprint (or a legacy pre-fingerprint
+        trailer whose environment is unknown) is likewise quarantined as
+        ``<key>.pkl.<pid>.envmismatch`` and counted under
+        ``cache.env_mismatch``: a float produced by another numpy/scipy
+        build is not evidence about this one.
         """
         path = self._disk_path(key)
         try:
             blob = path.read_bytes()
         except OSError:
             return None
-        payload = unseal_payload(blob)
-        if payload is None:
+        unsealed = unseal_payload_env(blob)
+        if unsealed is None:
             get_registry().increment("cache.corrupt_entries")
-            try:
-                path.replace(path.with_name(f"{path.name}.{os.getpid()}.corrupt"))
-            except OSError:
-                pass
+            self._quarantine(path, "corrupt")
+            return None
+        payload, env = unsealed
+        current = json.loads(_current_env_blob().decode("utf-8"))
+        if env != current:
+            get_registry().increment("cache.env_mismatch")
+            self._quarantine(path, "envmismatch")
+            return None
         return payload
+
+    @staticmethod
+    def _quarantine(path: Path, reason: str) -> None:
+        try:
+            path.replace(path.with_name(f"{path.name}.{os.getpid()}.{reason}"))
+        except OSError:
+            pass
 
     def put(self, key: str, value) -> None:
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -302,7 +372,7 @@ class ResultCache:
         with self._lock:
             self._mem.clear()
         if disk and self.disk_dir is not None and self.disk_dir.is_dir():
-            for pattern in ("*.pkl", "*.corrupt", "*.tmp"):
+            for pattern in ("*.pkl", "*.corrupt", "*.envmismatch", "*.tmp"):
                 for path in self.disk_dir.glob(pattern):
                     path.unlink(missing_ok=True)
 
@@ -318,6 +388,7 @@ class ResultCache:
             "misses": reg.counter("cache.miss"),
             "disk_hits": reg.counter("cache.disk_hit"),
             "corrupt": reg.counter("cache.corrupt_entries"),
+            "env_mismatch": reg.counter("cache.env_mismatch"),
             "enabled": self.enabled,
         }
 

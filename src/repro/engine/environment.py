@@ -1,0 +1,56 @@
+"""Execution-environment fingerprinting for manifests and cache sealing.
+
+The source paper's contribution is packaging: a run is only reproducible
+if the artifact records *where* it ran.  Two consumers share this
+module:
+
+* run manifests (:mod:`repro.engine.run_manifest`) embed the full
+  fingerprint so a replay can assert it is re-executing under the same
+  numerical stack;
+* the disk cache (:mod:`repro.engine.cache`) seals the fingerprint into
+  every entry's integrity trailer, so a cache directory carried to a
+  different numpy/scipy/python is detected instead of silently served —
+  a float produced by one BLAS build is not evidence about another.
+
+The fingerprint is deliberately small and deterministic: package
+versions and the interpreter version only.  Hostnames, timestamps and
+process ids never belong in it — they would make bit-identical runs
+look different.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+
+__all__ = ["environment_fingerprint", "platform_info"]
+
+
+def environment_fingerprint() -> dict[str, str]:
+    """The numerical-stack identity of this process.
+
+    Two processes with equal fingerprints are expected to produce
+    bit-identical floating-point results for the engine's workloads;
+    a cache or checkpoint written under a different fingerprint must
+    not be trusted.
+    """
+    import numpy
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+    }
+
+
+def platform_info() -> dict[str, str]:
+    """Observational platform facts for manifests (not part of the
+    reproducibility identity: a manifest replayed on a different
+    machine may still verify bit-for-bit)."""
+    return {
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "python_implementation": platform.python_implementation(),
+        "executable": sys.executable,
+    }

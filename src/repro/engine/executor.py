@@ -1,10 +1,11 @@
-"""Deterministic fan-out of independent work units over a process pool.
+"""Deterministic fan-out of independent work units over a transport.
 
 The experiment layer has three embarrassingly parallel workloads — SSA
 ensemble realizations, per-machine finishing-time CDFs, and parameter
 sweep points.  All of them route through :func:`run_tasks`, which runs
-sequentially by default and fans out over ``concurrent.futures``
-process workers inside a :func:`parallel` context::
+sequentially by default and fans out over a selected transport
+(:mod:`repro.engine.transport`: in-process, supervised process pool, or
+fresh worker subprocesses) inside a :func:`parallel` context::
 
     from repro import engine
 
@@ -13,8 +14,8 @@ process workers inside a :func:`parallel` context::
 
 Determinism contract
 --------------------
-Results must be *bit-identical* regardless of worker count.  Two rules
-enforce this:
+Results must be *bit-identical* regardless of worker count **and of
+transport**.  Two rules enforce this:
 
 1. Randomness is assigned per task up front via
    :func:`spawn_seeds` (``numpy.random.SeedSequence.spawn``), never
@@ -22,11 +23,11 @@ enforce this:
 2. :func:`run_tasks` preserves task order in its result list, and
    callers reduce partial results in that fixed order; chunk boundaries
    must be a function of the task list alone, never of the worker
-   count.
+   count or the transport.
 
 Callables or task payloads that cannot be pickled silently degrade to
-sequential execution (counted as ``engine.pickle_fallback``) — the
-parallel path is an optimization, not a requirement.
+in-process execution (counted as ``engine.pickle_fallback``) — every
+isolating transport is an optimization, not a requirement.
 """
 
 from __future__ import annotations
@@ -44,8 +45,8 @@ from repro.engine.metrics import get_registry
 from repro.engine.resilience import (
     get_checkpoint_store,
     resolve_policy,
-    supervised_map,
 )
+from repro.engine.transport import get_transport, resolve_transport
 
 __all__ = [
     "EngineConfig",
@@ -64,11 +65,15 @@ class EngineConfig:
     ``task_timeout`` and ``max_retries`` override the environment
     defaults (``REPRO_TASK_TIMEOUT`` / ``REPRO_MAX_RETRIES``) for the
     supervised parallel path; ``None`` defers to the environment.
+    ``transport`` pins a transport by name (``inline`` / ``pool`` /
+    ``subprocess``); ``None`` defers to ``$REPRO_TRANSPORT``, then to
+    automatic selection (inline when sequential, pool otherwise).
     """
 
     workers: int = 1
     task_timeout: float | None = None
     max_retries: int | None = None
+    transport: str | None = None
 
     def __post_init__(self):
         if self.workers < 1:
@@ -77,6 +82,8 @@ class EngineConfig:
             raise ValueError(f"task_timeout must be positive, got {self.task_timeout}")
         if self.max_retries is not None and self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.transport is not None:
+            get_transport(self.transport)  # raises on unknown names
 
 
 _config_stack: list[EngineConfig] = []
@@ -105,13 +112,15 @@ def parallel(
     workers: int | None = None,
     task_timeout: float | None = None,
     max_retries: int | None = None,
+    transport: str | None = None,
 ):
-    """Run enclosed engine workloads on a pool of ``workers`` processes.
+    """Run enclosed engine workloads on ``workers`` parallel workers.
 
     ``workers=None`` uses the CPU count.  Contexts nest; the innermost
     wins.  ``task_timeout`` / ``max_retries`` tune the supervised loop
-    (see :mod:`repro.engine.resilience`); unset values inherit from the
-    enclosing context, then the environment.
+    (see :mod:`repro.engine.resilience`) and ``transport`` pins how task
+    units are executed (see :mod:`repro.engine.transport`); unset values
+    inherit from the enclosing context, then the environment.
     """
     if workers is None:
         workers = os.cpu_count() or 1
@@ -120,6 +129,7 @@ def parallel(
         workers=workers,
         task_timeout=task_timeout if task_timeout is not None else outer.task_timeout,
         max_retries=max_retries if max_retries is not None else outer.max_retries,
+        transport=transport if transport is not None else outer.transport,
     )
     _config_stack.append(config)
     try:
@@ -142,21 +152,25 @@ def run_tasks(
     tasks: Iterable,
     workers: int | None = None,
     checkpoint: str | None = None,
+    transport: str | None = None,
 ) -> list:
     """Map ``fn`` over ``tasks``, preserving order.
 
-    Sequential unless a :func:`parallel` context (or ``workers``) asks
-    for more than one worker and there is more than one task.  The
+    Execution routes through a transport (:mod:`repro.engine.transport`)
+    resolved as: the ``transport`` argument, else the enclosing
+    :func:`parallel` context's, else ``$REPRO_TRANSPORT``, else inline
+    when effectively sequential and the supervised pool otherwise.  The
     pickle probe covers ``fn`` and the first task only — per-task pickle
-    failures are absorbed by the supervised loop, which also provides
-    retries, per-task timeouts, and broken-pool recovery (see
-    :mod:`repro.engine.resilience`).
+    failures are absorbed by the transports themselves, which also
+    provide retries, per-task timeouts, and crashed-worker recovery
+    (see :mod:`repro.engine.resilience`).
 
     ``checkpoint`` names a content-addressed batch key: when a
     checkpoint store is active (``$REPRO_CHECKPOINT_DIR`` or
     ``configure_checkpoints``), each task's result is persisted as it
     completes, already-completed tasks of an interrupted earlier run are
-    not recomputed, and the batch's checkpoints are discarded once every
+    not recomputed (after the stored chunk layout is validated against
+    this run's), and the batch's checkpoints are discarded once every
     task has finished.
     """
     tasks = list(tasks)
@@ -164,10 +178,13 @@ def run_tasks(
     config = current_config()
     if workers is None:
         workers = config.workers
-    workers = min(workers, len(tasks))
-    if workers > 1 and tasks and not _is_picklable(fn, tasks[0]):
+    workers = min(workers, len(tasks)) if tasks else 1
+    if transport is None:
+        transport = config.transport
+    chosen = resolve_transport(transport, workers)
+    if chosen.isolates_tasks and tasks and not _is_picklable(fn, tasks[0]):
         reg.increment("engine.pickle_fallback")
-        workers = 1
+        chosen = get_transport("inline")
 
     store = get_checkpoint_store() if checkpoint else None
     results: dict[int, object] = {}
@@ -181,9 +198,9 @@ def run_tasks(
     def on_result(index: int, value) -> None:
         results[index] = value
         if store is not None:
-            store.save(checkpoint, index, value)
+            store.save(checkpoint, index, value, n_tasks=len(tasks))
 
-    if workers <= 1:
+    if chosen.name == "inline":
         reg.increment("engine.sequential_batches")
         if store is None:
             return [fn(task) for task in tasks]
@@ -193,7 +210,7 @@ def run_tasks(
         reg.increment("engine.parallel_batches")
         reg.increment("engine.tasks_dispatched", by=len(missing))
         policy = resolve_policy(config.task_timeout, config.max_retries)
-        supervised_map(
+        chosen.run(
             fn,
             [tasks[i] for i in missing],
             workers=min(workers, len(missing)),

@@ -30,6 +30,7 @@ then the environment (``REPRO_TASK_TIMEOUT``, ``REPRO_MAX_RETRIES``,
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import shutil
@@ -315,6 +316,9 @@ _CKPT_UNSET = object()
 _CHECKPOINT_DIR: object = _CKPT_UNSET
 
 
+_LAYOUT_NAME = "layout.json"
+
+
 class CheckpointStore:
     """Per-task partial results on disk, keyed by content hash.
 
@@ -322,6 +326,15 @@ class CheckpointStore:
     (``chunk-000042.pkl``).  The payload carries the cache layer's
     SHA-256 integrity trailer, so a partial write from an interrupted
     run is quarantined and recomputed instead of poisoning the resume.
+
+    Alongside the chunks sits a ``layout.json`` recording the batch's
+    chunk structure (task count).  :meth:`load` validates it against the
+    resuming run: a batch key only hashes the *logical* request
+    (model, grid, n_runs, seed), so a chunking-parameter change between
+    the interrupted run and the resume would otherwise merge partials
+    computed under different chunk boundaries into a silently corrupt
+    reduction.  On mismatch the whole batch is discarded with a warning
+    (``engine.checkpoint_layout_mismatch``) and recomputed from scratch.
     """
 
     def __init__(self, root: str | os.PathLike):
@@ -333,6 +346,29 @@ class CheckpointStore:
     def _path(self, key: str, index: int) -> Path:
         return self._dir(key) / f"chunk-{index:06d}.pkl"
 
+    def _validate_layout(self, key: str, n_tasks: int) -> bool:
+        """True when the stored chunk layout matches this run's."""
+        path = self._dir(key) / _LAYOUT_NAME
+        if not path.exists():
+            # Legacy batch (pre-layout): nothing to validate against.
+            return True
+        try:
+            stored = json.loads(path.read_text()).get("n_tasks")
+        except (OSError, ValueError):
+            stored = None
+        if stored == n_tasks:
+            return True
+        warnings.warn(
+            f"checkpoint batch {key!r} was written with a different chunk "
+            f"layout ({stored!r} tasks, this run has {n_tasks}); discarding "
+            "it and recomputing from scratch",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        get_registry().increment("engine.checkpoint_layout_mismatch")
+        self.discard(key)
+        return False
+
     def load(self, key: str, n_tasks: int) -> dict[int, object]:
         """All intact completed partials for ``key`` (index -> value)."""
         from repro.engine.cache import unseal_payload
@@ -341,6 +377,8 @@ class CheckpointStore:
         done: dict[int, object] = {}
         directory = self._dir(key)
         if not directory.is_dir():
+            return done
+        if not self._validate_layout(key, n_tasks):
             return done
         for path in sorted(directory.glob("chunk-*.pkl")):
             try:
@@ -365,8 +403,13 @@ class CheckpointStore:
                 path.unlink(missing_ok=True)
         return done
 
-    def save(self, key: str, index: int, value) -> None:
-        """Persist one completed partial (atomic, integrity-sealed)."""
+    def save(self, key: str, index: int, value, n_tasks: int | None = None) -> None:
+        """Persist one completed partial (atomic, integrity-sealed).
+
+        ``n_tasks`` records the batch's chunk layout on first save so a
+        later resume can validate it; ``None`` (legacy callers) skips
+        the layout record.
+        """
         from repro.engine.cache import seal_payload
 
         try:
@@ -375,6 +418,15 @@ class CheckpointStore:
             return
         path = self._path(key, index)
         path.parent.mkdir(parents=True, exist_ok=True)
+        if n_tasks is not None:
+            layout = path.parent / _LAYOUT_NAME
+            if not layout.exists():
+                ltmp = layout.with_name(f"{layout.name}.{os.getpid()}.tmp")
+                try:
+                    ltmp.write_text(json.dumps({"n_tasks": n_tasks}))
+                    ltmp.replace(layout)
+                except OSError:
+                    ltmp.unlink(missing_ok=True)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_bytes(seal_payload(payload))
         tmp.replace(path)

@@ -1,0 +1,343 @@
+"""Transport abstraction: *where* chunked task units run.
+
+The determinism contract lives one layer up — chunk boundaries and
+per-task seeds are a function of the task list alone (see
+:mod:`repro.engine.executor`) — so the engine is free to ship the same
+task units anywhere.  A :class:`Transport` is exactly that freedom made
+explicit: :meth:`~Transport.submit_chunks` hands it an ordered batch,
+:meth:`~PendingBatch.collect` returns results in task order, and
+*bit-identity is transport-invariant* because nothing about seeding,
+chunking or reduction order is the transport's business.
+
+Three transports ship:
+
+``inline``
+    Sequential, in the calling process.  No isolation, no fault
+    injection, no pickling requirement — the reference execution.
+``pool``
+    The supervised process pool (:func:`repro.engine.resilience.supervised_map`)
+    ported intact: bounded in-flight submission, per-task deadlines,
+    bounded retries with backoff, broken-pool rebuild, degradation to
+    sequential, deterministic fault injection.
+``subprocess``
+    Each task unit ships to a *fresh* worker process
+    (:mod:`repro.engine.worker`) as an integrity-sealed pickle over a
+    pipe — the prototype for remote workers.  Per-task deadlines,
+    retries and crash recovery mirror the pool's resilience policy;
+    fault injection works unchanged because the worker runs the same
+    shim.
+
+Selection: ``run_tasks(transport=...)`` > ``parallel(transport=...)`` >
+``$REPRO_TRANSPORT`` > automatic (inline when effectively sequential,
+pool otherwise).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.engine.metrics import get_registry
+from repro.engine.resilience import ResiliencePolicy, resolve_policy, supervised_map
+from repro.errors import TaskTimeoutError, TransportError
+
+__all__ = [
+    "Transport",
+    "PendingBatch",
+    "InlineTransport",
+    "ProcessPoolTransport",
+    "SubprocessWorkerTransport",
+    "available_transports",
+    "get_transport",
+    "resolve_transport",
+]
+
+
+@dataclass(frozen=True)
+class PendingBatch:
+    """A submitted batch whose results have not been collected yet.
+
+    Transports are synchronous today, so :meth:`collect` is where the
+    work actually runs; the submit/collect split is the seam a future
+    remote transport needs (submit = enqueue over the wire, collect =
+    await the result stream) without changing any caller.
+    """
+
+    transport: str
+    n_tasks: int
+    _run: Callable[[], list]
+
+    def collect(self) -> list:
+        """Execute (if not already executing) and return results in
+        task order."""
+        return self._run()
+
+
+class Transport:
+    """Interface for running a batch of independent task units.
+
+    Capability flags let callers adapt without ``isinstance`` checks:
+
+    ``isolates_tasks``
+        Task units run outside the calling process (a crash cannot take
+        the parent down; payloads must pickle).
+    ``supports_fault_injection``
+        The deterministic fault harness (``$REPRO_FAULT_PLAN``) reaches
+        the task execution path on this transport.
+    ``fresh_process_per_task``
+        Every task unit sees a cold process (no warm imports, no shared
+        module state) — the property replay verification relies on.
+    """
+
+    name: str = "abstract"
+    isolates_tasks: bool = False
+    supports_fault_injection: bool = False
+    fresh_process_per_task: bool = False
+
+    def submit_chunks(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        *,
+        workers: int = 1,
+        policy: ResiliencePolicy | None = None,
+        on_result: Callable[[int, object], None] | None = None,
+    ) -> PendingBatch:
+        raise NotImplementedError
+
+    def run(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        *,
+        workers: int = 1,
+        policy: ResiliencePolicy | None = None,
+        on_result: Callable[[int, object], None] | None = None,
+    ) -> list:
+        """Submit and collect in one call — what synchronous callers use."""
+        return self.submit_chunks(
+            fn, tasks, workers=workers, policy=policy, on_result=on_result
+        ).collect()
+
+
+class InlineTransport(Transport):
+    """Sequential execution in the calling process — the reference path.
+
+    Exceptions propagate immediately; there are no retries because
+    nothing here can fail transiently (no pool, no pipe, no pickling).
+    """
+
+    name = "inline"
+
+    def submit_chunks(self, fn, tasks, *, workers=1, policy=None, on_result=None):
+        tasks = list(tasks)
+
+        def _run() -> list:
+            results = []
+            for index, task in enumerate(tasks):
+                value = fn(task)
+                if on_result is not None:
+                    on_result(index, value)
+                results.append(value)
+            return results
+
+        return PendingBatch(self.name, len(tasks), _run)
+
+
+class ProcessPoolTransport(Transport):
+    """The supervised process pool, behind the transport seam.
+
+    Delegates to :func:`repro.engine.resilience.supervised_map`
+    unchanged — every resilience behavior (timeouts, retries, rebuilds,
+    sequential degradation, fault injection) is that function's,
+    verified by the chaos suite.
+    """
+
+    name = "pool"
+    isolates_tasks = True
+    supports_fault_injection = True
+
+    def submit_chunks(self, fn, tasks, *, workers=1, policy=None, on_result=None):
+        tasks = list(tasks)
+        workers = max(1, min(workers, len(tasks) or 1))
+
+        def _run() -> list:
+            return supervised_map(
+                fn, tasks, workers=workers, policy=policy, on_result=on_result
+            )
+
+        return PendingBatch(self.name, len(tasks), _run)
+
+
+class SubprocessWorkerTransport(Transport):
+    """Ship each task unit to a fresh worker process over a pipe.
+
+    The unit on the wire is ``seal_payload(pickle((fn, index, task)))``
+    — the same self-describing, integrity-sealed shape a manifest's
+    chunk table records — and the reply is a sealed ``("ok", value)`` /
+    ``("err", exc)`` frame (see :mod:`repro.engine.worker`).  Up to
+    ``workers`` child processes run concurrently, driven by parent
+    threads.
+
+    Resilience mirrors :func:`supervised_map` per task: a deadline
+    overrun kills the child and retries (then raises
+    :class:`~repro.errors.TaskTimeoutError`); an uncontrolled child
+    death or a corrupt reply frame retries (then raises
+    :class:`~repro.errors.TransportError`); an exception raised by the
+    task retries (then re-raises the task's own exception); a result
+    that cannot pickle degrades that task to in-parent execution
+    (``engine.pickle_fallback``), exactly like the pool.
+    """
+
+    name = "subprocess"
+    isolates_tasks = True
+    supports_fault_injection = True
+    fresh_process_per_task = True
+
+    def submit_chunks(self, fn, tasks, *, workers=1, policy=None, on_result=None):
+        tasks = list(tasks)
+        workers = max(1, min(workers, len(tasks) or 1))
+        if policy is None:
+            policy = resolve_policy()
+
+        def _run() -> list:
+            if not tasks:
+                return []
+            if workers == 1:
+                return [
+                    self._run_one(fn, i, task, policy, on_result)
+                    for i, task in enumerate(tasks)
+                ]
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(self._run_one, fn, i, task, policy, on_result)
+                    for i, task in enumerate(tasks)
+                ]
+                return [f.result() for f in futures]
+
+        return PendingBatch(self.name, len(tasks), _run)
+
+    # -- one task unit, with retries ----------------------------------------
+
+    @staticmethod
+    def _worker_env() -> dict[str, str]:
+        env = dict(os.environ)
+        # The child must be able to import repro from a cold start; the
+        # parent's sys.path is authoritative regardless of install layout.
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        return env
+
+    def _run_one(self, fn, index, task, policy, on_result):
+        from repro.engine.cache import seal_payload, unseal_payload
+
+        reg = get_registry()
+        try:
+            unit = seal_payload(
+                pickle.dumps((fn, index, task), protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        except Exception:
+            # Task payload does not pickle: run it here, like the pool's
+            # per-task pickle fallback.
+            reg.increment("engine.pickle_fallback")
+            return self._record(fn(task), index, on_result)
+
+        attempts = 0
+        while True:
+            reg.increment("engine.subprocess_tasks")
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.engine.worker"],
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                env=self._worker_env(),
+            )
+            try:
+                out, _ = proc.communicate(unit, timeout=policy.task_timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.communicate()
+                attempts += 1
+                reg.increment("engine.task_timeouts")
+                if attempts > policy.max_retries:
+                    raise TaskTimeoutError(
+                        f"task {index} exceeded its {policy.task_timeout:g}s "
+                        f"deadline on every one of {attempts} attempts"
+                    )
+                self._backoff(policy, attempts)
+                continue
+            failure: BaseException | None = None
+            if proc.returncode != 0:
+                reg.increment("engine.worker_crashes")
+                failure = TransportError(
+                    f"worker for task {index} exited with code {proc.returncode} "
+                    "before producing a result frame"
+                )
+            else:
+                payload = unseal_payload(out)
+                if payload is None:
+                    failure = TransportError(
+                        f"result frame for task {index} failed its integrity check"
+                    )
+                else:
+                    status, value = pickle.loads(payload)
+                    if status == "ok":
+                        return self._record(value, index, on_result)
+                    if status == "unpicklable":
+                        reg.increment("engine.pickle_fallback")
+                        return self._record(fn(task), index, on_result)
+                    failure = (
+                        value if status == "err" else TransportError(str(value))
+                    )
+            attempts += 1
+            if attempts > policy.max_retries:
+                raise failure
+            reg.increment("engine.retries")
+            self._backoff(policy, attempts)
+
+    @staticmethod
+    def _record(value, index, on_result):
+        if on_result is not None:
+            on_result(index, value)
+        return value
+
+    @staticmethod
+    def _backoff(policy: ResiliencePolicy, attempt: int) -> None:
+        if policy.backoff_base > 0:
+            time.sleep(
+                min(policy.backoff_cap, policy.backoff_base * 2 ** max(0, attempt - 1))
+            )
+
+
+_TRANSPORTS: dict[str, Transport] = {
+    t.name: t for t in (InlineTransport(), ProcessPoolTransport(),
+                        SubprocessWorkerTransport())
+}
+
+
+def available_transports() -> tuple[str, ...]:
+    return tuple(sorted(_TRANSPORTS))
+
+
+def get_transport(name: str) -> Transport:
+    """Resolve a transport by name; raises :class:`TransportError`."""
+    transport = _TRANSPORTS.get(name)
+    if transport is None:
+        raise TransportError(
+            f"unknown transport {name!r}; available: {list(available_transports())}"
+        )
+    return transport
+
+
+def resolve_transport(name: str | None, workers: int) -> Transport:
+    """The effective transport: explicit name, else ``$REPRO_TRANSPORT``,
+    else automatic (inline when sequential, pool otherwise)."""
+    if name is None:
+        name = os.environ.get("REPRO_TRANSPORT") or None
+    if name is not None:
+        return get_transport(name)
+    return _TRANSPORTS["inline" if workers <= 1 else "pool"]

@@ -173,6 +173,27 @@ class TaskTimeoutError(EngineError):
     """
 
 
+class TransportError(EngineError):
+    """A transport could not deliver a task unit or its result.
+
+    Covers unknown transport names, workers that exit without producing
+    a sealed result, and result frames that fail their integrity check.
+    Distinct from :class:`TaskTimeoutError` (the task ran too long) and
+    from exceptions raised *by* the task, which transports re-raise
+    as-is.
+    """
+
+
+class ReplayError(EngineError):
+    """A run manifest cannot be replayed, or the replay diverged.
+
+    Raised for manifests that are malformed, not self-contained
+    (``replayable`` false), produced by an incompatible manifest schema
+    version, or — under ``--verify`` — whose re-execution failed to
+    reproduce the recorded result digest bit-for-bit.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Numerics
 # ---------------------------------------------------------------------------

@@ -464,7 +464,7 @@ def ensemble_moments(
         n_runs=n_runs,
         events=events,
         chunks=len(tasks),
-        meta={"events": events, "chunks": len(tasks)},
+        meta={"events": events, "chunks": len(tasks), "chunk_runs": CHUNK_RUNS},
     )
 
 

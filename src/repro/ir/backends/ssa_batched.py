@@ -458,7 +458,8 @@ def ensemble_moments_batched(
         n_runs=n_runs,
         events=events,
         chunks=n_chunks,
-        meta={"events": events, "chunks": n_chunks, "kernel": "batched"},
+        meta={"events": events, "chunks": n_chunks, "chunk_runs": CHUNK_RUNS,
+              "kernel": "batched"},
     )
 
 

@@ -61,7 +61,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.engine.cache import cached
+from repro.engine import run_manifest
+from repro.engine.cache import Uncacheable, cached, canonical_key
 from repro.engine.metrics import get_registry
 from repro.errors import (
     BackendError,
@@ -235,6 +236,60 @@ def _execute(be: _Backend, ir, params: dict):
     return result
 
 
+def _ir_digest(ir) -> str | None:
+    """Canonical content digest of the IR (the manifest's cache token).
+
+    Memoized on the IR object — frozen dataclasses take the memo via
+    ``object.__setattr__`` — because large generators hash their full
+    CSR content.  An empty-string memo marks a known-uncacheable IR.
+    """
+    memo = getattr(ir, "_manifest_digest", None)
+    if memo is not None:
+        return memo or None
+    try:
+        digest = canonical_key("ir", ir)
+    except Uncacheable:
+        digest = ""
+    try:
+        object.__setattr__(ir, "_manifest_digest", digest)
+    except (AttributeError, TypeError):
+        pass
+    return digest or None
+
+
+def _attach_solve_manifest(
+    capability: str,
+    requested: _Backend,
+    used: _Backend,
+    chain: list[str],
+    first_error: BaseException | None,
+    ir,
+    params: dict,
+    result,
+) -> None:
+    """Assemble and attach the dispatch's reproducibility manifest.
+
+    Best-effort by design: a result that cannot be canonically hashed
+    still returns, just with a non-replayable manifest (or none at all
+    when even the parameters resist encoding).
+    """
+    meta = getattr(result, "meta", None)
+    manifest = run_manifest.build_solve_manifest(
+        capability,
+        params,
+        result,
+        requested=requested.name,
+        used=used.name,
+        chain=chain,
+        fallback_error=(
+            str(first_error) if used is not requested and first_error else None
+        ),
+        ir_digest=_ir_digest(ir),
+        cache_status=meta.get("cache") if isinstance(meta, dict) else None,
+    )
+    run_manifest.attach_manifest(result, manifest)
+
+
 def _candidates(capability: str, first: _Backend) -> list[_Backend]:
     """The requested backend plus the chain entries that follow it."""
     chain = [
@@ -315,9 +370,11 @@ def solve(ir, capability: str, backend: str | None = None, fallback: bool = True
     candidates = _candidates(capability, be) if fallback else [be]
     reg = get_registry()
     first_error: BaseException | None = None
+    attempted: list[str] = []
     for candidate in candidates:
         if not isinstance(ir, candidate.accepts):
             continue
+        attempted.append(candidate.name)
         error: BaseException | None = None
         for _attempt in range(policy.attempts):
             try:
@@ -335,6 +392,10 @@ def solve(ir, capability: str, backend: str | None = None, fallback: bool = True
                     meta["fallback_from"] = be.name
                     meta["fallback_error"] = str(first_error)
             _maybe_shadow(capability, candidate, ir, result, params, shadow)
+            _attach_solve_manifest(
+                capability, be, candidate, attempted, first_error,
+                ir, params, result,
+            )
             return result
         if first_error is None:
             first_error = error

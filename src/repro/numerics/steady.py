@@ -64,14 +64,16 @@ class SteadyStateResult:
     meta:
         Execution metadata filled by :func:`steady_state`: ``cache``
         (``"hit"``/``"miss"``/``"off"``/``"uncacheable"``), ``method``
-        and ``n_states``.
+        and ``n_states``.  Excluded from equality and content hashing —
+        volatile execution facts (cache status, manifests) must not
+        make two numerically identical results digest differently.
     """
 
     pi: np.ndarray
     method: str
     residual: float
     iterations: int = 0
-    meta: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict, compare=False)
 
     def __getitem__(self, i: int) -> float:
         return float(self.pi[i])

@@ -9,10 +9,11 @@ from __future__ import annotations
 
 import itertools
 from collections.abc import Callable, Mapping, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine import run_manifest
 from repro.engine.executor import run_tasks
 from repro.engine.metrics import get_registry
 from repro.pepa.ctmc import CTMC, ctmc_of
@@ -36,11 +37,15 @@ class SweepResult:
         Array of shape ``(n_runs, n_parameters)`` of parameter values.
     values:
         Measured quantity per run, aligned with ``grid`` rows.
+    meta:
+        Execution metadata (``manifest``); excluded from equality and
+        content hashing.
     """
 
     parameters: tuple[str, ...]
     grid: np.ndarray
     values: np.ndarray
+    meta: dict = field(default_factory=dict, compare=False)
 
     def column(self, parameter: str) -> np.ndarray:
         """Values of one swept parameter across all runs."""
@@ -108,7 +113,25 @@ def sweep(
         tasks = [(model, names, combo, max_states, measure) for combo in combos]
         values = np.asarray(run_tasks(_sweep_point, tasks), dtype=np.float64)
         gauges["points"] = len(combos)
-    return SweepResult(parameters=names, grid=grid, values=values)
+    result = SweepResult(parameters=names, grid=grid, values=values)
+    # The measure callable has no stable serialization, so sweep
+    # manifests document the run (ranges, chunking, environment, result
+    # digest) without claiming to be re-executable from JSON alone.
+    manifest = run_manifest.build_batch_manifest(
+        "sweep",
+        {
+            "parameters": list(names),
+            "ranges": {name: list(map(float, ranges[name])) for name in names},
+            "max_states": max_states,
+            "measure": getattr(measure, "__qualname__", repr(measure)),
+        },
+        result,
+        model=run_manifest.current_model_context(),
+        chunks={"count": len(combos)},
+        replayable=False,
+    )
+    run_manifest.attach_manifest(result, manifest)
+    return result
 
 
 def _sweep_point(task) -> float:

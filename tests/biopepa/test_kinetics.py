@@ -125,6 +125,21 @@ class TestExpression:
         with pytest.raises(KineticLawError, match="disallowed"):
             Expression("open('/etc/passwd')")
 
+    def test_function_name_as_value_rejected(self):
+        # A bare function name is not a rate; before the parse-time
+        # check it evaluated to the builtin and float() raised a raw
+        # TypeError instead of a KineticLawError.
+        with pytest.raises(KineticLawError, match="as a value"):
+            Expression("log")
+        with pytest.raises(KineticLawError, match="as a value"):
+            Expression("exp(2) + sqrt")
+
+    def test_complex_power_is_model_error(self):
+        law = Expression("(0 - A) ** 0.5")
+        rx = reaction(SpeciesRole("A", "reactant", 1), law=law)
+        with pytest.raises(KineticLawError, match="failed to evaluate"):
+            law.rate({"A": 1.0}, rx, {})
+
     def test_referenced_names_excludes_functions(self):
         assert Expression("exp(k * A)").referenced_names() == {"k", "A"}
 

@@ -15,7 +15,9 @@ from repro.engine import (
     get_cache,
     seal_payload,
     unseal_payload,
+    unseal_payload_env,
 )
+from repro.engine.environment import environment_fingerprint
 from repro.pepa.parser import parse_model
 
 MODEL_SRC = """
@@ -112,10 +114,63 @@ class TestDiskIntegrity:
         cache = ResultCache(max_entries=4, disk_dir=tmp_path)
         cache.put("sealed", [1, 2, 3])
         blob = (tmp_path / "sealed.pkl").read_bytes()
-        assert blob.endswith(b"RPRO1")
+        assert blob.endswith(b"RPRO2")
         payload = unseal_payload(blob)
         assert payload is not None
         assert seal_payload(payload) == blob
+
+    def test_trailer_seals_the_environment_fingerprint(self):
+        blob = seal_payload(b"payload-bytes")
+        unsealed = unseal_payload_env(blob)
+        assert unsealed is not None
+        payload, env = unsealed
+        assert payload == b"payload-bytes"
+        assert env == environment_fingerprint()
+
+    def test_legacy_trailer_still_verifies_with_unknown_env(self):
+        import hashlib
+
+        payload = b"old-entry"
+        legacy = payload + hashlib.sha256(payload).digest() + b"RPRO1"
+        assert unseal_payload(legacy) == payload
+        assert unseal_payload_env(legacy) == (payload, None)
+
+    def test_tampered_env_is_detected(self):
+        blob = seal_payload(b"payload", env=b'{"numpy": "9.9.9"}')
+        # Flip one byte inside the sealed env segment.
+        pos = blob.index(b"9.9.9")
+        broken = blob[:pos] + b"8" + blob[pos + 1 :]
+        assert unseal_payload_env(broken) is None
+
+    def test_entry_from_other_environment_is_quarantined(self, tmp_path):
+        from repro.engine.metrics import get_registry
+
+        cache = ResultCache(max_entries=4, disk_dir=tmp_path)
+        cache.put("k", 42)
+        cache.clear()  # memory only; disk entry remains
+        # Rewrite the entry as if produced under a different numpy —
+        # intact payload, intact seal, foreign fingerprint.
+        path = tmp_path / "k.pkl"
+        payload = unseal_payload(path.read_bytes())
+        path.write_bytes(seal_payload(payload, env=b'{"numpy": "0.0.0"}'))
+        before = get_registry().counter("cache.env_mismatch")
+        miss = cache.get("k")
+        assert not isinstance(miss, int)  # treated as a miss, not served
+        assert get_registry().counter("cache.env_mismatch") == before + 1
+        assert list(tmp_path.glob("*.envmismatch"))  # quarantined for inspection
+        assert not (tmp_path / "k.pkl").exists()
+
+    def test_legacy_entry_with_unknown_env_is_quarantined(self, tmp_path):
+        import hashlib
+        import pickle
+
+        cache = ResultCache(max_entries=4, disk_dir=tmp_path)
+        payload = pickle.dumps(42)
+        legacy = payload + hashlib.sha256(payload).digest() + b"RPRO1"
+        (tmp_path / "old.pkl").write_bytes(legacy)
+        miss = cache.get("old")
+        assert not isinstance(miss, int)
+        assert list(tmp_path.glob("*.envmismatch"))
 
     def test_no_tmp_files_left_behind(self, tmp_path):
         # Writes go through per-process/per-call unique tmp names and an

@@ -319,6 +319,63 @@ class TestCheckpointedEnsembles:
         assert store is not None and store.root == tmp_path
 
 
+class TestCheckpointLayoutValidation:
+    def test_layout_mismatch_discards_with_warning(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("batch", 0, 1.5, n_tasks=8)
+        assert store.load("batch", 8) == {0: 1.5}
+        reg = get_registry()
+        before = reg.counter("engine.checkpoint_layout_mismatch")
+        with pytest.warns(RuntimeWarning, match="different chunk layout"):
+            assert store.load("batch", 20) == {}
+        assert reg.counter("engine.checkpoint_layout_mismatch") == before + 1
+        # The stale batch was discarded entirely, not merely skipped.
+        assert store.load("batch", 8) == {}
+
+    def test_legacy_batch_without_layout_record_still_loads(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("batch", 1, 42)  # legacy caller: no layout recorded
+        assert store.load("batch", 8) == {1: 42}
+        assert store.load("batch", 3) == {1: 42}  # nothing to validate
+
+    def test_chunk_size_change_between_interrupt_and_resume(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: the ensemble checkpoint key hashes (runner,
+        payload, grid, n_runs, seed) but not CHUNK_RUNS, so partials
+        written before a chunk-size change land on the *same* key as the
+        resumed run.  Without the layout record the resume would merge
+        25-run partials into a 10-run reduction — silently, and wrongly.
+        """
+        from repro.ir.backends import ssa as ssa_module
+
+        ir = birth_death_ir()
+        reg = get_registry()
+        configure_checkpoints(tmp_path)
+        try:
+            _CHAOS.update(count=0, fail_after=60)
+            with pytest.raises(faults.InjectedFaultError):
+                ensemble_moments(_flaky_reaction_run, ir, GRID, 200, seed=21)
+            # Two 25-run chunks survived the interruption.
+            assert len(list(tmp_path.glob("ensemble-*/chunk-*.pkl"))) == 2
+            # The run restarts under a build with a different chunk size.
+            monkeypatch.setattr(ssa_module, "CHUNK_RUNS", 10)
+            _CHAOS.update(count=0, fail_after=None)
+            before = reg.counter("engine.checkpoint_layout_mismatch")
+            with pytest.warns(RuntimeWarning, match="different chunk layout"):
+                out = ensemble_moments(_flaky_reaction_run, ir, GRID, 200, seed=21)
+            assert reg.counter("engine.checkpoint_layout_mismatch") == before + 1
+            # Every realization was recomputed; no stale partial leaked in.
+            assert _CHAOS["count"] == 200
+        finally:
+            _CHAOS.update(count=0, fail_after=None)
+            configure_checkpoints(None)
+        ref = ensemble_moments(reaction_run, ir, GRID, 200, seed=21)
+        assert_array_equal(ref.mean, out.mean)
+        assert_array_equal(ref.var, out.var)
+        assert ref.events == out.events
+
+
 class TestPolicyResolution:
     def test_defaults(self):
         policy = resolve_policy()

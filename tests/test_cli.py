@@ -147,6 +147,67 @@ class TestTrustFlags:
         assert "shadow_backend           rk4" in capsys.readouterr().out
 
 
+class TestManifestFlags:
+    def test_emit_manifest_writes_json(self, model_file, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        assert main(["solve", model_file, "--emit-manifest", str(out)]) == 0
+        assert "wrote manifest" in capsys.readouterr().out
+        data = json.loads(out.read_text())
+        assert data["kind"] == "solve"
+        assert data["capability"] == "steady"
+        assert data["replayable"] is True
+        assert data["model"]["formalism"] == "pepa"
+
+    def test_replay_verify_round_trip(self, model_file, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        assert main(["solve", model_file, "--emit-manifest", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(out), "--verify"]) == 0
+        printed = capsys.readouterr().out
+        assert "reproduced bit-for-bit" in printed
+        assert "identity" in printed
+
+    def test_replay_without_verify_reports_match(self, model_file, tmp_path,
+                                                 capsys):
+        out = tmp_path / "run.json"
+        assert main(["solve", model_file, "--emit-manifest", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(out)]) == 0
+        assert "result digest matches" in capsys.readouterr().out
+
+    def test_replay_missing_manifest_is_library_error(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "absent.json")]) == 1
+        assert "cannot read manifest" in capsys.readouterr().err
+
+    def test_replay_tampered_digest_fails_verify(self, model_file, tmp_path,
+                                                 capsys):
+        out = tmp_path / "run.json"
+        assert main(["solve", model_file, "--emit-manifest", str(out)]) == 0
+        data = json.loads(out.read_text())
+        data["result"]["digest"] = "result-ffffffffffffffff"
+        out.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["replay", str(out), "--verify"]) == 1
+        assert "diverged" in capsys.readouterr().err
+
+    def test_solve_transport_flag(self, model_file, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        assert main(
+            ["solve", model_file, "--workers", "2", "--transport", "subprocess",
+             "--emit-manifest", str(out)]
+        ) == 0
+        assert json.loads(out.read_text())["transport"] == "subprocess"
+
+    def test_replay_transport_flag(self, model_file, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        assert main(["solve", model_file, "--emit-manifest", str(out)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["replay", str(out), "--verify", "--transport", "inline"]
+        ) == 0
+        assert "reproduced bit-for-bit" in capsys.readouterr().out
+
+
 class TestValidateModels:
     def test_pepa_model_is_well_formed(self, model_file, capsys):
         assert main(["validate", model_file]) == 0

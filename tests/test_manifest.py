@@ -1,0 +1,272 @@
+"""Run manifests: assembly, (de)serialization, and — the acceptance
+property — replay bit-identity, verified in *fresh* subprocesses so no
+warm in-process state (caches, imports, RNG pools) can mask divergence.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from numpy.testing import assert_array_equal
+
+import repro
+from repro.allocation.cdf import makespan_cdf
+from repro.allocation.mapping import MAPPING_A
+from repro.allocation.workload import synthetic_workload
+from repro.biopepa.examples import enzyme_kinetics_source
+from repro.engine import faults, parallel
+from repro.errors import ReplayError
+from repro.manifest import (
+    RunManifest,
+    last_manifest,
+    load_manifest,
+    replay,
+    run_from_source,
+)
+from repro.pepa.models import get_source
+
+GRID = list(np.linspace(0.0, 4.0, 17))
+_SRC_ROOT = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+
+
+def _verify_in_fresh_process(manifest_path, extra_env=None):
+    """`repro replay --verify` in a cold interpreter: the real
+    reproduce-elsewhere scenario."""
+    env = dict(os.environ, PYTHONPATH=_SRC_ROOT)
+    env.pop("REPRO_FAULT_PLAN", None)  # replays run unperturbed
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "replay", str(manifest_path),
+         "--verify"],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr or proc.stdout
+    assert "verified" in proc.stdout
+    return proc.stdout
+
+
+class TestManifestAssembly:
+    def test_solve_attaches_replayable_manifest(self):
+        result = run_from_source("pepa", get_source("active_badge"), "steady")
+        manifest = result.meta["manifest"]
+        assert manifest is last_manifest()
+        assert manifest.kind == "solve"
+        assert manifest.capability == "steady"
+        assert manifest.replayable
+        assert manifest.model["formalism"] == "pepa"
+        assert manifest.model["source"] == get_source("active_badge")
+        assert manifest.backend["used"] in manifest.backend["chain"]
+        assert set(manifest.environment) == {"numpy", "python", "scipy"}
+        assert manifest.result["digest"]
+
+    def test_ensemble_manifest_records_full_seed_spec(self):
+        result = run_from_source(
+            "biopepa", enzyme_kinetics_source(), "ssa",
+            mode="ensemble", times=GRID, n_runs=60, seed=7,
+        )
+        manifest = result.meta["manifest"]
+        assert manifest.seed == {
+            "root_entropy": 7,
+            "spawned": 60,
+            "assignment": "SeedSequence(root).spawn(n)[i] -> realization i",
+        }
+        assert manifest.chunks["count"] == 3  # 60 runs / 25 per chunk
+        assert manifest.chunks["chunk_runs"] == 25
+
+    def test_identity_digest_stable_across_reruns(self):
+        src = get_source("active_badge")
+        first = run_from_source("pepa", src, "steady").meta["manifest"]
+        second = run_from_source("pepa", src, "steady").meta["manifest"]
+        assert first.identity_digest() == second.identity_digest()
+
+    def test_identity_digest_transport_invariant(self):
+        src = enzyme_kinetics_source()
+        digests = []
+        for name in ("inline", "pool", "subprocess"):
+            with parallel(workers=2, transport=name):
+                result = run_from_source(
+                    "biopepa", src, "ssa",
+                    mode="ensemble", times=GRID, n_runs=60, seed=5,
+                )
+            digests.append(result.meta["manifest"].identity_digest())
+        assert digests[0] == digests[1] == digests[2]
+
+
+class TestSerialization:
+    def test_json_round_trip_preserves_identity(self, tmp_path):
+        result = run_from_source("pepa", get_source("active_badge"), "steady")
+        manifest = result.meta["manifest"]
+        path = manifest.save(tmp_path / "run.json")
+        loaded = load_manifest(path)
+        assert loaded == manifest
+        assert loaded.identity_digest() == manifest.identity_digest()
+
+    def test_params_round_trip_ndarrays_exactly(self, tmp_path):
+        times = np.linspace(0.0, 3.0, 11)
+        result = run_from_source(
+            "biopepa", enzyme_kinetics_source(), "ssa",
+            mode="ensemble", times=times, n_runs=30, seed=1,
+        )
+        path = result.meta["manifest"].save(tmp_path / "run.json")
+        decoded = load_manifest(path).decoded_params()
+        assert isinstance(decoded["times"], np.ndarray)
+        assert_array_equal(decoded["times"], times)
+
+    def test_not_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReplayError, match="not valid JSON"):
+            load_manifest(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ReplayError, match="cannot read"):
+            load_manifest(tmp_path / "absent.json")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ReplayError, match="version"):
+            RunManifest.from_dict({"version": 99})
+
+    def test_unknown_fields_rejected(self, tmp_path):
+        result = run_from_source("pepa", get_source("active_badge"), "steady")
+        data = result.meta["manifest"].to_dict()
+        data["surprise"] = True
+        with pytest.raises(ReplayError, match="unknown fields.*surprise"):
+            RunManifest.from_dict(data)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ReplayError, match="missing fields"):
+            RunManifest.from_dict({"version": 1, "kind": "solve"})
+
+    def test_tampered_source_rejected_at_replay(self, tmp_path):
+        result = run_from_source("pepa", get_source("active_badge"), "steady")
+        data = json.loads(result.meta["manifest"].to_json())
+        data["model"]["source"] += "\n% edited after the fact\n"
+        path = tmp_path / "tampered.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ReplayError, match="sha256"):
+            replay(path)
+
+
+class TestReplay:
+    def test_steady_solve_replays_bit_identical(self, tmp_path):
+        result = run_from_source("pepa", get_source("active_badge"), "steady")
+        path = result.meta["manifest"].save(tmp_path / "steady.json")
+        report = replay(path, verify=True)
+        assert report.verified
+        assert_array_equal(report.result.pi, result.pi)
+
+    def test_ssa_ensemble_replays_bit_identical(self, tmp_path):
+        result = run_from_source(
+            "biopepa", enzyme_kinetics_source(), "ssa",
+            mode="ensemble", times=GRID, n_runs=60, seed=11,
+        )
+        path = result.meta["manifest"].save(tmp_path / "ssa.json")
+        report = replay(path, verify=True)
+        assert report.verified
+        assert_array_equal(report.result.mean, result.mean)
+        assert_array_equal(report.result.var, result.var)
+
+    def test_makespan_cdf_replays_bit_identical(self, tmp_path):
+        times = np.linspace(0.0, 2000.0, 50)
+        result = makespan_cdf(MAPPING_A, synthetic_workload(), times)
+        path = result.meta["manifest"].save(tmp_path / "makespan.json")
+        report = replay(path, verify=True)
+        assert report.verified
+        assert_array_equal(report.result.cdf, result.cdf)
+
+    def test_fallback_chain_run_replays_on_backend_used(self, tmp_path):
+        # Force the batched SSA kernel to fail its trust check: the
+        # registry degrades to the scalar oracle, and the manifest must
+        # record that chain so an unperturbed replay solves directly on
+        # the backend that actually produced the numbers.
+        with faults.inject(
+            faults.FaultSpec("sentinel_violation", backend="batched")
+        ) as plan:
+            result = run_from_source(
+                "biopepa", enzyme_kinetics_source(), "ssa", backend="batched",
+                mode="ensemble", times=GRID, n_runs=30, seed=13,
+            )
+            assert plan.fired("sentinel_violation") == 1
+        manifest = result.meta["manifest"]
+        assert manifest.backend["requested"] == "batched"
+        assert manifest.backend["used"] == "direct"
+        assert manifest.backend["chain"] == ["batched", "direct"]
+        assert manifest.backend["fallback_error"]
+        path = manifest.save(tmp_path / "fallback.json")
+        report = replay(path, verify=True)
+        assert report.verified
+        assert_array_equal(report.result.mean, result.mean)
+
+    def test_sweep_manifest_documents_but_does_not_replay(self):
+        from repro.pepa import parse_model, sweep, throughput
+
+        model = parse_model("r = 1.0; P = (a, r).Q; Q = (b, 3.0).P; P")
+        result = sweep(model, {"r": [1.0, 2.0]},
+                       measure=lambda chain: throughput(chain, "a"))
+        manifest = result.meta["manifest"]
+        assert manifest.kind == "sweep"
+        assert not manifest.replayable
+        with pytest.raises(ReplayError, match="not self-contained"):
+            replay(manifest)
+
+    def test_verify_raises_on_divergence(self, tmp_path):
+        result = run_from_source("pepa", get_source("active_badge"), "steady")
+        data = json.loads(result.meta["manifest"].to_json())
+        data["result"]["digest"] = "result-0000000000000000"
+        path = tmp_path / "diverged.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ReplayError, match="diverged"):
+            replay(path, verify=True)
+
+
+class TestFreshProcessVerification:
+    """The paper's claim, executed literally: a manifest emitted here is
+    re-run bit-for-bit by a cold interpreter with no shared state."""
+
+    def test_edinburgh_steady_solve(self, tmp_path):
+        result = run_from_source("pepa", get_source("active_badge"), "steady")
+        path = result.meta["manifest"].save(tmp_path / "steady.json")
+        _verify_in_fresh_process(path)
+
+    def test_table1_makespan_cdf(self, tmp_path):
+        times = np.linspace(0.0, 2000.0, 50)
+        result = makespan_cdf(MAPPING_A, synthetic_workload(), times)
+        path = result.meta["manifest"].save(tmp_path / "makespan.json")
+        _verify_in_fresh_process(path)
+
+    def test_batched_ssa_ensemble(self, tmp_path):
+        result = run_from_source(
+            "biopepa", enzyme_kinetics_source(), "ssa", backend="batched",
+            mode="ensemble", times=GRID, n_runs=60, seed=17,
+        )
+        manifest = result.meta["manifest"]
+        assert manifest.chunks.get("kernel") == "batched"
+        path = manifest.save(tmp_path / "batched.json")
+        _verify_in_fresh_process(path)
+
+    def test_fallback_chain_ensemble(self, tmp_path):
+        with faults.inject(
+            faults.FaultSpec("sentinel_violation", backend="batched")
+        ):
+            result = run_from_source(
+                "biopepa", enzyme_kinetics_source(), "ssa", backend="batched",
+                mode="ensemble", times=GRID, n_runs=30, seed=23,
+            )
+        path = result.meta["manifest"].save(tmp_path / "fallback.json")
+        _verify_in_fresh_process(path)
+
+    def test_replay_verifies_across_transports(self, tmp_path):
+        result = run_from_source(
+            "biopepa", enzyme_kinetics_source(), "ssa",
+            mode="ensemble", times=GRID, n_runs=60, seed=31,
+        )
+        path = result.meta["manifest"].save(tmp_path / "xtransport.json")
+        for name in ("inline", "subprocess"):
+            _verify_in_fresh_process(path, {"REPRO_TRANSPORT": name})
