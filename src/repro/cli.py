@@ -26,6 +26,10 @@ Subcommands mirror the workflow of the paper::
     repro replay run.json --verify                  # re-execute bit-for-bit
     repro solve model.pepa --workers 4 --transport subprocess
 
+    repro serve --dir state/ --port 8765            # async job service
+    repro submit model.pepa --wait                  # solve via the service
+    repro jobs                                      # list service jobs
+
     repro validate model.pepa                       # static well-formedness
 
     repro experiment fig3                           # regenerate a paper artifact
@@ -472,6 +476,145 @@ def _replay_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    """Run the solver-as-a-service HTTP front end until SIGTERM."""
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig.from_env(
+        queue_capacity=args.queue_capacity,
+        workers=args.workers,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        shed_threshold=args.shed_threshold,
+        shed_priority=args.shed_priority,
+        default_deadline=args.deadline,
+        drain_timeout=args.drain_timeout,
+    )
+    return serve(args.dir, host=args.host, port=args.port, config=config)
+
+
+def _submit_build_spec(args: argparse.Namespace):
+    """Build the JobSpec a ``repro submit`` invocation describes."""
+    import numpy as np
+
+    from repro.engine.run_manifest import dataclass_descriptor, encode_params
+    from repro.service import JobSpec
+
+    times = np.linspace(0.0, args.horizon, args.points)
+    if args.makespan:
+        from repro.allocation import MAPPING_A, MAPPING_B, synthetic_workload
+
+        mapping = {"A": MAPPING_A, "B": MAPPING_B}[args.makespan]
+        workload = synthetic_workload(seed=args.workload_seed)
+        return JobSpec(
+            kind="makespan",
+            model={
+                "mapping": dataclass_descriptor(mapping),
+                "workload": dataclass_descriptor(workload),
+            },
+            params=encode_params({"times": times, "tail_tol": args.tail_tol}),
+        )
+    if not args.model:
+        raise ReproError("provide a model file, or --makespan A|B")
+    formalism = args.formalism
+    if formalism == "auto":
+        formalism = _SOLVE_SUFFIXES.get(pathlib.Path(args.model).suffix.lower())
+        if formalism is None:
+            raise ReproError(
+                "cannot infer the formalism from the file suffix; "
+                "pass --formalism pepa|biopepa|gpepa"
+            )
+    params: dict = {}
+    if args.capability in ("transient", "ode"):
+        params["times"] = times
+    elif args.capability == "ssa":
+        params.update(
+            mode="ensemble", times=times, n_runs=args.runs, seed=args.seed
+        )
+    return JobSpec(
+        kind="solve",
+        formalism=formalism,
+        source=pathlib.Path(args.model).read_text(),
+        capability=args.capability,
+        backend=args.backend,
+        params=encode_params(params),
+    )
+
+
+def _submit_command(args: argparse.Namespace) -> int:
+    """Submit one job to a running service (optionally wait for it)."""
+    import json as json_module
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    spec = _submit_build_spec(args)
+    answer = client.submit(
+        spec,
+        tenant=args.tenant,
+        priority=args.priority,
+        deadline_seconds=args.deadline,
+    )
+    job_id = answer["job_id"]
+    deduped = " (deduplicated)" if answer.get("deduped") else ""
+    print(f"job {job_id}: {answer['status']}{deduped}")
+    if not args.wait:
+        return 0
+    final = client.wait(job_id, timeout=args.timeout)
+    print(f"job {job_id}: {final['status']}")
+    if final["status"] != "done":
+        detail = final.get("error") or final.get("reason")
+        if detail:
+            print(f"  {detail}", file=sys.stderr)
+        return 1
+    document = client.result(job_id)
+    digest = document.get("digest")
+    print(f"  result digest: {digest[:12] if digest else '(none)'}…")
+    if args.result_out:
+        pathlib.Path(args.result_out).write_text(
+            json_module.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"  wrote result -> {args.result_out}")
+    if args.manifest_out:
+        manifest = document.get("manifest")
+        if manifest is None:
+            print("  no manifest was recorded for this job", file=sys.stderr)
+            return 1
+        pathlib.Path(args.manifest_out).write_text(
+            json_module.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"  wrote manifest -> {args.manifest_out}")
+    return 0
+
+
+def _jobs_command(args: argparse.Namespace) -> int:
+    """List jobs on a running service, or inspect/cancel one."""
+    import json as json_module
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_id is None:
+        for job in client.jobs():
+            line = (
+                f"{job['job_id'][:24]}…  {job['status']:9s}  "
+                f"tenant={job['tenant']} priority={job['priority']}"
+            )
+            if job.get("recovered"):
+                line += "  (recovered)"
+            print(line)
+        return 0
+    if args.cancel:
+        answer = client.cancel(args.job_id)
+        print(f"job {args.job_id}: {answer['status']}")
+        return 0
+    if args.result:
+        print(json_module.dumps(client.result(args.job_id), indent=2, sort_keys=True))
+        return 0
+    print(json_module.dumps(client.status(args.job_id), indent=2, sort_keys=True))
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -809,6 +952,80 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "transport-invariant)",
     )
     p.set_defaults(func=_replay_command)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the async job service (POST solves over HTTP, "
+        "crash-safe journal, admission control)",
+    )
+    p.add_argument("--dir", required=True,
+                   help="state directory (journal + results)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port; 0 picks a free one (printed on startup)")
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   help="job worker threads (default $REPRO_SERVE_WORKERS, else 2)")
+    p.add_argument("--queue-capacity", type=_positive_int, default=None,
+                   help="max queued jobs before 429 backpressure")
+    p.add_argument("--tenant-rate", type=float, default=None,
+                   help="per-tenant submissions/second")
+    p.add_argument("--tenant-burst", type=float, default=None,
+                   help="per-tenant burst allowance")
+    p.add_argument("--shed-threshold", type=float, default=None,
+                   help="load in (0,1] above which low-priority work is shed")
+    p.add_argument("--shed-priority", type=int, default=None,
+                   help="numeric priority at or above which work is sheddable")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-job deadline in seconds")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   help="seconds SIGTERM waits before suspending in-flight jobs")
+    p.set_defaults(func=_serve_command)
+
+    p = sub.add_parser("submit", help="submit a job to a running service")
+    p.add_argument("model", nargs="?", help="model file (.pepa/.biopepa/.gpepa)")
+    p.add_argument("--url", default="http://127.0.0.1:8765",
+                   help="service base URL")
+    p.add_argument("--formalism", choices=("auto", "pepa", "biopepa", "gpepa"),
+                   default="auto")
+    p.add_argument("--capability",
+                   choices=("steady", "transient", "ssa", "ode"),
+                   default="steady")
+    p.add_argument("--backend", help="registered backend name")
+    p.add_argument("--horizon", type=float, default=10.0)
+    p.add_argument("--points", type=_positive_int, default=101)
+    p.add_argument("--runs", type=_positive_int, default=100,
+                   help="SSA ensemble size")
+    p.add_argument("--seed", type=int, default=0, help="SSA ensemble seed")
+    p.add_argument("--makespan", choices=("A", "B"), default=None,
+                   help="submit a makespan-CDF job for Table I mapping A or B "
+                   "instead of a model solve")
+    p.add_argument("--workload-seed", type=int, default=2019,
+                   help="synthetic-workload seed for --makespan")
+    p.add_argument("--tail-tol", type=float, default=1e-2,
+                   help="makespan CDF tail tolerance")
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--priority", type=_nonneg_int, default=5,
+                   help="0 = most urgent; high values are shed first")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-job deadline in seconds")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job finishes")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="how long --wait polls before giving up")
+    p.add_argument("--result-out", metavar="PATH",
+                   help="with --wait: write the result document (JSON) here")
+    p.add_argument("--manifest-out", metavar="PATH",
+                   help="with --wait: write the run manifest here "
+                   "(verify with 'repro replay PATH --verify')")
+    p.set_defaults(func=_submit_command)
+
+    p = sub.add_parser("jobs", help="list, inspect, or cancel service jobs")
+    p.add_argument("job_id", nargs="?", help="job id (omit to list all jobs)")
+    p.add_argument("--url", default="http://127.0.0.1:8765")
+    p.add_argument("--result", action="store_true",
+                   help="print the job's result document")
+    p.add_argument("--cancel", action="store_true", help="cancel the job")
+    p.set_defaults(func=_jobs_command)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(

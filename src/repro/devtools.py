@@ -45,6 +45,7 @@ LAYER_RANKS: dict[str, int] = {
     "manifest": 6,
     "core": 6,
     "experiments": 7,
+    "service": 7,
     "cli": 8,
     "devtools": 9,
     # The package root docstring imports nothing; rank it above

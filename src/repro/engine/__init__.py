@@ -30,6 +30,11 @@ Four orthogonal facilities every analysis layer builds on:
 """
 
 from repro.engine import faults
+from repro.engine.cancellation import (
+    CancelScope,
+    cancel_scope,
+    current_scope,
+)
 from repro.engine.cache import (
     ResultCache,
     Uncacheable,
@@ -87,6 +92,10 @@ __all__ = [
     "run_tasks",
     "spawn_seeds",
     "welford_merge",
+    # cancellation
+    "CancelScope",
+    "cancel_scope",
+    "current_scope",
     # resilience
     "ResiliencePolicy",
     "resolve_policy",

@@ -1,0 +1,141 @@
+"""Cooperative cancellation and deadlines for engine workloads.
+
+The job service (:mod:`repro.service`) must be able to abandon a solve —
+the tenant cancelled the job, or its deadline passed — without killing
+the serving process or leaking worker children.  A hard kill is the
+wrong tool inside a library; instead the engine exposes *cooperative*
+cancellation: a :class:`CancelScope` is installed around a workload and
+every fan-out layer checks it at task-unit boundaries::
+
+    scope = CancelScope(deadline_seconds=30.0)
+    with cancel_scope(scope):
+        ens = ssa_ensemble(model, grid, n_runs=10_000)   # cancellable
+
+    # ... from any other thread:
+    scope.cancel()          # the workload raises JobCancelledError
+                            # at the next chunk boundary
+
+Granularity is the task unit (an ensemble chunk, one machine's CDF, a
+sweep point): a single monolithic linear solve is not interruptible —
+documented, not hidden.  Checkpointed batches interact safely with
+cancellation: chunks completed before the cancellation are already
+persisted, so a later retry of the same job *resumes* instead of
+restarting (bit-identically, by the checkpoint contract).
+
+Scopes are thread-local and nest; :func:`current_scope` returns the
+innermost active scope, or a never-cancelled null scope so callers can
+check unconditionally.  Transports that drive worker processes from
+helper threads capture the submitting thread's scope explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.errors import JobCancelledError
+
+__all__ = [
+    "CancelScope",
+    "cancel_scope",
+    "current_scope",
+]
+
+
+class CancelScope:
+    """A cancellation token with an optional wall-clock deadline.
+
+    ``reason`` distinguishes an explicit :meth:`cancel` (``"cancelled"``)
+    from a deadline overrun (``"deadline"``) so callers can map the two
+    to different outcomes (a cancelled job vs. an expired one).
+    """
+
+    #: Null scopes override this: a check against an inactive scope is
+    #: a constant-time no-op and transports may skip poll loops for it.
+    active = True
+
+    def __init__(self, deadline_seconds: float | None = None):
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be positive, got {deadline_seconds}"
+            )
+        self._event = threading.Event()
+        self._deadline = (
+            None
+            if deadline_seconds is None
+            else time.monotonic() + deadline_seconds
+        )
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, callable from any thread)."""
+        self._event.set()
+
+    @property
+    def reason(self) -> str | None:
+        """``"cancelled"``, ``"deadline"``, or ``None`` when still live."""
+        if self._event.is_set():
+            return "cancelled"
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            return "deadline"
+        return None
+
+    def cancelled(self) -> bool:
+        return self.reason is not None
+
+    def raise_if_cancelled(self) -> None:
+        """Raise :class:`~repro.errors.JobCancelledError` once cancelled."""
+        reason = self.reason
+        if reason == "cancelled":
+            raise JobCancelledError("work was cancelled", reason=reason)
+        if reason == "deadline":
+            raise JobCancelledError(
+                "work exceeded its deadline", reason=reason
+            )
+
+
+class _NullScope(CancelScope):
+    """The default scope: never cancelled, free to check."""
+
+    active = False
+
+    def __init__(self):  # no event, no deadline
+        pass
+
+    def cancel(self) -> None:  # pragma: no cover - guarding misuse
+        raise RuntimeError("the null cancel scope cannot be cancelled")
+
+    @property
+    def reason(self) -> str | None:
+        return None
+
+
+NULL_SCOPE = _NullScope()
+
+_TLS = threading.local()
+
+
+def current_scope() -> CancelScope:
+    """The innermost active scope on this thread (never ``None``)."""
+    stack = getattr(_TLS, "stack", None)
+    return stack[-1] if stack else NULL_SCOPE
+
+
+@contextmanager
+def cancel_scope(scope: CancelScope | None = None):
+    """Install ``scope`` (or a fresh one) for the enclosed block.
+
+    Yields the installed scope.  Engine fan-out entered inside the block
+    checks it at task boundaries; the block itself may also call
+    ``scope.raise_if_cancelled()`` at convenient points.
+    """
+    if scope is None:
+        scope = CancelScope()
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    stack.append(scope)
+    try:
+        yield scope
+    finally:
+        stack.pop()

@@ -41,6 +41,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine import faults
+from repro.engine.cancellation import current_scope
 from repro.engine.metrics import get_registry
 from repro.engine.resilience import (
     get_checkpoint_store,
@@ -176,6 +178,8 @@ def run_tasks(
     tasks = list(tasks)
     reg = get_registry()
     config = current_config()
+    scope = current_scope()
+    scope.raise_if_cancelled()
     if workers is None:
         workers = config.workers
     workers = min(workers, len(tasks)) if tasks else 1
@@ -199,12 +203,18 @@ def run_tasks(
         results[index] = value
         if store is not None:
             store.save(checkpoint, index, value, n_tasks=len(tasks))
+        # Deterministic kill -9 for the service's crash-recovery suite:
+        # die the instant this task unit's checkpoint is sealed, so a
+        # restart provably resumes from exactly these chunks.
+        if faults.should_fire("server_crash", task_index=index) is not None:
+            os._exit(70)
 
     if chosen.name == "inline":
         reg.increment("engine.sequential_batches")
-        if store is None:
+        if store is None and not scope.active:
             return [fn(task) for task in tasks]
         for index in missing:
+            scope.raise_if_cancelled()
             on_result(index, fn(tasks[index]))
     elif missing:
         reg.increment("engine.parallel_batches")

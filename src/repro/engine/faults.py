@@ -57,6 +57,20 @@ Fault kinds
     Force a shadow comparison against the backend named by ``backend``
     to report disagreement — exercises the quarantine path
     (``ir.trust.shadow_mismatch`` metric plus ``NumericalTrustError``).
+``server_crash``
+    ``os._exit(70)`` the process the moment the checkpointed task unit
+    with batch index ``task_index`` completes (after its checkpoint is
+    persisted) — a deterministic ``kill -9`` of the job service mid-
+    ensemble, placed so the crash-recovery suite can assert a restart
+    resumes from exactly the chunks that were sealed.
+``queue_overflow``
+    Make the service's admission layer treat its job queue as full for
+    the next submission (a 429 + ``Retry-After`` backpressure response)
+    without actually flooding it.
+``tenant_flood``
+    Make the admission layer treat the submitting tenant's token bucket
+    as exhausted for the next submission (a 429 rate-limit response),
+    as if the tenant had burst past its allowance.
 
 Hooks are free when no plan is active: one environment-dict lookup.
 """
@@ -92,6 +106,9 @@ FAULT_KINDS = (
     "solver_silent_garbage",
     "sentinel_violation",
     "shadow_mismatch",
+    "server_crash",
+    "queue_overflow",
+    "tenant_flood",
 )
 
 

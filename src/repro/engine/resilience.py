@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.engine import faults
+from repro.engine.cancellation import current_scope
 from repro.engine.metrics import get_registry
 from repro.errors import TaskTimeoutError
 
@@ -193,6 +194,7 @@ def supervised_map(
     if policy is None:
         policy = resolve_policy()
     reg = get_registry()
+    scope = current_scope()
     n = len(tasks)
     results: dict[int, object] = {}
     attempts = [0] * n
@@ -214,6 +216,13 @@ def supervised_map(
     deadlines: dict = {}
     try:
         while to_run or pending:
+            # Cooperative cancellation: checked between rounds, never
+            # inside on_result (whose exceptions the retry logic would
+            # absorb as a task failure).  Already-completed chunks were
+            # checkpointed by the caller, so a retried job resumes.
+            if scope.cancelled():
+                _terminate(pool)
+                scope.raise_if_cancelled()
             broken = False
             # Bounded in-flight submission: one task per worker, so a
             # deadline measures execution, not time spent queued.
@@ -232,6 +241,10 @@ def supervised_map(
                 timeout = None
                 if deadlines:
                     timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+                if scope.active:
+                    # Wake periodically so a cancellation interrupts the
+                    # wait instead of lingering until a task completes.
+                    timeout = 0.1 if timeout is None else min(timeout, 0.1)
                 done, _ = wait(set(pending), timeout=timeout, return_when=FIRST_COMPLETED)
                 for future in done:
                     index = pending.pop(future)
@@ -435,6 +448,40 @@ class CheckpointStore:
     def discard(self, key: str) -> None:
         """Drop a batch's checkpoints (it completed, or was abandoned)."""
         shutil.rmtree(self._dir(key), ignore_errors=True)
+
+    def purge_expired(self, ttl_seconds: float) -> int:
+        """Drop every batch untouched for ``ttl_seconds`` or longer.
+
+        Abandoned partials — from jobs that crashed and were never
+        retried — would otherwise accumulate forever under a long-lived
+        service.  A batch's age is its *newest* entry's mtime, so a live
+        job that keeps sealing chunks is never purged mid-run.  Returns
+        the number of batches dropped (counted as
+        ``engine.checkpoint_purged``); a purged job simply falls back to
+        a clean run on its next attempt.
+        """
+        if ttl_seconds < 0:
+            raise ValueError(f"ttl_seconds must be >= 0, got {ttl_seconds}")
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - ttl_seconds
+        purged = 0
+        for directory in self.root.iterdir():
+            if not directory.is_dir():
+                continue
+            try:
+                newest = max(
+                    (entry.stat().st_mtime for entry in directory.iterdir()),
+                    default=directory.stat().st_mtime,
+                )
+            except OSError:
+                continue  # racing a concurrent discard; it wins
+            if newest <= cutoff:
+                self.discard(directory.name)
+                purged += 1
+        if purged:
+            get_registry().increment("engine.checkpoint_purged", by=purged)
+        return purged
 
 
 def configure_checkpoints(directory: str | os.PathLike | None) -> None:

@@ -43,6 +43,7 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.engine.cancellation import NULL_SCOPE, current_scope
 from repro.engine.metrics import get_registry
 from repro.engine.resilience import ResiliencePolicy, resolve_policy, supervised_map
 from repro.errors import TaskTimeoutError, TransportError
@@ -205,18 +206,21 @@ class SubprocessWorkerTransport(Transport):
         workers = max(1, min(workers, len(tasks) or 1))
         if policy is None:
             policy = resolve_policy()
+        # Cancel scopes are thread-local; the pool threads below would
+        # see only the null scope, so capture the submitter's here.
+        scope = current_scope()
 
         def _run() -> list:
             if not tasks:
                 return []
             if workers == 1:
                 return [
-                    self._run_one(fn, i, task, policy, on_result)
+                    self._run_one(fn, i, task, policy, on_result, scope)
                     for i, task in enumerate(tasks)
                 ]
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = [
-                    pool.submit(self._run_one, fn, i, task, policy, on_result)
+                    pool.submit(self._run_one, fn, i, task, policy, on_result, scope)
                     for i, task in enumerate(tasks)
                 ]
                 return [f.result() for f in futures]
@@ -233,10 +237,14 @@ class SubprocessWorkerTransport(Transport):
         env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
         return env
 
-    def _run_one(self, fn, index, task, policy, on_result):
+    #: How often a cancellable wait re-checks its scope while the child runs.
+    _POLL_SECONDS = 0.1
+
+    def _run_one(self, fn, index, task, policy, on_result, scope=NULL_SCOPE):
         from repro.engine.cache import seal_payload, unseal_payload
 
         reg = get_registry()
+        scope.raise_if_cancelled()
         try:
             unit = seal_payload(
                 pickle.dumps((fn, index, task), protocol=pickle.HIGHEST_PROTOCOL)
@@ -249,6 +257,7 @@ class SubprocessWorkerTransport(Transport):
 
         attempts = 0
         while True:
+            scope.raise_if_cancelled()
             reg.increment("engine.subprocess_tasks")
             proc = subprocess.Popen(
                 [sys.executable, "-m", "repro.engine.worker"],
@@ -257,10 +266,8 @@ class SubprocessWorkerTransport(Transport):
                 env=self._worker_env(),
             )
             try:
-                out, _ = proc.communicate(unit, timeout=policy.task_timeout)
+                out = self._drive(proc, unit, policy, scope)
             except subprocess.TimeoutExpired:
-                proc.kill()
-                proc.communicate()
                 attempts += 1
                 reg.increment("engine.task_timeouts")
                 if attempts > policy.max_retries:
@@ -270,6 +277,8 @@ class SubprocessWorkerTransport(Transport):
                     )
                 self._backoff(policy, attempts)
                 continue
+            finally:
+                self._reap(proc, reg)
             failure: BaseException | None = None
             if proc.returncode != 0:
                 reg.increment("engine.worker_crashes")
@@ -298,6 +307,58 @@ class SubprocessWorkerTransport(Transport):
                 raise failure
             reg.increment("engine.retries")
             self._backoff(policy, attempts)
+
+    def _drive(self, proc, unit, policy, scope):
+        """Pump the sealed unit through ``proc`` and return its stdout.
+
+        Waits in short slices when a live cancel scope is installed so a
+        cancellation (or deadline) interrupts the wait within
+        ``_POLL_SECONDS`` instead of after the child finishes.  Raises
+        :class:`subprocess.TimeoutExpired` on a per-task deadline
+        overrun and :class:`~repro.errors.JobCancelledError` on
+        cancellation; either way the caller's ``finally`` owns killing
+        and reaping the child.
+        """
+        deadline = (
+            None
+            if policy.task_timeout is None
+            else time.monotonic() + policy.task_timeout
+        )
+        payload = unit
+        while True:
+            scope.raise_if_cancelled()
+            wait = self._POLL_SECONDS if scope.active else None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise subprocess.TimeoutExpired(proc.args, policy.task_timeout)
+                wait = remaining if wait is None else min(wait, remaining)
+            try:
+                out, _ = proc.communicate(payload, timeout=wait)
+                return out
+            except subprocess.TimeoutExpired:
+                if not scope.active and deadline is None:
+                    raise  # unreachable: wait was None
+                # The unit is already on the pipe; later rounds only poll.
+                payload = None
+
+    @staticmethod
+    def _reap(proc, reg) -> None:
+        """Guarantee the child is dead *and* waited on — never a zombie.
+
+        A child that exited normally was already reaped inside
+        ``communicate``; this only pays (kill + wait, counted as
+        ``engine.worker_reaped``) when the task unit was abandoned —
+        deadline overrun, cancellation, or an error unsealing the reply.
+        """
+        if proc.returncode is not None:
+            return
+        proc.kill()
+        try:
+            proc.communicate()  # drain pipes; kill() guarantees exit
+        except (ValueError, OSError):  # pragma: no cover - interpreter quirks
+            proc.wait()
+        reg.increment("engine.worker_reaped")
 
     @staticmethod
     def _record(value, index, on_result):

@@ -194,6 +194,46 @@ class ReplayError(EngineError):
     """
 
 
+class JobCancelledError(EngineError):
+    """A workload was abandoned by its cancel scope.
+
+    Raised cooperatively at task-unit boundaries (ensemble chunks,
+    per-machine solves, sweep points) when the enclosing
+    :class:`repro.engine.cancellation.CancelScope` was cancelled or its
+    deadline passed.  ``reason`` is ``"cancelled"`` for an explicit
+    cancellation and ``"deadline"`` for an overrun, so the job service
+    can record the two as distinct terminal states.
+    """
+
+    def __init__(self, message: str, *, reason: str = "cancelled"):
+        self.reason = reason
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# Job service
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for solver-service failures (server and client side)."""
+
+
+class JobRejectedError(ServiceError):
+    """The service refused a submission under admission control.
+
+    Carries the HTTP ``status`` the server answered with (429 for
+    backpressure/rate limiting, 503 for overload shedding or draining)
+    and the ``retry_after`` hint in seconds, so clients can implement
+    honest backoff instead of parsing messages.
+    """
+
+    def __init__(self, message: str, *, status: int, retry_after: float | None = None):
+        self.status = status
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
 # ---------------------------------------------------------------------------
 # Numerics
 # ---------------------------------------------------------------------------

@@ -60,6 +60,7 @@ __all__ = [
     "dataclass_descriptor",
     "decode_params",
     "encode_params",
+    "instantiate_descriptor",
     "last_manifest",
     "load_manifest",
     "lower_for_capability",
@@ -167,7 +168,14 @@ _DESCRIPTOR_TYPES = {
 }
 
 
-def _instantiate(descriptor: dict):
+def instantiate_descriptor(descriptor: dict):
+    """Reconstruct a model object from its manifest descriptor.
+
+    Only the allowlisted :data:`_DESCRIPTOR_TYPES` are honored —
+    descriptors are plain JSON from arbitrary sources (manifests, job
+    submissions) and must never name code to execute.  Raises
+    :class:`~repro.errors.ReplayError` for anything else.
+    """
     type_name = descriptor.get("type") if isinstance(descriptor, dict) else None
     builder = _DESCRIPTOR_TYPES.get(type_name)
     if builder is None:
@@ -175,6 +183,9 @@ def _instantiate(descriptor: dict):
             f"manifest names a model object of unsupported type {type_name!r}"
         )
     return builder(descriptor)
+
+
+_instantiate = instantiate_descriptor
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,59 @@
+"""Solver-as-a-service: a crash-safe async job API over the engine.
+
+The reproducibility story so far is single-process: a researcher runs
+``repro solve`` and gets a manifest.  This package turns the same
+engine into a long-lived, multi-tenant *service* without weakening any
+guarantee:
+
+* **Content-addressed jobs** (:mod:`~repro.service.jobs`): a job id is
+  the hash of *what* is being solved, so identical submissions — from
+  any tenant, before or after a restart — share one execution and one
+  stored result.
+* **Crash safety** (:mod:`~repro.service.journal`): a WAL-style journal
+  plus atomic result files make ``kill -9`` lose nothing; interrupted
+  jobs are re-enqueued on restart and resume from the engine's
+  checkpoints bit-identically.
+* **Admission control** (:mod:`~repro.service.admission`): bounded
+  queue with 429 backpressure, per-tenant token buckets, fair-share
+  dispatch, and 503 shedding of low-priority work under overload.
+* **Cooperative cancellation** (:mod:`~repro.service.runner` over
+  :mod:`repro.engine.cancellation`): deadlines and DELETEs stop jobs at
+  task-unit boundaries without killing workers.
+* **HTTP front end and client** (:mod:`~repro.service.server`,
+  :mod:`~repro.service.client`): stdlib-only; see ``docs/service.md``
+  for the API reference and the overload/recovery semantics.
+"""
+
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.client import ServiceClient
+from repro.service.jobs import (
+    JOB_KINDS,
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    encode_result,
+    execute_spec,
+)
+from repro.service.journal import JobJournal, JobStore
+from repro.service.runner import JobRunner
+from repro.service.server import JobService, ServiceConfig, serve
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobSpec",
+    "JobRecord",
+    "execute_spec",
+    "encode_result",
+    "JobJournal",
+    "JobStore",
+    "TokenBucket",
+    "AdmissionController",
+    "JobRunner",
+    "JobService",
+    "ServiceConfig",
+    "serve",
+    "ServiceClient",
+]

@@ -1,0 +1,122 @@
+"""Stdlib HTTP client for the job service (``urllib``, no deps).
+
+Backpressure is surfaced as a typed exception: a 429 or 503 answer
+raises :class:`~repro.errors.JobRejectedError` carrying the HTTP status
+and the server's ``Retry-After`` hint, so callers implement honest
+backoff instead of parsing error strings::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    try:
+        job = client.submit(spec, tenant="ci", priority=2)
+    except JobRejectedError as exc:
+        time.sleep(exc.retry_after or 1.0)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import JobRejectedError, ServiceError
+from repro.service.jobs import TERMINAL_STATES, JobSpec
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Typed access to one service instance's HTTP API."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            payload = {}
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except ValueError:
+                pass
+            message = payload.get("error") or f"HTTP {exc.code}"
+            if exc.code in (429, 503):
+                retry_after = exc.headers.get("Retry-After")
+                raise JobRejectedError(
+                    message,
+                    status=exc.code,
+                    retry_after=None if retry_after is None else float(retry_after),
+                ) from None
+            raise ServiceError(f"{method} {path}: {message}") from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from None
+
+    # -- API ----------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: JobSpec | dict,
+        *,
+        tenant: str = "default",
+        priority: int = 5,
+        deadline_seconds: float | None = None,
+    ) -> dict:
+        if isinstance(spec, JobSpec):
+            spec = spec.to_dict()
+        payload: dict = {"spec": spec, "tenant": tenant, "priority": priority}
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        return self._request("POST", "/v1/jobs", payload)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs").get("jobs", [])
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict:
+        return self._request("GET", "/readyz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def wait(self, job_id: str, timeout: float = 120.0, poll: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal state; returns its status.
+
+        Raises :class:`~repro.errors.ServiceError` on timeout — the job
+        keeps running server-side; this only gives up on waiting.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.get("status") in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status.get('status')!r} "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(poll)

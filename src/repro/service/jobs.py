@@ -1,0 +1,217 @@
+"""Job model: content-addressed job specs and their execution.
+
+A job is a *solve request*, not a piece of code: the submission names a
+formalism, model source text, a registry capability and encoded solver
+parameters (or, for batch jobs, allowlisted model descriptors — see
+:func:`repro.manifest.instantiate_descriptor`).  Nothing in a job can
+make the server import or execute caller-supplied code.
+
+Job identity is the content hash of the spec (:attr:`JobSpec.job_id`,
+built on the cache layer's structural hashing), deliberately excluding
+*who* submitted it and *how urgently*: two tenants submitting the same
+analysis share one job and one result, which is what makes
+submit-level deduplication sound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.cache import canonical_key
+from repro.errors import ServiceError
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobSpec",
+    "JobRecord",
+    "execute_spec",
+    "encode_result",
+]
+
+JOB_KINDS = ("solve", "makespan")
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled", "expired")
+
+#: States a job never leaves.  ``expired`` is a deadline overrun —
+#: distinct from ``cancelled`` (an explicit request) and ``failed``
+#: (the solve itself raised).
+TERMINAL_STATES = ("done", "failed", "cancelled", "expired")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One solve request, content-addressed.
+
+    ``kind`` selects the execution path:
+
+    ``solve``
+        ``formalism`` + ``source`` + ``capability`` (+ optional
+        ``backend``) through :func:`repro.manifest.run_from_source`.
+    ``makespan``
+        ``model`` holds ``mapping``/``workload`` dataclass descriptors
+        (:func:`repro.engine.run_manifest.dataclass_descriptor`);
+        executed via :func:`repro.allocation.cdf.makespan_cdf`.
+
+    ``params`` is always the *encoded* (JSON-safe) parameter dict — the
+    same representation run manifests use — so a spec round-trips
+    through the journal and the wire without loss.
+    """
+
+    kind: str
+    formalism: str | None = None
+    source: str | None = None
+    capability: str | None = None
+    backend: str | None = None
+    params: dict = field(default_factory=dict)
+    model: dict | None = None
+
+    def __post_init__(self):
+        if self.kind not in JOB_KINDS:
+            raise ServiceError(
+                f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+        if self.kind == "solve":
+            for name in ("formalism", "source", "capability"):
+                if not getattr(self, name):
+                    raise ServiceError(f"solve jobs require {name!r}")
+        else:
+            model = self.model or {}
+            for name in ("mapping", "workload"):
+                if name not in model:
+                    raise ServiceError(
+                        f"makespan jobs require a model {name!r} descriptor"
+                    )
+            if "times" not in self.params:
+                raise ServiceError("makespan jobs require params['times']")
+        if not isinstance(self.params, dict):
+            raise ServiceError("params must be a JSON object")
+
+    @property
+    def job_id(self) -> str:
+        """Content hash of the spec — the job's identity and dedupe key."""
+        return canonical_key("job", self.to_dict())
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data) -> JobSpec:
+        if not isinstance(data, dict):
+            raise ServiceError("job spec must be a JSON object")
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ServiceError(f"job spec has unknown fields: {sorted(unknown)}")
+        if "kind" not in data:
+            raise ServiceError("job spec requires 'kind'")
+        return cls(**data)
+
+
+@dataclass
+class JobRecord:
+    """The server's mutable view of one submitted job."""
+
+    job_id: str
+    spec: dict
+    tenant: str = "default"
+    priority: int = 5
+    deadline_seconds: float | None = None
+    status: str = "queued"
+    error: str | None = None
+    reason: str | None = None
+    recovered: bool = False
+    attempts: int = 0
+    submitted_at: float = 0.0
+    finished_at: float | None = None
+
+    def to_public(self) -> dict:
+        """What the status API returns (spec omitted: callers have it)."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.spec.get("kind"),
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "status": self.status,
+            "error": self.error,
+            "reason": self.reason,
+            "recovered": self.recovered,
+            "attempts": self.attempts,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+
+
+def execute_spec(spec: JobSpec):
+    """Run one job spec to completion in the calling thread.
+
+    Returns ``(result, manifest, digest)`` where ``manifest`` is the
+    run's :class:`~repro.engine.run_manifest.RunManifest` (``None`` when
+    the run recorded none) and ``digest`` the canonical result digest.
+    Runs under whatever cancel scope the caller installed — the engine
+    checks it at task-unit boundaries.
+    """
+    from repro.engine.run_manifest import (
+        decode_params,
+        result_digest,
+        set_last_manifest,
+    )
+    from repro.manifest import (
+        instantiate_descriptor,
+        last_manifest,
+        run_from_source,
+    )
+
+    set_last_manifest(None)
+    params = decode_params(spec.params)
+    if spec.kind == "solve":
+        result = run_from_source(
+            spec.formalism,
+            spec.source,
+            spec.capability,
+            backend=spec.backend,
+            **params,
+        )
+    else:
+        from repro.allocation.cdf import makespan_cdf
+
+        mapping = instantiate_descriptor(spec.model["mapping"])
+        workload = instantiate_descriptor(spec.model["workload"])
+        result = makespan_cdf(
+            mapping,
+            workload,
+            params["times"],
+            tail_tol=params.get("tail_tol", 1e-2),
+            method=params.get("method", "uniformization"),
+        )
+    return result, last_manifest(), result_digest(result)
+
+
+def encode_result(result) -> dict:
+    """Best-effort JSON rendering of a solver result.
+
+    The reproducibility contract lives in the digest and the manifest;
+    the rendered value is a convenience.  Results without a JSON-safe
+    encoding (rich dataclasses) degrade to an opaque summary rather
+    than failing the job.
+    """
+    from repro.engine.run_manifest import dataclass_descriptor, encode_params
+
+    try:
+        return {"encoding": "params", "value": encode_params({"v": result})["v"]}
+    except Exception:
+        pass
+    try:
+        if dataclasses.is_dataclass(result) and not isinstance(result, type):
+            return {"encoding": "dataclass", "value": dataclass_descriptor(result)}
+    except Exception:
+        pass
+    return {"encoding": "opaque", "type": type(result).__qualname__}
+
+
+def now() -> float:
+    """Wall-clock now — a seam so tests can stamp deterministic times."""
+    return time.time()

@@ -1,0 +1,383 @@
+"""The solver-as-a-service HTTP front end (stdlib ``http.server``).
+
+Routes (all JSON)::
+
+    POST   /v1/jobs             submit {spec, tenant?, priority?, deadline_seconds?}
+    GET    /v1/jobs             list jobs
+    GET    /v1/jobs/{id}        status of one job
+    GET    /v1/jobs/{id}/result result + run manifest (200 only when done)
+    DELETE /v1/jobs/{id}        cancel (queued or running)
+    GET    /healthz             liveness (200 while the process runs)
+    GET    /readyz              readiness (503 when draining or saturated)
+    GET    /v1/metrics          the process metrics snapshot
+
+Submissions are deduplicated by content: a spec whose job id already
+has a stored result answers 200 immediately (``deduped: true``) and
+never re-solves; one that is already queued/running attaches to the
+in-flight job.  Refusals carry ``Retry-After`` (429 backpressure and
+rate limiting, 503 shedding and draining) — see
+:mod:`repro.service.admission`.
+
+Shutdown: SIGTERM (or ``JobService.drain``) stops admission, waits
+``drain_timeout`` for in-flight jobs, suspends stragglers (their
+checkpoints persist, the journal keeps them ``queued``), and seals the
+journal.  A ``kill -9`` instead leaves the journal unsealed — the next
+start recovers and resumes, which the crash suite asserts is
+bit-identical.
+
+Every ``REPRO_SERVE_*`` knob is documented in ``docs/engine.md``;
+CLI flags override the environment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+import warnings
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.engine.metrics import get_registry
+from repro.engine.resilience import get_checkpoint_store
+from repro.errors import JobRejectedError, ServiceError
+from repro.service.admission import AdmissionController
+from repro.service.jobs import TERMINAL_STATES, JobSpec
+from repro.service.journal import JobStore
+from repro.service.runner import JobRunner
+
+__all__ = ["ServiceConfig", "JobService", "serve"]
+
+
+def _env_value(name: str, default, convert):
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return convert(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed {name}={raw!r}; using default {default!r}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return default
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """All service tuning in one place (env defaults, flag overrides)."""
+
+    queue_capacity: int = 64
+    workers: int = 2
+    tenant_rate: float = 10.0
+    tenant_burst: float = 20.0
+    shed_threshold: float = 0.85
+    shed_priority: int = 5
+    retry_after: float = 2.0
+    default_deadline: float | None = None
+    drain_timeout: float = 10.0
+    checkpoint_ttl: float | None = None
+
+    @classmethod
+    def from_env(cls, **overrides) -> ServiceConfig:
+        values = {
+            "queue_capacity": _env_value("REPRO_SERVE_QUEUE_CAPACITY", 64, int),
+            "workers": _env_value("REPRO_SERVE_WORKERS", 2, int),
+            "tenant_rate": _env_value("REPRO_SERVE_TENANT_RATE", 10.0, float),
+            "tenant_burst": _env_value("REPRO_SERVE_TENANT_BURST", 20.0, float),
+            "shed_threshold": _env_value("REPRO_SERVE_SHED_THRESHOLD", 0.85, float),
+            "shed_priority": _env_value("REPRO_SERVE_SHED_PRIORITY", 5, int),
+            "retry_after": _env_value("REPRO_SERVE_RETRY_AFTER", 2.0, float),
+            "default_deadline": _env_value("REPRO_SERVE_DEADLINE", None, float),
+            "drain_timeout": _env_value("REPRO_SERVE_DRAIN_TIMEOUT", 10.0, float),
+            "checkpoint_ttl": _env_value("REPRO_SERVE_CHECKPOINT_TTL", None, float),
+        }
+        values.update({k: v for k, v in overrides.items() if v is not None})
+        return cls(**values)
+
+
+class JobService:
+    """The HTTP-free service core: submit/status/result/cancel/drain.
+
+    Owns the store, admission controller and runner; the HTTP handler
+    below (and the tests) call these methods directly.  Every method
+    returns ``(http_status, body_dict, headers_dict)``.
+    """
+
+    def __init__(self, root, config: ServiceConfig | None = None, executor=None):
+        self.config = config or ServiceConfig()
+        self.store = JobStore(root)
+        self.admission = AdmissionController(
+            capacity=self.config.queue_capacity,
+            workers=self.config.workers,
+            tenant_rate=self.config.tenant_rate,
+            tenant_burst=self.config.tenant_burst,
+            shed_threshold=self.config.shed_threshold,
+            shed_priority=self.config.shed_priority,
+            retry_after=self.config.retry_after,
+        )
+        self.runner = JobRunner(
+            self.store, self.admission,
+            workers=self.config.workers, executor=executor,
+        )
+        self.draining = False
+        self._drained = threading.Event()
+        self._submit_lock = threading.Lock()
+        if self.config.checkpoint_ttl is not None:
+            store = get_checkpoint_store()
+            if store is not None:
+                store.purge_expired(self.config.checkpoint_ttl)
+
+    def start(self) -> None:
+        self.runner.start()
+        self.runner.resume_recovered()
+
+    # -- routes -------------------------------------------------------------
+
+    def submit(self, payload) -> tuple[int, dict, dict]:
+        reg = get_registry()
+        reg.increment("service.submitted")
+        if not isinstance(payload, dict):
+            return 400, {"error": "submission must be a JSON object"}, {}
+        try:
+            spec = JobSpec.from_dict(payload.get("spec"))
+        except ServiceError as exc:
+            return 400, {"error": str(exc)}, {}
+        tenant = str(payload.get("tenant", "default"))
+        try:
+            priority = int(payload.get("priority", 5))
+        except (TypeError, ValueError):
+            return 400, {"error": "priority must be an integer"}, {}
+        deadline = payload.get("deadline_seconds", self.config.default_deadline)
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError):
+                return 400, {"error": "deadline_seconds must be a number"}, {}
+            if deadline <= 0:
+                return 400, {"error": "deadline_seconds must be positive"}, {}
+        job_id = spec.job_id
+        with self._submit_lock:
+            if self.draining:
+                return (
+                    503,
+                    {"error": "service is draining", "job_id": job_id},
+                    {"Retry-After": f"{self.config.retry_after:g}"},
+                )
+            # Content-addressed dedupe: a finished identical job answers
+            # from its stored result; an in-flight one is joined.
+            existing = self.store.get(job_id)
+            if (existing is not None and existing.status == "done") or (
+                existing is None and self.store.has_result(job_id)
+            ):
+                reg.increment("service.deduped")
+                return 200, {"job_id": job_id, "status": "done",
+                             "deduped": True}, {}
+            if existing is not None and existing.status not in TERMINAL_STATES:
+                reg.increment("service.deduped")
+                return 202, {"job_id": job_id, "status": existing.status,
+                             "deduped": True}, {}
+            try:
+                self.admission.admit(job_id, tenant=tenant, priority=priority)
+            except JobRejectedError as exc:
+                headers = {}
+                if exc.retry_after is not None:
+                    headers["Retry-After"] = f"{exc.retry_after:g}"
+                return exc.status, {"error": str(exc), "job_id": job_id}, headers
+            self.store.submit(
+                spec, tenant=tenant, priority=priority, deadline_seconds=deadline
+            )
+        return 202, {"job_id": job_id, "status": "queued"}, {}
+
+    def status(self, job_id: str) -> tuple[int, dict, dict]:
+        record = self.store.get(job_id)
+        if record is None:
+            return 404, {"error": f"unknown job {job_id!r}"}, {}
+        return 200, record.to_public(), {}
+
+    def result(self, job_id: str) -> tuple[int, dict, dict]:
+        record = self.store.get(job_id)
+        if record is None:
+            return 404, {"error": f"unknown job {job_id!r}"}, {}
+        if record.status == "done":
+            document = self.store.load_result(job_id)
+            if document is None:
+                return 500, {"error": "result file missing or corrupt"}, {}
+            return 200, document, {}
+        if record.status in TERMINAL_STATES:
+            return 409, {"job_id": job_id, "status": record.status,
+                         "error": record.error, "reason": record.reason}, {}
+        return 202, {"job_id": job_id, "status": record.status}, {}
+
+    def cancel(self, job_id: str) -> tuple[int, dict, dict]:
+        record = self.store.get(job_id)
+        if record is None:
+            return 404, {"error": f"unknown job {job_id!r}"}, {}
+        if record.status == "queued":
+            self.store.set_status(job_id, "cancelled", reason="cancelled")
+            get_registry().increment("service.cancelled")
+            return 200, {"job_id": job_id, "status": "cancelled"}, {}
+        if record.status == "running":
+            self.runner.cancel(job_id)
+            return 202, {"job_id": job_id, "status": "cancelling"}, {}
+        return 409, {"job_id": job_id, "status": record.status,
+                     "error": "job already finished"}, {}
+
+    def jobs(self) -> tuple[int, dict, dict]:
+        return 200, {"jobs": [r.to_public() for r in self.store.list_records()]}, {}
+
+    def healthz(self) -> tuple[int, dict, dict]:
+        return 200, {"status": "ok"}, {}
+
+    def readyz(self) -> tuple[int, dict, dict]:
+        load = self.admission.load()
+        body = {
+            "load": load,
+            "queue_depth": self.admission.depth(),
+            "busy": self.admission.busy(),
+            "draining": self.draining,
+        }
+        if self.draining or load >= 1.0:
+            body["status"] = "unavailable"
+            return 503, body, {"Retry-After": f"{self.config.retry_after:g}"}
+        body["status"] = "ready"
+        return 200, body, {}
+
+    def metrics(self) -> tuple[int, dict, dict]:
+        return 200, get_registry().snapshot(), {}
+
+    # -- shutdown -----------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown: refuse new work, finish/suspend, seal."""
+        with self._submit_lock:
+            already = self.draining
+            self.draining = True
+        if already:
+            self._drained.wait()
+            return True
+        clean = self.runner.drain(
+            self.config.drain_timeout if timeout is None else timeout
+        )
+        self.store.seal()
+        get_registry().increment("service.drained")
+        self._drained.set()
+        return clean
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON shim over :class:`JobService` — no logic of its own."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> JobService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if os.environ.get("REPRO_SERVE_LOG"):
+            sys.stderr.write(
+                "%s - %s\n" % (self.address_string(), format % args)
+            )
+
+    def _reply(self, outcome: tuple[int, dict, dict]) -> None:
+        status, body, headers = outcome
+        blob = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return None
+        try:
+            return json.loads(raw)
+        except ValueError:
+            return None
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/v1/jobs":
+            payload = self._read_body()
+            if payload is None:
+                self._reply((400, {"error": "request body must be JSON"}, {}))
+                return
+            self._reply(self.service.submit(payload))
+            return
+        self._reply((404, {"error": f"no route POST {self.path}"}, {}))
+
+    def do_GET(self) -> None:  # noqa: N802
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._reply(self.service.healthz())
+        elif path == "/readyz":
+            self._reply(self.service.readyz())
+        elif path == "/v1/metrics":
+            self._reply(self.service.metrics())
+        elif path == "/v1/jobs":
+            self._reply(self.service.jobs())
+        elif path.startswith("/v1/jobs/") and path.endswith("/result"):
+            job_id = path[len("/v1/jobs/"):-len("/result")]
+            self._reply(self.service.result(job_id))
+        elif path.startswith("/v1/jobs/"):
+            self._reply(self.service.status(path[len("/v1/jobs/"):]))
+        else:
+            self._reply((404, {"error": f"no route GET {self.path}"}, {}))
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        path = self.path.rstrip("/")
+        if path.startswith("/v1/jobs/"):
+            self._reply(self.service.cancel(path[len("/v1/jobs/"):]))
+            return
+        self._reply((404, {"error": f"no route DELETE {self.path}"}, {}))
+
+
+def serve(
+    root,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    config: ServiceConfig | None = None,
+    executor=None,
+    install_signal_handlers: bool = True,
+) -> int:
+    """Run the service until SIGTERM/SIGINT, then drain.  Returns 0."""
+    service = JobService(root, config=config or ServiceConfig.from_env(),
+                         executor=executor)
+    httpd = ThreadingHTTPServer((host, port), _Handler)
+    httpd.daemon_threads = True
+    httpd.service = service  # type: ignore[attr-defined]
+    service.start()
+
+    def _shutdown(signum, frame):
+        # shutdown() must not run on the serving thread; drain first so
+        # in-flight jobs finish while the listener keeps answering
+        # health checks, then stop the loop.
+        def _run():
+            service.drain()
+            httpd.shutdown()
+
+        threading.Thread(target=_run, name="repro-serve-drain").start()
+
+    if install_signal_handlers:
+        signal.signal(signal.SIGTERM, _shutdown)
+        signal.signal(signal.SIGINT, _shutdown)
+
+    actual_port = httpd.server_address[1]
+    print(f"listening on http://{host}:{actual_port}", flush=True)
+    try:
+        httpd.serve_forever(poll_interval=0.1)
+    finally:
+        httpd.server_close()
+        if not service._drained.is_set():
+            service.drain()
+    print("drained cleanly", flush=True)
+    return 0

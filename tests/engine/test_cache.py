@@ -1,5 +1,8 @@
 """Content-addressed cache: canonical keys, LRU, disk layer, wiring."""
 
+import os
+import textwrap
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
@@ -249,3 +252,60 @@ class TestCachedHelper:
             assert cache.disk_dir is None
         finally:
             configure_cache(disk_dir=before)
+
+
+class TestConcurrentDiskWriters:
+    """Two processes hammering the same content key must never leave a
+    torn entry: every write goes through a unique temp name plus an
+    atomic rename, and every read re-verifies the RPRO2 seal."""
+
+    WRITER = textwrap.dedent("""
+        import sys
+        from repro.engine import ResultCache
+
+        disk_dir, tag = sys.argv[1], sys.argv[2]
+        cache = ResultCache(max_entries=4, disk_dir=disk_dir)
+        payload = {"tag": tag, "blob": list(range(1000))}
+        for i in range(200):
+            cache.put("race-key", payload)
+        print("done", flush=True)
+    """)
+
+    def test_two_process_write_race_never_tears_a_read(self, tmp_path):
+        import subprocess
+        import sys
+
+        disk_dir = tmp_path / "cache"
+        disk_dir.mkdir()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        writers = [
+            subprocess.Popen(
+                [sys.executable, "-c", self.WRITER, str(disk_dir), tag],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            )
+            for tag in ("a", "b")
+        ]
+        good_reads = 0
+        while any(w.poll() is None for w in writers):
+            # A fresh cache per read, or the memory layer would mask the
+            # disk round-trip after the first hit.
+            value = ResultCache(max_entries=4, disk_dir=disk_dir).get("race-key")
+            if isinstance(value, dict):  # a non-dict is the miss sentinel
+                assert value["tag"] in ("a", "b")
+                assert value["blob"] == list(range(1000))
+                good_reads += 1
+        for writer in writers:
+            out, err = writer.communicate(timeout=30)
+            assert writer.returncode == 0, err.decode()
+            assert out.strip() == b"done"
+
+        assert good_reads > 0, "the race window never produced a readable entry"
+        # No quarantined torn writes, no leaked temp files, and the final
+        # entry unseals cleanly.
+        assert not list(disk_dir.glob("*.corrupt"))
+        assert not list(disk_dir.glob("*.tmp"))
+        blob = (disk_dir / "race-key.pkl").read_bytes()
+        assert unseal_payload(blob) is not None
+        final = ResultCache(max_entries=4, disk_dir=disk_dir).get("race-key")
+        assert final["blob"] == list(range(1000))

@@ -441,3 +441,62 @@ class TestCombinedChaos:
             assert_array_equal(got, payload)
         finally:
             configure_cache(disk_dir=None)
+
+
+class TestCheckpointTTLPurge:
+    """Satellite of the service work: a long-lived process must not let
+    abandoned partials accumulate forever under the checkpoint root."""
+
+    @staticmethod
+    def _age(directory, seconds):
+        import os
+        import time as _time
+
+        stamp = _time.time() - seconds
+        for entry in directory.iterdir():
+            os.utime(entry, (stamp, stamp))
+        os.utime(directory, (stamp, stamp))
+
+    def test_purges_only_expired_batches(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("stale", 0, 1, n_tasks=4)
+        store.save("fresh", 0, 2, n_tasks=4)
+        self._age(tmp_path / "stale", 3600.0)
+        reg = get_registry()
+        before = reg.counter("engine.checkpoint_purged")
+        assert store.purge_expired(ttl_seconds=600.0) == 1
+        assert not (tmp_path / "stale").exists()
+        assert (tmp_path / "fresh").exists()
+        assert reg.counter("engine.checkpoint_purged") == before + 1
+
+    def test_batch_age_is_its_newest_chunk(self, tmp_path):
+        # A live job keeps sealing chunks: one recent chunk protects the
+        # whole batch even when its first chunks are old.
+        store = CheckpointStore(tmp_path)
+        store.save("live", 0, 1, n_tasks=4)
+        self._age(tmp_path / "live", 3600.0)
+        store.save("live", 1, 2, n_tasks=4)
+        assert store.purge_expired(ttl_seconds=600.0) == 0
+        assert (tmp_path / "live").exists()
+
+    def test_missing_root_and_bad_ttl(self, tmp_path):
+        store = CheckpointStore(tmp_path / "never-created")
+        assert store.purge_expired(ttl_seconds=0.0) == 0
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path).purge_expired(ttl_seconds=-1.0)
+
+    def test_resume_after_purge_falls_back_to_clean_run(self, tmp_path):
+        # An interrupted batch whose checkpoints were purged must simply
+        # recompute everything — correct values, no resume counted.
+        store = CheckpointStore(tmp_path)
+        store.save("batch", 0, 999_999, n_tasks=3)  # poison partial
+        assert store.purge_expired(ttl_seconds=0.0) == 1
+        reg = get_registry()
+        resumes = reg.counter("engine.checkpoint_resumes")
+        configure_checkpoints(tmp_path)
+        try:
+            out = run_tasks(_square, [4, 5, 6], checkpoint="batch")
+        finally:
+            configure_checkpoints(None)
+        assert out == [16, 25, 36]  # the poison value is gone
+        assert reg.counter("engine.checkpoint_resumes") == resumes

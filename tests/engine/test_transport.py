@@ -153,6 +153,47 @@ class TestSubprocessWorkers:
         assert reg.counter("engine.pickle_fallback") == before + 1
 
 
+class TestWorkerReaping:
+    """Regression: a timed-out worker must be killed AND waited on.
+
+    The original timeout path killed the child but never reaped it,
+    leaking a zombie per expired attempt under a long-lived parent (the
+    job service made this a real resource bug, not a test artifact).
+    """
+
+    def test_timed_out_workers_are_killed_and_reaped(self, monkeypatch):
+        from repro.engine import transport as transport_mod
+
+        spawned = []
+        subprocess_module = transport_mod.subprocess
+
+        class SpyPopen(subprocess_module.Popen):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                spawned.append(self)
+
+        monkeypatch.setattr(subprocess_module, "Popen", SpyPopen)
+        reg = get_registry()
+        before = reg.counter("engine.worker_reaped")
+        with faults.inject(
+            faults.FaultSpec("task_timeout", task_index=0, sleep=10.0, times=5)
+        ):
+            with parallel(task_timeout=0.3, max_retries=1):
+                with pytest.raises(TaskTimeoutError):
+                    run_tasks(_square, [1], transport="subprocess")
+        assert len(spawned) == 2  # first attempt + one retry
+        for proc in spawned:
+            assert proc.returncode is not None, "zombie worker left behind"
+        assert reg.counter("engine.worker_reaped") == before + 2
+
+    def test_normal_exit_is_not_counted_as_a_reap(self):
+        reg = get_registry()
+        before = reg.counter("engine.worker_reaped")
+        out = get_transport("subprocess").run(_square, [3])
+        assert out == [9]
+        assert reg.counter("engine.worker_reaped") == before
+
+
 class TestRunTasksIntegration:
     def test_transport_argument_beats_config(self):
         reg = get_registry()
