@@ -489,8 +489,25 @@ def _serve_command(args: argparse.Namespace) -> int:
         shed_priority=args.shed_priority,
         default_deadline=args.deadline,
         drain_timeout=args.drain_timeout,
+        transport=args.transport,
+        fleet_bind=args.fleet_bind,
+        token=args.token,
+        journal_max_bytes=args.journal_max_bytes,
     )
     return serve(args.dir, host=args.host, port=args.port, config=config)
+
+
+def _worker_command(args: argparse.Namespace) -> int:
+    """Run one fleet worker against a coordinator until stopped."""
+    from repro.engine.remote import run_worker
+
+    return run_worker(
+        args.coordinator,
+        token=args.token,
+        poll=args.poll,
+        grace=args.grace,
+        max_units=args.max_units,
+    )
 
 
 def _submit_build_spec(args: argparse.Namespace):
@@ -547,7 +564,7 @@ def _submit_command(args: argparse.Namespace) -> int:
 
     from repro.service import ServiceClient
 
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, token=args.token)
     spec = _submit_build_spec(args)
     answer = client.submit(
         spec,
@@ -593,7 +610,7 @@ def _jobs_command(args: argparse.Namespace) -> int:
 
     from repro.service import ServiceClient
 
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, token=args.token)
     if args.job_id is None:
         for job in client.jobs():
             line = (
@@ -917,7 +934,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    "(default $REPRO_TASK_TIMEOUT, else none)")
     p.add_argument(
         "--transport",
-        choices=("inline", "pool", "subprocess"),
+        choices=("inline", "pool", "subprocess", "remote"),
         default=None,
         help="execution transport for fanned-out work "
         "(default $REPRO_TRANSPORT, else auto by worker count)",
@@ -946,7 +963,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    help="replay under engine.parallel(workers=N)")
     p.add_argument(
         "--transport",
-        choices=("inline", "pool", "subprocess"),
+        choices=("inline", "pool", "subprocess", "remote"),
         default=None,
         help="execution transport for the replay (bit-identity is "
         "transport-invariant)",
@@ -979,6 +996,24 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    help="default per-job deadline in seconds")
     p.add_argument("--drain-timeout", type=float, default=None,
                    help="seconds SIGTERM waits before suspending in-flight jobs")
+    p.add_argument(
+        "--transport",
+        choices=("inline", "pool", "subprocess", "remote"),
+        default=None,
+        help="engine transport jobs execute on; 'remote' also starts "
+        "the fleet coordinator for 'repro worker' processes "
+        "(default $REPRO_SERVE_TRANSPORT)",
+    )
+    p.add_argument("--fleet-bind", default=None, metavar="HOST:PORT",
+                   help="with --transport remote: coordinator bind address "
+                   "(default $REPRO_SERVE_FLEET_BIND, else 127.0.0.1:0)")
+    p.add_argument("--token", default=None,
+                   help="shared-secret bearer token for the job API and "
+                   "worker registration (default $REPRO_SERVE_TOKEN)")
+    p.add_argument("--journal-max-bytes", type=_positive_int, default=None,
+                   help="compact the WAL journal online past this size "
+                   "(default $REPRO_SERVE_JOURNAL_MAX_BYTES, else only "
+                   "on clean shutdown)")
     p.set_defaults(func=_serve_command)
 
     p = sub.add_parser("submit", help="submit a job to a running service")
@@ -1017,6 +1052,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--manifest-out", metavar="PATH",
                    help="with --wait: write the run manifest here "
                    "(verify with 'repro replay PATH --verify')")
+    p.add_argument("--token", default=None,
+                   help="bearer token for a token-guarded service "
+                   "(default $REPRO_SERVE_TOKEN)")
     p.set_defaults(func=_submit_command)
 
     p = sub.add_parser("jobs", help="list, inspect, or cancel service jobs")
@@ -1025,7 +1063,28 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--result", action="store_true",
                    help="print the job's result document")
     p.add_argument("--cancel", action="store_true", help="cancel the job")
+    p.add_argument("--token", default=None,
+                   help="bearer token for a token-guarded service "
+                   "(default $REPRO_SERVE_TOKEN)")
     p.set_defaults(func=_jobs_command)
+
+    p = sub.add_parser(
+        "worker",
+        help="join a fleet: pull sealed task units from a coordinator "
+        "started by 'repro serve --transport remote'",
+    )
+    p.add_argument("--coordinator", required=True,
+                   help="coordinator base URL (printed by serve)")
+    p.add_argument("--token", default=None,
+                   help="fleet bearer token (default $REPRO_REMOTE_TOKEN, "
+                   "else $REPRO_SERVE_TOKEN)")
+    p.add_argument("--poll", type=float, default=0.25,
+                   help="seconds between lease polls when idle")
+    p.add_argument("--grace", type=float, default=30.0,
+                   help="seconds of coordinator unreachability before exiting")
+    p.add_argument("--max-units", type=_positive_int, default=None,
+                   help="exit after executing this many task units")
+    p.set_defaults(func=_worker_command)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(

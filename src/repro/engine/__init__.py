@@ -4,10 +4,12 @@ Four orthogonal facilities every analysis layer builds on:
 
 ``executor`` / ``transport``
     Ordered fan-out of independent work units over a pluggable transport
-    (inline, supervised process pool, fresh worker subprocesses) with
+    (inline, supervised process pool, fresh worker subprocesses, or the
+    lease-based remote worker fleet in :mod:`repro.engine.remote`) with
     deterministic per-task seeding — results are bit-identical across
     worker counts *and* transports (see the executor docstring for the
-    contract).
+    contract).  ``remote`` is imported lazily on first use; reach it via
+    ``get_transport("remote")`` or ``$REPRO_TRANSPORT=remote``.
 ``run_manifest`` / ``environment``
     Self-contained reproducibility manifests assembled around every
     engine run — model hash, seed spec, backend chain, chunk structure,

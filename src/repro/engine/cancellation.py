@@ -55,6 +55,10 @@ class CancelScope:
     #: a constant-time no-op and transports may skip poll loops for it.
     active = True
 
+    #: Class-level default so deadline queries work on scopes that skip
+    #: ``__init__`` (the null scope has neither event nor deadline).
+    _deadline = None
+
     def __init__(self, deadline_seconds: float | None = None):
         if deadline_seconds is not None and deadline_seconds <= 0:
             raise ValueError(
@@ -82,6 +86,17 @@ class CancelScope:
 
     def cancelled(self) -> bool:
         return self.reason is not None
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (``None`` when there is none).
+
+        Clamped at zero once the deadline has passed.  Lease-granting
+        layers use this to never hand out a lease that outlives the
+        scope that submitted the work.
+        """
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
 
     def raise_if_cancelled(self) -> None:
         """Raise :class:`~repro.errors.JobCancelledError` once cancelled."""

@@ -71,6 +71,22 @@ Fault kinds
     Make the admission layer treat the submitting tenant's token bucket
     as exhausted for the next submission (a 429 rate-limit response),
     as if the tenant had burst past its allowance.
+``worker_partition``
+    Black-hole a remote worker's traffic after it finishes the unit
+    with ``task_index``: the worker computes the result, then suppresses
+    heartbeats *and* the result delivery for ``sleep`` seconds before
+    posting late — the coordinator must expire the lease, re-dispatch,
+    and resolve the straggler's late result by digest agreement.
+``heartbeat_loss``
+    Make a remote worker stop heartbeating for ``sleep`` seconds while
+    *continuing to compute* the unit with ``task_index`` — the
+    coordinator must mark it suspect and re-dispatch without the answer
+    ever diverging.
+``lease_expiry``
+    Force the coordinator to grant the unit with ``task_index`` a lease
+    that cannot be renewed and expires almost immediately, despite a
+    healthy worker — exercises the expiry → re-dispatch → circuit
+    breaker path in isolation.
 
 Hooks are free when no plan is active: one environment-dict lookup.
 """
@@ -109,6 +125,9 @@ FAULT_KINDS = (
     "server_crash",
     "queue_overflow",
     "tenant_flood",
+    "worker_partition",
+    "heartbeat_loss",
+    "lease_expiry",
 )
 
 

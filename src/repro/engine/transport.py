@@ -9,7 +9,7 @@ explicit: :meth:`~Transport.submit_chunks` hands it an ordered batch,
 *bit-identity is transport-invariant* because nothing about seeding,
 chunking or reduction order is the transport's business.
 
-Three transports ship:
+Four transports ship:
 
 ``inline``
     Sequential, in the calling process.  No isolation, no fault
@@ -26,6 +26,13 @@ Three transports ship:
     retries and crash recovery mirror the pool's resilience policy;
     fault injection works unchanged because the worker runs the same
     shim.
+``remote``
+    Task units ship over HTTP to a registered worker fleet
+    (:mod:`repro.engine.remote`) under lease-based assignment with
+    heartbeats, failover re-dispatch, straggler digest verification and
+    per-worker circuit breakers.  Degrades to ``pool`` (and thence to
+    sequential) when no healthy worker is reachable.  Registered
+    lazily on first request to avoid a circular import.
 
 Selection: ``run_tasks(transport=...)`` > ``parallel(transport=...)`` >
 ``$REPRO_TRANSPORT`` > automatic (inline when effectively sequential,
@@ -379,14 +386,23 @@ _TRANSPORTS: dict[str, Transport] = {
                         SubprocessWorkerTransport())
 }
 
+#: Transports registered on first use instead of at import time.  The
+#: remote fleet transport lives in :mod:`repro.engine.remote`, which
+#: imports this module — eager construction here would be circular.
+_LAZY_TRANSPORTS = ("remote",)
+
 
 def available_transports() -> tuple[str, ...]:
-    return tuple(sorted(_TRANSPORTS))
+    return tuple(sorted(set(_TRANSPORTS) | set(_LAZY_TRANSPORTS)))
 
 
 def get_transport(name: str) -> Transport:
     """Resolve a transport by name; raises :class:`TransportError`."""
     transport = _TRANSPORTS.get(name)
+    if transport is None and name in _LAZY_TRANSPORTS:
+        from repro.engine.remote import RemoteWorkerTransport
+
+        transport = _TRANSPORTS.setdefault(name, RemoteWorkerTransport())
     if transport is None:
         raise TransportError(
             f"unknown transport {name!r}; available: {list(available_transports())}"

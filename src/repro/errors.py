@@ -184,6 +184,17 @@ class TransportError(EngineError):
     """
 
 
+class WorkerRejectedError(TransportError):
+    """A fleet coordinator refused a worker's registration.
+
+    Raised worker-side when registration is denied — a bad or missing
+    fleet token (403) or an environment fingerprint that differs from
+    the coordinator's (409).  A rejected worker must exit rather than
+    retry: the refusal is deterministic, and a worker on a different
+    numerical stack could silently break bit-identity if admitted.
+    """
+
+
 class ReplayError(EngineError):
     """A run manifest cannot be replayed, or the replay diverged.
 

@@ -22,6 +22,13 @@ guarantee:
 * **HTTP front end and client** (:mod:`~repro.service.server`,
   :mod:`~repro.service.client`): stdlib-only; see ``docs/service.md``
   for the API reference and the overload/recovery semantics.
+* **Fleet execution** (:mod:`repro.engine.remote` behind
+  ``repro serve --transport remote``): jobs fan their task units out to
+  N ``repro worker`` processes under lease-based assignment with
+  heartbeats, failover re-dispatch and per-worker circuit breakers —
+  bit-identical to an inline run by the same-seed rerun contract.  An
+  optional ``$REPRO_SERVE_TOKEN`` bearer secret guards both the job API
+  and worker registration.
 """
 
 from repro.service.admission import AdmissionController, TokenBucket

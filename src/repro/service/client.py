@@ -10,11 +10,20 @@ backoff instead of parsing error strings::
         job = client.submit(spec, tenant="ci", priority=2)
     except JobRejectedError as exc:
         time.sleep(exc.retry_after or 1.0)
+
+Transient connection failures (resets, refusals — a coordinator
+restarting, a proxy blinking) are retried with capped, jittered
+exponential backoff, but **only for idempotent GETs**: a retried
+submission could double-submit if the first attempt was accepted but
+its response lost.  A bearer token (``token=`` or
+``$REPRO_SERVE_TOKEN``) rides every request when configured.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import random
 import time
 import urllib.error
 import urllib.request
@@ -28,19 +37,61 @@ __all__ = ["ServiceClient"]
 class ServiceClient:
     """Typed access to one service instance's HTTP API."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        token: str | None = None,
+        retries: int = 4,
+        retry_backoff: float = 0.1,
+        retry_backoff_cap: float = 2.0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.token = (
+            token
+            if token is not None
+            else (os.environ.get("REPRO_SERVE_TOKEN") or None)
+        )
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
 
     # -- plumbing -----------------------------------------------------------
 
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        attempts = self.retries + 1 if method == "GET" else 1
+        last_reason = None
+        for attempt in range(attempts):
+            if attempt:
+                # Capped exponential backoff, fully jittered so a herd
+                # of recovering clients does not re-stampede in sync.
+                span = min(
+                    self.retry_backoff_cap, self.retry_backoff * (2 ** (attempt - 1))
+                )
+                time.sleep(random.uniform(span / 2, span))
+            try:
+                return self._request_once(method, path, body)
+            except ConnectionError as exc:
+                last_reason = exc
+            except urllib.error.URLError as exc:
+                # HTTPError is a URLError subclass but never lands here:
+                # _request_once converts it to a typed service error.
+                last_reason = exc.reason
+        raise ServiceError(
+            f"cannot reach service at {self.base_url}: {last_reason}"
+        ) from None
+
+    def _request_once(self, method: str, path: str, body: dict | None) -> dict:
         data = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -60,10 +111,6 @@ class ServiceClient:
                     retry_after=None if retry_after is None else float(retry_after),
                 ) from None
             raise ServiceError(f"{method} {path}: {message}") from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.base_url}: {exc.reason}"
-            ) from None
 
     # -- API ----------------------------------------------------------------
 

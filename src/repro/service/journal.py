@@ -16,6 +16,15 @@ loses no accepted job and corrupts no state:
   durable status was ``queued`` or ``running`` is re-enqueued (marked
   ``recovered``), where checkpointed batches resume from their
   completed chunks bit-identically.
+* The journal does not grow without bound: on clean seal — and online,
+  whenever it crosses ``$REPRO_SERVE_JOURNAL_MAX_BYTES`` — it is
+  *compacted*: the live in-memory state is written as one ``snapshot``
+  record per job into a fresh journal, which atomically replaces the
+  old one (tmp + fsync + ``rename``, the same torn-write discipline as
+  results).  ``kill -9`` mid-compaction leaves the pre-compaction
+  journal intact (the tmp file is ignored and swept on the next open),
+  so replay is never worse than before the compaction started.
+  Counted as ``service.journal_compacted``.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ import hashlib
 import json
 import os
 import threading
+from dataclasses import asdict
 from pathlib import Path
 
 from repro.engine.metrics import get_registry
@@ -54,6 +64,10 @@ class JobJournal:
 
     def open(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # A crash mid-compaction can strand a half-written replacement
+        # journal; it was never renamed into place, so it is dead weight.
+        for stale in self.path.parent.glob(f"{self.path.name}.*.compact-tmp"):
+            stale.unlink(missing_ok=True)
         self._fh = open(self.path, "a", encoding="utf-8")
 
     def append(self, record: dict) -> None:
@@ -65,6 +79,41 @@ class JobJournal:
             self._fh.write(json.dumps(line, sort_keys=True) + "\n")
             self._fh.flush()
             os.fsync(self._fh.fileno())
+
+    def size(self) -> int:
+        """Current on-disk size in bytes (0 when the file is absent)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    def rewrite(self, records: list[dict]) -> None:
+        """Atomically replace the journal's contents with ``records``.
+
+        Each record is checksummed exactly as :meth:`append` would have;
+        the new journal is fully written and fsynced to a temp name
+        before the ``rename``, so a crash at any instant leaves either
+        the complete old journal or the complete new one — never a mix.
+        The append handle is reopened on the new file.
+        """
+        with self._lock:
+            was_open = self._fh is not None
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            tmp = self.path.with_name(
+                f"{self.path.name}.{os.getpid()}-{threading.get_ident()}.compact-tmp"
+            )
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for record in records:
+                    line = dict(record)
+                    line["crc"] = _line_checksum(record)
+                    fh.write(json.dumps(line, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            tmp.replace(self.path)
+            if was_open:
+                self._fh = open(self.path, "a", encoding="utf-8")
 
     def seal(self) -> None:
         """Mark a clean shutdown and close the journal."""
@@ -127,11 +176,27 @@ class JobStore:
     runner picks them up again.
     """
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        journal_max_bytes: int | None = None,
+    ):
         self.root = Path(root)
         self.results_dir = self.root / "results"
         self.results_dir.mkdir(parents=True, exist_ok=True)
         self.journal = JobJournal(self.root / "journal.jsonl")
+        if journal_max_bytes is None:
+            raw = os.environ.get("REPRO_SERVE_JOURNAL_MAX_BYTES")
+            try:
+                journal_max_bytes = int(raw) if raw else None
+            except ValueError:
+                journal_max_bytes = None
+        self.journal_max_bytes = journal_max_bytes
+        # After an online compaction the journal may legitimately still
+        # exceed the configured threshold (many live jobs); only re-try
+        # once it has grown meaningfully past the compacted size.
+        self._compacted_floor = 0
         self._records: dict[str, JobRecord] = {}
         self._lock = threading.Lock()
         self.recovered_ids = self._recover()
@@ -150,7 +215,19 @@ class JobStore:
         records, sealed = JobJournal.replay(self.journal.path)
         for line in records:
             kind = line.get("type")
-            if kind == "job":
+            if kind == "snapshot":
+                job = line.get("job")
+                if not isinstance(job, dict) or "job_id" not in job:
+                    continue
+                known = {f for f in JobRecord.__dataclass_fields__}
+                try:
+                    record = JobRecord(
+                        **{k: v for k, v in job.items() if k in known}
+                    )
+                except TypeError:
+                    continue  # snapshot from an incompatible schema: skip
+                self._records[record.job_id] = record
+            elif kind == "job":
                 try:
                     spec = JobSpec.from_dict(line.get("spec"))
                 except ServiceError:
@@ -170,6 +247,10 @@ class JobStore:
                 record.status = line.get("status", record.status)
                 record.error = line.get("error")
                 record.reason = line.get("reason")
+                if record.status == "running":
+                    # Mirror set_status so replayed state is identical
+                    # to the in-memory state that produced the journal.
+                    record.attempts += 1
                 if record.status in TERMINAL_STATES:
                     record.finished_at = line.get("at")
         recovered: list[str] = []
@@ -206,11 +287,15 @@ class JobStore:
         )
         with self._lock:
             self._records[record.job_id] = record
-        self.journal.append(
-            {"type": "job", "job_id": record.job_id, "spec": record.spec,
-             "tenant": tenant, "priority": priority,
-             "deadline_seconds": deadline_seconds, "at": record.submitted_at}
-        )
+            # Journalled under the store lock so a concurrent compaction
+            # cannot snapshot state and then lose this append in the
+            # rewrite race.
+            self.journal.append(
+                {"type": "job", "job_id": record.job_id, "spec": record.spec,
+                 "tenant": tenant, "priority": priority,
+                 "deadline_seconds": deadline_seconds, "at": record.submitted_at}
+            )
+            self._maybe_compact_locked()
         return record
 
     def get(self, job_id: str) -> JobRecord | None:
@@ -236,16 +321,19 @@ class JobStore:
             record.status = status
             record.error = error
             record.reason = reason
+            at = now()
             if status == "running":
                 record.attempts += 1
             if status in TERMINAL_STATES:
-                record.finished_at = now()
-        entry = {"type": "status", "job_id": job_id, "status": status, "at": now()}
-        if error is not None:
-            entry["error"] = error
-        if reason is not None:
-            entry["reason"] = reason
-        self.journal.append(entry)
+                record.finished_at = at
+            entry = {"type": "status", "job_id": job_id, "status": status,
+                     "at": at}
+            if error is not None:
+                entry["error"] = error
+            if reason is not None:
+                entry["reason"] = reason
+            self.journal.append(entry)
+            self._maybe_compact_locked()
 
     # -- results -------------------------------------------------------------
 
@@ -276,6 +364,49 @@ class JobStore:
     def has_result(self, job_id: str) -> bool:
         return self._result_path(job_id).exists()
 
+    # -- compaction ----------------------------------------------------------
+
+    def _snapshot_records(self) -> list[dict]:
+        """One ``snapshot`` line per live job — the full replayable state."""
+        at = now()
+        return [
+            {"type": "snapshot", "job": asdict(record), "at": at}
+            for record in sorted(
+                self._records.values(), key=lambda r: r.submitted_at
+            )
+        ]
+
+    def _maybe_compact_locked(self) -> None:
+        """Compact online once the journal crosses its size threshold."""
+        if self.journal_max_bytes is None:
+            return
+        size = self.journal.size()
+        if size <= self.journal_max_bytes or size <= 2 * self._compacted_floor:
+            return
+        self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        self.journal.rewrite(self._snapshot_records())
+        self._compacted_floor = self.journal.size()
+        get_registry().increment("service.journal_compacted")
+
+    def compact(self) -> None:
+        """Replace the journal's history with a snapshot of live state.
+
+        Replaying the compacted journal reconstructs exactly the same
+        in-memory records as replaying the full history would have —
+        the history is redundant with the state it produced.
+        """
+        with self._lock:
+            self._compact_locked()
+
     def seal(self) -> None:
-        """Close the epoch cleanly — the graceful-shutdown marker."""
+        """Close the epoch cleanly — the graceful-shutdown marker.
+
+        A clean seal is also the natural compaction point: the snapshot
+        plus the seal record is the smallest journal that restarts
+        exactly here.
+        """
+        with self._lock:
+            self._compact_locked()
         self.journal.seal()

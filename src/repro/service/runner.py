@@ -20,6 +20,7 @@ import threading
 import time
 
 from repro.engine.cancellation import CancelScope, cancel_scope
+from repro.engine.executor import parallel
 from repro.engine.metrics import get_registry
 from repro.errors import JobCancelledError
 from repro.service.jobs import JobSpec, execute_spec, encode_result
@@ -30,10 +31,16 @@ __all__ = ["JobRunner"]
 class JobRunner:
     """A fixed pool of job-executing threads over one store + queue."""
 
-    def __init__(self, store, admission, *, workers: int = 2, executor=None):
+    def __init__(
+        self, store, admission, *, workers: int = 2, executor=None,
+        transport: str | None = None,
+    ):
         self.store = store
         self.admission = admission
         self.workers = workers
+        # Engine transport jobs execute on (None = the engine default
+        # chain); "remote" ships task units to the registered fleet.
+        self.transport = transport
         # Seam for tests: a callable spec -> (result, manifest, digest).
         self._executor = executor or execute_spec
         self._threads: list[threading.Thread] = []
@@ -118,9 +125,15 @@ class JobRunner:
         started = time.monotonic()
         try:
             with cancel_scope(scope):
-                result, manifest, digest = self._executor(
-                    JobSpec.from_dict(record.spec)
-                )
+                if self.transport is None:
+                    result, manifest, digest = self._executor(
+                        JobSpec.from_dict(record.spec)
+                    )
+                else:
+                    with parallel(transport=self.transport):
+                        result, manifest, digest = self._executor(
+                            JobSpec.from_dict(record.spec)
+                        )
             self.store.save_result(
                 record.job_id,
                 digest=digest,

@@ -31,6 +31,7 @@ CLI flags override the environment.
 
 from __future__ import annotations
 
+import hmac
 import json
 import os
 import signal
@@ -80,6 +81,19 @@ class ServiceConfig:
     default_deadline: float | None = None
     drain_timeout: float = 10.0
     checkpoint_ttl: float | None = None
+    #: Shared-secret bearer token for every ``/v1/*`` route (and the
+    #: worker-registration credential when the fleet is on).  ``None``
+    #: disables the check.
+    token: str | None = None
+    #: Transport the runner executes jobs on (``None`` = engine default;
+    #: ``"remote"`` additionally starts the fleet coordinator).
+    transport: str | None = None
+    #: Bind address for the fleet coordinator (``host:port``, port 0 =
+    #: ephemeral).  Only meaningful with ``transport="remote"``.
+    fleet_bind: str | None = None
+    #: Online journal-compaction threshold in bytes (``None`` = compact
+    #: only on clean seal).
+    journal_max_bytes: int | None = None
 
     @classmethod
     def from_env(cls, **overrides) -> ServiceConfig:
@@ -94,6 +108,12 @@ class ServiceConfig:
             "default_deadline": _env_value("REPRO_SERVE_DEADLINE", None, float),
             "drain_timeout": _env_value("REPRO_SERVE_DRAIN_TIMEOUT", 10.0, float),
             "checkpoint_ttl": _env_value("REPRO_SERVE_CHECKPOINT_TTL", None, float),
+            "token": os.environ.get("REPRO_SERVE_TOKEN") or None,
+            "transport": os.environ.get("REPRO_SERVE_TRANSPORT") or None,
+            "fleet_bind": os.environ.get("REPRO_SERVE_FLEET_BIND") or None,
+            "journal_max_bytes": _env_value(
+                "REPRO_SERVE_JOURNAL_MAX_BYTES", None, int
+            ),
         }
         values.update({k: v for k, v in overrides.items() if v is not None})
         return cls(**values)
@@ -109,7 +129,9 @@ class JobService:
 
     def __init__(self, root, config: ServiceConfig | None = None, executor=None):
         self.config = config or ServiceConfig()
-        self.store = JobStore(root)
+        self.store = JobStore(
+            root, journal_max_bytes=self.config.journal_max_bytes
+        )
         self.admission = AdmissionController(
             capacity=self.config.queue_capacity,
             workers=self.config.workers,
@@ -122,6 +144,7 @@ class JobService:
         self.runner = JobRunner(
             self.store, self.admission,
             workers=self.config.workers, executor=executor,
+            transport=self.config.transport,
         )
         self.draining = False
         self._drained = threading.Event()
@@ -305,7 +328,34 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             return None
 
+    def _authorized(self) -> bool:
+        """Shared-secret bearer check on every ``/v1/*`` route.
+
+        ``healthz``/``readyz`` stay open — orchestrators probe them
+        without credentials.  Constant-time compare so the token cannot
+        be guessed byte-by-byte through response timing.
+        """
+        expected = self.service.config.token
+        if not expected:
+            return True
+        auth = self.headers.get("Authorization") or ""
+        if not auth.startswith("Bearer "):
+            return False
+        presented = auth[len("Bearer "):]
+        return hmac.compare_digest(
+            expected.encode("utf-8"), presented.encode("utf-8")
+        )
+
+    def _reject_unauthorized(self) -> bool:
+        if self.path.startswith("/v1/") and not self._authorized():
+            get_registry().increment("service.auth_rejected")
+            self._reply((401, {"error": "unauthorized"}, {}))
+            return True
+        return False
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self._reject_unauthorized():
+            return
         if self.path == "/v1/jobs":
             payload = self._read_body()
             if payload is None:
@@ -316,6 +366,8 @@ class _Handler(BaseHTTPRequestHandler):
         self._reply((404, {"error": f"no route POST {self.path}"}, {}))
 
     def do_GET(self) -> None:  # noqa: N802
+        if self._reject_unauthorized():
+            return
         path = self.path.rstrip("/") or "/"
         if path == "/healthz":
             self._reply(self.service.healthz())
@@ -334,6 +386,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply((404, {"error": f"no route GET {self.path}"}, {}))
 
     def do_DELETE(self) -> None:  # noqa: N802
+        if self._reject_unauthorized():
+            return
         path = self.path.rstrip("/")
         if path.startswith("/v1/jobs/"):
             self._reply(self.service.cancel(path[len("/v1/jobs/"):]))
@@ -350,11 +404,21 @@ def serve(
     install_signal_handlers: bool = True,
 ) -> int:
     """Run the service until SIGTERM/SIGINT, then drain.  Returns 0."""
-    service = JobService(root, config=config or ServiceConfig.from_env(),
-                         executor=executor)
+    config = config or ServiceConfig.from_env()
+    service = JobService(root, config=config, executor=executor)
     httpd = ThreadingHTTPServer((host, port), _Handler)
     httpd.daemon_threads = True
     httpd.service = service  # type: ignore[attr-defined]
+    if config.transport == "remote":
+        # The fleet coordinator rides in the serving process: jobs the
+        # runner executes with transport="remote" submit batches to it,
+        # and `repro worker` processes register against its URL.
+        from repro.engine.remote import start_coordinator
+
+        _, fleet_url = start_coordinator(
+            bind=config.fleet_bind, token=config.token
+        )
+        print(f"fleet coordinator on {fleet_url}", flush=True)
     service.start()
 
     def _shutdown(signum, frame):

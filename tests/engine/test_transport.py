@@ -45,7 +45,9 @@ def _fast_retries(monkeypatch):
 
 class TestSelection:
     def test_available_transports(self):
-        assert available_transports() == ("inline", "pool", "subprocess")
+        assert available_transports() == (
+            "inline", "pool", "remote", "subprocess"
+        )
 
     def test_get_by_name(self):
         assert isinstance(get_transport("inline"), InlineTransport)

@@ -1,0 +1,128 @@
+"""Bearer-token authentication: service API and fleet registration.
+
+When ``ServiceConfig.token`` (or ``$REPRO_SERVE_TOKEN``) is set, every
+``/v1/*`` route demands ``Authorization: Bearer <token>`` and answers
+401 otherwise; liveness probes stay open so orchestrators can health-
+check without credentials.  The same secret guards the fleet
+coordinator: a worker registering with a missing or wrong token is
+turned away with 403 before it can lease work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import remote
+from repro.engine.environment import environment_fingerprint
+from repro.engine.metrics import get_registry
+from repro.errors import ServiceError
+from repro.service import ServiceClient, ServiceConfig
+
+from tests.service.test_service_api import FakeExecutor, LiveService, make_spec
+
+TOKEN = "hunter2-fleet-secret"
+
+
+def counter(name: str) -> int:
+    return get_registry().snapshot()["counters"].get(name, 0)
+
+
+@pytest.fixture
+def guarded(tmp_path, monkeypatch):
+    """A live service requiring TOKEN, plus a client factory."""
+    monkeypatch.delenv("REPRO_SERVE_TOKEN", raising=False)
+    box = LiveService(
+        tmp_path / "svc",
+        ServiceConfig(workers=2, drain_timeout=2.0, token=TOKEN),
+        FakeExecutor(),
+    )
+    yield box
+    box.stop()
+
+
+def client_with(box: LiveService, token: str | None) -> ServiceClient:
+    return ServiceClient(box.client.base_url, timeout=10.0, token=token)
+
+
+class TestServiceTokenMatrix:
+    def test_v1_routes_reject_missing_and_wrong_token(self, guarded):
+        before = counter("service.auth_rejected")
+        for bad in (None, "wrong-" + TOKEN):
+            client = client_with(guarded, bad)
+            with pytest.raises(ServiceError, match="401|unauthorized"):
+                client.submit(make_spec())
+            with pytest.raises(ServiceError, match="401|unauthorized"):
+                client.jobs()
+            with pytest.raises(ServiceError, match="401|unauthorized"):
+                client.result("job-nope")
+        assert counter("service.auth_rejected") >= before + 6
+
+    def test_health_probes_stay_open(self, guarded):
+        anonymous = client_with(guarded, None)
+        assert anonymous.healthz() == {"status": "ok"}
+        assert anonymous.readyz()["status"] in ("ready", "draining")
+
+    def test_right_token_grants_full_api(self, guarded):
+        client = client_with(guarded, TOKEN)
+        job_id = client.submit(make_spec(), tenant="ci")["job_id"]
+        status = client.wait(job_id, timeout=10.0)
+        assert status["status"] == "done"
+        assert client.result(job_id)["job_id"] == job_id
+        assert any(j["job_id"] == job_id for j in client.jobs())
+        # DELETE of a finished job is refused on state, not on auth.
+        with pytest.raises(ServiceError, match="already finished"):
+            client.cancel(job_id)
+
+    def test_client_reads_token_from_environment(self, guarded, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_TOKEN", TOKEN)
+        client = ServiceClient(guarded.client.base_url, timeout=10.0)
+        job_id = client.submit(make_spec())["job_id"]
+        assert client.wait(job_id, timeout=10.0)["status"] == "done"
+
+    def test_untokened_service_accepts_anonymous(self, tmp_path):
+        box = LiveService(
+            tmp_path / "open",
+            ServiceConfig(workers=1, drain_timeout=2.0),
+            FakeExecutor(),
+        )
+        try:
+            job_id = box.client.submit(make_spec())["job_id"]
+            assert box.client.wait(job_id, timeout=10.0)["status"] == "done"
+        finally:
+            box.stop()
+
+
+class TestFleetRegistrationToken:
+    @pytest.fixture
+    def coordinator_url(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REMOTE_SPAWN", "0")
+        _, url = remote.start_coordinator(bind="127.0.0.1:0", token=TOKEN)
+        yield url
+        remote.shutdown_fleet()
+
+    def register(self, url: str, token: str | None) -> tuple[int, dict]:
+        client = remote._CoordinatorClient(url, token)
+        return client.post(
+            "/v1/fleet/register",
+            {"worker": "w-auth", "fingerprint": environment_fingerprint()},
+        )
+
+    def test_registration_rejected_without_or_with_wrong_token(
+        self, coordinator_url
+    ):
+        before = counter("engine.remote_auth_rejected")
+        for bad in (None, "not-" + TOKEN):
+            status, answer = self.register(coordinator_url, bad)
+            assert status == 403
+            assert "token" in answer.get("error", "")
+        assert counter("engine.remote_auth_rejected") == before + 2
+
+    def test_registration_accepted_with_right_token(self, coordinator_url):
+        status, answer = self.register(coordinator_url, TOKEN)
+        assert status == 200
+        assert answer.get("ok") is True
+
+    def test_lease_route_rejects_wrong_token_with_401(self, coordinator_url):
+        client = remote._CoordinatorClient(coordinator_url, "not-" + TOKEN)
+        status, _ = client.post("/v1/fleet/lease", {"worker": "w-auth"})
+        assert status == 401

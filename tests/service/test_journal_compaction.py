@@ -1,0 +1,152 @@
+"""Journal compaction: bounded WAL growth, state-identical replay.
+
+The journal's history is redundant with the state it produced, so
+compaction may replace it with one snapshot record per live job — but
+only if replaying the compacted journal reconstructs *exactly* the
+records the full history would have, and only if a ``kill -9`` at any
+instant of the compaction leaves a journal no worse than the
+pre-compaction one (the rewrite goes through tmp + fsync + rename).
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import asdict
+
+from repro.engine.metrics import get_registry
+from repro.service import JobSpec
+from repro.service.journal import JobJournal, JobStore
+
+PEPA = "P = (think, {rate}).Q;\nQ = (work, 2.0).P;\nP\n"
+
+
+def spec(i: int) -> JobSpec:
+    return JobSpec(
+        kind="solve",
+        formalism="pepa",
+        source=PEPA.format(rate=f"{i + 1}.0"),
+        capability="steady",
+    )
+
+
+def records_of(store: JobStore) -> dict:
+    return {r.job_id: asdict(r) for r in store.list_records()}
+
+
+def counter(name: str) -> int:
+    return get_registry().snapshot()["counters"].get(name, 0)
+
+
+def populate(store: JobStore) -> list[str]:
+    """Three jobs in three fates: done, failed, still queued."""
+    ids = []
+    for i in range(3):
+        ids.append(store.submit(spec(i), tenant=f"t{i}", priority=i).job_id)
+    store.set_status(ids[0], "running")
+    store.set_status(ids[0], "done")
+    store.set_status(ids[1], "running")
+    store.set_status(ids[1], "failed", error="ValueError: boom")
+    return ids
+
+
+def test_compacted_replay_is_state_identical(tmp_path):
+    root_full = tmp_path / "full"
+    root_compact = tmp_path / "compact"
+    store = JobStore(root_compact)
+    populate(store)
+    store.journal.close()
+    # Preserve the uncompacted history, then compact the original.
+    (root_full / "results").mkdir(parents=True)
+    shutil.copy(root_compact / "journal.jsonl", root_full / "journal.jsonl")
+    store.compact()
+
+    replayed_full = JobStore(root_full)
+    replayed_compact = JobStore(root_compact)
+    assert records_of(replayed_full) == records_of(replayed_compact)
+    # The queued job survived compaction as recoverable work.
+    assert len(replayed_compact.recovered_ids) == 1
+
+
+def test_compaction_shrinks_a_churned_journal(tmp_path):
+    store = JobStore(tmp_path / "svc")
+    ids = populate(store)
+    for _ in range(50):  # churn: the history grows, the state does not
+        store.set_status(ids[2], "running")
+        store.set_status(ids[2], "queued", reason="suspended")
+    before = store.journal.size()
+    store.compact()
+    after = store.journal.size()
+    assert after < before / 4
+    # Replay of the snapshot journal reconstructs the live state.
+    records, sealed = JobJournal.replay(store.journal.path)
+    assert not sealed
+    assert {r["type"] for r in records} == {"snapshot"}
+    assert len(records) == 3
+
+
+def test_size_threshold_compacts_online(tmp_path):
+    before = counter("service.journal_compacted")
+    store = JobStore(tmp_path / "svc", journal_max_bytes=2000)
+    ids = populate(store)
+    for _ in range(60):
+        store.set_status(ids[2], "running")
+        store.set_status(ids[2], "queued", reason="suspended")
+    assert counter("service.journal_compacted") > before
+    # The journal stayed bounded: snapshots + at most the churn since
+    # the last compaction.
+    assert store.journal.size() < 20_000
+    replayed = JobStore(tmp_path / "svc2")  # fresh root: no interference
+    assert records_of(replayed) == {}
+    reopened = JobStore(tmp_path / "svc")
+    assert set(records_of(reopened)) == set(ids)
+
+
+def test_clean_seal_compacts_to_snapshot_plus_seal(tmp_path):
+    store = JobStore(tmp_path / "svc")
+    ids = populate(store)
+    store.seal()
+    records, sealed = JobJournal.replay(store.journal.path)
+    assert sealed
+    assert [r["type"] for r in records] == ["snapshot"] * 3 + ["seal"]
+    reopened = JobStore(tmp_path / "svc")
+    assert set(records_of(reopened)) == set(ids)
+    assert reopened.get(ids[0]).status == "done"
+    assert reopened.get(ids[1]).status == "failed"
+    assert reopened.get(ids[1]).error == "ValueError: boom"
+
+
+def test_torn_compaction_recovers_from_old_journal(tmp_path):
+    """A crash mid-compaction leaves a half-written ``.compact-tmp``
+    beside the untouched journal; recovery ignores and sweeps it."""
+    store = JobStore(tmp_path / "svc")
+    ids = populate(store)
+    store.journal.close()
+    # What a clean (no torn tmp) recovery of this journal looks like.
+    (tmp_path / "pristine" / "results").mkdir(parents=True)
+    shutil.copy(
+        store.journal.path, tmp_path / "pristine" / "journal.jsonl"
+    )
+    expected = records_of(JobStore(tmp_path / "pristine"))
+    # Emulate kill -9 between the tmp write and the rename.
+    torn = store.journal.path.with_name(
+        f"{store.journal.path.name}.1234-5678.compact-tmp"
+    )
+    torn.write_text('{"type": "snapshot", "job": {"job_id": "half-writ')
+
+    recovered = JobStore(tmp_path / "svc")
+    assert records_of(recovered) == expected
+    assert set(records_of(recovered)) == set(ids)
+    assert not torn.exists()  # swept on open
+
+
+def test_rewrite_is_replayable_and_checksummed(tmp_path):
+    journal = JobJournal(tmp_path / "j.jsonl")
+    journal.open()
+    journal.append({"type": "job", "job_id": "a", "at": 1.0})
+    journal.rewrite([{"type": "snapshot", "job": {"job_id": "a"}, "at": 2.0}])
+    # Appends keep working on the rewritten file.
+    journal.append({"type": "status", "job_id": "a", "status": "done", "at": 3.0})
+    journal.close()
+    records, sealed = JobJournal.replay(journal.path)
+    assert [r["type"] for r in records] == ["snapshot", "status"]
+    assert not sealed
