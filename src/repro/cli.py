@@ -337,14 +337,40 @@ def _solve_command(args: argparse.Namespace) -> int:
     from repro.errors import ReplayError
     from repro.manifest import lower_for_capability, model_context, model_descriptor
 
+    derive_backend = getattr(args, "derive", None)
+    if (
+        args.backend
+        and derive_backend is None
+        and formalism == "pepa"
+        and args.capability != "ssa"
+    ):
+        # `--backend population` (or any other derive-capability name)
+        # on a markov capability selects the derivation strategy; the
+        # solver backend stays at the capability's default.
+        import repro.pepa  # noqa: F401  (registers the 'derive' backends)
+        from repro.ir.registry import get_backend
+
+        try:
+            get_backend(args.capability, args.backend)
+        except Exception:
+            try:
+                get_backend("derive", args.backend)
+            except Exception:
+                pass  # unknown either way: dispatch reports it properly
+            else:
+                derive_backend, args.backend = args.backend, None
     try:
-        ir, labels = lower_for_capability(formalism, source, args.capability)
+        ir, labels = lower_for_capability(
+            formalism, source, args.capability, derive_backend=derive_backend
+        )
     except ReplayError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     # Declare the model so the registry's manifests are self-contained
     # (replayable) — see repro.engine.run_manifest.
-    with model_context(model_descriptor(formalism, source)):
+    with model_context(
+        model_descriptor(formalism, source, derive_backend=derive_backend)
+    ):
         if (
             args.workers
             or args.retries is not None
@@ -728,6 +754,13 @@ def _profile_command(args: argparse.Namespace) -> int:
             kron_s, _ = best_of(
                 lambda: kronecker_markov_ir(model, max_states=args.max_states)
             )
+        pop_s = pop_space = None
+        from repro.pepa import derive_population, has_replicated_symmetry
+
+        if has_replicated_symmetry(model):
+            pop_s, pop_space = best_of(
+                lambda: derive_population(model, max_states=args.max_states)
+            )
 
     total = hits + misses
     report = {
@@ -748,6 +781,12 @@ def _profile_command(args: argparse.Namespace) -> int:
     }
     if kron_s is not None:
         report["kronecker_seconds"] = kron_s
+    if pop_s is not None:
+        report["population_seconds"] = pop_s
+        report["population_states"] = pop_space.size
+        report["population_reduction"] = (
+            space.size / pop_space.size if pop_space.size else 1.0
+        )
     if args.json:
         print(json_module.dumps(report, indent=2, sort_keys=True))
         return 0
@@ -763,6 +802,10 @@ def _profile_command(args: argparse.Namespace) -> int:
           f"({hits} hits, {misses} misses)")
     if kron_s is not None:
         print(f"  kronecker        : {kron_s:.6f} s")
+    if pop_s is not None:
+        print(f"  population       : {pop_s:.6f} s "
+              f"({report['population_states']} states, "
+              f"{report['population_reduction']:.1f}x fewer)")
     bound = report["product_state_bound"]
     print(f"  product bound    : {bound if bound is not None else '(over budget)'}")
     print(f"  auto backend     : {report['auto_backend']}")
@@ -896,7 +939,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         help="registered backend name (see --list-backends); default per "
-        "capability",
+        "capability.  A 'derive' backend name (e.g. population) selects "
+        "the derivation strategy instead",
+    )
+    p.add_argument(
+        "--derive",
+        metavar="BACKEND",
+        help="derivation strategy for pepa models (explicit, kronecker, "
+        "population/lumped, auto); default explicit",
     )
     p.add_argument(
         "--list-backends",

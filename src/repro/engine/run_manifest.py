@@ -149,13 +149,24 @@ def _digest_of(obj) -> str | None:
 _TLS = threading.local()
 
 
-def model_descriptor(formalism: str, source: str) -> dict:
-    """Self-contained model description: formalism + source + hash."""
-    return {
+def model_descriptor(
+    formalism: str, source: str, derive_backend: str | None = None
+) -> dict:
+    """Self-contained model description: formalism + source + hash.
+
+    ``derive_backend`` records a non-default derivation strategy (e.g.
+    ``population``) so a replay lowers the source the same way — a
+    population-form chain and the explicit chain of the same source are
+    different state spaces.
+    """
+    out = {
         "formalism": formalism,
         "source": source,
         "sha256": hashlib.sha256(source.encode("utf-8")).hexdigest(),
     }
+    if derive_backend is not None:
+        out["derive_backend"] = derive_backend
+    return out
 
 
 def dataclass_descriptor(obj) -> dict:

@@ -23,7 +23,7 @@ and ``repro.engine``; never the other way around.
 """
 
 from repro.ir import backends  # noqa: F401  (populates the registry)
-from repro.ir.markov import MarkovIR
+from repro.ir.markov import MarkovIR, OrbitInfo
 from repro.ir.reaction import ReactionIR
 from repro.ir.registry import (
     CAPABILITIES,
@@ -40,6 +40,7 @@ from repro.ir.registry import (
 __all__ = [
     "CAPABILITIES",
     "MarkovIR",
+    "OrbitInfo",
     "ReactionIR",
     "RetryPolicy",
     "available_backends",

@@ -70,6 +70,7 @@ __all__ = [
     "shadow_due",
     "shadow_backend",
     "shadow_compare",
+    "register_shadow_hook",
     "reset_shadow_state",
 ]
 
@@ -95,6 +96,7 @@ DEFAULT_SHADOW_TOL = {
     "steady": 1e-8,
     "transient": 1e-8,
     "passage": 1e-8,
+    "derive": 1e-8,
     "ode": 1e-3,
 }
 
@@ -112,6 +114,26 @@ _SHADOW_PARTNERS = {
 #: Dense/expm partners refuse systems larger than this (mirrors
 #: ``repro.ir.backends.markov.DENSE_STATE_LIMIT``).
 _DENSE_PARTNER_LIMIT = 2000
+
+#: Frontend-registered shadow strategies, ``capability -> (partner_fn,
+#: compare_fn)``.  Layering keeps this module below the frontends, so
+#: capabilities whose shadow pass needs frontend knowledge (``derive``:
+#: comparing a lumped chain against the orbit projection of an explicit
+#: one requires the PEPA symmetry analysis) register a hook instead of
+#: being hard-coded here.  ``partner_fn(primary, ir) -> str | None``
+#: picks the re-solve backend; ``compare_fn(ir, result, shadow_result)
+#: -> float`` returns the max-abs style disagreement (``inf`` for a
+#: structural mismatch).
+_SHADOW_HOOKS: dict = {}
+
+
+def register_shadow_hook(capability: str, partner_fn, compare_fn) -> None:
+    """Register a frontend shadow strategy for ``capability``.
+
+    Replaces any previous hook for the capability (latest frontend
+    import wins — registration is idempotent per module).
+    """
+    _SHADOW_HOOKS[capability] = (partner_fn, compare_fn)
 
 _notes = threading.local()
 
@@ -214,6 +236,72 @@ def _check_generator(capability: str, backend: str, ir: MarkovIR) -> None:
         )
 
 
+def _check_orbits(capability, backend, ir, result) -> dict:
+    """Lumped-derive sentinel: the aggregation metadata must describe a
+    consistent quotient — orbit counts conserved, populations conserved
+    per replica cluster, initial orbit trivial (replicas start alike)."""
+    info = result.orbits
+    n = result.n_states
+    sizes = np.asarray(info.orbit_sizes, dtype=np.float64)
+    if sizes.shape != (n,):
+        _fail("orbit_shape",
+              f"{sizes.shape[0] if sizes.ndim == 1 else sizes.shape} orbit "
+              f"sizes for {n} lumped states",
+              capability=capability, backend=backend, ir=ir)
+    if not np.isfinite(sizes).all() or (sizes < 1.0 - 1e-6).any():
+        _fail("orbit_sizes", "orbit sizes must be finite and >= 1",
+              capability=capability, backend=backend, ir=ir)
+    if float(np.abs(sizes - np.round(sizes)).max()) > 1e-6:
+        _fail("orbit_sizes", "orbit sizes must be integral",
+              capability=capability, backend=backend, ir=ir)
+    total = float(sizes.sum())
+    full = info.full_states
+    if full < n:
+        _fail("orbit_count",
+              f"full chain claims {full} states for {n} orbits",
+              capability=capability, backend=backend, ir=ir)
+    # Orbit-count conservation: the exact total must equal the size sum.
+    # Beyond 2**53 the float sum is no longer exact, so only the exactly
+    # representable range is checked strictly.
+    if full < 2**53 and abs(total - float(full)) > 0.5:
+        _fail("orbit_count",
+              f"orbit sizes sum to {total:.0f}, metadata claims {full}",
+              capability=capability, backend=backend, ir=ir,
+              detail=abs(total - float(full)))
+    counts = np.asarray(info.counts, dtype=np.float64)
+    if counts.shape[0] != n or (counts.size and counts.min() < 0):
+        _fail("orbit_counts",
+              "population count matrix malformed (wrong rows or negative)",
+              capability=capability, backend=backend, ir=ir)
+    # Population conservation per replica cluster — the invariant behind
+    # every projected measure: each row distributes exactly the cluster's
+    # replicas over its member configurations.
+    group = np.asarray(info.column_group)
+    worst = 0.0
+    for g in range(info.n_groups):
+        cols = np.flatnonzero(group == g)
+        if not cols.size:
+            continue
+        drift = np.abs(
+            counts[:, cols].sum(axis=1) - float(info.group_totals[g])
+        )
+        worst = max(worst, float(drift.max()) if drift.size else 0.0)
+    if worst > 1e-9:
+        _fail("population_conservation",
+              f"cluster populations drift by {worst:.3e}",
+              capability=capability, backend=backend, ir=ir, detail=worst)
+    if sizes.size and abs(sizes[result.initial_index] - 1.0) > 1e-9:
+        _fail("orbit_initial",
+              f"initial orbit has size {sizes[result.initial_index]:.0f}, "
+              "but replicas start identical",
+              capability=capability, backend=backend, ir=ir)
+    return {
+        "full_states": full,
+        "aggregation_ratio": float(full) / n if n else 1.0,
+        "population_defect": worst,
+    }
+
+
 def _check_derive(capability, backend, ir, result, params) -> dict:
     # ``ir`` is the frontend's model object here; the sentinels run on
     # the freshly built MarkovIR instead — a derivation strategy that
@@ -226,11 +314,14 @@ def _check_derive(capability, backend, ir, result, params) -> dict:
         )
     _check_generator(capability, backend, result)
     defect = result.generator_defect()
-    return {
+    out = {
         "n_states": result.n_states,
         "nnz": int(result.generator.nnz),
         "row_sum_defect": defect["row_sum"],
     }
+    if result.orbits is not None:
+        out.update(_check_orbits(capability, backend, ir, result))
+    return out
 
 
 def _rate_scale(ir: MarkovIR) -> float:
@@ -540,6 +631,9 @@ def shadow_backend(
         return None
     if explicit is not None:
         return explicit if explicit != primary else None
+    hook = _SHADOW_HOOKS.get(capability)
+    if hook is not None:
+        return hook[0](primary, ir)
     n_states = getattr(ir, "n_states", 0)
     for name in _SHADOW_PARTNERS.get(capability, ()):
         if name == primary:
@@ -578,8 +672,6 @@ def shadow_compare(
     flag.
     """
     reg = get_registry()
-    a = _comparable(capability, result)
-    b = _comparable(capability, shadow_result)
     if tolerance is None:
         env_tol = os.environ.get(_SHADOW_TOL_ENV)
         try:
@@ -588,10 +680,16 @@ def shadow_compare(
             )
         except ValueError:
             tolerance = DEFAULT_SHADOW_TOL.get(capability, 1e-8)
-    if a.shape != b.shape:
-        max_abs = math.inf
+    hook = _SHADOW_HOOKS.get(capability)
+    if hook is not None:
+        max_abs = float(hook[1](ir, result, shadow_result))
     else:
-        max_abs = float(np.abs(a - b).max()) if a.size else 0.0
+        a = _comparable(capability, result)
+        b = _comparable(capability, shadow_result)
+        if a.shape != b.shape:
+            max_abs = math.inf
+        else:
+            max_abs = float(np.abs(a - b).max()) if a.size else 0.0
     if faults.should_fire("shadow_mismatch", backend=shadow_name) is not None:
         max_abs = math.inf
     reg.increment("ir.trust.shadow.checked")

@@ -20,7 +20,66 @@ import scipy.sparse as sp
 
 from repro.errors import IRError
 
-__all__ = ["MarkovIR"]
+__all__ = ["MarkovIR", "OrbitInfo"]
+
+
+@dataclass(frozen=True)
+class OrbitInfo:
+    """Aggregation metadata of a lumped (population-form) CTMC.
+
+    Attached by derive backends that quotient symmetric replicated
+    components: each state of the lumped chain represents a whole orbit
+    of states of the underlying explicit chain.  The trust layer's
+    lumped-derive sentinel validates these invariants on every dispatch.
+
+    Attributes
+    ----------
+    orbit_sizes:
+        ``orbit_sizes[i]`` is the number of explicit states the lumped
+        state ``i`` stands for (float64; exact below 2**53).
+    full_states:
+        Exact total number of reachable explicit states, i.e. the sum
+        of the orbit sizes (computed in exact integer arithmetic).
+    counts:
+        ``counts[i, c]`` is the population count of column ``c``'s
+        member configuration in lumped state ``i`` — the numerical
+        vector form of the state.
+    column_labels:
+        Human-readable member-configuration label per column.
+    column_group:
+        Replica-cluster id per column; columns of one cluster partition
+        that cluster's members.
+    group_totals:
+        ``group_totals[g]`` is the number of replicas in cluster ``g``;
+        every row of ``counts`` sums to it over the cluster's columns
+        (population conservation).
+    """
+
+    orbit_sizes: np.ndarray
+    full_states: int
+    counts: np.ndarray
+    column_labels: tuple[str, ...]
+    column_group: np.ndarray
+    group_totals: np.ndarray
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.group_totals.size)
+
+    def expected_populations(self, pi: np.ndarray) -> dict[str, float]:
+        """Per member-configuration expected population under ``pi``.
+
+        ``pi`` is a distribution over the *lumped* states (steady-state
+        vector, or one row of a transient sweep); the result maps each
+        column label to the expected number of replicas sitting in that
+        configuration — the natural measure on a population-form chain.
+        """
+        pi = np.asarray(pi, dtype=np.float64)
+        values = pi @ self.counts
+        return {
+            label: float(values[c])
+            for c, label in enumerate(self.column_labels)
+        }
 
 
 @dataclass(frozen=True, eq=False)
@@ -53,6 +112,11 @@ class MarkovIR:
     trans_target: np.ndarray | None = None
     trans_rate: np.ndarray | None = None
     trans_action: tuple[str, ...] | None = None
+    #: Lumped-chain aggregation metadata (population-form derive
+    #: backends); ``None`` for explicit chains.  Excluded from the
+    #: content hash — the lumped generator itself already identifies
+    #: the chain.
+    orbits: OrbitInfo | None = field(default=None, compare=False)
     _ssa_tables: list | None = field(
         default=None, repr=False, compare=False, hash=False
     )

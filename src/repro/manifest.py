@@ -77,21 +77,43 @@ __all__ = [
 # Source -> IR (frontend-aware lowering, shared with the CLI)
 # ---------------------------------------------------------------------------
 
-def lower_for_capability(formalism: str, source: str, capability: str):
+def lower_for_capability(
+    formalism: str,
+    source: str,
+    capability: str,
+    derive_backend: str | None = None,
+):
     """Lower model ``source`` to the IR the requested capability runs on.
 
     Returns ``(ir, labels)`` where ``labels`` names the states/species
-    of the solution vectors.  Raises :class:`ReplayError` for
-    combinations that have no finite-CTMC semantics (gpepa is lowered to
-    population dynamics only).
+    of the solution vectors.  ``derive_backend`` selects a non-default
+    derivation strategy for PEPA sources (``population`` lowers to the
+    orbit-quotient chain); other formalisms reject it.  Raises
+    :class:`ReplayError` for combinations that have no finite-CTMC
+    semantics (gpepa is lowered to population dynamics only).
     """
     markov = capability in ("steady", "transient", "passage")
     if formalism == "pepa":
         from repro.pepa import ctmc_of, derive, parse_model
 
+        if derive_backend is not None:
+            from repro.ir import solve as ir_solve
+
+            ir = ir_solve(
+                parse_model(source), "derive", backend=derive_backend
+            )
+            labels = ir.labels or tuple(
+                str(i) for i in range(ir.n_states)
+            )
+            return ir, labels
         chain = ctmc_of(derive(parse_model(source)))
         return chain.lower(), tuple(
             chain.space.state_label(i) for i in range(chain.n_states)
+        )
+    if derive_backend is not None:
+        raise ReplayError(
+            f"derive backend {derive_backend!r} only applies to the pepa "
+            "formalism"
         )
     if formalism == "biopepa":
         from repro.biopepa import parse_biopepa, population_ctmc
@@ -125,14 +147,20 @@ def run_from_source(
     source: str,
     capability: str,
     backend: str | None = None,
+    derive_backend: str | None = None,
     **params,
 ):
     """Solve model source text through the registry, under a model
     context so the resulting manifest is self-contained (replayable)."""
     from repro.ir import solve as ir_solve
 
-    with model_context(model_descriptor(formalism, source)):
-        ir, _labels = lower_for_capability(formalism, source, capability)
+    descriptor = model_descriptor(
+        formalism, source, derive_backend=derive_backend
+    )
+    with model_context(descriptor):
+        ir, _labels = lower_for_capability(
+            formalism, source, capability, derive_backend=derive_backend
+        )
         return ir_solve(ir, capability, backend=backend, **params)
 
 
@@ -234,6 +262,7 @@ def _replay_solve(manifest: RunManifest):
         source,
         manifest.capability,
         backend=backend,
+        derive_backend=model.get("derive_backend"),
         **manifest.decoded_params(),
     )
 

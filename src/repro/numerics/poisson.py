@@ -29,21 +29,39 @@ def poisson_truncation_point(m: float, epsilon: float = 1e-12) -> int:
         raise ValueError(f"Poisson rate must be non-negative, got {m}")
     if m == 0.0:
         return 0
-    k = int(m + 8.0 * math.sqrt(m) + 10.0)
-    # Walk forward until the (tight) tail bound  pmf(k) * (k+1)/(k+1-m)
-    # drops below epsilon.  For k > m the Poisson tail is bounded by a
-    # geometric series with ratio m/(k+1).
-    while True:
-        log_pmf = k * math.log(m) - m - math.lgamma(k + 1)
+    log_eps = math.log(epsilon)
+
+    def below_epsilon(k: int) -> bool:
+        # Tail bound  pmf(k) * (k+1)/(k+1-m): for k+1 > m the Poisson
+        # tail is bounded by a geometric series with ratio m/(k+1).
         ratio = m / (k + 1)
-        if ratio < 1.0:
-            log_tail = log_pmf + math.log(1.0 / (1.0 - ratio))
-        else:  # still left of the safe zone; jump right
-            k = int(k * 1.5) + 1
-            continue
-        if log_tail < math.log(epsilon):
-            return k
+        if ratio >= 1.0:
+            return False
+        log_pmf = k * math.log(m) - m - math.lgamma(k + 1)
+        return log_pmf + math.log(1.0 / (1.0 - ratio)) < log_eps
+
+    k = int(m + 8.0 * math.sqrt(m) + 10.0)
+    # Walk forward until the tail bound drops below epsilon...
+    while not below_epsilon(k):
         k += max(1, int(0.05 * k))
+    # ...then bisect back to the smallest satisfying K.  The bound is
+    # monotone decreasing for k >= m, and at k = floor(m) the tail is
+    # ~0.5, so [floor(m), k] brackets the threshold; the old forward
+    # walk alone returned up to 5% above the minimum (and the starting
+    # guess often oversatisfies epsilon outright).
+    lo = int(m)
+    while k - lo > 1:
+        mid = (k + lo) // 2
+        if below_epsilon(mid):
+            k = mid
+        else:
+            lo = mid
+    # For very loose epsilon even floor(m) can satisfy the bound; the
+    # bisection bracket assumed it does not, so finish with an exact
+    # walk-down (a no-op for the tight epsilons uniformization uses).
+    while k > 0 and below_epsilon(k - 1):
+        k -= 1
+    return k
 
 
 def poisson_weights(m: float, epsilon: float = 1e-12) -> tuple[int, np.ndarray]:

@@ -45,7 +45,19 @@ from repro.pepa.rewards import throughput, utilization, population_average
 from repro.pepa.graph import derivation_graph, to_dot, activity_graph
 from repro.pepa.experiments import sweep, SweepResult
 from repro.pepa.wellformed import check_model
-from repro.pepa.lumping import lump, LumpedCTMC, symmetry_labels
+from repro.pepa.lumping import (
+    lump,
+    LumpedCTMC,
+    symmetry_labels,
+    verify_population_agreement,
+)
+from repro.pepa.population import (
+    canonical_partition,
+    derive_population,
+    has_replicated_symmetry,
+    population_markov_ir,
+    replicated_cluster_count,
+)
 from repro.pepa.simulation import (
     simulate,
     simulate_ensemble,
@@ -109,6 +121,12 @@ __all__ = [
     "lump",
     "LumpedCTMC",
     "symmetry_labels",
+    "verify_population_agreement",
+    "canonical_partition",
+    "derive_population",
+    "has_replicated_symmetry",
+    "population_markov_ir",
+    "replicated_cluster_count",
     "simulate",
     "simulate_ensemble",
     "empirical_throughput",

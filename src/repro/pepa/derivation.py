@@ -31,18 +31,41 @@ Backends
     it for generator-level analyses, not for seeded-simulation
     reproducibility.  Registry-cached.
 
+``population`` (alias ``lumped``)
+    Population-form derivation
+    (:func:`repro.pepa.population.population_markov_ir`): replicated
+    symmetric components are quotiented to orbit representatives
+    *during* the BFS, so the chain is the exact ordinary lumping of the
+    explicit one and ``max_states`` bounds the aggregated count.  State
+    identity differs from explicit (one state per orbit, count-form
+    labels), so use it for population-level measures.  Registry-cached;
+    carries :class:`repro.ir.markov.OrbitInfo` for the trust layer's
+    lumped-derive sentinel.
+
 ``auto``
-    Picks ``kronecker`` when the full product space provably fits the
+    Picks ``population`` when the model replicates symmetric components
+    (see :func:`repro.pepa.population.has_replicated_symmetry`), else
+    ``kronecker`` when the full product space provably fits the
     ``max_states`` budget (see :func:`product_state_bound`), otherwise
     ``explicit``; records the choice under ``derive.auto.*`` metrics.
 
-The capability carries a fallback chain ending in ``explicit`` whose
-retry policy treats :class:`~repro.errors.StateSpaceLimitError` as
-recoverable: a Kronecker product space that blows the limit degrades to
-explicit reachable-only derivation instead of failing the solve.
+The capability carries a fallback chain ``kronecker -> population ->
+explicit`` whose retry policy treats
+:class:`~repro.errors.StateSpaceLimitError` as recoverable: a
+requested-``population`` derivation that blows the (aggregated) limit
+degrades to explicit derivation instead of failing the solve, and a
+Kronecker product space that blows the limit walks the rest of the
+chain.
+
+The module also registers the ``derive`` shadow hook with the trust
+layer: sampled ``population`` derivations are re-derived explicitly
+(when the product bound says the explicit space fits) and the lumped
+generator is compared against the orbit projection of the explicit one.
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.errors import StateSpaceLimitError
 from repro.ir import MarkovIR
@@ -53,6 +76,10 @@ from repro.ir.registry import (
 )
 from repro.pepa.ctmc import ctmc_of
 from repro.pepa.kronecker import kronecker_markov_ir
+from repro.pepa.population import (
+    has_replicated_symmetry,
+    population_markov_ir,
+)
 from repro.pepa.semantics import SequentialSemantics
 from repro.pepa.statespace import derive, derive_reference
 from repro.pepa.syntax import (
@@ -67,6 +94,7 @@ __all__ = [
     "derive_explicit",
     "derive_naive",
     "derive_kronecker",
+    "derive_population",
     "derive_auto",
     "product_state_bound",
     "select_derive_backend",
@@ -86,6 +114,11 @@ def derive_naive(model: Model, max_states: int = 1_000_000) -> MarkovIR:
 def derive_kronecker(model: Model, max_states: int = 1_000_000) -> MarkovIR:
     """Generalized-Kronecker compositional construction (product order)."""
     return kronecker_markov_ir(model, max_states=max_states)
+
+
+def derive_population(model: Model, max_states: int = 1_000_000) -> MarkovIR:
+    """Population-form derivation: one state per replica-symmetry orbit."""
+    return population_markov_ir(model, max_states=max_states)
 
 
 def product_state_bound(model: Model, cap: int = 10_000_000) -> int | None:
@@ -129,8 +162,16 @@ def product_state_bound(model: Model, cap: int = 10_000_000) -> int | None:
 
 
 def select_derive_backend(model: Model, max_states: int = 1_000_000) -> str:
-    """``kronecker`` when the full product space fits ``max_states``,
+    """``population`` when replicated symmetric components exist,
+    ``kronecker`` when the full product space fits ``max_states``,
     else ``explicit``."""
+    try:
+        if has_replicated_symmetry(model):
+            return "population"
+    except Exception:
+        # An unanalyzable structure is diagnosed by the chosen strategy
+        # itself; the selector just declines to aggregate.
+        pass
     bound = product_state_bound(model, cap=max_states)
     if bound is not None and bound <= max_states:
         return "kronecker"
@@ -138,14 +179,98 @@ def select_derive_backend(model: Model, max_states: int = 1_000_000) -> str:
 
 
 def derive_auto(model: Model, max_states: int = 1_000_000) -> MarkovIR:
-    """Auto-select a derivation strategy by the product-space bound."""
+    """Auto-select a derivation strategy (symmetry, then size bound)."""
     from repro.engine.metrics import get_registry
 
     choice = select_derive_backend(model, max_states=max_states)
     get_registry().increment(f"derive.auto.{choice}")
+    if choice == "population":
+        return derive_population(model, max_states=max_states)
     if choice == "kronecker":
         return derive_kronecker(model, max_states=max_states)
     return derive_explicit(model, max_states=max_states)
+
+
+#: Shadow re-derivations refuse explicit spaces larger than this bound
+#: — the whole point of a population derivation is that the explicit
+#: space may be astronomically large.
+_SHADOW_EXPLICIT_LIMIT = 20_000
+
+
+def _derive_shadow_partner(primary: str, model) -> str | None:
+    """Shadow partner for sampled ``derive`` dispatches.
+
+    Only population-form derivations are shadowed (the explicit/naive
+    pair is already property-tested, and kronecker states are ordered
+    differently by design), and only when the full product space
+    provably fits a modest budget — otherwise the explicit re-derivation
+    the shadow pass would run could itself blow up.
+    """
+    if primary not in ("population", "lumped"):
+        return None
+    if not isinstance(model, Model):
+        return None
+    bound = product_state_bound(model, cap=_SHADOW_EXPLICIT_LIMIT)
+    if bound is None:
+        return None
+    return "explicit"
+
+
+def _derive_shadow_compare(model, result, shadow_result) -> float:
+    """Disagreement between a population derivation and the orbit
+    projection of an explicit one (relative max-abs over the lumped
+    generator; ``inf`` on structural mismatch).
+
+    The exact-lumping identity under test: with ``A`` the n_exp x n_pop
+    0/1 orbit-membership matrix and ``sizes`` the orbit cardinalities,
+    ``Q_pop == diag(1/sizes) @ A.T @ Q_exp @ A``.
+    """
+    import numpy as np
+    import scipy.sparse as sp
+
+    from repro.pepa.population import canonical_partition, derive_population
+
+    lumped, explicit_ir = result, shadow_result
+    if getattr(lumped, "orbits", None) is None:
+        lumped, explicit_ir = explicit_ir, lumped
+    info = getattr(lumped, "orbits", None)
+    if info is None:
+        # Neither side is population-form: plain generator comparison.
+        A, B = result.generator, shadow_result.generator
+        if A.shape != B.shape:
+            return math.inf
+        diff = (A - B).tocoo()
+        return float(np.abs(diff.data).max()) if diff.nnz else 0.0
+    space = derive(model)
+    if explicit_ir.n_states != space.size:
+        return math.inf
+    pop = derive_population(model)
+    if lumped.n_states != pop.size:
+        return math.inf
+    index = {s: i for i, s in enumerate(pop.states)}
+    proj = np.fromiter(
+        (index.get(k, -1) for k in canonical_partition(model, space)),
+        dtype=np.intp,
+        count=space.size,
+    )
+    if proj.size and proj.min() < 0:
+        return math.inf
+    n, p = space.size, pop.size
+    A = sp.csr_matrix(
+        (np.ones(n), (np.arange(n), proj)), shape=(n, p)
+    )
+    sizes = np.asarray(info.orbit_sizes, dtype=np.float64)
+    projected = sp.diags(1.0 / sizes) @ (A.T @ explicit_ir.generator @ A)
+    diff = (projected - lumped.generator).tocoo()
+    if not diff.nnz:
+        return 0.0
+    scale = max(
+        1.0,
+        float(np.abs(lumped.generator.data).max())
+        if lumped.generator.nnz
+        else 1.0,
+    )
+    return float(np.abs(diff.data).max()) / scale
 
 
 def _register() -> None:
@@ -179,6 +304,14 @@ def _register() -> None:
     )
     register_backend(
         "derive",
+        "population",
+        derive_population,
+        accepts=(Model,),
+        aliases=("lumped",),
+        cache=True,
+    )
+    register_backend(
+        "derive",
         "auto",
         derive_auto,
         accepts=(Model,),
@@ -187,7 +320,14 @@ def _register() -> None:
     policy = RetryPolicy(
         recoverable=RetryPolicy().recoverable + (StateSpaceLimitError,)
     )
-    register_fallback_chain("derive", ("kronecker", "explicit"), policy)
+    register_fallback_chain(
+        "derive", ("kronecker", "population", "explicit"), policy
+    )
+    from repro.ir import guards
+
+    guards.register_shadow_hook(
+        "derive", _derive_shadow_partner, _derive_shadow_compare
+    )
 
 
 _register()

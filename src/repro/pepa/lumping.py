@@ -28,7 +28,12 @@ import scipy.sparse as sp
 from repro.errors import PepaError
 from repro.pepa.ctmc import CTMC
 
-__all__ = ["lump", "LumpedCTMC", "symmetry_labels"]
+__all__ = [
+    "lump",
+    "LumpedCTMC",
+    "symmetry_labels",
+    "verify_population_agreement",
+]
 
 
 @dataclass(frozen=True)
@@ -160,6 +165,15 @@ def lump(
     order = np.argsort(rows, kind="stable")
     rows, cols, vals = rows[order], cols[order], vals[order]
     starts = np.searchsorted(rows, np.arange(n + 1))
+    # Quantization scale for refinement signatures.  An absolute
+    # round(r, 12) is a no-op for 1e6-scale rates (ulp is already larger
+    # than 1e-12, so float summation-order jitter splits equivalent
+    # states) and collapses everything at 1e-13 scale (genuinely
+    # different rates merge).  Quantizing r/scale keeps the tolerance
+    # relative to the chain's rate magnitude.
+    scale = float(np.abs(vals).max()) if vals.size else 1.0
+    if not scale > 0.0:
+        scale = 1.0
 
     blocks = _initial_blocks(n, initial)
     block_of = np.empty(n, dtype=np.intp)
@@ -184,7 +198,11 @@ def lump(
                 # lumpability constrains flows to *other* blocks.
                 own = int(block_of[s])
                 sig = tuple(
-                    sorted((b, round(r, 12)) for b, r in agg.items() if b != own)
+                    sorted(
+                        (b, round(r / scale, 12))
+                        for b, r in agg.items()
+                        if b != own
+                    )
                 )
                 sig_groups.setdefault(sig, []).append(s)
             if len(sig_groups) == 1:
@@ -201,23 +219,26 @@ def lump(
     else:
         raise PepaError("partition refinement did not converge")
 
-    # Lumped generator: any representative state's aggregate flows.
+    # Lumped generator: the exact mean of the members' aggregate flows.
+    # Under the tolerance-based refinement above, member rows may
+    # disagree by up to the quantization tolerance; taking any single
+    # representative would make the result depend on member ordering.
     nb = len(blocks)
     lrows: list[int] = []
     lcols: list[int] = []
     lvals: list[float] = []
     for b, members in enumerate(blocks):
-        rep = members[0]
-        lo, hi = starts[rep], starts[rep + 1]
         agg: dict[int, float] = {}
-        for k in range(lo, hi):
-            tgt = int(block_of[cols[k]])
-            if tgt != b:
-                agg[tgt] = agg.get(tgt, 0.0) + vals[k]
+        for s in members:
+            for k in range(starts[s], starts[s + 1]):
+                tgt = int(block_of[cols[k]])
+                if tgt != b:
+                    agg[tgt] = agg.get(tgt, 0.0) + vals[k]
+        inv = 1.0 / len(members)
         for tgt, rate in agg.items():
             lrows.append(b)
             lcols.append(tgt)
-            lvals.append(rate)
+            lvals.append(rate * inv)
     L = sp.coo_matrix((lvals, (lrows, lcols)), shape=(nb, nb)).tocsr()
     exit_rates = np.asarray(L.sum(axis=1)).ravel()
     Q = (L - sp.diags(exit_rates, format="csr")).tocsr()
@@ -226,3 +247,82 @@ def lump(
         blocks=tuple(tuple(sorted(m)) for m in blocks),
         block_of=block_of.copy(),
     )
+
+
+def verify_population_agreement(
+    model, max_states: int = 100_000, tol: float = 1e-9
+) -> dict:
+    """Agreement oracle: population-form derivation vs. explicit + lump.
+
+    Derives ``model`` both ways — directly in population form
+    (:func:`repro.pepa.population.derive_population`) and explicitly
+    followed by :func:`lump` seeded with the orbit keys
+    (:func:`repro.pepa.population.canonical_partition`) — and checks the
+    two quotients are the *same chain*: identical block structure
+    (block sizes equal the orbit sizes exactly) and generators that
+    agree entry-wise within ``tol`` (relative to the rate scale) under
+    the block-matching permutation.
+
+    Raises :class:`~repro.errors.PepaError` on any disagreement;
+    returns a report dictionary on success.  Only usable where the
+    explicit space fits ``max_states`` — this is the test-suite oracle,
+    not a production path.
+    """
+    from repro.pepa.ctmc import ctmc_of
+    from repro.pepa.population import canonical_partition, derive_population
+    from repro.pepa.statespace import derive
+
+    space = derive(model, max_states=max_states)
+    chain = ctmc_of(space)
+    keys = canonical_partition(model, space)
+    lumped = lump(chain, initial=keys)
+    pop = derive_population(model, max_states=max_states)
+    info = pop.orbit_info
+
+    if lumped.n_blocks != pop.size:
+        raise PepaError(
+            f"population derivation found {pop.size} orbits, explicit "
+            f"lumping found {lumped.n_blocks} blocks"
+        )
+    if info.full_states != space.size:
+        raise PepaError(
+            f"population metadata claims {info.full_states} explicit "
+            f"states, derivation reached {space.size}"
+        )
+    index = {s: i for i, s in enumerate(pop.states)}
+    perm = np.empty(lumped.n_blocks, dtype=np.intp)
+    for b, members in enumerate(lumped.blocks):
+        key = keys[members[0]]
+        if key not in index:
+            raise PepaError(
+                f"lumped block {b} has no matching population state"
+            )
+        perm[b] = index[key]
+        if len(members) != int(round(float(info.orbit_sizes[perm[b]]))):
+            raise PepaError(
+                f"block {b} holds {len(members)} states, orbit size is "
+                f"{info.orbit_sizes[perm[b]]:.0f}"
+            )
+    if np.unique(perm).size != perm.size:
+        raise PepaError("block-to-orbit matching is not a bijection")
+
+    Q_pop = ctmc_of(pop).generator
+    # Reorder the population generator into lumped-block order.
+    Q_pop_b = Q_pop[perm][:, perm]
+    diff = (lumped.generator - Q_pop_b).tocoo()
+    scale = max(
+        1.0, float(np.abs(Q_pop.data).max()) if Q_pop.nnz else 1.0
+    )
+    max_rel = float(np.abs(diff.data).max()) / scale if diff.nnz else 0.0
+    if max_rel > tol:
+        raise PepaError(
+            f"lumped and population generators disagree by {max_rel:.3e} "
+            f"(relative, tolerance {tol:.3e})"
+        )
+    return {
+        "explicit_states": space.size,
+        "population_states": pop.size,
+        "aggregation_ratio": space.size / pop.size,
+        "max_rel_diff": max_rel,
+        "tolerance": tol,
+    }

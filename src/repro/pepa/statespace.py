@@ -482,6 +482,13 @@ class _Deriver(_DerivationBase):
         self.memo_misses = 0
         # (leaf, local_idx) -> tuple[(action, value, is_passive, updates)]
         self._fast_local_cache: dict[tuple[int, int], tuple] = {}
+        # Optional state canonicalization hook: a callable mapping a
+        # global state tuple to the representative of its symmetry
+        # orbit.  When set (the population-form deriver), the BFS
+        # frontier only ever contains one state per orbit; None (the
+        # explicit path) leaves the sweep bit-identical to the
+        # reference walk.
+        self._canonical = None
 
     def _number(self, node) -> int:
         if isinstance(node, Leaf):
@@ -622,8 +629,10 @@ class _Deriver(_DerivationBase):
         return result
 
     def run(self) -> StateSpace:
-        states: list[tuple[int, ...]] = [self.initial]
-        index: dict[tuple[int, ...], int] = {self.initial: 0}
+        canon = self._canonical
+        initial = self.initial if canon is None else canon(self.initial)
+        states: list[tuple[int, ...]] = [initial]
+        index: dict[tuple[int, ...], int] = {initial: 0}
         queue: deque[int] = deque([0])
         capacity = 256
         src = np.empty(capacity, dtype=np.intp)
@@ -650,6 +659,8 @@ class _Deriver(_DerivationBase):
                     for leaf_idx, local_idx in updates:
                         new_state[leaf_idx] = local_idx
                     key = tuple(new_state)
+                if canon is not None:
+                    key = canon(key)
                 d = index.get(key)
                 if d is None:
                     d = len(states)

@@ -80,3 +80,43 @@ class TestWeights:
         for m in (0.1, 7.0, 77.0):
             _lo, w = poisson_weights(m)
             assert (w >= 0).all()
+
+
+def _tail_bound(m: float, k: int) -> float:
+    """The geometric tail bound poisson_truncation_point thresholds on."""
+    ratio = m / (k + 1)
+    if ratio >= 1.0:
+        return math.inf
+    log_pmf = k * math.log(m) - m - math.lgamma(k + 1)
+    return math.exp(log_pmf + math.log(1.0 / (1.0 - ratio)))
+
+
+class TestTruncationMinimality:
+    """Regression: the forward walk alone overshot the minimal K by up
+    to 5% (its step size); K must now be the *smallest* k whose tail
+    bound is below epsilon."""
+
+    @pytest.mark.parametrize("m", [0.5, 5.0, 50.0, 500.0, 5000.0])
+    @pytest.mark.parametrize("eps", [1e-6, 1e-9, 1e-12])
+    def test_k_is_minimal(self, m, eps):
+        k = poisson_truncation_point(m, eps)
+        assert _tail_bound(m, k) < eps
+        # K - 1 must NOT satisfy the bound — otherwise K is not minimal.
+        # This is the assertion the pre-fix overshoot failed.
+        assert _tail_bound(m, k - 1) >= eps
+
+    @pytest.mark.parametrize("m", [50.0, 500.0, 5000.0])
+    def test_true_tail_still_covered(self, m):
+        # Minimality must not undercut correctness: the exact Poisson
+        # tail above K stays below epsilon (the bound majorizes it).
+        eps = 1e-12
+        k = poisson_truncation_point(m, eps)
+        assert sp_poisson.sf(k, m) < eps
+
+    def test_loose_epsilon_does_not_break_bracket(self):
+        # For eps ~ 0.5 even floor(m) can satisfy the bound; the
+        # final walk-down handles what the bisection bracket cannot.
+        for m in (3.0, 30.0, 300.0):
+            k = poisson_truncation_point(m, 0.5)
+            assert _tail_bound(m, k) < 0.5
+            assert k == 0 or _tail_bound(m, k - 1) >= 0.5

@@ -110,7 +110,7 @@ class TestDeriveRegistry:
         from repro.ir import available_backends, default_backend
 
         assert set(available_backends()["derive"]) == {
-            "auto", "explicit", "kronecker", "naive",
+            "auto", "explicit", "kronecker", "naive", "population",
         }
         assert default_backend("derive") == "explicit"
 
@@ -124,12 +124,26 @@ class TestDeriveRegistry:
         assert (ir.generator != direct.generator).nnz == 0
         np.testing.assert_array_equal(ir.trans_source, direct.trans_source)
 
-    def test_auto_selects_kronecker_for_small_products(self):
+    def test_auto_selects_population_for_replicated_models(self):
         from repro.pepa.derivation import select_derive_backend
 
-        assert select_derive_backend(get_model("pc_lan_4")) == "kronecker"
+        # Replicated symmetry wins over the product-bound heuristic: the
+        # quotient space is never larger than the explicit one, so the
+        # selector ignores the budget and lets the fallback chain handle
+        # genuine overruns.
+        assert select_derive_backend(get_model("pc_lan_4")) == "population"
+        assert select_derive_backend(pc_lan(8), max_states=10) == "population"
+
+    def test_auto_selects_kronecker_without_symmetry(self):
+        from repro.pepa.derivation import select_derive_backend
+
+        model = parse_model(
+            "A = (x, 1.0).A1; A1 = (y, 1.0).A; "
+            "B = (x, 2.0).B1; B1 = (y, 2.0).B; A <x> B"
+        )
+        assert select_derive_backend(model) == "kronecker"
         # A tiny budget forces the explicit reachable-only walk.
-        assert select_derive_backend(pc_lan(8), max_states=10) == "explicit"
+        assert select_derive_backend(model, max_states=2) == "explicit"
 
     def test_fallback_kronecker_to_explicit(self):
         from repro.ir import solve

@@ -128,3 +128,90 @@ class TestScaling:
         np.testing.assert_allclose(
             lumped.project(chain.steady_state().pi), pi_l, atol=1e-8
         )
+
+
+def _chain_from_rates(entries, n):
+    """Bare CTMC from off-diagonal (i, j, rate) entries (no state space:
+    these tests drive lump() with explicit initial partitions only)."""
+    import scipy.sparse as sp
+
+    from repro.pepa.ctmc import CTMC
+
+    rows = [e[0] for e in entries]
+    cols = [e[1] for e in entries]
+    vals = [e[2] for e in entries]
+    R = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    exit_rates = np.asarray(R.sum(axis=1)).ravel()
+    Q = (R - sp.diags(exit_rates, format="csr")).tocsr()
+    return CTMC(space=None, generator=Q)
+
+
+class TestQuantizationScale:
+    """Regression: signature quantization used an absolute round(r, 12).
+    At 1e6-scale rates that is a no-op (float jitter far above 1e-12
+    splits equivalent states); at 1e-13-scale it collapses genuinely
+    different rates to 0.  Quantization must be scale-relative."""
+
+    def test_large_scale_jitter_still_merges(self):
+        # States 0 and 1 are symmetric up to summation-order jitter:
+        # 1e-9 absolute on 1e6-scale rates (1e-15 relative).  The old
+        # absolute quantization kept the jitter and split the block.
+        chain = _chain_from_rates(
+            [(0, 2, 1e6), (1, 2, 1e6 + 1e-9), (2, 0, 5e5), (2, 1, 5e5)],
+            n=3,
+        )
+        lumped = lump(chain, initial=[0, 0, 1])
+        assert lumped.n_blocks == 2
+        assert lumped.blocks[0] == (0, 1)
+
+    def test_tiny_scale_distinct_rates_not_collapsed(self):
+        # Genuinely different rates, both below 1e-12 absolute: the old
+        # quantization rounded both to 0.0 and merged states that are
+        # not equivalent (0 leaves at 1e-13, 1 leaves at 3e-13).
+        chain = _chain_from_rates(
+            [(0, 2, 1e-13), (1, 2, 3e-13), (2, 0, 2e-13), (2, 1, 2e-13)],
+            n=3,
+        )
+        lumped = lump(chain, initial=[0, 0, 1])
+        assert lumped.n_blocks == 3
+
+    def test_tiny_scale_equal_rates_still_merge(self):
+        # Sanity: exactly symmetric tiny-rate states do merge.
+        chain = _chain_from_rates(
+            [(0, 2, 2e-13), (1, 2, 2e-13), (2, 0, 1e-13), (2, 1, 1e-13)],
+            n=3,
+        )
+        assert lump(chain, initial=[0, 0, 1]).n_blocks == 2
+
+
+class TestLumpedGeneratorMean:
+    """Regression: the lumped generator was built from each block's
+    *first* member only.  Members may disagree by up to the quantization
+    tolerance, so the result depended on member ordering; it must be the
+    exact mean over all members."""
+
+    def test_rate_is_exact_mean_over_members(self):
+        r0, r1 = 1.0, 1.0 + 4e-13  # within tolerance: states merge
+        chain = _chain_from_rates(
+            [(0, 2, r0), (1, 2, r1), (2, 0, 0.5), (2, 1, 0.5)],
+            n=3,
+        )
+        lumped = lump(chain, initial=[0, 0, 1])
+        assert lumped.n_blocks == 2
+        rate = lumped.generator[0, 1]
+        # The first-member build returned r0 exactly; the mean differs
+        # from it by 2e-13, which this assertion resolves.
+        assert rate == (r0 + r1) / 2.0
+        assert rate != r0
+
+    def test_member_order_invariance(self):
+        r0, r1 = 2.0, 2.0 + 8e-13
+        fwd = _chain_from_rates(
+            [(0, 2, r0), (1, 2, r1), (2, 0, 0.5), (2, 1, 0.5)], n=3
+        )
+        rev = _chain_from_rates(
+            [(0, 2, r1), (1, 2, r0), (2, 0, 0.5), (2, 1, 0.5)], n=3
+        )
+        a = lump(fwd, initial=[0, 0, 1]).generator[0, 1]
+        b = lump(rev, initial=[0, 0, 1]).generator[0, 1]
+        assert a == b == (r0 + r1) / 2.0
